@@ -1,0 +1,1 @@
+bench/exp_ablate.ml: Float List Printf Runner Smart_core Smart_gp Smart_util Unix

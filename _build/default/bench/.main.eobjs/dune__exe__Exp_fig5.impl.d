@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: List Printf Runner Smart_core Smart_util

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: List Printf Runner Smart_core Smart_util

@@ -1,0 +1,1 @@
+bench/exp_paths.ml: Printf Runner Smart_core Smart_util

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Array Float Hashtbl List Printf Runner Smart_core Smart_util

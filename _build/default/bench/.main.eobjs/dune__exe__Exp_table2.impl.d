@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Float List Runner Smart_core Smart_util

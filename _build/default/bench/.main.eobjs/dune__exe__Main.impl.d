@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablate Exp_fig5 Exp_fig6 Exp_fig7 Exp_paths Exp_table1 Exp_table2 List Micro Printf Runner Smart_tech String Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl List Measure Printf Runner Smart_core Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/runner.ml: Printf Smart_core Smart_util

@@ -1,0 +1,111 @@
+(* Figures 5(a)-(c): normalized total transistor width, original vs SMART,
+   for incrementors/decrementors, zero-detects and decoders.
+
+   The paper plots, per circuit instance, the original design's width
+   normalized to 1.0 against SMART's width at the same (PathMill-verified)
+   delay.  SMART bars sit around 0.5-0.85.  We reproduce the same bar
+   lists, including the duplicated bit-widths (distinct instances with
+   different output environments in the original design -- modelled here
+   by different loads). *)
+
+module Smart = Smart_core.Smart
+module Macro = Smart.Macro
+module Tab = Smart_util.Tab
+
+let run_series ~title ~paper_hint instances =
+  Runner.heading title;
+  let t = Tab.create [ "circuit"; "orig delay ps"; "orig W um"; "SMART W um";
+                       "W ratio"; "W saving %"; "power saving %" ] in
+  let ratios = ref [] in
+  List.iter
+    (fun (label, info) ->
+      match Runner.compare_macro ~label info with
+      | Error e -> Printf.printf "  %s\n" e
+      | Ok c ->
+        ratios := Runner.width_ratio c :: !ratios;
+        Tab.rowf t "%s|%.0f|%.0f|%.0f|%.2f|%.1f|%.1f" label
+          c.Runner.baseline.Smart.Baseline.achieved_delay
+          c.Runner.baseline.Smart.Baseline.total_width
+          c.Runner.smart.Smart.Sizer.total_width (Runner.width_ratio c)
+          (Runner.width_saving c) (Runner.power_saving c))
+    instances;
+  Tab.print t;
+  Printf.printf "  paper: %s\n" paper_hint;
+  (match !ratios with
+  | [] -> ()
+  | rs ->
+    Runner.shape_check ~name:"SMART width < original on every instance"
+      (List.for_all (fun r -> r < 1.0) rs);
+    Runner.shape_check ~name:"savings in the paper's 15-50% band (mean)"
+      (let mean = Smart_util.Stats.mean rs in
+       mean > 0.45 && mean < 0.90))
+
+let incrementors ~fast () =
+  let inc ?(load = 20.) ~dec bits =
+    Smart.Incrementor.generate ~ext_load:load ~decrement:dec ~bits ()
+  in
+  let widths =
+    if fast then
+      [ ("3bitinc", inc ~dec:false 3);
+        ("3bitdec", inc ~dec:true 3);
+        ("13bitinc", inc ~dec:false 13);
+        ("27bitinc", inc ~dec:false 27) ]
+    else
+      [ ("3bitinc", inc ~dec:false 3);
+        ("3bitdec", inc ~dec:true 3);
+        ("13bitinc", inc ~dec:false 13);
+        ("13bitinc'", inc ~load:45. ~dec:false 13);
+        ("27bitinc", inc ~dec:false 27);
+        ("39bitinc", inc ~dec:false 39);
+        ("47bitinc", inc ~dec:false 47);
+        ("48bitinc", inc ~dec:false 48);
+        ("64bitdec", inc ~dec:true 64) ]
+  in
+  run_series
+    ~title:"Figure 5(a) -- incrementors: normalized transistor width"
+    ~paper_hint:"SMART/original width ratios roughly 0.5-0.8 across 3..64 bits"
+    widths
+
+let zero_detects ~fast () =
+  let zd ?(load = 15.) bits = Smart.Zero_detect.generate ~ext_load:load ~bits () in
+  let widths =
+    if fast then
+      [ ("6bit", zd 6); ("16bit", zd 16) ]
+    else
+      [ ("6bit", zd 6);
+        ("8bit", zd 8);
+        ("8bit'", zd ~load:35. 8);
+        ("16bit", zd 16);
+        ("16bit'", zd ~load:35. 16);
+        ("22bit", zd 22);
+        ("32bit", zd 32);
+        ("63bit", zd 63) ]
+  in
+  run_series
+    ~title:"Figure 5(b) -- zero-detects: normalized transistor width"
+    ~paper_hint:"SMART/original width ratios roughly 0.55-0.85 across 6..63 bits"
+    widths
+
+let decoders ~fast () =
+  let dec ?(load = 8.) in_bits = Smart.Decoder.generate ~ext_load:load ~in_bits () in
+  let widths =
+    if fast then [ ("3to8", dec 3); ("4to16", dec 4) ]
+    else
+      [ ("3to8", dec 3);
+        ("3to8'", dec ~load:20. 3);
+        ("4to16", dec 4);
+        ("4to16'", dec ~load:20. 4);
+        ("4to16''", dec ~load:35. 4);
+        ("6to64", dec 6);
+        ("6to64'", dec ~load:20. 6);
+        ("7to128", dec 7) ]
+  in
+  run_series
+    ~title:"Figure 5(c) -- decoders: normalized transistor width"
+    ~paper_hint:"SMART/original width ratios roughly 0.55-0.85 across 3to8..7to128"
+    widths
+
+let run ~fast () =
+  incrementors ~fast ();
+  zero_detects ~fast ();
+  decoders ~fast ()

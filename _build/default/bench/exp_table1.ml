@@ -1,0 +1,138 @@
+(* Table 1: average transistor-width and clock-load savings per mux
+   topology.  "For each topology we considered multiple instances -- the
+   average savings are reported."
+
+   Instances of one topology share the layout template in a real datapath,
+   so the original design sizes the clock devices once for the worst
+   instance (the labour-saving habit behind the paper's large domino clock
+   savings); SMART re-sizes each instance individually. *)
+
+module Smart = Smart_core.Smart
+module Macro = Smart.Macro
+module Mux = Smart.Mux
+module Baseline = Smart.Baseline
+module Sizer = Smart.Sizer
+module Constraints = Smart.Constraints
+module Netlist = Smart.Circuit
+module Tab = Smart_util.Tab
+module Stats = Smart_util.Stats
+
+let tech = Runner.tech
+
+(* Per-topology instance list: (inputs, output load fF). *)
+let instances_of ~fast = function
+  | Mux.Encoded_2to1 -> if fast then [ (2, 30.) ] else [ (2, 15.); (2, 30.); (2, 60.) ]
+  | _ -> if fast then [ (4, 20.); (8, 30.) ] else [ (4, 20.); (8, 30.); (16, 45.) ]
+
+(* Baselines with a shared clock template: every clocked label (names are
+   shared across instances of one topology) takes the max width any
+   instance asked for; delays are then re-measured. *)
+let shared_clock_baselines infos =
+  let raw =
+    List.map
+      (fun (info : Macro.info) ->
+        match
+          Sizer.minimize_delay tech info.Macro.netlist (Constraints.spec 1e6)
+        with
+        | Error e -> failwith e
+        | Ok md ->
+          Baseline.size ~target:(1.2 *. md.Sizer.golden_min) tech
+            info.Macro.netlist)
+      infos
+  in
+  let template : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter2
+    (fun (info : Macro.info) (bl : Baseline.result) ->
+      Array.iter
+        (fun (i : Netlist.instance) ->
+          List.iter
+            (fun (l, _) ->
+              let w = bl.Baseline.sizing_fn l in
+              let cur = try Hashtbl.find template l with Not_found -> 0. in
+              if w > cur then Hashtbl.replace template l w)
+            (Smart.Cell.clocked_widths i.Netlist.cell))
+        info.Macro.netlist.Netlist.instances)
+    infos raw;
+  List.map2
+    (fun (info : Macro.info) (bl : Baseline.result) ->
+      let nl = info.Macro.netlist in
+      let sizing_fn l =
+        match Hashtbl.find_opt template l with
+        | Some w -> w
+        | None -> bl.Baseline.sizing_fn l
+      in
+      let eval = Smart.Sta.analyze ~mode:Smart.Sta.Evaluate tech nl ~sizing:sizing_fn in
+      let pre = Smart.Sta.analyze ~mode:Smart.Sta.Precharge tech nl ~sizing:sizing_fn in
+      {
+        bl with
+        Baseline.sizing_fn;
+        Baseline.sizing = List.map (fun l -> (l, sizing_fn l)) (Netlist.labels nl);
+        Baseline.achieved_delay = eval.Smart.Sta.max_delay;
+        Baseline.precharge_delay = pre.Smart.Sta.max_delay;
+        Baseline.total_width = Netlist.total_width nl sizing_fn;
+        Baseline.clock_load_width = Netlist.clock_load_width nl sizing_fn;
+      })
+    infos raw
+
+let topology_row ~fast topo =
+  let insts = instances_of ~fast topo in
+  let infos = List.map (fun (n, load) -> Mux.generate ~ext_load:load topo ~n) insts in
+  let baselines = shared_clock_baselines infos in
+  let results =
+    List.map2
+      (fun (info : Macro.info) bl ->
+        Runner.compare_macro ~baseline:bl ~label:(Macro.name info) info)
+      infos baselines
+  in
+  let ok = List.filter_map (function Ok c -> Some c | Error _ -> None) results in
+  List.iter (function Error e -> Printf.printf "  %s\n" e | Ok _ -> ()) results;
+  let widths = List.map Runner.width_saving ok in
+  let clocks =
+    List.filter_map
+      (fun c ->
+        if c.Runner.baseline.Baseline.clock_load_width > 0. then
+          Some (Runner.clock_saving c)
+        else None)
+      ok
+  in
+  (Stats.mean widths, clocks)
+
+let run ~fast () =
+  Runner.heading "Table 1 -- mux topologies: average savings over instances";
+  let rows =
+    [
+      (Mux.Strongly_mutexed, "15%", "n/a");
+      (Mux.Encoded_2to1, "25%", "n/a");
+      (Mux.Tristate_mux, "16%", "n/a");
+      (Mux.Domino_unsplit, "45%", "39%");
+      (Mux.Domino_partitioned None, "42%", "28%");
+    ]
+  in
+  let t =
+    Tab.create
+      [ "topology"; "width saving %"; "paper"; "clock saving %"; "paper clk" ]
+  in
+  let measured = ref [] in
+  List.iter
+    (fun (topo, paper_w, paper_c) ->
+      let w, clocks = topology_row ~fast topo in
+      let c_str =
+        if clocks = [] then "n/a" else Printf.sprintf "%.1f" (Stats.mean clocks)
+      in
+      measured := (topo, w, clocks) :: !measured;
+      Tab.rowf t "%s|%.1f|%s|%s|%s" (Mux.topology_name topo) w paper_w c_str paper_c)
+    rows;
+  Tab.print t;
+  let lookup topo =
+    match List.find_opt (fun (t', _, _) -> t' = topo) !measured with
+    | Some (_, w, c) -> (w, c)
+    | None -> (0., [])
+  in
+  let w_strong, _ = lookup Mux.Strongly_mutexed in
+  let w_uns, c_uns = lookup Mux.Domino_unsplit in
+  let w_split, c_split = lookup (Mux.Domino_partitioned None) in
+  Runner.shape_check ~name:"every topology saves width" (w_strong > 0. && w_uns > 0. && w_split > 0.);
+  Runner.shape_check ~name:"domino topologies save the most width"
+    (Float.min w_uns w_split >= w_strong -. 2.);
+  Runner.shape_check ~name:"domino clock load shrinks on average"
+    (Stats.mean (c_uns @ c_split) > 0.)

@@ -1,0 +1,150 @@
+(* Table 2 and §6.4: SMART on whole functional blocks.
+
+   §6.4: a datapath block of ~13,800 transistors whose macros account for
+   22% of width and 36% of power; applying SMART to the macros alone cut
+   total width and power by ~8% each with no timing penalty.
+
+   Table 2: four blocks from a power-reduction effort on a production
+   stepping -- instruction alignment (41% power saving), two execution
+   bypass blocks (22%, 19%) and an instruction-fetch block (7%).  Block
+   savings scale with how much of the block's power lives in macros, so
+   the four assemblies below differ chiefly in their macro share. *)
+
+module Smart = Smart_core.Smart
+module Blocks = Smart.Blocks
+module Mux = Smart.Mux
+module Tab = Smart_util.Tab
+
+let mux topo ~n ~load = Mux.generate ~ext_load:load topo ~n
+
+(* Block recipes: heavy domino-mux alignment block down to a mostly
+   random-logic fetch block. *)
+let block1 ~fast () =
+  (* Alignment is macro-dominated: banks of domino muxes and a rotator,
+     almost no random logic. *)
+  let muxes =
+    if fast then
+      [ ("al0", mux (Mux.Domino_partitioned None) ~n:8 ~load:30.);
+        ("al1", mux (Mux.Domino_partitioned None) ~n:8 ~load:45.) ]
+    else
+      [ ("al0", mux (Mux.Domino_partitioned None) ~n:16 ~load:40.);
+        ("al1", mux (Mux.Domino_partitioned None) ~n:16 ~load:30.);
+        ("al2", mux (Mux.Domino_partitioned None) ~n:8 ~load:45.);
+        ("al3", mux (Mux.Domino_partitioned None) ~n:8 ~load:25.);
+        ("al4", mux Mux.Domino_unsplit ~n:8 ~load:35.);
+        ("rot0", Smart.Shifter.generate ~bits:16 ());
+        ("inc0", Smart.Incrementor.generate ~bits:8 ()) ]
+  in
+  Blocks.build ~name:"Block1 (instruction alignment)" ~macros:muxes
+    ~filler:[ Blocks.random_logic ~seed:11 ~name:"al_glue" ~gates:(if fast then 15 else 25) ]
+
+let block2 ~fast () =
+  let macros =
+    if fast then [ ("by0", mux (Mux.Domino_partitioned None) ~n:8 ~load:35.) ]
+    else
+      [ ("by0", mux (Mux.Domino_partitioned None) ~n:8 ~load:35.);
+        ("by1", mux (Mux.Domino_partitioned None) ~n:8 ~load:50.);
+        ("cmp0", Smart.Comparator.generate ~bits:16 ()) ]
+  in
+  Blocks.build ~name:"Block2 (execution bypass)" ~macros
+    ~filler:[ Blocks.random_logic ~seed:22 ~name:"by_glue" ~gates:(if fast then 60 else 140) ]
+
+let block3 ~fast () =
+  let macros =
+    if fast then [ ("by2", mux Mux.Strongly_mutexed ~n:8 ~load:30.) ]
+    else
+      [ ("by2", mux Mux.Strongly_mutexed ~n:8 ~load:30.);
+        ("by3", mux (Mux.Domino_partitioned None) ~n:8 ~load:30.);
+        ("zd0", Smart.Zero_detect.generate ~bits:16 ()) ]
+  in
+  Blocks.build ~name:"Block3 (execution bypass)" ~macros
+    ~filler:[ Blocks.random_logic ~seed:33 ~name:"by3_glue" ~gates:(if fast then 80 else 200) ]
+
+let block4 ~fast () =
+  let macros =
+    if fast then [ ("dec0", Smart.Decoder.generate ~in_bits:4 ()) ]
+    else
+      [ ("dec0", Smart.Decoder.generate ~in_bits:4 ());
+        ("inc1", Smart.Incrementor.generate ~bits:8 ()) ]
+  in
+  Blocks.build ~name:"Block4 (instruction fetch)" ~macros
+    ~filler:
+      [ Blocks.random_logic ~seed:44 ~name:"if_glue0" ~gates:(if fast then 200 else 500);
+        Blocks.random_logic ~seed:45 ~name:"if_glue1" ~gates:(if fast then 150 else 400) ]
+
+let run_table2 ~fast () =
+  Runner.heading "Table 2 -- post-layout power savings on functional blocks";
+  let t =
+    Tab.create
+      [ "block"; "macro power frac"; "power saving %"; "paper"; "width saving %" ]
+  in
+  let paper = [ "41%"; "22%"; "19%"; "7%" ] in
+  let studies =
+    List.map
+      (fun b -> Blocks.apply_smart Runner.tech (b ~fast ()))
+      [ block1; block2; block3; block4 ]
+  in
+  List.iter2
+    (fun (s : Blocks.study) paper ->
+      Tab.rowf t "%s|%.2f|%.1f|%s|%.1f" s.Blocks.block.Blocks.block_name
+        s.Blocks.macro_power_fraction s.Blocks.power_saving_pct paper
+        s.Blocks.width_saving_pct)
+    studies paper;
+  Tab.print t;
+  let savings = List.map (fun s -> s.Blocks.power_saving_pct) studies in
+  Runner.shape_check ~name:"every block saves power"
+    (List.for_all (fun s -> s > 0.) savings);
+  Runner.shape_check ~name:"alignment saves most, fetch saves least"
+    (match savings with
+    | [ b1; b2; b3; b4 ] ->
+      b1 >= Float.max b2 b3 -. 1. && b4 <= Float.min b2 b3 +. 1.
+    | _ -> false);
+  Runner.shape_check ~name:"no macro timing regressions"
+    (List.for_all (fun s -> s.Blocks.timing_regressions = []) studies)
+
+let run_block64 ~fast () =
+  Runner.heading "§6.4 -- whole datapath block (13,800-transistor class)";
+  let macros =
+    if fast then
+      [ ("m0", mux Mux.Domino_unsplit ~n:8 ~load:30.);
+        ("zd", Smart.Zero_detect.generate ~bits:16 ()) ]
+    else
+      [ ("m0", mux Mux.Domino_unsplit ~n:8 ~load:30.);
+        ("m1", mux (Mux.Domino_partitioned None) ~n:16 ~load:40.);
+        ("m2", mux Mux.Strongly_mutexed ~n:8 ~load:25.);
+        ("inc", Smart.Incrementor.generate ~bits:13 ());
+        ("zd", Smart.Zero_detect.generate ~bits:16 ());
+        ("dec", Smart.Decoder.generate ~in_bits:4 ()) ]
+  in
+  let macro_devices =
+    List.fold_left
+      (fun acc (_, (m : Smart.Macro.info)) ->
+        acc + Smart.Circuit.device_count m.Smart.Macro.netlist)
+      0 macros
+  in
+  let target_devices = if fast then 2500 else 13800 in
+  (* Random logic gates average ~5.4 devices each. *)
+  let glue_gates = max 40 ((target_devices - macro_devices) * 10 / 54) in
+  let block =
+    Blocks.build ~name:"datapath block" ~macros
+      ~filler:
+        [ Blocks.random_logic ~seed:64 ~name:"glue0" ~gates:(glue_gates / 2);
+          Blocks.random_logic ~seed:65 ~name:"glue1" ~gates:(glue_gates - (glue_gates / 2)) ]
+  in
+  let s = Blocks.apply_smart Runner.tech block in
+  let t = Tab.create [ "metric"; "measured"; "paper" ] in
+  Tab.rowf t "transistors|%d|13800" s.Blocks.original.Blocks.devices;
+  Tab.rowf t "macro width fraction|%.2f|0.22" s.Blocks.macro_width_fraction;
+  Tab.rowf t "macro power fraction|%.2f|0.36" s.Blocks.macro_power_fraction;
+  Tab.rowf t "block width saving|%.1f%%|8%%" s.Blocks.width_saving_pct;
+  Tab.rowf t "block power saving|%.1f%%|8%%" s.Blocks.power_saving_pct;
+  Tab.rowf t "timing regressions|%d|0" (List.length s.Blocks.timing_regressions);
+  Tab.print t;
+  Runner.shape_check ~name:"single-digit block savings from minority macros"
+    (s.Blocks.width_saving_pct > 1. && s.Blocks.width_saving_pct < 25.
+    && s.Blocks.power_saving_pct > 1.);
+  Runner.shape_check ~name:"no timing penalty" (s.Blocks.timing_regressions = [])
+
+let run ~fast () =
+  run_table2 ~fast ();
+  run_block64 ~fast ()

@@ -1,0 +1,50 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5.2, §6.1-§6.4), prints paper-vs-measured rows, runs the
+   design-choice ablations, and finishes with Bechamel micro-benchmarks of
+   the experiment kernels.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything, full sizes
+     dune exec bench/main.exe -- --fast       -- reduced sizes, no Bechamel
+     dune exec bench/main.exe -- fig5 table1  -- selected experiments    *)
+
+let all_experiments =
+  [
+    ("fig5", "Figures 5(a)-(c): incrementors, zero-detects, decoders");
+    ("table1", "Table 1: mux topology savings");
+    ("fig6", "Figure 6: 64-bit adder area-delay curve");
+    ("fig7", "Figure 7: comparator topology exploration");
+    ("table2", "Table 2 and §6.4: functional blocks");
+    ("paths", "§5.2: path-space reduction");
+    ("ablate", "Design-choice ablations");
+    ("micro", "Bechamel micro-benchmarks");
+  ]
+
+let run_one ~fast = function
+  | "fig5" -> Exp_fig5.run ~fast ()
+  | "table1" -> Exp_table1.run ~fast ()
+  | "fig6" -> Exp_fig6.run ~fast ()
+  | "fig7" -> Exp_fig7.run ~fast ()
+  | "table2" -> Exp_table2.run ~fast ()
+  | "paths" -> Exp_paths.run ~fast ()
+  | "ablate" -> Exp_ablate.run ~fast ()
+  | "micro" -> if not fast then Micro.run ()
+  | other ->
+    Printf.printf "unknown experiment %s; known: %s\n" other
+      (String.concat ", " (List.map fst all_experiments))
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let fast = List.mem "--fast" args in
+  let selected = List.filter (fun a -> a <> "--fast") args in
+  let selected =
+    if selected = [] then List.map fst all_experiments else selected
+  in
+  Printf.printf
+    "SMART reproduction benches -- Nemani & Tiwari, DAC 2000%s\n"
+    (if fast then " [--fast: reduced sizes]" else "");
+  Printf.printf "technology: %s (FO4 = %.1f ps)\n" Runner.tech.Smart_tech.Tech.name
+    (Smart_tech.Tech.fo4_delay Runner.tech);
+  let t0 = Unix.gettimeofday () in
+  List.iter (run_one ~fast) selected;
+  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

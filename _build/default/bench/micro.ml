@@ -1,0 +1,70 @@
+(* Bechamel micro-benchmarks: one Test.make per experiment kernel.
+
+   The experiment tables above report *what* SMART computes; this section
+   reports how fast the kernels behind each table run (GP solve, golden
+   STA, path extraction, full macro sizing, switch-level simulation). *)
+
+open Bechamel
+
+module Smart = Smart_core.Smart
+module Constraints = Smart.Constraints
+module Sizer = Smart.Sizer
+module Paths = Smart.Paths
+module Sta = Smart.Sta
+
+let tech = Runner.tech
+
+let tests () =
+  (* Prebuilt fixtures so the timed closures measure only the kernel. *)
+  let mux = (Smart.Mux.generate Smart.Mux.Strongly_mutexed ~n:8).Smart.Macro.netlist in
+  let adder16 = (Smart.Cla_adder.generate ~bits:16 ()).Smart.Macro.netlist in
+  let mux_gp = (Constraints.generate tech mux (Constraints.spec 60.)).Constraints.problem in
+  let adder_gp =
+    (Constraints.generate tech adder16 (Constraints.spec 400.)).Constraints.problem
+  in
+  let sizing _ = 2.0 in
+  let sim_inputs =
+    List.concat
+      (List.init 8 (fun i ->
+           [ (Printf.sprintf "in%d" i, i mod 2 = 0); (Printf.sprintf "s%d" i, i = 3) ]))
+  in
+  [
+    Test.make ~name:"table1: GP solve (mux8)"
+      (Staged.stage (fun () -> ignore (Smart.Gp.solve mux_gp)));
+    Test.make ~name:"fig6: GP solve (cla16)"
+      (Staged.stage (fun () -> ignore (Smart.Gp.solve adder_gp)));
+    Test.make ~name:"fig4-loop: golden STA (cla16)"
+      (Staged.stage (fun () -> ignore (Sta.analyze tech adder16 ~sizing)));
+    Test.make ~name:"sec5.2: path extraction (cla16)"
+      (Staged.stage (fun () -> ignore (Paths.extract adder16)));
+    Test.make ~name:"sec5.3: constraint generation (mux8)"
+      (Staged.stage (fun () ->
+           ignore (Constraints.generate tech mux (Constraints.spec 60.))));
+    Test.make ~name:"fig5: full SMART sizing (mux8)"
+      (Staged.stage (fun () ->
+           ignore (Sizer.size tech mux (Constraints.spec 60.))));
+    Test.make ~name:"oracle: switch-level sim (mux8)"
+      (Staged.stage (fun () -> ignore (Smart.Sim.eval_bits mux sim_inputs)));
+  ]
+
+let run () =
+  Runner.heading "Micro-benchmarks (Bechamel): experiment kernels";
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+            Printf.printf "  %-42s %10.3f ms/run\n" name (ns /. 1e6)
+          | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+        results)
+    (tests ())

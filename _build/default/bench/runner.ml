@@ -1,0 +1,83 @@
+(* Shared experiment plumbing for the paper-reproduction benches.
+
+   Every §6 comparison follows the same protocol:
+     1. find the macro's fastest achievable delay (GP min-delay, golden
+        verified) -- the performance level a high-performance design works
+        at;
+     2. produce the "original design": the manual baseline sized toward an
+        aggressive target (fastest x slack), with margins, grid snapping
+        and uniform clock habits;
+     3. run SMART at the original design's achieved performance;
+     4. compare width / clock load / power.  *)
+
+module Smart = Smart_core.Smart
+module Macro = Smart.Macro
+module Tech = Smart.Tech
+module Netlist = Smart.Circuit
+module Constraints = Smart.Constraints
+module Sizer = Smart.Sizer
+module Baseline = Smart.Baseline
+module Power = Smart.Power
+module Tab = Smart_util.Tab
+module Stats = Smart_util.Stats
+
+let tech = Tech.default
+
+type comparison = {
+  label : string;
+  baseline : Baseline.result;
+  smart : Sizer.outcome;
+  power_baseline : Power.report;
+  power_smart : Power.report;
+}
+
+let width_ratio c = c.smart.Sizer.total_width /. c.baseline.Baseline.total_width
+let width_saving c = 100. *. (1. -. width_ratio c)
+
+let clock_saving c =
+  if c.baseline.Baseline.clock_load_width <= 0. then 0.
+  else
+    100.
+    *. (1.
+       -. (c.smart.Sizer.clock_load_width /. c.baseline.Baseline.clock_load_width))
+
+let power_saving c =
+  Power.saving ~original:c.power_baseline ~improved:c.power_smart
+
+(* Compare SMART against the manual baseline on one macro.  [baseline]
+   overrides step 2 (used by Table 1's shared-clock-template variant). *)
+let compare_macro ?(slack = 1.2) ?baseline ~label (info : Macro.info) =
+  let nl = info.Macro.netlist in
+  match Sizer.minimize_delay tech nl (Constraints.spec 1e6) with
+  | Error e -> Error (Printf.sprintf "%s: min-delay failed: %s" label e)
+  | Ok md ->
+    let bl =
+      match baseline with
+      | Some b -> b
+      | None -> Baseline.size ~target:(slack *. md.Sizer.golden_min) tech nl
+    in
+    let options =
+      { Sizer.default_options with Sizer.min_delay_hint = Some md.Sizer.model_min }
+    in
+    let spec = Constraints.spec bl.Baseline.achieved_delay in
+    (match Sizer.size ~options tech nl spec with
+    | Error e -> Error (Printf.sprintf "%s: sizing failed: %s" label e)
+    | Ok smart ->
+      Ok
+        {
+          label;
+          baseline = bl;
+          smart;
+          power_baseline = Power.estimate tech nl ~sizing:bl.Baseline.sizing_fn;
+          power_smart = Power.estimate tech nl ~sizing:smart.Sizer.sizing_fn;
+        })
+
+let heading title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n"
+
+let note fmt = Printf.printf fmt
+
+let shape_check ~name ok =
+  Printf.printf "  shape check: %-44s %s\n" name (if ok then "HOLDS" else "DIVERGES")

@@ -1,0 +1,226 @@
+(* smart_cli: command-line front end to the SMART design advisor.
+
+   Subcommands:
+     db       list the design database
+     advise   run the Figure 1 flow on a macro instance
+     size     size one named macro to a delay spec
+     paths    show §5.2 path statistics for a macro
+     sweep    area-delay sweep (Figure 6 style)                      *)
+
+open Cmdliner
+module Smart = Smart_core.Smart
+
+let tech = Smart.Tech.default
+
+(* ---------------- shared args ---------------- *)
+
+let kind_arg =
+  let doc = "Macro kind (mux, incrementor, decrementor, zero-detect, decoder, comparator, adder)." in
+  Arg.(value & opt string "mux" & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
+
+let bits_arg =
+  let doc = "Width parameter: inputs for muxes, bits otherwise." in
+  Arg.(value & opt int 4 & info [ "bits"; "b" ] ~docv:"N" ~doc)
+
+let load_arg =
+  let doc = "External load on each output, fF." in
+  Arg.(value & opt float 30. & info [ "load"; "l" ] ~docv:"FF" ~doc)
+
+let delay_arg =
+  let doc = "Delay specification, ps." in
+  Arg.(value & opt float 150. & info [ "delay"; "d" ] ~docv:"PS" ~doc)
+
+let metric_arg =
+  let metric_conv =
+    Arg.enum
+      [ ("area", Smart.Explore.Area); ("power", Smart.Explore.Power);
+        ("clock", Smart.Explore.Clock_load) ]
+  in
+  let doc = "Cost metric: area, power or clock." in
+  Arg.(value & opt metric_conv Smart.Explore.Area & info [ "metric"; "m" ] ~doc)
+
+let no_onehot_arg =
+  let doc = "Do not assume one-hot (strongly mutexed) selects." in
+  Arg.(value & flag & info [ "no-onehot" ] ~doc)
+
+let no_dynamic_arg =
+  let doc = "Exclude domino topologies." in
+  Arg.(value & flag & info [ "no-dynamic" ] ~doc)
+
+let requirements ~bits ~load ~no_onehot ~no_dynamic =
+  Smart.Database.requirements ~ext_load:load
+    ~strongly_mutexed_selects:(not no_onehot) ~allow_dynamic:(not no_dynamic)
+    bits
+
+(* ---------------- db ---------------- *)
+
+let db_cmd =
+  let run () =
+    let db = Smart.Database.builtins () in
+    Printf.printf "%-34s %-12s %s\n" "entry" "kind" "description";
+    List.iter
+      (fun (e : Smart.Database.entry) ->
+        Printf.printf "%-34s %-12s %s\n" e.Smart.Database.entry_name
+          e.Smart.Database.kind e.Smart.Database.description)
+      (Smart.Database.entries db);
+    0
+  in
+  Cmd.v (Cmd.info "db" ~doc:"List the builtin design database")
+    Term.(const run $ const ())
+
+(* ---------------- advise ---------------- *)
+
+let advise_cmd =
+  let run kind bits load delay metric no_onehot no_dynamic =
+    let db = Smart.Database.builtins () in
+    let req = requirements ~bits ~load ~no_onehot ~no_dynamic in
+    match
+      Smart.advise ~metric ~db ~kind ~requirements:req tech
+        (Smart.Constraints.spec delay)
+    with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok advice ->
+      Printf.printf "%-34s %9s %9s %9s %9s\n" "topology" "delay ps" "width um"
+        "clock um" "power uW";
+      List.iter
+        (fun (c : Smart.Explore.candidate) ->
+          Printf.printf "%-34s %9.1f %9.1f %9.1f %9.1f\n"
+            c.Smart.Explore.entry_name
+            c.Smart.Explore.outcome.Smart.Sizer.achieved_delay
+            c.Smart.Explore.outcome.Smart.Sizer.total_width
+            c.Smart.Explore.outcome.Smart.Sizer.clock_load_width
+            c.Smart.Explore.power_report.Smart.Power.total_uw)
+        advice.Smart.ranking.Smart.Explore.ranked;
+      List.iter
+        (fun (n, r) -> Printf.printf "%-34s rejected: %s\n" n r)
+        advice.Smart.ranking.Smart.Explore.rejected;
+      Printf.printf "\nrecommended: %s (metric: %s)\n"
+        advice.Smart.ranking.Smart.Explore.winner.Smart.Explore.entry_name
+        (Smart.Explore.metric_to_string metric);
+      0
+  in
+  Cmd.v (Cmd.info "advise" ~doc:"Run the SMART advisory flow on a macro instance")
+    Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg $ metric_arg
+          $ no_onehot_arg $ no_dynamic_arg)
+
+(* ---------------- helpers for single-entry commands ---------------- *)
+
+let build_first ~kind ~req =
+  let db = Smart.Database.builtins () in
+  match Smart.Database.build_all db ~kind req with
+  | [] -> Error (Printf.sprintf "no applicable %s in database" kind)
+  | (_, info) :: _ -> Ok info
+
+(* ---------------- size ---------------- *)
+
+let size_cmd =
+  let run kind bits load delay =
+    let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
+    match build_first ~kind ~req with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok info -> (
+      let nl = info.Smart.Macro.netlist in
+      match Smart.Sizer.size tech nl (Smart.Constraints.spec delay) with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok o ->
+        Printf.printf "%s sized to %.1f ps (spec %.1f):\n" (Smart.Macro.name info)
+          o.Smart.Sizer.achieved_delay delay;
+        Printf.printf "  total width %.1f um, clock load %.1f um, %d GP Newton steps\n"
+          o.Smart.Sizer.total_width o.Smart.Sizer.clock_load_width
+          o.Smart.Sizer.gp_newton_iterations;
+        List.iter
+          (fun (l, w) -> Printf.printf "  %-10s %6.2f um\n" l w)
+          o.Smart.Sizer.sizing;
+        0)
+  in
+  Cmd.v (Cmd.info "size" ~doc:"Size one macro to a delay specification")
+    Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg)
+
+(* ---------------- paths ---------------- *)
+
+let paths_cmd =
+  let run kind bits load =
+    let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
+    match build_first ~kind ~req with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok info ->
+      let nl = info.Smart.Macro.netlist in
+      let _, stats = Smart.Paths.extract nl in
+      Printf.printf "%s: %d instances, %d transistors\n" (Smart.Macro.name info)
+        (Smart.Circuit.instance_count nl)
+        (Smart.Circuit.device_count nl);
+      Printf.printf "exhaustive paths:  %.0f\n" stats.Smart.Paths.exhaustive_paths;
+      Printf.printf "reduced paths:     %d\n" stats.Smart.Paths.reduced_paths;
+      Printf.printf "net classes:       %d\n" stats.Smart.Paths.class_count;
+      Printf.printf "reduction factor:  %.0fx\n" stats.Smart.Paths.reduction_factor;
+      0
+  in
+  Cmd.v (Cmd.info "paths" ~doc:"Show §5.2 path statistics for a macro")
+    Term.(const run $ kind_arg $ bits_arg $ load_arg)
+
+(* ---------------- sweep ---------------- *)
+
+let sweep_cmd =
+  let points_arg =
+    Arg.(value & opt int 6 & info [ "points" ] ~docv:"N" ~doc:"Sweep points.")
+  in
+  let run kind bits load points =
+    let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
+    match build_first ~kind ~req with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok info ->
+      let pts =
+        Smart.Explore.sweep_area_delay ~points tech info.Smart.Macro.netlist
+          (Smart.Constraints.spec 1e6)
+      in
+      (match pts with
+      | [] ->
+        prerr_endline "sweep failed";
+        1
+      | (d0, _) :: _ ->
+        Printf.printf "%12s %12s %12s\n" "target ps" "norm delay" "width um";
+        List.iter
+          (fun (d, a) -> Printf.printf "%12.1f %12.3f %12.0f\n" d (d /. d0) a)
+          pts;
+        0)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Area-delay sweep of a macro (Figure 6 style)")
+    Term.(const run $ kind_arg $ bits_arg $ load_arg $ points_arg)
+
+(* ---------------- spice ---------------- *)
+
+let spice_cmd =
+  let run kind bits load delay =
+    let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
+    match build_first ~kind ~req with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok info -> (
+      let nl = info.Smart.Macro.netlist in
+      match Smart.Sizer.size tech nl (Smart.Constraints.spec delay) with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok o ->
+        print_string (Smart.Spice.subckt nl ~sizing:o.Smart.Sizer.sizing_fn);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "spice" ~doc:"Size a macro and dump the transistor-level SPICE deck")
+    Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg)
+
+let () =
+  let doc = "SMART -- macro-driven circuit design advisor (DAC 2000 reproduction)" in
+  let info = Cmd.info "smart_cli" ~version:Smart.version ~doc in
+  exit (Cmd.eval' (Cmd.group info [ db_cmd; advise_cmd; size_cmd; paths_cmd; sweep_cmd; spice_cmd ]))

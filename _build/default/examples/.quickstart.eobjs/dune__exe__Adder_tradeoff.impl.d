@@ -1,0 +1,1 @@
+examples/adder_tradeoff.ml: Array List Printf Smart_core Sys

@@ -1,0 +1,1 @@
+examples/adder_tradeoff.mli:

@@ -1,0 +1,1 @@
+examples/block_power.ml: List Printf Smart_core

@@ -1,0 +1,1 @@
+examples/bypass_mux.mli:

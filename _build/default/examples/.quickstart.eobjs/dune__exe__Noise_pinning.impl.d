@@ -1,0 +1,1 @@
+examples/noise_pinning.ml: Printf Smart_core

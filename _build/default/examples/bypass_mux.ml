@@ -1,0 +1,33 @@
+(* Execution-unit bypass network: the §1 motivation -- wide muxes in short
+   pipeline stages.  An 8-way bypass mux drives a long result bus (heavy
+   load).  We compare the advice under the three §6 cost metrics: pure
+   area, power (clock-conscious), and clock load.
+
+   Run with:  dune exec examples/bypass_mux.exe *)
+
+module Smart = Smart_core.Smart
+
+let () =
+  let tech = Smart.Tech.default in
+  let db = Smart.Database.builtins () in
+  (* Long interconnect to the consumers: 80 fF, the regime the paper says
+     tri-state muxes exist for. *)
+  let requirements = Smart.Database.requirements ~ext_load:80. 8 in
+  let spec = Smart.Constraints.spec 180. in
+  Printf.printf "bypass mux: 8 inputs, 80 fF bus, %g ps budget\n"
+    spec.Smart.Constraints.target_delay;
+  List.iter
+    (fun metric ->
+      Printf.printf "\n--- metric: %s ---\n" (Smart.Explore.metric_to_string metric);
+      match Smart.advise ~metric ~db ~kind:"mux" ~requirements tech spec with
+      | Error msg -> Printf.printf "  no solution: %s\n" msg
+      | Ok advice ->
+        List.iteri
+          (fun rank (c : Smart.Explore.candidate) ->
+            Printf.printf "  %d. %-32s width %7.1f um  clock %6.1f um  power %7.1f uW\n"
+              (rank + 1) c.Smart.Explore.entry_name
+              c.Smart.Explore.outcome.Smart.Sizer.total_width
+              c.Smart.Explore.outcome.Smart.Sizer.clock_load_width
+              c.Smart.Explore.power_report.Smart.Power.total_uw)
+          advice.Smart.ranking.Smart.Explore.ranked)
+    [ Smart.Explore.Area; Smart.Explore.Power; Smart.Explore.Clock_load ]

@@ -1,0 +1,84 @@
+(* Extending the design database (§3(i)): a designer adds their own mux
+   topology -- a two-level tree of 2:1 encoded pass-gate muxes -- and lets
+   SMART weigh it against the stock §4 topologies.
+
+   Run with:  dune exec examples/custom_macro.exe *)
+
+module Smart = Smart_core.Smart
+module B = Smart.Circuit.Builder
+module Cell = Smart.Cell
+
+(* A 4:1 mux as a tree of 2:1 encoded stages.  Selects are the encoded
+   pair (s0 low bit, s1 high bit); labels follow the stage structure. *)
+let tree_mux4 ~ext_load =
+  let b = B.create "mux4_tree" in
+  let ins = List.init 4 (fun i -> B.input b (Printf.sprintf "in%d" i)) in
+  let s0 = B.input b "s0" in
+  let s1 = B.input b "s1" in
+  let out = B.output b "out" in
+  let stage ~group ~labels:(pdrv, ndrv, pass, pout, nout) name a bb sel out =
+    (* Encoded 2:1: driver inverters, N-pass / P-pass pair, output driver. *)
+    let da = B.wire b (name ^ "_da") in
+    let db_ = B.wire b (name ^ "_db") in
+    let mid = B.wire b (name ^ "_m") in
+    B.inst b ~group ~name:(name ^ "_d0") ~cell:(Cell.inverter ~p:pdrv ~n:ndrv)
+      ~inputs:[ ("a", a) ] ~out:da ();
+    B.inst b ~group ~name:(name ^ "_d1") ~cell:(Cell.inverter ~p:pdrv ~n:ndrv)
+      ~inputs:[ ("a", bb) ] ~out:db_ ();
+    B.inst b ~group ~name:(name ^ "_pn")
+      ~cell:(Cell.Passgate { style = Cell.N_only; label = pass })
+      ~inputs:[ ("d", da); ("s", sel) ] ~out:mid ();
+    B.inst b ~group ~name:(name ^ "_pp")
+      ~cell:(Cell.Passgate { style = Cell.P_only; label = pass })
+      ~inputs:[ ("d", db_); ("s", sel) ] ~out:mid ();
+    B.inst b ~group ~name:(name ^ "_o") ~cell:(Cell.inverter ~p:pout ~n:nout)
+      ~inputs:[ ("a", mid) ] ~out ()
+  in
+  let m0 = B.wire b "m0" in
+  let m1 = B.wire b "m1" in
+  (* select = 1 picks the first data input of an encoded stage. *)
+  stage ~group:"l0" ~labels:("P1", "N1", "N2", "P3", "N3") "u0"
+    (List.nth ins 0) (List.nth ins 1) s0 m0;
+  stage ~group:"l0" ~labels:("P1", "N1", "N2", "P3", "N3") "u1"
+    (List.nth ins 2) (List.nth ins 3) s0 m1;
+  stage ~group:"l1" ~labels:("P4", "N4", "N5", "P6", "N6") "u2" m0 m1 s1 out;
+  B.ext_load b out ext_load;
+  Smart.Macro.make ~kind:"mux" ~variant:"tree-of-encoded-2to1" ~bits:4 (B.freeze b)
+
+let () =
+  let tech = Smart.Tech.default in
+  let db = Smart.Database.builtins () in
+  (* The expandability hook: once registered, the custom topology competes
+     in every future exploration. *)
+  Smart.Database.register db
+    {
+      Smart.Database.entry_name = "mux/tree-of-encoded";
+      kind = "mux";
+      description = "designer-provided 2-level tree of encoded 2:1 stages";
+      applicable = (fun req -> req.Smart.Database.bits = 4);
+      build = (fun req -> tree_mux4 ~ext_load:req.Smart.Database.ext_load);
+    };
+  (* Sanity: the custom macro computes the right function. *)
+  let info = tree_mux4 ~ext_load:20. in
+  List.iteri
+    (fun sel _ ->
+      let ins =
+        List.init 4 (fun i -> (Printf.sprintf "in%d" i, i = sel))
+        @ [ ("s0", sel mod 2 = 0); ("s1", sel < 2) ]
+      in
+      let out = List.assoc "out" (Smart.Sim.eval_bits info.Smart.Macro.netlist ins) in
+      assert (Smart.Logic.equal out Smart.Logic.V1))
+    [ 0; 1; 2; 3 ];
+  print_endline "custom macro verified against its truth table";
+  let requirements = Smart.Database.requirements ~ext_load:20. 4 in
+  match
+    Smart.advise ~db ~kind:"mux" ~requirements tech (Smart.Constraints.spec 130.)
+  with
+  | Error msg -> Printf.printf "no solution: %s\n" msg
+  | Ok advice ->
+    Printf.printf "\nranking with the custom entry competing:\n";
+    List.iteri
+      (fun rank (c : Smart.Explore.candidate) ->
+        Printf.printf "  %d. %-30s %7.1f um\n" (rank + 1) c.Smart.Explore.entry_name
+          c.Smart.Explore.outcome.Smart.Sizer.total_width)
+      advice.Smart.ranking.Smart.Explore.ranked

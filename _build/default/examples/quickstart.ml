@@ -1,0 +1,40 @@
+(* Quickstart: ask SMART for a 4-to-1 mux meeting a 120 ps budget into a
+   30 fF load, and print the advised solutions.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Smart = Smart_core.Smart
+
+let () =
+  let tech = Smart.Tech.default in
+  let db = Smart.Database.builtins () in
+  (* The instance's environment: 4 inputs, 30 fF of output load, and the
+     selects are guaranteed one-hot by the surrounding control logic. *)
+  let requirements =
+    Smart.Database.requirements ~ext_load:30. ~strongly_mutexed_selects:true 4
+  in
+  let spec = Smart.Constraints.spec 120. in
+  Printf.printf "SMART %s -- advising a 4:1 mux, %g ps, %g fF\n\n"
+    Smart.version spec.Smart.Constraints.target_delay 30.;
+  match Smart.advise ~db ~kind:"mux" ~requirements tech spec with
+  | Error msg -> Printf.printf "no solution: %s\n" msg
+  | Ok advice ->
+    Printf.printf "%-34s %9s %9s %9s %8s\n" "topology" "delay ps" "width um"
+      "clock um" "power uW";
+    List.iter
+      (fun (c : Smart.Explore.candidate) ->
+        Printf.printf "%-34s %9.1f %9.1f %9.1f %8.1f\n" c.Smart.Explore.entry_name
+          c.Smart.Explore.outcome.Smart.Sizer.achieved_delay
+          c.Smart.Explore.outcome.Smart.Sizer.total_width
+          c.Smart.Explore.outcome.Smart.Sizer.clock_load_width
+          c.Smart.Explore.power_report.Smart.Power.total_uw)
+      advice.Smart.ranking.Smart.Explore.ranked;
+    List.iter
+      (fun (name, reason) -> Printf.printf "%-34s rejected: %s\n" name reason)
+      advice.Smart.ranking.Smart.Explore.rejected;
+    let w = advice.Smart.ranking.Smart.Explore.winner in
+    Printf.printf "\nrecommended: %s\n" w.Smart.Explore.entry_name;
+    Printf.printf "sized labels:\n";
+    List.iter
+      (fun (l, width) -> Printf.printf "  %-6s = %5.2f um\n" l width)
+      w.Smart.Explore.outcome.Smart.Sizer.sizing

@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: Array Float Hashtbl List Smart_circuit Smart_sta Smart_tech String

@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Smart_circuit Smart_tech

@@ -1,0 +1,214 @@
+module Netlist = Smart_circuit.Netlist
+module Cell = Smart_circuit.Cell
+module Tech = Smart_tech.Tech
+module Sta = Smart_sta.Sta
+
+type params = {
+  step : float;
+  margin : float;
+  grid : float;
+  uniform_clock : bool;
+  max_rounds : int;
+}
+
+let default_params =
+  { step = 1.25; margin = 1.15; grid = 0.5; uniform_clock = true; max_rounds = 400 }
+
+type result = {
+  sizing : (string * float) list;
+  sizing_fn : string -> float;
+  achieved_delay : float;
+  precharge_delay : float;
+  total_width : float;
+  clock_load_width : float;
+  rounds : int;
+  met_target : bool;
+}
+
+let clamp tech w = Float.max tech.Tech.w_min (Float.min tech.Tech.w_max w)
+let round_up_to_grid grid w = grid *. Float.ceil ((w /. grid) -. 1e-9)
+
+(* Labels a designer bumps to speed up this cell along a data/evaluate
+   path: drive devices only.  Clock devices (precharge, evaluate foot) are
+   sized by rule of thumb afterwards, never path-tuned. *)
+let drive_labels cell =
+  match cell with
+  | Cell.Domino { pull_down; out_p; out_n; _ } ->
+    (List.map fst (Smart_circuit.Pdn.widths pull_down) @ [ out_p; out_n ])
+    |> List.sort_uniq String.compare
+  | Cell.Static _ | Cell.Passgate _ | Cell.Tristate _ ->
+    List.map fst (Cell.all_widths cell)
+
+let size ?(params = default_params) ~target tech netlist =
+  let widths : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun l -> Hashtbl.replace widths l tech.Tech.w_min)
+    (Netlist.labels netlist);
+  let sizing_fn l = try Hashtbl.find widths l with Not_found -> tech.Tech.w_min in
+  (* Greedy sensitivity-guided critical-path iteration (manual TILOS): each
+     round, try bumping the drive devices of every cell on the critical
+     path and keep only the single most effective bump.  Labels are shared
+     across bit slices, so a blind bump can easily hurt (it loads every
+     slice's driver); the sensitivity check is what a designer's quick
+     re-time provides. *)
+  let rounds = ref 0 in
+  let met = ref false in
+  let stalled = ref false in
+  let bump labels =
+    List.filter_map
+      (fun l ->
+        let w = sizing_fn l in
+        let w' = clamp tech (w *. params.step) in
+        if w' > w then begin
+          Hashtbl.replace widths l w';
+          Some (l, w)
+        end
+        else None)
+      labels
+  in
+  let revert saved = List.iter (fun (l, w) -> Hashtbl.replace widths l w) saved in
+  while (not !met) && (not !stalled) && !rounds < params.max_rounds do
+    incr rounds;
+    let sta = Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn in
+    if sta.Sta.max_delay <= target then met := true
+    else begin
+      let path = Sta.critical_path sta netlist in
+      (* Candidate moves: individual drive labels of cells on the path
+         (fine-grained), plus each cell's whole label set (coarse). *)
+      let candidates =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun ((i : Netlist.instance), _) ->
+               let ls = drive_labels i.Netlist.cell in
+               ls :: List.map (fun l -> [ l ]) ls)
+             path)
+      in
+      let best = ref None in
+      List.iter
+        (fun labels ->
+          let saved = bump labels in
+          if saved <> [] then begin
+            let sta' =
+              Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn
+            in
+            let gain = sta.Sta.max_delay -. sta'.Sta.max_delay in
+            revert saved;
+            match !best with
+            | Some (bg, _) when bg >= gain -> ()
+            | _ -> if gain > 1e-6 then best := Some (gain, labels)
+          end)
+        candidates;
+      match !best with
+      | Some (_, labels) -> ignore (bump labels)
+      | None -> stalled := true
+    end
+  done;
+  (* Area-recovery sweep: walk labels widest-first and shrink any device
+     the timing does not actually need — the "shave what you can" pass a
+     designer runs once the path is closed. *)
+  let recovery_reference =
+    (Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn).Sta.max_delay
+  in
+  (* Dynamic nodes are left alone during recovery: shaving a domino stack
+     late in a project risks charge-sharing and keeper-fight failures, so
+     designers do not. *)
+  let domino_labels =
+    Array.fold_left
+      (fun acc (i : Netlist.instance) ->
+        match i.Netlist.cell with
+        | Cell.Domino _ ->
+          List.fold_left (fun acc (l, _) -> l :: acc) acc (Cell.all_widths i.Netlist.cell)
+        | Cell.Static _ | Cell.Passgate _ | Cell.Tristate _ -> acc)
+      [] netlist.Netlist.instances
+    |> List.sort_uniq String.compare
+  in
+  let improved = ref true in
+  let sweeps = ref 0 in
+  let domino_tbl = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace domino_tbl l ()) domino_labels;
+  while !improved && !sweeps < 10 do
+    improved := false;
+    incr sweeps;
+    (* Designers shave the big devices, not every minimum-width gate: scan
+       only labels meaningfully above minimum, widest first, and at most a
+       few hundred of them (keeps the pass tractable on glue logic with
+       per-gate labels). *)
+    let by_width =
+      List.sort
+        (fun a b -> compare (sizing_fn b) (sizing_fn a))
+        (List.filter
+           (fun l ->
+             (not (Hashtbl.mem domino_tbl l))
+             && sizing_fn l > 1.5 *. tech.Tech.w_min)
+           (Netlist.labels netlist))
+      |> List.filteri (fun i _ -> i < 300)
+    in
+    List.iter
+      (fun l ->
+        let w = sizing_fn l in
+        let w' = Float.max tech.Tech.w_min (w /. params.step) in
+        if w' < w then begin
+          Hashtbl.replace widths l w';
+          let sta = Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn in
+          if sta.Sta.max_delay <= recovery_reference +. 0.1 then improved := true
+          else Hashtbl.replace widths l w
+        end)
+      by_width
+  done;
+  (* Clock devices by designer rule of thumb: the evaluate foot carries
+     every leg's current (1.5x the pull-down width), the precharge device
+     merely has to win its half-cycle (0.75x). *)
+  Array.iter
+    (fun (i : Netlist.instance) ->
+      match i.Netlist.cell with
+      | Cell.Domino { pull_down; precharge; eval; _ } ->
+        let w_pdn =
+          List.fold_left
+            (fun acc (l, _) -> Float.max acc (sizing_fn l))
+            tech.Tech.w_min
+            (Smart_circuit.Pdn.widths pull_down)
+        in
+        let want l w = if w > sizing_fn l then Hashtbl.replace widths l (clamp tech w) in
+        (match eval with Some f -> want f (2.0 *. w_pdn) | None -> ());
+        want precharge (1.0 *. w_pdn)
+      | Cell.Static _ | Cell.Passgate _ | Cell.Tristate _ -> ())
+    netlist.Netlist.instances;
+  (* Conservative margin, then snap up to the layout grid. *)
+  Hashtbl.iter
+    (fun l w ->
+      Hashtbl.replace widths l
+        (clamp tech (round_up_to_grid params.grid (w *. params.margin))))
+    widths;
+  (* Uniform clock-device sizing across the macro. *)
+  if params.uniform_clock then begin
+    let clocked =
+      Array.fold_left
+        (fun acc (i : Netlist.instance) ->
+          List.fold_left
+            (fun acc (l, _) -> l :: acc)
+            acc
+            (Cell.clocked_widths i.Netlist.cell))
+        [] netlist.Netlist.instances
+      |> List.sort_uniq String.compare
+    in
+    match clocked with
+    | [] -> ()
+    | _ ->
+      let biggest =
+        List.fold_left (fun acc l -> Float.max acc (sizing_fn l)) 0. clocked
+      in
+      List.iter (fun l -> Hashtbl.replace widths l biggest) clocked
+  end;
+  let sizing = List.map (fun l -> (l, sizing_fn l)) (Netlist.labels netlist) in
+  let eval_sta = Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn in
+  let pre_sta = Sta.analyze ~mode:Sta.Precharge tech netlist ~sizing:sizing_fn in
+  {
+    sizing;
+    sizing_fn;
+    achieved_delay = eval_sta.Sta.max_delay;
+    precharge_delay = pre_sta.Sta.max_delay;
+    total_width = Netlist.total_width netlist sizing_fn;
+    clock_load_width = Netlist.clock_load_width netlist sizing_fn;
+    rounds = !rounds;
+    met_target = !met;
+  }

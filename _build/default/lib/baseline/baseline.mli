@@ -1,0 +1,51 @@
+(** The "original design" baseline: schedule-constrained manual sizing.
+
+    The paper's comparisons are against hand-sized production circuits,
+    which §2(c) characterises as over-designed: "tight schedule constraints
+    limit design-space exploration, thus resulting in over-design".  This
+    module reproduces that designer systematically, as the greedy
+    critical-path iteration real designers run by hand:
+
+    {ul
+    {- start everything at minimum width;}
+    {- repeat: time the design (golden STA), walk the critical path, bump
+       the drive devices on it by a coarse step — until the target is met
+       or nothing improves;}
+    {- then apply a uniform conservative margin (worst-case corners, noise
+       headroom), snap sizes {e up} to a layout grid (discrete device
+       menus), and size all clock devices (domino precharge/evaluate feet)
+       uniformly to the macro-wide worst requirement — the labour-saving
+       habit SMART's Table 1 clock-load savings come from.}}
+
+    The achieved delay of the baseline (by golden STA) defines the
+    performance target SMART must match, exactly as in §6.1 where PathMill
+    measures the original design's delay before SMART re-sizes it. *)
+
+type params = {
+  step : float;  (** per-round upsize multiplier on critical devices *)
+  margin : float;  (** final uniform over-design multiplier *)
+  grid : float;  (** layout grid; widths round up to multiples, µm *)
+  uniform_clock : bool;  (** size all clocked devices to the macro max *)
+  max_rounds : int;  (** cap on greedy iterations *)
+}
+
+val default_params : params
+
+type result = {
+  sizing : (string * float) list;
+  sizing_fn : string -> float;
+  achieved_delay : float;  (** golden STA evaluate delay, ps *)
+  precharge_delay : float;  (** golden STA worst precharge arrival, ps *)
+  total_width : float;
+  clock_load_width : float;
+  rounds : int;  (** greedy iterations used *)
+  met_target : bool;
+}
+
+val size :
+  ?params:params ->
+  target:float ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  result
+(** Deterministic manual-style sizing of a netlist toward [target] ps. *)

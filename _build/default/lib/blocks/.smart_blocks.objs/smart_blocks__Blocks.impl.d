@@ -1,0 +1,1 @@
+lib/blocks/blocks.ml: Array Hashtbl List Printf Smart_baseline Smart_circuit Smart_constraints Smart_macros Smart_power Smart_sizer Smart_sta Smart_tech Smart_util

@@ -1,0 +1,1 @@
+lib/blocks/blocks.mli: Smart_macros Smart_sizer Smart_tech

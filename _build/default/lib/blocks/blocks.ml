@@ -1,0 +1,190 @@
+module Err = Smart_util.Err
+module Rng = Smart_util.Rng
+module Tech = Smart_tech.Tech
+module Netlist = Smart_circuit.Netlist
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+module Macro = Smart_macros.Macro
+module Constraints = Smart_constraints.Constraints
+module Sizer = Smart_sizer.Sizer
+module Baseline = Smart_baseline.Baseline
+module Power = Smart_power.Power
+
+type component = { comp_name : string; macro : Macro.info; is_macro : bool }
+type t = { block_name : string; components : component list }
+
+let build ~name ~macros ~filler =
+  {
+    block_name = name;
+    components =
+      List.map (fun (n, m) -> { comp_name = n; macro = m; is_macro = true }) macros
+      @ List.mapi
+          (fun k m ->
+            {
+              comp_name = Printf.sprintf "glue%d" k;
+              macro = m;
+              is_macro = false;
+            })
+          filler;
+  }
+
+(* Levelised random static logic.  Each gate reads 1-3 nets from earlier
+   levels; nets nothing reads become primary outputs, so the netlist always
+   validates. *)
+let random_logic ~seed ~name ~gates =
+  if gates < 1 then Err.fail "Blocks.random_logic: gates >= 1";
+  let rng = Rng.create seed in
+  let b = B.create name in
+  let n_inputs = max 4 (gates / 8) in
+  let pool =
+    ref (List.init n_inputs (fun i -> B.input b (Printf.sprintf "in%d" i)))
+  in
+  let unread = Hashtbl.create 64 in
+  for g = 0 to gates - 1 do
+    let fanin = 1 + Rng.int rng 3 in
+    let pool_arr = Array.of_list !pool in
+    let ins =
+      List.init fanin (fun _ ->
+          let n = Rng.choose rng pool_arr in
+          Hashtbl.remove unread n;
+          n)
+      |> List.sort_uniq compare
+    in
+    let fanin = List.length ins in
+    let out = B.wire b (Printf.sprintf "w%d" g) in
+    let p = Printf.sprintf "g%dp" g and n = Printf.sprintf "g%dn" g in
+    let cell =
+      match fanin with
+      | 1 -> Cell.inverter ~p ~n
+      | k -> if Rng.bool rng then Cell.nand ~inputs:k ~p ~n else Cell.nor ~inputs:k ~p ~n
+    in
+    B.inst b ~group:"glue" ~name:(Printf.sprintf "rg%d" g) ~cell
+      ~inputs:(List.mapi (fun j net -> ((if fanin = 1 then "a" else Printf.sprintf "a%d" j), net)) ins)
+      ~out ();
+    Hashtbl.replace unread out ();
+    pool := out :: !pool
+  done;
+  (* Re-drive every unread net out of the block through a named output. *)
+  let k = ref 0 in
+  Hashtbl.iter
+    (fun net () ->
+      let out = B.output b (Printf.sprintf "out%d" !k) in
+      let p = Printf.sprintf "o%dp" !k and n = Printf.sprintf "o%dn" !k in
+      B.inst b ~group:"glue" ~name:(Printf.sprintf "ro%d" !k)
+        ~cell:(Cell.inverter ~p ~n)
+        ~inputs:[ ("a", net) ]
+        ~out ();
+      B.ext_load b out 10.;
+      incr k)
+    unread;
+  Macro.make ~kind:"random-logic" ~variant:"levelised-glue" ~bits:gates
+    (B.freeze b)
+
+type totals = {
+  width : float;
+  clock_width : float;
+  power_uw : float;
+  devices : int;
+  macro_width : float;
+  macro_power_uw : float;
+}
+
+type study = {
+  block : t;
+  original : totals;
+  improved : totals;
+  width_saving_pct : float;
+  power_saving_pct : float;
+  macro_width_fraction : float;
+  macro_power_fraction : float;
+  timing_regressions : (string * float * float) list;
+}
+
+let zero_totals =
+  {
+    width = 0.;
+    clock_width = 0.;
+    power_uw = 0.;
+    devices = 0;
+    macro_width = 0.;
+    macro_power_uw = 0.;
+  }
+
+let add_component totals tech (c : component) sizing_fn =
+  let nl = c.macro.Macro.netlist in
+  let w = Netlist.total_width nl sizing_fn in
+  let p = (Power.estimate tech nl ~sizing:sizing_fn).Power.total_uw in
+  {
+    width = totals.width +. w;
+    clock_width = totals.clock_width +. Netlist.clock_load_width nl sizing_fn;
+    power_uw = totals.power_uw +. p;
+    devices = totals.devices + Netlist.device_count nl;
+    macro_width = (totals.macro_width +. if c.is_macro then w else 0.);
+    macro_power_uw = (totals.macro_power_uw +. if c.is_macro then p else 0.);
+  }
+
+let apply_smart ?sizer_options ?(target_slack = 1.2) tech block =
+  let sizer_options =
+    match sizer_options with Some o -> o | None -> Sizer.default_options
+  in
+  let original = ref zero_totals in
+  let improved = ref zero_totals in
+  let regressions = ref [] in
+  List.iter
+    (fun (c : component) ->
+      let nl = c.macro.Macro.netlist in
+      let target =
+        if c.is_macro then
+          match
+            Sizer.minimize_delay ~options:sizer_options tech nl
+              (Constraints.spec 1e6)
+          with
+          | Ok md -> target_slack *. md.Sizer.golden_min
+          | Error _ -> 1e6
+        else begin
+          (* Random logic is never SMART-sized, so no GP anchor is needed:
+             the designer pushes it to ~75% of its min-width delay. *)
+          let module Sta = Smart_sta.Sta in
+          let d0 =
+            (Sta.analyze tech nl ~sizing:(fun _ -> tech.Smart_tech.Tech.w_min))
+              .Sta.max_delay
+          in
+          0.75 *. d0
+        end
+      in
+      let bl =
+        (* Glue logic gets a lighter manual pass: designers do not iterate
+           hundreds of rounds on random control gates. *)
+        let params =
+          if c.is_macro then Baseline.default_params
+          else { Baseline.default_params with Baseline.max_rounds = 80 }
+        in
+        Baseline.size ~params ~target tech nl
+      in
+      original := add_component !original tech c bl.Baseline.sizing_fn;
+      if not c.is_macro then improved := add_component !improved tech c bl.Baseline.sizing_fn
+      else begin
+        let spec = Constraints.spec bl.Baseline.achieved_delay in
+        match Sizer.size ~options:sizer_options tech nl spec with
+        | Error _ ->
+          (* SMART could not certify this macro; the original stays. *)
+          improved := add_component !improved tech c bl.Baseline.sizing_fn
+        | Ok o ->
+          improved := add_component !improved tech c o.Sizer.sizing_fn;
+          if o.Sizer.achieved_delay > bl.Baseline.achieved_delay *. 1.02 then
+            regressions :=
+              (c.comp_name, bl.Baseline.achieved_delay, o.Sizer.achieved_delay)
+              :: !regressions
+      end)
+    block.components;
+  let o = !original and i = !improved in
+  {
+    block;
+    original = o;
+    improved = i;
+    width_saving_pct = 100. *. (1. -. (i.width /. o.width));
+    power_saving_pct = 100. *. (1. -. (i.power_uw /. o.power_uw));
+    macro_width_fraction = o.macro_width /. o.width;
+    macro_power_fraction = o.macro_power_uw /. o.power_uw;
+    timing_regressions = List.rev !regressions;
+  }

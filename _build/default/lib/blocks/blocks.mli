@@ -1,0 +1,65 @@
+(** Functional-block assembly for the §6.4 / Table 2 experiments.
+
+    A block is a set of components: datapath {e macros} (from the design
+    database) plus {e random logic} — the irregular control/glue that
+    SMART does not touch.  The paper's block experiments apply SMART to
+    the macros only and report whole-block width/power changes; the block
+    outcome is therefore governed by the macro share of the block, which
+    this module makes an explicit knob.
+
+    Components are sized independently (they are separate timing
+    end-points), so a block never needs a merged netlist: totals are sums
+    over components. *)
+
+type component = {
+  comp_name : string;
+  macro : Smart_macros.Macro.info;
+  is_macro : bool;  (** SMART is applied only when true *)
+}
+
+type t = { block_name : string; components : component list }
+
+val build :
+  name:string ->
+  macros:(string * Smart_macros.Macro.info) list ->
+  filler:Smart_macros.Macro.info list ->
+  t
+
+val random_logic :
+  seed:int -> name:string -> gates:int -> Smart_macros.Macro.info
+(** Deterministic random static logic: levelised NAND/NOR/INV network with
+    per-gate (unshared) size labels — the no-regularity glue that real
+    blocks contain.  [gates >= 1]. *)
+
+type totals = {
+  width : float;  (** µm *)
+  clock_width : float;
+  power_uw : float;
+  devices : int;
+  macro_width : float;  (** macro share of [width] *)
+  macro_power_uw : float;
+}
+
+type study = {
+  block : t;
+  original : totals;
+  improved : totals;
+  width_saving_pct : float;
+  power_saving_pct : float;
+  macro_width_fraction : float;  (** of the original *)
+  macro_power_fraction : float;
+  timing_regressions : (string * float * float) list;
+      (** component, original delay, improved delay — non-empty only if a
+          macro got slower, which the §6.4 experiment verifies against *)
+}
+
+val apply_smart :
+  ?sizer_options:Smart_sizer.Sizer.options ->
+  ?target_slack:float ->
+  Smart_tech.Tech.t ->
+  t ->
+  study
+(** Size every component with the manual baseline (aggressive target =
+    [target_slack] × its fastest GP delay, default 1.2), then re-size the
+    macros with SMART at each macro's achieved baseline delay.  Random
+    logic keeps its baseline sizing.  Reports paper-style block totals. *)

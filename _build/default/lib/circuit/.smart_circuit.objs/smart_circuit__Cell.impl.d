@@ -1,0 +1,1 @@
+lib/circuit/cell.ml: Family Format Hashtbl List Option Pdn Printf Smart_util String

@@ -1,0 +1,1 @@
+lib/circuit/cell.mli: Family Format Pdn

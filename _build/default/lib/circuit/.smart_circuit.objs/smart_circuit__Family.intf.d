@@ -1,0 +1,1 @@
+lib/circuit/family.mli: Format

@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Cell Family Format Hashtbl List Queue Seq Smart_util String

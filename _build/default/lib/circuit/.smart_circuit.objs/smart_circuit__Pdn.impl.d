@@ -1,0 +1,1 @@
+lib/circuit/pdn.ml: Format Hashtbl List Smart_util String

@@ -1,0 +1,1 @@
+lib/circuit/pdn.mli: Format

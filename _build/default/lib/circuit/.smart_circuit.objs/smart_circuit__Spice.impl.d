@@ -1,0 +1,1 @@
+lib/circuit/spice.ml: Array Buffer Cell List Netlist Pdn Printf Smart_util String

@@ -1,0 +1,224 @@
+module Err = Smart_util.Err
+
+type pass_style = Cmos_tgate | N_only | P_only
+
+type kind =
+  | Static of { gate_name : string; pull_down : Pdn.t; p_label : string }
+  | Passgate of { style : pass_style; label : string }
+  | Tristate of { p_label : string; n_label : string }
+  | Domino of {
+      gate_name : string;
+      pull_down : Pdn.t;
+      precharge : string;
+      eval : string option;
+      out_p : string;
+      out_n : string;
+      keeper : bool;
+    }
+
+let passgate_inv_p_ratio = 0.5
+let passgate_inv_n_ratio = 0.25
+let tristate_inv_p_ratio = 0.5
+let tristate_inv_n_ratio = 0.25
+let keeper_ratio = 0.15
+
+let inverter ~p ~n =
+  Static { gate_name = "inv"; pull_down = Pdn.leaf ~pin:"a" ~label:n; p_label = p }
+
+let pin_names inputs = List.init inputs (fun i -> Printf.sprintf "a%d" i)
+
+let nand ~inputs ~p ~n =
+  if inputs < 2 then Err.fail "Cell.nand: needs >= 2 inputs";
+  Static
+    {
+      gate_name = Printf.sprintf "nand%d" inputs;
+      pull_down =
+        Pdn.series (List.map (fun pin -> Pdn.leaf ~pin ~label:n) (pin_names inputs));
+      p_label = p;
+    }
+
+let nor ~inputs ~p ~n =
+  if inputs < 2 then Err.fail "Cell.nor: needs >= 2 inputs";
+  Static
+    {
+      gate_name = Printf.sprintf "nor%d" inputs;
+      pull_down =
+        Pdn.parallel
+          (List.map (fun pin -> Pdn.leaf ~pin ~label:n) (pin_names inputs));
+      p_label = p;
+    }
+
+let aoi21 ~p ~n =
+  Static
+    {
+      gate_name = "aoi21";
+      pull_down =
+        Pdn.parallel
+          [
+            Pdn.series [ Pdn.leaf ~pin:"a0" ~label:n; Pdn.leaf ~pin:"a1" ~label:n ];
+            Pdn.leaf ~pin:"b" ~label:n;
+          ];
+      p_label = p;
+    }
+
+let oai21 ~p ~n =
+  Static
+    {
+      gate_name = "oai21";
+      pull_down =
+        Pdn.series
+          [
+            Pdn.parallel [ Pdn.leaf ~pin:"a0" ~label:n; Pdn.leaf ~pin:"a1" ~label:n ];
+            Pdn.leaf ~pin:"b" ~label:n;
+          ];
+      p_label = p;
+    }
+
+let family = function
+  | Static _ -> Family.Static_cmos
+  | Passgate _ -> Family.Pass
+  | Tristate _ -> Family.Tristate_drv
+  | Domino { eval = Some _; _ } -> Family.Domino_d1
+  | Domino { eval = None; _ } -> Family.Domino_d2
+
+let gate_name = function
+  | Static { gate_name; _ } | Domino { gate_name; _ } -> gate_name
+  | Passgate { style = Cmos_tgate; _ } -> "tgate"
+  | Passgate { style = N_only; _ } -> "npass"
+  | Passgate { style = P_only; _ } -> "ppass"
+  | Tristate _ -> "tristate"
+
+let input_pins = function
+  | Static { pull_down; _ } | Domino { pull_down; _ } -> Pdn.pins pull_down
+  | Passgate _ -> [ "d"; "s" ]
+  | Tristate _ -> [ "d"; "en" ]
+
+let has_clock = function
+  | Domino _ -> true
+  | Static _ | Passgate _ | Tristate _ -> false
+
+let inverting = function
+  | Static _ | Tristate _ -> true
+  | Passgate _ | Domino _ -> false
+
+let merge_widths ws =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (l, m) ->
+      let cur = try Hashtbl.find tbl l with Not_found -> 0. in
+      Hashtbl.replace tbl l (cur +. m))
+    ws;
+  Hashtbl.fold (fun l m acc -> (l, m) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let all_widths = function
+  | Static { pull_down; p_label; _ } ->
+    (* One PMOS per pull-down leaf (complementary dual). *)
+    merge_widths
+      ((p_label, float_of_int (Pdn.device_count pull_down)) :: Pdn.widths pull_down)
+  | Passgate { style; label } ->
+    let pass = match style with Cmos_tgate -> 2. | N_only | P_only -> 1. in
+    let inv =
+      match style with
+      | Cmos_tgate -> passgate_inv_p_ratio +. passgate_inv_n_ratio
+      | N_only | P_only -> 0.
+    in
+    [ (label, pass +. inv) ]
+  | Tristate { p_label; n_label } ->
+    merge_widths
+      [
+        (p_label, 2. +. tristate_inv_p_ratio);
+        (n_label, 2. +. tristate_inv_n_ratio);
+      ]
+  | Domino { pull_down; precharge; eval; out_p; out_n; keeper; _ } ->
+    let foot = match eval with Some l -> [ (l, 1.) ] | None -> [] in
+    let keep = if keeper then [ (precharge, keeper_ratio) ] else [] in
+    merge_widths
+      ((precharge, 1.) :: (out_p, 1.) :: (out_n, 1.)
+      :: (foot @ keep @ Pdn.widths pull_down))
+
+let clocked_widths = function
+  | Domino { precharge; eval; _ } ->
+    let foot = match eval with Some l -> [ (l, 1.) ] | None -> [] in
+    (precharge, 1.) :: foot
+  | Static _ | Passgate _ | Tristate _ -> []
+
+let device_count = function
+  | Static { pull_down; _ } -> 2 * Pdn.device_count pull_down
+  | Passgate { style = Cmos_tgate; _ } -> 4
+  | Passgate _ -> 1
+  | Tristate _ -> 6
+  | Domino { pull_down; eval; keeper; _ } ->
+    Pdn.device_count pull_down + 3
+    + (match eval with Some _ -> 1 | None -> 0)
+    + (if keeper then 1 else 0)
+
+let labels kind = List.map fst (all_widths kind)
+
+let pin_cap_widths kind pin =
+  match kind with
+  | Static { pull_down; p_label; _ } ->
+    let hits = List.filter (fun (p, _) -> p = pin) (Pdn.leaves pull_down) in
+    merge_widths
+      (List.concat_map (fun (_, n_label) -> [ (n_label, 1.); (p_label, 1.) ]) hits)
+  | Passgate { style; label } ->
+    if pin = "s" then
+      match style with
+      | Cmos_tgate ->
+        (* Select drives one pass device directly plus the local inverter,
+           whose output drives the other pass device. *)
+        [ (label, 1. +. passgate_inv_p_ratio +. passgate_inv_n_ratio) ]
+      | N_only | P_only -> [ (label, 1.) ]
+    else []
+  | Tristate { p_label; n_label } ->
+    if pin = "d" then [ (p_label, 1.); (n_label, 1.) ]
+    else if pin = "en" then
+      merge_widths
+        [ (n_label, 1. +. tristate_inv_n_ratio); (p_label, tristate_inv_p_ratio) ]
+    else []
+  | Domino { pull_down; _ } ->
+    let hits = List.filter (fun (p, _) -> p = pin) (Pdn.leaves pull_down) in
+    merge_widths (List.map (fun (_, l) -> (l, 1.)) hits)
+
+let pin_diff_widths kind pin =
+  match kind with
+  | Passgate { style; label } when pin = "d" ->
+    let mult = match style with Cmos_tgate -> 2. | N_only | P_only -> 1. in
+    [ (label, mult) ]
+  | Static _ | Passgate _ | Tristate _ | Domino _ -> []
+
+let rename_labels f = function
+  | Static s -> Static { s with pull_down = Pdn.map_labels f s.pull_down; p_label = f s.p_label }
+  | Passgate p -> Passgate { p with label = f p.label }
+  | Tristate t -> Tristate { p_label = f t.p_label; n_label = f t.n_label }
+  | Domino d ->
+    Domino
+      {
+        d with
+        pull_down = Pdn.map_labels f d.pull_down;
+        precharge = f d.precharge;
+        eval = Option.map f d.eval;
+        out_p = f d.out_p;
+        out_n = f d.out_n;
+      }
+
+let rec dual = function
+  | Pdn.Leaf _ as l -> l
+  | Pdn.Series xs -> Pdn.Parallel (List.map dual xs)
+  | Pdn.Parallel xs -> Pdn.Series (List.map dual xs)
+
+let pp ppf kind =
+  match kind with
+  | Static { gate_name; pull_down; p_label } ->
+    Format.fprintf ppf "static:%s pdn=%a p=%s" gate_name Pdn.pp pull_down p_label
+  | Passgate { style; label } ->
+    let s =
+      match style with Cmos_tgate -> "tgate" | N_only -> "npass" | P_only -> "ppass"
+    in
+    Format.fprintf ppf "pass:%s[%s]" s label
+  | Tristate { p_label; n_label } ->
+    Format.fprintf ppf "tristate[%s/%s]" p_label n_label
+  | Domino { gate_name; pull_down; eval; _ } ->
+    Format.fprintf ppf "domino-%s:%s pdn=%a"
+      (match eval with Some _ -> "D1" | None -> "D2")
+      gate_name Pdn.pp pull_down

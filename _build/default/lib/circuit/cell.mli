@@ -1,0 +1,90 @@
+(** Cells: the schematic components macros are built from.
+
+    A cell is one channel-connected circuit stage — a static CMOS gate, a
+    pass/transmission gate, a tri-state driver, or a domino stage (precharge
+    device + pull-down network + high-skew output inverter).  Cells carry
+    {e size labels}, not widths: a label names a GP variable shared by every
+    device bearing it (§4's P1/N1/N2... labelling).  Fixed internal devices
+    (a pass gate's local select inverter, a tri-state's enable inverter, a
+    domino keeper) are expanded at a documented fixed ratio of the cell's
+    labels, as in the paper. *)
+
+type pass_style =
+  | Cmos_tgate  (** full transmission gate + local select inverter *)
+  | N_only  (** single NMOS pass device (conducts on s = 1) *)
+  | P_only  (** single PMOS pass device (conducts on s = 0) *)
+
+type kind =
+  | Static of { gate_name : string; pull_down : Pdn.t; p_label : string }
+      (** complementary CMOS; pull-up is the dual of [pull_down] with every
+          PMOS sized [p_label]; output = NOT(pdn function) *)
+  | Passgate of { style : pass_style; label : string }
+      (** pins ["d"] (data, a channel connection) and ["s"] (select) *)
+  | Tristate of { p_label : string; n_label : string }
+      (** inverting tri-state driver; pins ["d"] and ["en"] *)
+  | Domino of {
+      gate_name : string;
+      pull_down : Pdn.t;
+      precharge : string;  (** precharge PMOS label *)
+      eval : string option;  (** [Some l]: clocked foot (D1); [None]: D2 *)
+      out_p : string;  (** high-skew output inverter PMOS label *)
+      out_n : string;
+      keeper : bool;
+    }  (** output = pdn function during evaluate, 0 after precharge *)
+
+(** {1 Fixed internal ratios} (relative to the cell's labels) *)
+
+val passgate_inv_p_ratio : float
+val passgate_inv_n_ratio : float
+val tristate_inv_p_ratio : float
+val tristate_inv_n_ratio : float
+val keeper_ratio : float
+
+(** {1 Constructors} *)
+
+val inverter : p:string -> n:string -> kind
+val nand : inputs:int -> p:string -> n:string -> kind
+(** Pins ["a0"] ... ["a<inputs-1>"]. *)
+
+val nor : inputs:int -> p:string -> n:string -> kind
+val aoi21 : p:string -> n:string -> kind
+(** AND-OR-invert: out = NOT((a0 AND a1) OR b); pins ["a0"; "a1"; "b"]. *)
+
+val oai21 : p:string -> n:string -> kind
+(** OR-AND-invert: out = NOT((a0 OR a1) AND b). *)
+
+(** {1 Structural queries} *)
+
+val family : kind -> Family.t
+val gate_name : kind -> string
+val input_pins : kind -> string list
+(** Data and select pins (clock excluded), in declaration order. *)
+
+val has_clock : kind -> bool
+val inverting : kind -> bool
+(** Whether the cell logically inverts from inputs to output (pass gates
+    do not; domino stages do not — their internal inverter is folded in). *)
+
+val all_widths : kind -> (string * float) list
+(** Total device width as (label, multiplicity): the cell's width is
+    [sum_i mult_i * w(label_i)], including fixed-ratio internal devices. *)
+
+val clocked_widths : kind -> (string * float) list
+(** Width presented to the clock net (precharge + evaluate devices). *)
+
+val device_count : kind -> int
+val labels : kind -> string list
+(** Distinct labels, sorted. *)
+
+val pin_cap_widths : kind -> string -> (string * float) list
+(** Gate-capacitance width presented by the given input pin. *)
+
+val pin_diff_widths : kind -> string -> (string * float) list
+(** Diffusion width presented by a channel-connected pin (a pass gate's
+    ["d"]); empty for ordinary gate pins. *)
+
+val rename_labels : (string -> string) -> kind -> kind
+val dual : Pdn.t -> Pdn.t
+(** Series/parallel dual (pull-down -> pull-up structure). *)
+
+val pp : Format.formatter -> kind -> unit

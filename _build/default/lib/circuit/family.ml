@@ -1,0 +1,14 @@
+type t = Static_cmos | Pass | Tristate_drv | Domino_d1 | Domino_d2
+
+let is_dynamic = function
+  | Domino_d1 | Domino_d2 -> true
+  | Static_cmos | Pass | Tristate_drv -> false
+
+let to_string = function
+  | Static_cmos -> "static"
+  | Pass -> "pass"
+  | Tristate_drv -> "tristate"
+  | Domino_d1 -> "domino-D1"
+  | Domino_d2 -> "domino-D2"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,17 @@
+(** Circuit families handled by SMART (§5.3).
+
+    High-performance datapaths mix static CMOS, pass logic, tri-states and
+    domino; the constraint generator and the timer treat each differently
+    (rise/fall for static; data vs. control arcs for pass gates;
+    precharge/evaluate for dynamic, clocked D1 vs. unclocked D2). *)
+
+type t =
+  | Static_cmos  (** complementary static CMOS *)
+  | Pass  (** pass-transistor / transmission-gate logic *)
+  | Tristate_drv  (** tri-state drivers sharing a bus *)
+  | Domino_d1  (** domino with clocked evaluate device *)
+  | Domino_d2  (** domino without clocked evaluate (footless) *)
+
+val is_dynamic : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

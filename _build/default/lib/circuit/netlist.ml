@@ -1,0 +1,307 @@
+module Err = Smart_util.Err
+
+type net_id = int
+type net_kind = Primary_input | Primary_output | Internal | Clock
+type net = { net_id : net_id; net_name : string; net_kind : net_kind }
+
+type instance = {
+  inst_id : int;
+  inst_name : string;
+  group : string;
+  cell : Cell.kind;
+  conns : (string * net_id) list;
+  clk : net_id option;
+  out : net_id;
+}
+
+type t = {
+  name : string;
+  nets : net array;
+  instances : instance array;
+  inputs : net_id list;
+  outputs : net_id list;
+  clock : net_id option;
+  ext_loads : (net_id * float) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Queries (defined first so the builder's freeze can validate)        *)
+(* ------------------------------------------------------------------ *)
+
+let net t id =
+  if id < 0 || id >= Array.length t.nets then
+    Err.fail "Netlist.net: bad id %d in %s" id t.name;
+  t.nets.(id)
+
+let find_net t name =
+  match
+    Array.find_opt (fun n -> n.net_name = name) t.nets
+  with
+  | Some n -> n.net_id
+  | None -> Err.fail "Netlist.find_net: no net %s in %s" name t.name
+
+let drivers t id =
+  Array.to_list (Array.of_seq (Seq.filter (fun i -> i.out = id) (Array.to_seq t.instances)))
+
+let driver t id = match drivers t id with [ i ] -> Some i | _ -> None
+
+let fanout t id =
+  Array.fold_left
+    (fun acc i ->
+      List.fold_left
+        (fun acc (pin, n) -> if n = id then (i, pin) :: acc else acc)
+        acc i.conns)
+    [] t.instances
+  |> List.rev
+
+let fanout_count t id = List.length (fanout t id)
+
+let topo_order t =
+  (* Kahn's algorithm over the instance graph: an edge i -> j when j reads
+     the net i drives.  Clock edges are excluded (they are phase inputs,
+     not combinational dependencies). *)
+  let n = Array.length t.instances in
+  let readers_of_net = Hashtbl.create 64 in
+  Array.iter
+    (fun i ->
+      List.iter
+        (fun (_, nid) ->
+          let cur = try Hashtbl.find readers_of_net nid with Not_found -> [] in
+          Hashtbl.replace readers_of_net nid (i.inst_id :: cur))
+        i.conns)
+    t.instances;
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  Array.iter
+    (fun i ->
+      let readers = try Hashtbl.find readers_of_net i.out with Not_found -> [] in
+      succs.(i.inst_id) <- readers;
+      List.iter (fun j -> indeg.(j) <- indeg.(j) + 1) readers)
+    t.instances;
+  let queue = Queue.create () in
+  Array.iter (fun i -> if indeg.(i.inst_id) = 0 then Queue.add i.inst_id queue) t.instances;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := t.instances.(id) :: !order;
+    incr count;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      succs.(id)
+  done;
+  if !count <> n then Err.fail "Netlist.topo_order: combinational cycle in %s" t.name;
+  List.rev !order
+
+let label_widths t =
+  let tbl = Hashtbl.create 32 in
+  Array.iter
+    (fun i ->
+      List.iter
+        (fun (l, m) ->
+          let cur = try Hashtbl.find tbl l with Not_found -> 0. in
+          Hashtbl.replace tbl l (cur +. m))
+        (Cell.all_widths i.cell))
+    t.instances;
+  Hashtbl.fold (fun l m acc -> (l, m) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let labels t = List.map fst (label_widths t)
+
+let total_width t w =
+  List.fold_left (fun acc (l, m) -> acc +. (m *. w l)) 0. (label_widths t)
+
+let width_by_group t w =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      let g =
+        match String.index_opt i.group '/' with
+        | Some k -> String.sub i.group 0 k
+        | None -> i.group
+      in
+      let width =
+        List.fold_left (fun acc (l, m) -> acc +. (m *. w l)) 0.
+          (Cell.all_widths i.cell)
+      in
+      let cur = try Hashtbl.find tbl g with Not_found -> 0. in
+      Hashtbl.replace tbl g (cur +. width))
+    t.instances;
+  Hashtbl.fold (fun g width acc -> (g, width) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let clock_load_width t w =
+  Array.fold_left
+    (fun acc i ->
+      List.fold_left
+        (fun acc (l, m) -> acc +. (m *. w l))
+        acc
+        (Cell.clocked_widths i.cell))
+    0. t.instances
+
+let device_count t =
+  Array.fold_left (fun acc i -> acc + Cell.device_count i.cell) 0 t.instances
+
+let instance_count t = Array.length t.instances
+
+let relabel_per_instance t =
+  {
+    t with
+    instances =
+      Array.map
+        (fun i ->
+          {
+            i with
+            cell =
+              Cell.rename_labels
+                (fun l -> i.inst_name ^ "." ^ l)
+                i.cell;
+          })
+        t.instances;
+  }
+
+let validate t =
+  let issues = ref [] in
+  let issue fmt = Format.kasprintf (fun s -> issues := s :: !issues) fmt in
+  (* Pin completeness per instance. *)
+  Array.iter
+    (fun i ->
+      let expected = Cell.input_pins i.cell in
+      let got = List.map fst i.conns in
+      List.iter
+        (fun p -> if not (List.mem p got) then issue "%s: pin %s unconnected" i.inst_name p)
+        expected;
+      List.iter
+        (fun p ->
+          if not (List.mem p expected) then issue "%s: unknown pin %s" i.inst_name p)
+        got;
+      if List.length (List.sort_uniq String.compare got) <> List.length got then
+        issue "%s: duplicate pin connection" i.inst_name;
+      if Cell.has_clock i.cell && i.clk = None then
+        issue "%s: clocked cell without clock" i.inst_name)
+    t.instances;
+  (* Net driving discipline. *)
+  Array.iter
+    (fun n ->
+      let ds = drivers t n.net_id in
+      match n.net_kind with
+      | Primary_input | Clock ->
+        if ds <> [] then issue "net %s: primary input is driven" n.net_name
+      | Primary_output | Internal -> (
+        match ds with
+        | [] -> issue "net %s: undriven" n.net_name
+        | [ _ ] -> ()
+        | many ->
+          (* Shared outputs are legal only for pass gates and tri-states. *)
+          let shareable i =
+            match Cell.family i.cell with
+            | Family.Pass | Family.Tristate_drv -> true
+            | Family.Static_cmos | Family.Domino_d1 | Family.Domino_d2 -> false
+          in
+          if not (List.for_all shareable many) then
+            issue "net %s: multiple non-shareable drivers" n.net_name))
+    t.nets;
+  (* Dangling internal nets. *)
+  Array.iter
+    (fun n ->
+      if n.net_kind = Internal && fanout t n.net_id = [] then
+        issue "net %s: internal net with no reader" n.net_name)
+    t.nets;
+  List.rev !issues
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d nets, %d instances, %d devices, %d labels"
+    t.name (Array.length t.nets) (Array.length t.instances) (device_count t)
+    (List.length (labels t))
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Builder = struct
+  type b = {
+    bname : string;
+    mutable bnets : net list;  (* reversed *)
+    mutable bnet_count : int;
+    mutable binsts : instance list;  (* reversed *)
+    mutable binst_count : int;
+    mutable binputs : net_id list;  (* reversed *)
+    mutable boutputs : net_id list;  (* reversed *)
+    mutable bclock : net_id option;
+    mutable bloads : (net_id * float) list;
+    names : (string, unit) Hashtbl.t;
+  }
+
+  let create bname =
+    {
+      bname;
+      bnets = [];
+      bnet_count = 0;
+      binsts = [];
+      binst_count = 0;
+      binputs = [];
+      boutputs = [];
+      bclock = None;
+      bloads = [];
+      names = Hashtbl.create 64;
+    }
+
+  let add_net b name kind =
+    if Hashtbl.mem b.names name then
+      Err.fail "Netlist.Builder: duplicate net name %s in %s" name b.bname;
+    Hashtbl.add b.names name ();
+    let id = b.bnet_count in
+    b.bnet_count <- id + 1;
+    b.bnets <- { net_id = id; net_name = name; net_kind = kind } :: b.bnets;
+    id
+
+  let input b name =
+    let id = add_net b name Primary_input in
+    b.binputs <- id :: b.binputs;
+    id
+
+  let output b name =
+    let id = add_net b name Primary_output in
+    b.boutputs <- id :: b.boutputs;
+    id
+
+  let wire b name = add_net b name Internal
+
+  let clock b =
+    match b.bclock with
+    | Some id -> id
+    | None ->
+      let id = add_net b "clk" Clock in
+      b.bclock <- Some id;
+      id
+
+  let inst b ?(group = "") ~name ~cell ~inputs ~out () =
+    let clk = if Cell.has_clock cell then Some (clock b) else None in
+    let id = b.binst_count in
+    b.binst_count <- id + 1;
+    b.binsts <-
+      { inst_id = id; inst_name = name; group; cell; conns = inputs; clk; out }
+      :: b.binsts
+
+  let ext_load b id load = b.bloads <- (id, load) :: b.bloads
+
+  let freeze b =
+    let t =
+      {
+        name = b.bname;
+        nets = Array.of_list (List.rev b.bnets);
+        instances = Array.of_list (List.rev b.binsts);
+        inputs = List.rev b.binputs;
+        outputs = List.rev b.boutputs;
+        clock = b.bclock;
+        ext_loads = b.bloads;
+      }
+    in
+    (match validate t with
+    | [] -> ()
+    | issues ->
+      Err.fail "Netlist %s fails validation:@\n%s" t.name (String.concat "\n" issues));
+    t
+end

@@ -1,0 +1,114 @@
+(** Netlists: cells wired together over named nets.
+
+    A netlist is the unit SMART sizes: a macro instance extracted from the
+    datapath together with its environment (external loads, input slopes).
+    Instances carry a hierarchical [group] path — the paper stresses that
+    macro schematics are designed "keeping hierarchy in mind" for layout;
+    groups also drive the regularity signatures used in path pruning. *)
+
+type net_id = int
+
+type net_kind = Primary_input | Primary_output | Internal | Clock
+
+type net = { net_id : net_id; net_name : string; net_kind : net_kind }
+
+type instance = {
+  inst_id : int;
+  inst_name : string;
+  group : string;  (** hierarchical path, e.g. ["bit7/sel"] *)
+  cell : Cell.kind;
+  conns : (string * net_id) list;  (** input pin -> net *)
+  clk : net_id option;
+  out : net_id;
+}
+
+type t = private {
+  name : string;
+  nets : net array;
+  instances : instance array;
+  inputs : net_id list;
+  outputs : net_id list;
+  clock : net_id option;
+  ext_loads : (net_id * float) list;  (** extra fF on a net (usually outputs) *)
+}
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type b
+
+  val create : string -> b
+  val input : b -> string -> net_id
+  val output : b -> string -> net_id
+  val wire : b -> string -> net_id
+  val clock : b -> net_id
+  (** The (single) clock net; created on first use. *)
+
+  val inst :
+    b ->
+    ?group:string ->
+    name:string ->
+    cell:Cell.kind ->
+    inputs:(string * net_id) list ->
+    out:net_id ->
+    unit ->
+    unit
+  (** Add an instance.  Clocked cells are wired to {!clock} automatically.
+      Raises if a pin is missing, duplicated, or unknown to the cell. *)
+
+  val ext_load : b -> net_id -> float -> unit
+  val freeze : b -> t
+  (** Validates (see {!validate}) and returns the immutable netlist. *)
+end
+
+(** {1 Queries} *)
+
+val net : t -> net_id -> net
+val find_net : t -> string -> net_id
+(** Raises if no net has that name. *)
+
+val driver : t -> net_id -> instance option
+(** The unique driver, when there is exactly one. *)
+
+val drivers : t -> net_id -> instance list
+val fanout : t -> net_id -> (instance * string) list
+(** Instances and pins reading a net. *)
+
+val fanout_count : t -> net_id -> int
+val topo_order : t -> instance list
+(** Instances in topological input-to-output order; raises on
+    combinational cycles. *)
+
+val labels : t -> string list
+(** All size labels, sorted. *)
+
+val label_widths : t -> (string * float) list
+(** (label, total multiplicity) over the whole netlist. *)
+
+val total_width : t -> (string -> float) -> float
+(** Total transistor width under a label assignment — the paper's area
+    metric. *)
+
+val width_by_group : t -> (string -> float) -> (string * float) list
+(** Total width per top-level hierarchy group (the prefix of each
+    instance's [group] path), sorted by group name — the layout-oriented
+    breakdown the paper's hierarchy-conscious schematics exist for. *)
+
+val clock_load_width : t -> (string -> float) -> float
+(** Total width of clocked devices — the paper's clock-load metric. *)
+
+val device_count : t -> int
+val instance_count : t -> int
+
+val relabel_per_instance : t -> t
+(** Give every instance its own copies of its size labels
+    ("<instance>.<label>").  Models the least-width-optimal/worst-regularity
+    labelling the paper contrasts with shared labels (§4): most GP
+    variables, no path collapsing. *)
+
+val validate : t -> string list
+(** Structural lint: unconnected pins, undriven or multiply-driven nets
+    (pass/tri-state sharing excepted), dangling wires, clocked cells
+    without a clock.  Empty list = clean. *)
+
+val pp_summary : Format.formatter -> t -> unit

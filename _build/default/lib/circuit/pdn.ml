@@ -1,0 +1,183 @@
+module Err = Smart_util.Err
+
+type t =
+  | Leaf of { pin : string; label : string }
+  | Series of t list
+  | Parallel of t list
+
+let leaf ~pin ~label = Leaf { pin; label }
+
+let series = function
+  | [] -> Err.fail "Pdn.series: empty"
+  | [ x ] -> x
+  | xs ->
+    Series
+      (List.concat_map (function Series ys -> ys | other -> [ other ]) xs)
+
+let parallel = function
+  | [] -> Err.fail "Pdn.parallel: empty"
+  | [ x ] -> x
+  | xs ->
+    Parallel
+      (List.concat_map (function Parallel ys -> ys | other -> [ other ]) xs)
+
+let rec leaves = function
+  | Leaf { pin; label } -> [ (pin, label) ]
+  | Series xs | Parallel xs -> List.concat_map leaves xs
+
+let pins t =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (pin, _) ->
+      if Hashtbl.mem seen pin then None
+      else begin
+        Hashtbl.add seen pin ();
+        Some pin
+      end)
+    (leaves t)
+
+let labels t =
+  List.map snd (leaves t) |> List.sort_uniq String.compare
+
+let device_count t = List.length (leaves t)
+
+let rec max_series_depth = function
+  | Leaf _ -> 1
+  | Series xs -> List.fold_left (fun acc x -> acc + max_series_depth x) 0 xs
+  | Parallel xs ->
+    List.fold_left (fun acc x -> max acc (max_series_depth x)) 0 xs
+
+let widths t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (_, label) ->
+      let cur = try Hashtbl.find tbl label with Not_found -> 0. in
+      Hashtbl.replace tbl label (cur +. 1.))
+    (leaves t);
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let top_widths t =
+  let rec tops = function
+    | Leaf { pin = _; label } -> [ label ]
+    | Series [] -> []
+    | Series (x :: _) -> tops x
+    | Parallel xs -> List.concat_map tops xs
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun label ->
+      let cur = try Hashtbl.find tbl label with Not_found -> 0. in
+      Hashtbl.replace tbl label (cur +. 1.))
+    (tops t);
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Merge resistance-multiplier association lists. *)
+let merge_chains a b =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (l, c) ->
+      let cur = try Hashtbl.find tbl l with Not_found -> 0. in
+      Hashtbl.replace tbl l (cur +. c))
+    (a @ b);
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) tbl []
+  |> List.sort (fun (x, _) (y, _) -> String.compare x y)
+
+let chain_weight chain = List.fold_left (fun acc (_, c) -> acc +. c) 0. chain
+
+let rec worst_series_chain = function
+  | Leaf { label; _ } -> [ (label, 1.) ]
+  | Series xs ->
+    List.fold_left (fun acc x -> merge_chains acc (worst_series_chain x)) [] xs
+  | Parallel xs ->
+    (* Worst conducting case: only the most resistive branch is on. *)
+    let chains = List.map worst_series_chain xs in
+    List.fold_left
+      (fun best c -> if chain_weight c > chain_weight best then c else best)
+      (List.hd chains) (List.tl chains)
+
+let rec series_chain_through t pin =
+  match t with
+  | Leaf { pin = p; label } -> if p = pin then Some [ (label, 1.) ] else None
+  | Series xs ->
+    (* Current flows through every child; the child containing the pin uses
+       its through-chain, the others contribute their own worst chains. *)
+    let hits = List.filter_map (fun x -> series_chain_through x pin) xs in
+    (match hits with
+    | [] -> None
+    | _ ->
+      let through =
+        List.fold_left
+          (fun best c -> if chain_weight c > chain_weight best then c else best)
+          (List.hd hits) (List.tl hits)
+      in
+      let others =
+        List.filter_map
+          (fun x ->
+            match series_chain_through x pin with
+            | Some _ -> None
+            | None -> Some (worst_series_chain x))
+          xs
+      in
+      Some (List.fold_left merge_chains through others))
+  | Parallel xs ->
+    (* Worst case: all sibling branches off, current confined to the branch
+       containing the pin. *)
+    let hits = List.filter_map (fun x -> series_chain_through x pin) xs in
+    (match hits with
+    | [] -> None
+    | c :: cs ->
+      Some
+        (List.fold_left
+           (fun best c' -> if chain_weight c' > chain_weight best then c' else best)
+           c cs))
+
+let rec conducts env = function
+  | Leaf { pin; _ } -> env pin
+  | Series xs -> List.for_all (conducts env) xs
+  | Parallel xs -> List.exists (conducts env) xs
+
+let rec conducts3 env = function
+  | Leaf { pin; _ } -> env pin
+  | Series xs ->
+    List.fold_left
+      (fun acc x ->
+        match (acc, conducts3 env x) with
+        | `F, _ | _, `F -> `F
+        | `X, _ | _, `X -> `X
+        | `T, `T -> `T)
+      `T xs
+  | Parallel xs ->
+    List.fold_left
+      (fun acc x ->
+        match (acc, conducts3 env x) with
+        | `T, _ | _, `T -> `T
+        | `X, _ | _, `X -> `X
+        | `F, `F -> `F)
+      `F xs
+
+let rec map_pins f = function
+  | Leaf { pin; label } -> Leaf { pin = f pin; label }
+  | Series xs -> Series (List.map (map_pins f) xs)
+  | Parallel xs -> Parallel (List.map (map_pins f) xs)
+
+let rec map_labels f = function
+  | Leaf { pin; label } -> Leaf { pin; label = f label }
+  | Series xs -> Series (List.map (map_labels f) xs)
+  | Parallel xs -> Parallel (List.map (map_labels f) xs)
+
+let rec pp ppf = function
+  | Leaf { pin; label } -> Format.fprintf ppf "%s[%s]" pin label
+  | Series xs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " . ")
+         pp)
+      xs
+  | Parallel xs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+         pp)
+      xs

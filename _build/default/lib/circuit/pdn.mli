@@ -1,0 +1,61 @@
+(** Series/parallel transistor networks.
+
+    A pull-down network (PDN) describes the NMOS evaluation tree of a static
+    or domino gate: a leaf is one transistor gated by an input pin and sized
+    by a shared {e label}; [Series]/[Parallel] compose.  The same structure
+    describes complementary pull-ups by duality.
+
+    Labels — not individual devices — are the optimisation variables
+    (§4: labelling for layout regularity). *)
+
+type t =
+  | Leaf of { pin : string; label : string }
+  | Series of t list
+  | Parallel of t list
+
+val leaf : pin:string -> label:string -> t
+val series : t list -> t
+(** Flattens nested series; requires a non-empty list. *)
+
+val parallel : t list -> t
+(** Flattens nested parallels; requires a non-empty list. *)
+
+val leaves : t -> (string * string) list
+(** All (pin, label) pairs, left to right. *)
+
+val pins : t -> string list
+(** Distinct pins, left to right order of first occurrence. *)
+
+val labels : t -> string list
+(** Distinct labels. *)
+
+val device_count : t -> int
+val max_series_depth : t -> int
+(** Height of the tallest transistor stack. *)
+
+val widths : t -> (string * float) list
+(** Total width as (label, multiplicity) pairs — multiplicity counts devices
+    sharing a label. *)
+
+val top_widths : t -> (string * float) list
+(** Widths of only the devices whose drains sit on the network's output
+    node (the first device of each series branch) — what loads a domino
+    node capacitively. *)
+
+val worst_series_chain : t -> (string * float) list
+(** The most resistive conducting root-to-rail chain, as (label, count)
+    resistance multipliers: resistance = sum_i [count_i * r / w(label_i)]. *)
+
+val series_chain_through : t -> string -> (string * float) list option
+(** Worst conducting chain that flows through a device gated by the given
+    pin; [None] if the pin does not appear. *)
+
+val conducts : (string -> bool) -> t -> bool
+(** Boolean conduction under a pin assignment. *)
+
+val conducts3 : (string -> [ `T | `F | `X ]) -> t -> [ `T | `F | `X ]
+(** Three-valued conduction (unknown inputs propagate [`X]). *)
+
+val map_pins : (string -> string) -> t -> t
+val map_labels : (string -> string) -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,224 @@
+module Err = Smart_util.Err
+
+type device = {
+  d_name : string;
+  drain : string;
+  gate : string;
+  source : string;
+  is_p : bool;
+  width : float;
+}
+
+(* Expand a pull-down (or pass) network between [top] and [bottom] into
+   NMOS devices, inventing internal stack nodes as needed.  Series chains
+   thread through fresh nodes; parallel branches share the endpoints. *)
+let expand_pdn ~fresh ~net_of_pin ~width_of ~prefix pdn ~top ~bottom =
+  let devices = ref [] in
+  let k = ref 0 in
+  let rec go pdn top bottom =
+    match pdn with
+    | Pdn.Leaf { pin; label } ->
+      incr k;
+      devices :=
+        {
+          d_name = Printf.sprintf "%s_n%d" prefix !k;
+          drain = top;
+          gate = net_of_pin pin;
+          source = bottom;
+          is_p = false;
+          width = width_of label;
+        }
+        :: !devices
+    | Pdn.Series xs ->
+      let rec chain nodes = function
+        | [] -> ()
+        | [ last ] -> go last (List.hd nodes) bottom
+        | x :: rest ->
+          let mid = fresh () in
+          go x (List.hd nodes) mid;
+          chain (mid :: nodes) rest
+      in
+      chain [ top ] xs
+    | Pdn.Parallel xs -> List.iter (fun x -> go x top bottom) xs
+  in
+  go pdn top bottom;
+  List.rev !devices
+
+(* The complementary pull-up: dual structure between vdd and the output,
+   every device PMOS at the gate's shared p-label width. *)
+let expand_pullup ~fresh ~net_of_pin ~p_width ~prefix pdn ~out ~vdd =
+  let devices = ref [] in
+  let k = ref 0 in
+  let rec go pdn top bottom =
+    match pdn with
+    | Pdn.Leaf { pin; _ } ->
+      incr k;
+      devices :=
+        {
+          d_name = Printf.sprintf "%s_p%d" prefix !k;
+          drain = bottom;
+          gate = net_of_pin pin;
+          source = top;
+          is_p = true;
+          width = p_width;
+        }
+        :: !devices
+    | Pdn.Series xs ->
+      (* Dual of series is parallel. *)
+      List.iter (fun x -> go x top bottom) xs
+    | Pdn.Parallel xs ->
+      let rec chain top = function
+        | [] -> ()
+        | [ last ] -> go last top bottom
+        | x :: rest ->
+          let mid = fresh () in
+          go x top mid;
+          chain mid rest
+      in
+      chain top xs
+  in
+  go pdn vdd out;
+  List.rev !devices
+
+let expand_instance ~fresh ~sizing (netname : Netlist.net_id -> string)
+    (i : Netlist.instance) =
+  let prefix = "m_" ^ i.Netlist.inst_name in
+  let net_of_pin p =
+    match List.assoc_opt p i.Netlist.conns with
+    | Some nid -> netname nid
+    | None -> Err.fail "Spice: pin %s unconnected on %s" p i.Netlist.inst_name
+  in
+  let out = netname i.Netlist.out in
+  let clk =
+    match i.Netlist.clk with Some nid -> netname nid | None -> "clk"
+  in
+  match i.Netlist.cell with
+  | Cell.Static { pull_down; p_label; _ } ->
+    expand_pdn ~fresh ~net_of_pin ~width_of:sizing ~prefix pull_down ~top:out
+      ~bottom:"vss"
+    @ expand_pullup ~fresh ~net_of_pin ~p_width:(sizing p_label) ~prefix
+        pull_down ~out ~vdd:"vdd"
+  | Cell.Passgate { style; label } ->
+    let w = sizing label in
+    let d = net_of_pin "d" and s = net_of_pin "s" in
+    let pass_n sb_gate =
+      { d_name = prefix ^ "_pn"; drain = out; gate = sb_gate; source = d;
+        is_p = false; width = w }
+    in
+    let pass_p sb_gate =
+      { d_name = prefix ^ "_pp"; drain = out; gate = sb_gate; source = d;
+        is_p = true; width = w }
+    in
+    (match style with
+    | Cell.N_only -> [ pass_n s ]
+    | Cell.P_only -> [ pass_p s ]
+    | Cell.Cmos_tgate ->
+      (* Local inverter generates the complement select. *)
+      let sb = fresh () in
+      [
+        pass_n s;
+        pass_p sb;
+        { d_name = prefix ^ "_ivp"; drain = sb; gate = s; source = "vdd";
+          is_p = true; width = Cell.passgate_inv_p_ratio *. w };
+        { d_name = prefix ^ "_ivn"; drain = sb; gate = s; source = "vss";
+          is_p = false; width = Cell.passgate_inv_n_ratio *. w };
+      ])
+  | Cell.Tristate { p_label; n_label } ->
+    let wp = sizing p_label and wn = sizing n_label in
+    let d = net_of_pin "d" and en = net_of_pin "en" in
+    let enb = fresh () in
+    let mid_p = fresh () and mid_n = fresh () in
+    [
+      { d_name = prefix ^ "_p1"; drain = mid_p; gate = d; source = "vdd";
+        is_p = true; width = wp };
+      { d_name = prefix ^ "_p2"; drain = out; gate = enb; source = mid_p;
+        is_p = true; width = wp };
+      { d_name = prefix ^ "_n2"; drain = out; gate = en; source = mid_n;
+        is_p = false; width = wn };
+      { d_name = prefix ^ "_n1"; drain = mid_n; gate = d; source = "vss";
+        is_p = false; width = wn };
+      { d_name = prefix ^ "_ivp"; drain = enb; gate = en; source = "vdd";
+        is_p = true; width = Cell.tristate_inv_p_ratio *. wp };
+      { d_name = prefix ^ "_ivn"; drain = enb; gate = en; source = "vss";
+        is_p = false; width = Cell.tristate_inv_n_ratio *. wn };
+    ]
+  | Cell.Domino { pull_down; precharge; eval; out_p; out_n; keeper; _ } ->
+    let node = fresh () in
+    let pre =
+      { d_name = prefix ^ "_pre"; drain = node; gate = clk; source = "vdd";
+        is_p = true; width = sizing precharge }
+    in
+    let foot_devices, pdn_bottom =
+      match eval with
+      | Some f ->
+        let foot_node = fresh () in
+        ( [ { d_name = prefix ^ "_foot"; drain = foot_node; gate = clk;
+              source = "vss"; is_p = false; width = sizing f } ],
+          foot_node )
+      | None -> ([], "vss")
+    in
+    let pdn =
+      expand_pdn ~fresh ~net_of_pin ~width_of:sizing ~prefix pull_down
+        ~top:node ~bottom:pdn_bottom
+    in
+    let inv =
+      [
+        { d_name = prefix ^ "_op"; drain = out; gate = node; source = "vdd";
+          is_p = true; width = sizing out_p };
+        { d_name = prefix ^ "_on"; drain = out; gate = node; source = "vss";
+          is_p = false; width = sizing out_n };
+      ]
+    in
+    let keep =
+      if keeper then
+        [ { d_name = prefix ^ "_keep"; drain = node; gate = out;
+            source = "vdd"; is_p = true;
+            width = Cell.keeper_ratio *. sizing precharge } ]
+      else []
+    in
+    (pre :: foot_devices) @ pdn @ inv @ keep
+
+let all_devices (t : Netlist.t) ~sizing =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "x%d" !counter
+  in
+  let netname nid =
+    let n = Netlist.net t nid in
+    n.Netlist.net_name
+  in
+  Array.to_list t.Netlist.instances
+  |> List.concat_map (expand_instance ~fresh ~sizing netname)
+
+let subckt ?(lmin_um = 0.18) (t : Netlist.t) ~sizing =
+  let buf = Buffer.create 4096 in
+  let netname nid = (Netlist.net t nid).Netlist.net_name in
+  let ports =
+    List.map netname t.Netlist.inputs
+    @ List.map netname t.Netlist.outputs
+    @ (match t.Netlist.clock with Some c -> [ netname c ] | None -> [])
+    @ [ "vdd"; "vss" ]
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "* SMART export of %s (%d cells, %d devices)\n"
+       t.Netlist.name
+       (Netlist.instance_count t)
+       (Netlist.device_count t));
+  Buffer.add_string buf
+    (Printf.sprintf ".SUBCKT %s %s\n" t.Netlist.name (String.concat " " ports));
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "M%s %s %s %s %s W=%.3fU L=%.2fU\n" d.d_name d.drain
+           d.gate d.source
+           (if d.is_p then "vdd PMOS" else "vss NMOS")
+           d.width lmin_um))
+    (all_devices t ~sizing);
+  Buffer.add_string buf (Printf.sprintf ".ENDS %s\n" t.Netlist.name);
+  Buffer.contents buf
+
+let device_cards t ~sizing = List.length (all_devices t ~sizing)
+
+let total_width_of_deck t ~sizing =
+  List.fold_left (fun acc d -> acc +. d.width) 0. (all_devices t ~sizing)

@@ -1,0 +1,25 @@
+(** SPICE netlist export.
+
+    Expands every cell to its transistors — pull-down networks with their
+    internal stack nodes, complementary pull-ups, pass devices and their
+    local select inverters, tri-state stacks, domino precharge/foot/keeper
+    devices — under a concrete label sizing, and emits a [.SUBCKT] deck.
+
+    The export is the hand-off a sized SMART macro would take into a
+    layout/verification flow, and doubles as an independent witness that
+    the width accounting used throughout the library (label multiplicity ×
+    width) matches an explicit device-by-device expansion: the test suite
+    diffs the two. *)
+
+val subckt : ?lmin_um:float -> Netlist.t -> sizing:(string -> float) -> string
+(** [subckt netlist ~sizing] renders a [.SUBCKT] card (ports: primary
+    inputs, outputs, clock when present, [vdd]/[vss]), one [M...] card per
+    transistor with [W] from the sizing and [L] = [lmin_um] (default
+    0.18 µm), internal stack nodes included.  Deterministic output. *)
+
+val device_cards : Netlist.t -> sizing:(string -> float) -> int
+(** Number of transistor cards {!subckt} emits (tested against
+    [Netlist.device_count]). *)
+
+val total_width_of_deck : Netlist.t -> sizing:(string -> float) -> float
+(** Sum of the [W=] values emitted — must equal [Netlist.total_width]. *)

@@ -1,0 +1,1 @@
+lib/constraints/constraints.ml: Array Float Hashtbl List Printf Smart_circuit Smart_gp Smart_models Smart_paths Smart_posy Smart_tech Smart_util String

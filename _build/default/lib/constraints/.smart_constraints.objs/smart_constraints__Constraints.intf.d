@@ -1,0 +1,1 @@
+lib/constraints/constraints.mli: Smart_circuit Smart_gp Smart_paths Smart_posy Smart_tech

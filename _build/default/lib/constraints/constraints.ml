@@ -1,0 +1,427 @@
+module Err = Smart_util.Err
+module Netlist = Smart_circuit.Netlist
+module Cell = Smart_circuit.Cell
+module Family = Smart_circuit.Family
+module Tech = Smart_tech.Tech
+module Posy = Smart_posy.Posy
+module Monomial = Smart_posy.Monomial
+module Problem = Smart_gp.Problem
+module Arc = Smart_models.Arc
+module Delay = Smart_models.Delay
+module Load = Smart_models.Load
+module Paths = Smart_paths.Paths
+
+type spec = {
+  target_delay : float;
+  precharge_budget : float option;
+  max_slope : float option;
+  input_slope : float option;
+  otb : bool;
+  pinned : (string * float) list;
+}
+
+let spec ?precharge_budget ?max_slope ?input_slope ?(otb = true) ?(pinned = [])
+    target_delay =
+  { target_delay; precharge_budget; max_slope; input_slope; otb; pinned }
+
+type objective = Area | Power_weighted | Clock_load
+
+type result = {
+  problem : Problem.t;
+  area : Posy.t;
+  path_count : int;
+  timing_constraints : int;
+  slope_constraints : int;
+  precharge_constraints : int;
+  stage_constraints : int;
+  dominated_pruned : int;
+}
+
+(* Dominance pruning over a group of same-budget constraints: drop any
+   whose posynomial is dominated term-by-term by a kept one (its constraint
+   is implied).  Longest (most-term) constraints are considered first. *)
+let prune_dominated constraints =
+  let sorted =
+    List.sort
+      (fun (_, p) (_, q) -> compare (Posy.num_terms q) (Posy.num_terms p))
+      constraints
+  in
+  let kept = ref [] in
+  let dropped = ref 0 in
+  List.iter
+    (fun (name, p) ->
+      if List.exists (fun (_, k) -> Posy.dominates k p) !kept then incr dropped
+      else kept := (name, p) :: !kept)
+    sorted;
+  (List.rev !kept, !dropped)
+
+let widths_posy widths =
+  Posy.of_monomials
+    (List.map (fun (l, m) -> Monomial.make m [ (l, 1.) ]) widths)
+
+let area_posy netlist = widths_posy (Netlist.label_widths netlist)
+
+let clocked_widths_of netlist =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (i : Netlist.instance) ->
+      List.iter
+        (fun (l, m) ->
+          let cur = try Hashtbl.find tbl l with Not_found -> 0. in
+          Hashtbl.replace tbl l (cur +. m))
+        (Cell.clocked_widths i.Netlist.cell))
+    netlist.Netlist.instances;
+  Hashtbl.fold (fun l m acc -> (l, m) :: acc) tbl []
+
+let objective_posy objective netlist =
+  let area = area_posy netlist in
+  match objective with
+  | Area -> area
+  | Power_weighted -> (
+    match clocked_widths_of netlist with
+    | [] -> area
+    | cw -> Posy.add area (Posy.scale 3. (widths_posy cw)))
+  | Clock_load -> (
+    let reg = Posy.scale 0.05 area in
+    match clocked_widths_of netlist with
+    | [] -> reg
+    | cw -> Posy.add (widths_posy cw) reg)
+
+(* Enumerate the transition-sense chains a path supports; each chain is one
+   timing constraint.  Control arcs fork (§5.3's four pass-gate
+   constraints); domino eval arcs filter chains to rising. *)
+let sense_chains (netlist : Netlist.t) (p : Paths.path) =
+  ignore netlist;
+  let max_chains = 64 in
+  let initial =
+    match p.Paths.steps with
+    | [] -> []
+    | first :: _ ->
+      let arc = Arc.arc_of_pin first.Paths.s_inst.Netlist.cell first.Paths.s_pin in
+      List.sort_uniq compare (List.map fst arc.Arc.senses)
+  in
+  let chains =
+    List.fold_left
+      (fun chains (step : Paths.step) ->
+        let arc = Arc.arc_of_pin step.Paths.s_inst.Netlist.cell step.Paths.s_pin in
+        let extended =
+          List.concat_map
+            (fun (senses_so_far, cur) ->
+              List.filter_map
+                (fun (i, o) ->
+                  if i = cur then Some (senses_so_far @ [ (i, o) ], o) else None)
+                arc.Arc.senses)
+            chains
+        in
+        if List.length extended > max_chains then
+          List.filteri (fun k _ -> k < max_chains) extended
+        else extended)
+      (List.map (fun s -> ([], s)) initial)
+      p.Paths.steps
+  in
+  List.map fst chains
+
+let delay_variable = "delay$"
+
+let generate_internal ~reductions ~budget ~objective_override ~objective tech
+    netlist spec =
+  let classes = Paths.classes ~reductions netlist in
+  let paths, _stats = Paths.extract ~reductions netlist in
+  let loads = Load.make tech netlist in
+  let input_slope =
+    match spec.input_slope with Some s -> s | None -> tech.Tech.default_input_slope
+  in
+  let max_slope =
+    match spec.max_slope with Some s -> s | None -> tech.Tech.slope_max
+  in
+  let precharge_budget =
+    (* Default: the precharge phase mirrors the evaluate phase (half cycle
+       each), so the precharge budget equals the evaluate target. *)
+    match spec.precharge_budget with
+    | Some b -> b
+    | None -> spec.target_delay
+  in
+  (* Closed-form worst-case slope per net class: the slope of a net is the
+     output-slope model of its structurally slowest driver arc, composed
+     recursively (worst-case pin-to-pin modelling, §5.2).  Substituting the
+     expression instead of introducing a slope variable keeps the GP's
+     variable set to the size labels alone. *)
+  let slope_memo : (int, Posy.t) Hashtbl.t = Hashtbl.create 64 in
+  let arc_weight (i : Netlist.instance) (arc : Arc.t) =
+    let chain_weight pdn pin =
+      match Smart_circuit.Pdn.series_chain_through pdn pin with
+      | Some chain -> List.fold_left (fun acc (_, m) -> acc +. m) 0. chain
+      | None -> 0.
+    in
+    let stack =
+      match i.Netlist.cell with
+      | Cell.Static { pull_down; _ } | Cell.Domino { pull_down; _ } ->
+        chain_weight pull_down arc.Arc.pin
+      | Cell.Passgate _ | Cell.Tristate _ -> 0.
+    in
+    (* Control arcs include the local inverter stage: slower. *)
+    stack +. (match arc.Arc.kind with Arc.Control -> 0.5 | _ -> 0.)
+  in
+  let rec slope_expr nid =
+    let net = Netlist.net netlist nid in
+    match net.Netlist.net_kind with
+    | Netlist.Primary_input -> Posy.const input_slope
+    | Netlist.Clock -> Posy.const (input_slope /. 2.)
+    | Netlist.Primary_output | Netlist.Internal -> (
+      let cls = Paths.class_of_net classes nid in
+      match Hashtbl.find_opt slope_memo cls with
+      | Some p -> p
+      | None ->
+        (* Guard against (impossible in valid netlists) recursion. *)
+        Hashtbl.replace slope_memo cls (Posy.const input_slope);
+        let rep = Paths.class_rep classes cls in
+        let candidates =
+          List.concat_map
+            (fun (i : Netlist.instance) ->
+              List.filter_map
+                (fun (a : Arc.t) ->
+                  if a.Arc.kind = Arc.Precharge then None else Some (i, a))
+                (Arc.arcs_of i.Netlist.cell))
+            (Netlist.drivers netlist rep)
+        in
+        let p =
+          match candidates with
+          | [] -> Posy.const input_slope
+          | first :: rest ->
+            let (i, arc) =
+              List.fold_left
+                (fun (bi, ba) (ci, ca) ->
+                  if arc_weight ci ca > arc_weight bi ba then (ci, ca) else (bi, ba))
+                first rest
+            in
+            let in_slope = slope_expr (List.assoc arc.Arc.pin i.Netlist.conns) in
+            Posy.drop_tiny ~rel:1e-6
+              (Delay.stage_out_slope tech i.Netlist.cell ~pin:arc.Arc.pin
+                 ~out_sense:(Smart_models.Drive.worst_out_sense i.Netlist.cell)
+                 ~load:(Load.symbolic loads i.Netlist.out)
+                 ~in_slope)
+        in
+        Hashtbl.replace slope_memo cls p;
+        p)
+  in
+  let step_delay (step : Paths.step) ~in_sense ~out_sense =
+    ignore in_sense;
+    let i = step.Paths.s_inst in
+    let in_slope =
+      if step.Paths.s_pin = "clk" then Posy.const (input_slope /. 2.)
+      else slope_expr (List.assoc step.Paths.s_pin i.Netlist.conns)
+    in
+    Delay.stage_delay tech i.Netlist.cell ~pin:step.Paths.s_pin ~out_sense
+      ~load:(Load.symbolic loads i.Netlist.out)
+      ~in_slope
+  in
+  (* A path (or path-prefix) budget: the full evaluate budget times [mult].
+     In min-delay mode the budget is the makespan variable itself. *)
+  let div_budget total mult =
+    match budget with
+    | `Const t -> Posy.div_monomial total (Monomial.const (t *. mult))
+    | `Var ->
+      Posy.div_monomial total (Monomial.scale mult (Monomial.var delay_variable))
+  in
+  (* Timing constraints: one per path per sense chain. *)
+  let timing = ref [] in
+  let stage = ref [] in
+  let n_timing = ref 0 in
+  let n_stage = ref 0 in
+  List.iteri
+    (fun pi (p : Paths.path) ->
+      let chains = sense_chains netlist p in
+      List.iteri
+        (fun ci chain ->
+          let delays =
+            List.map2
+              (fun step (in_sense, out_sense) -> step_delay step ~in_sense ~out_sense)
+              p.Paths.steps chain
+          in
+          let total = Posy.sum delays in
+          let name = Printf.sprintf "t:p%d.%d" pi ci in
+          incr n_timing;
+          timing := (name, div_budget total 1.) :: !timing;
+          (* Without OTB, a clocked (D1) domino stage must settle within its
+             own phase: constrain the path prefix ending at the first D1
+             stage that feeds further dynamic logic. *)
+          if not spec.otb then begin
+            let rec find_boundary k steps =
+              match steps with
+              | [] -> None
+              | (step : Paths.step) :: rest ->
+                let fam = Cell.family step.Paths.s_inst.Netlist.cell in
+                if
+                  fam = Family.Domino_d1
+                  && List.exists
+                       (fun (s : Paths.step) ->
+                         Family.is_dynamic (Cell.family s.Paths.s_inst.Netlist.cell))
+                       rest
+                then Some (k + 1)
+                else find_boundary (k + 1) rest
+            in
+            match find_boundary 0 p.Paths.steps with
+            | None -> ()
+            | Some k ->
+              let prefix = List.filteri (fun j _ -> j < k) delays in
+              incr n_stage;
+              stage :=
+                (Printf.sprintf "stg:p%d.%d" pi ci, div_budget (Posy.sum prefix) 0.5)
+                :: !stage
+          end)
+        chains)
+    paths;
+  (* Slope (reliability) caps per class, and precharge constraints for
+     class-representative domino stages. *)
+  let slope = ref [] in
+  let precharge = ref [] in
+  let n_slope = ref 0 in
+  let n_pre = ref 0 in
+  List.iter
+    (fun rep ->
+      let net = Netlist.net netlist rep in
+      match net.Netlist.net_kind with
+      | Netlist.Primary_input | Netlist.Clock -> ()
+      | Netlist.Primary_output | Netlist.Internal ->
+        let cls = Paths.class_of_net classes rep in
+        incr n_slope;
+        slope :=
+          ( Printf.sprintf "s:c%d" cls,
+            Posy.div_monomial (slope_expr rep) (Monomial.const max_slope) )
+          :: !slope;
+        List.iter
+          (fun (i : Netlist.instance) ->
+            let load = Load.symbolic loads i.Netlist.out in
+            List.iter
+              (fun (arc : Arc.t) ->
+                if arc.Arc.kind = Arc.Precharge then begin
+                  let d =
+                    Delay.stage_delay tech i.Netlist.cell ~pin:"clk"
+                      ~out_sense:Arc.Fall ~load
+                      ~in_slope:(Posy.const (input_slope /. 2.))
+                  in
+                  (* The precharge edge keeps rippling through downstream
+                     static/pass logic (the golden timer's Precharge mode
+                     does exactly this); every such extension is a separate
+                     constraint, so e.g. an output inverter that only ever
+                     switches during precharge still gets sized. *)
+                  let emit posy =
+                    incr n_pre;
+                    precharge :=
+                      ( Printf.sprintf "pre:%s.%d" i.Netlist.inst_name !n_pre,
+                        Posy.div_monomial posy (Monomial.const precharge_budget) )
+                      :: !precharge
+                  in
+                  let rec extend acc sense nid depth =
+                    let continued = ref false in
+                    if depth < 12 then
+                      List.iter
+                        (fun ((ri : Netlist.instance), pin) ->
+                          match Cell.family ri.Netlist.cell with
+                          | Family.Domino_d1 | Family.Domino_d2 -> ()
+                          | Family.Static_cmos | Family.Pass | Family.Tristate_drv ->
+                            let rarc = Arc.arc_of_pin ri.Netlist.cell pin in
+                            if rarc.Arc.kind = Arc.Data then
+                              List.iter
+                                (fun (i_s, o_s) ->
+                                  if i_s = sense then begin
+                                    continued := true;
+                                    let stage =
+                                      Delay.stage_delay tech ri.Netlist.cell ~pin
+                                        ~out_sense:o_s
+                                        ~load:(Load.symbolic loads ri.Netlist.out)
+                                        ~in_slope:(slope_expr nid)
+                                    in
+                                    extend (Posy.add acc stage) o_s ri.Netlist.out
+                                      (depth + 1)
+                                  end)
+                                rarc.Arc.senses)
+                        (Netlist.fanout netlist nid);
+                    if not !continued then emit acc
+                  in
+                  extend d Arc.Fall i.Netlist.out 0
+                end)
+              (Arc.arcs_of i.Netlist.cell))
+          (Netlist.drivers netlist rep))
+    (Paths.class_reps classes);
+  ignore !n_slope;
+  ignore !n_pre;
+  (* Bounds: device sizes only — slopes are closed-form expressions.
+     Designer-pinned labels get equality-tight bounds (§2: manual control
+     of portions of the macro). *)
+  let clamp w = Float.max tech.Tech.w_min (Float.min tech.Tech.w_max w) in
+  let label_bounds =
+    List.map
+      (fun l ->
+        match List.assoc_opt l spec.pinned with
+        | Some w ->
+          let w = clamp w in
+          (l, w *. 0.9999, w *. 1.0001)
+        | None -> (l, tech.Tech.w_min, tech.Tech.w_max))
+      (Netlist.labels netlist)
+  in
+  let slope_bounds = [] in
+  let extra_bounds =
+    match budget with `Const _ -> [] | `Var -> [ (delay_variable, 1., 1e6) ]
+  in
+  let obj =
+    match objective_override with
+    | Some p -> p
+    | None -> objective_posy objective netlist
+  in
+  let timing_kept, dropped_t = prune_dominated (List.rev !timing) in
+  let stage_kept, dropped_s = prune_dominated (List.rev !stage) in
+  let slope_kept, dropped_sl = prune_dominated (List.rev !slope) in
+  let precharge_kept, dropped_p = prune_dominated (List.rev !precharge) in
+  let problem =
+    Problem.make
+      ~inequalities:(timing_kept @ stage_kept @ slope_kept @ precharge_kept)
+      ~bounds:(label_bounds @ slope_bounds @ extra_bounds)
+      obj
+  in
+  {
+    problem;
+    area = area_posy netlist;
+    path_count = List.length paths;
+    timing_constraints = List.length timing_kept;
+    slope_constraints = List.length slope_kept;
+    precharge_constraints = List.length precharge_kept;
+    stage_constraints = List.length stage_kept;
+    dominated_pruned = dropped_t + dropped_s + dropped_sl + dropped_p;
+  }
+
+let generate ?(reductions = Paths.all_reductions) ?(objective = Area) tech
+    netlist spec =
+  generate_internal ~reductions ~budget:(`Const spec.target_delay)
+    ~objective_override:None ~objective tech netlist spec
+
+let generate_min_delay ?(reductions = Paths.all_reductions) ?(area_weight = 1e-4)
+    tech netlist spec =
+  let obj =
+    Posy.add (Posy.var delay_variable) (Posy.scale area_weight (area_posy netlist))
+  in
+  generate_internal ~reductions ~budget:`Var ~objective_override:(Some obj)
+    ~objective:Area tech netlist spec
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let rescale result ~timing ~precharge =
+  if not (timing > 0. && precharge > 0.) then
+    Err.fail "Constraints.rescale: factors must be positive";
+  let problem =
+    {
+      result.problem with
+      Problem.inequalities =
+        List.map
+          (fun (name, p) ->
+            if has_prefix ~prefix:"t:" name || has_prefix ~prefix:"stg:" name then
+              (name, Posy.scale (1. /. timing) p)
+            else if has_prefix ~prefix:"pre:" name then
+              (name, Posy.scale (1. /. precharge) p)
+            else (name, p))
+          result.problem.Problem.inequalities;
+    }
+  in
+  { result with problem }

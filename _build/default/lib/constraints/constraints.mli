@@ -1,0 +1,91 @@
+(** Constraint generation (§5.3): from a reduced path set to a geometric
+    program.
+
+    Per circuit family:
+    {ul
+    {- {b static}: each path yields two timing constraints (rise and fall
+       at the output);}
+    {- {b pass logic}: data-port paths yield two constraints; a path
+       through the control port yields four — the select's turn-on edge can
+       release either output transition;}
+    {- {b dynamic}: evaluate paths are rise-only; every domino stage gets a
+       separate precharge constraint against the precharge-phase budget;
+       without OTB each clocked stage must additionally settle within its
+       own phase, with OTB (Opportunistic Time Borrowing, [12]) the
+       evaluate budget is shared across the D1/D2 boundary.}}
+
+    Slope (reliability) constraints bound every net's edge rate; slope
+    variables are shared per net class, and model constraints are emitted
+    for class representatives only — the §5.2 regularity reductions shrink
+    the GP itself, not just the path list.  Device size bounds complete
+    the program; connectivity constraints are implicit (shared labels are
+    literally shared GP variables). *)
+
+type spec = {
+  target_delay : float;  (** evaluate/data arrival budget at outputs, ps *)
+  precharge_budget : float option;
+      (** per-stage precharge budget; default [target_delay] (mirrored
+          evaluate/precharge phases) *)
+  max_slope : float option;  (** default [tech.slope_max] *)
+  input_slope : float option;  (** default [tech.default_input_slope] *)
+  otb : bool;  (** opportunistic time borrowing across domino phases *)
+  pinned : (string * float) list;
+      (** designer-fixed label widths (µm): §2's requirement that the
+          designer "control transistor sizes of portions of the macro while
+          letting the automatic sizer size the rest" — e.g. up-sizing a
+          pass gate for noise immunity on a noisy region.  Pinned labels
+          become equality-tight bounds; everything else stays free. *)
+}
+
+val spec : ?precharge_budget:float -> ?max_slope:float -> ?input_slope:float ->
+  ?otb:bool -> ?pinned:(string * float) list -> float -> spec
+(** [spec target_delay] with defaults ([otb] true, nothing pinned). *)
+
+type objective =
+  | Area  (** total transistor width *)
+  | Power_weighted  (** width weighted by activity; clocked devices heavy *)
+  | Clock_load  (** clocked width, lightly regularised by area *)
+
+type result = {
+  problem : Smart_gp.Problem.t;
+  area : Smart_posy.Posy.t;  (** total-width posynomial *)
+  path_count : int;
+  timing_constraints : int;
+  slope_constraints : int;
+  precharge_constraints : int;
+  stage_constraints : int;  (** per-phase constraints added when OTB is off *)
+  dominated_pruned : int;
+      (** timing/stage constraints dropped because a kept constraint
+          dominates them term-by-term (§5.2 dominance at the GP level) *)
+}
+
+val generate :
+  ?reductions:Smart_paths.Paths.reductions ->
+  ?objective:objective ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  spec ->
+  result
+(** Build the GP for a netlist under a delay specification. *)
+
+val rescale : result -> timing:float -> precharge:float -> result
+(** Tighten (factor < 1) or relax the timing budgets — the outer loop's
+    "create new delay specification" step.  [timing] scales
+    evaluate/data-path budgets, [precharge] the per-stage precharge
+    budgets.  Slope and bound constraints are untouched. *)
+
+val delay_variable : string
+(** Name of the makespan variable used by {!generate_min_delay}. *)
+
+val generate_min_delay :
+  ?reductions:Smart_paths.Paths.reductions ->
+  ?area_weight:float ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  spec ->
+  result
+(** Like {!generate} but the evaluate-path budget is the GP variable
+    {!delay_variable} and the objective is that variable (plus
+    [area_weight] × area, default 1e-4, to break ties) — solving yields the
+    fastest delay the topology can reach within size bounds.  The
+    precharge budget stays fixed from [spec]. *)

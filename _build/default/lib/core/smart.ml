@@ -1,0 +1,47 @@
+module Tech = Smart_tech.Tech
+module Circuit = Smart_circuit.Netlist
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+module Family = Smart_circuit.Family
+module Spice = Smart_circuit.Spice
+module Sim = Smart_sim.Sim
+module Logic = Smart_sim.Logic
+module Posy = Smart_posy.Posy
+module Monomial = Smart_posy.Monomial
+module Gp = Smart_gp.Solver
+module Gp_problem = Smart_gp.Problem
+module Models = Smart_models.Delay
+module Golden = Smart_models.Golden
+module Arc = Smart_models.Arc
+module Sta = Smart_sta.Sta
+module Paths = Smart_paths.Paths
+module Constraints = Smart_constraints.Constraints
+module Power = Smart_power.Power
+module Baseline = Smart_baseline.Baseline
+module Sizer = Smart_sizer.Sizer
+module Macro = Smart_macros.Macro
+module Mux = Smart_macros.Mux
+module Incrementor = Smart_macros.Incrementor
+module Zero_detect = Smart_macros.Zero_detect
+module Decoder = Smart_macros.Decoder
+module Comparator = Smart_macros.Comparator
+module Cla_adder = Smart_macros.Cla_adder
+module Shifter = Smart_macros.Shifter
+module Encoder = Smart_macros.Encoder
+module Regfile = Smart_macros.Regfile
+module Database = Smart_database.Database
+module Blocks = Smart_blocks.Blocks
+module Explore = Smart_explore.Explore
+
+type advice = {
+  ranking : Explore.ranking;
+  metric : Explore.metric;
+  spec : Constraints.spec;
+}
+
+let advise ?options ?(metric = Explore.Area) ~db ~kind ~requirements tech spec =
+  match Explore.explore ?options ~metric ~db ~kind ~requirements tech spec with
+  | Error e -> Error e
+  | Ok ranking -> Ok { ranking; metric; spec }
+
+let version = "1.0.0"

@@ -1,0 +1,72 @@
+(** SMART — Smart Macro Design Advisor.
+
+    Public facade of the library: module aliases for every subsystem plus
+    the one-call advisory entry point {!advise}, which realises the full
+    Figure 1 flow — look up applicable topologies in the design database,
+    prune, generate netlists, size each with the GP-based sizing engine,
+    verify with the golden timer, and rank under the designer's cost
+    metric.
+
+    {[
+      let tech = Smart.Tech.default in
+      let db = Smart.Database.builtins () in
+      let req = Smart.Database.requirements ~ext_load:40. 8 in
+      match Smart.advise ~db ~kind:"mux" ~requirements:req tech
+              (Smart.Constraints.spec 90.) with
+      | Ok advice -> ...
+      | Error msg -> ...
+    ]} *)
+
+module Tech = Smart_tech.Tech
+module Circuit = Smart_circuit.Netlist
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+module Family = Smart_circuit.Family
+module Spice = Smart_circuit.Spice
+module Sim = Smart_sim.Sim
+module Logic = Smart_sim.Logic
+module Posy = Smart_posy.Posy
+module Monomial = Smart_posy.Monomial
+module Gp = Smart_gp.Solver
+module Gp_problem = Smart_gp.Problem
+module Models = Smart_models.Delay
+module Golden = Smart_models.Golden
+module Arc = Smart_models.Arc
+module Sta = Smart_sta.Sta
+module Paths = Smart_paths.Paths
+module Constraints = Smart_constraints.Constraints
+module Power = Smart_power.Power
+module Baseline = Smart_baseline.Baseline
+module Sizer = Smart_sizer.Sizer
+module Macro = Smart_macros.Macro
+module Mux = Smart_macros.Mux
+module Incrementor = Smart_macros.Incrementor
+module Zero_detect = Smart_macros.Zero_detect
+module Decoder = Smart_macros.Decoder
+module Comparator = Smart_macros.Comparator
+module Cla_adder = Smart_macros.Cla_adder
+module Shifter = Smart_macros.Shifter
+module Encoder = Smart_macros.Encoder
+module Regfile = Smart_macros.Regfile
+module Database = Smart_database.Database
+module Blocks = Smart_blocks.Blocks
+module Explore = Smart_explore.Explore
+
+type advice = {
+  ranking : Explore.ranking;  (** all sized candidates, best first *)
+  metric : Explore.metric;
+  spec : Constraints.spec;
+}
+
+val advise :
+  ?options:Sizer.options ->
+  ?metric:Explore.metric ->
+  db:Database.t ->
+  kind:string ->
+  requirements:Database.requirements ->
+  Tech.t ->
+  Constraints.spec ->
+  (advice, string) result
+(** The advisory flow of Figure 1 over a macro instance. *)
+
+val version : string

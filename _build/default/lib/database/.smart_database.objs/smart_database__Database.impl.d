@@ -1,0 +1,1 @@
+lib/database/database.ml: List Smart_macros String

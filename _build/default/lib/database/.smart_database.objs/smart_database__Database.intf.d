@@ -1,0 +1,1 @@
+lib/database/database.mli: Smart_macros

@@ -1,0 +1,183 @@
+module Macro = Smart_macros.Macro
+module Mux = Smart_macros.Mux
+
+type requirements = {
+  bits : int;
+  ext_load : float;
+  strongly_mutexed_selects : bool;
+  allow_dynamic : bool;
+}
+
+let requirements ?(ext_load = 30.) ?(strongly_mutexed_selects = true)
+    ?(allow_dynamic = true) bits =
+  { bits; ext_load; strongly_mutexed_selects; allow_dynamic }
+
+type entry = {
+  entry_name : string;
+  kind : string;
+  description : string;
+  applicable : requirements -> bool;
+  build : requirements -> Macro.info;
+}
+
+type t = { mutable items : entry list }
+
+let create () = { items = [] }
+
+let register t entry =
+  t.items <-
+    entry :: List.filter (fun e -> e.entry_name <> entry.entry_name) t.items
+
+let find t name = List.find_opt (fun e -> e.entry_name = name) t.items
+let entries t = List.rev t.items
+
+let kinds t =
+  List.sort_uniq String.compare (List.map (fun e -> e.kind) t.items)
+
+let candidates t ~kind req =
+  List.filter (fun e -> e.kind = kind && e.applicable req) (entries t)
+
+let build_all t ~kind req =
+  List.map (fun e -> (e, e.build req)) (candidates t ~kind req)
+
+(* ------------------------------------------------------------------ *)
+(* Builtins: the §4 database                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mux_entry topology ~description ~extra_check =
+  {
+    entry_name = "mux/" ^ Mux.topology_name topology;
+    kind = "mux";
+    description;
+    applicable =
+      (fun req ->
+        req.bits >= 2
+        && Mux.applicable topology ~n:req.bits
+             ~strongly_mutexed_selects:req.strongly_mutexed_selects
+             ~heavy_load:(req.ext_load >= 60.)
+        && extra_check req);
+    build = (fun req -> Mux.generate ~ext_load:req.ext_load topology ~n:req.bits);
+  }
+
+let builtins () =
+  let t = create () in
+  let dynamic_ok req = req.allow_dynamic in
+  let always _ = true in
+  List.iter (register t)
+    [
+      mux_entry Mux.Strongly_mutexed
+        ~description:"N-first pass-gate mux; requires one-hot selects"
+        ~extra_check:always;
+      mux_entry Mux.Weakly_mutexed
+        ~description:"pass-gate mux with NOR-derived last select"
+        ~extra_check:always;
+      mux_entry Mux.Encoded_2to1
+        ~description:"2-to-1 N-first/P-first pair with encoded select"
+        ~extra_check:always;
+      mux_entry Mux.Tristate_mux
+        ~description:"tri-state mux for heavy loads and long interconnect"
+        ~extra_check:always;
+      mux_entry Mux.Domino_unsplit
+        ~description:"single-node domino mux; clock power matters"
+        ~extra_check:dynamic_ok;
+      mux_entry (Mux.Domino_partitioned None)
+        ~description:"(m, n-m) partitioned domino mux, m = floor(n/2)"
+        ~extra_check:dynamic_ok;
+      {
+        entry_name = "incrementor/sklansky-static";
+        kind = "incrementor";
+        description = "static prefix-AND incrementor";
+        applicable = (fun req -> req.bits >= 2);
+        build =
+          (fun req ->
+            Smart_macros.Incrementor.generate ~ext_load:req.ext_load
+              ~bits:req.bits ());
+      };
+      {
+        entry_name = "decrementor/sklansky-static";
+        kind = "decrementor";
+        description = "static prefix-AND decrementor";
+        applicable = (fun req -> req.bits >= 2);
+        build =
+          (fun req ->
+            Smart_macros.Incrementor.generate ~ext_load:req.ext_load
+              ~decrement:true ~bits:req.bits ());
+      };
+      {
+        entry_name = "zero-detect/nor4-tree";
+        kind = "zero-detect";
+        description = "alternating NOR4/NAND4 reduction tree";
+        applicable = (fun req -> req.bits >= 2);
+        build =
+          (fun req ->
+            Smart_macros.Zero_detect.generate ~ext_load:req.ext_load
+              ~bits:req.bits ());
+      };
+      {
+        entry_name = "decoder/predecode";
+        kind = "decoder";
+        description = "two-stage predecoded n-to-2^n decoder";
+        applicable = (fun req -> req.bits >= 2 && req.bits <= 8);
+        build =
+          (fun req ->
+            Smart_macros.Decoder.generate ~ext_load:req.ext_load
+              ~in_bits:req.bits ());
+      };
+      {
+        entry_name = "comparator/domino-x2-r4";
+        kind = "comparator";
+        description = "two-stage domino equality comparator (xorsum2, or4)";
+        applicable =
+          (fun req -> req.allow_dynamic && req.bits >= 2 && req.bits mod 2 = 0);
+        build =
+          (fun req ->
+            Smart_macros.Comparator.generate ~ext_load:req.ext_load
+              ~bits:req.bits ());
+      };
+      {
+        entry_name = "shifter/barrel-rotator";
+        kind = "shifter";
+        description = "log-depth barrel rotator from encoded pass stages";
+        applicable =
+          (fun req -> req.bits >= 2 && req.bits land (req.bits - 1) = 0);
+        build =
+          (fun req ->
+            Smart_macros.Shifter.generate ~ext_load:req.ext_load ~bits:req.bits ());
+      };
+      {
+        entry_name = "encoder/one-hot-binary";
+        kind = "encoder";
+        description = "one-hot to binary encoder (per-output OR trees)";
+        applicable = (fun req -> req.bits >= 1 && req.bits <= 7);
+        build =
+          (fun req ->
+            Smart_macros.Encoder.generate ~ext_load:req.ext_load
+              ~out_bits:req.bits ());
+      };
+      {
+        entry_name = "register-file/read-path";
+        kind = "register-file";
+        description = "decoder + word-line drivers + pass-gate bit muxes";
+        applicable =
+          (fun req ->
+            req.bits >= 4 && req.bits <= 64 && req.bits land (req.bits - 1) = 0);
+        build =
+          (fun req ->
+            Smart_macros.Regfile.generate ~ext_load:req.ext_load ~words:req.bits
+              ~width:4 ());
+      };
+      {
+        entry_name = "adder/dual-rail-domino-cla";
+        kind = "adder";
+        description = "dual-rail domino carry-lookahead adder";
+        applicable =
+          (fun req ->
+            req.allow_dynamic && req.bits mod 4 = 0 && req.bits >= 4
+            && req.bits <= 64);
+        build =
+          (fun req ->
+            Smart_macros.Cla_adder.generate ~ext_load:req.ext_load
+              ~bits:req.bits ());
+      };
+    ];
+  t

@@ -1,0 +1,65 @@
+(** The SMART design database (§3(i), §4).
+
+    An expandable registry of "the best available tried and tested
+    topologies" for each macro kind.  Entries are {e generators}: given a
+    width and an environment they emit an unsized labelled netlist.
+    Designers extend the database by registering new entries — the paper's
+    key expandability requirement ("whenever a designer comes up with an
+    implementation not available in the database, it can be incorporated").
+
+    Lookup applies the Fig. 1 "simple pruning of design space": each entry
+    carries an applicability predicate over the instance requirements
+    (width, select mutex guarantee, output load), so obviously unsuitable
+    topologies are never sized. *)
+
+module Macro = Smart_macros.Macro
+
+type requirements = {
+  bits : int;  (** inputs for muxes; bit-width otherwise *)
+  ext_load : float;  (** output load, fF *)
+  strongly_mutexed_selects : bool;
+      (** may the instance assume one-hot selects? *)
+  allow_dynamic : bool;  (** may domino topologies be offered? *)
+}
+
+val requirements :
+  ?ext_load:float ->
+  ?strongly_mutexed_selects:bool ->
+  ?allow_dynamic:bool ->
+  int ->
+  requirements
+(** [requirements bits] with defaults (30 fF, one-hot allowed, dynamic
+    allowed). *)
+
+type entry = {
+  entry_name : string;  (** unique, e.g. ["mux/unsplit-domino"] *)
+  kind : string;  (** macro kind key, e.g. ["mux"] *)
+  description : string;
+  applicable : requirements -> bool;
+  build : requirements -> Macro.info;
+}
+
+type t
+(** A mutable database of entries. *)
+
+val create : unit -> t
+(** An empty database. *)
+
+val builtins : unit -> t
+(** The §4 database: all six mux topologies plus incrementor, decrementor,
+    zero-detect, decoder, comparator and CLA-adder generators. *)
+
+val register : t -> entry -> unit
+(** Add (or replace, by [entry_name]) an entry — the expandability hook. *)
+
+val find : t -> string -> entry option
+(** Lookup by [entry_name]. *)
+
+val entries : t -> entry list
+val kinds : t -> string list
+
+val candidates : t -> kind:string -> requirements -> entry list
+(** Applicable entries for an instance, after simple pruning. *)
+
+val build_all : t -> kind:string -> requirements -> (entry * Macro.info) list
+(** Generate netlists for every applicable topology. *)

@@ -1,0 +1,1 @@
+lib/explore/explore.ml: Float List Printf Smart_circuit Smart_constraints Smart_database Smart_macros Smart_power Smart_sizer Smart_tech Smart_util String

@@ -1,0 +1,105 @@
+module Err = Smart_util.Err
+module Tech = Smart_tech.Tech
+module Netlist = Smart_circuit.Netlist
+module Macro = Smart_macros.Macro
+module Database = Smart_database.Database
+module Constraints = Smart_constraints.Constraints
+module Sizer = Smart_sizer.Sizer
+module Power = Smart_power.Power
+
+type metric = Area | Power | Clock_load
+
+let metric_to_string = function
+  | Area -> "area"
+  | Power -> "power"
+  | Clock_load -> "clock-load"
+
+type candidate = {
+  entry_name : string;
+  info : Macro.info;
+  outcome : Sizer.outcome;
+  power_report : Power.report;
+  score : float;
+}
+
+type ranking = {
+  winner : candidate;
+  ranked : candidate list;
+  rejected : (string * string) list;
+}
+
+let objective_of_metric = function
+  | Area -> Constraints.Area
+  | Power -> Constraints.Power_weighted
+  | Clock_load -> Constraints.Clock_load
+
+let score_of metric (outcome : Sizer.outcome) (power : Power.report) =
+  match metric with
+  | Area -> outcome.Sizer.total_width
+  | Power -> power.Power.total_uw
+  | Clock_load ->
+    (* Tie-break pure clock load by a light area term. *)
+    outcome.Sizer.clock_load_width +. (0.05 *. outcome.Sizer.total_width)
+
+let size_candidates ?options ~metric tech spec named_infos =
+  let options =
+    let base = match options with Some o -> o | None -> Sizer.default_options in
+    { base with Sizer.objective = objective_of_metric metric }
+  in
+  let accepted = ref [] in
+  let rejected = ref [] in
+  List.iter
+    (fun (entry_name, (info : Macro.info)) ->
+      match Sizer.size ~options tech info.Macro.netlist spec with
+      | Error reason -> rejected := (entry_name, reason) :: !rejected
+      | Ok outcome ->
+        let power_report =
+          Power.estimate tech info.Macro.netlist ~sizing:outcome.Sizer.sizing_fn
+        in
+        let score = score_of metric outcome power_report in
+        accepted := { entry_name; info; outcome; power_report; score } :: !accepted)
+    named_infos;
+  let ranked = List.sort (fun a b -> Float.compare a.score b.score) !accepted in
+  match ranked with
+  | [] ->
+    Error
+      (Printf.sprintf "Explore: no topology meets the specification (%s)"
+         (String.concat "; "
+            (List.map (fun (n, r) -> n ^ ": " ^ r) (List.rev !rejected))))
+  | winner :: _ -> Ok { winner; ranked; rejected = List.rev !rejected }
+
+let explore ?options ?(metric = Area) ~db ~kind ~requirements tech spec =
+  let built = Database.build_all db ~kind requirements in
+  if built = [] then
+    Error (Printf.sprintf "Explore: no applicable %s topology in database" kind)
+  else
+    size_candidates ?options ~metric tech spec
+      (List.map
+         (fun ((e : Database.entry), info) -> (e.Database.entry_name, info))
+         built)
+
+let tune ?options ?(metric = Area) ~variants tech spec =
+  if variants = [] then Err.fail "Explore.tune: no variants";
+  size_candidates ?options ~metric tech spec variants
+
+let sweep_area_delay ?options ?(points = 8) ?(min_relax = 1.0)
+    ?(max_relax = 1.35) tech netlist spec =
+  let options = match options with Some o -> o | None -> Sizer.default_options in
+  match Sizer.minimize_delay ~options tech netlist spec with
+  | Error _ -> []
+  | Ok { Sizer.golden_min; model_min } ->
+    let options = { options with Sizer.min_delay_hint = Some model_min } in
+    let targets =
+      List.init points (fun k ->
+          golden_min
+          *. (min_relax
+             +. ((max_relax -. min_relax) *. float_of_int k
+                /. float_of_int (points - 1))))
+    in
+    List.filter_map
+      (fun target ->
+        let spec' = { spec with Constraints.target_delay = target } in
+        match Sizer.size ~options tech netlist spec' with
+        | Error _ -> None
+        | Ok o -> Some (target, o.Sizer.total_width))
+      targets

@@ -1,0 +1,69 @@
+(** Topology exploration and comparison — the outer loop of Figure 1 and
+    the §6.3 experiment.
+
+    Given an instance's requirements, every applicable database topology is
+    generated, sized by the SMART sizer against the same constraints, and
+    scored under a designer-chosen cost metric (area, power, clock load).
+    SMART "can automatically pick the best solution ... or let the designer
+    make his/her own choice": {!explore} returns the full ranking.
+
+    {!sweep_area_delay} regenerates Fig. 6-style area–delay trade-off
+    curves; {!tune} is the paper's §3(iii) "topology optimizer" (listed as
+    under development there, implemented here): automatic tuning of a
+    topology's structural parameter — a domino mux's partition point, a
+    comparator's XOR grouping — by sizing each candidate structure. *)
+
+type metric = Area | Power | Clock_load
+
+val metric_to_string : metric -> string
+
+type candidate = {
+  entry_name : string;
+  info : Smart_macros.Macro.info;
+  outcome : Smart_sizer.Sizer.outcome;
+  power_report : Smart_power.Power.report;
+  score : float;  (** under the requested metric; lower is better *)
+}
+
+type ranking = {
+  winner : candidate;
+  ranked : candidate list;  (** best first *)
+  rejected : (string * string) list;  (** entry name, failure reason *)
+}
+
+val explore :
+  ?options:Smart_sizer.Sizer.options ->
+  ?metric:metric ->
+  db:Smart_database.Database.t ->
+  kind:string ->
+  requirements:Smart_database.Database.requirements ->
+  Smart_tech.Tech.t ->
+  Smart_constraints.Constraints.spec ->
+  (ranking, string) result
+(** Size every applicable topology and rank by [metric] (default [Area]).
+    [Error] only when no candidate can meet the specification. *)
+
+val sweep_area_delay :
+  ?options:Smart_sizer.Sizer.options ->
+  ?points:int ->
+  ?min_relax:float ->
+  ?max_relax:float ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  Smart_constraints.Constraints.spec ->
+  (float * float) list
+(** [(delay target, total width)] pairs spanning [min_relax] ×..×
+    [max_relax] of the fastest feasible delay (defaults: 8 points, 1.0×
+    to 1.35×) — the Fig. 6 curve.  Right at 1.0× the area wall is steep;
+    plotting from a few percent off it, as the paper does, shows the
+    working range.  Points whose sizing fails are skipped. *)
+
+val tune :
+  ?options:Smart_sizer.Sizer.options ->
+  ?metric:metric ->
+  variants:(string * Smart_macros.Macro.info) list ->
+  Smart_tech.Tech.t ->
+  Smart_constraints.Constraints.spec ->
+  (ranking, string) result
+(** Compare explicit structural variants of one macro (the topology
+    optimizer): each is sized against the same spec and ranked. *)

@@ -1,0 +1,1 @@
+lib/gp/problem.ml: Format List Smart_posy Smart_util String

@@ -1,0 +1,1 @@
+lib/gp/problem.mli: Format Smart_posy

@@ -1,0 +1,1 @@
+lib/gp/solver.ml: Array List Logs Problem Smart_linalg Smart_posy Smart_util

@@ -1,0 +1,1 @@
+lib/gp/solver.mli: Problem

@@ -1,0 +1,351 @@
+module Err = Smart_util.Err
+module Posy = Smart_posy.Posy
+module Monomial = Smart_posy.Monomial
+module Logspace = Smart_posy.Logspace
+module Vec = Smart_linalg.Vec
+module Mat = Smart_linalg.Mat
+
+let src = Logs.Src.create "smart.gp" ~doc:"SMART geometric program solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type options = {
+  eps : float;
+  mu : float;
+  t0 : float;
+  newton_tol : float;
+  max_newton : int;
+  max_centering : int;
+}
+
+let default_options =
+  {
+    eps = 1e-7;
+    mu = 20.;
+    t0 = 1.;
+    newton_tol = 1e-8;
+    max_newton = 250;
+    max_centering = 60;
+  }
+
+type status = Optimal | Infeasible | Iteration_limit
+
+type solution = {
+  status : status;
+  values : (string * float) list;
+  objective_value : float;
+  duals : (string * float) list;
+  newton_iterations : int;
+  centering_steps : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compiled convex form                                               *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  idx : Logspace.index;
+  f0 : Logspace.t;
+  cons : (string * Logspace.t) array;
+}
+
+let bounds_to_inequalities bounds =
+  List.concat_map
+    (fun (v, lo, hi) ->
+      let lo_c =
+        if lo > 0. then
+          [ ("lo:" ^ v, Posy.of_monomial (Monomial.make lo [ (v, -1.) ])) ]
+        else []
+      in
+      let hi_c =
+        [ ("hi:" ^ v, Posy.of_monomial (Monomial.make (1. /. hi) [ (v, 1.) ])) ]
+      in
+      lo_c @ hi_c)
+    bounds
+
+let compile (problem : Problem.t) =
+  let ineqs = problem.inequalities @ bounds_to_inequalities problem.bounds in
+  let vars = Problem.variables problem in
+  let idx = Logspace.index_of_vars vars in
+  {
+    idx;
+    f0 = Logspace.compile idx problem.objective;
+    cons =
+      Array.of_list (List.map (fun (n, p) -> (n, Logspace.compile idx p)) ineqs);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Barrier method                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* phi_t(y) = t F0(y) - sum log(-F_k(y)); +inf when infeasible. *)
+let barrier_value c t y =
+  let v0 = Logspace.value c.f0 y in
+  let acc = ref (t *. v0) in
+  (try
+     Array.iter
+       (fun (_, f) ->
+         let v = Logspace.value f y in
+         if v >= 0. then begin
+           acc := infinity;
+           raise Exit
+         end;
+         acc := !acc -. log (-.v))
+       c.cons
+   with Exit -> ());
+  !acc
+
+let strictly_feasible c y =
+  Array.for_all (fun (_, f) -> Logspace.value f y < 0.) c.cons
+
+(* One centering: damped Newton on phi_t starting from strictly feasible y.
+   Returns (y*, inner iterations used, converged). *)
+let newton_center opts c t y0 =
+  let n = Logspace.index_size c.idx in
+  let y = Vec.copy y0 in
+  let iters = ref 0 in
+  let converged = ref false in
+  (try
+     for _ = 1 to opts.max_newton do
+       incr iters;
+       let h = Mat.create n n in
+       let _, g0 = Logspace.add_weighted_hessian c.f0 y t h in
+       let g = Vec.scale t g0 in
+       Array.iter
+         (fun (_, f) ->
+           let vk = Logspace.value f y in
+           if vk >= 0. then Err.fail "Gp.Solver: lost feasibility during Newton";
+           let w = 1. /. -.vk in
+           let _, gk = Logspace.add_weighted_hessian f y w h in
+           (* Barrier gradient term: gk / (-vk); Hessian extra rank-1 term
+              gk gk^T / vk^2, accumulated over the constraint's support
+              only (gk vanishes off-support). *)
+           let s = Logspace.support f in
+           let w2 = w *. w in
+           for a = 0 to Array.length s - 1 do
+             let ga = gk.(s.(a)) in
+             g.(s.(a)) <- g.(s.(a)) +. (w *. ga);
+             if ga <> 0. then
+               for bi = 0 to Array.length s - 1 do
+                 Mat.add_to h s.(a) s.(bi) (w2 *. ga *. gk.(s.(bi)))
+               done
+           done)
+         c.cons;
+       let d = Mat.solve_spd_ridge h g in
+       let lambda2 = Vec.dot g d in
+       if lambda2 /. 2. < opts.newton_tol then begin
+         converged := true;
+         raise Exit
+       end;
+       (* Backtracking line search along -d with Armijo condition. *)
+       let phi0 = barrier_value c t y in
+       let alpha = ref 1. in
+       let accepted = ref false in
+       let trial = Vec.create n in
+       let backtracks = ref 0 in
+       while (not !accepted) && !backtracks < 60 do
+         Array.blit y 0 trial 0 n;
+         Vec.axpy (-. !alpha) d trial;
+         let phi = barrier_value c t trial in
+         if phi <= phi0 -. (0.25 *. !alpha *. lambda2) then begin
+           Array.blit trial 0 y 0 n;
+           accepted := true
+         end
+         else begin
+           alpha := !alpha /. 2.;
+           incr backtracks
+         end
+       done;
+       if not !accepted then begin
+         (* Step direction yields no progress: accept current point. *)
+         converged := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (y, !iters, !converged)
+
+(* Full barrier loop.  [stop_when y] allows early exit (used by phase I once
+   the original constraints are strictly satisfied). *)
+let barrier opts c y0 ?(stop_when = fun _ -> false) () =
+  let m = Array.length c.cons in
+  let t = ref opts.t0 in
+  let t_last = ref opts.t0 in
+  let y = ref (Vec.copy y0) in
+  let total = ref 0 in
+  let centerings = ref 0 in
+  let limit = ref false in
+  (try
+     while float_of_int m /. !t >= opts.eps do
+       let y', iters, _ = newton_center opts c !t !y in
+       y := y';
+       t_last := !t;
+       total := !total + iters;
+       incr centerings;
+       if stop_when !y then raise Exit;
+       if !centerings >= opts.max_centering then begin
+         limit := true;
+         raise Exit
+       end;
+       t := !t *. opts.mu
+     done
+   with Exit -> ());
+  (!y, !t_last, !total, !centerings, !limit)
+
+(* ------------------------------------------------------------------ *)
+(* Phase I                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let slack_var = "__gp_slack"
+
+(* Find a strictly feasible y for [c] by solving
+   min S  s.t.  f_k(x)/S <= 1, starting from the bound midpoints with S
+   large enough.  Fails (None) when optimum S cannot be driven below 1. *)
+let phase1 opts (problem : Problem.t) c y_init =
+  if strictly_feasible c y_init then Some (y_init, 0, 0)
+  else begin
+    let slack_m = Monomial.make 1. [ (slack_var, -1.) ] in
+    let relaxed =
+      Problem.make
+        ~inequalities:
+          (List.map
+             (fun (n, p) -> (n, Posy.mul_monomial p slack_m))
+             (problem.Problem.inequalities
+             @ bounds_to_inequalities problem.Problem.bounds))
+        ~bounds:[ (slack_var, 1e-9, 1e12) ]
+        (Posy.var slack_var)
+    in
+    let c1 = compile relaxed in
+    let n1 = Logspace.index_size c1.idx in
+    let y1 = Vec.create n1 in
+    (* Copy the initial point and set the slack above the worst violation. *)
+    List.iteri
+      (fun _ v ->
+        let p1 = Logspace.index_position c1.idx v in
+        if v <> slack_var then
+          y1.(p1) <- y_init.(Logspace.index_position c.idx v))
+      (Logspace.index_names c1.idx);
+    let worst =
+      Array.fold_left
+        (fun acc (_, f) -> max acc (Logspace.value f y_init))
+        neg_infinity c.cons
+    in
+    y1.(Logspace.index_position c1.idx slack_var) <- worst +. 1.;
+    let project y1 =
+      Vec.init (Logspace.index_size c.idx) (fun i ->
+          let v = Logspace.index_name c.idx i in
+          y1.(Logspace.index_position c1.idx v))
+    in
+    let stop_when y1 =
+      let y = project y1 in
+      Array.for_all (fun (_, f) -> Logspace.value f y < -1e-8) c.cons
+    in
+    let y1', _, total, centerings, _ = barrier opts c1 y1 ~stop_when () in
+    let y = project y1' in
+    if strictly_feasible c y then Some (y, total, centerings) else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Top-level solve                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let initial_point (problem : Problem.t) idx =
+  Vec.init (Logspace.index_size idx) (fun i ->
+      let v = Logspace.index_name idx i in
+      match List.find_opt (fun (v', _, _) -> v' = v) problem.Problem.bounds with
+      | Some (_, lo, hi) -> log (sqrt (lo *. hi))
+      | None -> 0.)
+
+let solve ?(options = default_options) problem =
+  let reduced, eliminated = Problem.eliminate_equalities problem in
+  let reduced = Problem.default_bounds ~lo:1e-9 ~hi:1e9 reduced in
+  match Problem.variables reduced with
+  | [] ->
+    (* Fully determined by equalities: evaluate directly. *)
+    let env v =
+      match List.assoc_opt v eliminated with
+      | Some m -> Monomial.eval (fun _ -> Err.fail "unbound %s" v) m
+      | None -> Err.fail "Gp.Solver: unbound variable %s" v
+    in
+    Ok
+      {
+        status = Optimal;
+        values = List.map (fun (v, m) -> (v, Monomial.eval env m)) eliminated;
+        objective_value = Posy.eval env problem.Problem.objective;
+        duals = [];
+        newton_iterations = 0;
+        centering_steps = 0;
+      }
+  | _ ->
+    let c = compile reduced in
+    let y0 = initial_point reduced c.idx in
+    (match phase1 options reduced c y0 with
+    | None ->
+      Ok
+        {
+          status = Infeasible;
+          values = [];
+          objective_value = nan;
+          duals = [];
+          newton_iterations = 0;
+          centering_steps = 0;
+        }
+    | Some (y_feas, it1, ct1) ->
+      let y, t_final, it2, ct2, limit = barrier options c y_feas () in
+      let env_reduced v = exp y.(Logspace.index_position c.idx v) in
+      let reduced_values =
+        List.map (fun v -> (v, env_reduced v)) (Logspace.index_names c.idx)
+      in
+      let eliminated_values =
+        List.map (fun (v, m) -> (v, Monomial.eval env_reduced m)) eliminated
+      in
+      let values = reduced_values @ eliminated_values in
+      let env v =
+        match List.assoc_opt v values with
+        | Some x -> x
+        | None -> Err.fail "Gp.Solver: unbound variable %s" v
+      in
+      let duals =
+        Array.to_list
+          (Array.map
+             (fun (n, f) ->
+               let vk = Logspace.value f y in
+               (n, 1. /. (t_final *. -.vk)))
+             c.cons)
+      in
+      Log.debug (fun m ->
+          m "solved GP: %d vars, %d constraints, %d newton iterations"
+            (Logspace.index_size c.idx)
+            (Array.length c.cons) (it1 + it2));
+      Ok
+        {
+          status = (if limit then Iteration_limit else Optimal);
+          values;
+          objective_value = Posy.eval env problem.Problem.objective;
+          duals;
+          newton_iterations = it1 + it2;
+          centering_steps = ct1 + ct2;
+        })
+
+let lookup sol v =
+  match List.assoc_opt v sol.values with
+  | Some x -> x
+  | None -> Err.fail "Gp.Solver.lookup: no variable %s in solution" v
+
+let kkt_residual problem sol =
+  let reduced, _eliminated = Problem.eliminate_equalities problem in
+  let reduced = Problem.default_bounds ~lo:1e-9 ~hi:1e9 reduced in
+  let c = compile reduced in
+  let y =
+    Vec.init (Logspace.index_size c.idx) (fun i ->
+        log (lookup sol (Logspace.index_name c.idx i)))
+  in
+  let _, g0 = Logspace.value_grad c.f0 y in
+  let r = Vec.copy g0 in
+  Array.iter
+    (fun (n, f) ->
+      let lambda = try List.assoc n sol.duals with Not_found -> 0. in
+      let _, gk = Logspace.value_grad f y in
+      Vec.axpy lambda gk r)
+    c.cons;
+  Vec.norm_inf r

@@ -1,0 +1,47 @@
+(** Interior-point solver for geometric programs.
+
+    The problem is transformed to convex form by [y = log x]
+    (posynomials become log-sum-exp functions, see {!Smart_posy.Logspace})
+    and solved with a standard log-barrier method: damped Newton inner
+    iterations with backtracking line search, barrier parameter increased
+    geometrically until the duality gap bound [m/t] is below tolerance.
+    A phase-I problem (minimise a slack scale [S] with [f_k(x) <= S])
+    produces the strictly feasible start. *)
+
+type options = {
+  eps : float;  (** target duality-gap bound (default 1e-7) *)
+  mu : float;  (** barrier growth factor (default 20) *)
+  t0 : float;  (** initial barrier parameter (default 1) *)
+  newton_tol : float;  (** Newton decrement^2/2 tolerance (default 1e-8) *)
+  max_newton : int;  (** inner iteration cap per centering (default 250) *)
+  max_centering : int;  (** outer iteration cap (default 60) *)
+}
+
+val default_options : options
+
+type status =
+  | Optimal
+  | Infeasible  (** phase I could not drive the slack below 1 *)
+  | Iteration_limit
+
+type solution = {
+  status : status;
+  values : (string * float) list;  (** optimal variable assignment *)
+  objective_value : float;
+  duals : (string * float) list;  (** approximate dual per inequality *)
+  newton_iterations : int;  (** total inner iterations, both phases *)
+  centering_steps : int;
+}
+
+val solve : ?options:options -> Problem.t -> (solution, string) result
+(** Solve a GP.  [Error] is reserved for malformed problems (empty variable
+    set, unbounded by construction); solver outcomes are reported in
+    [status]. *)
+
+val lookup : solution -> string -> float
+(** Value of a variable in the solution; raises if absent. *)
+
+val kkt_residual : Problem.t -> solution -> float
+(** Infinity norm of the KKT stationarity residual (in log space) at the
+    solution, using the reported duals — small at a true optimum.  Used by
+    property tests. *)

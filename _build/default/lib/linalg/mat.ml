@@ -1,0 +1,190 @@
+module Err = Smart_util.Err
+
+(* Row-major contiguous storage: element (i,j) at [data.(i*cols + j)]. *)
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0. }
+
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+let dims m = (m.rows, m.cols)
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+let add_to m i j x = m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. x
+let copy m = { m with data = Array.copy m.data }
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let matvec m v =
+  if Vec.dim v <> m.cols then
+    Err.fail "Mat.matvec: %dx%d matrix applied to %d-vector" m.rows m.cols (Vec.dim v);
+  Array.init m.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (get m i j *. v.(j))
+      done;
+      !acc)
+
+let matmul a b =
+  if a.cols <> b.rows then
+    Err.fail "Mat.matmul: %dx%d times %dx%d" a.rows a.cols b.rows b.cols;
+  init a.rows b.cols (fun i j ->
+      let acc = ref 0. in
+      for k = 0 to a.cols - 1 do
+        acc := !acc +. (get a i k *. get b k j)
+      done;
+      !acc)
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then Err.fail "Mat.add: dimension mismatch";
+  { a with data = Array.mapi (fun k x -> x +. b.data.(k)) a.data }
+
+let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+
+let rank1_update m a v =
+  if m.rows <> m.cols || m.rows <> Vec.dim v then
+    Err.fail "Mat.rank1_update: dimension mismatch";
+  for i = 0 to m.rows - 1 do
+    let avi = a *. v.(i) in
+    if avi <> 0. then
+      for j = 0 to m.cols - 1 do
+        m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. (avi *. v.(j))
+      done
+  done
+
+let cholesky m =
+  if m.rows <> m.cols then Err.fail "Mat.cholesky: non-square";
+  let n = m.rows in
+  let l = create n n in
+  let ok = ref true in
+  (try
+     for i = 0 to n - 1 do
+       for j = 0 to i do
+         let sum = ref (get m i j) in
+         for k = 0 to j - 1 do
+           sum := !sum -. (get l i k *. get l j k)
+         done;
+         if i = j then begin
+           if !sum <= 0. || Float.is_nan !sum then begin
+             ok := false;
+             raise Exit
+           end;
+           set l i j (sqrt !sum)
+         end
+         else set l i j (!sum /. get l j j)
+       done
+     done
+   with Exit -> ());
+  if !ok then Some l else None
+
+let forward_subst l b =
+  let n = Vec.dim b in
+  let y = Vec.create n in
+  for i = 0 to n - 1 do
+    let sum = ref b.(i) in
+    for k = 0 to i - 1 do
+      sum := !sum -. (get l i k *. y.(k))
+    done;
+    y.(i) <- !sum /. get l i i
+  done;
+  y
+
+let backward_subst_t l y =
+  (* Solves L^T x = y given lower-triangular L. *)
+  let n = Vec.dim y in
+  let x = Vec.create n in
+  for i = n - 1 downto 0 do
+    let sum = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      sum := !sum -. (get l k i *. x.(k))
+    done;
+    x.(i) <- !sum /. get l i i
+  done;
+  x
+
+let cholesky_solve a b =
+  match cholesky a with
+  | None -> None
+  | Some l -> Some (backward_subst_t l (forward_subst l b))
+
+let solve_spd_ridge a b =
+  let n = a.rows in
+  let rec attempt ridge =
+    let a' =
+      if ridge = 0. then a
+      else begin
+        let c = copy a in
+        for i = 0 to n - 1 do
+          add_to c i i ridge
+        done;
+        c
+      end
+    in
+    match cholesky_solve a' b with
+    | Some x -> x
+    | None ->
+      if ridge > 1e12 then Err.fail "Mat.solve_spd_ridge: cannot regularise"
+      else attempt (if ridge = 0. then 1e-10 else ridge *. 100.)
+  in
+  attempt 0.
+
+let lu_solve a b =
+  if a.rows <> a.cols || a.rows <> Vec.dim b then
+    Err.fail "Mat.lu_solve: dimension mismatch";
+  let n = a.rows in
+  let m = copy a in
+  let x = Vec.copy b in
+  let singular = ref false in
+  (try
+     for col = 0 to n - 1 do
+       (* Partial pivoting. *)
+       let piv = ref col in
+       for i = col + 1 to n - 1 do
+         if abs_float (get m i col) > abs_float (get m !piv col) then piv := i
+       done;
+       if abs_float (get m !piv col) < 1e-300 then begin
+         singular := true;
+         raise Exit
+       end;
+       if !piv <> col then begin
+         for j = 0 to n - 1 do
+           let tmp = get m col j in
+           set m col j (get m !piv j);
+           set m !piv j tmp
+         done;
+         let tmp = x.(col) in
+         x.(col) <- x.(!piv);
+         x.(!piv) <- tmp
+       end;
+       for i = col + 1 to n - 1 do
+         let f = get m i col /. get m col col in
+         if f <> 0. then begin
+           for j = col to n - 1 do
+             set m i j (get m i j -. (f *. get m col j))
+           done;
+           x.(i) <- x.(i) -. (f *. x.(col))
+         end
+       done
+     done;
+     for i = n - 1 downto 0 do
+       let sum = ref x.(i) in
+       for j = i + 1 to n - 1 do
+         sum := !sum -. (get m i j *. x.(j))
+       done;
+       x.(i) <- !sum /. get m i i
+     done
+   with Exit -> ());
+  if !singular then None else Some x
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      Format.fprintf ppf "%8.4g%s" (get m i j) (if j < m.cols - 1 then " " else "")
+    done;
+    Format.fprintf ppf "]@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Dense row-major matrices with the factorizations the GP solver needs.
+
+    Only square systems arise in SMART (Newton steps on the log-barrier),
+    so the API centres on Cholesky with a ridge fallback for
+    nearly-singular Hessians, plus a pivoted LU for general solves. *)
+
+type t
+
+val create : int -> int -> t
+(** Zero matrix with the given number of rows and columns. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val identity : int -> t
+val dims : t -> int * int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j x] updates [m.(i).(j) <- m.(i).(j) + x]. *)
+
+val copy : t -> t
+val transpose : t -> t
+val matvec : t -> Vec.t -> Vec.t
+val matmul : t -> t -> t
+val add : t -> t -> t
+val scale : float -> t -> t
+
+val rank1_update : t -> float -> Vec.t -> unit
+(** [rank1_update m a v] updates [m <- m + a * v * v^T] in place (square [m]). *)
+
+val cholesky : t -> t option
+(** Lower-triangular Cholesky factor of a symmetric positive-definite matrix,
+    or [None] when the matrix is not numerically SPD. *)
+
+val cholesky_solve : t -> Vec.t -> Vec.t option
+(** [cholesky_solve a b] solves [a x = b] for SPD [a]. *)
+
+val solve_spd_ridge : t -> Vec.t -> Vec.t
+(** Like {!cholesky_solve} but retries with growing diagonal regularisation
+    [a + ridge*I] until the factorisation succeeds.  Always returns. *)
+
+val lu_solve : t -> Vec.t -> Vec.t option
+(** Partial-pivot LU solve for general square systems; [None] if singular. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+module Err = Smart_util.Err
+
+type t = float array
+
+let create n = Array.make n 0.
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    Err.fail "Vec.%s: dimension mismatch (%d vs %d)" name (Array.length a)
+      (Array.length b)
+
+let add a b =
+  check_dims "add" a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims "sub" a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale s = Array.map (fun x -> s *. x)
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  check_dims "dot" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun acc x -> max acc (abs_float x)) 0. a
+
+let map = Array.map
+
+let map2 f a b =
+  check_dims "map2" a b;
+  Array.mapi (fun i x -> f x b.(i)) a
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let pp ppf v =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    (Array.to_list v)

@@ -1,0 +1,36 @@
+(** Dense vectors over [float array].
+
+    Thin, allocation-conscious wrappers; all binary operations require equal
+    lengths and raise {!Smart_util.Err.Smart_error} otherwise. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given length. *)
+
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+
+val add : t -> t -> t
+(** Elementwise sum. *)
+
+val sub : t -> t -> t
+(** Elementwise difference. *)
+
+val scale : float -> t -> t
+(** [scale a v] is [a * v]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] updates [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val of_list : float list -> t
+val to_list : t -> float list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/macros/cla_adder.ml: Array List Macro Printf Smart_circuit Smart_util String

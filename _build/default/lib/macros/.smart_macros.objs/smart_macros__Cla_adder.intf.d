@@ -1,0 +1,1 @@
+lib/macros/cla_adder.mli: Macro

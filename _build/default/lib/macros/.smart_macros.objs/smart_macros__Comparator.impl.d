@@ -1,0 +1,1 @@
+lib/macros/comparator.ml: Array List Macro Printf Smart_circuit Smart_util

@@ -1,0 +1,1 @@
+lib/macros/comparator.mli: Macro

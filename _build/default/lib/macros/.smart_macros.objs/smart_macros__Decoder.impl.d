@@ -1,0 +1,1 @@
+lib/macros/decoder.ml: Array List Macro Printf Smart_circuit Smart_util

@@ -1,0 +1,1 @@
+lib/macros/decoder.mli: Macro

@@ -1,0 +1,1 @@
+lib/macros/encoder.ml: Array List Macro Printf Smart_circuit Smart_util

@@ -1,0 +1,1 @@
+lib/macros/encoder.mli: Macro

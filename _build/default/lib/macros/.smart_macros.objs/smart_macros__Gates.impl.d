@@ -1,0 +1,1 @@
+lib/macros/gates.ml: Smart_circuit

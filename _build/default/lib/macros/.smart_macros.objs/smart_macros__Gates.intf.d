@@ -1,0 +1,1 @@
+lib/macros/gates.mli: Smart_circuit

@@ -1,0 +1,1 @@
+lib/macros/incrementor.ml: Array Gates Macro Printf Smart_circuit Smart_util

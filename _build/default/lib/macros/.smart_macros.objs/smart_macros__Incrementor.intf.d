@@ -1,0 +1,1 @@
+lib/macros/incrementor.mli: Macro

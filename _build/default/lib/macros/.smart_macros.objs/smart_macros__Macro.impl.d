@@ -1,0 +1,1 @@
+lib/macros/macro.ml: Array Printf Smart_circuit

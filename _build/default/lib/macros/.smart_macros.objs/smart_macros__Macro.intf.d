@@ -1,0 +1,1 @@
+lib/macros/macro.mli: Smart_circuit

@@ -1,0 +1,1 @@
+lib/macros/mux.ml: List Macro Printf Smart_circuit Smart_util

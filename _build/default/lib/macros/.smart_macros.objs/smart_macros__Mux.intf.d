@@ -1,0 +1,1 @@
+lib/macros/mux.mli: Macro

@@ -1,0 +1,1 @@
+lib/macros/regfile.ml: Array List Macro Printf Smart_circuit Smart_util

@@ -1,0 +1,1 @@
+lib/macros/regfile.mli: Macro

@@ -1,0 +1,1 @@
+lib/macros/shifter.ml: Array Macro Printf Smart_circuit Smart_util

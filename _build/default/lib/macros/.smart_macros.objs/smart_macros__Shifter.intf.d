@@ -1,0 +1,1 @@
+lib/macros/shifter.mli: Macro

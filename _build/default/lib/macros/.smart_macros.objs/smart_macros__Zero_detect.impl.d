@@ -1,0 +1,1 @@
+lib/macros/zero_detect.ml: List Macro Printf Smart_circuit Smart_util

@@ -1,0 +1,1 @@
+lib/macros/zero_detect.mli: Macro

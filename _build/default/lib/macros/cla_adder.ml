@@ -1,0 +1,229 @@
+module Err = Smart_util.Err
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+
+let default_load = 20.
+
+(* A dual-rail signal: true and complement nets. *)
+type rail = { t : int; c : int }
+
+(* Build one domino gate.  [legs] are OR-of-AND product terms over nets;
+   the complement gate gets the same legs but realises the De Morgan dual
+   (series of parallels) over the complement nets. *)
+type shape = Or_of_ands | And_of_ors
+
+let mk_domino b ~group ~name ~role ~footed ~shape ~legs ~out =
+  let pins = ref [] in
+  let fresh =
+    let k = ref 0 in
+    fun net ->
+      let pin = Printf.sprintf "x%d" !k in
+      incr k;
+      pins := (pin, net) :: !pins;
+      pin
+  in
+  let leaf net = Pdn.leaf ~pin:(fresh net) ~label:(role ^ ".N") in
+  let pull_down =
+    match shape with
+    | Or_of_ands ->
+      Pdn.parallel (List.map (fun leg -> Pdn.series (List.map leaf leg)) legs)
+    | And_of_ors ->
+      Pdn.series (List.map (fun leg -> Pdn.parallel (List.map leaf leg)) legs)
+  in
+  let gate_name =
+    Printf.sprintf "%s[%s]%s" role
+      (String.concat "," (List.map (fun l -> string_of_int (List.length l)) legs))
+      (match shape with Or_of_ands -> "" | And_of_ors -> "'")
+  in
+  B.inst b ~group ~name
+    ~cell:
+      (Cell.Domino
+         {
+           gate_name;
+           pull_down;
+           precharge = role ^ ".P";
+           eval = (if footed then Some (role ^ ".F") else None);
+           out_p = role ^ ".IP";
+           out_n = role ^ ".IN";
+           keeper = true;
+         })
+    ~inputs:(List.rev !pins) ~out ()
+
+(* Dual-rail gate pair: true rail = OR of ANDs over true nets; complement
+   rail = AND of ORs over complement nets.  [out_t]/[out_c] override the
+   output nets (used to drive primary outputs). *)
+let dual b ?out_t ?out_c ~group ~role ~footed ~legs name =
+  let t = match out_t with Some n -> n | None -> B.wire b (name ^ "_t") in
+  let c = match out_c with Some n -> n | None -> B.wire b (name ^ "_c") in
+  mk_domino b ~group ~name:(name ^ "_t") ~role ~footed ~shape:Or_of_ands
+    ~legs:(List.map (List.map (fun r -> r.t)) legs)
+    ~out:t;
+  mk_domino b ~group ~name:(name ^ "_c") ~role:(role ^ "b") ~footed
+    ~shape:And_of_ors
+    ~legs:(List.map (List.map (fun r -> r.c)) legs)
+    ~out:c;
+  { t; c }
+
+(* Lookahead legs: carry-out of a block from (g, p) pairs and the incoming
+   carry: G = g3 | p3 g2 | p3 p2 g1 | ... ; with carry: ... | p3..p0 cin. *)
+let generate_legs ~gs ~ps ~carry =
+  let k = Array.length gs in
+  let leg_for t =
+    (* p_{k-1} .. p_{t+1} . g_t *)
+    List.init (k - 1 - t) (fun j -> ps.(k - 1 - j)) @ [ gs.(t) ]
+  in
+  let base = List.init k (fun t -> leg_for (k - 1 - t)) in
+  match carry with
+  | None -> base
+  | Some cin -> base @ [ List.init k (fun j -> ps.(k - 1 - j)) @ [ cin ] ]
+
+let generate ?(ext_load = default_load) ~bits () =
+  if bits < 4 || bits mod 4 <> 0 || bits > 64 then
+    Err.fail "Cla_adder: bits must be a multiple of 4 in 4..64";
+  let b = B.create (Printf.sprintf "cla%d" bits) in
+  let input_pair base i =
+    {
+      t = B.input b (Printf.sprintf "%s%d" base i);
+      c = B.input b (Printf.sprintf "%sb%d" base i);
+    }
+  in
+  let a = Array.init bits (input_pair "a") in
+  let bv = Array.init bits (input_pair "b") in
+  let cin = { t = B.input b "cin"; c = B.input b "cinb" } in
+  (* Level 1 (D1): per-bit generate and propagate. *)
+  let g =
+    Array.init bits (fun i ->
+        dual b ~group:(Printf.sprintf "pg/bit%d" i) ~role:"g" ~footed:true
+          ~legs:[ [ a.(i); bv.(i) ] ]
+          (Printf.sprintf "g%d" i))
+  in
+  let p =
+    Array.init bits (fun i ->
+        (* XOR: a.b' | a'.b; the complement gate computes XNOR via the dual. *)
+        let legs =
+          [
+            [ a.(i); { t = bv.(i).c; c = bv.(i).t } ];
+            [ { t = a.(i).c; c = a.(i).t }; bv.(i) ];
+          ]
+        in
+        dual b ~group:(Printf.sprintf "pg/bit%d" i) ~role:"p" ~footed:true ~legs
+          (Printf.sprintf "p%d" i))
+  in
+  let n_groups = bits / 4 in
+  let n_super = (n_groups + 3) / 4 in
+  let group_bits j = Array.init 4 (fun k -> (4 * j) + k) in
+  (* Level 2 (D2): 4-bit group generate / propagate. *)
+  let gg =
+    Array.init n_groups (fun j ->
+        let idx = group_bits j in
+        let gs = Array.map (fun i -> g.(i)) idx in
+        let ps = Array.map (fun i -> p.(i)) idx in
+        dual b ~group:(Printf.sprintf "cla1/g%d" j) ~role:"G" ~footed:false
+          ~legs:(generate_legs ~gs ~ps ~carry:None)
+          (Printf.sprintf "G%d" j))
+  in
+  let gp =
+    Array.init n_groups (fun j ->
+        let idx = group_bits j in
+        let ps = Array.to_list (Array.map (fun i -> p.(i)) idx) in
+        dual b ~group:(Printf.sprintf "cla1/g%d" j) ~role:"P" ~footed:false
+          ~legs:[ ps ]
+          (Printf.sprintf "P%d" j))
+  in
+  (* Level 3 (D1): supergroup generate / propagate over up to 4 groups. *)
+  let super_groups q =
+    let lo = 4 * q in
+    let hi = min n_groups (lo + 4) in
+    Array.init (hi - lo) (fun r -> lo + r)
+  in
+  let sgg =
+    Array.init n_super (fun q ->
+        let idx = super_groups q in
+        let gs = Array.map (fun j -> gg.(j)) idx in
+        let ps = Array.map (fun j -> gp.(j)) idx in
+        dual b ~group:(Printf.sprintf "cla2/s%d" q) ~role:"GG" ~footed:true
+          ~legs:(generate_legs ~gs ~ps ~carry:None)
+          (Printf.sprintf "GG%d" q))
+  in
+  let sgp =
+    Array.init n_super (fun q ->
+        let idx = super_groups q in
+        let ps = Array.to_list (Array.map (fun j -> gp.(j)) idx) in
+        dual b ~group:(Printf.sprintf "cla2/s%d" q) ~role:"PP" ~footed:true
+          ~legs:[ ps ]
+          (Printf.sprintf "PP%d" q))
+  in
+  (* Supergroup carries (D2): D_0 = cin; D_q from lower supergroups.  The
+     final carry (q = n_super) is the dual-rail cout gate below. *)
+  let dcarry = Array.make (max 1 n_super) cin in
+  for q = 1 to n_super - 1 do
+    let gs = Array.init q (fun t -> sgg.(t)) in
+    let ps = Array.init q (fun t -> sgp.(t)) in
+    dcarry.(q) <-
+      dual b ~group:(Printf.sprintf "dcar/s%d" q) ~role:"D" ~footed:false
+        ~legs:(generate_legs ~gs ~ps ~carry:(Some cin))
+        (Printf.sprintf "D%d" q)
+  done;
+  (* Group carries (D1): C_{4q} = D_q; C_{4q+r} from groups 4q..4q+r-1. *)
+  let gcarry =
+    Array.init n_groups (fun j ->
+        let q = j / 4 and r = j mod 4 in
+        if r = 0 then dcarry.(q)
+        else begin
+          let lo = 4 * q in
+          let gs = Array.init r (fun t -> gg.(lo + t)) in
+          let ps = Array.init r (fun t -> gp.(lo + t)) in
+          dual b ~group:(Printf.sprintf "gcar/g%d" j) ~role:"C" ~footed:true
+            ~legs:(generate_legs ~gs ~ps ~carry:(Some dcarry.(q)))
+            (Printf.sprintf "C%d" j)
+        end)
+  in
+  (* Bit carries (D2): c_{4j} = C_j; c_{4j+k} from bits 4j..4j+k-1. *)
+  let bcarry =
+    Array.init bits (fun i ->
+        let j = i / 4 and k = i mod 4 in
+        if k = 0 then gcarry.(j)
+        else begin
+          let lo = 4 * j in
+          let gs = Array.init k (fun t -> g.(lo + t)) in
+          let ps = Array.init k (fun t -> p.(lo + t)) in
+          dual b ~group:(Printf.sprintf "bcar/bit%d" i) ~role:"c" ~footed:false
+            ~legs:(generate_legs ~gs ~ps ~carry:(Some gcarry.(j)))
+            (Printf.sprintf "c%d" i)
+        end)
+  in
+  (* Sums (D1, dual rail as the downstream domino consumer expects):
+     s = p XOR c. *)
+  let swap r = { t = r.c; c = r.t } in
+  for i = 0 to bits - 1 do
+    let out_t = B.output b (Printf.sprintf "s%d" i) in
+    let out_c = B.output b (Printf.sprintf "sb%d" i) in
+    let (_ : rail) =
+      dual b ~out_t ~out_c
+        ~group:(Printf.sprintf "sum/bit%d" i)
+        ~role:"s" ~footed:true
+        ~legs:[ [ p.(i); swap bcarry.(i) ]; [ swap p.(i); bcarry.(i) ] ]
+        (Printf.sprintf "s%d" i)
+    in
+    B.ext_load b out_t ext_load;
+    B.ext_load b out_c ext_load
+  done;
+  (* Carry out: the final supergroup carry, driven out dual-rail. *)
+  let cout_t = B.output b "cout" in
+  let cout_c = B.output b "coutb" in
+  let gs = Array.init n_super (fun t -> sgg.(t)) in
+  let ps = Array.init n_super (fun t -> sgp.(t)) in
+  let (_ : rail) =
+    dual b ~out_t:cout_t ~out_c:cout_c ~group:"cout" ~role:"co" ~footed:false
+      ~legs:(generate_legs ~gs ~ps ~carry:(Some cin))
+      "cout"
+  in
+  B.ext_load b cout_t ext_load;
+  B.ext_load b cout_c ext_load;
+  Macro.make ~kind:"adder" ~variant:"dual-rail-domino-cla" ~bits (B.freeze b)
+
+let spec ~bits ~a ~b ~cin =
+  let m = (1 lsl bits) - 1 in
+  let sum = (a land m) + (b land m) + if cin then 1 else 0 in
+  (sum land m, sum > m)

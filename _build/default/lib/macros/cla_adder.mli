@@ -1,0 +1,30 @@
+(** Dual-rail domino carry-lookahead adder (§6.2's 64-bit experiment).
+
+    Three-level lookahead over 4-bit groups and 16-bit supergroups, fully
+    dual-rail: every signal is a (true, complement) domino pair, because
+    domino stages cannot invert — complements are computed by parallel
+    gates implementing the De Morgan dual (OR-of-ANDs ↔ AND-of-ORs) of the
+    true-rail pull-down.  Stages alternate clocked D1 and footless D2.
+
+    Signals per level (i bits, j 4-bit groups, q 16-bit supergroups):
+    {ul
+    {- [g i = a·b], [p i = a ⊕ b] (D1);}
+    {- group generate/propagate [G j], [P j] (D2);}
+    {- supergroup [GG q], [PP q] (D1);}
+    {- supergroup carries [D q] from [cin] (D2);}
+    {- group carries [C j] (D1), bit carries [c i] (D2);}
+    {- sums [s i = p i ⊕ c i] (D1) — true rail only, driven out.}}
+
+    Inputs: dual-rail ["a<i>"]/["ab<i>"], ["b<i>"]/["bb<i>"], ["cin"]/["cinb"].
+    Outputs: ["s0"] ... ["s<bits-1>"], ["cout"].
+
+    Labels are shared per role ("g.N", "G.P", ...), giving the bit-slice
+    regularity whose effect on path count §5.2 measures on exactly this
+    macro. *)
+
+val generate : ?ext_load:float -> bits:int -> unit -> Macro.info
+(** [bits] must be a positive multiple of 4, at most 64 (one supergroup
+    level).  Default [ext_load] 20 fF per sum output. *)
+
+val spec : bits:int -> a:int -> b:int -> cin:bool -> int * bool
+(** Reference sum and carry-out. *)

@@ -1,0 +1,132 @@
+module Err = Smart_util.Err
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+
+let default_load = 25.
+
+let generate ?(ext_load = default_load) ?(xor_group = 2) ?(or_radix = 4) ~bits () =
+  if bits < 2 then Err.fail "Comparator: bits >= 2";
+  if xor_group < 1 || bits mod xor_group <> 0 then
+    Err.fail "Comparator: xor_group must divide bits";
+  if or_radix < 2 then Err.fail "Comparator: or_radix >= 2";
+  let b =
+    B.create (Printf.sprintf "cmp%d_x%d_r%d" bits xor_group or_radix)
+  in
+  let a = Array.init bits (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let ab = Array.init bits (fun i -> B.input b (Printf.sprintf "ab%d" i)) in
+  let bv = Array.init bits (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let bb = Array.init bits (fun i -> B.input b (Printf.sprintf "bb%d" i)) in
+  (* D1: xorsum gates over groups of xor_group bits. *)
+  let n_groups = bits / xor_group in
+  let mismatches =
+    List.init n_groups (fun g ->
+        let w = B.wire b (Printf.sprintf "mm%d" g) in
+        let pins = ref [] in
+        let legs =
+          List.concat
+            (List.init xor_group (fun j ->
+                 let i = (g * xor_group) + j in
+                 let p0 = Printf.sprintf "t%d" j and p1 = Printf.sprintf "u%d" j in
+                 let p2 = Printf.sprintf "v%d" j and p3 = Printf.sprintf "w%d" j in
+                 pins :=
+                   (p0, a.(i)) :: (p1, bb.(i)) :: (p2, ab.(i)) :: (p3, bv.(i))
+                   :: !pins;
+                 [
+                   Pdn.series
+                     [ Pdn.leaf ~pin:p0 ~label:"xs.N"; Pdn.leaf ~pin:p1 ~label:"xs.N" ];
+                   Pdn.series
+                     [ Pdn.leaf ~pin:p2 ~label:"xs.N"; Pdn.leaf ~pin:p3 ~label:"xs.N" ];
+                 ]))
+        in
+        B.inst b
+          ~group:(Printf.sprintf "d1/g%d" g)
+          ~name:(Printf.sprintf "xorsum%d_%d" xor_group g)
+          ~cell:
+            (Cell.Domino
+               {
+                 gate_name = Printf.sprintf "xorsum%d" xor_group;
+                 pull_down = Pdn.parallel legs;
+                 precharge = "xs.P";
+                 eval = Some "xs.F";
+                 out_p = "xs.IP";
+                 out_n = "xs.IN";
+                 keeper = true;
+               })
+          ~inputs:(List.rev !pins) ~out:w ();
+        w)
+  in
+  (* D2: footless domino OR tree. *)
+  let rec or_tree level signals =
+    match signals with
+    | [ single ] -> single
+    | _ ->
+      let rec take n acc = function
+        | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let rec split = function
+        | [] -> []
+        | l ->
+          let chunk, rest = take or_radix [] l in
+          chunk :: split rest
+      in
+      let next =
+        List.mapi
+          (fun g chunk ->
+            match chunk with
+            | [ lone ] -> lone
+            | _ ->
+              let w = B.wire b (Printf.sprintf "or_l%d_g%d" level g) in
+              let pins =
+                List.mapi (fun j s -> (Printf.sprintf "a%d" j, s)) chunk
+              in
+              let role = Printf.sprintf "or%d" level in
+              B.inst b
+                ~group:(Printf.sprintf "d2/l%d" level)
+                ~name:(Printf.sprintf "or_l%d_g%d" level g)
+                ~cell:
+                  (Cell.Domino
+                     {
+                       gate_name = Printf.sprintf "dor%d" (List.length chunk);
+                       pull_down =
+                         Pdn.parallel
+                           (List.map
+                              (fun (p, _) -> Pdn.leaf ~pin:p ~label:(role ^ ".N"))
+                              pins);
+                       precharge = role ^ ".P";
+                       eval = None;
+                       out_p = role ^ ".IP";
+                       out_n = role ^ ".IN";
+                       keeper = true;
+                     })
+                ~inputs:pins ~out:w ();
+              w)
+          (split signals)
+      in
+      or_tree (level + 1) next
+  in
+  let neq_src = or_tree 0 mismatches in
+  let neq = B.output b "neq" in
+  (* Re-drive onto the named output (also decouples the eq inverter). *)
+  let neqb = B.wire b "neqb" in
+  B.inst b ~group:"outdrv" ~name:"neqdrv"
+    ~cell:(Cell.inverter ~p:"Pnq0" ~n:"Nnq0")
+    ~inputs:[ ("a", neq_src) ]
+    ~out:neqb ();
+  B.inst b ~group:"outdrv" ~name:"neqdrv2"
+    ~cell:(Cell.inverter ~p:"Pnq1" ~n:"Nnq1")
+    ~inputs:[ ("a", neqb) ]
+    ~out:neq ();
+  let eq = B.output b "eq" in
+  B.inst b ~group:"outdrv" ~name:"eqinv"
+    ~cell:(Cell.inverter ~p:"Peq" ~n:"Neq")
+    ~inputs:[ ("a", neq_src) ]
+    ~out:eq ();
+  B.ext_load b neq ext_load;
+  B.ext_load b eq ext_load;
+  Macro.make ~kind:"comparator"
+    ~variant:(Printf.sprintf "domino-x%d-r%d" xor_group or_radix)
+    ~bits (B.freeze b)
+
+let spec ~a ~b = a = b

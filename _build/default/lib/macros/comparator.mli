@@ -1,0 +1,28 @@
+(** Two-stage dynamic (D1–D2) equality comparators — the §6.3 topology
+    exploration example.
+
+    Stage D1: clocked domino "xorsum" gates, each detecting a mismatch in a
+    group of [xor_group] bit positions (legs [a·b̄ | ā·b] per bit).  Stage
+    D2: footless domino OR reduction of radix [or_radix].  Outputs:
+    ["neq"] (rises on mismatch during evaluate) and ["eq"] (static
+    high-skew inverter of [neq]).
+
+    Dual-rail inputs as in the paper's dynamic datapaths: ["a<i>"],
+    ["ab<i>"], ["b<i>"], ["bb<i>"] with the complement rails provided
+    externally (monotone rising during evaluate).
+
+    The Fig. 7 candidates are (xor_group, or_radix) = (2,4) [original],
+    (1,8), (4,4). *)
+
+val generate :
+  ?ext_load:float ->
+  ?xor_group:int ->
+  ?or_radix:int ->
+  bits:int ->
+  unit ->
+  Macro.info
+(** Defaults: [xor_group = 2], [or_radix = 4], [ext_load = 25 fF].
+    [xor_group] must divide [bits]. *)
+
+val spec : a:int -> b:int -> bool
+(** true iff equal. *)

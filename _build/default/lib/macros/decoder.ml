@@ -1,0 +1,90 @@
+module Err = Smart_util.Err
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+
+let default_load = 8.
+
+(* Partition n bits into groups of 3 and 2 (never 1). *)
+let rec group_sizes n =
+  if n = 2 || n = 3 then [ n ]
+  else if n = 4 then [ 2; 2 ]
+  else 3 :: group_sizes (n - 3)
+
+let generate ?(ext_load = default_load) ~in_bits () =
+  if in_bits < 2 || in_bits > 8 then Err.fail "Decoder: in_bits must be 2..8";
+  let b = B.create (Printf.sprintf "dec%dto%d" in_bits (1 lsl in_bits)) in
+  let ins = Array.init in_bits (fun i -> B.input b (Printf.sprintf "in%d" i)) in
+  let compl_ =
+    Array.mapi
+      (fun i input ->
+        let w = B.wire b (Printf.sprintf "nin%d" i) in
+        B.inst b ~group:"compl" ~name:(Printf.sprintf "ci%d" i)
+          ~cell:(Cell.inverter ~p:"Pc" ~n:"Nc")
+          ~inputs:[ ("a", input) ] ~out:w ();
+        w)
+      ins
+  in
+  (* Predecode: for each group of k bits, 2^k one-hot active-low lines. *)
+  let sizes = group_sizes in_bits in
+  let _, groups =
+    List.fold_left
+      (fun (lo, acc) k ->
+        let lines =
+          Array.init (1 lsl k) (fun v ->
+              let w = B.wire b (Printf.sprintf "pd_%d_%d" lo v) in
+              let inputs =
+                List.init k (fun j ->
+                    let bit = lo + j in
+                    let net =
+                      if (v lsr j) land 1 = 1 then ins.(bit) else compl_.(bit)
+                    in
+                    (Printf.sprintf "a%d" j, net))
+              in
+              (match k with
+              | 1 ->
+                B.inst b ~group:"predec" ~name:(Printf.sprintf "pd%d_%d" lo v)
+                  ~cell:(Cell.inverter ~p:"Ppd1" ~n:"Npd1")
+                  ~inputs:[ ("a", snd (List.hd inputs)) ]
+                  ~out:w ()
+              | _ ->
+                B.inst b ~group:"predec" ~name:(Printf.sprintf "pd%d_%d" lo v)
+                  ~cell:
+                    (Cell.nand ~inputs:k ~p:(Printf.sprintf "Ppd%d" k)
+                       ~n:(Printf.sprintf "Npd%d" k))
+                  ~inputs ~out:w ());
+              w)
+        in
+        (lo + k, (lo, k, lines) :: acc))
+      (0, []) sizes
+  in
+  let groups = List.rev groups in
+  let n_out = 1 lsl in_bits in
+  for v = 0 to n_out - 1 do
+    let out = B.output b (Printf.sprintf "out%d" v) in
+    let lines =
+      List.map
+        (fun (lo, k, lines) -> lines.((v lsr lo) land ((1 lsl k) - 1)))
+        groups
+    in
+    (match lines with
+    | [ single ] ->
+      (* One predecode group: its active-low line only needs inversion. *)
+      B.inst b ~group:"final" ~name:(Printf.sprintf "fo%d" v)
+        ~cell:(Cell.inverter ~p:"Pfo" ~n:"Nfo")
+        ~inputs:[ ("a", single) ]
+        ~out ()
+    | _ ->
+      (* Lines are active-low: the selected output has all its lines low,
+         so a NOR fires exactly on the selected code. *)
+      B.inst b ~group:"final" ~name:(Printf.sprintf "fo%d" v)
+        ~cell:
+          (Cell.nor ~inputs:(List.length lines) ~p:"Pf" ~n:"Nf")
+        ~inputs:(List.mapi (fun j l -> (Printf.sprintf "a%d" j, l)) lines)
+        ~out ());
+    B.ext_load b out ext_load
+  done;
+  Macro.make ~kind:"decoder"
+    ~variant:(Printf.sprintf "%dto%d-predecode" in_bits n_out)
+    ~bits:in_bits (B.freeze b)
+
+let spec ~in_bits x = x land ((1 lsl in_bits) - 1)

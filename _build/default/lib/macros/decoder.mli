@@ -1,0 +1,15 @@
+(** n-to-2^n decoders (Figure 5(c) workload).
+
+    Classic two-stage structure: input complement inverters, predecode
+    NANDs over 2–3 bit groups (one-hot active-low lines), then a final
+    NAND-per-output merging one line from each group, buffered by an
+    inverter.  Every output is one-hot active-high.  Labels shared per
+    stage and group-size class.
+
+    Inputs ["in0"] (LSB) ... ; outputs ["out0"] ... ["out<2^n-1>"]. *)
+
+val generate : ?ext_load:float -> in_bits:int -> unit -> Macro.info
+(** [in_bits] between 2 and 8. [ext_load] (default 8 fF) per output. *)
+
+val spec : in_bits:int -> int -> int
+(** [spec ~in_bits x] is the index of the asserted output. *)

@@ -1,0 +1,85 @@
+module Err = Smart_util.Err
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+
+let default_load = 12.
+
+let rec chunks k = function
+  | [] -> []
+  | l ->
+    let rec take n acc = function
+      | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let chunk, rest = take k [] l in
+    chunk :: chunks k rest
+
+let generate ?(ext_load = default_load) ~out_bits () =
+  if out_bits < 1 || out_bits > 7 then Err.fail "Encoder: out_bits must be 1..7";
+  let n_in = 1 lsl out_bits in
+  let b = B.create (Printf.sprintf "enc%dto%d" n_in out_bits) in
+  let ins = Array.init n_in (fun i -> B.input b (Printf.sprintf "in%d" i)) in
+  (* Output bit j = OR of the input lines whose index has bit j set.
+     OR tree: NOR4 (active-low) alternating with NAND4, per output. *)
+  for j = 0 to out_bits - 1 do
+    let members =
+      List.filter (fun i -> (i lsr j) land 1 = 1) (List.init n_in (fun i -> i))
+    in
+    let out = B.output b (Printf.sprintf "out%d" j) in
+    (* active_low: the current signals are active-low OR partials. *)
+    let rec reduce level ~active_low signals =
+      match signals with
+      | [ single ] ->
+        if active_low then
+          B.inst b ~group:(Printf.sprintf "o%d/final" j)
+            ~name:(Printf.sprintf "e%d_f" j)
+            ~cell:(Cell.inverter ~p:(Printf.sprintf "o%d.Pf" j) ~n:(Printf.sprintf "o%d.Nf" j))
+            ~inputs:[ ("a", single) ] ~out ()
+        else begin
+          (* Re-drive to the output with a buffer pair. *)
+          let w = B.wire b (Printf.sprintf "e%d_buf" j) in
+          B.inst b ~group:(Printf.sprintf "o%d/final" j)
+            ~name:(Printf.sprintf "e%d_b0" j)
+            ~cell:(Cell.inverter ~p:(Printf.sprintf "o%d.Pb0" j) ~n:(Printf.sprintf "o%d.Nb0" j))
+            ~inputs:[ ("a", single) ] ~out:w ();
+          B.inst b ~group:(Printf.sprintf "o%d/final" j)
+            ~name:(Printf.sprintf "e%d_b1" j)
+            ~cell:(Cell.inverter ~p:(Printf.sprintf "o%d.Pb1" j) ~n:(Printf.sprintf "o%d.Nb1" j))
+            ~inputs:[ ("a", w) ] ~out ()
+        end
+      | _ ->
+        let p = Printf.sprintf "o%d.P%d" j level in
+        let n = Printf.sprintf "o%d.N%d" j level in
+        let next =
+          List.mapi
+            (fun g group ->
+              let w = B.wire b (Printf.sprintf "e%d_l%d_g%d" j level g) in
+              (match group with
+              | [ lone ] ->
+                B.inst b ~group:(Printf.sprintf "o%d/l%d" j level)
+                  ~name:(Printf.sprintf "e%d_i_l%d_g%d" j level g)
+                  ~cell:(Cell.inverter ~p ~n)
+                  ~inputs:[ ("a", lone) ] ~out:w ()
+              | _ ->
+                let cell =
+                  (* OR of active-high = NOR (gives active-low);
+                     OR of active-low = NAND. *)
+                  if active_low then Cell.nand ~inputs:(List.length group) ~p ~n
+                  else Cell.nor ~inputs:(List.length group) ~p ~n
+                in
+                B.inst b ~group:(Printf.sprintf "o%d/l%d" j level)
+                  ~name:(Printf.sprintf "e%d_g_l%d_g%d" j level g)
+                  ~cell
+                  ~inputs:(List.mapi (fun k s -> (Printf.sprintf "a%d" k, s)) group)
+                  ~out:w ());
+              w)
+            (chunks 4 signals)
+        in
+        reduce (level + 1) ~active_low:(not active_low) next
+    in
+    reduce 0 ~active_low:false (List.map (fun i -> ins.(i)) members);
+    B.ext_load b out ext_load
+  done;
+  Macro.make ~kind:"encoder" ~variant:"one-hot-binary" ~bits:out_bits (B.freeze b)
+
+let spec ~out_bits line = line land ((1 lsl out_bits) - 1)

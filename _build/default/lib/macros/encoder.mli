@@ -1,0 +1,15 @@
+(** One-hot-to-binary encoders — the "encoders" of the paper's §2(a) list.
+
+    Given a one-hot input word of 2^m lines, produce the m-bit index of
+    the asserted line: [out j = OR of all in i with bit j of i set],
+    realised as per-output NOR/NAND reduction trees (active-low middle
+    levels, De Morgan-clean), with labels shared per output-tree level.
+
+    Inputs ["in0"] ... ["in<2^m - 1>"] (exactly one high); outputs
+    ["out0"] ... ["out<m-1>"]. *)
+
+val generate : ?ext_load:float -> out_bits:int -> unit -> Macro.info
+(** [out_bits] between 1 and 7 (up to 128 input lines). *)
+
+val spec : out_bits:int -> int -> int
+(** [spec ~out_bits line] is the index of the asserted line (identity). *)

@@ -1,0 +1,30 @@
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+
+(* out = a XOR c via four NAND2s:
+   x = NAND(a,c); out = NAND(NAND(a,x), NAND(c,x)). *)
+let xor2 b ~group ~name ~labels a c out =
+  let x = B.wire b (name ^ "_x") in
+  let y = B.wire b (name ^ "_y") in
+  let z = B.wire b (name ^ "_z") in
+  let nand2 ~suffix ~label i0 i1 o =
+    B.inst b ~group ~name:(name ^ suffix)
+      ~cell:(Cell.nand ~inputs:2 ~p:("P" ^ labels ^ label) ~n:("N" ^ labels ^ label))
+      ~inputs:[ ("a0", i0); ("a1", i1) ]
+      ~out:o ()
+  in
+  nand2 ~suffix:"_n0" ~label:"a" a c x;
+  nand2 ~suffix:"_n1" ~label:"b" a x y;
+  nand2 ~suffix:"_n2" ~label:"b" c x z;
+  nand2 ~suffix:"_n3" ~label:"c" y z out
+
+let and2 b ~group ~name ~labels a c out =
+  let w = B.wire b (name ^ "_w") in
+  B.inst b ~group ~name:(name ^ "_nand")
+    ~cell:(Cell.nand ~inputs:2 ~p:("P" ^ labels ^ "n") ~n:("N" ^ labels ^ "n"))
+    ~inputs:[ ("a0", a); ("a1", c) ]
+    ~out:w ();
+  B.inst b ~group ~name:(name ^ "_inv")
+    ~cell:(Cell.inverter ~p:("P" ^ labels ^ "i") ~n:("N" ^ labels ^ "i"))
+    ~inputs:[ ("a", w) ]
+    ~out ()

@@ -1,0 +1,26 @@
+(** Static-gate composition helpers shared by the macro generators. *)
+
+val xor2 :
+  Smart_circuit.Netlist.Builder.b ->
+  group:string ->
+  name:string ->
+  labels:string ->
+  Smart_circuit.Netlist.net_id ->
+  Smart_circuit.Netlist.net_id ->
+  Smart_circuit.Netlist.net_id ->
+  unit
+(** [xor2 b ~group ~name ~labels a bb out] builds the classic 4-NAND XOR of
+    nets [a] and [bb] into [out].  [labels] prefixes the three shared label
+    classes ([<labels>a], [<labels>b], [<labels>c] for the input, middle and
+    output NANDs respectively, each with P/N variants). *)
+
+val and2 :
+  Smart_circuit.Netlist.Builder.b ->
+  group:string ->
+  name:string ->
+  labels:string ->
+  Smart_circuit.Netlist.net_id ->
+  Smart_circuit.Netlist.net_id ->
+  Smart_circuit.Netlist.net_id ->
+  unit
+(** NAND2 + inverter; labels [<labels>n] (NAND) and [<labels>i] (inverter). *)

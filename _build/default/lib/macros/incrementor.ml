@@ -1,0 +1,72 @@
+module Err = Smart_util.Err
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+
+let default_load = 20.
+
+(* Sklansky prefix-AND: after ceil(log2 n) levels, prefix.(i) carries
+   AND(x_0 .. x_i).  Level l merges each position whose l-th index bit is
+   set with the top of the preceding 2^l block. *)
+let prefix_and b ~n ~level_label signals =
+  let prefix = Array.copy signals in
+  let levels = int_of_float (ceil (log (float_of_int n) /. log 2.)) in
+  for l = 0 to levels - 1 do
+    let labels = Printf.sprintf "%s%d" level_label l in
+    for i = 0 to n - 1 do
+      if (i lsr l) land 1 = 1 then begin
+        let partner = ((i lsr l) lsl l) - 1 in
+        let out = B.wire b (Printf.sprintf "pfx_l%d_i%d" l i) in
+        Gates.and2 b
+          ~group:(Printf.sprintf "prefix%d" l)
+          ~name:(Printf.sprintf "pa_l%d_i%d" l i)
+          ~labels prefix.(partner) prefix.(i) out;
+        prefix.(i) <- out
+      end
+    done
+  done;
+  prefix
+
+let generate ?(ext_load = default_load) ?(decrement = false) ~bits () =
+  if bits < 2 then Err.fail "Incrementor: bits >= 2 required";
+  let b =
+    B.create (Printf.sprintf "%s%d" (if decrement then "dec" else "inc") bits)
+  in
+  let ins = Array.init bits (fun i -> B.input b (Printf.sprintf "in%d" i)) in
+  let outs = Array.init bits (fun i -> B.output b (Printf.sprintf "out%d" i)) in
+  (* Only prefixes 0 .. bits-2 feed sums, so the chain runs on the low
+     bits-1 positions (the top prefix, AND of everything, is unused).
+     A decrementor is an incrementor whose carry chain runs on inverted
+     inputs (borrow ripples through zeros). *)
+  let chain_inputs =
+    Array.init (bits - 1) (fun i ->
+        if not decrement then ins.(i)
+        else begin
+          let inv = B.wire b (Printf.sprintf "ninv%d" i) in
+          B.inst b ~group:"invin" ~name:(Printf.sprintf "ii%d" i)
+            ~cell:(Cell.inverter ~p:"Pii" ~n:"Nii")
+            ~inputs:[ ("a", ins.(i)) ]
+            ~out:inv ();
+          inv
+        end)
+  in
+  let prefix = prefix_and b ~n:(bits - 1) ~level_label:"pa" chain_inputs in
+  (* Bit 0 always toggles. *)
+  B.inst b ~group:"sum0" ~name:"sum0"
+    ~cell:(Cell.inverter ~p:"Ps0" ~n:"Ns0")
+    ~inputs:[ ("a", ins.(0)) ]
+    ~out:outs.(0) ();
+  for i = 1 to bits - 1 do
+    Gates.xor2 b ~group:(Printf.sprintf "sum%d" i)
+      ~name:(Printf.sprintf "sx%d" i)
+      ~labels:"x"
+      ins.(i)
+      prefix.(i - 1)
+      outs.(i)
+  done;
+  Array.iter (fun out -> B.ext_load b out ext_load) outs;
+  Macro.make ~kind:(if decrement then "decrementor" else "incrementor")
+    ~variant:"sklansky-static" ~bits (B.freeze b)
+
+let spec ~decrement ~bits x =
+  let m = (1 lsl bits) - 1 in
+  if decrement then (x - 1) land m else (x + 1) land m

@@ -1,0 +1,16 @@
+(** Incrementors and decrementors (Figure 5(a) workload).
+
+    [out = in + 1] (or [in - 1]) over [bits] bits, modulo 2^bits.  Static
+    CMOS: a Sklansky prefix-AND tree computes the carry (borrow) chain in
+    log depth; a 4-NAND XOR per bit forms the sum.  Labels are shared per
+    tree level and per role across all bit positions — the bit-slice
+    regularity the paper's path reduction feeds on.
+
+    Inputs ["in0"] (LSB) ... ["in<bits-1>"]; outputs ["out0"] ... *)
+
+val generate :
+  ?ext_load:float -> ?decrement:bool -> bits:int -> unit -> Macro.info
+(** [ext_load] (default 20 fF) loads each output.  [bits >= 2]. *)
+
+val spec : decrement:bool -> bits:int -> int -> int
+(** Reference function: [spec ~decrement ~bits x] is x±1 mod 2^bits. *)

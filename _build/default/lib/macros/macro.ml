@@ -1,0 +1,22 @@
+module Netlist = Smart_circuit.Netlist
+module Cell = Smart_circuit.Cell
+module Family = Smart_circuit.Family
+
+type info = {
+  netlist : Netlist.t;
+  kind : string;
+  variant : string;
+  bits : int;
+  dynamic : bool;
+}
+
+let make ~kind ~variant ~bits netlist =
+  let dynamic =
+    Array.exists
+      (fun (i : Netlist.instance) ->
+        Family.is_dynamic (Cell.family i.Netlist.cell))
+      netlist.Netlist.instances
+  in
+  { netlist; kind; variant; bits; dynamic }
+
+let name info = Printf.sprintf "%dbit %s %s" info.bits info.variant info.kind

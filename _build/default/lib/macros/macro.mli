@@ -1,0 +1,19 @@
+(** Common metadata for generated datapath macros. *)
+
+type info = {
+  netlist : Smart_circuit.Netlist.t;
+  kind : string;  (** e.g. ["mux"], ["incrementor"] *)
+  variant : string;  (** topology/parameter summary, e.g. ["unsplit-domino"] *)
+  bits : int;  (** width parameter (inputs for muxes, bits otherwise) *)
+  dynamic : bool;  (** contains domino stages *)
+}
+
+val make :
+  kind:string ->
+  variant:string ->
+  bits:int ->
+  Smart_circuit.Netlist.t ->
+  info
+
+val name : info -> string
+(** ["<bits>bit <variant> <kind>"]. *)

@@ -1,0 +1,251 @@
+module Err = Smart_util.Err
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+
+type topology =
+  | Strongly_mutexed
+  | Weakly_mutexed
+  | Encoded_2to1
+  | Tristate_mux
+  | Domino_unsplit
+  | Domino_partitioned of int option
+
+let topology_name = function
+  | Strongly_mutexed -> "strongly-mutexed-passgate"
+  | Weakly_mutexed -> "weakly-mutexed-passgate"
+  | Encoded_2to1 -> "encoded-2to1-passgate"
+  | Tristate_mux -> "tristate"
+  | Domino_unsplit -> "unsplit-domino"
+  | Domino_partitioned _ -> "partitioned-domino"
+
+let default_load = 30.
+
+(* Fig. 2(a/b): input drivers (P1/N1) feed transmission gates (N2) onto a
+   shared node buffered by the output driver (P3/N3).  The driver pair
+   inverts twice, so out = selected input.  In the weakly-mutexed variant
+   the last select is reconstructed as NOR of the others (P4/N4). *)
+let passgate_mux ~weakly n =
+  if n < 2 then Err.fail "Mux: need n >= 2";
+  if weakly && n < 2 then Err.fail "Mux: weakly-mutexed needs n >= 2";
+  let b = B.create (Printf.sprintf "mux%d_%s" n (if weakly then "weak" else "strong")) in
+  let ins = List.init n (fun i -> B.input b (Printf.sprintf "in%d" i)) in
+  let nsel = if weakly then n - 1 else n in
+  let sels = List.init nsel (fun i -> B.input b (Printf.sprintf "s%d" i)) in
+  let out = B.output b "out" in
+  let mid = B.wire b "mid" in
+  let last_sel =
+    if not weakly then None
+    else begin
+      (* One-hot reconstruction: the "none of the others" select. *)
+      let sn = B.wire b "sn" in
+      let cell =
+        if n - 1 = 1 then Cell.inverter ~p:"P4" ~n:"N4"
+        else Cell.nor ~inputs:(n - 1) ~p:"P4" ~n:"N4"
+      in
+      let inputs =
+        if n - 1 = 1 then [ ("a", List.hd sels) ]
+        else List.mapi (fun i s -> (Printf.sprintf "a%d" i, s)) sels
+      in
+      B.inst b ~group:"selgen" ~name:"selnor" ~cell ~inputs ~out:sn ();
+      Some sn
+    end
+  in
+  List.iteri
+    (fun i input ->
+      let group = Printf.sprintf "bit%d" i in
+      let drv = B.wire b (Printf.sprintf "d%d" i) in
+      B.inst b ~group ~name:(Printf.sprintf "drv%d" i)
+        ~cell:(Cell.inverter ~p:"P1" ~n:"N1")
+        ~inputs:[ ("a", input) ] ~out:drv ();
+      let sel =
+        if i < nsel then List.nth sels i
+        else match last_sel with Some s -> s | None -> assert false
+      in
+      B.inst b ~group ~name:(Printf.sprintf "pg%d" i)
+        ~cell:(Cell.Passgate { style = Cell.Cmos_tgate; label = "N2" })
+        ~inputs:[ ("d", drv); ("s", sel) ]
+        ~out:mid ())
+    ins;
+  B.inst b ~group:"outdrv" ~name:"outdrv"
+    ~cell:(Cell.inverter ~p:"P3" ~n:"N3")
+    ~inputs:[ ("a", mid) ] ~out ();
+  (b, out)
+
+(* Fig. 2(c): N-first pass for in0, P-first for in1, one encoded select --
+   no local select inversion delay. *)
+let encoded_2to1 () =
+  let b = B.create "mux2_encoded" in
+  let in0 = B.input b "in0" in
+  let in1 = B.input b "in1" in
+  let sel = B.input b "select" in
+  let out = B.output b "out" in
+  let mid = B.wire b "mid" in
+  let drive i input =
+    let drv = B.wire b (Printf.sprintf "d%d" i) in
+    B.inst b ~group:(Printf.sprintf "bit%d" i) ~name:(Printf.sprintf "drv%d" i)
+      ~cell:(Cell.inverter ~p:"P1" ~n:"N1")
+      ~inputs:[ ("a", input) ] ~out:drv ();
+    drv
+  in
+  let d0 = drive 0 in0 in
+  let d1 = drive 1 in1 in
+  B.inst b ~group:"bit0" ~name:"pgN"
+    ~cell:(Cell.Passgate { style = Cell.N_only; label = "N2" })
+    ~inputs:[ ("d", d0); ("s", sel) ]
+    ~out:mid ();
+  B.inst b ~group:"bit1" ~name:"pgP"
+    ~cell:(Cell.Passgate { style = Cell.P_only; label = "N2" })
+    ~inputs:[ ("d", d1); ("s", sel) ]
+    ~out:mid ();
+  B.inst b ~group:"outdrv" ~name:"outdrv"
+    ~cell:(Cell.inverter ~p:"P3" ~n:"N3")
+    ~inputs:[ ("a", mid) ] ~out ();
+  (b, out)
+
+(* Fig. 2(d): inverting tri-state drivers (P1/N1) share the bus, buffered
+   by the output driver (P2/N2). *)
+let tristate_mux n =
+  if n < 2 then Err.fail "Mux: need n >= 2";
+  let b = B.create (Printf.sprintf "mux%d_tristate" n) in
+  let out = B.output b "out" in
+  let bus = B.wire b "bus" in
+  List.iteri
+    (fun i () ->
+      let input = B.input b (Printf.sprintf "in%d" i) in
+      let sel = B.input b (Printf.sprintf "s%d" i) in
+      B.inst b ~group:(Printf.sprintf "bit%d" i) ~name:(Printf.sprintf "ts%d" i)
+        ~cell:(Cell.Tristate { p_label = "P1"; n_label = "N1" })
+        ~inputs:[ ("d", input); ("en", sel) ]
+        ~out:bus ())
+    (List.init n (fun _ -> ()));
+  B.inst b ~group:"outdrv" ~name:"outdrv"
+    ~cell:(Cell.inverter ~p:"P2" ~n:"N2")
+    ~inputs:[ ("a", bus) ] ~out ();
+  (b, out)
+
+(* Fig. 2(e): all product terms on one dynamic node. *)
+let domino_unsplit n =
+  if n < 2 then Err.fail "Mux: need n >= 2";
+  let b = B.create (Printf.sprintf "mux%d_domino" n) in
+  let pins = ref [] in
+  let legs =
+    List.init n (fun i ->
+        let input = B.input b (Printf.sprintf "in%d" i) in
+        let sel = B.input b (Printf.sprintf "s%d" i) in
+        let sp = Printf.sprintf "sp%d" i and dp = Printf.sprintf "dp%d" i in
+        pins := ((sp, sel) :: (dp, input) :: !pins);
+        Pdn.series [ Pdn.leaf ~pin:sp ~label:"N1"; Pdn.leaf ~pin:dp ~label:"N1" ])
+  in
+  let out = B.output b "out" in
+  B.inst b ~group:"domino" ~name:"dom"
+    ~cell:
+      (Cell.Domino
+         {
+           gate_name = Printf.sprintf "dommux%d" n;
+           pull_down = Pdn.parallel legs;
+           precharge = "P1";
+           eval = Some "N2";
+           out_p = "P3";
+           out_n = "N3";
+           keeper = true;
+         })
+    ~inputs:(List.rev !pins) ~out ();
+  (b, out)
+
+(* Fig. 2(f): two domino partitions (labels P1/N1/N2 and P3/N3/N4) merged
+   by a footless D2 domino OR (P5/N5, output driver P6/N6). *)
+let domino_partitioned m n =
+  if n < 3 then Err.fail "Mux: partitioned domino needs n >= 3";
+  let m = match m with Some m -> m | None -> n / 2 in
+  if m < 1 || m >= n then Err.fail "Mux: bad partition %d of %d" m n;
+  let b = B.create (Printf.sprintf "mux%d_split%d" n m) in
+  let out = B.output b "out" in
+  let partition ~group ~labels:(pre, data, foot, op, on) name lo hi =
+    let pins = ref [] in
+    let legs =
+      List.init (hi - lo) (fun k ->
+          let i = lo + k in
+          let input = B.input b (Printf.sprintf "in%d" i) in
+          let sel = B.input b (Printf.sprintf "s%d" i) in
+          let sp = Printf.sprintf "sp%d" i and dp = Printf.sprintf "dp%d" i in
+          pins := ((sp, sel) :: (dp, input) :: !pins);
+          Pdn.series [ Pdn.leaf ~pin:sp ~label:data; Pdn.leaf ~pin:dp ~label:data ])
+    in
+    let w = B.wire b (name ^ "_out") in
+    B.inst b ~group ~name
+      ~cell:
+        (Cell.Domino
+           {
+             gate_name = name;
+             pull_down = Pdn.parallel legs;
+             precharge = pre;
+             eval = Some foot;
+             out_p = op;
+             out_n = on;
+             keeper = true;
+           })
+      ~inputs:(List.rev !pins) ~out:w ();
+    w
+  in
+  let top = partition ~group:"part0" ~labels:("P1", "N1", "N2", "IP1", "IN1") "part0" 0 m in
+  let bot = partition ~group:"part1" ~labels:("P3", "N3", "N4", "IP2", "IN2") "part1" m n in
+  B.inst b ~group:"merge" ~name:"merge"
+    ~cell:
+      (Cell.Domino
+         {
+           gate_name = "mergeor2";
+           pull_down =
+             Pdn.parallel
+               [ Pdn.leaf ~pin:"a0" ~label:"N5"; Pdn.leaf ~pin:"a1" ~label:"N5" ];
+           precharge = "P5";
+           eval = None;
+           out_p = "P6";
+           out_n = "N6";
+           keeper = true;
+         })
+    ~inputs:[ ("a0", top); ("a1", bot) ]
+    ~out ();
+  (b, out)
+
+let generate ?(ext_load = default_load) topology ~n =
+  let b, out =
+    match topology with
+    | Strongly_mutexed -> passgate_mux ~weakly:false n
+    | Weakly_mutexed -> passgate_mux ~weakly:true n
+    | Encoded_2to1 ->
+      if n <> 2 then Err.fail "Mux: encoded topology is 2-to-1 only";
+      encoded_2to1 ()
+    | Tristate_mux -> tristate_mux n
+    | Domino_unsplit -> domino_unsplit n
+    | Domino_partitioned m -> domino_partitioned m n
+  in
+  B.ext_load b out ext_load;
+  Macro.make ~kind:"mux" ~variant:(topology_name topology) ~bits:n (B.freeze b)
+
+let applicable topology ~n ~strongly_mutexed_selects ~heavy_load =
+  match topology with
+  | Strongly_mutexed -> strongly_mutexed_selects
+  | Weakly_mutexed -> true
+  | Encoded_2to1 -> n = 2
+  | Tristate_mux -> heavy_load || n >= 8
+  | Domino_unsplit -> strongly_mutexed_selects
+  | Domino_partitioned _ -> n >= 3 && strongly_mutexed_selects
+
+let all_for ?(ext_load = default_load) ~n () =
+  let candidates =
+    [
+      Strongly_mutexed;
+      Weakly_mutexed;
+      Encoded_2to1;
+      Tristate_mux;
+      Domino_unsplit;
+      Domino_partitioned None;
+    ]
+  in
+  List.filter_map
+    (fun t ->
+      if (t = Encoded_2to1 && n <> 2) || (t = Domino_partitioned None && n < 3)
+      then None
+      else Some (t, generate ~ext_load t ~n))
+    candidates

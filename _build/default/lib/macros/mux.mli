@@ -1,0 +1,40 @@
+(** The §4 multiplexor database: all six topologies of Figure 2.
+
+    Inputs are ["in0"] ... ["in<n-1>"]; select inputs are ["s0"] ...
+    (one-hot) except the encoded 2-input topology, which has a single
+    ["select"] ([select = 1] picks ["in0"]).  Output is ["out"], equal to
+    the selected input (domino topologies evaluate to the selected input
+    during the evaluate phase and reset low on precharge).
+
+    Size labels follow the paper's defaults: input drivers P1/N1, pass
+    devices N2, output drivers P3/N3, the weakly-mutexed NOR P4/N4,
+    tri-states P1/N1 with output driver P2/N2, domino precharge P1 /
+    evaluate N2 / data N1 / output driver P3/N3, and the partitioned
+    domino's second partition P3/N3/N4 with merge labels P5/N5
+    (our merge is a footless D2 domino OR whose output driver adds
+    P6/N6). *)
+
+type topology =
+  | Strongly_mutexed  (** Fig. 2(a): selects guaranteed one-hot *)
+  | Weakly_mutexed
+      (** Fig. 2(b): last select derived by NOR of the others *)
+  | Encoded_2to1  (** Fig. 2(c): N-first + P-first pair, 2 inputs only *)
+  | Tristate_mux  (** Fig. 2(d): for heavy loads / long interconnect *)
+  | Domino_unsplit  (** Fig. 2(e): single dynamic node *)
+  | Domino_partitioned of int option
+      (** Fig. 2(f): [(m, n-m)] split; [None] = floor(n/2) *)
+
+val topology_name : topology -> string
+
+val generate : ?ext_load:float -> topology -> n:int -> Macro.info
+(** Build an n-to-1 mux.  Raises for [Encoded_2to1] when [n <> 2], and for
+    [n < 2] generally.  [ext_load] (fF, default 30) loads the output. *)
+
+val applicable : topology -> n:int -> strongly_mutexed_selects:bool -> heavy_load:bool -> bool
+(** Design-space pruning predicate used by the database (Fig. 1 "simple
+    pruning"): e.g. the strongly-mutexed topology requires the one-hot
+    guarantee; tri-states want heavy loads; the encoded form needs n = 2. *)
+
+val all_for : ?ext_load:float -> n:int -> unit -> (topology * Macro.info) list
+(** Every topology applicable to an n-input instance (both mutex
+    assumptions allowed, load-based pruning skipped). *)

@@ -1,0 +1,93 @@
+module Err = Smart_util.Err
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+
+let default_load = 25.
+
+let log2 n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let generate ?(ext_load = default_load) ~words ~width () =
+  if words < 4 || words > 64 || not (is_power_of_two words) then
+    Err.fail "Regfile: words must be a power of two in 4..64";
+  if width < 1 then Err.fail "Regfile: width >= 1";
+  let abits = log2 words in
+  let b = B.create (Printf.sprintf "rf%dx%d" words width) in
+  let addr = Array.init abits (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let data =
+    Array.init words (fun w ->
+        Array.init width (fun bit -> B.input b (Printf.sprintf "d%d_%d" w bit)))
+  in
+  (* Address complements. *)
+  let addr_b =
+    Array.mapi
+      (fun i a ->
+        let w = B.wire b (Printf.sprintf "ab%d" i) in
+        B.inst b ~group:"addr" ~name:(Printf.sprintf "ai%d" i)
+          ~cell:(Cell.inverter ~p:"Pc" ~n:"Nc")
+          ~inputs:[ ("a", a) ] ~out:w ();
+        w)
+      addr
+  in
+  (* One-hot word lines: NAND over the address polarity + word-line driver
+     inverter (the classic decoder + WL driver pair). *)
+  let wordline =
+    Array.init words (fun w ->
+        let nand_out = B.wire b (Printf.sprintf "wlb%d" w) in
+        let inputs =
+          List.init abits (fun j ->
+              let net = if (w lsr j) land 1 = 1 then addr.(j) else addr_b.(j) in
+              (Printf.sprintf "a%d" j, net))
+        in
+        (match abits with
+        | 1 ->
+          B.inst b ~group:"dec" ~name:(Printf.sprintf "wd%d" w)
+            ~cell:(Cell.inverter ~p:"Pd" ~n:"Nd")
+            ~inputs:[ ("a", snd (List.hd inputs)) ]
+            ~out:nand_out ()
+        | _ ->
+          B.inst b ~group:"dec" ~name:(Printf.sprintf "wd%d" w)
+            ~cell:(Cell.nand ~inputs:abits ~p:"Pd" ~n:"Nd")
+            ~inputs ~out:nand_out ());
+        let wl = B.wire b (Printf.sprintf "wl%d" w) in
+        B.inst b ~group:"wldrv" ~name:(Printf.sprintf "wl%d_drv" w)
+          ~cell:(Cell.inverter ~p:"Pw" ~n:"Nw")
+          ~inputs:[ ("a", nand_out) ]
+          ~out:wl ();
+        wl)
+  in
+  (* Per-bit words-to-1 strongly-mutexed pass mux (Fig. 2(a)): data
+     drivers, transmission gates selected by the word lines, output
+     driver. *)
+  for bit = 0 to width - 1 do
+    let mid = B.wire b (Printf.sprintf "bl%d" bit) in
+    for w = 0 to words - 1 do
+      let drv = B.wire b (Printf.sprintf "dd%d_%d" w bit) in
+      B.inst b
+        ~group:(Printf.sprintf "bit%d/w%d" bit w)
+        ~name:(Printf.sprintf "dd%d_%d" w bit)
+        ~cell:(Cell.inverter ~p:"P1" ~n:"N1")
+        ~inputs:[ ("a", data.(w).(bit)) ]
+        ~out:drv ();
+      B.inst b
+        ~group:(Printf.sprintf "bit%d/w%d" bit w)
+        ~name:(Printf.sprintf "pg%d_%d" w bit)
+        ~cell:(Cell.Passgate { style = Cell.Cmos_tgate; label = "N2" })
+        ~inputs:[ ("d", drv); ("s", wordline.(w)) ]
+        ~out:mid ()
+    done;
+    let out = B.output b (Printf.sprintf "out%d" bit) in
+    B.inst b ~group:(Printf.sprintf "bit%d" bit)
+      ~name:(Printf.sprintf "od%d" bit)
+      ~cell:(Cell.inverter ~p:"P3" ~n:"N3")
+      ~inputs:[ ("a", mid) ]
+      ~out ();
+    B.ext_load b out ext_load
+  done;
+  Macro.make ~kind:"register-file" ~variant:"read-path" ~bits:(words * width)
+    (B.freeze b)
+
+let spec ~words ~width ~addr mem = mem (addr land (words - 1)) land ((1 lsl width) - 1)

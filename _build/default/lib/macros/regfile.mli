@@ -1,0 +1,24 @@
+(** Register-file read paths — the "register files" of the paper's §2(a)
+    macro list.
+
+    The read path of a [words] × [width] register file: an address
+    predecoder (reusing the decoder structure) produces one-hot word
+    lines, buffered by word-line drivers; each output bit is then a
+    [words]-to-1 strongly-mutexed pass-gate mux (the Fig. 2(a) topology)
+    over the stored bits, which arrive as primary inputs ["d<w>_<b>"]
+    (the cell array itself is outside the sizing macro, as in real
+    methodology — the read path is what gets sized).
+
+    Inputs: ["a0"] ... (address, LSB first), ["d<w>_<b>"] data;
+    outputs ["out0"] ... ["out<width-1>"].
+
+    Labels: decoder stages as in {!Decoder}, word-line drivers ["Pw"/"Nw"],
+    pass gates ["N2"], output drivers ["P3"/"N3"] — shared across all bits
+    and words. *)
+
+val generate :
+  ?ext_load:float -> words:int -> width:int -> unit -> Macro.info
+(** [words] must be a power of two in 4..64; [width] at least 1. *)
+
+val spec : words:int -> width:int -> addr:int -> (int -> int) -> int
+(** [spec ~words ~width ~addr mem] is [mem addr] masked to [width] bits. *)

@@ -1,0 +1,81 @@
+module Err = Smart_util.Err
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+
+let default_load = 15.
+
+let stages ~bits =
+  let rec go k acc = if 1 lsl k >= bits then k else go (k + 1) (acc + 1) in
+  go 0 0
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* One encoded 2:1 stage cellgroup per bit (Fig. 2(c) structure): driver
+   inverters into an N-pass (picks the rotated input when s = 1) and a
+   P-pass (straight through when s = 0), merged and re-inverted. *)
+let encoded_select_bit b ~group ~labels:(pdrv, ndrv, pass, pout, nout) ~name
+    ~rotated ~straight ~sel ~out =
+  let d_rot = B.wire b (name ^ "_dr") in
+  let d_str = B.wire b (name ^ "_ds") in
+  let mid = B.wire b (name ^ "_m") in
+  B.inst b ~group ~name:(name ^ "_ir")
+    ~cell:(Cell.inverter ~p:pdrv ~n:ndrv)
+    ~inputs:[ ("a", rotated) ] ~out:d_rot ();
+  B.inst b ~group ~name:(name ^ "_is")
+    ~cell:(Cell.inverter ~p:pdrv ~n:ndrv)
+    ~inputs:[ ("a", straight) ] ~out:d_str ();
+  B.inst b ~group ~name:(name ^ "_pn")
+    ~cell:(Cell.Passgate { style = Cell.N_only; label = pass })
+    ~inputs:[ ("d", d_rot); ("s", sel) ]
+    ~out:mid ();
+  B.inst b ~group ~name:(name ^ "_pp")
+    ~cell:(Cell.Passgate { style = Cell.P_only; label = pass })
+    ~inputs:[ ("d", d_str); ("s", sel) ]
+    ~out:mid ();
+  B.inst b ~group ~name:(name ^ "_o")
+    ~cell:(Cell.inverter ~p:pout ~n:nout)
+    ~inputs:[ ("a", mid) ] ~out ()
+
+let generate ?(ext_load = default_load) ~bits () =
+  if bits < 2 || not (is_power_of_two bits) then
+    Err.fail "Shifter: bits must be a power of two >= 2";
+  let n_stages = stages ~bits in
+  let b = B.create (Printf.sprintf "rot%d" bits) in
+  let ins = Array.init bits (fun i -> B.input b (Printf.sprintf "in%d" i)) in
+  let sels = Array.init n_stages (fun k -> B.input b (Printf.sprintf "s%d" k)) in
+  let current = ref ins in
+  for k = 0 to n_stages - 1 do
+    let amount = 1 lsl k in
+    let last = k = n_stages - 1 in
+    let next =
+      Array.init bits (fun i ->
+          if last then B.output b (Printf.sprintf "out%d" i)
+          else B.wire b (Printf.sprintf "st%d_b%d" k i))
+    in
+    let labels =
+      ( Printf.sprintf "st%d.P1" k,
+        Printf.sprintf "st%d.N1" k,
+        Printf.sprintf "st%d.N2" k,
+        Printf.sprintf "st%d.P3" k,
+        Printf.sprintf "st%d.N3" k )
+    in
+    for i = 0 to bits - 1 do
+      (* Rotate left: output bit i takes input bit (i - amount) mod bits. *)
+      let rotated = !current.((i - amount + bits) mod bits) in
+      encoded_select_bit b
+        ~group:(Printf.sprintf "st%d/bit%d" k i)
+        ~labels
+        ~name:(Printf.sprintf "r%d_%d" k i)
+        ~rotated ~straight:!current.(i) ~sel:sels.(k) ~out:next.(i)
+    done;
+    current := next
+  done;
+  for i = 0 to bits - 1 do
+    B.ext_load b !current.(i) ext_load
+  done;
+  Macro.make ~kind:"shifter" ~variant:"barrel-rotator" ~bits (B.freeze b)
+
+let spec ~bits ~shamt v =
+  let m = (1 lsl bits) - 1 in
+  let s = shamt mod bits in
+  ((v lsl s) lor (v lsr (bits - s))) land m

@@ -1,0 +1,24 @@
+(** Barrel rotators — the "shifters" of the paper's §2(a) macro list.
+
+    A log-depth barrel network built from encoded-select 2:1 pass-gate
+    stages (the Fig. 2(c) trick at every bit): stage k rotates the word
+    left by 2^k positions when select ["s<k>"] is high, otherwise passes
+    straight through.  Rotation (rather than a zero-filling shift) keeps
+    the macro purely multiplexing, which is how wide datapath shifters are
+    built — the fill logic lives outside the macro.
+
+    Inputs ["in0"] ... ["in<bits-1>"], selects ["s0"] ... (one per stage);
+    outputs ["out0"] ...  [out = rol(in, shamt)] with
+    [shamt = sum 2^k * s_k].
+
+    Labels are shared per stage ("st<k>.P1", ...): the bit-slice regularity
+    the §5.2 reductions rely on. *)
+
+val generate : ?ext_load:float -> bits:int -> unit -> Macro.info
+(** [bits] must be a power of two, at least 2.  Default load 15 fF. *)
+
+val stages : bits:int -> int
+(** Number of select inputs: log2 bits. *)
+
+val spec : bits:int -> shamt:int -> int -> int
+(** Reference function: rotate-left by [shamt] over [bits] bits. *)

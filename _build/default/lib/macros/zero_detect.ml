@@ -1,0 +1,82 @@
+module Err = Smart_util.Err
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+
+let default_load = 15.
+
+(* Split a list into chunks of at most [k]. *)
+let rec chunks k = function
+  | [] -> []
+  | l ->
+    let rec take n acc = function
+      | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let chunk, rest = take k [] l in
+    chunk :: chunks k rest
+
+let generate ?(ext_load = default_load) ?(radix = 4) ~bits () =
+  if bits < 2 then Err.fail "Zero_detect: bits >= 2 required";
+  if radix < 2 then Err.fail "Zero_detect: radix >= 2 required";
+  let b = B.create (Printf.sprintf "zdet%d" bits) in
+  let ins = List.init bits (fun i -> B.input b (Printf.sprintf "in%d" i)) in
+  let out = B.output b "out" in
+  (* active_high_zero: the current signals are 1 when their cone is all
+     zero.  Level 0 inputs are the raw bits (0 = zero), i.e. active-low. *)
+  let rec reduce level ~active_high signals =
+    match signals with
+    | [ single ] ->
+      if active_high then begin
+        (* Buffer onto the output with a final inverter pair would waste a
+           stage; re-drive with two inverters only if polarities demand. *)
+        let w = B.wire b "outb" in
+        B.inst b ~group:"final" ~name:"finv0"
+          ~cell:(Cell.inverter ~p:"Pf0" ~n:"Nf0")
+          ~inputs:[ ("a", single) ] ~out:w ();
+        B.inst b ~group:"final" ~name:"finv1"
+          ~cell:(Cell.inverter ~p:"Pf1" ~n:"Nf1")
+          ~inputs:[ ("a", w) ] ~out ()
+      end
+      else
+        B.inst b ~group:"final" ~name:"finv"
+          ~cell:(Cell.inverter ~p:"Pf0" ~n:"Nf0")
+          ~inputs:[ ("a", single) ] ~out ()
+    | _ ->
+      let p = Printf.sprintf "P%d" level and n = Printf.sprintf "N%d" level in
+      let next =
+        List.mapi
+          (fun g group ->
+            match group with
+            | [ lone ] ->
+              (* Odd leftover: an inverter keeps the level's polarity flip
+                 uniform. *)
+              let w = B.wire b (Printf.sprintf "l%d_g%d" level g) in
+              B.inst b ~group:(Printf.sprintf "level%d" level)
+                ~name:(Printf.sprintf "zi_l%d_g%d" level g)
+                ~cell:(Cell.inverter ~p ~n)
+                ~inputs:[ ("a", lone) ] ~out:w ();
+              w
+            | _ ->
+              let w = B.wire b (Printf.sprintf "l%d_g%d" level g) in
+              let cell =
+                (* NOR when inputs are active-low (all-zero makes them all
+                   0, NOR fires); NAND when active-high. *)
+                if active_high then Cell.nand ~inputs:(List.length group) ~p ~n
+                else Cell.nor ~inputs:(List.length group) ~p ~n
+              in
+              B.inst b ~group:(Printf.sprintf "level%d" level)
+                ~name:(Printf.sprintf "zg_l%d_g%d" level g)
+                ~cell
+                ~inputs:(List.mapi (fun k s -> (Printf.sprintf "a%d" k, s)) group)
+                ~out:w ();
+              w)
+          (chunks radix signals)
+      in
+      reduce (level + 1) ~active_high:(not active_high) next
+  in
+  reduce 0 ~active_high:false ins;
+  B.ext_load b out ext_load;
+  Macro.make ~kind:"zero-detect" ~variant:(Printf.sprintf "nor%d-tree" radix)
+    ~bits (B.freeze b)
+
+let spec ~bits x = x land ((1 lsl bits) - 1) = 0

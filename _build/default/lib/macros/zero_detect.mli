@@ -1,0 +1,14 @@
+(** Zero-detect trees (Figure 5(b) workload).
+
+    [out = 1] iff all input bits are 0.  Alternating NOR4/NAND4 reduction
+    (De Morgan keeps the tree complement-free); a trailing inverter fixes
+    polarity when the tree ends on an active-low level.  Labels are shared
+    per level.
+
+    Inputs ["in0"] ... ["in<bits-1>"]; output ["out"]. *)
+
+val generate : ?ext_load:float -> ?radix:int -> bits:int -> unit -> Macro.info
+(** [radix] (default 4) caps gate fan-in; [bits >= 2]. *)
+
+val spec : bits:int -> int -> bool
+(** [spec ~bits x] is true iff the low [bits] of [x] are all zero. *)

@@ -1,0 +1,1 @@
+lib/models/arc.ml: List Smart_circuit Smart_util

@@ -1,0 +1,1 @@
+lib/models/arc.mli: Smart_circuit

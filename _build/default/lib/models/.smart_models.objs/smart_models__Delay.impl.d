@@ -1,0 +1,1 @@
+lib/models/delay.ml: Drive List Smart_circuit Smart_posy Smart_tech Smart_util

@@ -1,0 +1,1 @@
+lib/models/delay.mli: Arc Drive Smart_circuit Smart_posy Smart_tech

@@ -1,0 +1,1 @@
+lib/models/drive.ml: Arc Hashtbl List Smart_circuit Smart_tech Smart_util String

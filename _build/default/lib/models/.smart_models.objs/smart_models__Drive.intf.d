@@ -1,0 +1,1 @@
+lib/models/drive.mli: Arc Smart_circuit Smart_tech

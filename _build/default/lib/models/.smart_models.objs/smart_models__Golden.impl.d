@@ -1,0 +1,1 @@
+lib/models/golden.ml: Drive List Smart_circuit Smart_tech

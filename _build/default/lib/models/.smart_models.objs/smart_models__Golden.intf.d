@@ -1,0 +1,1 @@
+lib/models/golden.mli: Arc Smart_circuit Smart_tech

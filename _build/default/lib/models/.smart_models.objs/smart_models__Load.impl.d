@@ -1,0 +1,1 @@
+lib/models/load.ml: Hashtbl List Smart_circuit Smart_posy Smart_tech Smart_util

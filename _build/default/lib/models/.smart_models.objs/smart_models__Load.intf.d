@@ -1,0 +1,1 @@
+lib/models/load.mli: Smart_circuit Smart_posy Smart_tech

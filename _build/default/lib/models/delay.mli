@@ -1,0 +1,48 @@
+(** Posynomial delay and slope models (§5.1, equations (1)–(2)).
+
+    For every arc the model has the template
+
+    {v t = t_int + fit * R(W) * (C_load + C_self(W)) + k_s * t_in_slope v}
+
+    where [R] is the conducting-chain resistance (monomials in 1/W),
+    [C_self] the self-loading (monomials in W) and [C_load] the symbolic
+    fanout load.  Domino arcs compose two such stages (node + output
+    inverter).  All results are posynomials — the property that turns
+    sizing into a geometric program.
+
+    The models are deliberately simpler than the golden timer's: the paper
+    notes they "need not be exact, since they are only used within the
+    inner optimization loop"; accuracy buys outer-loop convergence speed,
+    not correctness. *)
+
+val intrinsic : float
+(** Fixed per-stage intrinsic delay, ps. *)
+
+val slope_gain : float
+(** Output-slope/stage-delay ratio used by the slope template. *)
+
+val resistance : Smart_tech.Tech.t -> Drive.seg list -> Smart_posy.Posy.t
+(** Chain resistance as a posynomial (kΩ). *)
+
+val self_cap : Smart_tech.Tech.t -> Smart_circuit.Cell.kind -> Smart_posy.Posy.t
+(** Output self-capacitance (fF). *)
+
+val stage_delay :
+  Smart_tech.Tech.t ->
+  Smart_circuit.Cell.kind ->
+  pin:string ->
+  out_sense:Arc.sense ->
+  load:Smart_posy.Posy.t ->
+  in_slope:Smart_posy.Posy.t ->
+  Smart_posy.Posy.t
+(** Arc delay, ps.  [pin] may be ["clk"] for domino precharge arcs. *)
+
+val stage_out_slope :
+  Smart_tech.Tech.t ->
+  Smart_circuit.Cell.kind ->
+  pin:string ->
+  out_sense:Arc.sense ->
+  load:Smart_posy.Posy.t ->
+  in_slope:Smart_posy.Posy.t ->
+  Smart_posy.Posy.t
+(** Output slope (10–90%, ps) of the same arc. *)

@@ -1,0 +1,133 @@
+module Err = Smart_util.Err
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+module Tech = Smart_tech.Tech
+
+type seg = { seg_label : string; seg_mult : float; seg_is_p : bool }
+
+let n_segs = List.map (fun (l, m) -> { seg_label = l; seg_mult = m; seg_is_p = false })
+let p_segs = List.map (fun (l, m) -> { seg_label = l; seg_mult = m; seg_is_p = true })
+
+let static_chain cell ~pin ~out_sense =
+  match cell with
+  | Cell.Static { pull_down; p_label; _ } -> (
+    match out_sense with
+    | Arc.Fall -> (
+      match Pdn.series_chain_through pull_down pin with
+      | Some chain -> n_segs chain
+      | None -> Err.fail "Drive.static_chain: pin %s not in pull-down" pin)
+    | Arc.Rise -> (
+      (* Pull-up: dual network, every device sized by [p_label]. *)
+      let dual = Cell.dual pull_down in
+      match Pdn.series_chain_through dual pin with
+      | Some chain ->
+        let total = List.fold_left (fun acc (_, m) -> acc +. m) 0. chain in
+        p_segs [ (p_label, total) ]
+      | None -> Err.fail "Drive.static_chain: pin %s not in pull-up" pin))
+  | Cell.Passgate _ | Cell.Tristate _ | Cell.Domino _ ->
+    Err.fail "Drive.static_chain: not a static cell"
+
+let pass_chain tech cell ~out_sense =
+  match cell with
+  | Cell.Passgate { style; label } -> (
+    match (style, out_sense) with
+    | Cell.Cmos_tgate, _ ->
+      (* N and P conduct in parallel; net effect close to a single strong
+         device. *)
+      [ { seg_label = label; seg_mult = 0.7; seg_is_p = false } ]
+    | Cell.N_only, Arc.Fall -> [ { seg_label = label; seg_mult = 1.; seg_is_p = false } ]
+    | Cell.N_only, Arc.Rise ->
+      (* NMOS passing a high loses a threshold: weaker pull. *)
+      [ { seg_label = label; seg_mult = tech.Tech.pass_r_penalty; seg_is_p = false } ]
+    | Cell.P_only, Arc.Rise -> [ { seg_label = label; seg_mult = 1.; seg_is_p = true } ]
+    | Cell.P_only, Arc.Fall ->
+      [ { seg_label = label; seg_mult = tech.Tech.pass_r_penalty; seg_is_p = true } ])
+  | Cell.Static _ | Cell.Tristate _ | Cell.Domino _ ->
+    Err.fail "Drive.pass_chain: not a pass gate"
+
+let tristate_chain cell ~out_sense =
+  match cell with
+  | Cell.Tristate { p_label; n_label } -> (
+    match out_sense with
+    | Arc.Rise -> p_segs [ (p_label, 2.) ]
+    | Arc.Fall -> n_segs [ (n_label, 2.) ])
+  | Cell.Static _ | Cell.Passgate _ | Cell.Domino _ ->
+    Err.fail "Drive.tristate_chain: not a tri-state"
+
+let domino_node_chain cell ~pin =
+  match cell with
+  | Cell.Domino { pull_down; eval; _ } -> (
+    match Pdn.series_chain_through pull_down pin with
+    | Some chain ->
+      let foot = match eval with Some l -> [ (l, 1.) ] | None -> [] in
+      n_segs (chain @ foot)
+    | None -> Err.fail "Drive.domino_node_chain: pin %s not in pull-down" pin)
+  | Cell.Static _ | Cell.Passgate _ | Cell.Tristate _ ->
+    Err.fail "Drive.domino_node_chain: not a domino stage"
+
+let domino_precharge_chain cell =
+  match cell with
+  | Cell.Domino { precharge; _ } -> p_segs [ (precharge, 1.) ]
+  | Cell.Static _ | Cell.Passgate _ | Cell.Tristate _ ->
+    Err.fail "Drive.domino_precharge_chain: not a domino stage"
+
+let domino_inverter_chain cell ~out_sense =
+  match cell with
+  | Cell.Domino { out_p; out_n; _ } -> (
+    match out_sense with
+    | Arc.Rise -> p_segs [ (out_p, 1.) ]
+    | Arc.Fall -> n_segs [ (out_n, 1.) ])
+  | Cell.Static _ | Cell.Passgate _ | Cell.Tristate _ ->
+    Err.fail "Drive.domino_inverter_chain: not a domino stage"
+
+let merge_widths ws =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (l, m) ->
+      let cur = try Hashtbl.find tbl l with Not_found -> 0. in
+      Hashtbl.replace tbl l (cur +. m))
+    ws;
+  Hashtbl.fold (fun l m acc -> (l, m) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let self_cap_widths cell =
+  match cell with
+  | Cell.Domino { out_p; out_n; _ } ->
+    (* Only the output inverter's drains sit on the cell output. *)
+    [ (out_p, 1.); (out_n, 1.) ]
+  | Cell.Static { pull_down; p_label; _ } ->
+    (* Top devices of both networks are drain-connected to the output. *)
+    let p_tops =
+      List.fold_left (fun acc (_, m) -> acc +. m) 0.
+        (Pdn.top_widths (Cell.dual pull_down))
+    in
+    merge_widths ((p_label, p_tops) :: Pdn.top_widths pull_down)
+  | Cell.Passgate _ -> Cell.pin_diff_widths cell "d"
+  | Cell.Tristate { p_label; n_label } -> [ (p_label, 1.); (n_label, 1.) ]
+
+let worst_out_sense cell =
+  match cell with
+  | Cell.Static _ | Cell.Tristate _ | Cell.Domino _ ->
+    (* PMOS pull-ups are the weaker devices. *)
+    Arc.Rise
+  | Cell.Passgate { style = Cell.P_only; _ } -> Arc.Fall
+  | Cell.Passgate _ -> Arc.Rise
+
+type node_cap = {
+  gate_widths : (string * float) list;
+  diff_widths : (string * float) list;
+}
+
+let domino_node_cap_widths cell =
+  match cell with
+  | Cell.Domino { pull_down; precharge; out_p; out_n; keeper; _ } ->
+    (* Only drains adjacent to the dynamic node load it: the precharge
+       device, the keeper, and the top device of each pull-down branch
+       (internal stack nodes and the foot are isolated by the stack). *)
+    let keep = if keeper then [ (precharge, Cell.keeper_ratio) ] else [] in
+    {
+      gate_widths = [ (out_p, 1.); (out_n, 1.) ];
+      diff_widths = ((precharge, 1.) :: keep) @ Pdn.top_widths pull_down;
+    }
+  | Cell.Static _ | Cell.Passgate _ | Cell.Tristate _ ->
+    Err.fail "Drive.domino_node_cap_widths: not a domino stage"

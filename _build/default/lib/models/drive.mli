@@ -1,0 +1,49 @@
+(** Drive-resistance chains and capacitance tallies per cell.
+
+    Shared between the posynomial sizing models ({!Delay}) and the detailed
+    golden timer models ({!Golden}): both need to know which labelled
+    devices lie on the conducting path of an arc and which devices load a
+    node; they differ only in the arithmetic applied afterwards. *)
+
+type seg = { seg_label : string; seg_mult : float; seg_is_p : bool }
+(** One resistive element: resistance = [mult * (rp|rn) / w(label)]. *)
+
+val static_chain :
+  Smart_circuit.Cell.kind -> pin:string -> out_sense:Arc.sense -> seg list
+(** Conducting chain of a static gate for the given output transition
+    through the given pin (pull-up dual for [Rise], pull-down for [Fall]). *)
+
+val pass_chain :
+  Smart_tech.Tech.t -> Smart_circuit.Cell.kind -> out_sense:Arc.sense -> seg list
+(** Channel resistance of a pass gate, including the threshold-drop penalty
+    of a lone device passing its weak level. *)
+
+val tristate_chain : Smart_circuit.Cell.kind -> out_sense:Arc.sense -> seg list
+
+val domino_node_chain : Smart_circuit.Cell.kind -> pin:string -> seg list
+(** Discharge chain of the domino node through the given data pin,
+    including the clocked foot when present (D1). *)
+
+val domino_precharge_chain : Smart_circuit.Cell.kind -> seg list
+
+val domino_inverter_chain :
+  Smart_circuit.Cell.kind -> out_sense:Arc.sense -> seg list
+(** Output high-skew inverter of a domino stage. *)
+
+val self_cap_widths : Smart_circuit.Cell.kind -> (string * float) list
+(** Device width loading the cell's own output node (to be multiplied by
+    [cd * self_cap_fraction]). *)
+
+val worst_out_sense : Smart_circuit.Cell.kind -> Arc.sense
+(** The output transition with the more resistive conducting chain — the
+    sense whose slope bounds the other (worst-case pin-to-pin modelling,
+    §5.2). *)
+
+type node_cap = {
+  gate_widths : (string * float) list;
+  diff_widths : (string * float) list;
+}
+
+val domino_node_cap_widths : Smart_circuit.Cell.kind -> node_cap
+(** Loading of the internal domino node: gate-cap widths (the output
+    inverter input) and diffusion widths (precharge, keeper, foot, PDN). *)

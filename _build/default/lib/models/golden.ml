@@ -1,0 +1,82 @@
+module Cell = Smart_circuit.Cell
+module Tech = Smart_tech.Tech
+
+let intrinsic = 2.4
+
+let res_num tech sizing segs =
+  List.fold_left
+    (fun acc { Drive.seg_label; seg_mult; seg_is_p } ->
+      let r = if seg_is_p then tech.Tech.rp else tech.Tech.rn in
+      acc +. (r *. seg_mult /. sizing seg_label))
+    0. segs
+
+let widths_num sizing widths =
+  List.fold_left (fun acc (l, m) -> acc +. (m *. sizing l)) 0. widths
+
+let self_cap_num tech sizing cell =
+  tech.Tech.cd *. tech.Tech.self_cap_fraction
+  *. widths_num sizing (Drive.self_cap_widths cell)
+
+let node_cap_num tech sizing cell =
+  let { Drive.gate_widths; diff_widths } = Drive.domino_node_cap_widths cell in
+  (tech.Tech.cg *. widths_num sizing gate_widths)
+  +. (tech.Tech.cd *. widths_num sizing diff_widths)
+
+(* Saturating slope correction: a slow input edge stretches the stage by up
+   to 30%, vanishing when the stage RC dominates the input slope. *)
+let slope_stretch d_lin s_in = 0.30 *. s_in /. (s_in +. (2. *. d_lin) +. 1.)
+
+let stage d_lin s_in = d_lin *. (1. +. slope_stretch d_lin s_in)
+
+let local_inverter_delay tech sizing cell =
+  match cell with
+  | Cell.Passgate { style = Cell.Cmos_tgate; label } ->
+    let r = tech.Tech.rn /. (Cell.passgate_inv_n_ratio *. sizing label) in
+    let c = tech.Tech.cg *. sizing label in
+    tech.Tech.logic_delay_fit *. r *. c
+  | Cell.Tristate { p_label; n_label } ->
+    let r = tech.Tech.rn /. (Cell.tristate_inv_n_ratio *. sizing n_label) in
+    let c = tech.Tech.cg *. sizing p_label in
+    tech.Tech.logic_delay_fit *. r *. c
+  | Cell.Passgate _ | Cell.Static _ | Cell.Domino _ -> 0.
+
+let arc_delay tech ~sizing cell ~pin ~out_sense ~load ~in_slope =
+  let fit =
+    tech.Tech.logic_delay_fit *. Tech.gate_fit_of tech (Cell.gate_name cell)
+  in
+  match cell with
+  | Cell.Static _ | Cell.Passgate _ | Cell.Tristate _ ->
+    let chain =
+      match cell with
+      | Cell.Static _ -> Drive.static_chain cell ~pin ~out_sense
+      | Cell.Passgate _ -> Drive.pass_chain tech cell ~out_sense
+      | Cell.Tristate _ -> Drive.tristate_chain cell ~out_sense
+      | Cell.Domino _ -> assert false
+    in
+    let r = res_num tech sizing chain in
+    let c = load +. self_cap_num tech sizing cell in
+    let d_lin = fit *. r *. c in
+    let control_extra =
+      if pin = "s" || pin = "en" then local_inverter_delay tech sizing cell else 0.
+    in
+    let d = intrinsic +. control_extra +. stage d_lin in_slope in
+    let out_slope =
+      (2.1 *. d_lin *. (1. +. (0.12 *. in_slope /. (in_slope +. d_lin +. 1.))))
+      +. (0.1 *. in_slope)
+    in
+    (d, out_slope)
+  | Cell.Domino _ ->
+    let node_c = node_cap_num tech sizing cell in
+    let r1 =
+      if pin = "clk" then res_num tech sizing (Drive.domino_precharge_chain cell)
+      else res_num tech sizing (Drive.domino_node_chain cell ~pin)
+    in
+    let d1_lin = fit *. r1 *. node_c in
+    let d1 = stage d1_lin in_slope in
+    let node_slope = 2.1 *. d1_lin in
+    let r2 = res_num tech sizing (Drive.domino_inverter_chain cell ~out_sense) in
+    let c2 = load +. self_cap_num tech sizing cell in
+    let d2_lin = fit *. r2 *. c2 in
+    let d2 = stage d2_lin node_slope in
+    let out_slope = 2.1 *. d2_lin *. (1. +. (0.12 *. node_slope /. (node_slope +. d2_lin +. 1.))) in
+    (intrinsic +. d1 +. d2, out_slope)

@@ -1,0 +1,19 @@
+(** Detailed numeric arc models — the golden reference timer's view.
+
+    Plays the role PathMill plays in the paper's Figure 4: an authoritative
+    delay calculator that is deliberately {e not} the posynomial model the
+    optimiser sees.  It shares the RC structure but adds saturating
+    slope-dependent corrections that a posynomial cannot express, so the
+    outer sizing loop has a genuine model-vs-silicon gap to close. *)
+
+val arc_delay :
+  Smart_tech.Tech.t ->
+  sizing:(string -> float) ->
+  Smart_circuit.Cell.kind ->
+  pin:string ->
+  out_sense:Arc.sense ->
+  load:float ->
+  in_slope:float ->
+  float * float
+(** [(delay, out_slope)] in ps for one arc under a concrete sizing.
+    [pin] may be ["clk"] for domino precharge arcs. *)

@@ -1,0 +1,22 @@
+(** Capacitive load seen by each net.
+
+    The load of a net is the sum of fanout gate capacitance, per-fanout
+    wire capacitance, any designer-specified external load, and — for a
+    net driving the channel side of pass gates — the diffusion capacitance
+    of the pass devices plus the load behind them (first-order Elmore
+    through a conducting switch).
+
+    Symbolic loads are posynomials over size labels (used in constraint
+    generation); numeric loads evaluate them under a concrete sizing
+    (used by the golden timer and the power estimator). *)
+
+type t
+(** Load calculator bound to one netlist and technology. *)
+
+val make : Smart_tech.Tech.t -> Smart_circuit.Netlist.t -> t
+
+val symbolic : t -> Smart_circuit.Netlist.net_id -> Smart_posy.Posy.t
+(** Memoised; strictly positive by construction. *)
+
+val numeric : t -> (string -> float) -> Smart_circuit.Netlist.net_id -> float
+(** Load under a concrete label sizing. *)

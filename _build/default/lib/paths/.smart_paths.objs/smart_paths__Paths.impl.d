@@ -1,0 +1,1 @@
+lib/paths/paths.ml: Array Format Hashtbl List Printf Smart_circuit Smart_models Smart_util String

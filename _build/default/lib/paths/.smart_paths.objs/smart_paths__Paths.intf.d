@@ -1,0 +1,1 @@
+lib/paths/paths.mli: Format Smart_circuit

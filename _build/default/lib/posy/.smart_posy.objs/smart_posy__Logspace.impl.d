@@ -1,0 +1,1 @@
+lib/posy/logspace.ml: Array Hashtbl List Monomial Posy Smart_linalg Smart_util

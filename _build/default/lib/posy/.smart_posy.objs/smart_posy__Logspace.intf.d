@@ -1,0 +1,1 @@
+lib/posy/logspace.mli: Posy Smart_linalg

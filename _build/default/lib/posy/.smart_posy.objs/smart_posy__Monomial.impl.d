@@ -1,0 +1,1 @@
+lib/posy/monomial.ml: Float Format Hashtbl List Smart_util Stdlib String

@@ -1,0 +1,1 @@
+lib/posy/monomial.mli: Format

@@ -1,0 +1,1 @@
+lib/posy/posy.ml: Float Format Hashtbl List Monomial Smart_util String

@@ -1,0 +1,1 @@
+lib/posy/posy.mli: Format Monomial

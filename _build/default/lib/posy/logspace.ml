@@ -1,0 +1,110 @@
+module Err = Smart_util.Err
+module Vec = Smart_linalg.Vec
+module Mat = Smart_linalg.Mat
+
+type index = { names : string array; positions : (string, int) Hashtbl.t }
+
+let index_of_vars names =
+  let positions = Hashtbl.create 64 in
+  let rev =
+    List.fold_left
+      (fun acc v ->
+        if Hashtbl.mem positions v then acc
+        else begin
+          Hashtbl.add positions v (List.length acc);
+          v :: acc
+        end)
+      [] names
+  in
+  { names = Array.of_list (List.rev rev); positions }
+
+let index_size idx = Array.length idx.names
+
+let index_position idx v =
+  try Hashtbl.find idx.positions v
+  with Not_found -> Err.fail "Logspace: unknown variable %s" v
+
+let index_name idx i = idx.names.(i)
+let index_names idx = Array.to_list idx.names
+
+(* One compiled term: log-coefficient plus sparse exponent row. *)
+type term = { logc : float; exps : (int * float) array }
+
+type t = { terms : term array; support : int array (* sorted distinct vars *) }
+
+let compile idx p =
+  let compile_m m =
+    {
+      logc = log (Monomial.coeff m);
+      exps =
+        Monomial.exponents m
+        |> List.map (fun (v, e) -> (index_position idx v, e))
+        |> Array.of_list;
+    }
+  in
+  let terms = Array.of_list (List.map compile_m (Posy.monomials p)) in
+  let support =
+    Array.to_list terms
+    |> List.concat_map (fun t -> Array.to_list (Array.map fst t.exps))
+    |> List.sort_uniq compare |> Array.of_list
+  in
+  { terms; support }
+
+let support f = f.support
+
+let term_value t y =
+  Array.fold_left (fun acc (j, e) -> acc +. (e *. y.(j))) t.logc t.exps
+
+(* Stable logsumexp with softmax weights. *)
+let softmax f y =
+  let vals = Array.map (fun t -> term_value t y) f.terms in
+  let m = Array.fold_left max neg_infinity vals in
+  let exps = Array.map (fun v -> exp (v -. m)) vals in
+  let z = Array.fold_left ( +. ) 0. exps in
+  let value = m +. log z in
+  let probs = Array.map (fun e -> e /. z) exps in
+  (value, probs)
+
+let value f y = fst (softmax f y)
+
+let grad_of_probs f y probs =
+  let g = Vec.create (Vec.dim y) in
+  Array.iteri
+    (fun i t ->
+      let p = probs.(i) in
+      if p > 0. then Array.iter (fun (j, e) -> g.(j) <- g.(j) +. (p *. e)) t.exps)
+    f.terms;
+  g
+
+let value_grad f y =
+  let v, probs = softmax f y in
+  (v, grad_of_probs f y probs)
+
+let add_weighted_hessian f y w h =
+  let v, probs = softmax f y in
+  let g = grad_of_probs f y probs in
+  (* hess = sum_i p_i a_i a_i^T - g g^T; accumulate w * hess into h.  Both
+     parts touch only the posynomial's support, so the updates stay sparse
+     even when the ambient problem has hundreds of variables. *)
+  Array.iteri
+    (fun i t ->
+      let p = probs.(i) in
+      if p > 0. then
+        Array.iter
+          (fun (j, ej) ->
+            Array.iter
+              (fun (k, ek) -> Mat.add_to h j k (w *. p *. ej *. ek))
+              t.exps)
+          t.exps)
+    f.terms;
+  let s = f.support in
+  for a = 0 to Array.length s - 1 do
+    let ga = g.(s.(a)) in
+    if ga <> 0. then
+      for b = 0 to Array.length s - 1 do
+        Mat.add_to h s.(a) s.(b) (-.w *. ga *. g.(s.(b)))
+      done
+  done;
+  (v, g)
+
+let num_terms f = Array.length f.terms

@@ -1,0 +1,45 @@
+(** Log-space compilation of posynomials.
+
+    Under the change of variables [y = log x], a posynomial
+    [f(x) = sum_i c_i prod_j x_j^{a_ij}] becomes
+    [F(y) = log f(e^y) = logsumexp_i (a_i . y + b_i)] with [b_i = log c_i],
+    which is convex — the transformation that makes geometric programs
+    efficiently solvable (Ecker 1980; the paper's §5, refs [6,7]).
+
+    This module compiles a {!Posy.t} against a variable index and exposes
+    numerically stable value / gradient / Hessian evaluation in [y]. *)
+
+type index
+(** Bijection between variable names and dense indices [0 .. n-1]. *)
+
+val index_of_vars : string list -> index
+(** Build an index from a list of names (deduplicated, order preserved). *)
+
+val index_size : index -> int
+val index_position : index -> string -> int
+(** Raises if the variable is unknown. *)
+
+val index_name : index -> int -> string
+val index_names : index -> string list
+
+type t
+(** A compiled posynomial [F(y) = logsumexp_i (a_i . y + b_i)]. *)
+
+val compile : index -> Posy.t -> t
+
+val value : t -> Smart_linalg.Vec.t -> float
+(** [value f y] is [F(y)] = log of the posynomial at [x = exp y]. *)
+
+val value_grad : t -> Smart_linalg.Vec.t -> float * Smart_linalg.Vec.t
+(** Value and gradient. *)
+
+val add_weighted_hessian :
+  t -> Smart_linalg.Vec.t -> float -> Smart_linalg.Mat.t -> float * Smart_linalg.Vec.t
+(** [add_weighted_hessian f y w h] accumulates [w * hess F(y)] into [h]
+    (in place) and returns [(F(y), grad F(y))].  The Hessian of a
+    logsumexp is [sum_i p_i a_i a_i^T - g g^T] with softmax weights [p]. *)
+
+val num_terms : t -> int
+
+val support : t -> int array
+(** Sorted distinct variable indices occurring in the posynomial. *)

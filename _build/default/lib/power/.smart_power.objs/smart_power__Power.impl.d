@@ -1,0 +1,1 @@
+lib/power/power.ml: Array List Smart_circuit Smart_models Smart_tech

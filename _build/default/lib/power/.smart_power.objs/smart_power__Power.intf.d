@@ -1,0 +1,1 @@
+lib/power/power.mli: Smart_circuit Smart_tech

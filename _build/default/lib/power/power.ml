@@ -1,0 +1,90 @@
+module Netlist = Smart_circuit.Netlist
+module Cell = Smart_circuit.Cell
+module Tech = Smart_tech.Tech
+module Load = Smart_models.Load
+module Drive = Smart_models.Drive
+
+type report = {
+  switching_uw : float;
+  clock_uw : float;
+  domino_internal_uw : float;
+  total_uw : float;
+  clock_load_width : float;
+  total_width : float;
+}
+
+let widths_num sizing widths =
+  List.fold_left (fun acc (l, m) -> acc +. (m *. sizing l)) 0. widths
+
+(* fF * V^2 * GHz = µW. *)
+let cv2f tech cap_ff = cap_ff *. tech.Tech.vdd *. tech.Tech.vdd *. tech.Tech.freq_ghz
+
+let estimate ?(activity = 0.25) ?(activities = []) tech netlist ~sizing =
+  let loads = Load.make tech netlist in
+  let activity_of (net : Netlist.net) =
+    match List.assoc_opt net.Netlist.net_name activities with
+    | Some a -> a
+    | None -> activity
+  in
+  (* Data nets: fanout load plus the drivers' own output diffusion. *)
+  let switching =
+    Array.fold_left
+      (fun acc (net : Netlist.net) ->
+        match net.Netlist.net_kind with
+        | Netlist.Clock -> acc
+        | Netlist.Primary_input | Netlist.Primary_output | Netlist.Internal ->
+          let self =
+            List.fold_left
+              (fun acc (i : Netlist.instance) ->
+                acc
+                +. tech.Tech.cd *. tech.Tech.self_cap_fraction
+                   *. widths_num sizing (Drive.self_cap_widths i.Netlist.cell))
+              0.
+              (Netlist.drivers netlist net.Netlist.net_id)
+          in
+          let c = Load.numeric loads sizing net.Netlist.net_id +. self in
+          acc +. (activity_of net *. cv2f tech c))
+      0. netlist.Netlist.nets
+  in
+  (* Clock: gate capacitance of every clocked device plus distribution
+     wire, switching every cycle. *)
+  let clock_width = Netlist.clock_load_width netlist sizing in
+  let clocked_instances =
+    Array.fold_left
+      (fun acc (i : Netlist.instance) ->
+        if Cell.has_clock i.Netlist.cell then acc + 1 else acc)
+      0 netlist.Netlist.instances
+  in
+  let clock_cap =
+    (tech.Tech.cg *. clock_width)
+    +. (tech.Tech.wire_cap_per_fanout *. float_of_int clocked_instances)
+  in
+  let clock = cv2f tech clock_cap in
+  (* Domino internal nodes discharge and precharge each active cycle. *)
+  let domino_internal =
+    Array.fold_left
+      (fun acc (i : Netlist.instance) ->
+        match i.Netlist.cell with
+        | Cell.Domino _ ->
+          let { Drive.gate_widths; diff_widths } =
+            Drive.domino_node_cap_widths i.Netlist.cell
+          in
+          let c =
+            (tech.Tech.cg *. widths_num sizing gate_widths)
+            +. (tech.Tech.cd *. widths_num sizing diff_widths)
+          in
+          acc +. (2. *. activity *. cv2f tech c)
+        | Cell.Static _ | Cell.Passgate _ | Cell.Tristate _ -> acc)
+      0. netlist.Netlist.instances
+  in
+  {
+    switching_uw = switching;
+    clock_uw = clock;
+    domino_internal_uw = domino_internal;
+    total_uw = switching +. clock +. domino_internal;
+    clock_load_width = clock_width;
+    total_width = Netlist.total_width netlist sizing;
+  }
+
+let saving ~original ~improved =
+  100. *. (1. -. (improved.total_uw /. original.total_uw))

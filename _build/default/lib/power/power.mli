@@ -1,0 +1,37 @@
+(** Power estimation — the PowerMill stand-in.
+
+    Activity-weighted CV²f switching power over every net, plus clock
+    power.  The paper's datapath power argument ([8]: most chip power goes
+    to datapath blocks and their clocks) is dominated by exactly these
+    terms, and the paper reports only relative power, so a switching-
+    capacitance estimator preserves every comparison.
+
+    Components per net: fanout gate capacitance + wire + external load
+    (via {!Smart_models.Load}) and the drivers' self capacitance.  Domino
+    internal nodes and the clock net are accounted separately with their
+    own activities. *)
+
+type report = {
+  switching_uw : float;  (** data switching power, µW *)
+  clock_uw : float;  (** clock distribution + clocked-device power, µW *)
+  domino_internal_uw : float;  (** domino internal-node power, µW *)
+  total_uw : float;
+  clock_load_width : float;  (** total clocked device width, µm *)
+  total_width : float;  (** total transistor width, µm *)
+}
+
+val estimate :
+  ?activity:float ->
+  ?activities:(string * float) list ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  sizing:(string -> float) ->
+  report
+(** [estimate tech netlist ~sizing] with default data activity 0.25
+    (clock activity is 1 by definition; domino nodes use
+    [2 * activity], discharge plus precharge).  [activities] overrides the
+    default per net name — e.g. a rarely-toggling control input, or a
+    data bus known to switch every cycle. *)
+
+val saving : original:report -> improved:report -> float
+(** Total-power saving in percent. *)

@@ -1,0 +1,1 @@
+lib/sim/logic.mli: Format

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Hashtbl List Logic Smart_circuit Smart_util

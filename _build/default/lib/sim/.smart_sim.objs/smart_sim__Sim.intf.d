@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Logic Smart_circuit

@@ -1,0 +1,16 @@
+type value = V0 | V1 | X | Z
+
+let of_bool b = if b then V1 else V0
+let to_bool = function V0 -> Some false | V1 -> Some true | X | Z -> None
+
+let resolve a b =
+  match (a, b) with
+  | Z, v | v, Z -> v
+  | V0, V0 -> V0
+  | V1, V1 -> V1
+  | _, _ -> X
+
+let lnot = function V0 -> V1 | V1 -> V0 | X -> X | Z -> X
+let equal a b = a = b
+let to_string = function V0 -> "0" | V1 -> "1" | X -> "X" | Z -> "Z"
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,16 @@
+(** Four-valued logic for switch-level simulation. *)
+
+type value = V0 | V1 | X  (** unknown *) | Z  (** undriven *)
+
+val of_bool : bool -> value
+val to_bool : value -> bool option
+(** [Some] for the two determinate values. *)
+
+val resolve : value -> value -> value
+(** Bus resolution: [Z] yields to anything; conflicting strong values
+    give [X]. *)
+
+val lnot : value -> value
+val equal : value -> value -> bool
+val to_string : value -> string
+val pp : Format.formatter -> value -> unit

@@ -1,0 +1,109 @@
+module Err = Smart_util.Err
+module Netlist = Smart_circuit.Netlist
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+
+type phase = Precharge | Evaluate
+
+let to3 = function
+  | Logic.V1 -> `T
+  | Logic.V0 -> `F
+  | Logic.X | Logic.Z -> `X
+
+let of3 = function `T -> Logic.V1 | `F -> Logic.V0 | `X -> Logic.X
+
+(* Value an instance drives onto its output net, given current net values. *)
+let eval_instance phase values (i : Netlist.instance) =
+  let pin p =
+    match List.assoc_opt p i.Netlist.conns with
+    | Some nid -> values.(nid)
+    | None -> Logic.X
+  in
+  let pdn_env p = to3 (pin p) in
+  match i.Netlist.cell with
+  | Cell.Static { pull_down; _ } ->
+    (* Complementary gate: output is NOT of the pull-down condition. *)
+    (match Pdn.conducts3 pdn_env pull_down with
+    | `T -> Logic.V0
+    | `F -> Logic.V1
+    | `X -> Logic.X)
+  | Cell.Passgate { style; _ } ->
+    let cond =
+      match (style, to3 (pin "s")) with
+      | (Cell.Cmos_tgate | Cell.N_only), c -> c
+      | Cell.P_only, `T -> `F
+      | Cell.P_only, `F -> `T
+      | Cell.P_only, `X -> `X
+    in
+    (match cond with
+    | `T -> pin "d"
+    | `F -> Logic.Z
+    | `X -> if pin "d" = Logic.Z then Logic.Z else Logic.X)
+  | Cell.Tristate _ ->
+    (match to3 (pin "en") with
+    | `T -> Logic.lnot (pin "d")
+    | `F -> Logic.Z
+    | `X -> Logic.X)
+  | Cell.Domino { pull_down; _ } ->
+    (match phase with
+    | Precharge -> Logic.V0
+    | Evaluate -> of3 (Pdn.conducts3 pdn_env pull_down))
+
+let settle ?(phase = Evaluate) (t : Netlist.t) inputs =
+  let n = Array.length t.Netlist.nets in
+  let values = Array.make n Logic.Z in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      match net.Netlist.net_kind with
+      | Netlist.Primary_input ->
+        values.(net.Netlist.net_id) <-
+          (match List.assoc_opt net.Netlist.net_name inputs with
+          | Some v -> v
+          | None -> Logic.X)
+      | Netlist.Clock ->
+        values.(net.Netlist.net_id) <-
+          (match phase with Precharge -> Logic.V0 | Evaluate -> Logic.V1)
+      | Netlist.Primary_output | Netlist.Internal -> ())
+    t.Netlist.nets;
+  (* Group instances by driven net once; iterate sweeps to fixpoint.  The
+     bound covers the worst pass-gate chain plus slack. *)
+  let driven = Hashtbl.create 64 in
+  Array.iter
+    (fun (i : Netlist.instance) ->
+      let cur = try Hashtbl.find driven i.Netlist.out with Not_found -> [] in
+      Hashtbl.replace driven i.Netlist.out (i :: cur))
+    t.Netlist.instances;
+  let max_sweeps = n + 8 in
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed && !sweeps < max_sweeps do
+    changed := false;
+    incr sweeps;
+    Hashtbl.iter
+      (fun nid insts ->
+        let v =
+          List.fold_left
+            (fun acc i -> Logic.resolve acc (eval_instance phase values i))
+            Logic.Z insts
+        in
+        if not (Logic.equal values.(nid) v) then begin
+          values.(nid) <- v;
+          changed := true
+        end)
+      driven
+  done;
+  if !changed then Err.fail "Sim: netlist %s did not settle" t.Netlist.name;
+  values
+
+let eval ?phase t inputs =
+  let values = settle ?phase t inputs in
+  List.map
+    (fun nid -> ((Netlist.net t nid).Netlist.net_name, values.(nid)))
+    t.Netlist.outputs
+
+let eval_net ?phase t inputs name =
+  let values = settle ?phase t inputs in
+  values.(Netlist.find_net t name)
+
+let eval_bits ?phase t inputs =
+  eval ?phase t (List.map (fun (n, b) -> (n, Logic.of_bool b)) inputs)

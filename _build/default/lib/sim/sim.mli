@@ -1,0 +1,37 @@
+(** Switch-level functional simulation of netlists.
+
+    Evaluates a netlist to a fixpoint under a primary-input assignment.
+    Domino stages are phase-aware: in [Precharge] every domino output is
+    forced low (the precharged node is high, the output inverter low); in
+    [Evaluate] the pull-down network decides.  Pass-gate and tri-state
+    shared nets use four-valued bus resolution.
+
+    This simulator is the functional oracle for the macro generators: every
+    generated mux/decoder/adder/... is checked against its arithmetic
+    specification before any sizing runs. *)
+
+type phase = Precharge | Evaluate
+
+val eval :
+  ?phase:phase ->
+  Smart_circuit.Netlist.t ->
+  (string * Logic.value) list ->
+  (string * Logic.value) list
+(** [eval ~phase netlist inputs] returns the values of all primary outputs
+    (by net name) after settling.  Unlisted inputs are [X].  Default phase
+    is [Evaluate]. *)
+
+val eval_net :
+  ?phase:phase ->
+  Smart_circuit.Netlist.t ->
+  (string * Logic.value) list ->
+  string ->
+  Logic.value
+(** Value of one named net after settling. *)
+
+val eval_bits :
+  ?phase:phase ->
+  Smart_circuit.Netlist.t ->
+  (string * bool) list ->
+  (string * Logic.value) list
+(** Convenience wrapper taking boolean inputs. *)

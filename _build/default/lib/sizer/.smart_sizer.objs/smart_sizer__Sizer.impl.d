@@ -1,0 +1,1 @@
+lib/sizer/sizer.ml: Float Hashtbl List Logs Printf Smart_circuit Smart_constraints Smart_gp Smart_paths Smart_sta Smart_tech Smart_util

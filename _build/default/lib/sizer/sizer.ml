@@ -1,0 +1,231 @@
+module Netlist = Smart_circuit.Netlist
+module Tech = Smart_tech.Tech
+module Constraints = Smart_constraints.Constraints
+module Paths = Smart_paths.Paths
+module Solver = Smart_gp.Solver
+module Sta = Smart_sta.Sta
+
+let src = Logs.Src.create "smart.sizer" ~doc:"SMART sizing engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type options = {
+  max_iterations : int;
+  tolerance : float;
+  damping : float;
+  reductions : Paths.reductions;
+  objective : Constraints.objective;
+  gp_options : Solver.options;
+  min_delay_hint : float option;
+}
+
+let default_options =
+  {
+    max_iterations = 8;
+    tolerance = 0.02;
+    damping = 1.0;
+    reductions = Paths.all_reductions;
+    objective = Constraints.Area;
+    gp_options = Solver.default_options;
+    min_delay_hint = None;
+  }
+
+type outcome = {
+  sizing : (string * float) list;
+  sizing_fn : string -> float;
+  achieved_delay : float;
+  achieved_precharge : float;
+  target_delay : float;
+  total_width : float;
+  clock_load_width : float;
+  iterations : int;
+  gp_newton_iterations : int;
+  converged : bool;
+  constraint_stats : Constraints.result;
+  sta : Sta.t;
+}
+
+(* Extract the width assignment from a GP solution (slope and auxiliary
+   variables are filtered by label membership). *)
+let sizing_of_solution netlist (sol : Solver.solution) =
+  let labels = Netlist.labels netlist in
+  List.map (fun l -> (l, Solver.lookup sol l)) labels
+
+let fn_of_sizing sizing =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (l, w) -> Hashtbl.replace tbl l w) sizing;
+  fun l ->
+    match Hashtbl.find_opt tbl l with
+    | Some w -> w
+    | None -> Smart_util.Err.fail "Sizer: no width for label %s" l
+
+let size ?(options = default_options) tech netlist spec =
+  let generated =
+    Constraints.generate ~reductions:options.reductions
+      ~objective:options.objective tech netlist spec
+  in
+  let precharge_budget =
+    match spec.Constraints.precharge_budget with
+    | Some b -> b
+    | None -> spec.Constraints.target_delay
+  in
+  let tol = options.tolerance in
+  let has_pre = generated.Constraints.precharge_constraints > 0 in
+  let meets o =
+    o.achieved_delay <= spec.Constraints.target_delay *. (1. +. tol)
+    && ((not has_pre) || o.achieved_precharge <= precharge_budget *. (1. +. tol))
+  in
+  (* Outer respecification loop.  The model-space budgets (timing_factor,
+     precharge_factor) are internal knobs: they are retargeted each round
+     by the golden-vs-spec mismatch, in both directions -- tightened when
+     the golden timer misses, relaxed when the model proves pessimistic
+     (including the case where the model cannot certify the spec at all:
+     infeasibility just means "relax the knob and let the golden check
+     decide").  The cheapest sizing that passes the golden check wins. *)
+  let best = ref None in
+  let total_newton = ref 0 in
+  let iterations = ref 0 in
+  let result = ref None in
+  let timing_factor = ref 1.0 in
+  let precharge_factor = ref 1.0 in
+  (* Warm start: one min-delay solve reveals how fast the model thinks the
+     topology can go.  If that is slower than the target, the main loop
+     would burn rounds discovering the same thing through infeasibility;
+     start with the implied relaxation instead.  Callers sweeping many
+     targets supply the hint to skip the pre-solve. *)
+  (match options.min_delay_hint with
+  | Some d_model ->
+    if d_model > spec.Constraints.target_delay then
+      timing_factor := 1.1 *. d_model /. spec.Constraints.target_delay
+  | None -> (
+    match
+      Solver.solve ~options:options.gp_options
+        (Constraints.generate_min_delay ~reductions:options.reductions tech
+           netlist spec)
+          .Constraints.problem
+    with
+    | Error _ -> ()
+    | Ok sol -> (
+      match sol.Solver.status with
+      | Solver.Infeasible | Solver.Iteration_limit -> ()
+      | Solver.Optimal ->
+        total_newton := sol.Solver.newton_iterations;
+        let d_model = Solver.lookup sol Constraints.delay_variable in
+        if d_model > spec.Constraints.target_delay then
+          timing_factor := 1.1 *. d_model /. spec.Constraints.target_delay)));
+  (try
+     for iter = 1 to options.max_iterations do
+       iterations := iter;
+       let current =
+         Constraints.rescale generated ~timing:!timing_factor
+           ~precharge:!precharge_factor
+       in
+       match Solver.solve ~options:options.gp_options current.Constraints.problem with
+       | Error e ->
+         result := Some (Error ("Sizer: GP error: " ^ e));
+         raise Exit
+       | Ok sol -> (
+         match sol.Solver.status with
+         | Solver.Infeasible ->
+           (* Model-space infeasible: relax the internal budgets.  Give up
+              only when even a wide-open model cannot be satisfied. *)
+           timing_factor := !timing_factor *. 1.35;
+           precharge_factor := !precharge_factor *. 1.15;
+           if !timing_factor > 24. then begin
+             result :=
+               Some
+                 (Error
+                    (Printf.sprintf
+                       "Sizer: specification %.1f ps infeasible within device bounds"
+                       spec.Constraints.target_delay));
+             raise Exit
+           end
+         | Solver.Optimal | Solver.Iteration_limit ->
+           let sizing = sizing_of_solution netlist sol in
+           let sizing_fn = fn_of_sizing sizing in
+           let eval_sta =
+             Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn
+           in
+           let pre_sta =
+             Sta.analyze ~mode:Sta.Precharge tech netlist ~sizing:sizing_fn
+           in
+           total_newton := !total_newton + sol.Solver.newton_iterations;
+           let outcome =
+             {
+               sizing;
+               sizing_fn;
+               achieved_delay = eval_sta.Sta.max_delay;
+               achieved_precharge = pre_sta.Sta.max_delay;
+               target_delay = spec.Constraints.target_delay;
+               total_width = Netlist.total_width netlist sizing_fn;
+               clock_load_width = Netlist.clock_load_width netlist sizing_fn;
+               iterations = iter;
+               gp_newton_iterations = !total_newton;
+               converged = true;
+               constraint_stats = generated;
+               sta = eval_sta;
+             }
+           in
+           let improved =
+             match !best with
+             | Some b -> outcome.total_width < b.total_width *. 0.997
+             | None -> true
+           in
+           if meets outcome && improved then best := Some outcome;
+           let miss_t = eval_sta.Sta.max_delay /. spec.Constraints.target_delay in
+           let miss_p =
+             if has_pre then pre_sta.Sta.max_delay /. precharge_budget else 1.
+           in
+           Log.debug (fun m ->
+               m "iteration %d: delay %.1f/%.1f ps (x%.3f), precharge %.1f/%.1f"
+                 iter eval_sta.Sta.max_delay spec.Constraints.target_delay
+                 !timing_factor pre_sta.Sta.max_delay precharge_budget);
+           (* Converged: golden sits at the spec and the best width has
+              stopped improving. *)
+           if
+             miss_t >= 1. -. tol && miss_t <= 1. +. tol && miss_p <= 1. +. tol
+             && (miss_p >= 1. -. (3. *. tol) || not has_pre)
+             && (not (meets outcome && improved))
+           then raise Exit;
+           let retarget factor miss =
+             let adj = (1. /. miss) ** options.damping in
+             (* Bound each move to avoid oscillation. *)
+             let adj = Float.max 0.5 (Float.min 2.0 adj) in
+             factor *. adj
+           in
+           if miss_t > 1. +. tol || miss_t < 1. -. tol then
+             timing_factor := retarget !timing_factor miss_t;
+           if has_pre && (miss_p > 1. +. tol || miss_p < 1. -. tol) then
+             precharge_factor := retarget !precharge_factor miss_p)
+     done
+   with Exit -> ());
+  match !result with
+  | Some r -> r
+  | None -> (
+    match !best with
+    | Some outcome -> Ok { outcome with iterations = !iterations }
+    | None ->
+      Error
+        (Printf.sprintf
+           "Sizer: no golden-feasible sizing found for %.1f ps in %d iterations"
+           spec.Constraints.target_delay !iterations))
+
+type min_delay = { golden_min : float; model_min : float }
+
+let minimize_delay ?(options = default_options) tech netlist spec =
+  let generated =
+    Constraints.generate_min_delay ~reductions:options.reductions tech netlist spec
+  in
+  match Solver.solve ~options:options.gp_options generated.Constraints.problem with
+  | Error e -> Error ("Sizer.minimize_delay: " ^ e)
+  | Ok sol -> (
+    match sol.Solver.status with
+    | Solver.Infeasible -> Error "Sizer.minimize_delay: infeasible"
+    | Solver.Optimal | Solver.Iteration_limit ->
+      let sizing_fn = fn_of_sizing (sizing_of_solution netlist sol) in
+      let sta = Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn in
+      Ok
+        {
+          golden_min = sta.Sta.max_delay;
+          model_min = Solver.lookup sol Constraints.delay_variable;
+        })

@@ -1,0 +1,69 @@
+(** The SMART sizing engine — the full Figure 4 flow.
+
+    {v
+    unsized schematic -> path extraction -> constraint generation
+        -> GP solve -> update netlist -> golden STA
+        -> (mismatch? create new delay specification, iterate) -> sized design
+    v}
+
+    The GP runs on fast posynomial models; the golden timer re-measures the
+    solution; the evaluate and precharge budgets are retargeted by the
+    measured/specified ratio until the golden numbers meet the spec.  This
+    is exactly the paper's accuracy-vs-speed bargain: cheap models inside
+    the loop, an authoritative timer outside it. *)
+
+type options = {
+  max_iterations : int;  (** outer respecification loop cap (default 8) *)
+  tolerance : float;  (** relative timing acceptance band (default 0.02) *)
+  damping : float;  (** fraction of the measured mismatch applied (default 1.0) *)
+  reductions : Smart_paths.Paths.reductions;
+  objective : Smart_constraints.Constraints.objective;
+  gp_options : Smart_gp.Solver.options;
+  min_delay_hint : float option;
+      (** known model-space minimum delay (ps): skips the warm-start
+          min-delay pre-solve — pass it when sweeping many targets over
+          one netlist *)
+}
+
+val default_options : options
+
+type outcome = {
+  sizing : (string * float) list;  (** width per label, µm *)
+  sizing_fn : string -> float;
+  achieved_delay : float;  (** golden STA evaluate delay, ps *)
+  achieved_precharge : float;  (** golden STA precharge delay, ps *)
+  target_delay : float;
+  total_width : float;
+  clock_load_width : float;
+  iterations : int;  (** outer loop iterations used *)
+  gp_newton_iterations : int;  (** cumulative inner Newton steps *)
+  converged : bool;
+  constraint_stats : Smart_constraints.Constraints.result;
+      (** the generated program (counts, area posynomial) *)
+  sta : Smart_sta.Sta.t;  (** final evaluate-mode timing *)
+}
+
+val size :
+  ?options:options ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  Smart_constraints.Constraints.spec ->
+  (outcome, string) result
+(** Size a netlist to meet a delay specification at minimum cost.
+    [Error] reports GP infeasibility (specification unreachable within
+    device bounds) or non-convergence diagnostics. *)
+
+type min_delay = {
+  golden_min : float;  (** fastest golden delay found, ps *)
+  model_min : float;  (** the GP's own makespan optimum, ps *)
+}
+
+val minimize_delay :
+  ?options:options ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  Smart_constraints.Constraints.spec ->
+  (min_delay, string) result
+(** Fastest achievable delay of the topology within size bounds — the
+    anchor point of area–delay trade-off curves (Fig. 6).  [model_min]
+    doubles as a {!options.min_delay_hint} for subsequent {!size} calls. *)

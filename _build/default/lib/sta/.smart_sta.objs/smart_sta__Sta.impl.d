@@ -1,0 +1,1 @@
+lib/sta/sta.ml: Array Hashtbl List Smart_circuit Smart_models Smart_tech String

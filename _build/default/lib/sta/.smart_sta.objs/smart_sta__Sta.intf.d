@@ -1,0 +1,1 @@
+lib/sta/sta.mli: Smart_circuit Smart_models Smart_tech

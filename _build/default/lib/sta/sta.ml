@@ -1,0 +1,210 @@
+module Netlist = Smart_circuit.Netlist
+module Cell = Smart_circuit.Cell
+module Tech = Smart_tech.Tech
+module Arc = Smart_models.Arc
+module Load = Smart_models.Load
+module Golden = Smart_models.Golden
+
+type mode = Evaluate | Precharge
+
+type net_timing = {
+  arr_rise : float;
+  arr_fall : float;
+  slope_rise : float;
+  slope_fall : float;
+}
+
+type pred = { p_inst : int; p_pin : string; p_in_sense : Arc.sense }
+
+type t = {
+  mode : mode;
+  nets : net_timing array;
+  preds : (pred option * pred option) array;  (* rise, fall per net *)
+  max_delay : float;
+  critical_output : string option;
+  output_arrivals : (string * float) list;
+  group_delays : (string * float) list;
+  max_slope : float;
+  slope_violations : (string * float) list;
+}
+
+let unreachable =
+  { arr_rise = neg_infinity; arr_fall = neg_infinity; slope_rise = 0.; slope_fall = 0. }
+
+let get_arr nt = function
+  | Arc.Rise -> (nt.arr_rise, nt.slope_rise)
+  | Arc.Fall -> (nt.arr_fall, nt.slope_fall)
+
+let set_if_later nt sense arr slope =
+  match sense with
+  | Arc.Rise ->
+    if arr > nt.arr_rise then { nt with arr_rise = arr; slope_rise = slope } else nt
+  | Arc.Fall ->
+    if arr > nt.arr_fall then { nt with arr_fall = arr; slope_fall = slope } else nt
+
+let top_group (i : Netlist.instance) =
+  match String.index_opt i.Netlist.group '/' with
+  | Some k -> String.sub i.Netlist.group 0 k
+  | None -> i.Netlist.group
+
+let analyze ?(mode = Evaluate) tech netlist ~sizing =
+  let loads = Load.make tech netlist in
+  let n = Array.length netlist.Netlist.nets in
+  let timing = Array.make n unreachable in
+  let preds = Array.make n (None, None) in
+  let set_pred nid sense p =
+    let r, f = preds.(nid) in
+    match sense with
+    | Arc.Rise -> preds.(nid) <- (Some p, f)
+    | Arc.Fall -> preds.(nid) <- (r, Some p)
+  in
+  (* Launch events. *)
+  Array.iter
+    (fun (net : Netlist.net) ->
+      match (net.Netlist.net_kind, mode) with
+      | Netlist.Primary_input, Evaluate ->
+        timing.(net.Netlist.net_id) <-
+          {
+            arr_rise = 0.;
+            arr_fall = 0.;
+            slope_rise = tech.Tech.default_input_slope;
+            slope_fall = tech.Tech.default_input_slope;
+          }
+      | Netlist.Primary_input, Precharge -> ()
+      | (Netlist.Primary_output | Netlist.Internal | Netlist.Clock), _ -> ())
+    netlist.Netlist.nets;
+  let order = Netlist.topo_order netlist in
+  List.iter
+    (fun (i : Netlist.instance) ->
+      let cell = i.Netlist.cell in
+      let load = Load.numeric loads sizing i.Netlist.out in
+      let propagate_arc (arc : Arc.t) =
+        let launch =
+          match (arc.Arc.kind, mode) with
+          | Arc.Precharge, Precharge ->
+            (* Clock falls at t = 0 with a crisp edge. *)
+            Some (fun (_ : Arc.sense) -> Some (0., tech.Tech.default_input_slope /. 2.))
+          | Arc.Precharge, Evaluate -> None
+          | Arc.Eval, Precharge -> None
+          | (Arc.Eval | Arc.Data | Arc.Control), _ ->
+            let nid = List.assoc arc.Arc.pin i.Netlist.conns in
+            Some
+              (fun in_sense ->
+                let arr, slope = get_arr timing.(nid) in_sense in
+                if arr = neg_infinity then None else Some (arr, slope))
+        in
+        match launch with
+        | None -> ()
+        | Some input_of ->
+          List.iter
+            (fun (in_sense, out_sense) ->
+              match input_of in_sense with
+              | None -> ()
+              | Some (arr_in, slope_in) ->
+                let d, out_slope =
+                  Golden.arc_delay tech ~sizing cell ~pin:arc.Arc.pin ~out_sense
+                    ~load ~in_slope:slope_in
+                in
+                let before = timing.(i.Netlist.out) in
+                let after = set_if_later before out_sense (arr_in +. d) out_slope in
+                if after != before then begin
+                  timing.(i.Netlist.out) <- after;
+                  set_pred i.Netlist.out out_sense
+                    { p_inst = i.Netlist.inst_id; p_pin = arc.Arc.pin;
+                      p_in_sense = in_sense }
+                end)
+            arc.Arc.senses
+      in
+      List.iter propagate_arc (Arc.arcs_of cell))
+    order;
+  (* Reporting. *)
+  let worst nt = max nt.arr_rise nt.arr_fall in
+  let output_arrivals =
+    List.filter_map
+      (fun nid ->
+        let a = worst timing.(nid) in
+        if a = neg_infinity then None
+        else Some ((Netlist.net netlist nid).Netlist.net_name, a))
+      netlist.Netlist.outputs
+  in
+  let max_delay, critical_output =
+    List.fold_left
+      (fun (best, who) (name, a) -> if a > best then (a, Some name) else (best, who))
+      (0., None) output_arrivals
+  in
+  let group_tbl : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (i : Netlist.instance) ->
+      let a = worst timing.(i.Netlist.out) in
+      if a > neg_infinity then begin
+        let g = top_group i in
+        let cur = try Hashtbl.find group_tbl g with Not_found -> neg_infinity in
+        if a > cur then Hashtbl.replace group_tbl g a
+      end)
+    netlist.Netlist.instances;
+  let group_delays =
+    Hashtbl.fold (fun g a acc -> (g, a) :: acc) group_tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let max_slope = ref 0. in
+  let slope_violations = ref [] in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let nt = timing.(net.Netlist.net_id) in
+      let s = max nt.slope_rise nt.slope_fall in
+      if s > !max_slope then max_slope := s;
+      if s > tech.Tech.slope_max then
+        slope_violations := (net.Netlist.net_name, s) :: !slope_violations)
+    netlist.Netlist.nets;
+  {
+    mode;
+    nets = timing;
+    preds;
+    max_delay;
+    critical_output;
+    output_arrivals;
+    group_delays;
+    max_slope = !max_slope;
+    slope_violations = List.rev !slope_violations;
+  }
+
+let arrival t nid =
+  let nt = t.nets.(nid) in
+  max nt.arr_rise nt.arr_fall
+
+let critical_path t netlist =
+  (* Walk predecessor records back from the worst primary output. *)
+  let worst_sense nt = if nt.arr_rise >= nt.arr_fall then Arc.Rise else Arc.Fall in
+  let start =
+    List.fold_left
+      (fun best nid ->
+        let a = arrival t nid in
+        match best with
+        | Some (_, ba) when ba >= a -> best
+        | _ -> if a = neg_infinity then best else Some (nid, a))
+      None netlist.Netlist.outputs
+  in
+  match start with
+  | None -> []
+  | Some (nid0, _) ->
+    let rec walk nid sense acc guard =
+      if guard <= 0 then acc
+      else begin
+        let r, f = t.preds.(nid) in
+        let p = match sense with Arc.Rise -> r | Arc.Fall -> f in
+        match p with
+        | None -> acc
+        | Some { p_inst; p_pin; p_in_sense } ->
+          let i = netlist.Netlist.instances.(p_inst) in
+          let acc = (i, p_pin) :: acc in
+          if p_pin = "clk" then acc
+          else
+            let fanin = List.assoc p_pin i.Netlist.conns in
+            walk fanin p_in_sense acc (guard - 1)
+      end
+    in
+    walk nid0 (worst_sense t.nets.(nid0)) [] (Array.length netlist.Netlist.instances + 1)
+
+let evaluate_and_precharge tech netlist ~sizing =
+  ( analyze ~mode:Evaluate tech netlist ~sizing,
+    analyze ~mode:Precharge tech netlist ~sizing )

@@ -1,0 +1,70 @@
+(** Golden static timing analysis.
+
+    Plays the role of PathMill in the paper's Figure 4 flow: after the GP
+    produces sizes, the netlist is re-timed here with the detailed
+    {!Smart_models.Golden} models; any mismatch against the delay
+    specification drives a new iteration ("create new delay
+    specification").
+
+    Two analysis modes mirror dynamic-logic operation (§5.3):
+    {ul
+    {- [Evaluate]: primary inputs switch at t = 0, the clock has risen;
+       evaluate arcs of domino stages and all static/pass arcs propagate.}
+    {- [Precharge]: inputs are stable; the falling clock launches precharge
+       arcs whose effects ripple through downstream static and pass logic.}}
+
+    Propagation is per-sense (rise/fall tracked separately), with the slope
+    of the critical contributor carried forward — wide gates are timed by
+    their worst pin, as the path compaction of §5.2 assumes. *)
+
+type mode = Evaluate | Precharge
+
+type net_timing = {
+  arr_rise : float;  (** ps; [neg_infinity] when unreachable *)
+  arr_fall : float;
+  slope_rise : float;
+  slope_fall : float;
+}
+
+type pred = {
+  p_inst : int;  (** instance id of the critical contributor *)
+  p_pin : string;
+  p_in_sense : Smart_models.Arc.sense;
+}
+
+type t = {
+  mode : mode;
+  nets : net_timing array;  (** indexed by net id *)
+  preds : (pred option * pred option) array;
+      (** critical (rise, fall) contributor per net *)
+  max_delay : float;  (** worst arrival over primary outputs (0 if none) *)
+  critical_output : string option;
+  output_arrivals : (string * float) list;  (** worst arrival per output *)
+  group_delays : (string * float) list;
+      (** worst driven-net arrival per top-level instance group *)
+  max_slope : float;
+  slope_violations : (string * float) list;  (** net name, slope *)
+}
+
+val analyze :
+  ?mode:mode ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  sizing:(string -> float) ->
+  t
+(** Time the netlist under a concrete sizing.  Default mode [Evaluate]. *)
+
+val arrival : t -> Smart_circuit.Netlist.net_id -> float
+(** Worst-sense arrival of a net ([neg_infinity] if unreachable). *)
+
+val critical_path :
+  t -> Smart_circuit.Netlist.t -> (Smart_circuit.Netlist.instance * string) list
+(** The (instance, input pin) chain realising [max_delay], launch to
+    capture.  Empty when nothing propagated. *)
+
+val evaluate_and_precharge :
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  sizing:(string -> float) ->
+  t * t
+(** Both analyses at once (evaluate first). *)

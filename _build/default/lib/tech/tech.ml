@@ -1,0 +1,73 @@
+type t = {
+  name : string;
+  vdd : float;
+  freq_ghz : float;
+  rn : float;
+  rp : float;
+  cg : float;
+  cd : float;
+  w_min : float;
+  w_max : float;
+  slope_max : float;
+  default_input_slope : float;
+  pass_r_penalty : float;
+  beta : float;
+  self_cap_fraction : float;
+  wire_cap_per_fanout : float;
+  logic_delay_fit : float;
+  slope_sensitivity : float;
+  gate_fit : (string * float) list;
+}
+
+let default =
+  {
+    name = "smart180";
+    vdd = 1.8;
+    freq_ghz = 1.0;
+    rn = 2.0;
+    rp = 4.2;
+    cg = 2.0;
+    cd = 1.0;
+    w_min = 0.4;
+    w_max = 60.0;
+    slope_max = 120.0;
+    default_input_slope = 40.0;
+    pass_r_penalty = 1.5;
+    beta = 2.0;
+    self_cap_fraction = 0.5;
+    wire_cap_per_fanout = 0.8;
+    logic_delay_fit = 0.69;
+    slope_sensitivity = 0.06;
+    gate_fit = [];
+  }
+
+let scaled ?(rc_scale = 1.) ?name t =
+  let s = sqrt rc_scale in
+  {
+    t with
+    name = (match name with Some n -> n | None -> t.name ^ "-scaled");
+    rn = t.rn *. s;
+    rp = t.rp *. s;
+    cg = t.cg *. s;
+    cd = t.cd *. s;
+  }
+
+let gate_fit_of t name =
+  match List.assoc_opt name t.gate_fit with Some f -> f | None -> 1.0
+
+let calibrate t fits =
+  let keys = List.map fst fits in
+  { t with gate_fit = fits @ List.filter (fun (k, _) -> not (List.mem k keys)) t.gate_fit }
+
+let res_n t w = t.rn /. w
+let res_p t w = t.rp /. w
+let cap_gate t w = t.cg *. w
+let cap_drain t w = t.cd *. w
+
+let fo4_delay t =
+  (* Inverter of total width w driving four copies of itself: the width
+     cancels, leaving an RC product characteristic of the process. *)
+  let w = 1. +. t.beta in
+  let r = (res_n t 1. +. res_p t t.beta) /. 2. in
+  let c = cap_drain t (w *. t.self_cap_fraction) +. (4. *. cap_gate t w) in
+  t.logic_delay_fit *. r *. c

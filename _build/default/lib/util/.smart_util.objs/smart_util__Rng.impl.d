@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Err Int64

@@ -1,0 +1,1 @@
+lib/util/tab.ml: Err List Printf String

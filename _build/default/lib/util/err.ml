@@ -1,0 +1,6 @@
+exception Smart_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Smart_error s)) fmt
+
+let invalid_arg_if cond fmt =
+  Format.kasprintf (fun s -> if cond then raise (Smart_error s)) fmt

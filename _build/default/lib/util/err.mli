@@ -1,0 +1,13 @@
+(** Error reporting for the SMART libraries.
+
+    All SMART libraries signal unrecoverable user-facing errors through
+    {!Smart_error}; internal code paths prefer [option]/[result]. *)
+
+exception Smart_error of string
+(** The single exception raised at SMART API boundaries. *)
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Smart_error} with a formatted message. *)
+
+val invalid_arg_if : bool -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [invalid_arg_if cond fmt ...] raises {!Smart_error} when [cond] holds. *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every randomised component in SMART (workload generators, random-logic
+    filler, property-test fixtures) draws from this generator so that runs
+    are reproducible from a single integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed.  Equal seeds give
+    equal streams. *)
+
+val copy : t -> t
+(** Independent copy sharing no state with the original. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent child
+    generator; use to give sub-components their own streams. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,27 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+    let logsum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (logsum /. float_of_int (List.length xs))
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+    sqrt var
+
+let minimum = function
+  | [] -> Err.fail "Stats.minimum: empty list"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> Err.fail "Stats.maximum: empty list"
+  | x :: xs -> List.fold_left max x xs
+
+let percent_saving ~original ~improved = 100. *. (1. -. (improved /. original))
+let ratio ~original ~improved = improved /. original

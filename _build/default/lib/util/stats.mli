@@ -1,0 +1,22 @@
+(** Small statistics helpers used by benches and experiment reports. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists of fewer than two elements. *)
+
+val minimum : float list -> float
+(** Smallest element; raises on the empty list. *)
+
+val maximum : float list -> float
+(** Largest element; raises on the empty list. *)
+
+val percent_saving : original:float -> improved:float -> float
+(** [percent_saving ~original ~improved] is [100 * (1 - improved/original)]. *)
+
+val ratio : original:float -> improved:float -> float
+(** [improved /. original]; the normalisation used throughout the paper. *)

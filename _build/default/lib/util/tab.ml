@@ -1,0 +1,29 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let row t cells =
+  if List.length cells <> List.length t.headers then
+    Err.fail "Tab.row: %d cells for %d headers" (List.length cells)
+      (List.length t.headers);
+  t.rows <- cells :: t.rows
+
+let rowf t fmt =
+  Printf.ksprintf (fun s -> row t (String.split_on_char '|' s)) fmt
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left (fun acc r -> max acc (String.length (List.nth r c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render_row r =
+    let cells = List.map2 (fun cell w -> Printf.sprintf "%-*s" w cell) r widths in
+    String.concat "  " cells
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (render_row t.headers :: sep :: List.map render_row rows)
+
+let print t = print_endline (to_string t)

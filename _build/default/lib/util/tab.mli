@@ -1,0 +1,23 @@
+(** Fixed-width text tables for experiment reports.
+
+    The bench harness prints each paper table/figure as an aligned text
+    table; this module does the column bookkeeping. *)
+
+type t
+(** A table under construction. *)
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val row : t -> string list -> unit
+(** Append a row; must have as many cells as there are headers. *)
+
+val rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [rowf t fmt ...] appends a single-string row built with [fmt], splitting
+    on ['|'] characters into cells. *)
+
+val to_string : t -> string
+(** Render with aligned columns and a header separator. *)
+
+val print : t -> unit
+(** [print t] writes [to_string t] to stdout followed by a newline. *)

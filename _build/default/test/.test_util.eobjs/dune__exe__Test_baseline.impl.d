@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Float List Smart_baseline Smart_circuit Smart_macros Smart_sta Smart_tech String

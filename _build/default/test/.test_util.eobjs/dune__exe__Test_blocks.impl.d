@@ -1,0 +1,1 @@
+test/test_blocks.ml: Alcotest List Smart_blocks Smart_circuit Smart_macros Smart_tech

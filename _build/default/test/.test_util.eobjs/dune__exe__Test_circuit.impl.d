@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest List Smart_circuit Smart_util String

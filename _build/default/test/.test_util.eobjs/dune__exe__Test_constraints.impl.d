@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest List Smart_circuit Smart_constraints Smart_gp Smart_macros Smart_paths Smart_posy Smart_tech String

@@ -1,0 +1,1 @@
+test/test_corners.ml: Alcotest List Smart_core

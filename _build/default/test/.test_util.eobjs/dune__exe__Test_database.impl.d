@@ -1,0 +1,1 @@
+test/test_database.ml: Alcotest List Smart_circuit Smart_database Smart_macros

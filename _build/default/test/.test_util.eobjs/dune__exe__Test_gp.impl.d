@@ -1,0 +1,1 @@
+test/test_gp.ml: Alcotest List Printf QCheck QCheck_alcotest Smart_gp Smart_posy Smart_util

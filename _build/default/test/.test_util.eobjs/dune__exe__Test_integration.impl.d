@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Printf Smart_baseline Smart_core String

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float List QCheck QCheck_alcotest Smart_linalg Smart_util

@@ -1,0 +1,1 @@
+test/test_macros.ml: Alcotest List Printf QCheck QCheck_alcotest Smart_circuit Smart_macros Smart_sim Smart_util String

@@ -1,0 +1,1 @@
+test/test_macros2.ml: Alcotest Array List Printf Smart_circuit Smart_constraints Smart_macros Smart_sim Smart_sizer Smart_tech Smart_util

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest List Printf Smart_circuit Smart_models Smart_posy Smart_tech Smart_util String

@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Array List Printf QCheck QCheck_alcotest Smart_circuit Smart_macros Smart_paths Smart_util

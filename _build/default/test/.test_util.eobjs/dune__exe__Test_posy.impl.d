@@ -1,0 +1,1 @@
+test/test_posy.ml: Alcotest Array List Printf QCheck QCheck_alcotest Smart_linalg Smart_posy Smart_util String

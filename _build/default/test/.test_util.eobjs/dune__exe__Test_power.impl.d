@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Smart_circuit Smart_macros Smart_power Smart_tech

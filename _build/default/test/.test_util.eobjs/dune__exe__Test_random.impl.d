@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest List Printf QCheck QCheck_alcotest Smart_baseline Smart_blocks Smart_circuit Smart_macros Smart_paths Smart_power Smart_sta Smart_tech Smart_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Smart_circuit Smart_sim

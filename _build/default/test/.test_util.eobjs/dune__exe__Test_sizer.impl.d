@@ -1,0 +1,1 @@
+test/test_sizer.ml: Alcotest List Printf Smart_circuit Smart_constraints Smart_macros Smart_sim Smart_sizer Smart_sta Smart_tech

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest List Smart_circuit Smart_macros String

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Float List Printf Smart_circuit Smart_models Smart_sta Smart_tech

@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Smart_tech String

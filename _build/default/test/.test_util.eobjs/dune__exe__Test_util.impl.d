@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Smart_util String

@@ -1,0 +1,119 @@
+(* Unit tests: Smart_baseline (manual-design model). *)
+
+module Baseline = Smart_baseline.Baseline
+module Cell = Smart_circuit.Cell
+module N = Smart_circuit.Netlist
+module B = Smart_circuit.Netlist.Builder
+module Mux = Smart_macros.Mux
+module Macro = Smart_macros.Macro
+module Sta = Smart_sta.Sta
+module Tech = Smart_tech.Tech
+
+let tech = Tech.default
+let checkb msg = Alcotest.(check bool) msg
+
+let chain () =
+  let b = B.create "chain" in
+  let i = B.input b "in" in
+  let w = B.wire b "w" in
+  let o = B.output b "out" in
+  B.inst b ~name:"g1" ~cell:(Cell.inverter ~p:"P1" ~n:"N1") ~inputs:[ ("a", i) ] ~out:w ();
+  B.inst b ~name:"g2" ~cell:(Cell.inverter ~p:"P2" ~n:"N2") ~inputs:[ ("a", w) ] ~out:o ();
+  B.ext_load b o 60.;
+  B.freeze b
+
+let test_meets_reachable_target () =
+  let nl = chain () in
+  let r = Baseline.size ~target:80. tech nl in
+  checkb "met" true r.Baseline.met_target;
+  checkb "golden agrees" true (r.Baseline.achieved_delay <= 80.)
+
+let test_gives_up_gracefully () =
+  let nl = chain () in
+  let r = Baseline.size ~target:1. tech nl in
+  checkb "not met" false r.Baseline.met_target;
+  checkb "still returns a sizing" true (r.Baseline.total_width > 0.)
+
+let test_grid_snapping () =
+  let nl = chain () in
+  let r = Baseline.size ~target:70. tech nl in
+  List.iter
+    (fun (_, w) ->
+      let g = Baseline.default_params.Baseline.grid in
+      let snapped = Float.round (w /. g) *. g in
+      checkb "on grid (or clamped)" true
+        (abs_float (w -. snapped) < 1e-6 || w = tech.Tech.w_max || w = tech.Tech.w_min))
+    r.Baseline.sizing
+
+let test_margin_inflates () =
+  let nl = chain () in
+  let lean =
+    Baseline.size
+      ~params:{ Baseline.default_params with Baseline.margin = 1.0 }
+      ~target:70. tech nl
+  in
+  let fat =
+    Baseline.size
+      ~params:{ Baseline.default_params with Baseline.margin = 1.4 }
+      ~target:70. tech nl
+  in
+  checkb "margin adds width" true
+    (fat.Baseline.total_width >= lean.Baseline.total_width)
+
+let test_uniform_clock () =
+  let info = Mux.generate (Mux.Domino_partitioned None) ~n:8 in
+  let nl = info.Macro.netlist in
+  let r = Baseline.size ~target:150. tech nl in
+  (* All clocked labels end up with one template width. *)
+  let clocked =
+    Array.fold_left
+      (fun acc (i : N.instance) ->
+        List.map fst (Cell.clocked_widths i.N.cell) @ acc)
+      [] nl.N.instances
+    |> List.sort_uniq String.compare
+  in
+  let widths = List.map r.Baseline.sizing_fn clocked in
+  (match widths with
+  | [] -> Alcotest.fail "no clocked devices"
+  | w :: rest ->
+    checkb "uniform" true (List.for_all (fun x -> abs_float (x -. w) < 1e-9) rest));
+  let no_uniform =
+    Baseline.size
+      ~params:{ Baseline.default_params with Baseline.uniform_clock = false }
+      ~target:150. tech nl
+  in
+  checkb "uniform clock costs width" true
+    (r.Baseline.clock_load_width >= no_uniform.Baseline.clock_load_width)
+
+let test_recovery_keeps_timing () =
+  let info = Mux.generate Mux.Strongly_mutexed ~n:8 in
+  let nl = info.Macro.netlist in
+  let r = Baseline.size ~target:40. tech nl in
+  let sta = Sta.analyze tech nl ~sizing:r.Baseline.sizing_fn in
+  Alcotest.(check (float 1e-6)) "reported delay consistent"
+    r.Baseline.achieved_delay sta.Sta.max_delay
+
+let test_deterministic () =
+  let nl = chain () in
+  let a = Baseline.size ~target:75. tech nl in
+  let b = Baseline.size ~target:75. tech nl in
+  Alcotest.(check (list (pair string (float 1e-12)))) "same sizing"
+    a.Baseline.sizing b.Baseline.sizing
+
+let () =
+  Alcotest.run "smart_baseline"
+    [
+      ( "greedy",
+        [
+          Alcotest.test_case "meets reachable target" `Quick test_meets_reachable_target;
+          Alcotest.test_case "gives up gracefully" `Quick test_gives_up_gracefully;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "habits",
+        [
+          Alcotest.test_case "grid snapping" `Quick test_grid_snapping;
+          Alcotest.test_case "margin" `Quick test_margin_inflates;
+          Alcotest.test_case "uniform clock" `Quick test_uniform_clock;
+          Alcotest.test_case "recovery consistency" `Quick test_recovery_keeps_timing;
+        ] );
+    ]

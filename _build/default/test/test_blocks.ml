@@ -1,0 +1,104 @@
+(* Unit tests: Smart_blocks (block assembly for §6.4/Table 2). *)
+
+module Blocks = Smart_blocks.Blocks
+module Macro = Smart_macros.Macro
+module Mux = Smart_macros.Mux
+module N = Smart_circuit.Netlist
+module Tech = Smart_tech.Tech
+
+let tech = Tech.default
+let checkb msg = Alcotest.(check bool) msg
+let checki msg = Alcotest.(check int) msg
+
+let test_random_logic_valid () =
+  let info = Blocks.random_logic ~seed:5 ~name:"glue" ~gates:80 in
+  checki "validates" 0 (List.length (N.validate info.Macro.netlist));
+  checkb "gate count respected" true (N.instance_count info.Macro.netlist >= 80);
+  checkb "has outputs" true (info.Macro.netlist.N.outputs <> [])
+
+let test_random_logic_deterministic () =
+  let a = Blocks.random_logic ~seed:9 ~name:"g" ~gates:40 in
+  let b = Blocks.random_logic ~seed:9 ~name:"g" ~gates:40 in
+  checki "same structure" (N.device_count a.Macro.netlist)
+    (N.device_count b.Macro.netlist);
+  let c = Blocks.random_logic ~seed:10 ~name:"g" ~gates:40 in
+  checkb "different seeds differ" true
+    (N.device_count a.Macro.netlist <> N.device_count c.Macro.netlist
+    || N.instance_count a.Macro.netlist <> N.instance_count c.Macro.netlist
+    || a.Macro.netlist.N.outputs <> c.Macro.netlist.N.outputs)
+
+let test_random_logic_no_regularity () =
+  (* Glue logic uses per-gate labels: label count tracks gate count. *)
+  let info = Blocks.random_logic ~seed:5 ~name:"glue" ~gates:50 in
+  checkb "many labels" true
+    (List.length (N.labels info.Macro.netlist) > 50)
+
+let test_build_tags_components () =
+  let block =
+    Blocks.build ~name:"b"
+      ~macros:[ ("m", Mux.generate Mux.Strongly_mutexed ~n:4) ]
+      ~filler:[ Blocks.random_logic ~seed:1 ~name:"g" ~gates:20 ]
+  in
+  checki "two components" 2 (List.length block.Blocks.components);
+  checki "one macro" 1
+    (List.length (List.filter (fun c -> c.Blocks.is_macro) block.Blocks.components))
+
+let test_apply_smart_study () =
+  let block =
+    Blocks.build ~name:"study"
+      ~macros:
+        [ ("m0", Mux.generate ~ext_load:30. Mux.Domino_unsplit ~n:4);
+          ("m1", Smart_macros.Zero_detect.generate ~bits:8 ()) ]
+      ~filler:[ Blocks.random_logic ~seed:2 ~name:"g" ~gates:40 ]
+  in
+  let s = Blocks.apply_smart tech block in
+  checkb "macro width fraction in (0,1)" true
+    (s.Blocks.macro_width_fraction > 0. && s.Blocks.macro_width_fraction < 1.);
+  checkb "macro power fraction in (0,1)" true
+    (s.Blocks.macro_power_fraction > 0. && s.Blocks.macro_power_fraction < 1.);
+  checkb "width saved" true (s.Blocks.width_saving_pct > 0.);
+  checkb "improved <= original" true
+    (s.Blocks.improved.Blocks.width <= s.Blocks.original.Blocks.width);
+  checki "device count invariant" s.Blocks.original.Blocks.devices
+    s.Blocks.improved.Blocks.devices;
+  (* Only macros change: glue width identical in both totals. *)
+  let glue_orig =
+    s.Blocks.original.Blocks.width -. s.Blocks.original.Blocks.macro_width
+  in
+  let glue_impr =
+    s.Blocks.improved.Blocks.width -. s.Blocks.improved.Blocks.macro_width
+  in
+  Alcotest.(check (float 1e-6)) "glue untouched" glue_orig glue_impr;
+  checkb "no timing regressions" true (s.Blocks.timing_regressions = [])
+
+let test_block_savings_scale_with_macro_share () =
+  let macros = [ ("m", Mux.generate ~ext_load:30. Mux.Domino_unsplit ~n:4) ] in
+  let small_glue =
+    Blocks.build ~name:"mostly-macro" ~macros
+      ~filler:[ Blocks.random_logic ~seed:3 ~name:"g" ~gates:10 ]
+  in
+  let big_glue =
+    Blocks.build ~name:"mostly-glue" ~macros
+      ~filler:[ Blocks.random_logic ~seed:3 ~name:"g" ~gates:300 ]
+  in
+  let s1 = Blocks.apply_smart tech small_glue in
+  let s2 = Blocks.apply_smart tech big_glue in
+  checkb "more macro share, more saving" true
+    (s1.Blocks.power_saving_pct > s2.Blocks.power_saving_pct)
+
+let () =
+  Alcotest.run "smart_blocks"
+    [
+      ( "random logic",
+        [
+          Alcotest.test_case "valid" `Quick test_random_logic_valid;
+          Alcotest.test_case "deterministic" `Quick test_random_logic_deterministic;
+          Alcotest.test_case "no regularity" `Quick test_random_logic_no_regularity;
+        ] );
+      ( "blocks",
+        [
+          Alcotest.test_case "component tagging" `Quick test_build_tags_components;
+          Alcotest.test_case "apply_smart study" `Slow test_apply_smart_study;
+          Alcotest.test_case "macro share scaling" `Slow test_block_savings_scale_with_macro_share;
+        ] );
+    ]

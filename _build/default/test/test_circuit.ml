@@ -1,0 +1,292 @@
+(* Unit tests: Smart_circuit (PDNs, cells, netlists). *)
+
+module Pdn = Smart_circuit.Pdn
+module Cell = Smart_circuit.Cell
+module N = Smart_circuit.Netlist
+module B = Smart_circuit.Netlist.Builder
+module Family = Smart_circuit.Family
+module Err = Smart_util.Err
+
+let checkb msg = Alcotest.(check bool) msg
+let checki msg = Alcotest.(check int) msg
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+let leaf p l = Pdn.leaf ~pin:p ~label:l
+
+(* A NAND2-of-OR pull-down: (a | b) . c *)
+let oai_pdn = Pdn.series [ Pdn.parallel [ leaf "a" "N"; leaf "b" "N" ]; leaf "c" "N" ]
+
+let test_pdn_queries () =
+  checki "devices" 3 (Pdn.device_count oai_pdn);
+  checki "depth" 2 (Pdn.max_series_depth oai_pdn);
+  Alcotest.(check (list string)) "pins" [ "a"; "b"; "c" ] (Pdn.pins oai_pdn);
+  Alcotest.(check (list string)) "labels" [ "N" ] (Pdn.labels oai_pdn);
+  Alcotest.(check (list (pair string (float 1e-9)))) "widths" [ ("N", 3.) ]
+    (Pdn.widths oai_pdn)
+
+let test_pdn_flattening () =
+  let p = Pdn.series [ Pdn.series [ leaf "a" "N"; leaf "b" "N" ]; leaf "c" "N" ] in
+  checki "flattened depth" 3 (Pdn.max_series_depth p);
+  (match p with
+  | Pdn.Series xs -> checki "one level" 3 (List.length xs)
+  | _ -> Alcotest.fail "expected series")
+
+let test_pdn_empty_rejected () =
+  Alcotest.check_raises "empty series" (Err.Smart_error "Pdn.series: empty")
+    (fun () -> ignore (Pdn.series []))
+
+let test_pdn_chains () =
+  (* worst chain of (a|b).c is 2 devices *)
+  let worst = Pdn.worst_series_chain oai_pdn in
+  checkf "worst weight" 2. (List.fold_left (fun acc (_, m) -> acc +. m) 0. worst);
+  (match Pdn.series_chain_through oai_pdn "a" with
+  | Some chain ->
+    checkf "through a" 2. (List.fold_left (fun acc (_, m) -> acc +. m) 0. chain)
+  | None -> Alcotest.fail "pin a missing");
+  checkb "absent pin" true (Pdn.series_chain_through oai_pdn "zz" = None)
+
+let test_pdn_top_widths () =
+  (* tops of (a|b).c are a and b (first element of the series) *)
+  Alcotest.(check (list (pair string (float 1e-9)))) "tops" [ ("N", 2.) ]
+    (Pdn.top_widths oai_pdn)
+
+let test_pdn_conduction () =
+  let env l p = List.assoc p l in
+  checkb "a&c conducts" true (Pdn.conducts (env [ ("a", true); ("b", false); ("c", true) ]) oai_pdn);
+  checkb "c alone does not" false
+    (Pdn.conducts (env [ ("a", false); ("b", false); ("c", true) ]) oai_pdn);
+  checkb "three-valued unknown" true
+    (Pdn.conducts3
+       (fun p -> if p = "c" then `T else `X)
+       oai_pdn
+    = `X)
+
+let test_pdn_maps () =
+  let renamed = Pdn.map_labels (fun l -> l ^ "2") oai_pdn in
+  Alcotest.(check (list string)) "relabel" [ "N2" ] (Pdn.labels renamed);
+  let repinned = Pdn.map_pins String.uppercase_ascii oai_pdn in
+  Alcotest.(check (list string)) "repin" [ "A"; "B"; "C" ] (Pdn.pins repinned)
+
+(* ---------------- cells ---------------- *)
+
+let test_cell_inverter () =
+  let inv = Cell.inverter ~p:"P" ~n:"N" in
+  Alcotest.(check (list string)) "pins" [ "a" ] (Cell.input_pins inv);
+  checki "devices" 2 (Cell.device_count inv);
+  checkb "inverting" true (Cell.inverting inv);
+  checkb "static family" true (Cell.family inv = Family.Static_cmos);
+  Alcotest.(check (list (pair string (float 1e-9)))) "widths"
+    [ ("N", 1.); ("P", 1.) ] (Cell.all_widths inv)
+
+let test_cell_nand_nor () =
+  let nand3 = Cell.nand ~inputs:3 ~p:"P" ~n:"N" in
+  checki "nand3 devices" 6 (Cell.device_count nand3);
+  Alcotest.(check (list (pair string (float 1e-9)))) "nand widths"
+    [ ("N", 3.); ("P", 3.) ] (Cell.all_widths nand3);
+  Alcotest.check_raises "nand1 rejected"
+    (Err.Smart_error "Cell.nand: needs >= 2 inputs") (fun () ->
+      ignore (Cell.nand ~inputs:1 ~p:"P" ~n:"N"))
+
+let test_cell_passgate () =
+  let pg = Cell.Passgate { style = Cell.Cmos_tgate; label = "N2" } in
+  Alcotest.(check (list string)) "pins" [ "d"; "s" ] (Cell.input_pins pg);
+  checkb "non-inverting" false (Cell.inverting pg);
+  checkb "pass family" true (Cell.family pg = Family.Pass);
+  (* d is channel-connected: diffusion, not gate. *)
+  checkb "d has no gate cap" true (Cell.pin_cap_widths pg "d" = []);
+  checkb "d has diffusion" true (Cell.pin_diff_widths pg "d" <> []);
+  checkb "s has gate cap" true (Cell.pin_cap_widths pg "s" <> [])
+
+let test_cell_domino () =
+  let dom =
+    Cell.Domino
+      {
+        gate_name = "or2";
+        pull_down = Pdn.parallel [ leaf "a" "N1"; leaf "b" "N1" ];
+        precharge = "P1";
+        eval = Some "N2";
+        out_p = "P3";
+        out_n = "N3";
+        keeper = true;
+      }
+  in
+  checkb "D1 family" true (Cell.family dom = Family.Domino_d1);
+  checkb "clocked" true (Cell.has_clock dom);
+  checkb "non-inverting overall" false (Cell.inverting dom);
+  Alcotest.(check (list (pair string (float 1e-9)))) "clock load"
+    [ ("P1", 1.); ("N2", 1.) ] (Cell.clocked_widths dom);
+  let footless = Cell.Domino { gate_name = "or2"; pull_down = Pdn.parallel [ leaf "a" "N1"; leaf "b" "N1" ];
+                               precharge = "P1"; eval = None; out_p = "P3"; out_n = "N3"; keeper = false } in
+  checkb "D2 family" true (Cell.family footless = Family.Domino_d2)
+
+let test_cell_rename () =
+  let inv = Cell.inverter ~p:"P" ~n:"N" in
+  let r = Cell.rename_labels (fun l -> "x." ^ l) inv in
+  Alcotest.(check (list string)) "renamed" [ "x.N"; "x.P" ] (Cell.labels r)
+
+let test_cell_dual () =
+  let d = Cell.dual oai_pdn in
+  (* dual of (a|b).c is (a.b)|c -- depth 2 still, but tops differ *)
+  checki "dual devices" 3 (Pdn.device_count d);
+  checki "dual depth" 2 (Pdn.max_series_depth d)
+
+(* ---------------- netlists ---------------- *)
+
+let simple_chain () =
+  let b = B.create "chain" in
+  let i = B.input b "in" in
+  let w = B.wire b "w" in
+  let o = B.output b "out" in
+  B.inst b ~name:"g1" ~cell:(Cell.inverter ~p:"P1" ~n:"N1") ~inputs:[ ("a", i) ] ~out:w ();
+  B.inst b ~name:"g2" ~cell:(Cell.inverter ~p:"P2" ~n:"N2") ~inputs:[ ("a", w) ] ~out:o ();
+  B.ext_load b o 10.;
+  B.freeze b
+
+let test_builder_and_queries () =
+  let n = simple_chain () in
+  checki "instances" 2 (N.instance_count n);
+  checki "devices" 4 (N.device_count n);
+  Alcotest.(check (list string)) "labels" [ "N1"; "N2"; "P1"; "P2" ] (N.labels n);
+  checkf "total width at 2um" 8. (N.total_width n (fun _ -> 2.));
+  checkf "no clock load" 0. (N.clock_load_width n (fun _ -> 2.));
+  let w = N.find_net n "w" in
+  checki "fanout of w" 1 (N.fanout_count n w);
+  checkb "driver exists" true (N.driver n w <> None)
+
+let test_topo_order () =
+  let n = simple_chain () in
+  let order = List.map (fun (i : N.instance) -> i.N.inst_name) (N.topo_order n) in
+  Alcotest.(check (list string)) "order" [ "g1"; "g2" ] order
+
+let test_validation_unconnected_pin () =
+  let b = B.create "bad" in
+  let _ = B.input b "in" in
+  let o = B.output b "out" in
+  B.inst b ~name:"g" ~cell:(Cell.nand ~inputs:2 ~p:"P" ~n:"N")
+    ~inputs:[ ("a0", 0) ] ~out:o ();
+  checkb "freeze rejects" true
+    (try
+       ignore (B.freeze b);
+       false
+     with Err.Smart_error _ -> true)
+
+let test_validation_undriven () =
+  let b = B.create "bad2" in
+  let i = B.input b "in" in
+  let w = B.wire b "floating" in
+  let o = B.output b "out" in
+  B.inst b ~name:"g" ~cell:(Cell.nand ~inputs:2 ~p:"P" ~n:"N")
+    ~inputs:[ ("a0", i); ("a1", w) ] ~out:o ();
+  checkb "freeze rejects undriven wire" true
+    (try
+       ignore (B.freeze b);
+       false
+     with Err.Smart_error _ -> true)
+
+let test_validation_multidriver_static () =
+  let b = B.create "bad3" in
+  let i = B.input b "in" in
+  let o = B.output b "out" in
+  B.inst b ~name:"g1" ~cell:(Cell.inverter ~p:"P1" ~n:"N1") ~inputs:[ ("a", i) ] ~out:o ();
+  B.inst b ~name:"g2" ~cell:(Cell.inverter ~p:"P2" ~n:"N2") ~inputs:[ ("a", i) ] ~out:o ();
+  checkb "two static drivers rejected" true
+    (try
+       ignore (B.freeze b);
+       false
+     with Err.Smart_error _ -> true)
+
+let test_shared_bus_allowed () =
+  let b = B.create "bus" in
+  let i0 = B.input b "in0" and i1 = B.input b "in1" in
+  let s0 = B.input b "s0" and s1 = B.input b "s1" in
+  let o = B.output b "out" in
+  B.inst b ~name:"t0" ~cell:(Cell.Tristate { p_label = "P"; n_label = "N" })
+    ~inputs:[ ("d", i0); ("en", s0) ] ~out:o ();
+  B.inst b ~name:"t1" ~cell:(Cell.Tristate { p_label = "P"; n_label = "N" })
+    ~inputs:[ ("d", i1); ("en", s1) ] ~out:o ();
+  checki "valid" 0 (List.length (N.validate (B.freeze b)))
+
+let test_duplicate_net_name () =
+  let b = B.create "dup" in
+  let _ = B.input b "x" in
+  checkb "duplicate rejected" true
+    (try
+       ignore (B.wire b "x");
+       false
+     with Err.Smart_error _ -> true)
+
+let test_relabel_per_instance () =
+  let n = simple_chain () in
+  let r = N.relabel_per_instance n in
+  Alcotest.(check (list string)) "per-instance labels"
+    [ "g1.N1"; "g1.P1"; "g2.N2"; "g2.P2" ] (N.labels r);
+  checkf "width preserved" (N.total_width n (fun _ -> 1.5))
+    (N.total_width r (fun _ -> 1.5))
+
+let test_width_by_group () =
+  let b = B.create "grp" in
+  let i = B.input b "in" in
+  let w = B.wire b "w" in
+  let o = B.output b "out" in
+  B.inst b ~group:"bit0/drv" ~name:"g1" ~cell:(Cell.inverter ~p:"P1" ~n:"N1")
+    ~inputs:[ ("a", i) ] ~out:w ();
+  B.inst b ~group:"outdrv" ~name:"g2" ~cell:(Cell.inverter ~p:"P2" ~n:"N2")
+    ~inputs:[ ("a", w) ] ~out:o ();
+  B.ext_load b o 5.;
+  let n = B.freeze b in
+  let by_group = N.width_by_group n (fun _ -> 2.) in
+  Alcotest.(check (list (pair string (float 1e-9)))) "group widths"
+    [ ("bit0", 4.); ("outdrv", 4.) ] by_group;
+  checkf "groups sum to total" (N.total_width n (fun _ -> 2.))
+    (List.fold_left (fun acc (_, w) -> acc +. w) 0. by_group)
+
+let test_clock_autowire () =
+  let b = B.create "dom" in
+  let i = B.input b "in" in
+  let o = B.output b "out" in
+  B.inst b ~name:"d"
+    ~cell:
+      (Cell.Domino
+         { gate_name = "buf"; pull_down = leaf "a" "N1"; precharge = "P1";
+           eval = Some "N2"; out_p = "P3"; out_n = "N3"; keeper = false })
+    ~inputs:[ ("a", i) ] ~out:o ();
+  let n = B.freeze b in
+  checkb "clock net exists" true (n.N.clock <> None);
+  checkf "clock load" 2. (N.clock_load_width n (fun _ -> 1.))
+
+let () =
+  Alcotest.run "smart_circuit"
+    [
+      ( "pdn",
+        [
+          Alcotest.test_case "queries" `Quick test_pdn_queries;
+          Alcotest.test_case "flattening" `Quick test_pdn_flattening;
+          Alcotest.test_case "empty rejected" `Quick test_pdn_empty_rejected;
+          Alcotest.test_case "chains" `Quick test_pdn_chains;
+          Alcotest.test_case "top widths" `Quick test_pdn_top_widths;
+          Alcotest.test_case "conduction" `Quick test_pdn_conduction;
+          Alcotest.test_case "maps" `Quick test_pdn_maps;
+        ] );
+      ( "cell",
+        [
+          Alcotest.test_case "inverter" `Quick test_cell_inverter;
+          Alcotest.test_case "nand/nor" `Quick test_cell_nand_nor;
+          Alcotest.test_case "passgate" `Quick test_cell_passgate;
+          Alcotest.test_case "domino" `Quick test_cell_domino;
+          Alcotest.test_case "rename" `Quick test_cell_rename;
+          Alcotest.test_case "dual" `Quick test_cell_dual;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "builder and queries" `Quick test_builder_and_queries;
+          Alcotest.test_case "topological order" `Quick test_topo_order;
+          Alcotest.test_case "unconnected pin" `Quick test_validation_unconnected_pin;
+          Alcotest.test_case "undriven net" `Quick test_validation_undriven;
+          Alcotest.test_case "static multidriver" `Quick test_validation_multidriver_static;
+          Alcotest.test_case "shared bus" `Quick test_shared_bus_allowed;
+          Alcotest.test_case "duplicate names" `Quick test_duplicate_net_name;
+          Alcotest.test_case "relabel per instance" `Quick test_relabel_per_instance;
+          Alcotest.test_case "width by group" `Quick test_width_by_group;
+          Alcotest.test_case "clock autowire" `Quick test_clock_autowire;
+        ] );
+    ]

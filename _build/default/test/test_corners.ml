@@ -1,0 +1,83 @@
+(* Robustness at process corners: the whole flow (baseline, sizer, STA,
+   power) must behave sanely when the technology's RC products are scaled
+   up or down 40% (slow / fast corners). *)
+
+module Smart = Smart_core.Smart
+module Tech = Smart.Tech
+module Sizer = Smart.Sizer
+module C = Smart.Constraints
+
+let checkb msg = Alcotest.(check bool) msg
+
+let corners =
+  [ ("fast", Tech.scaled ~rc_scale:0.6 ~name:"fast" Tech.default);
+    ("typ", Tech.default);
+    ("slow", Tech.scaled ~rc_scale:1.4 ~name:"slow" Tech.default) ]
+
+let test_fo4_ordering () =
+  match List.map (fun (_, t) -> Tech.fo4_delay t) corners with
+  | [ fast; typ; slow ] ->
+    checkb "fast < typ < slow" true (fast < typ && typ < slow)
+  | _ -> assert false
+
+let test_sizer_all_corners () =
+  let info = Smart.Mux.generate Smart.Mux.Strongly_mutexed ~n:4 in
+  let nl = info.Smart.Macro.netlist in
+  List.iter
+    (fun (name, tech) ->
+      match Sizer.minimize_delay tech nl (C.spec 1e6) with
+      | Error e -> Alcotest.fail (name ^ ": " ^ e)
+      | Ok md -> (
+        let target = 1.25 *. md.Sizer.golden_min in
+        match Sizer.size tech nl (C.spec target) with
+        | Error e -> Alcotest.fail (name ^ ": " ^ e)
+        | Ok o ->
+          checkb (name ^ " meets spec") true
+            (o.Sizer.achieved_delay <= target *. 1.03)))
+    corners
+
+let test_min_delay_tracks_corner () =
+  let info = Smart.Zero_detect.generate ~bits:8 () in
+  let nl = info.Smart.Macro.netlist in
+  let mins =
+    List.map
+      (fun (name, tech) ->
+        match Sizer.minimize_delay tech nl (C.spec 1e6) with
+        | Ok md -> md.Sizer.golden_min
+        | Error e -> Alcotest.fail (name ^ ": " ^ e))
+      corners
+  in
+  match mins with
+  | [ fast; typ; slow ] ->
+    checkb "corner ordering" true (fast < typ && typ < slow);
+    (* RC scaling is roughly linear in delay. *)
+    checkb "scaling magnitude sane" true (slow /. fast > 1.5 && slow /. fast < 4.)
+  | _ -> assert false
+
+let test_domino_corners () =
+  let info = Smart.Mux.generate Smart.Mux.Domino_unsplit ~n:4 in
+  let nl = info.Smart.Macro.netlist in
+  List.iter
+    (fun (name, tech) ->
+      match Sizer.minimize_delay tech nl (C.spec 1e6) with
+      | Error e -> Alcotest.fail (name ^ ": " ^ e)
+      | Ok md -> (
+        let target = 1.3 *. md.Sizer.golden_min in
+        match Sizer.size tech nl (C.spec target) with
+        | Error e -> Alcotest.fail (name ^ ": " ^ e)
+        | Ok o ->
+          checkb (name ^ " precharge ok") true
+            (o.Sizer.achieved_precharge <= target *. 1.03)))
+    corners
+
+let () =
+  Alcotest.run "smart_corners"
+    [
+      ( "corners",
+        [
+          Alcotest.test_case "FO4 ordering" `Quick test_fo4_ordering;
+          Alcotest.test_case "sizer at all corners" `Slow test_sizer_all_corners;
+          Alcotest.test_case "min delay tracks corner" `Slow test_min_delay_tracks_corner;
+          Alcotest.test_case "domino at corners" `Slow test_domino_corners;
+        ] );
+    ]

@@ -1,0 +1,106 @@
+(* Unit tests: Smart_database (design database and pruning). *)
+
+module Db = Smart_database.Database
+module Macro = Smart_macros.Macro
+
+let checkb msg = Alcotest.(check bool) msg
+let checki msg = Alcotest.(check int) msg
+
+let test_builtins_cover_section4 () =
+  let db = Db.builtins () in
+  let kinds = Db.kinds db in
+  List.iter
+    (fun k -> checkb ("kind " ^ k) true (List.mem k kinds))
+    [ "mux"; "incrementor"; "decrementor"; "zero-detect"; "decoder";
+      "comparator"; "adder" ];
+  checki "six mux topologies" 6
+    (List.length (List.filter (fun (e : Db.entry) -> e.Db.kind = "mux") (Db.entries db)))
+
+let test_simple_pruning () =
+  let db = Db.builtins () in
+  (* Without the one-hot guarantee, strongly-mutexed and domino muxes are
+     pruned. *)
+  let req = Db.requirements ~strongly_mutexed_selects:false 8 in
+  let names =
+    List.map (fun (e : Db.entry) -> e.Db.entry_name) (Db.candidates db ~kind:"mux" req)
+  in
+  checkb "strongly-mutexed pruned" false
+    (List.mem "mux/strongly-mutexed-passgate" names);
+  checkb "unsplit domino pruned" false (List.mem "mux/unsplit-domino" names);
+  checkb "weakly survives" true (List.mem "mux/weakly-mutexed-passgate" names);
+  (* Dynamic styles disappear when dynamic logic is disallowed. *)
+  let req2 = Db.requirements ~allow_dynamic:false 8 in
+  let names2 =
+    List.map (fun (e : Db.entry) -> e.Db.entry_name) (Db.candidates db ~kind:"mux" req2)
+  in
+  checkb "no domino without dynamic" true
+    (not (List.exists (fun n -> n = "mux/unsplit-domino" || n = "mux/partitioned-domino") names2))
+
+let test_width_pruning () =
+  let db = Db.builtins () in
+  let req = Db.requirements 2 in
+  let names =
+    List.map (fun (e : Db.entry) -> e.Db.entry_name) (Db.candidates db ~kind:"mux" req)
+  in
+  checkb "encoded only at n=2" true (List.mem "mux/encoded-2to1-passgate" names);
+  let req8 = Db.requirements 8 in
+  let names8 =
+    List.map (fun (e : Db.entry) -> e.Db.entry_name) (Db.candidates db ~kind:"mux" req8)
+  in
+  checkb "encoded pruned at n=8" false (List.mem "mux/encoded-2to1-passgate" names8)
+
+let test_build_all () =
+  let db = Db.builtins () in
+  let req = Db.requirements ~ext_load:25. 4 in
+  let built = Db.build_all db ~kind:"mux" req in
+  checkb "several candidates" true (List.length built >= 4);
+  List.iter
+    (fun ((_ : Db.entry), (info : Macro.info)) ->
+      checki "valid netlist" 0
+        (List.length (Smart_circuit.Netlist.validate info.Macro.netlist)))
+    built
+
+let test_register_expandability () =
+  let db = Db.create () in
+  let entry =
+    {
+      Db.entry_name = "mux/custom";
+      kind = "mux";
+      description = "designer-provided";
+      applicable = (fun _ -> true);
+      build =
+        (fun req -> Smart_macros.Mux.generate Smart_macros.Mux.Weakly_mutexed ~n:req.Db.bits);
+    }
+  in
+  Db.register db entry;
+  checkb "registered" true (Db.find db "mux/custom" <> None);
+  checki "one entry" 1 (List.length (Db.entries db));
+  (* Replacement by name. *)
+  Db.register db { entry with Db.description = "v2" };
+  checki "still one" 1 (List.length (Db.entries db));
+  (match Db.find db "mux/custom" with
+  | Some e -> Alcotest.(check string) "replaced" "v2" e.Db.description
+  | None -> Alcotest.fail "missing");
+  checkb "usable" true
+    ((entry.Db.build (Db.requirements 4)).Macro.bits = 4)
+
+let test_adder_constraints () =
+  let db = Db.builtins () in
+  checkb "adder at 64" true
+    (Db.candidates db ~kind:"adder" (Db.requirements 64) <> []);
+  checkb "adder rejects 10" true
+    (Db.candidates db ~kind:"adder" (Db.requirements 10) = [])
+
+let () =
+  Alcotest.run "smart_database"
+    [
+      ( "database",
+        [
+          Alcotest.test_case "builtins" `Quick test_builtins_cover_section4;
+          Alcotest.test_case "mutex pruning" `Quick test_simple_pruning;
+          Alcotest.test_case "width pruning" `Quick test_width_pruning;
+          Alcotest.test_case "build all" `Quick test_build_all;
+          Alcotest.test_case "expandability" `Quick test_register_expandability;
+          Alcotest.test_case "adder widths" `Quick test_adder_constraints;
+        ] );
+    ]

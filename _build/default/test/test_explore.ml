@@ -1,0 +1,109 @@
+(* Unit tests: Smart_explore (topology comparison, Fig. 1 / §6.3 flow). *)
+
+module Explore = Smart_explore.Explore
+module Db = Smart_database.Database
+module C = Smart_constraints.Constraints
+module Sizer = Smart_sizer.Sizer
+module Macro = Smart_macros.Macro
+module Mux = Smart_macros.Mux
+module Tech = Smart_tech.Tech
+
+let tech = Tech.default
+let checkb msg = Alcotest.(check bool) msg
+
+let test_explore_ranks_by_metric () =
+  let db = Db.builtins () in
+  let req = Db.requirements ~ext_load:25. 4 in
+  match
+    Explore.explore ~metric:Explore.Area ~db ~kind:"mux" ~requirements:req tech
+      (C.spec 150.)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    checkb "has candidates" true (List.length r.Explore.ranked >= 2);
+    let scores = List.map (fun c -> c.Explore.score) r.Explore.ranked in
+    checkb "sorted ascending" true
+      (List.sort compare scores = scores);
+    checkb "winner is head" true
+      ((List.hd r.Explore.ranked).Explore.entry_name = r.Explore.winner.Explore.entry_name);
+    (* every winner met the spec *)
+    List.iter
+      (fun c ->
+        checkb "meets spec" true
+          (c.Explore.outcome.Sizer.achieved_delay <= 150. *. 1.03))
+      r.Explore.ranked
+
+let test_explore_reports_rejections () =
+  let db = Db.builtins () in
+  let req = Db.requirements ~ext_load:25. 4 in
+  (* A hard target: some topologies cannot make it and must be listed. *)
+  match
+    Explore.explore ~db ~kind:"mux" ~requirements:req tech (C.spec 40.)
+  with
+  | Error _ -> () (* all rejected: acceptable at this target *)
+  | Ok r ->
+    checkb "ranked + rejected = candidates" true
+      (List.length r.Explore.ranked + List.length r.Explore.rejected >= 4)
+
+let test_explore_unknown_kind () =
+  let db = Db.builtins () in
+  checkb "no candidates error" true
+    (match
+       Explore.explore ~db ~kind:"fifo" ~requirements:(Db.requirements 4) tech
+         (C.spec 100.)
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_metric_changes_winner_score () =
+  let db = Db.builtins () in
+  let req = Db.requirements ~ext_load:25. 8 in
+  let spec = C.spec 160. in
+  let area = Explore.explore ~metric:Explore.Area ~db ~kind:"mux" ~requirements:req tech spec in
+  let power = Explore.explore ~metric:Explore.Power ~db ~kind:"mux" ~requirements:req tech spec in
+  match (area, power) with
+  | Ok a, Ok p ->
+    checkb "scores measured in different units" true
+      (a.Explore.winner.Explore.score <> p.Explore.winner.Explore.score)
+  | _ -> Alcotest.fail "explore failed"
+
+let test_tune_variants () =
+  let v1 = Smart_macros.Comparator.generate ~bits:8 ~xor_group:2 ~or_radix:4 () in
+  let v2 = Smart_macros.Comparator.generate ~bits:8 ~xor_group:1 ~or_radix:8 () in
+  match
+    Explore.tune ~variants:[ ("x2r4", v1); ("x1r8", v2) ] tech (C.spec 140.)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r -> checkb "both sized" true (List.length r.Explore.ranked = 2)
+
+let test_sweep_monotone () =
+  let info = Mux.generate Mux.Strongly_mutexed ~n:4 in
+  let pts = Explore.sweep_area_delay ~points:4 tech info.Macro.netlist (C.spec 1e6) in
+  checkb "has points" true (List.length pts >= 3);
+  let rec decreasing = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b -. 1e-6 && decreasing rest
+    | _ -> true
+  in
+  checkb "area decreases as delay relaxes" true (decreasing pts);
+  let rec increasing = function
+    | (d, _) :: ((d', _) :: _ as rest) -> d < d' && increasing rest
+    | _ -> true
+  in
+  checkb "delay targets increase" true (increasing pts)
+
+let () =
+  Alcotest.run "smart_explore"
+    [
+      ( "explore",
+        [
+          Alcotest.test_case "ranking" `Quick test_explore_ranks_by_metric;
+          Alcotest.test_case "rejections" `Quick test_explore_reports_rejections;
+          Alcotest.test_case "unknown kind" `Quick test_explore_unknown_kind;
+          Alcotest.test_case "metric switch" `Quick test_metric_changes_winner_score;
+        ] );
+      ( "tools",
+        [
+          Alcotest.test_case "tune" `Quick test_tune_variants;
+          Alcotest.test_case "area-delay sweep" `Quick test_sweep_monotone;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+(* Unit + property tests: Smart_gp (geometric program solver). *)
+
+module P = Smart_gp.Problem
+module S = Smart_gp.Solver
+module Posy = Smart_posy.Posy
+module M = Smart_posy.Monomial
+module Rng = Smart_util.Rng
+
+let checkb msg = Alcotest.(check bool) msg
+let checkf tol msg = Alcotest.(check (float tol)) msg
+
+let solve_ok p =
+  match S.solve p with
+  | Ok sol -> sol
+  | Error e -> Alcotest.fail ("solver error: " ^ e)
+
+let test_symmetric_optimum () =
+  (* min x + y s.t. 1/(xy) <= 1: optimum x = y = 1, objective 2. *)
+  let p =
+    P.make
+      ~inequalities:[ ("c", Posy.of_monomial (M.make 1. [ ("x", -1.); ("y", -1.) ])) ]
+      (Posy.add (Posy.var "x") (Posy.var "y"))
+  in
+  let sol = solve_ok p in
+  checkb "optimal" true (sol.S.status = S.Optimal);
+  checkf 1e-3 "objective" 2. sol.S.objective_value;
+  checkf 1e-3 "x" 1. (S.lookup sol "x");
+  checkf 1e-3 "y" 1. (S.lookup sol "y")
+
+let test_box_volume () =
+  (* max volume under surface budget: min 1/(xyz) s.t.
+     0.2(xy + yz + xz) <= 1; optimum x = y = z = sqrt(10/6). *)
+  let surf =
+    Posy.of_monomials
+      [
+        M.make 0.2 [ ("x", 1.); ("y", 1.) ];
+        M.make 0.2 [ ("y", 1.); ("z", 1.) ];
+        M.make 0.2 [ ("x", 1.); ("z", 1.) ];
+      ]
+  in
+  let p =
+    P.make ~inequalities:[ ("surf", surf) ]
+      (Posy.of_monomial (M.make 1. [ ("x", -1.); ("y", -1.); ("z", -1.) ]))
+  in
+  let sol = solve_ok p in
+  let expected = sqrt (10. /. 6.) in
+  checkf 1e-3 "x" expected (S.lookup sol "x");
+  checkf 1e-3 "y" expected (S.lookup sol "y");
+  checkf 1e-3 "z" expected (S.lookup sol "z")
+
+let test_active_bound () =
+  (* min x s.t. x >= 3 via bounds. *)
+  let p = P.make ~bounds:[ ("x", 3., 10.) ] (Posy.var "x") in
+  let sol = solve_ok p in
+  checkf 1e-3 "sits on bound" 3. (S.lookup sol "x")
+
+let test_infeasible_detected () =
+  let p =
+    P.make
+      ~inequalities:
+        [
+          ("le", Posy.of_monomial (M.make 2. [ ("x", 1.) ]));
+          (* x <= 0.5 *)
+          ("ge", Posy.of_monomial (M.make 2. [ ("x", -1.) ]));
+          (* x >= 2 *)
+        ]
+      (Posy.var "x")
+  in
+  let sol = solve_ok p in
+  checkb "infeasible" true (sol.S.status = S.Infeasible)
+
+let test_equality_elimination () =
+  (* min x*y s.t. x*y^2 = 4 (so x = 4/y^2), x,y in [0.1, 10]:
+     objective 4/y is minimised at y = sqrt(4/0.1) where x hits 0.1. *)
+  let p =
+    P.make
+      ~equalities:[ ("eq", M.make 0.25 [ ("x", 1.); ("y", 2.) ]) ]
+      ~bounds:[ ("x", 0.1, 10.); ("y", 0.1, 10.) ]
+      (Posy.of_monomial (M.make 1. [ ("x", 1.); ("y", 1.) ]))
+  in
+  let sol = solve_ok p in
+  checkf 1e-2 "x at lower bound" 0.1 (S.lookup sol "x");
+  checkf 1e-2 "objective" (4. /. sqrt 40.) sol.S.objective_value;
+  (* The equality must hold at the reported solution. *)
+  let x = S.lookup sol "x" and y = S.lookup sol "y" in
+  checkf 1e-4 "equality satisfied" 1. (0.25 *. x *. y *. y)
+
+let test_kkt_residual_small () =
+  let p =
+    P.make
+      ~inequalities:[ ("c", Posy.of_monomial (M.make 1. [ ("x", -1.); ("y", -1.) ])) ]
+      (Posy.add (Posy.var "x") (Posy.scale 3. (Posy.var "y")))
+  in
+  let sol = solve_ok p in
+  checkb "KKT stationarity" true (S.kkt_residual p sol < 1e-4)
+
+let test_duals_positive () =
+  let p =
+    P.make
+      ~inequalities:[ ("c", Posy.of_monomial (M.make 1. [ ("x", -1.) ])) ]
+      (Posy.var "x")
+  in
+  let sol = solve_ok p in
+  checkb "dual of active constraint is positive" true
+    (List.assoc "c" sol.S.duals > 1e-3)
+
+let test_problem_validation () =
+  Alcotest.check_raises "bad bounds"
+    (Smart_util.Err.Smart_error "Gp.Problem: bad bounds for x: [2, 1]")
+    (fun () -> ignore (P.make ~bounds:[ ("x", 2., 1.) ] (Posy.var "x")))
+
+let test_constraint_le_helper () =
+  let c = P.constraint_le "c" (Posy.var "x") (Posy.of_monomial (M.const 5.)) in
+  checkb "monomial rhs accepted" true (c <> None);
+  let c2 = P.constraint_le "c" (Posy.var "x") (Posy.add (Posy.var "y") (Posy.const 1.)) in
+  checkb "posynomial rhs rejected" true (c2 = None)
+
+(* Property: on random feasible problems, the solver's objective is no
+   worse than any feasible point we can sample. *)
+let prop_no_sampled_point_beats_solver =
+  QCheck.Test.make ~name:"solver optimum beats random feasible samples"
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let vars = [ "a"; "b"; "c" ] in
+      (* Objective: positive combination of the variables. *)
+      let objective =
+        Posy.of_monomials
+          (List.map (fun v -> M.make (Rng.uniform rng 0.5 2.) [ (v, 1.) ]) vars)
+      in
+      (* One "coverage" constraint keeping variables away from zero. *)
+      let cons =
+        Posy.of_monomials
+          (List.map
+             (fun v -> M.make (Rng.uniform rng 0.2 1.) [ (v, -1.) ])
+             vars)
+      in
+      let p =
+        P.make
+          ~inequalities:[ ("cover", cons) ]
+          ~bounds:(List.map (fun v -> (v, 0.01, 100.)) vars)
+          objective
+      in
+      match S.solve p with
+      | Error _ -> false
+      | Ok sol -> (
+        match sol.S.status with
+        | S.Infeasible -> false
+        | _ ->
+          let feasible env = Posy.eval env cons <= 1. +. 1e-9 in
+          let beaten = ref false in
+          for _ = 1 to 200 do
+            let vals = List.map (fun v -> (v, Rng.uniform rng 0.01 20.)) vars in
+            let env v = List.assoc v vals in
+            if feasible env && Posy.eval env objective < sol.S.objective_value *. 0.999
+            then beaten := true
+          done;
+          not !beaten))
+
+let prop_solution_feasible =
+  QCheck.Test.make ~name:"reported solutions satisfy all constraints"
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nv = 2 + Rng.int rng 3 in
+      let vars = List.init nv (fun i -> Printf.sprintf "v%d" i) in
+      let mono () =
+        M.make (Rng.uniform rng 0.1 2.)
+          (List.filter_map
+             (fun v ->
+               if Rng.bool rng then Some (v, Rng.uniform rng (-1.5) 1.5) else None)
+             vars)
+      in
+      let ineqs =
+        List.init (1 + Rng.int rng 3) (fun i ->
+            (Printf.sprintf "c%d" i, Posy.of_monomials [ mono (); mono () ]))
+      in
+      let p =
+        P.make ~inequalities:ineqs
+          ~bounds:(List.map (fun v -> (v, 0.05, 50.)) vars)
+          (Posy.sum (List.map Posy.var vars))
+      in
+      match S.solve p with
+      | Error _ -> false
+      | Ok sol -> (
+        match sol.S.status with
+        | S.Infeasible -> true (* nothing to verify *)
+        | _ ->
+          let env v = S.lookup sol v in
+          List.for_all (fun (_, c) -> Posy.eval env c <= 1. +. 1e-5) ineqs
+          && List.for_all
+               (fun v ->
+                 let x = env v in
+                 x >= 0.05 -. 1e-6 && x <= 50. +. 1e-4)
+               vars))
+
+let prop_objective_scaling_invariance =
+  QCheck.Test.make ~name:"scaling the objective does not move the argmin"
+    ~count:30
+    QCheck.(pair (int_range 0 100_000) (float_range 0.5 8.))
+    (fun (seed, k) ->
+      let rng = Rng.create seed in
+      let obj =
+        Posy.of_monomials
+          [ M.make (Rng.uniform rng 0.5 2.) [ ("a", 1.) ];
+            M.make (Rng.uniform rng 0.5 2.) [ ("b", 1.) ] ]
+      in
+      let cons =
+        Posy.of_monomial (M.make (Rng.uniform rng 0.5 2.) [ ("a", -1.); ("b", -1.) ])
+      in
+      let solve obj =
+        P.make ~inequalities:[ ("c", cons) ] obj |> S.solve
+      in
+      match (solve obj, solve (Posy.scale k obj)) with
+      | Ok s1, Ok s2 ->
+        abs_float (S.lookup s1 "a" -. S.lookup s2 "a") < 1e-3
+        && abs_float (S.lookup s1 "b" -. S.lookup s2 "b") < 1e-3
+      | _ -> false)
+
+let prop_redundant_constraint_harmless =
+  QCheck.Test.make ~name:"a dominated constraint does not move the optimum"
+    ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = Rng.uniform rng 0.5 2. in
+      let cons = Posy.of_monomial (M.make c [ ("a", -1.); ("b", -1.) ]) in
+      (* Strictly weaker copy (smaller coefficient): implied by [cons]. *)
+      let weaker = Posy.of_monomial (M.make (c /. 2.) [ ("a", -1.); ("b", -1.) ]) in
+      let obj = Posy.add (Posy.var "a") (Posy.var "b") in
+      match
+        ( S.solve (P.make ~inequalities:[ ("c", cons) ] obj),
+          S.solve (P.make ~inequalities:[ ("c", cons); ("weak", weaker) ] obj) )
+      with
+      | Ok s1, Ok s2 ->
+        abs_float (s1.S.objective_value -. s2.S.objective_value)
+        /. s1.S.objective_value
+        < 1e-3
+      | _ -> false)
+
+let () =
+  Alcotest.run "smart_gp"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "symmetric optimum" `Quick test_symmetric_optimum;
+          Alcotest.test_case "box volume" `Quick test_box_volume;
+          Alcotest.test_case "active bound" `Quick test_active_bound;
+          Alcotest.test_case "infeasibility" `Quick test_infeasible_detected;
+          Alcotest.test_case "equality elimination" `Quick test_equality_elimination;
+          Alcotest.test_case "KKT residual" `Quick test_kkt_residual_small;
+          Alcotest.test_case "positive duals" `Quick test_duals_positive;
+        ] );
+      ( "problem",
+        [
+          Alcotest.test_case "bound validation" `Quick test_problem_validation;
+          Alcotest.test_case "constraint_le" `Quick test_constraint_le_helper;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_no_sampled_point_beats_solver;
+            prop_solution_feasible;
+            prop_objective_scaling_invariance;
+            prop_redundant_constraint_harmless;
+          ] );
+    ]

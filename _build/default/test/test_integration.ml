@@ -1,0 +1,114 @@
+(* End-to-end integration tests through the Smart facade: the full Figure 1
+   advisory flow, exercised the way a designer would call it. *)
+
+module Smart = Smart_core.Smart
+
+let tech = Smart.Tech.default
+let checkb msg = Alcotest.(check bool) msg
+
+let test_advise_mux () =
+  let db = Smart.Database.builtins () in
+  let req = Smart.Database.requirements ~ext_load:30. 4 in
+  match Smart.advise ~db ~kind:"mux" ~requirements:req tech (Smart.Constraints.spec 140.) with
+  | Error e -> Alcotest.fail e
+  | Ok advice ->
+    let w = advice.Smart.ranking.Smart.Explore.winner in
+    checkb "winner meets spec" true
+      (w.Smart.Explore.outcome.Smart.Sizer.achieved_delay <= 140. *. 1.03);
+    checkb "winner is cheapest" true
+      (List.for_all
+         (fun c -> c.Smart.Explore.score >= w.Smart.Explore.score)
+         advice.Smart.ranking.Smart.Explore.ranked);
+    (* The sized winner still computes the mux function. *)
+    let nl = w.Smart.Explore.info.Smart.Macro.netlist in
+    let ins =
+      List.init 4 (fun i -> (Printf.sprintf "in%d" i, i = 1))
+      @
+      match w.Smart.Explore.entry_name with
+      | "mux/encoded-2to1-passgate" -> [ ("select", false) ]
+      | "mux/weakly-mutexed-passgate" ->
+        List.init 3 (fun i -> (Printf.sprintf "s%d" i, i = 1))
+      | _ -> List.init 4 (fun i -> (Printf.sprintf "s%d" i, i = 1))
+    in
+    let out = List.assoc "out" (Smart.Sim.eval_bits nl ins) in
+    checkb "function intact" true (Smart.Logic.equal out Smart.Logic.V1)
+
+let test_advise_respects_mutex_requirement () =
+  let db = Smart.Database.builtins () in
+  let req =
+    Smart.Database.requirements ~strongly_mutexed_selects:false ~ext_load:30. 4
+  in
+  match Smart.advise ~db ~kind:"mux" ~requirements:req tech (Smart.Constraints.spec 150.) with
+  | Error e -> Alcotest.fail e
+  | Ok advice ->
+    List.iter
+      (fun c ->
+        checkb "no one-hot-dependent topology offered" true
+          (c.Smart.Explore.entry_name <> "mux/strongly-mutexed-passgate"
+          && c.Smart.Explore.entry_name <> "mux/unsplit-domino"))
+      advice.Smart.ranking.Smart.Explore.ranked
+
+let test_designer_extension_flow () =
+  (* Register a custom macro, then get it recommended. *)
+  let db = Smart.Database.builtins () in
+  Smart.Database.register db
+    {
+      Smart.Database.entry_name = "zero-detect/flat-nor";
+      kind = "zero-detect";
+      description = "single wide NOR (only sensible when tiny)";
+      applicable = (fun req -> req.Smart.Database.bits <= 4);
+      build =
+        (fun req ->
+          Smart.Zero_detect.generate ~radix:8 ~bits:req.Smart.Database.bits ());
+    };
+  let req = Smart.Database.requirements ~ext_load:10. 4 in
+  match Smart.advise ~db ~kind:"zero-detect" ~requirements:req tech (Smart.Constraints.spec 120.) with
+  | Error e -> Alcotest.fail e
+  | Ok advice ->
+    checkb "custom entry competed" true
+      (List.exists
+         (fun c -> c.Smart.Explore.entry_name = "zero-detect/flat-nor")
+         advice.Smart.ranking.Smart.Explore.ranked
+      || List.exists
+           (fun (n, _) -> n = "zero-detect/flat-nor")
+           advice.Smart.ranking.Smart.Explore.rejected)
+
+let test_full_paper_flow_small () =
+  (* The §6.1 protocol end-to-end on one macro: baseline -> SMART at the
+     same performance -> width drops, timing holds (golden-verified). *)
+  let info = Smart.Incrementor.generate ~bits:8 () in
+  let nl = info.Smart.Macro.netlist in
+  match Smart.Sizer.minimize_delay tech nl (Smart.Constraints.spec 1e6) with
+  | Error e -> Alcotest.fail e
+  | Ok md ->
+    let bl =
+      Smart.Baseline.size ~target:(1.2 *. md.Smart.Sizer.golden_min) tech nl
+    in
+    (match
+       Smart.Sizer.size tech nl (Smart.Constraints.spec bl.Smart.Baseline.achieved_delay)
+     with
+    | Error e -> Alcotest.fail e
+    | Ok o ->
+      checkb "same performance" true
+        (o.Smart.Sizer.achieved_delay
+        <= bl.Smart_baseline.Baseline.achieved_delay *. 1.03);
+      checkb "less width" true
+        (o.Smart.Sizer.total_width < bl.Smart.Baseline.total_width))
+
+let test_version () = checkb "version string" true (String.length Smart.version > 0)
+
+let () =
+  Alcotest.run "smart_integration"
+    [
+      ( "advise",
+        [
+          Alcotest.test_case "mux flow" `Slow test_advise_mux;
+          Alcotest.test_case "mutex requirement" `Slow test_advise_respects_mutex_requirement;
+          Alcotest.test_case "designer extension" `Slow test_designer_extension_flow;
+        ] );
+      ( "paper protocol",
+        [
+          Alcotest.test_case "baseline vs SMART" `Slow test_full_paper_flow_small;
+          Alcotest.test_case "version" `Quick test_version;
+        ] );
+    ]

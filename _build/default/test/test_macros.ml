@@ -1,0 +1,326 @@
+(* Functional verification of every macro generator against its arithmetic
+   specification, via the switch-level simulator — plus structural checks
+   (label regularity, device counts, validation). *)
+
+module Macro = Smart_macros.Macro
+module Mux = Smart_macros.Mux
+module Inc = Smart_macros.Incrementor
+module Zd = Smart_macros.Zero_detect
+module Dec = Smart_macros.Decoder
+module Cmp = Smart_macros.Comparator
+module Cla = Smart_macros.Cla_adder
+module N = Smart_circuit.Netlist
+module Sim = Smart_sim.Sim
+module Logic = Smart_sim.Logic
+module Rng = Smart_util.Rng
+
+let checkb msg = Alcotest.(check bool) msg
+let checki msg = Alcotest.(check int) msg
+
+let bit v i = (v lsr i) land 1 = 1
+
+let bus base n v = List.init n (fun i -> (Printf.sprintf "%s%d" base i, bit v i))
+
+let dual_bus base n v =
+  List.concat
+    (List.init n (fun i ->
+         [ (Printf.sprintf "%s%d" base i, bit v i);
+           (Printf.sprintf "%sb%d" base i, not (bit v i)) ]))
+
+let read_bus outs base n =
+  List.fold_left
+    (fun acc i ->
+      match Logic.to_bool (List.assoc (Printf.sprintf "%s%d" base i) outs) with
+      | Some true -> acc lor (1 lsl i)
+      | Some false -> acc
+      | None -> Alcotest.fail "X on output")
+    0
+    (List.init n (fun i -> i))
+
+(* ---------------- muxes ---------------- *)
+
+let mux_spec_ok topo n =
+  let info = Mux.generate topo ~n in
+  let nl = info.Macro.netlist in
+  let ok = ref true in
+  for sel = 0 to n - 1 do
+    for v = 0 to (1 lsl n) - 1 do
+      let sels =
+        match topo with
+        | Mux.Encoded_2to1 -> [ ("select", sel = 0) ]
+        | Mux.Weakly_mutexed ->
+          List.init (n - 1) (fun i -> (Printf.sprintf "s%d" i, i = sel))
+        | _ -> List.init n (fun i -> (Printf.sprintf "s%d" i, i = sel))
+      in
+      let out = List.assoc "out" (Sim.eval_bits nl (bus "in" n v @ sels)) in
+      if not (Logic.equal out (Logic.of_bool (bit v sel))) then ok := false
+    done
+  done;
+  !ok
+
+let test_mux_functional topo n () =
+  checkb (Mux.topology_name topo) true (mux_spec_ok topo n)
+
+let test_mux_validation () =
+  List.iter
+    (fun (topo, info) ->
+      checki
+        (Mux.topology_name topo ^ " validates")
+        0
+        (List.length (N.validate info.Macro.netlist)))
+    (Mux.all_for ~n:4 ())
+
+let test_mux_regularity () =
+  (* Shared labels: an n-wide passgate mux uses a constant label count. *)
+  let l8 = List.length (N.labels (Mux.generate Mux.Strongly_mutexed ~n:8).Macro.netlist) in
+  let l16 = List.length (N.labels (Mux.generate Mux.Strongly_mutexed ~n:16).Macro.netlist) in
+  checki "label count independent of width" l8 l16
+
+let test_mux_errors () =
+  checkb "encoded needs n=2" true
+    (try ignore (Mux.generate Mux.Encoded_2to1 ~n:4); false
+     with Smart_util.Err.Smart_error _ -> true);
+  checkb "n>=2 enforced" true
+    (try ignore (Mux.generate Mux.Strongly_mutexed ~n:1); false
+     with Smart_util.Err.Smart_error _ -> true)
+
+let test_mux_applicability () =
+  checkb "strongly needs one-hot" false
+    (Mux.applicable Mux.Strongly_mutexed ~n:4 ~strongly_mutexed_selects:false
+       ~heavy_load:false);
+  checkb "weakly always ok" true
+    (Mux.applicable Mux.Weakly_mutexed ~n:4 ~strongly_mutexed_selects:false
+       ~heavy_load:false);
+  checkb "tristate wants heavy load" true
+    (Mux.applicable Mux.Tristate_mux ~n:4 ~strongly_mutexed_selects:true
+       ~heavy_load:true)
+
+(* ---------------- incrementor / decrementor ---------------- *)
+
+let test_inc_exhaustive bits dec () =
+  let info = Inc.generate ~decrement:dec ~bits () in
+  let nl = info.Macro.netlist in
+  for v = 0 to (1 lsl bits) - 1 do
+    let outs = Sim.eval_bits nl (bus "in" bits v) in
+    checki
+      (Printf.sprintf "%s %d of %d" (if dec then "dec" else "inc") v bits)
+      (Inc.spec ~decrement:dec ~bits v)
+      (read_bus outs "out" bits)
+  done
+
+let test_inc_random_wide () =
+  let bits = 24 in
+  let info = Inc.generate ~bits () in
+  let nl = info.Macro.netlist in
+  let rng = Rng.create 77 in
+  for _ = 1 to 50 do
+    let v = Rng.int rng (1 lsl bits) in
+    let outs = Sim.eval_bits nl (bus "in" bits v) in
+    checki "wide increment" (Inc.spec ~decrement:false ~bits v) (read_bus outs "out" bits)
+  done
+
+(* ---------------- zero detect ---------------- *)
+
+let test_zero_detect_exhaustive bits () =
+  let info = Zd.generate ~bits () in
+  let nl = info.Macro.netlist in
+  for v = 0 to (1 lsl bits) - 1 do
+    let out = List.assoc "out" (Sim.eval_bits nl (bus "in" bits v)) in
+    checkb (Printf.sprintf "zd %d" v) (Zd.spec ~bits v)
+      (Logic.equal out Logic.V1)
+  done
+
+let test_zero_detect_odd_width () =
+  (* Non-power-of-radix width exercises the lone-signal path. *)
+  let info = Zd.generate ~bits:7 () in
+  let nl = info.Macro.netlist in
+  checkb "zero" true (Logic.equal (List.assoc "out" (Sim.eval_bits nl (bus "in" 7 0))) Logic.V1);
+  checkb "nonzero" true
+    (Logic.equal (List.assoc "out" (Sim.eval_bits nl (bus "in" 7 64))) Logic.V0)
+
+(* ---------------- decoder ---------------- *)
+
+let test_decoder_exhaustive in_bits () =
+  let info = Dec.generate ~in_bits () in
+  let nl = info.Macro.netlist in
+  let n_out = 1 lsl in_bits in
+  for v = 0 to n_out - 1 do
+    let outs = Sim.eval_bits nl (bus "in" in_bits v) in
+    for o = 0 to n_out - 1 do
+      checkb
+        (Printf.sprintf "dec %d out %d" v o)
+        (o = v)
+        (Logic.equal (List.assoc (Printf.sprintf "out%d" o) outs) Logic.V1)
+    done
+  done
+
+let test_decoder_one_hot_count () =
+  let info = Dec.generate ~in_bits:5 () in
+  let nl = info.Macro.netlist in
+  let outs = Sim.eval_bits nl (bus "in" 5 19) in
+  let hot =
+    List.length (List.filter (fun (_, v) -> Logic.equal v Logic.V1) outs)
+  in
+  checki "exactly one output high" 1 hot
+
+(* ---------------- comparator ---------------- *)
+
+let test_comparator_random ~xor_group ~or_radix () =
+  let bits = 8 in
+  let info = Cmp.generate ~xor_group ~or_radix ~bits () in
+  let nl = info.Macro.netlist in
+  let rng = Rng.create 99 in
+  for _ = 1 to 150 do
+    let a = Rng.int rng 256 in
+    let b = if Rng.bool rng then a else Rng.int rng 256 in
+    let outs = Sim.eval_bits nl (dual_bus "a" bits a @ dual_bus "b" bits b) in
+    checkb "eq" (Cmp.spec ~a ~b) (Logic.equal (List.assoc "eq" outs) Logic.V1);
+    checkb "neq" (a <> b) (Logic.equal (List.assoc "neq" outs) Logic.V1)
+  done
+
+let test_comparator_precharge () =
+  let info = Cmp.generate ~bits:8 () in
+  let outs =
+    Sim.eval ~phase:Sim.Precharge info.Macro.netlist
+      (List.map (fun (n, b) -> (n, Logic.of_bool b)) (dual_bus "a" 8 5 @ dual_bus "b" 8 9))
+  in
+  checkb "neq resets low" true (Logic.equal (List.assoc "neq" outs) Logic.V0)
+
+(* ---------------- CLA adder ---------------- *)
+
+let adder_case nl bits a b cin =
+  let ins =
+    dual_bus "a" bits a @ dual_bus "b" bits b
+    @ [ ("cin", cin); ("cinb", not cin) ]
+  in
+  let outs = Sim.eval_bits nl ins in
+  let sum = read_bus outs "s" bits in
+  let cout = Logic.to_bool (List.assoc "cout" outs) = Some true in
+  (sum, cout)
+
+let test_adder_exhaustive_4 () =
+  let bits = 4 in
+  let info = Cla.generate ~bits () in
+  let nl = info.Macro.netlist in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      List.iter
+        (fun cin ->
+          let sum, cout = adder_case nl bits a b cin in
+          let es, ec = Cla.spec ~bits ~a ~b ~cin in
+          checki "sum" es sum;
+          checkb "cout" ec cout)
+        [ false; true ]
+    done
+  done
+
+let prop_adder_random bits count =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "cla%d adds correctly" bits)
+    ~count
+    QCheck.(triple (int_range 0 ((1 lsl (min bits 28)) - 1))
+              (int_range 0 ((1 lsl (min bits 28)) - 1)) bool)
+    (fun (a, b, cin) ->
+      let info = Cla.generate ~bits () in
+      let sum, cout = adder_case info.Macro.netlist bits a b cin in
+      let es, ec = Cla.spec ~bits ~a ~b ~cin in
+      sum = es && cout = ec)
+
+(* Regenerating the netlist per sample is slow; share one. *)
+let shared_adder bits =
+  let info = Cla.generate ~bits () in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "cla%d adds correctly" bits)
+    ~count:60
+    QCheck.(triple (int_range 0 ((1 lsl (min bits 28)) - 1))
+              (int_range 0 ((1 lsl (min bits 28)) - 1)) bool)
+    (fun (a, b, cin) ->
+      let sum, cout = adder_case info.Macro.netlist bits a b cin in
+      let es, ec = Cla.spec ~bits ~a ~b ~cin in
+      sum = es && cout = ec)
+
+let test_adder_structure () =
+  let info = Cla.generate ~bits:64 () in
+  let nl = info.Macro.netlist in
+  checki "validates" 0 (List.length (N.validate nl));
+  checkb "device count in the thousands" true (N.device_count nl > 4000);
+  checkb "bit-slice regularity keeps labels bounded" true
+    (List.length (N.labels nl) < 120);
+  checkb "dynamic" true info.Macro.dynamic
+
+let test_adder_bad_width () =
+  checkb "rejects non-multiple of 4" true
+    (try ignore (Cla.generate ~bits:10 ()); false
+     with Smart_util.Err.Smart_error _ -> true)
+
+let test_macro_metadata () =
+  let info = Inc.generate ~bits:5 () in
+  checkb "name mentions width" true
+    (String.length (Macro.name info) > 0 && info.Macro.bits = 5);
+  checkb "static macro not dynamic" false info.Macro.dynamic
+
+let () =
+  ignore prop_adder_random;
+  Alcotest.run "smart_macros"
+    [
+      ( "mux",
+        [
+          Alcotest.test_case "strongly mutexed 4" `Quick
+            (test_mux_functional Mux.Strongly_mutexed 4);
+          Alcotest.test_case "strongly mutexed 8" `Quick
+            (test_mux_functional Mux.Strongly_mutexed 8);
+          Alcotest.test_case "weakly mutexed 4" `Quick
+            (test_mux_functional Mux.Weakly_mutexed 4);
+          Alcotest.test_case "weakly mutexed 2" `Quick
+            (test_mux_functional Mux.Weakly_mutexed 2);
+          Alcotest.test_case "encoded 2:1" `Quick
+            (test_mux_functional Mux.Encoded_2to1 2);
+          Alcotest.test_case "tristate 4" `Quick
+            (test_mux_functional Mux.Tristate_mux 4);
+          Alcotest.test_case "unsplit domino 4" `Quick
+            (test_mux_functional Mux.Domino_unsplit 4);
+          Alcotest.test_case "partitioned domino 5 (uneven)" `Quick
+            (test_mux_functional (Mux.Domino_partitioned None) 5);
+          Alcotest.test_case "partitioned domino custom m" `Quick
+            (test_mux_functional (Mux.Domino_partitioned (Some 3)) 8);
+          Alcotest.test_case "all validate" `Quick test_mux_validation;
+          Alcotest.test_case "label regularity" `Quick test_mux_regularity;
+          Alcotest.test_case "errors" `Quick test_mux_errors;
+          Alcotest.test_case "applicability" `Quick test_mux_applicability;
+        ] );
+      ( "incrementor",
+        [
+          Alcotest.test_case "inc 5 exhaustive" `Quick (test_inc_exhaustive 5 false);
+          Alcotest.test_case "dec 5 exhaustive" `Quick (test_inc_exhaustive 5 true);
+          Alcotest.test_case "inc 6 exhaustive" `Quick (test_inc_exhaustive 6 false);
+          Alcotest.test_case "inc 24 random" `Quick test_inc_random_wide;
+        ] );
+      ( "zero-detect",
+        [
+          Alcotest.test_case "6-bit exhaustive" `Quick (test_zero_detect_exhaustive 6);
+          Alcotest.test_case "9-bit exhaustive" `Quick (test_zero_detect_exhaustive 9);
+          Alcotest.test_case "odd width" `Quick test_zero_detect_odd_width;
+        ] );
+      ( "decoder",
+        [
+          Alcotest.test_case "3to8 exhaustive" `Quick (test_decoder_exhaustive 3);
+          Alcotest.test_case "4to16 exhaustive" `Quick (test_decoder_exhaustive 4);
+          Alcotest.test_case "5to32 one-hot" `Quick test_decoder_one_hot_count;
+        ] );
+      ( "comparator",
+        [
+          Alcotest.test_case "xorsum2/or4" `Quick (test_comparator_random ~xor_group:2 ~or_radix:4);
+          Alcotest.test_case "xorsum1/or8" `Quick (test_comparator_random ~xor_group:1 ~or_radix:8);
+          Alcotest.test_case "xorsum4/or4" `Quick (test_comparator_random ~xor_group:4 ~or_radix:4);
+          Alcotest.test_case "precharge resets" `Quick test_comparator_precharge;
+        ] );
+      ( "adder",
+        [
+          Alcotest.test_case "4-bit exhaustive" `Quick test_adder_exhaustive_4;
+          QCheck_alcotest.to_alcotest (shared_adder 16);
+          QCheck_alcotest.to_alcotest (shared_adder 28);
+          Alcotest.test_case "64-bit structure" `Quick test_adder_structure;
+          Alcotest.test_case "width validation" `Quick test_adder_bad_width;
+          Alcotest.test_case "metadata" `Quick test_macro_metadata;
+        ] );
+    ]

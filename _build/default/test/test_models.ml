@@ -1,0 +1,298 @@
+(* Unit + property tests: Smart_models (arcs, loads, posynomial and golden
+   delay models). *)
+
+module Arc = Smart_models.Arc
+module Load = Smart_models.Load
+module Delay = Smart_models.Delay
+module Golden = Smart_models.Golden
+module Drive = Smart_models.Drive
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+module B = Smart_circuit.Netlist.Builder
+module Tech = Smart_tech.Tech
+module Posy = Smart_posy.Posy
+module Rng = Smart_util.Rng
+
+let tech = Tech.default
+let checkb msg = Alcotest.(check bool) msg
+let checki msg = Alcotest.(check int) msg
+let checkf tol msg = Alcotest.(check (float tol)) msg
+
+(* ---------------- arcs ---------------- *)
+
+let test_static_arcs () =
+  let nand2 = Cell.nand ~inputs:2 ~p:"P" ~n:"N" in
+  let arcs = Arc.arcs_of nand2 in
+  checki "one arc per pin" 2 (List.length arcs);
+  List.iter
+    (fun a ->
+      checkb "inverting senses" true
+        (a.Arc.senses = [ (Arc.Rise, Arc.Fall); (Arc.Fall, Arc.Rise) ]))
+    arcs
+
+let test_passgate_arcs () =
+  let pg = Cell.Passgate { style = Cell.N_only; label = "N" } in
+  let d = Arc.arc_of_pin pg "d" and s = Arc.arc_of_pin pg "s" in
+  checkb "data buffers" true (d.Arc.senses = [ (Arc.Rise, Arc.Rise); (Arc.Fall, Arc.Fall) ]);
+  checkb "control kind" true (s.Arc.kind = Arc.Control);
+  (* The 4-constraints-per-passgate rule: the control arc alone carries two
+     output senses for the turn-on edge. *)
+  checki "control produces both senses" 2 (List.length s.Arc.senses);
+  checkb "P-style turns on falling" true
+    ((Arc.arc_of_pin (Cell.Passgate { style = Cell.P_only; label = "N" }) "s").Arc.senses
+     |> List.for_all (fun (i, _) -> i = Arc.Fall))
+
+let test_domino_arcs () =
+  let dom = Cell.Domino { gate_name = "or2";
+    pull_down = Pdn.parallel [ Pdn.leaf ~pin:"a" ~label:"N1"; Pdn.leaf ~pin:"b" ~label:"N1" ];
+    precharge = "P1"; eval = Some "N2"; out_p = "P3"; out_n = "N3"; keeper = false } in
+  let arcs = Arc.arcs_of dom in
+  checki "2 eval + 1 precharge" 3 (List.length arcs);
+  let eval_arcs = List.filter (fun a -> a.Arc.kind = Arc.Eval) arcs in
+  checkb "monotone rising" true
+    (List.for_all (fun a -> a.Arc.senses = [ (Arc.Rise, Arc.Rise) ]) eval_arcs);
+  let pre = Arc.arc_of_pin dom "clk" in
+  checkb "precharge falls" true (pre.Arc.senses = [ (Arc.Fall, Arc.Fall) ]);
+  checki "data arcs exclude precharge" 2 (List.length (Arc.data_arcs_of dom))
+
+let test_arc_of_missing_pin () =
+  checkb "raises" true
+    (try ignore (Arc.arc_of_pin (Cell.inverter ~p:"P" ~n:"N") "zz"); false
+     with Smart_util.Err.Smart_error _ -> true)
+
+(* ---------------- loads ---------------- *)
+
+let chain_netlist () =
+  let b = B.create "ld" in
+  let i = B.input b "in" in
+  let w = B.wire b "w" in
+  let o = B.output b "out" in
+  B.inst b ~name:"g1" ~cell:(Cell.inverter ~p:"P1" ~n:"N1") ~inputs:[ ("a", i) ] ~out:w ();
+  B.inst b ~name:"g2" ~cell:(Cell.inverter ~p:"P2" ~n:"N2") ~inputs:[ ("a", w) ] ~out:o ();
+  B.ext_load b o 25.;
+  B.freeze b
+
+let test_load_gate_cap () =
+  let nl = chain_netlist () in
+  let loads = Load.make tech nl in
+  let w = Smart_circuit.Netlist.find_net nl "w" in
+  (* load(w) = floor + wire + cg*(P2 + N2) *)
+  let v = Load.numeric loads (fun _ -> 3.) w in
+  let expected = 0.3 +. tech.Tech.wire_cap_per_fanout +. (tech.Tech.cg *. 6.) in
+  checkf 1e-6 "gate-cap load" expected v
+
+let test_load_ext () =
+  let nl = chain_netlist () in
+  let loads = Load.make tech nl in
+  let o = Smart_circuit.Netlist.find_net nl "out" in
+  checkf 1e-6 "external load counted" (0.3 +. 25.) (Load.numeric loads (fun _ -> 1.) o)
+
+let test_load_through_passgate () =
+  (* Driver sees the pass diffusion plus everything behind the switch. *)
+  let b = B.create "pt" in
+  let i = B.input b "in" in
+  let s = B.input b "s" in
+  let d = B.wire b "d" in
+  let m = B.wire b "m" in
+  let o = B.output b "out" in
+  B.inst b ~name:"drv" ~cell:(Cell.inverter ~p:"P1" ~n:"N1") ~inputs:[ ("a", i) ] ~out:d ();
+  B.inst b ~name:"pg" ~cell:(Cell.Passgate { style = Cell.Cmos_tgate; label = "N2" })
+    ~inputs:[ ("d", d); ("s", s) ] ~out:m ();
+  B.inst b ~name:"out" ~cell:(Cell.inverter ~p:"P3" ~n:"N3") ~inputs:[ ("a", m) ] ~out:o ();
+  let nl = B.freeze b in
+  let loads = Load.make tech nl in
+  let d_net = Smart_circuit.Netlist.find_net nl "d" in
+  let m_net = Smart_circuit.Netlist.find_net nl "m" in
+  let sz _ = 2. in
+  checkb "driver load exceeds downstream load" true
+    (Load.numeric loads sz d_net > Load.numeric loads sz m_net)
+
+let test_load_symbolic_matches_numeric () =
+  let nl = chain_netlist () in
+  let loads = Load.make tech nl in
+  let w = Smart_circuit.Netlist.find_net nl "w" in
+  let sym = Load.symbolic loads w in
+  let env v = 1.7 +. float_of_int (String.length v) in
+  checkf 1e-9 "symbolic = numeric" (Posy.eval env sym)
+    (Load.numeric loads env w)
+
+(* ---------------- delay models ---------------- *)
+
+let inv = Cell.inverter ~p:"P" ~n:"N"
+
+let posy_delay ?(w = 2.) ?(load = 20.) ?(slope = 30.) ~sense () =
+  let p =
+    Delay.stage_delay tech inv ~pin:"a" ~out_sense:sense
+      ~load:(Posy.const load) ~in_slope:(Posy.const slope)
+  in
+  Posy.eval (fun _ -> w) p
+
+let golden_delay ?(w = 2.) ?(load = 20.) ?(slope = 30.) ~sense () =
+  fst (Golden.arc_delay tech ~sizing:(fun _ -> w) inv ~pin:"a" ~out_sense:sense
+         ~load ~in_slope:slope)
+
+let test_delay_monotone_in_load () =
+  checkb "posy: more load, more delay" true
+    (posy_delay ~load:40. ~sense:Arc.Rise () > posy_delay ~load:10. ~sense:Arc.Rise ());
+  checkb "golden too" true
+    (golden_delay ~load:40. ~sense:Arc.Rise () > golden_delay ~load:10. ~sense:Arc.Rise ())
+
+let test_delay_antitone_in_width () =
+  checkb "posy: wider, faster (external load)" true
+    (posy_delay ~w:1. ~sense:Arc.Rise () > posy_delay ~w:8. ~sense:Arc.Rise ());
+  checkb "golden too" true
+    (golden_delay ~w:1. ~sense:Arc.Rise () > golden_delay ~w:8. ~sense:Arc.Rise ())
+
+let test_delay_slope_sensitivity () =
+  checkb "slower input edge, more delay" true
+    (posy_delay ~slope:100. ~sense:Arc.Rise () > posy_delay ~slope:10. ~sense:Arc.Rise ());
+  checkb "golden saturates but increases" true
+    (golden_delay ~slope:100. ~sense:Arc.Rise () > golden_delay ~slope:10. ~sense:Arc.Rise ())
+
+let test_rise_slower_than_fall () =
+  (* rp > rn at equal widths. *)
+  checkb "posy" true (posy_delay ~sense:Arc.Rise () > posy_delay ~sense:Arc.Fall ());
+  checkb "golden" true (golden_delay ~sense:Arc.Rise () > golden_delay ~sense:Arc.Fall ())
+
+let test_model_tracks_golden () =
+  (* §5.1: the optimiser's model "need not be exact".  We require every
+     random point to stay within a generous 2.5x envelope (a posynomial
+     cannot express the golden model's slope saturation at tiny stages)
+     and the geometric-mean agreement to be tight. *)
+  let rng = Rng.create 5 in
+  let cells =
+    [ inv;
+      Cell.nand ~inputs:3 ~p:"P" ~n:"N";
+      Cell.nor ~inputs:2 ~p:"P" ~n:"N" ]
+  in
+  let ratios = ref [] in
+  for _ = 1 to 200 do
+    let cell = List.nth cells (Rng.int rng 3) in
+    let w = Rng.uniform rng 0.5 20. in
+    let load = Rng.uniform rng 2. 120. in
+    let slope = Rng.uniform rng 5. 100. in
+    let pin = List.hd (Cell.input_pins cell) in
+    let sense = if Rng.bool rng then Arc.Rise else Arc.Fall in
+    let m =
+      Posy.eval (fun _ -> w)
+        (Delay.stage_delay tech cell ~pin ~out_sense:sense
+           ~load:(Posy.const load) ~in_slope:(Posy.const slope))
+    in
+    let g, _ =
+      Golden.arc_delay tech ~sizing:(fun _ -> w) cell ~pin ~out_sense:sense
+        ~load ~in_slope:slope
+    in
+    ratios := (m /. g) :: !ratios;
+    checkb
+      (Printf.sprintf "model/golden envelope (%.2f vs %.2f)" m g)
+      true
+      (m /. g > 0.4 && m /. g < 2.5)
+  done;
+  let gm = Smart_util.Stats.geomean !ratios in
+  checkb (Printf.sprintf "geometric-mean agreement (%.3f)" gm) true
+    (gm > 0.85 && gm < 1.25)
+
+let test_domino_model_components () =
+  let dom = Cell.Domino { gate_name = "or2";
+    pull_down = Pdn.parallel [ Pdn.leaf ~pin:"a" ~label:"N1"; Pdn.leaf ~pin:"b" ~label:"N1" ];
+    precharge = "P1"; eval = Some "N2"; out_p = "P3"; out_n = "N3"; keeper = true } in
+  (* Wider foot cuts evaluate delay. *)
+  let d w_foot =
+    Posy.eval (fun l -> if l = "N2" then w_foot else 2.)
+      (Delay.stage_delay tech dom ~pin:"a" ~out_sense:Arc.Rise
+         ~load:(Posy.const 20.) ~in_slope:(Posy.const 20.))
+  in
+  checkb "foot width matters" true (d 1. > d 6.);
+  (* Precharge arc depends on the precharge device. *)
+  let p w_pre =
+    Posy.eval (fun l -> if l = "P1" then w_pre else 2.)
+      (Delay.stage_delay tech dom ~pin:"clk" ~out_sense:Arc.Fall
+         ~load:(Posy.const 20.) ~in_slope:(Posy.const 20.))
+  in
+  checkb "precharge width matters" true (p 1. > p 6.)
+
+let test_slope_model_positive () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 100 do
+    let w = Rng.uniform rng 0.5 10. in
+    let s =
+      Posy.eval (fun _ -> w)
+        (Delay.stage_out_slope tech inv ~pin:"a" ~out_sense:Arc.Rise
+           ~load:(Posy.const (Rng.uniform rng 1. 80.))
+           ~in_slope:(Posy.const (Rng.uniform rng 5. 100.)))
+    in
+    checkb "slope positive" true (s > 0.)
+  done
+
+let test_gate_fit_calibration () =
+  (* Figure 3's model-building hook: a per-gate-class multiplier shifts
+     both the posynomial model and the golden timer for that class only. *)
+  let nand2 = Cell.nand ~inputs:2 ~p:"P" ~n:"N" in
+  let calibrated = Tech.calibrate tech [ ("nand2", 1.3) ] in
+  let model t =
+    Posy.eval (fun _ -> 2.)
+      (Delay.stage_delay t nand2 ~pin:"a0" ~out_sense:Arc.Rise
+         ~load:(Posy.const 20.) ~in_slope:(Posy.const 20.))
+  in
+  let golden t =
+    fst (Golden.arc_delay t ~sizing:(fun _ -> 2.) nand2 ~pin:"a0"
+           ~out_sense:Arc.Rise ~load:20. ~in_slope:20.)
+  in
+  checkb "model slower when calibrated up" true (model calibrated > model tech);
+  checkb "golden follows" true (golden calibrated > golden tech);
+  (* Another class is untouched. *)
+  let minv t =
+    Posy.eval (fun _ -> 2.)
+      (Delay.stage_delay t inv ~pin:"a" ~out_sense:Arc.Rise
+         ~load:(Posy.const 20.) ~in_slope:(Posy.const 20.))
+  in
+  checkf 1e-9 "inverter class unchanged" (minv tech) (minv calibrated);
+  (* Overlay semantics. *)
+  let twice = Tech.calibrate calibrated [ ("nand2", 1.0) ] in
+  checkf 1e-9 "recalibration replaces" 1.0 (Tech.gate_fit_of twice "nand2")
+
+let test_worst_out_sense () =
+  checkb "static rise-worst" true (Drive.worst_out_sense inv = Arc.Rise);
+  checkb "P-pass fall-worst" true
+    (Drive.worst_out_sense (Cell.Passgate { style = Cell.P_only; label = "N" }) = Arc.Fall)
+
+let test_drive_chains () =
+  let nand2 = Cell.nand ~inputs:2 ~p:"P" ~n:"N" in
+  let fall = Drive.static_chain nand2 ~pin:"a0" ~out_sense:Arc.Fall in
+  (* two series N devices *)
+  checkf 1e-9 "series stack resistance weight" 2.
+    (List.fold_left (fun acc s -> acc +. s.Drive.seg_mult) 0. fall);
+  let rise = Drive.static_chain nand2 ~pin:"a0" ~out_sense:Arc.Rise in
+  checkb "pull-up is PMOS" true (List.for_all (fun s -> s.Drive.seg_is_p) rise)
+
+let () =
+  Alcotest.run "smart_models"
+    [
+      ( "arcs",
+        [
+          Alcotest.test_case "static" `Quick test_static_arcs;
+          Alcotest.test_case "passgate" `Quick test_passgate_arcs;
+          Alcotest.test_case "domino" `Quick test_domino_arcs;
+          Alcotest.test_case "missing pin" `Quick test_arc_of_missing_pin;
+        ] );
+      ( "loads",
+        [
+          Alcotest.test_case "gate cap" `Quick test_load_gate_cap;
+          Alcotest.test_case "external load" `Quick test_load_ext;
+          Alcotest.test_case "through passgate" `Quick test_load_through_passgate;
+          Alcotest.test_case "symbolic = numeric" `Quick test_load_symbolic_matches_numeric;
+        ] );
+      ( "delay",
+        [
+          Alcotest.test_case "monotone in load" `Quick test_delay_monotone_in_load;
+          Alcotest.test_case "antitone in width" `Quick test_delay_antitone_in_width;
+          Alcotest.test_case "slope sensitivity" `Quick test_delay_slope_sensitivity;
+          Alcotest.test_case "rise slower than fall" `Quick test_rise_slower_than_fall;
+          Alcotest.test_case "model tracks golden" `Quick test_model_tracks_golden;
+          Alcotest.test_case "domino components" `Quick test_domino_model_components;
+          Alcotest.test_case "slope model positive" `Quick test_slope_model_positive;
+          Alcotest.test_case "gate-fit calibration" `Quick test_gate_fit_calibration;
+          Alcotest.test_case "worst sense" `Quick test_worst_out_sense;
+          Alcotest.test_case "drive chains" `Quick test_drive_chains;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* Unit + property tests: Smart_paths (extraction and §5.2 reductions). *)
+
+module Paths = Smart_paths.Paths
+module Cell = Smart_circuit.Cell
+module N = Smart_circuit.Netlist
+module B = Smart_circuit.Netlist.Builder
+module Mux = Smart_macros.Mux
+module Macro = Smart_macros.Macro
+
+let checkb msg = Alcotest.(check bool) msg
+let checki msg = Alcotest.(check int) msg
+let checkfl msg = Alcotest.(check (float 1e-9)) msg
+
+let chain n =
+  let b = B.create "chain" in
+  let i = B.input b "in" in
+  let rec build k prev =
+    if k = n then prev
+    else begin
+      let next = if k = n - 1 then B.output b "out" else B.wire b (Printf.sprintf "w%d" k) in
+      B.inst b ~name:(Printf.sprintf "g%d" k)
+        ~cell:(Cell.inverter ~p:(Printf.sprintf "P%d" k) ~n:(Printf.sprintf "N%d" k))
+        ~inputs:[ ("a", prev) ] ~out:next ();
+      build (k + 1) next
+    end
+  in
+  let o = build 0 i in
+  B.ext_load b o 5.;
+  B.freeze b
+
+(* k parallel 2-stage branches re-converging on a k-input NAND. *)
+let diamond k =
+  let b = B.create "diamond" in
+  let i = B.input b "in" in
+  let o = B.output b "out" in
+  let mids =
+    List.init k (fun j ->
+        let w = B.wire b (Printf.sprintf "m%d" j) in
+        B.inst b ~name:(Printf.sprintf "b%d" j)
+          ~cell:(Cell.inverter ~p:(Printf.sprintf "P%d" j) ~n:(Printf.sprintf "N%d" j))
+          ~inputs:[ ("a", i) ] ~out:w ();
+        w)
+  in
+  B.inst b ~name:"merge" ~cell:(Cell.nand ~inputs:k ~p:"Pm" ~n:"Nm")
+    ~inputs:(List.mapi (fun j w -> (Printf.sprintf "a%d" j, w)) mids)
+    ~out:o ();
+  B.ext_load b o 5.;
+  B.freeze b
+
+let test_chain_counts () =
+  let nl = chain 5 in
+  checkfl "exhaustive" 1. (Paths.exhaustive_count nl);
+  let paths, stats = Paths.extract nl in
+  checki "one path" 1 (List.length paths);
+  checki "path length" 5 (List.length (List.hd paths).Paths.steps);
+  checki "reduced count" 1 stats.Paths.reduced_paths
+
+let test_diamond_counts () =
+  let nl = diamond 4 in
+  checkfl "4 exhaustive paths" 4. (Paths.exhaustive_count nl);
+  (* Branches have distinct labels, so regularity cannot merge them, but
+     pin precedence can only keep pins with same-class fanins... each mid
+     net has a distinct class (distinct labels), so all 4 survive. *)
+  let _, stats = Paths.extract ~reductions:Paths.no_reductions nl in
+  checki "no reduction keeps all" 4 stats.Paths.reduced_paths
+
+let test_diamond_regular_labels_collapse () =
+  (* Same as diamond but all branches share labels: one representative. *)
+  let b = B.create "regular" in
+  let i = B.input b "in" in
+  let o = B.output b "out" in
+  let mids =
+    List.init 4 (fun j ->
+        let w = B.wire b (Printf.sprintf "m%d" j) in
+        B.inst b ~name:(Printf.sprintf "b%d" j)
+          ~cell:(Cell.inverter ~p:"P" ~n:"N")
+          ~inputs:[ ("a", i) ] ~out:w ();
+        w)
+  in
+  B.inst b ~name:"merge" ~cell:(Cell.nand ~inputs:4 ~p:"Pm" ~n:"Nm")
+    ~inputs:(List.mapi (fun j w -> (Printf.sprintf "a%d" j, w)) mids)
+    ~out:o ();
+  B.ext_load b o 5.;
+  let nl = B.freeze b in
+  let _, stats = Paths.extract nl in
+  checki "collapsed to one" 1 stats.Paths.reduced_paths;
+  checkfl "exhaustive still 4" 4. stats.Paths.exhaustive_paths
+
+let test_reductions_sound_on_mux () =
+  (* Reduced set never exceeds the unreduced set and is non-empty. *)
+  let info = Mux.generate Mux.Strongly_mutexed ~n:8 in
+  let nl = info.Macro.netlist in
+  let full, _ = Paths.extract ~reductions:Paths.no_reductions nl in
+  let red, stats = Paths.extract nl in
+  checkb "reduced nonempty" true (List.length red > 0);
+  checkb "reduced <= full" true (List.length red <= List.length full);
+  checkb "factor >= 1" true (stats.Paths.reduction_factor >= 1.)
+
+let test_control_pins_never_merged () =
+  (* The tri-state's en (control) and d (data) pins both see primary
+     inputs; precedence must keep both. *)
+  let info = Mux.generate Mux.Tristate_mux ~n:4 in
+  let paths, _ = Paths.extract info.Macro.netlist in
+  let has_pin p =
+    List.exists
+      (fun (path : Paths.path) ->
+        List.exists (fun s -> s.Paths.s_pin = p) path.Paths.steps)
+      paths
+  in
+  checkb "data path present" true (has_pin "d");
+  checkb "control path present" true (has_pin "en")
+
+let test_adder_headline_numbers () =
+  (* The §5.2 experiment: 64-bit adder, exhaustive >> reduced. *)
+  let info = Smart_macros.Cla_adder.generate ~bits:64 () in
+  let _, stats = Paths.extract info.Macro.netlist in
+  checkb "exhaustive over 10^5" true (stats.Paths.exhaustive_paths > 1e5);
+  checkb "reduction factor > 50x" true (stats.Paths.reduction_factor > 50.);
+  checkb "classes far below nets" true
+    (stats.Paths.class_count * 2 < Array.length info.Macro.netlist.N.nets)
+
+let test_max_paths_guard () =
+  let info = Smart_macros.Cla_adder.generate ~bits:16 () in
+  checkb "budget enforced" true
+    (try
+       ignore (Paths.extract ~reductions:Paths.no_reductions ~max_paths:10
+                 info.Macro.netlist);
+       false
+     with Smart_util.Err.Smart_error _ -> true)
+
+let test_endpoints_are_outputs () =
+  let info = Mux.generate Mux.Strongly_mutexed ~n:4 in
+  let nl = info.Macro.netlist in
+  let paths, _ = Paths.extract nl in
+  List.iter
+    (fun p ->
+      let e = Paths.path_endpoint p in
+      checkb "endpoint is primary output" true
+        ((N.net nl e).N.net_kind = N.Primary_output))
+    paths
+
+let test_classes_api () =
+  let nl = chain 4 in
+  let c = Paths.classes nl in
+  checkb "class count positive" true (Paths.class_count c > 0);
+  let w0 = N.find_net nl "w0" in
+  let cls = Paths.class_of_net c w0 in
+  let rep = Paths.class_rep c cls in
+  checkb "rep belongs to class" true (Paths.class_of_net c rep = cls);
+  checki "reps cover classes" (Paths.class_count c)
+    (List.length (Paths.class_reps c))
+
+let prop_exhaustive_count_matches_enumeration =
+  QCheck.Test.make ~name:"DP count = enumerated count (no reductions)"
+    ~count:30
+    QCheck.(int_range 2 5)
+    (fun k ->
+      let nl = diamond k in
+      let paths, _ = Paths.extract ~reductions:Paths.no_reductions nl in
+      float_of_int (List.length paths) = Paths.exhaustive_count nl)
+
+let () =
+  Alcotest.run "smart_paths"
+    [
+      ( "counting",
+        [
+          Alcotest.test_case "chain" `Quick test_chain_counts;
+          Alcotest.test_case "diamond" `Quick test_diamond_counts;
+          Alcotest.test_case "regular collapse" `Quick test_diamond_regular_labels_collapse;
+        ] );
+      ( "reductions",
+        [
+          Alcotest.test_case "sound on mux" `Quick test_reductions_sound_on_mux;
+          Alcotest.test_case "control pins kept" `Quick test_control_pins_never_merged;
+          Alcotest.test_case "64-bit adder headline" `Slow test_adder_headline_numbers;
+          Alcotest.test_case "budget guard" `Quick test_max_paths_guard;
+          Alcotest.test_case "endpoints" `Quick test_endpoints_are_outputs;
+          Alcotest.test_case "classes api" `Quick test_classes_api;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_exhaustive_count_matches_enumeration ] );
+    ]

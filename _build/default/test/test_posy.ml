@@ -1,0 +1,241 @@
+(* Unit + property tests: Smart_posy (monomials, posynomials, log-space). *)
+
+module M = Smart_posy.Monomial
+module P = Smart_posy.Posy
+module L = Smart_posy.Logspace
+module Vec = Smart_linalg.Vec
+module Mat = Smart_linalg.Mat
+module Err = Smart_util.Err
+module Rng = Smart_util.Rng
+
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+let checkb msg = Alcotest.(check bool) msg
+
+let env_of l v = try List.assoc v l with Not_found -> Alcotest.fail ("unbound " ^ v)
+
+(* ---------------- monomials ---------------- *)
+
+let test_monomial_construction () =
+  let m = M.make 2. [ ("x", 1.); ("y", -2.); ("x", 1.) ] in
+  checkf "coeff" 2. (M.coeff m);
+  checkf "x exponent merged" 2. (M.degree_of m "x");
+  checkf "y exponent" (-2.) (M.degree_of m "y");
+  checkf "absent" 0. (M.degree_of m "z")
+
+let test_monomial_rejects_nonpositive () =
+  Alcotest.check_raises "zero coeff"
+    (Err.Smart_error "Monomial.make: coefficient 0 must be positive") (fun () ->
+      ignore (M.make 0. []))
+
+let test_monomial_zero_exponent_dropped () =
+  let m = M.make 1. [ ("x", 1.); ("x", -1.) ] in
+  checkb "const" true (M.is_const m)
+
+let test_monomial_algebra () =
+  let x = M.var "x" and y = M.var "y" in
+  let m = M.mul (M.scale 3. x) (M.pow y 2.) in
+  let env = env_of [ ("x", 2.); ("y", 3.) ] in
+  checkf "3*x*y^2 at (2,3)" 54. (M.eval env m);
+  checkf "inverse" (1. /. 54.) (M.eval env (M.inv m));
+  checkf "division" 1. (M.eval env (M.div m m))
+
+let test_monomial_subst () =
+  (* substitute x := 2*y into x^2 -> 4 y^2 *)
+  let m = M.pow (M.var "x") 2. in
+  let m' = M.subst "x" (M.make 2. [ ("y", 1.) ]) m in
+  checkf "subst" 36. (M.eval (env_of [ ("y", 3.) ]) m')
+
+(* ---------------- posynomials ---------------- *)
+
+let test_posy_merge_like_terms () =
+  let p = P.of_monomials [ M.var "x"; M.var "x"; M.const 1. ] in
+  Alcotest.(check int) "2 terms after merge" 2 (P.num_terms p);
+  checkf "eval" 7. (P.eval (env_of [ ("x", 3.) ]) p)
+
+let test_posy_add_mul () =
+  let p = P.add (P.var "x") (P.const 1.) in
+  let q = P.mul p p in
+  (* (x+1)^2 = x^2 + 2x + 1 *)
+  Alcotest.(check int) "3 terms" 3 (P.num_terms q);
+  checkf "at x=2" 9. (P.eval (env_of [ ("x", 2.) ]) q)
+
+let test_posy_pow_int () =
+  let p = P.add (P.var "x") (P.var "y") in
+  checkf "cube" 125. (P.eval (env_of [ ("x", 2.); ("y", 3.) ]) (P.pow_int p 3))
+
+let test_posy_div_monomial () =
+  let p = P.add (P.var "x") (P.const 2.) in
+  let q = P.div_monomial p (M.var "x") in
+  checkf "(x+2)/x at 2" 2. (P.eval (env_of [ ("x", 2.) ]) q)
+
+let test_posy_as_monomial () =
+  checkb "single" true (P.as_monomial (P.var "x") <> None);
+  checkb "sum is not" true (P.as_monomial (P.add (P.var "x") (P.const 1.)) = None)
+
+let test_posy_subst () =
+  let p = P.add (P.var "x") (P.var "y") in
+  let p' = P.subst "x" (M.make 2. [ ("y", 1.) ]) p in
+  checkf "3y at y=4" 12. (P.eval (env_of [ ("y", 4.) ]) p')
+
+let test_posy_subst_posy () =
+  (* x + x^2 with x := (y + 1) -> y+1 + (y+1)^2 *)
+  let p = P.add (P.var "x") (P.pow_int (P.var "x") 2) in
+  let p' = P.subst_posy "x" (P.add (P.var "y") (P.const 1.)) p in
+  checkf "at y=2" 12. (P.eval (env_of [ ("y", 2.) ]) p')
+
+let test_posy_dominates () =
+  let big = P.of_monomials [ M.make 3. [ ("x", 1.) ]; M.const 2. ] in
+  let small = P.of_monomials [ M.make 1. [ ("x", 1.) ]; M.const 2. ] in
+  checkb "big dominates small" true (P.dominates big small);
+  checkb "small does not dominate big" false (P.dominates small big);
+  checkb "missing term blocks domination" false
+    (P.dominates big (P.var "zz"))
+
+let test_posy_drop_tiny () =
+  let p = P.of_monomials [ M.const 1.; M.make 1e-9 [ ("x", 1.) ] ] in
+  Alcotest.(check int) "tiny dropped" 1 (P.num_terms (P.drop_tiny ~rel:1e-6 p));
+  Alcotest.(check int) "kept when significant" 2
+    (P.num_terms (P.drop_tiny ~rel:1e-12 p))
+
+let test_posy_vars () =
+  let p = P.of_monomials [ M.make 1. [ ("b", 1.); ("a", 2.) ]; M.var "c" ] in
+  Alcotest.(check (list string)) "sorted vars" [ "a"; "b"; "c" ] (P.vars p)
+
+(* ---------------- properties ---------------- *)
+
+let random_posy rng nvars =
+  let nterms = 1 + Rng.int rng 4 in
+  P.of_monomials
+    (List.init nterms (fun _ ->
+         let c = Rng.uniform rng 0.1 5. in
+         let exps =
+           List.init (Rng.int rng nvars) (fun _ ->
+               ( Printf.sprintf "v%d" (Rng.int rng nvars),
+                 Rng.uniform rng (-2.) 2. ))
+         in
+         M.make c exps))
+
+let random_env rng nvars =
+  let vals = Array.init nvars (fun _ -> Rng.uniform rng 0.2 4.) in
+  fun v -> vals.(int_of_string (String.sub v 1 (String.length v - 1)))
+
+let prop_eval_add_homomorphism =
+  QCheck.Test.make ~name:"eval (p+q) = eval p + eval q" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = random_posy rng 3 and q = random_posy rng 3 in
+      let env = random_env rng 3 in
+      abs_float (P.eval env (P.add p q) -. (P.eval env p +. P.eval env q)) < 1e-6)
+
+let prop_eval_mul_homomorphism =
+  QCheck.Test.make ~name:"eval (p*q) = eval p * eval q" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = random_posy rng 3 and q = random_posy rng 3 in
+      let env = random_env rng 3 in
+      let lhs = P.eval env (P.mul p q) and rhs = P.eval env p *. P.eval env q in
+      abs_float (lhs -. rhs) /. (abs_float rhs +. 1e-9) < 1e-9)
+
+let prop_dominates_pointwise =
+  QCheck.Test.make ~name:"dominates implies pointwise >=" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = random_posy rng 3 in
+      (* q = p with some coefficients shrunk: p must dominate q. *)
+      let q =
+        P.of_monomials
+          (List.map
+             (fun m ->
+               M.make (M.coeff m *. Rng.uniform rng 0.2 1.0) (M.exponents m))
+             (P.monomials p))
+      in
+      P.dominates p q
+      &&
+      let env = random_env rng 3 in
+      P.eval env p >= P.eval env q -. 1e-9)
+
+let prop_logspace_value =
+  QCheck.Test.make ~name:"logspace value = log (eval)" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = random_posy rng 3 in
+      let env = random_env rng 3 in
+      let idx = L.index_of_vars [ "v0"; "v1"; "v2" ] in
+      let f = L.compile idx p in
+      let y = Vec.init 3 (fun i -> log (env (Printf.sprintf "v%d" i))) in
+      abs_float (L.value f y -. log (P.eval env p)) < 1e-9)
+
+let prop_logspace_gradient_fd =
+  QCheck.Test.make ~name:"logspace gradient matches finite differences"
+    ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = random_posy rng 3 in
+      let idx = L.index_of_vars [ "v0"; "v1"; "v2" ] in
+      let f = L.compile idx p in
+      let y = Vec.init 3 (fun _ -> Rng.uniform rng (-1.) 1.) in
+      let _, g = L.value_grad f y in
+      let h = 1e-6 in
+      List.for_all
+        (fun i ->
+          let yp = Vec.copy y and ym = Vec.copy y in
+          yp.(i) <- yp.(i) +. h;
+          ym.(i) <- ym.(i) -. h;
+          let fd = (L.value f yp -. L.value f ym) /. (2. *. h) in
+          abs_float (fd -. g.(i)) < 1e-4)
+        [ 0; 1; 2 ])
+
+let prop_logspace_hessian_psd_diag =
+  QCheck.Test.make ~name:"logsumexp Hessian has non-negative diagonal"
+    ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = random_posy rng 3 in
+      let idx = L.index_of_vars [ "v0"; "v1"; "v2" ] in
+      let f = L.compile idx p in
+      let y = Vec.init 3 (fun _ -> Rng.uniform rng (-1.) 1.) in
+      let h = Mat.create 3 3 in
+      let _ = L.add_weighted_hessian f y 1. h in
+      List.for_all (fun i -> Mat.get h i i >= -1e-9) [ 0; 1; 2 ])
+
+let () =
+  Alcotest.run "smart_posy"
+    [
+      ( "monomial",
+        [
+          Alcotest.test_case "construction" `Quick test_monomial_construction;
+          Alcotest.test_case "positivity" `Quick test_monomial_rejects_nonpositive;
+          Alcotest.test_case "zero exponents" `Quick test_monomial_zero_exponent_dropped;
+          Alcotest.test_case "algebra" `Quick test_monomial_algebra;
+          Alcotest.test_case "substitution" `Quick test_monomial_subst;
+        ] );
+      ( "posynomial",
+        [
+          Alcotest.test_case "like terms merge" `Quick test_posy_merge_like_terms;
+          Alcotest.test_case "add/mul" `Quick test_posy_add_mul;
+          Alcotest.test_case "integer power" `Quick test_posy_pow_int;
+          Alcotest.test_case "monomial division" `Quick test_posy_div_monomial;
+          Alcotest.test_case "as_monomial" `Quick test_posy_as_monomial;
+          Alcotest.test_case "monomial subst" `Quick test_posy_subst;
+          Alcotest.test_case "posynomial subst" `Quick test_posy_subst_posy;
+          Alcotest.test_case "dominance" `Quick test_posy_dominates;
+          Alcotest.test_case "drop_tiny" `Quick test_posy_drop_tiny;
+          Alcotest.test_case "vars" `Quick test_posy_vars;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_eval_add_homomorphism;
+            prop_eval_mul_homomorphism;
+            prop_dominates_pointwise;
+            prop_logspace_value;
+            prop_logspace_gradient_fd;
+            prop_logspace_hessian_psd_diag;
+          ] );
+    ]

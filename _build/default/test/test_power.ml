@@ -1,0 +1,97 @@
+(* Unit tests: Smart_power (PowerMill stand-in). *)
+
+module Power = Smart_power.Power
+module Cell = Smart_circuit.Cell
+module B = Smart_circuit.Netlist.Builder
+module Mux = Smart_macros.Mux
+module Macro = Smart_macros.Macro
+module Tech = Smart_tech.Tech
+
+let tech = Tech.default
+let checkb msg = Alcotest.(check bool) msg
+
+let static_pair () =
+  let b = B.create "p2" in
+  let i = B.input b "in" in
+  let w = B.wire b "w" in
+  let o = B.output b "out" in
+  B.inst b ~name:"g1" ~cell:(Cell.inverter ~p:"P1" ~n:"N1") ~inputs:[ ("a", i) ] ~out:w ();
+  B.inst b ~name:"g2" ~cell:(Cell.inverter ~p:"P2" ~n:"N2") ~inputs:[ ("a", w) ] ~out:o ();
+  B.ext_load b o 30.;
+  B.freeze b
+
+let test_static_has_no_clock_power () =
+  let r = Power.estimate tech (static_pair ()) ~sizing:(fun _ -> 2.) in
+  Alcotest.(check (float 1e-9)) "no clocked width" 0. r.Power.clock_load_width;
+  Alcotest.(check (float 1e-9)) "no domino power" 0. r.Power.domino_internal_uw;
+  checkb "switching positive" true (r.Power.switching_uw > 0.);
+  checkb "total = parts" true
+    (abs_float (r.Power.total_uw -. (r.Power.switching_uw +. r.Power.clock_uw
+                                     +. r.Power.domino_internal_uw)) < 1e-9)
+
+let test_monotone_in_width () =
+  let nl = static_pair () in
+  let thin = Power.estimate tech nl ~sizing:(fun _ -> 1.) in
+  let wide = Power.estimate tech nl ~sizing:(fun _ -> 4.) in
+  checkb "wider burns more" true (wide.Power.total_uw > thin.Power.total_uw)
+
+let test_activity_scaling () =
+  let nl = static_pair () in
+  let low = Power.estimate ~activity:0.1 tech nl ~sizing:(fun _ -> 2.) in
+  let high = Power.estimate ~activity:0.5 tech nl ~sizing:(fun _ -> 2.) in
+  checkb "higher activity, more switching" true
+    (high.Power.switching_uw > 4. *. low.Power.switching_uw *. 0.99)
+
+let test_domino_clock_power () =
+  let info = Mux.generate Mux.Domino_unsplit ~n:8 in
+  let r = Power.estimate tech info.Macro.netlist ~sizing:(fun _ -> 2.) in
+  checkb "clock power positive" true (r.Power.clock_uw > 0.);
+  checkb "domino internal positive" true (r.Power.domino_internal_uw > 0.);
+  checkb "clock width positive" true (r.Power.clock_load_width > 0.)
+
+let test_frequency_scaling () =
+  let nl = static_pair () in
+  let at1 = Power.estimate tech nl ~sizing:(fun _ -> 2.) in
+  let at2 =
+    Power.estimate (Tech.{ tech with freq_ghz = 2. }) nl ~sizing:(fun _ -> 2.)
+  in
+  checkb "power scales with frequency" true
+    (abs_float (at2.Power.total_uw -. (2. *. at1.Power.total_uw)) < 1e-6)
+
+let test_per_net_activities () =
+  let nl = static_pair () in
+  let base = Power.estimate tech nl ~sizing:(fun _ -> 2.) in
+  (* Quiet input: strictly less switching power. *)
+  let quiet =
+    Power.estimate ~activities:[ ("in", 0.01) ] tech nl ~sizing:(fun _ -> 2.)
+  in
+  checkb "quiet net lowers power" true
+    (quiet.Power.switching_uw < base.Power.switching_uw);
+  (* Override matching the default changes nothing. *)
+  let same =
+    Power.estimate ~activities:[ ("in", 0.25) ] tech nl ~sizing:(fun _ -> 2.)
+  in
+  Alcotest.(check (float 1e-9)) "neutral override" base.Power.switching_uw
+    same.Power.switching_uw
+
+let test_saving_formula () =
+  let nl = static_pair () in
+  let a = Power.estimate tech nl ~sizing:(fun _ -> 4.) in
+  let b = Power.estimate tech nl ~sizing:(fun _ -> 2.) in
+  let s = Power.saving ~original:a ~improved:b in
+  checkb "saving positive and < 100" true (s > 0. && s < 100.)
+
+let () =
+  Alcotest.run "smart_power"
+    [
+      ( "estimates",
+        [
+          Alcotest.test_case "static has no clock term" `Quick test_static_has_no_clock_power;
+          Alcotest.test_case "monotone in width" `Quick test_monotone_in_width;
+          Alcotest.test_case "activity scaling" `Quick test_activity_scaling;
+          Alcotest.test_case "domino clock power" `Quick test_domino_clock_power;
+          Alcotest.test_case "frequency scaling" `Quick test_frequency_scaling;
+          Alcotest.test_case "per-net activities" `Quick test_per_net_activities;
+          Alcotest.test_case "saving" `Quick test_saving_formula;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* Property tests over randomly generated netlists: the random-logic
+   generator doubles as a netlist fuzzer for the analysis passes. *)
+
+module Blocks = Smart_blocks.Blocks
+module Macro = Smart_macros.Macro
+module N = Smart_circuit.Netlist
+module Paths = Smart_paths.Paths
+module Sta = Smart_sta.Sta
+module Power = Smart_power.Power
+module Baseline = Smart_baseline.Baseline
+module Tech = Smart_tech.Tech
+
+let tech = Tech.default
+
+let netlist_of_seed ?(gates = 40) seed =
+  (Blocks.random_logic ~seed ~name:(Printf.sprintf "fuzz%d" seed) ~gates)
+    .Macro.netlist
+
+let prop_random_netlists_validate =
+  QCheck.Test.make ~name:"random netlists validate" ~count:50
+    QCheck.(int_range 0 100_000)
+    (fun seed -> N.validate (netlist_of_seed seed) = [])
+
+let prop_path_dp_matches_enumeration =
+  QCheck.Test.make ~name:"path DP count = enumeration on random DAGs"
+    ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let nl = netlist_of_seed ~gates:25 seed in
+      match Paths.extract ~reductions:Paths.no_reductions ~max_paths:100_000 nl with
+      | paths, stats ->
+        float_of_int (List.length paths) = stats.Paths.exhaustive_paths
+      | exception Smart_util.Err.Smart_error _ -> true (* blew the budget *))
+
+let prop_reductions_never_grow =
+  QCheck.Test.make ~name:"reductions never grow the path set" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let nl = netlist_of_seed ~gates:25 seed in
+      match
+        ( Paths.extract ~reductions:Paths.all_reductions nl,
+          Paths.extract ~reductions:Paths.no_reductions ~max_paths:100_000 nl )
+      with
+      | (red, _), (full, _) -> List.length red <= List.length full
+      | exception Smart_util.Err.Smart_error _ -> true)
+
+let prop_sta_deterministic =
+  QCheck.Test.make ~name:"STA is deterministic" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let nl = netlist_of_seed seed in
+      let d1 = (Sta.analyze tech nl ~sizing:(fun _ -> 2.)).Sta.max_delay in
+      let d2 = (Sta.analyze tech nl ~sizing:(fun _ -> 2.)).Sta.max_delay in
+      d1 = d2)
+
+let prop_sta_monotone_in_rc =
+  QCheck.Test.make ~name:"slower process corner never speeds a netlist up"
+    ~count:30
+    QCheck.(pair (int_range 0 100_000) (float_range 1.05 2.0))
+    (fun (seed, scale) ->
+      let nl = netlist_of_seed seed in
+      let d t = (Sta.analyze t nl ~sizing:(fun _ -> 2.)).Sta.max_delay in
+      d (Tech.scaled ~rc_scale:scale tech) >= d tech -. 1e-9)
+
+let prop_critical_path_nonempty =
+  QCheck.Test.make ~name:"critical path exists and ends at the worst output"
+    ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let nl = netlist_of_seed seed in
+      let sta = Sta.analyze tech nl ~sizing:(fun _ -> 2.) in
+      let path = Sta.critical_path sta nl in
+      path <> []
+      &&
+      match List.rev path with
+      | ((last : N.instance), _) :: _ ->
+        (match sta.Sta.critical_output with
+        | Some name -> (N.net nl last.N.out).N.net_name = name
+        | None -> false)
+      | [] -> false)
+
+let prop_power_monotone_in_activity =
+  QCheck.Test.make ~name:"power monotone in activity" ~count:30
+    QCheck.(pair (int_range 0 100_000) (pair (float_range 0.05 0.45) (float_range 0.5 1.0)))
+    (fun (seed, (a_low, a_high)) ->
+      let nl = netlist_of_seed seed in
+      let p a = (Power.estimate ~activity:a tech nl ~sizing:(fun _ -> 2.)).Power.total_uw in
+      p a_low <= p a_high +. 1e-9)
+
+let prop_baseline_met_target_is_honest =
+  QCheck.Test.make ~name:"baseline met_target implies golden <= target"
+    ~count:15
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let nl = netlist_of_seed ~gates:20 seed in
+      let d0 = (Sta.analyze tech nl ~sizing:(fun _ -> tech.Tech.w_min)).Sta.max_delay in
+      let target = 0.8 *. d0 in
+      let r = Baseline.size ~target tech nl in
+      (not r.Baseline.met_target) || r.Baseline.achieved_delay <= target *. 1.2
+      (* margin+grid after the greedy can shift the final timing; the
+         greedy's own claim is checked within that window *))
+
+let prop_spice_counts_on_random =
+  QCheck.Test.make ~name:"SPICE expansion matches accounting on random logic"
+    ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let nl = netlist_of_seed seed in
+      let sizing _ = 1.5 in
+      Smart_circuit.Spice.device_cards nl ~sizing = N.device_count nl
+      && abs_float
+           (Smart_circuit.Spice.total_width_of_deck nl ~sizing
+           -. N.total_width nl sizing)
+         < 1e-6)
+
+let () =
+  Alcotest.run "smart_random"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_random_netlists_validate;
+            prop_path_dp_matches_enumeration;
+            prop_reductions_never_grow;
+            prop_sta_deterministic;
+            prop_sta_monotone_in_rc;
+            prop_critical_path_nonempty;
+            prop_power_monotone_in_activity;
+            prop_baseline_met_target_is_honest;
+            prop_spice_counts_on_random;
+          ] );
+    ]

@@ -1,0 +1,151 @@
+(* Unit tests: Smart_sim (four-valued logic, switch-level evaluation). *)
+
+module Logic = Smart_sim.Logic
+module Sim = Smart_sim.Sim
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+module B = Smart_circuit.Netlist.Builder
+
+let checkb msg = Alcotest.(check bool) msg
+let v = Alcotest.testable (fun ppf x -> Logic.pp ppf x) Logic.equal
+let checkv msg = Alcotest.check v msg
+
+let test_logic_resolution () =
+  checkv "Z yields" Logic.V1 (Logic.resolve Logic.Z Logic.V1);
+  checkv "Z yields (sym)" Logic.V0 (Logic.resolve Logic.V0 Logic.Z);
+  checkv "conflict" Logic.X (Logic.resolve Logic.V0 Logic.V1);
+  checkv "agreement" Logic.V1 (Logic.resolve Logic.V1 Logic.V1);
+  checkv "not" Logic.V0 (Logic.lnot Logic.V1);
+  checkv "not X" Logic.X (Logic.lnot Logic.X);
+  checkb "to_bool V1" true (Logic.to_bool Logic.V1 = Some true);
+  checkb "to_bool Z" true (Logic.to_bool Logic.Z = None)
+
+(* One-gate netlist helper. *)
+let single cell pins =
+  let b = B.create "single" in
+  let nets = List.map (fun p -> (p, B.input b p)) pins in
+  let o = B.output b "out" in
+  B.inst b ~name:"g" ~cell ~inputs:nets ~out:o ();
+  B.freeze b
+
+let eval_out nl ins = List.assoc "out" (Sim.eval_bits nl ins)
+
+let test_inverter_truth () =
+  let nl = single (Cell.inverter ~p:"P" ~n:"N") [ "a" ] in
+  checkv "inv 0" Logic.V1 (eval_out nl [ ("a", false) ]);
+  checkv "inv 1" Logic.V0 (eval_out nl [ ("a", true) ])
+
+let test_nand_truth () =
+  let nl = single (Cell.nand ~inputs:2 ~p:"P" ~n:"N") [ "a0"; "a1" ] in
+  List.iter
+    (fun (a, b, expect) ->
+      checkv "nand" (Logic.of_bool expect) (eval_out nl [ ("a0", a); ("a1", b) ]))
+    [ (false, false, true); (false, true, true); (true, false, true); (true, true, false) ]
+
+let test_nor_truth () =
+  let nl = single (Cell.nor ~inputs:2 ~p:"P" ~n:"N") [ "a0"; "a1" ] in
+  List.iter
+    (fun (a, b, expect) ->
+      checkv "nor" (Logic.of_bool expect) (eval_out nl [ ("a0", a); ("a1", b) ]))
+    [ (false, false, true); (false, true, false); (true, false, false); (true, true, false) ]
+
+let test_aoi21_truth () =
+  let nl = single (Cell.aoi21 ~p:"P" ~n:"N") [ "a0"; "a1"; "b" ] in
+  List.iter
+    (fun (a0, a1, bb) ->
+      let expect = not ((a0 && a1) || bb) in
+      checkv "aoi21" (Logic.of_bool expect)
+        (eval_out nl [ ("a0", a0); ("a1", a1); ("b", bb) ]))
+    [ (false, false, false); (true, true, false); (false, false, true);
+      (true, false, false); (true, false, true); (true, true, true) ]
+
+let test_unknown_propagation () =
+  let nl = single (Cell.nand ~inputs:2 ~p:"P" ~n:"N") [ "a0"; "a1" ] in
+  (* a0 = 0 controls the NAND: output 1 even with a1 unknown. *)
+  checkv "controlling value wins" Logic.V1
+    (List.assoc "out" (Sim.eval nl [ ("a0", Logic.V0) ]));
+  (* a0 = 1 leaves the output depending on unknown a1. *)
+  checkv "unknown propagates" Logic.X
+    (List.assoc "out" (Sim.eval nl [ ("a0", Logic.V1) ]))
+
+let test_passgate_z () =
+  let nl =
+    single (Cell.Passgate { style = Cell.N_only; label = "N" }) [ "d"; "s" ]
+  in
+  checkv "on passes" Logic.V1 (eval_out nl [ ("d", true); ("s", true) ]);
+  checkv "off floats" Logic.Z (eval_out nl [ ("d", true); ("s", false) ])
+
+let test_pass_mux_resolution () =
+  (* Two pass gates share a node; exactly one conducts. *)
+  let b = B.create "pm" in
+  let d0 = B.input b "d0" and d1 = B.input b "d1" in
+  let s = B.input b "s" in
+  let o = B.output b "out" in
+  B.inst b ~name:"p0" ~cell:(Cell.Passgate { style = Cell.N_only; label = "N" })
+    ~inputs:[ ("d", d0); ("s", s) ] ~out:o ();
+  B.inst b ~name:"p1" ~cell:(Cell.Passgate { style = Cell.P_only; label = "N" })
+    ~inputs:[ ("d", d1); ("s", s) ] ~out:o ();
+  let nl = B.freeze b in
+  checkv "select high picks d0" Logic.V1
+    (eval_out nl [ ("d0", true); ("d1", false); ("s", true) ]);
+  checkv "select low picks d1" Logic.V0
+    (eval_out nl [ ("d0", true); ("d1", false); ("s", false) ])
+
+let test_tristate () =
+  let nl = single (Cell.Tristate { p_label = "P"; n_label = "N" }) [ "d"; "en" ] in
+  checkv "enabled inverts" Logic.V0 (eval_out nl [ ("d", true); ("en", true) ]);
+  checkv "disabled floats" Logic.Z (eval_out nl [ ("d", true); ("en", false) ])
+
+let domino_or2 () =
+  single
+    (Cell.Domino
+       {
+         gate_name = "or2";
+         pull_down = Pdn.parallel [ Pdn.leaf ~pin:"a" ~label:"N1"; Pdn.leaf ~pin:"b" ~label:"N1" ];
+         precharge = "P1";
+         eval = Some "N2";
+         out_p = "P3";
+         out_n = "N3";
+         keeper = true;
+       })
+    [ "a"; "b" ]
+
+let test_domino_phases () =
+  let nl = domino_or2 () in
+  (* Precharge: output forced low regardless of inputs. *)
+  checkv "precharge low" Logic.V0
+    (List.assoc "out" (Sim.eval ~phase:Sim.Precharge nl [ ("a", Logic.V1) ]));
+  (* Evaluate: OR of inputs. *)
+  checkv "evaluate 1" Logic.V1 (eval_out nl [ ("a", true); ("b", false) ]);
+  checkv "evaluate 0" Logic.V0 (eval_out nl [ ("a", false); ("b", false) ])
+
+let test_eval_net_by_name () =
+  let nl = domino_or2 () in
+  checkv "by name" Logic.V1
+    (Sim.eval_net nl [ ("a", Logic.V1); ("b", Logic.V0) ] "out")
+
+let () =
+  Alcotest.run "smart_sim"
+    [
+      ( "logic",
+        [ Alcotest.test_case "resolution" `Quick test_logic_resolution ] );
+      ( "gates",
+        [
+          Alcotest.test_case "inverter" `Quick test_inverter_truth;
+          Alcotest.test_case "nand" `Quick test_nand_truth;
+          Alcotest.test_case "nor" `Quick test_nor_truth;
+          Alcotest.test_case "aoi21" `Quick test_aoi21_truth;
+          Alcotest.test_case "unknowns" `Quick test_unknown_propagation;
+        ] );
+      ( "switches",
+        [
+          Alcotest.test_case "passgate Z" `Quick test_passgate_z;
+          Alcotest.test_case "pass mux resolution" `Quick test_pass_mux_resolution;
+          Alcotest.test_case "tristate" `Quick test_tristate;
+        ] );
+      ( "domino",
+        [
+          Alcotest.test_case "phases" `Quick test_domino_phases;
+          Alcotest.test_case "eval_net" `Quick test_eval_net_by_name;
+        ] );
+    ]

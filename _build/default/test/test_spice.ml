@@ -1,0 +1,103 @@
+(* Unit tests: SPICE export — the device-by-device expansion must agree
+   with the library's width/count accounting on every macro family. *)
+
+module Spice = Smart_circuit.Spice
+module N = Smart_circuit.Netlist
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+module Macro = Smart_macros.Macro
+module Mux = Smart_macros.Mux
+
+let checkb msg = Alcotest.(check bool) msg
+let checki msg = Alcotest.(check int) msg
+let checkf tol msg = Alcotest.(check (float tol)) msg
+
+let sizing l = 1.0 +. (float_of_int (String.length l) /. 10.)
+
+let inverter_netlist () =
+  let b = B.create "inv1" in
+  let i = B.input b "a" in
+  let o = B.output b "y" in
+  B.inst b ~name:"u1" ~cell:(Cell.inverter ~p:"P" ~n:"N") ~inputs:[ ("a", i) ] ~out:o ();
+  B.freeze b
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_inverter_deck () =
+  let nl = inverter_netlist () in
+  let deck = Spice.subckt nl ~sizing:(fun _ -> 2.) in
+  checkb "comment header" true (String.length deck > 0 && deck.[0] = '*');
+  let lines = String.split_on_char '\n' deck in
+  let m_lines = List.filter (fun l -> String.length l > 0 && l.[0] = 'M') lines in
+  checki "two devices" 2 (List.length m_lines);
+  checkb "has a PMOS card" true (List.exists (contains ~sub:"PMOS") m_lines);
+  checkb "has an NMOS card" true (List.exists (contains ~sub:"NMOS") m_lines);
+  checkb "widths and lengths" true
+    (List.for_all (contains ~sub:"W=2.000U L=0.18U") m_lines);
+  checkb "ends card" true (List.exists (fun l -> l = ".ENDS inv1") lines)
+
+let agree (info : Macro.info) =
+  let nl = info.Macro.netlist in
+  checki
+    (Macro.name info ^ ": device cards = device_count")
+    (N.device_count nl)
+    (Spice.device_cards nl ~sizing);
+  checkf 1e-6
+    (Macro.name info ^ ": deck width = total_width")
+    (N.total_width nl sizing)
+    (Spice.total_width_of_deck nl ~sizing)
+
+let test_counts_agree_across_macros () =
+  List.iter agree
+    [
+      Mux.generate Mux.Strongly_mutexed ~n:4;
+      Mux.generate Mux.Weakly_mutexed ~n:4;
+      Mux.generate Mux.Encoded_2to1 ~n:2;
+      Mux.generate Mux.Tristate_mux ~n:4;
+      Mux.generate Mux.Domino_unsplit ~n:4;
+      Mux.generate (Mux.Domino_partitioned None) ~n:5;
+      Smart_macros.Incrementor.generate ~bits:6 ();
+      Smart_macros.Zero_detect.generate ~bits:9 ();
+      Smart_macros.Decoder.generate ~in_bits:3 ();
+      Smart_macros.Comparator.generate ~bits:8 ();
+      Smart_macros.Cla_adder.generate ~bits:8 ();
+      Smart_macros.Shifter.generate ~bits:8 ();
+      Smart_macros.Encoder.generate ~out_bits:3 ();
+      Smart_macros.Regfile.generate ~words:4 ~width:2 ();
+    ]
+
+let test_deck_deterministic () =
+  let info = Mux.generate Mux.Domino_unsplit ~n:4 in
+  let a = Spice.subckt info.Macro.netlist ~sizing in
+  let b = Spice.subckt info.Macro.netlist ~sizing in
+  Alcotest.(check string) "same deck" a b
+
+let test_ports_include_io_and_rails () =
+  let info = Mux.generate Mux.Domino_unsplit ~n:4 in
+  let deck = Spice.subckt info.Macro.netlist ~sizing in
+  let subckt_line =
+    List.find
+      (fun l -> String.length l > 7 && String.sub l 0 7 = ".SUBCKT")
+      (String.split_on_char '\n' deck)
+  in
+  List.iter
+    (fun p ->
+      checkb (p ^ " in ports") true
+        (List.mem p (String.split_on_char ' ' subckt_line)))
+    [ "in0"; "s3"; "out"; "clk"; "vdd"; "vss" ]
+
+let () =
+  Alcotest.run "smart_spice"
+    [
+      ( "spice",
+        [
+          Alcotest.test_case "inverter deck" `Quick test_inverter_deck;
+          Alcotest.test_case "counts agree across macros" `Quick
+            test_counts_agree_across_macros;
+          Alcotest.test_case "deterministic" `Quick test_deck_deterministic;
+          Alcotest.test_case "ports" `Quick test_ports_include_io_and_rails;
+        ] );
+    ]

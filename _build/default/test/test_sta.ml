@@ -1,0 +1,191 @@
+(* Unit tests: Smart_sta (golden static timing analysis). *)
+
+module Sta = Smart_sta.Sta
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+module N = Smart_circuit.Netlist
+module B = Smart_circuit.Netlist.Builder
+module Golden = Smart_models.Golden
+module Load = Smart_models.Load
+module Tech = Smart_tech.Tech
+
+let tech = Tech.default
+let checkb msg = Alcotest.(check bool) msg
+let checkf tol msg = Alcotest.(check (float tol)) msg
+
+let chain n_stages ~load =
+  let b = B.create "chain" in
+  let i = B.input b "in" in
+  let rec build k prev =
+    if k = n_stages then prev
+    else begin
+      let next =
+        if k = n_stages - 1 then B.output b "out" else B.wire b (Printf.sprintf "w%d" k)
+      in
+      B.inst b ~name:(Printf.sprintf "g%d" k)
+        ~cell:(Cell.inverter ~p:(Printf.sprintf "P%d" k) ~n:(Printf.sprintf "N%d" k))
+        ~inputs:[ ("a", prev) ] ~out:next ();
+      build (k + 1) next
+    end
+  in
+  let out = build 0 i in
+  B.ext_load b out load;
+  B.freeze b
+
+let test_single_stage_matches_golden () =
+  (* One inverter: STA arrival must equal the golden arc delay exactly. *)
+  let nl = chain 1 ~load:30. in
+  let sizing _ = 2. in
+  let sta = Sta.analyze tech nl ~sizing in
+  let loads = Load.make tech nl in
+  let out = N.find_net nl "out" in
+  let load = Load.numeric loads sizing out in
+  let cell = Cell.inverter ~p:"P0" ~n:"N0" in
+  let d_rise, _ =
+    Golden.arc_delay tech ~sizing cell ~pin:"a" ~out_sense:Smart_models.Arc.Rise
+      ~load ~in_slope:tech.Tech.default_input_slope
+  in
+  let d_fall, _ =
+    Golden.arc_delay tech ~sizing cell ~pin:"a" ~out_sense:Smart_models.Arc.Fall
+      ~load ~in_slope:tech.Tech.default_input_slope
+  in
+  checkf 1e-6 "max delay = worst arc" (Float.max d_rise d_fall) sta.Sta.max_delay
+
+let test_chain_additivity () =
+  (* Arrival grows monotonically along a chain; 4 stages are slower than 2. *)
+  let sizing _ = 2. in
+  let d2 = (Sta.analyze tech (chain 2 ~load:30.) ~sizing).Sta.max_delay in
+  let d4 = (Sta.analyze tech (chain 4 ~load:30.) ~sizing).Sta.max_delay in
+  checkb "4 stages slower than 2" true (d4 > d2 +. 5.)
+
+let test_wider_is_faster () =
+  let nl = chain 3 ~load:60. in
+  let d_thin = (Sta.analyze tech nl ~sizing:(fun _ -> 0.8)).Sta.max_delay in
+  let d_wide = (Sta.analyze tech nl ~sizing:(fun _ -> 6.)).Sta.max_delay in
+  checkb "wider is faster into fixed load" true (d_wide < d_thin)
+
+let test_critical_path_structure () =
+  let nl = chain 3 ~load:20. in
+  let sta = Sta.analyze tech nl ~sizing:(fun _ -> 2.) in
+  let path = Sta.critical_path sta nl in
+  Alcotest.(check (list string)) "full chain"
+    [ "g0"; "g1"; "g2" ]
+    (List.map (fun ((i : N.instance), _) -> i.N.inst_name) path);
+  checkb "critical output named" true (sta.Sta.critical_output = Some "out")
+
+let test_worst_pin_selection () =
+  (* NAND2 with one late input: output timed from the later pin. *)
+  let b = B.create "worst" in
+  let early = B.input b "early" in
+  let late0 = B.input b "late" in
+  let w = B.wire b "w" in
+  (* Delay the late input through two inverters. *)
+  let w2 = B.wire b "w2" in
+  B.inst b ~name:"d0" ~cell:(Cell.inverter ~p:"Pd" ~n:"Nd") ~inputs:[ ("a", late0) ] ~out:w ();
+  B.inst b ~name:"d1" ~cell:(Cell.inverter ~p:"Pd2" ~n:"Nd2") ~inputs:[ ("a", w) ] ~out:w2 ();
+  let o = B.output b "out" in
+  B.inst b ~name:"g" ~cell:(Cell.nand ~inputs:2 ~p:"P" ~n:"N")
+    ~inputs:[ ("a0", early); ("a1", w2) ] ~out:o ();
+  B.ext_load b o 10.;
+  let nl = B.freeze b in
+  let sta = Sta.analyze tech nl ~sizing:(fun _ -> 2.) in
+  let path = Sta.critical_path sta nl in
+  checkb "critical path goes through the late pin" true
+    (List.exists (fun ((i : N.instance), pin) -> i.N.inst_name = "g" && pin = "a1") path)
+
+let domino_pair () =
+  (* D1 stage feeding a D2 stage. *)
+  let b = B.create "dompair" in
+  let i = B.input b "in" in
+  let w = B.wire b "w" in
+  let o = B.output b "out" in
+  let dom name ~footed input out p =
+    B.inst b ~name
+      ~cell:
+        (Cell.Domino
+           {
+             gate_name = name;
+             pull_down = Pdn.leaf ~pin:"a" ~label:(p ^ ".N");
+             precharge = p ^ ".P";
+             eval = (if footed then Some (p ^ ".F") else None);
+             out_p = p ^ ".IP";
+             out_n = p ^ ".IN";
+             keeper = false;
+           })
+      ~inputs:[ ("a", input) ] ~out ()
+  in
+  dom "d1" ~footed:true i w "s1";
+  dom "d2" ~footed:false w o "s2";
+  B.ext_load b o 15.;
+  B.freeze b
+
+let test_domino_evaluate_mode () =
+  let nl = domino_pair () in
+  let sta = Sta.analyze ~mode:Sta.Evaluate tech nl ~sizing:(fun _ -> 2.) in
+  checkb "evaluate propagates" true (sta.Sta.max_delay > 0.);
+  (* Output only rises during evaluate (monotone domino). *)
+  let o = N.find_net nl "out" in
+  let nt = sta.Sta.nets.(o) in
+  checkb "rise reached" true (nt.Sta.arr_rise > 0.);
+  checkb "fall unreachable in evaluate" true (nt.Sta.arr_fall = neg_infinity)
+
+let test_domino_precharge_mode () =
+  let nl = domino_pair () in
+  let sta = Sta.analyze ~mode:Sta.Precharge tech nl ~sizing:(fun _ -> 2.) in
+  checkb "precharge reaches output" true (sta.Sta.max_delay > 0.);
+  let o = N.find_net nl "out" in
+  let nt = sta.Sta.nets.(o) in
+  checkb "output falls on precharge" true (nt.Sta.arr_fall > 0.)
+
+let test_static_circuit_quiet_in_precharge () =
+  let nl = chain 2 ~load:10. in
+  let sta = Sta.analyze ~mode:Sta.Precharge tech nl ~sizing:(fun _ -> 2.) in
+  checkf 1e-9 "nothing moves" 0. sta.Sta.max_delay
+
+let test_slope_violation_reported () =
+  (* A minimum-width driver into a huge load produces a slope violation. *)
+  let b = B.create "slow" in
+  let i = B.input b "in" in
+  let o = B.output b "out" in
+  B.inst b ~name:"g" ~cell:(Cell.inverter ~p:"P" ~n:"N") ~inputs:[ ("a", i) ] ~out:o ();
+  B.ext_load b o 500.;
+  let nl = B.freeze b in
+  let sta = Sta.analyze tech nl ~sizing:(fun _ -> tech.Tech.w_min) in
+  checkb "violation found" true (List.length sta.Sta.slope_violations > 0);
+  checkb "max slope over cap" true (sta.Sta.max_slope > tech.Tech.slope_max)
+
+let test_group_delays () =
+  let nl = domino_pair () in
+  let sta = Sta.analyze tech nl ~sizing:(fun _ -> 2.) in
+  checkb "groups reported" true (List.length sta.Sta.group_delays >= 1)
+
+let test_evaluate_and_precharge () =
+  let nl = domino_pair () in
+  let ev, pre = Sta.evaluate_and_precharge tech nl ~sizing:(fun _ -> 2.) in
+  checkb "modes differ" true (ev.Sta.mode = Sta.Evaluate && pre.Sta.mode = Sta.Precharge)
+
+let () =
+  Alcotest.run "smart_sta"
+    [
+      ( "static",
+        [
+          Alcotest.test_case "single stage exact" `Quick test_single_stage_matches_golden;
+          Alcotest.test_case "chain additivity" `Quick test_chain_additivity;
+          Alcotest.test_case "wider is faster" `Quick test_wider_is_faster;
+          Alcotest.test_case "critical path" `Quick test_critical_path_structure;
+          Alcotest.test_case "worst pin" `Quick test_worst_pin_selection;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "evaluate mode" `Quick test_domino_evaluate_mode;
+          Alcotest.test_case "precharge mode" `Quick test_domino_precharge_mode;
+          Alcotest.test_case "static quiet in precharge" `Quick
+            test_static_circuit_quiet_in_precharge;
+          Alcotest.test_case "both modes" `Quick test_evaluate_and_precharge;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "slope violations" `Quick test_slope_violation_reported;
+          Alcotest.test_case "group delays" `Quick test_group_delays;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Unit tests: Smart_util (rng, stats, tables, errors). *)
+
+module Rng = Smart_util.Rng
+module Stats = Smart_util.Stats
+module Tab = Smart_util.Tab
+module Err = Smart_util.Err
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check "different seeds differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    check "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let r = Rng.create 7 in
+  Alcotest.check_raises "bound 0"
+    (Err.Smart_error "Rng.int: bound 0 must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 3.5 in
+    check "in range" true (x >= 0. && x < 3.5)
+  done
+
+let test_rng_uniform () =
+  let r = Rng.create 5 in
+  for _ = 1 to 200 do
+    let x = Rng.uniform r 2. 5. in
+    check "in [2,5)" true (x >= 2. && x < 5.)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 3 in
+  let child = Rng.split parent in
+  let a = Rng.int64 parent and b = Rng.int64 child in
+  check "split streams differ" true (a <> b)
+
+let test_rng_copy () =
+  let a = Rng.create 11 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_choose () =
+  let r = Rng.create 13 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    check "chosen from array" true (Array.mem (Rng.choose r arr) arr)
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 17 in
+  let arr = Array.init 20 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_stats_mean () =
+  checkf "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  checkf "empty mean" 0. (Stats.mean [])
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ]);
+  Alcotest.(check (float 1e-9)) "geomean of equal" 3. (Stats.geomean [ 3.; 3.; 3. ])
+
+let test_stats_stddev () =
+  checkf "stddev of constants" 0. (Stats.stddev [ 5.; 5.; 5. ]);
+  checkf "stddev of 1,3 pairs" 1. (Stats.stddev [ 1.; 3.; 1.; 3.; 1.; 3.; 1.; 3. ])
+
+let test_stats_minmax () =
+  checkf "min" 1. (Stats.minimum [ 3.; 1.; 2. ]);
+  checkf "max" 3. (Stats.maximum [ 3.; 1.; 2. ]);
+  Alcotest.check_raises "empty min"
+    (Err.Smart_error "Stats.minimum: empty list") (fun () ->
+      ignore (Stats.minimum []))
+
+let test_stats_savings () =
+  checkf "percent saving" 25. (Stats.percent_saving ~original:100. ~improved:75.);
+  checkf "ratio" 0.75 (Stats.ratio ~original:100. ~improved:75.)
+
+let test_tab_render () =
+  let t = Tab.create [ "a"; "bb" ] in
+  Tab.row t [ "1"; "2" ];
+  Tab.rowf t "%d|%s" 10 "xy";
+  let s = Tab.to_string t in
+  check "contains header" true (String.length s > 0);
+  check "row count" true (List.length (String.split_on_char '\n' s) = 4)
+
+let test_tab_arity_checked () =
+  let t = Tab.create [ "a"; "b" ] in
+  Alcotest.check_raises "bad arity"
+    (Err.Smart_error "Tab.row: 1 cells for 2 headers") (fun () ->
+      Tab.row t [ "only" ])
+
+let test_err_fail () =
+  Alcotest.check_raises "formatted" (Err.Smart_error "x=3") (fun () ->
+      Err.fail "x=%d" 3)
+
+let test_err_conditional () =
+  Err.invalid_arg_if false "never";
+  Alcotest.check_raises "fires" (Err.Smart_error "yes") (fun () ->
+      Err.invalid_arg_if true "yes")
+
+let () =
+  Alcotest.run "smart_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects <= 0" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "choose" `Quick test_rng_choose;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min/max" `Quick test_stats_minmax;
+          Alcotest.test_case "savings" `Quick test_stats_savings;
+        ] );
+      ( "tab",
+        [
+          Alcotest.test_case "render" `Quick test_tab_render;
+          Alcotest.test_case "arity" `Quick test_tab_arity_checked;
+        ] );
+      ( "err",
+        [
+          Alcotest.test_case "fail" `Quick test_err_fail;
+          Alcotest.test_case "conditional" `Quick test_err_conditional;
+        ] );
+    ]
