@@ -1,0 +1,116 @@
+(* Engine bench: sequential-vs-parallel candidate evaluation and
+   solve-cache effectiveness.
+
+   Protocol:
+     1. evaluate every applicable mux topology (the Fig. 1 fan-out) with a
+        1-worker engine and with an auto-width engine, caches disabled,
+        and compare wall time — the speedup the parallel evaluator buys
+        (1.0 on single-core machines, where the pool falls back to the
+        deterministic sequential loop);
+     2. verify the two evaluations produce identical rankings;
+     3. run a Fig. 6-style area-delay sweep twice through one caching
+        engine — the second pass replays memoized sizer outcomes — and
+        report the hit rate.
+
+   Writes BENCH_engine.json {wall_seq, wall_par, speedup, cache_hit_rate,
+   workers} for the perf trajectory. *)
+
+module Smart = Smart_core.Smart
+module Engine = Smart.Engine
+
+let tech = Runner.tech
+
+let workload ~fast =
+  let db = Smart.Database.builtins () in
+  let bits = if fast then 4 else 8 in
+  let req = Smart.Database.requirements ~ext_load:40. bits in
+  List.map
+    (fun ((e : Smart.Database.entry), (i : Smart.Macro.info)) ->
+      (e.Smart.Database.entry_name, i.Smart.Macro.netlist))
+    (Smart.Database.build_all db ~kind:"mux" req)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* The area ranking implied by a batch of sizing results: accepted
+   entries sorted by total width, then the rejected set. *)
+let ranking_of results =
+  let ok =
+    List.filter_map
+      (fun (name, r) ->
+        match r with
+        | Ok (o : Smart.Sizer.outcome) -> Some (name, o.Smart.Sizer.total_width)
+        | Error _ -> None)
+      results
+  in
+  ( List.sort (fun (_, a) (_, b) -> Float.compare a b) ok,
+    List.filter_map
+      (fun (name, r) -> match r with Error _ -> Some name | Ok _ -> None)
+      results )
+
+let run ~fast () =
+  Runner.heading "Engine: parallel topology evaluation + solve cache";
+  let candidates = workload ~fast in
+  let spec = Smart.Constraints.spec 150. in
+  let options = Smart.Sizer.default_options in
+  Printf.printf "  %d mux candidates, %d core(s) recommended\n"
+    (List.length candidates)
+    (Domain.recommended_domain_count ());
+
+  let seq_engine = Engine.create ~workers:1 ~cache_capacity:0 () in
+  let par_engine = Engine.create ~cache_capacity:0 () in
+  let res_seq, wall_seq =
+    time (fun () -> Engine.size_all seq_engine ~options tech spec candidates)
+  in
+  let res_par, wall_par =
+    time (fun () -> Engine.size_all par_engine ~options tech spec candidates)
+  in
+  let speedup = if wall_par > 0. then wall_seq /. wall_par else 1. in
+  Printf.printf "  sequential (1 worker):  %.2f s\n" wall_seq;
+  Printf.printf "  parallel  (%d workers): %.2f s  (speedup %.2fx)\n"
+    (Engine.workers par_engine) wall_par speedup;
+  let rank_seq, rej_seq = ranking_of res_seq in
+  let rank_par, rej_par = ranking_of res_par in
+  Runner.shape_check ~name:"parallel ranking identical to sequential"
+    (rank_seq = rank_par && rej_seq = rej_par);
+  List.iter
+    (fun (name, width) -> Printf.printf "    %-34s %9.1f um\n" name width)
+    rank_seq;
+
+  (* Fig. 6-style sweep, twice through one caching engine.  The second
+     pass replays every memoized sizer outcome (including the min-delay
+     anchor solve), so its hit count equals the first pass's misses. *)
+  let cache_engine = Engine.create ~cache_capacity:256 () in
+  let nl =
+    (Smart.Mux.generate Smart.Mux.Strongly_mutexed ~n:(if fast then 4 else 8))
+      .Smart.Macro.netlist
+  in
+  let points = if fast then 4 else 6 in
+  let sweep () =
+    Smart.Explore.sweep_area_delay ~engine:cache_engine ~points tech nl
+      (Smart.Constraints.spec 1e6)
+  in
+  let pts_cold, wall_cold = time sweep in
+  let pts_warm, wall_warm = time sweep in
+  let stats = Engine.cache_stats cache_engine in
+  let hit_rate = Engine.hit_rate stats in
+  Printf.printf
+    "  sweep: cold %.2f s, warm %.2f s; cache %d hits / %d misses (rate %.2f)\n"
+    wall_cold wall_warm stats.Engine.hits stats.Engine.misses hit_rate;
+  Runner.shape_check ~name:"warm sweep identical to cold sweep"
+    (pts_cold = pts_warm);
+  Runner.shape_check ~name:"cache hit rate > 0 on repeated sweep"
+    (hit_rate > 0.);
+  Runner.shape_check ~name:"parallel speedup >= 1.0 (or single core)"
+    (speedup >= 1.0 || not (Engine.parallelism_available ()));
+
+  Runner.write_json ~file:"BENCH_engine.json"
+    [
+      ("wall_seq", wall_seq);
+      ("wall_par", wall_par);
+      ("speedup", speedup);
+      ("cache_hit_rate", hit_rate);
+      ("workers", float_of_int (Engine.workers par_engine));
+    ]

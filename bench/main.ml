@@ -16,6 +16,7 @@ let all_experiments =
     ("fig7", "Figure 7: comparator topology exploration");
     ("table2", "Table 2 and §6.4: functional blocks");
     ("paths", "§5.2: path-space reduction");
+    ("engine", "Engine: parallel evaluation + solve cache (BENCH_engine.json)");
     ("ablate", "Design-choice ablations");
     ("micro", "Bechamel micro-benchmarks");
   ]
@@ -27,6 +28,7 @@ let run_one ~fast = function
   | "fig7" -> Exp_fig7.run ~fast ()
   | "table2" -> Exp_table2.run ~fast ()
   | "paths" -> Exp_paths.run ~fast ()
+  | "engine" -> Exp_engine.run ~fast ()
   | "ablate" -> Exp_ablate.run ~fast ()
   | "micro" -> if not fast then Micro.run ()
   | other ->

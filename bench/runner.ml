@@ -81,3 +81,18 @@ let note fmt = Printf.printf fmt
 
 let shape_check ~name ok =
   Printf.printf "  shape check: %-44s %s\n" name (if ok then "HOLDS" else "DIVERGES")
+
+(* Machine-readable bench artifacts (BENCH_*.json): one flat object of
+   numeric fields, written to the invocation directory so successive PRs
+   can track the perf trajectory. *)
+let write_json ~file fields =
+  let oc = open_out file in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  \"%s\": %.6g%s\n" k v
+        (if i = List.length fields - 1 then "" else ","))
+    fields;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" file

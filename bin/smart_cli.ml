@@ -47,6 +47,45 @@ let no_dynamic_arg =
   let doc = "Exclude domino topologies." in
   Arg.(value & flag & info [ "no-dynamic" ] ~doc)
 
+let workers_arg =
+  let doc =
+    "Worker pool width for multi-candidate evaluation (0 = one per \
+     available core)."
+  in
+  Arg.(value & opt int 0 & info [ "workers"; "j" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc =
+    "Emit engine trace spans: $(b,stderr) for human-readable lines, any \
+     other value is a path receiving one JSON object per line."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"SPEC" ~doc)
+
+(* Sinks may be fed concurrently from the engine and the global
+   tracepoint bridge; serialise them behind one mutex. *)
+let locked_sink sink =
+  let m = Mutex.create () in
+  fun e ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> sink e)
+
+let make_engine ~workers ~trace =
+  let sink, cleanup =
+    match trace with
+    | None -> (Smart.Engine.Trace.null, fun () -> ())
+    | Some "stderr" -> (locked_sink Smart.Engine.Trace.stderr_line, fun () -> ())
+    | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error msg ->
+          Printf.eprintf "smart_cli: cannot open trace file: %s\n" msg;
+          exit 2
+      in
+      (locked_sink (Smart.Engine.Trace.json_lines oc), fun () -> close_out oc)
+  in
+  if trace <> None then Smart.Engine.Trace.install_global sink;
+  (Smart.Engine.create ~workers ~sink (), cleanup)
+
 let requirements ~bits ~load ~no_onehot ~no_dynamic =
   Smart.Database.requirements ~ext_load:load
     ~strongly_mutexed_selects:(not no_onehot) ~allow_dynamic:(not no_dynamic)
@@ -71,15 +110,28 @@ let db_cmd =
 (* ---------------- advise ---------------- *)
 
 let advise_cmd =
-  let run kind bits load delay metric no_onehot no_dynamic =
-    let db = Smart.Database.builtins () in
-    let req = requirements ~bits ~load ~no_onehot ~no_dynamic in
-    match
-      Smart.advise ~metric ~db ~kind ~requirements:req tech
-        (Smart.Constraints.spec delay)
-    with
-    | Error msg ->
-      prerr_endline msg;
+  let run kind bits load delay metric no_onehot no_dynamic workers trace =
+    let engine, cleanup = make_engine ~workers ~trace in
+    let request =
+      Smart.Request.make ~kind ~bits ~delay ~metric ~engine ()
+      |> Smart.Request.with_requirements
+           (requirements ~bits ~load ~no_onehot ~no_dynamic)
+    in
+    let result = Smart.run request in
+    cleanup ();
+    match result with
+    | Error e ->
+      (* Typed errors: the variant name tells the caller what went wrong
+         before the rendered detail. *)
+      let tag =
+        match e with
+        | Smart.Error.No_applicable_topology _ -> "no-applicable-topology"
+        | Smart.Error.Infeasible_spec _ -> "infeasible-spec"
+        | Smart.Error.Gp_failure _ -> "gp-failure"
+        | Smart.Error.Sta_disagreement _ -> "sta-disagreement"
+        | Smart.Error.Invalid_request _ -> "invalid-request"
+      in
+      Printf.eprintf "advise: [%s] %s\n" tag (Smart.Error.to_string e);
       1
     | Ok advice ->
       Printf.printf "%-34s %9s %9s %9s %9s\n" "topology" "delay ps" "width um"
@@ -103,7 +155,7 @@ let advise_cmd =
   in
   Cmd.v (Cmd.info "advise" ~doc:"Run the SMART advisory flow on a macro instance")
     Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg $ metric_arg
-          $ no_onehot_arg $ no_dynamic_arg)
+          $ no_onehot_arg $ no_dynamic_arg $ workers_arg $ trace_arg)
 
 (* ---------------- helpers for single-entry commands ---------------- *)
 
@@ -172,17 +224,20 @@ let sweep_cmd =
   let points_arg =
     Arg.(value & opt int 6 & info [ "points" ] ~docv:"N" ~doc:"Sweep points.")
   in
-  let run kind bits load points =
+  let run kind bits load points workers trace =
     let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
     match build_first ~kind ~req with
     | Error e ->
       prerr_endline e;
       1
     | Ok info ->
+      let engine, cleanup = make_engine ~workers ~trace in
       let pts =
-        Smart.Explore.sweep_area_delay ~points tech info.Smart.Macro.netlist
+        Smart.Explore.sweep_area_delay ~engine ~points tech
+          info.Smart.Macro.netlist
           (Smart.Constraints.spec 1e6)
       in
+      cleanup ();
       (match pts with
       | [] ->
         prerr_endline "sweep failed";
@@ -195,7 +250,8 @@ let sweep_cmd =
         0)
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Area-delay sweep of a macro (Figure 6 style)")
-    Term.(const run $ kind_arg $ bits_arg $ load_arg $ points_arg)
+    Term.(const run $ kind_arg $ bits_arg $ load_arg $ points_arg $ workers_arg
+          $ trace_arg)
 
 (* ---------------- spice ---------------- *)
 

@@ -32,6 +32,8 @@ module Regfile = Smart_macros.Regfile
 module Database = Smart_database.Database
 module Blocks = Smart_blocks.Blocks
 module Explore = Smart_explore.Explore
+module Engine = Smart_engine.Engine
+module Error = Smart_util.Err
 
 type advice = {
   ranking : Explore.ranking;
@@ -39,9 +41,64 @@ type advice = {
   spec : Constraints.spec;
 }
 
-let advise ?options ?(metric = Explore.Area) ~db ~kind ~requirements tech spec =
-  match Explore.explore ?options ~metric ~db ~kind ~requirements tech spec with
-  | Error e -> Error e
-  | Ok ranking -> Ok { ranking; metric; spec }
+module Request = struct
+  type t = {
+    kind : string;
+    bits : int;
+    requirements : Database.requirements;
+    spec : Constraints.spec;
+    metric : Explore.metric;
+    options : Sizer.options;
+    tech : Tech.t;
+    engine : Engine.t option;
+  }
 
-let version = "1.0.0"
+  let make ?(ext_load = 30.) ?(strongly_mutexed_selects = true)
+      ?(allow_dynamic = true) ?(delay = 150.) ?spec
+      ?(metric = Explore.Area) ?(options = Sizer.default_options)
+      ?(tech = Tech.default) ?engine ~kind ~bits () =
+    let requirements =
+      Database.requirements ~ext_load ~strongly_mutexed_selects ~allow_dynamic
+        bits
+    in
+    let spec = match spec with Some s -> s | None -> Constraints.spec delay in
+    { kind; bits; requirements; spec; metric; options; tech; engine }
+
+  let with_spec spec t = { t with spec }
+  let with_metric metric t = { t with metric }
+  let with_options options t = { t with options }
+  let with_tech tech t = { t with tech }
+  let with_engine engine t = { t with engine = Some engine }
+
+  let with_requirements requirements t =
+    { t with requirements; bits = requirements.Database.bits }
+end
+
+let run ?db (r : Request.t) =
+  let db = match db with Some db -> db | None -> Database.builtins () in
+  match
+    Explore.explore_typed ?engine:r.Request.engine ~options:r.Request.options
+      ~metric:r.Request.metric ~db ~kind:r.Request.kind
+      ~requirements:r.Request.requirements r.Request.tech r.Request.spec
+  with
+  | Error e -> Error e
+  | Ok ranking ->
+    Ok { ranking; metric = r.Request.metric; spec = r.Request.spec }
+
+let advise ?options ?(metric = Explore.Area) ~db ~kind ~requirements tech spec =
+  let request =
+    {
+      Request.kind;
+      bits = requirements.Database.bits;
+      requirements;
+      spec;
+      metric;
+      options =
+        (match options with Some o -> o | None -> Sizer.default_options);
+      tech;
+      engine = None;
+    }
+  in
+  Result.map_error Error.to_string (run ~db request)
+
+let version = "1.1.0"

@@ -1,21 +1,23 @@
 (** SMART — Smart Macro Design Advisor.
 
     Public facade of the library: module aliases for every subsystem plus
-    the one-call advisory entry point {!advise}, which realises the full
-    Figure 1 flow — look up applicable topologies in the design database,
-    prune, generate netlists, size each with the GP-based sizing engine,
+    the advisory entry point {!run}, which realises the full Figure 1
+    flow — look up applicable topologies in the design database, prune,
+    generate netlists, size each with the GP-based sizing engine (fanned
+    across the {!Engine} worker pool, memoized in its solve cache),
     verify with the golden timer, and rank under the designer's cost
     metric.
 
     {[
-      let tech = Smart.Tech.default in
-      let db = Smart.Database.builtins () in
-      let req = Smart.Database.requirements ~ext_load:40. 8 in
-      match Smart.advise ~db ~kind:"mux" ~requirements:req tech
-              (Smart.Constraints.spec 90.) with
+      let request = Smart.Request.make ~kind:"mux" ~bits:8 ~ext_load:40.
+                      ~delay:90. () in
+      match Smart.run request with
       | Ok advice -> ...
-      | Error msg -> ...
-    ]} *)
+      | Error e -> prerr_endline (Smart.Error.to_string e)
+    ]}
+
+    {!advise} is the original one-call entry point, kept as a thin
+    wrapper over {!run}; new code should build a {!Request.t}. *)
 
 module Tech = Smart_tech.Tech
 module Circuit = Smart_circuit.Netlist
@@ -51,12 +53,72 @@ module Regfile = Smart_macros.Regfile
 module Database = Smart_database.Database
 module Blocks = Smart_blocks.Blocks
 module Explore = Smart_explore.Explore
+module Engine = Smart_engine.Engine
+
+module Error : sig
+  (** Structured advisory errors (see {!Smart_util.Err}). *)
+
+  type t = Smart_util.Err.t =
+    | No_applicable_topology of { kind : string }
+    | Infeasible_spec of { target_ps : float; detail : string }
+    | Gp_failure of string
+    | Sta_disagreement of { target_ps : float; iterations : int }
+    | Invalid_request of string
+
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
 
 type advice = {
   ranking : Explore.ranking;  (** all sized candidates, best first *)
   metric : Explore.metric;
   spec : Constraints.spec;
 }
+
+(** Advisory requests: one record carrying everything {!run} needs,
+    replacing the optional-argument surface that {!advise} had grown.
+    Build with {!Request.make}, refine with the [with_*] updaters. *)
+module Request : sig
+  type t = {
+    kind : string;  (** macro kind key, e.g. ["mux"] *)
+    bits : int;  (** width parameter (inputs for muxes, bits otherwise) *)
+    requirements : Database.requirements;
+    spec : Constraints.spec;
+    metric : Explore.metric;
+    options : Sizer.options;
+    tech : Tech.t;
+    engine : Engine.t option;  (** [None]: the process-default engine *)
+  }
+
+  val make :
+    ?ext_load:float ->
+    ?strongly_mutexed_selects:bool ->
+    ?allow_dynamic:bool ->
+    ?delay:float ->
+    ?spec:Constraints.spec ->
+    ?metric:Explore.metric ->
+    ?options:Sizer.options ->
+    ?tech:Tech.t ->
+    ?engine:Engine.t ->
+    kind:string ->
+    bits:int ->
+    unit ->
+    t
+  (** Defaults: 30 fF load, one-hot and dynamic allowed, 150 ps target
+      (ignored when [spec] is given), area metric, default sizer options,
+      default technology, process-default engine. *)
+
+  val with_spec : Constraints.spec -> t -> t
+  val with_metric : Explore.metric -> t -> t
+  val with_options : Sizer.options -> t -> t
+  val with_tech : Tech.t -> t -> t
+  val with_engine : Engine.t -> t -> t
+  val with_requirements : Database.requirements -> t -> t
+end
+
+val run : ?db:Database.t -> Request.t -> (advice, Error.t) result
+(** The advisory flow of Figure 1 over a macro instance ([db] defaults
+    to {!Database.builtins}). *)
 
 val advise :
   ?options:Sizer.options ->
@@ -67,6 +129,8 @@ val advise :
   Tech.t ->
   Constraints.spec ->
   (advice, string) result
-(** The advisory flow of Figure 1 over a macro instance. *)
+(** Deprecated compatibility wrapper: builds a {!Request.t} and calls
+    {!run}, rendering errors with {!Error.to_string}.  New code should
+    use {!run} directly. *)
 
 val version : string

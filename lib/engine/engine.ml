@@ -1,0 +1,508 @@
+module Err = Smart_util.Err
+module Tracepoint = Smart_util.Tracepoint
+module Tech = Smart_tech.Tech
+module Netlist = Smart_circuit.Netlist
+module Constraints = Smart_constraints.Constraints
+module Sizer = Smart_sizer.Sizer
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  type cache_status = Hit | Miss | Bypass
+
+  type event =
+    | Sizing of {
+        label : string;
+        wall_s : float;
+        iterations : int;
+        gp_newton : int;
+        sta_verifies : int;
+        cache : cache_status;
+        ok : bool;
+      }
+    | Min_delay of { label : string; wall_s : float; cache : cache_status }
+    | Gp_solve of {
+        wall_s : float;
+        newton : int;
+        centering : int;
+        status : string;
+      }
+    | Sta_verify of {
+        wall_s : float;
+        mode : string;
+        netlist : string;
+        max_delay_ps : float;
+      }
+    | Sizer_span of {
+        wall_s : float;
+        netlist : string;
+        target_ps : float;
+        ok : bool;
+      }
+    | Raw of Tracepoint.event
+
+  type sink = event -> unit
+
+  let null _ = ()
+
+  let cache_name = function Hit -> "hit" | Miss -> "miss" | Bypass -> "bypass"
+
+  let to_string = function
+    | Sizing s ->
+      Printf.sprintf
+        "sizing %-34s %8.3fs iters=%d newton=%d sta=%d cache=%s %s" s.label
+        s.wall_s s.iterations s.gp_newton s.sta_verifies (cache_name s.cache)
+        (if s.ok then "ok" else "rejected")
+    | Min_delay m ->
+      Printf.sprintf "min-delay %-31s %8.3fs cache=%s" m.label m.wall_s
+        (cache_name m.cache)
+    | Gp_solve g ->
+      Printf.sprintf "gp-solve %8.3fs newton=%d centering=%d status=%s"
+        g.wall_s g.newton g.centering g.status
+    | Sta_verify v ->
+      Printf.sprintf "sta-verify %-30s %8.3fs mode=%s max=%.1fps" v.netlist
+        v.wall_s v.mode v.max_delay_ps
+    | Sizer_span s ->
+      Printf.sprintf "sizer %-35s %8.3fs target=%.1fps %s" s.netlist s.wall_s
+        s.target_ps
+        (if s.ok then "ok" else "rejected")
+    | Raw e ->
+      Printf.sprintf "%s %8.3fs %s" e.Tracepoint.span e.Tracepoint.dur_s
+        (String.concat " "
+           (List.map
+              (fun (k, v) -> k ^ "=" ^ Tracepoint.value_to_string v)
+              e.Tracepoint.attrs))
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let json_fields fields =
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) v)
+           fields)
+    ^ "}"
+
+  let jstr s = "\"" ^ json_escape s ^ "\""
+  let jfloat f = Printf.sprintf "%.6g" f
+  let jbool b = if b then "true" else "false"
+
+  let to_json = function
+    | Sizing s ->
+      json_fields
+        [
+          ("event", jstr "sizing"); ("label", jstr s.label);
+          ("wall_s", jfloat s.wall_s);
+          ("iterations", string_of_int s.iterations);
+          ("gp_newton", string_of_int s.gp_newton);
+          ("sta_verifies", string_of_int s.sta_verifies);
+          ("cache", jstr (cache_name s.cache)); ("ok", jbool s.ok);
+        ]
+    | Min_delay m ->
+      json_fields
+        [
+          ("event", jstr "min_delay"); ("label", jstr m.label);
+          ("wall_s", jfloat m.wall_s); ("cache", jstr (cache_name m.cache));
+        ]
+    | Gp_solve g ->
+      json_fields
+        [
+          ("event", jstr "gp_solve"); ("wall_s", jfloat g.wall_s);
+          ("newton", string_of_int g.newton);
+          ("centering", string_of_int g.centering);
+          ("status", jstr g.status);
+        ]
+    | Sta_verify v ->
+      json_fields
+        [
+          ("event", jstr "sta_verify"); ("netlist", jstr v.netlist);
+          ("wall_s", jfloat v.wall_s); ("mode", jstr v.mode);
+          ("max_delay_ps", jfloat v.max_delay_ps);
+        ]
+    | Sizer_span s ->
+      json_fields
+        [
+          ("event", jstr "sizer"); ("netlist", jstr s.netlist);
+          ("wall_s", jfloat s.wall_s); ("target_ps", jfloat s.target_ps);
+          ("ok", jbool s.ok);
+        ]
+    | Raw e ->
+      json_fields
+        (("event", jstr "raw")
+        :: ("span", jstr e.Tracepoint.span)
+        :: ("wall_s", jfloat e.Tracepoint.dur_s)
+        :: List.map
+             (fun (k, v) ->
+               ( k,
+                 match v with
+                 | Tracepoint.Int i -> string_of_int i
+                 | Tracepoint.Float f -> jfloat f
+                 | Tracepoint.Str s -> jstr s
+                 | Tracepoint.Bool b -> jbool b ))
+             e.Tracepoint.attrs)
+
+  let stderr_line e = Printf.eprintf "trace: %s\n%!" (to_string e)
+
+  let memory () =
+    let events = ref [] in
+    ((fun e -> events := e :: !events), fun () -> List.rev !events)
+
+  let json_lines oc e =
+    output_string oc (to_json e);
+    output_char oc '\n'
+
+  let attr_int attrs k =
+    match List.assoc_opt k attrs with Some (Tracepoint.Int i) -> i | _ -> 0
+
+  let attr_float attrs k =
+    match List.assoc_opt k attrs with Some (Tracepoint.Float f) -> f | _ -> 0.
+
+  let attr_str attrs k =
+    match List.assoc_opt k attrs with Some (Tracepoint.Str s) -> s | _ -> ""
+
+  let attr_bool attrs k =
+    match List.assoc_opt k attrs with
+    | Some (Tracepoint.Bool b) -> b
+    | _ -> false
+
+  let of_tracepoint (e : Tracepoint.event) =
+    let a = e.Tracepoint.attrs in
+    match e.Tracepoint.span with
+    | "gp.solve" ->
+      Gp_solve
+        {
+          wall_s = e.Tracepoint.dur_s;
+          newton = attr_int a "newton";
+          centering = attr_int a "centering";
+          status = attr_str a "status";
+        }
+    | "sta.analyze" ->
+      Sta_verify
+        {
+          wall_s = e.Tracepoint.dur_s;
+          mode = attr_str a "mode";
+          netlist = attr_str a "netlist";
+          max_delay_ps = attr_float a "max_delay_ps";
+        }
+    | "sizer.size" ->
+      Sizer_span
+        {
+          wall_s = e.Tracepoint.dur_s;
+          netlist = attr_str a "netlist";
+          target_ps = attr_float a "target_ps";
+          ok = attr_bool a "ok";
+        }
+    | _ -> Raw e
+
+  let install_global sink =
+    Tracepoint.set_sink (Some (fun e -> sink (of_tracepoint e)))
+
+  let uninstall_global () = Tracepoint.set_sink None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Solve cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+module Cache = struct
+  type cached =
+    | Sized of (Sizer.outcome, Err.t) result
+    | Min of (Sizer.min_delay, Err.t) result
+
+  type entry = { mutable last_use : int; value : cached }
+
+  type t = {
+    capacity : int;
+    table : (string, entry) Hashtbl.t;
+    lock : Mutex.t;
+    mutable tick : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create capacity =
+    {
+      capacity;
+      table = Hashtbl.create (max 16 capacity);
+      lock = Mutex.create ();
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let find t key =
+    locked t (fun () ->
+        t.tick <- t.tick + 1;
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+          e.last_use <- t.tick;
+          t.hits <- t.hits + 1;
+          Some e.value
+        | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+  (* Evict the least-recently-used entry.  A linear scan: capacities are
+     small (hundreds) and eviction only runs when the cache is full. *)
+  let evict_lru t =
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, age) when age <= e.last_use -> ()
+        | _ -> victim := Some (k, e.last_use))
+      t.table;
+    match !victim with
+    | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1
+    | None -> ()
+
+  let add t key value =
+    if t.capacity > 0 then
+      locked t (fun () ->
+          if not (Hashtbl.mem t.table key) then begin
+            if Hashtbl.length t.table >= t.capacity then evict_lru t;
+            t.tick <- t.tick + 1;
+            Hashtbl.replace t.table key { last_use = t.tick; value }
+          end)
+
+  let stats t =
+    locked t (fun () ->
+        {
+          hits = t.hits;
+          misses = t.misses;
+          evictions = t.evictions;
+          entries = Hashtbl.length t.table;
+          capacity = t.capacity;
+        })
+
+  let reset t =
+    locked t (fun () ->
+        Hashtbl.reset t.table;
+        t.tick <- 0;
+        t.hits <- 0;
+        t.misses <- 0;
+        t.evictions <- 0)
+end
+
+(* The cache key digests the structural identity of a solve: netlist
+   wiring and size-label set (the name is dropped so structurally equal
+   candidates share entries), the delay specification, the technology and
+   the full sizer options.  All components are plain data, so a Marshal
+   digest is a faithful structural hash. *)
+let solve_key ~tag ~(options : Sizer.options) tech (nl : Netlist.t) spec =
+  let structure =
+    ( Array.map (fun n -> (n.Netlist.net_name, n.Netlist.net_kind)) nl.Netlist.nets,
+      Array.map
+        (fun (i : Netlist.instance) ->
+          (i.Netlist.group, i.Netlist.cell, i.Netlist.conns, i.Netlist.clk,
+           i.Netlist.out))
+        nl.Netlist.instances,
+      nl.Netlist.inputs,
+      nl.Netlist.outputs,
+      nl.Netlist.clock,
+      nl.Netlist.ext_loads,
+      Netlist.labels nl )
+  in
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (tag, structure, spec, tech, options) []))
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  let recommended () = Domain.recommended_domain_count ()
+
+  (* Work-stealing over a shared index: each domain repeatedly claims the
+     next unprocessed item.  Results land in their input slot, so order is
+     preserved whatever the interleaving. *)
+  let map ~workers f xs =
+    let n = List.length xs in
+    let w = min workers n in
+    if w <= 1 then List.map f xs
+    else begin
+      let input = Array.of_list xs in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <-
+              Some (try Ok (f input.(i)) with e -> Error e);
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = List.init (w - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains;
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Engine instances                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  pool_width : int;
+  cache : Cache.t;
+  sink_lock : Mutex.t;
+  mutable sink : Trace.sink;
+}
+
+let create ?(workers = 0) ?(cache_capacity = 256) ?(sink = Trace.null) () =
+  (* An explicit width is honoured even above the core count (the pool
+     just oversubscribes); only [0] asks the runtime. *)
+  let width = if workers <= 0 then Pool.recommended () else workers in
+  {
+    pool_width = max 1 width;
+    cache = Cache.create (max 0 cache_capacity);
+    sink_lock = Mutex.create ();
+    sink;
+  }
+
+let default_engine = lazy (create ())
+let default () = Lazy.force default_engine
+let workers t = t.pool_width
+let parallelism_available () = Pool.recommended () > 1
+let set_sink t sink = t.sink <- sink
+let cache_stats t = Cache.stats t.cache
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total
+
+let reset_cache t = Cache.reset t.cache
+
+let emit t event =
+  Mutex.lock t.sink_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.sink_lock)
+    (fun () -> t.sink event)
+
+let map t f xs = Pool.map ~workers:t.pool_width f xs
+
+let caching t = t.cache.Cache.capacity > 0
+
+let size t ?label ~options tech netlist spec =
+  let label = match label with Some l -> l | None -> netlist.Netlist.name in
+  let cached =
+    if caching t then
+      let key = solve_key ~tag:"size" ~options tech netlist spec in
+      (key, Cache.find t.cache key)
+    else ("", None)
+  in
+  match cached with
+  | _, Some (Cache.Sized r) ->
+    let iterations, gp_newton =
+      match r with
+      | Ok o -> (o.Sizer.iterations, o.Sizer.gp_newton_iterations)
+      | Error _ -> (0, 0)
+    in
+    emit t
+      (Trace.Sizing
+         {
+           label;
+           wall_s = 0.;
+           iterations;
+           gp_newton;
+           sta_verifies = 0;
+           cache = Trace.Hit;
+           ok = Result.is_ok r;
+         });
+    r
+  | key, _ ->
+    let t0 = Unix.gettimeofday () in
+    let r = Sizer.size_typed ~options tech netlist spec in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let cache =
+      if caching t then begin
+        Cache.add t.cache key (Cache.Sized r);
+        Trace.Miss
+      end
+      else Trace.Bypass
+    in
+    let iterations, gp_newton =
+      match r with
+      | Ok o -> (o.Sizer.iterations, o.Sizer.gp_newton_iterations)
+      | Error _ -> (0, 0)
+    in
+    emit t
+      (Trace.Sizing
+         {
+           label;
+           wall_s;
+           iterations;
+           gp_newton;
+           sta_verifies = 2 * iterations;
+           cache;
+           ok = Result.is_ok r;
+         });
+    r
+
+let minimize_delay t ?label ~options tech netlist spec =
+  let label = match label with Some l -> l | None -> netlist.Netlist.name in
+  let cached =
+    if caching t then
+      let key = solve_key ~tag:"min-delay" ~options tech netlist spec in
+      (key, Cache.find t.cache key)
+    else ("", None)
+  in
+  match cached with
+  | _, Some (Cache.Min r) ->
+    emit t (Trace.Min_delay { label; wall_s = 0.; cache = Trace.Hit });
+    r
+  | key, _ ->
+    let t0 = Unix.gettimeofday () in
+    let r = Sizer.minimize_delay_typed ~options tech netlist spec in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let cache =
+      if caching t then begin
+        Cache.add t.cache key (Cache.Min r);
+        Trace.Miss
+      end
+      else Trace.Bypass
+    in
+    emit t (Trace.Min_delay { label; wall_s; cache });
+    r
+
+let size_all t ~options tech spec named =
+  map t (fun (name, nl) -> (name, size t ~label:name ~options tech nl spec)) named

@@ -1,0 +1,163 @@
+(** The SMART evaluation engine — the hot path for all multi-candidate
+    work.
+
+    The Figure 1 flow sizes {e every} applicable topology per advisory
+    call; candidates are independent iterated GP solves, so the engine
+    fans them out across a worker pool, memoizes sizer outcomes keyed on
+    the structural identity of the request, and emits typed trace spans
+    for each unit of work.  {!Smart_explore.Explore}, the CLI and the
+    benches all route their sizings through an engine; a default
+    (process-global) instance backs the compatibility wrappers.
+
+    {b Parallelism.}  Workers are OCaml 5 domains.  The pool is only
+    engaged when more than one worker is configured {e and} the runtime
+    recommends more than one domain; otherwise evaluation falls back to a
+    deterministic sequential loop.  Both paths preserve input order, so
+    rankings are identical regardless of worker count.
+
+    {b Caching.}  Outcomes are memoized under a digest of (netlist
+    structure, size-label set, spec, tech, sizer options) — the netlist
+    {e name} is excluded, so structurally identical candidates share an
+    entry.  The cache is LRU-bounded and safe to share across worker
+    domains.  Cached [Error] outcomes are kept too: a sweep that rejects
+    a target once need not re-prove infeasibility. *)
+
+module Err = Smart_util.Err
+module Tech = Smart_tech.Tech
+module Netlist = Smart_circuit.Netlist
+module Constraints = Smart_constraints.Constraints
+module Sizer = Smart_sizer.Sizer
+
+(** {1 Instrumentation} *)
+
+module Trace : sig
+  type cache_status =
+    | Hit  (** served from the solve cache *)
+    | Miss  (** solved, then inserted *)
+    | Bypass  (** caching disabled on this engine *)
+
+  type event =
+    | Sizing of {
+        label : string;  (** candidate name (database entry or netlist) *)
+        wall_s : float;
+        iterations : int;  (** outer respecification iterations *)
+        gp_newton : int;  (** cumulative inner Newton steps *)
+        sta_verifies : int;  (** golden-timer runs (2 per iteration) *)
+        cache : cache_status;
+        ok : bool;
+      }  (** one per candidate sizing routed through an engine *)
+    | Min_delay of { label : string; wall_s : float; cache : cache_status }
+    | Gp_solve of {
+        wall_s : float;
+        newton : int;
+        centering : int;
+        status : string;
+      }  (** decoded from the solver's ["gp.solve"] tracepoint *)
+    | Sta_verify of {
+        wall_s : float;
+        mode : string;
+        netlist : string;
+        max_delay_ps : float;
+      }  (** decoded from the golden timer's ["sta.analyze"] tracepoint *)
+    | Sizer_span of {
+        wall_s : float;
+        netlist : string;
+        target_ps : float;
+        ok : bool;
+      }  (** decoded from ["sizer.size"] (direct, engine-less sizings) *)
+    | Raw of Smart_util.Tracepoint.event  (** unrecognised span *)
+
+  type sink = event -> unit
+
+  val null : sink
+  val stderr_line : sink  (** one compact line per event on stderr *)
+
+  val memory : unit -> sink * (unit -> event list)
+  (** An accumulating sink and its drain (events in emission order). *)
+
+  val json_lines : out_channel -> sink
+  (** One JSON object per line; the caller owns the channel. *)
+
+  val to_string : event -> string
+  val to_json : event -> string
+
+  val of_tracepoint : Smart_util.Tracepoint.event -> event
+
+  val install_global : sink -> unit
+  (** Bridge the process-wide {!Smart_util.Tracepoint} stream (GP solver,
+      golden timer, sizer internals) into [sink]. *)
+
+  val uninstall_global : unit -> unit
+end
+
+(** {1 The engine} *)
+
+type t
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** currently resident *)
+  capacity : int;
+}
+
+val create : ?workers:int -> ?cache_capacity:int -> ?sink:Trace.sink -> unit -> t
+(** [workers]: pool width; [0] (default) means
+    [Domain.recommended_domain_count ()].  [cache_capacity]: LRU bound on
+    memoized outcomes; [0] disables caching (default 256).  [sink]
+    receives this engine's {!Trace.event}s (default {!Trace.null}). *)
+
+val default : unit -> t
+(** The process-global engine behind the compatibility wrappers
+    (auto workers, 256-entry cache, null sink). *)
+
+val workers : t -> int
+(** Effective pool width ([Domain.recommended_domain_count ()] when
+    created with [workers:0]). *)
+
+val parallelism_available : unit -> bool
+(** Whether the runtime recommends more than one domain. *)
+
+val set_sink : t -> Trace.sink -> unit
+val cache_stats : t -> cache_stats
+val hit_rate : cache_stats -> float
+(** [hits / (hits + misses)]; 0 when no lookups happened. *)
+
+val reset_cache : t -> unit
+(** Drop all entries and zero the counters. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving map over the engine's worker pool.  Falls back to
+    [List.map] when the pool width is 1.  If [f] raises, remaining items
+    still run and the first exception (in input order) is re-raised. *)
+
+val size :
+  t ->
+  ?label:string ->
+  options:Sizer.options ->
+  Tech.t ->
+  Netlist.t ->
+  Constraints.spec ->
+  (Sizer.outcome, Err.t) result
+(** Memoized {!Sizer.size_typed}; emits one {!Trace.Sizing} span. *)
+
+val minimize_delay :
+  t ->
+  ?label:string ->
+  options:Sizer.options ->
+  Tech.t ->
+  Netlist.t ->
+  Constraints.spec ->
+  (Sizer.min_delay, Err.t) result
+(** Memoized {!Sizer.minimize_delay_typed}. *)
+
+val size_all :
+  t ->
+  options:Sizer.options ->
+  Tech.t ->
+  Constraints.spec ->
+  (string * Netlist.t) list ->
+  (string * (Sizer.outcome, Err.t) result) list
+(** Size every named candidate against one spec across the pool.
+    Results are returned in input order. *)

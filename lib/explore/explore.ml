@@ -6,6 +6,7 @@ module Database = Smart_database.Database
 module Constraints = Smart_constraints.Constraints
 module Sizer = Smart_sizer.Sizer
 module Power = Smart_power.Power
+module Engine = Smart_engine.Engine
 
 type metric = Area | Power | Clock_load
 
@@ -41,51 +42,83 @@ let score_of metric (outcome : Sizer.outcome) (power : Power.report) =
     (* Tie-break pure clock load by a light area term. *)
     outcome.Sizer.clock_load_width +. (0.05 *. outcome.Sizer.total_width)
 
-let size_candidates ?options ~metric tech spec named_infos =
+let engine_of = function Some e -> e | None -> Engine.default ()
+
+(* All candidates go through the engine in one batch: the pool sizes them
+   concurrently, the solve cache absorbs repeats, and every candidate
+   gets a sizing trace span.  Results come back in input order, so the
+   ranking is identical however many workers ran. *)
+let size_candidates ?engine ?options ~metric tech spec named_infos =
+  let engine = engine_of engine in
   let options =
     let base = match options with Some o -> o | None -> Sizer.default_options in
     { base with Sizer.objective = objective_of_metric metric }
   in
-  let accepted = ref [] in
-  let rejected = ref [] in
-  List.iter
-    (fun (entry_name, (info : Macro.info)) ->
-      match Sizer.size ~options tech info.Macro.netlist spec with
-      | Error reason -> rejected := (entry_name, reason) :: !rejected
-      | Ok outcome ->
-        let power_report =
-          Power.estimate tech info.Macro.netlist ~sizing:outcome.Sizer.sizing_fn
-        in
-        let score = score_of metric outcome power_report in
-        accepted := { entry_name; info; outcome; power_report; score } :: !accepted)
-    named_infos;
-  let ranked = List.sort (fun a b -> Float.compare a.score b.score) !accepted in
+  let results =
+    Engine.size_all engine ~options tech spec
+      (List.map (fun (n, (i : Macro.info)) -> (n, i.Macro.netlist)) named_infos)
+  in
+  let accepted, rejected =
+    List.fold_left2
+      (fun (acc, rej) (entry_name, (info : Macro.info)) (_, result) ->
+        match result with
+        | Error e -> (acc, (entry_name, Err.to_string e) :: rej)
+        | Ok outcome ->
+          let power_report =
+            Power.estimate tech info.Macro.netlist ~sizing:outcome.Sizer.sizing_fn
+          in
+          let score = score_of metric outcome power_report in
+          ({ entry_name; info; outcome; power_report; score } :: acc, rej))
+      ([], []) named_infos results
+  in
+  let ranked = List.sort (fun a b -> Float.compare a.score b.score) accepted in
   match ranked with
   | [] ->
     Error
-      (Printf.sprintf "Explore: no topology meets the specification (%s)"
-         (String.concat "; "
-            (List.map (fun (n, r) -> n ^ ": " ^ r) (List.rev !rejected))))
-  | winner :: _ -> Ok { winner; ranked; rejected = List.rev !rejected }
+      (Err.Infeasible_spec
+         {
+           target_ps = spec.Constraints.target_delay;
+           detail =
+             String.concat "; "
+               (List.map (fun (n, r) -> n ^ ": " ^ r) (List.rev rejected));
+         })
+  | winner :: _ -> Ok { winner; ranked; rejected = List.rev rejected }
 
-let explore ?options ?(metric = Area) ~db ~kind ~requirements tech spec =
+let explore_typed ?engine ?options ?(metric = Area) ~db ~kind ~requirements
+    tech spec =
   let built = Database.build_all db ~kind requirements in
-  if built = [] then
-    Error (Printf.sprintf "Explore: no applicable %s topology in database" kind)
+  if built = [] then Error (Err.No_applicable_topology { kind })
   else
-    size_candidates ?options ~metric tech spec
+    size_candidates ?engine ?options ~metric tech spec
       (List.map
          (fun ((e : Database.entry), info) -> (e.Database.entry_name, info))
          built)
 
-let tune ?options ?(metric = Area) ~variants tech spec =
-  if variants = [] then Err.fail "Explore.tune: no variants";
-  size_candidates ?options ~metric tech spec variants
+let legacy_error = function
+  | Err.No_applicable_topology { kind } ->
+    Printf.sprintf "Explore: no applicable %s topology in database" kind
+  | Err.Infeasible_spec { detail; _ } ->
+    Printf.sprintf "Explore: no topology meets the specification (%s)" detail
+  | e -> "Explore: " ^ Err.to_string e
 
-let sweep_area_delay ?options ?(points = 8) ?(min_relax = 1.0)
+let explore ?engine ?options ?metric ~db ~kind ~requirements tech spec =
+  Result.map_error legacy_error
+    (explore_typed ?engine ?options ?metric ~db ~kind ~requirements tech spec)
+
+let tune_typed ?engine ?options ?(metric = Area) ~variants tech spec =
+  if variants = [] then Error (Err.Invalid_request "Explore.tune: no variants")
+  else size_candidates ?engine ?options ~metric tech spec variants
+
+let tune ?engine ?options ?(metric = Area) ~variants tech spec =
+  if variants = [] then Err.fail "Explore.tune: no variants";
+  Result.map_error legacy_error
+    (tune_typed ?engine ?options ~metric ~variants tech spec)
+
+let sweep_area_delay ?engine ?options ?(points = 8) ?(min_relax = 1.0)
     ?(max_relax = 1.35) tech netlist spec =
+  let engine = engine_of engine in
   let options = match options with Some o -> o | None -> Sizer.default_options in
-  match Sizer.minimize_delay ~options tech netlist spec with
+  match Engine.minimize_delay engine ~options tech netlist spec with
   | Error _ -> []
   | Ok { Sizer.golden_min; model_min } ->
     let options = { options with Sizer.min_delay_hint = Some model_min } in
@@ -96,10 +129,17 @@ let sweep_area_delay ?options ?(points = 8) ?(min_relax = 1.0)
              +. ((max_relax -. min_relax) *. float_of_int k
                 /. float_of_int (points - 1))))
     in
-    List.filter_map
+    (* Sweep points are independent sizings of one netlist; fan them out
+       across the pool like explore candidates. *)
+    Engine.map engine
       (fun target ->
         let spec' = { spec with Constraints.target_delay = target } in
-        match Sizer.size ~options tech netlist spec' with
+        match
+          Engine.size engine
+            ~label:(Printf.sprintf "%s@%.1fps" netlist.Netlist.name target)
+            ~options tech netlist spec'
+        with
         | Error _ -> None
         | Ok o -> Some (target, o.Sizer.total_width))
       targets
+    |> List.filter_map Fun.id

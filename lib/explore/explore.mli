@@ -31,7 +31,26 @@ type ranking = {
   rejected : (string * string) list;  (** entry name, failure reason *)
 }
 
+val explore_typed :
+  ?engine:Smart_engine.Engine.t ->
+  ?options:Smart_sizer.Sizer.options ->
+  ?metric:metric ->
+  db:Smart_database.Database.t ->
+  kind:string ->
+  requirements:Smart_database.Database.requirements ->
+  Smart_tech.Tech.t ->
+  Smart_constraints.Constraints.spec ->
+  (ranking, Smart_util.Err.t) result
+(** Size every applicable topology and rank by [metric] (default [Area]).
+    Candidates are evaluated through [engine] (default: the process
+    engine) — fanned across its worker pool and memoized in its solve
+    cache; rankings are identical at any pool width.  [Error] is
+    {!Smart_util.Err.No_applicable_topology} when pruning leaves nothing,
+    or {!Smart_util.Err.Infeasible_spec} when no candidate can meet the
+    specification. *)
+
 val explore :
+  ?engine:Smart_engine.Engine.t ->
   ?options:Smart_sizer.Sizer.options ->
   ?metric:metric ->
   db:Smart_database.Database.t ->
@@ -40,10 +59,10 @@ val explore :
   Smart_tech.Tech.t ->
   Smart_constraints.Constraints.spec ->
   (ranking, string) result
-(** Size every applicable topology and rank by [metric] (default [Area]).
-    [Error] only when no candidate can meet the specification. *)
+(** {!explore_typed} with errors rendered to the original strings. *)
 
 val sweep_area_delay :
+  ?engine:Smart_engine.Engine.t ->
   ?options:Smart_sizer.Sizer.options ->
   ?points:int ->
   ?min_relax:float ->
@@ -56,14 +75,30 @@ val sweep_area_delay :
     [max_relax] of the fastest feasible delay (defaults: 8 points, 1.0×
     to 1.35×) — the Fig. 6 curve.  Right at 1.0× the area wall is steep;
     plotting from a few percent off it, as the paper does, shows the
-    working range.  Points whose sizing fails are skipped. *)
+    working range.  Points whose sizing fails are skipped.  Points are
+    sized concurrently over [engine]'s pool, and re-sweeps of the same
+    netlist hit its solve cache. *)
+
+val tune_typed :
+  ?engine:Smart_engine.Engine.t ->
+  ?options:Smart_sizer.Sizer.options ->
+  ?metric:metric ->
+  variants:(string * Smart_macros.Macro.info) list ->
+  Smart_tech.Tech.t ->
+  Smart_constraints.Constraints.spec ->
+  (ranking, Smart_util.Err.t) result
+(** Compare explicit structural variants of one macro (the topology
+    optimizer): each is sized against the same spec and ranked.
+    [Error Invalid_request] on an empty variant list. *)
 
 val tune :
+  ?engine:Smart_engine.Engine.t ->
   ?options:Smart_sizer.Sizer.options ->
   ?metric:metric ->
   variants:(string * Smart_macros.Macro.info) list ->
   Smart_tech.Tech.t ->
   Smart_constraints.Constraints.spec ->
   (ranking, string) result
-(** Compare explicit structural variants of one macro (the topology
-    optimizer): each is sized against the same spec and ranked. *)
+(** {!tune_typed} with errors rendered to strings; raises
+    {!Smart_util.Err.Smart_error} on an empty variant list (original
+    behaviour). *)

@@ -1,4 +1,5 @@
 module Err = Smart_util.Err
+module Tracepoint = Smart_util.Tracepoint
 module Posy = Smart_posy.Posy
 module Monomial = Smart_posy.Monomial
 module Logspace = Smart_posy.Logspace
@@ -256,7 +257,12 @@ let initial_point (problem : Problem.t) idx =
       | Some (_, lo, hi) -> log (sqrt (lo *. hi))
       | None -> 0.)
 
-let solve ?(options = default_options) problem =
+let status_name = function
+  | Optimal -> "optimal"
+  | Infeasible -> "infeasible"
+  | Iteration_limit -> "iteration-limit"
+
+let solve_impl ?(options = default_options) problem =
   let reduced, eliminated = Problem.eliminate_equalities problem in
   let reduced = Problem.default_bounds ~lo:1e-9 ~hi:1e9 reduced in
   match Problem.variables reduced with
@@ -326,6 +332,18 @@ let solve ?(options = default_options) problem =
           newton_iterations = it1 + it2;
           centering_steps = ct1 + ct2;
         })
+
+let solve ?options problem =
+  Tracepoint.timed "gp.solve"
+    ~attrs:(function
+      | Ok s ->
+        [
+          ("status", Tracepoint.Str (status_name s.status));
+          ("newton", Tracepoint.Int s.newton_iterations);
+          ("centering", Tracepoint.Int s.centering_steps);
+        ]
+      | Error e -> [ ("status", Tracepoint.Str ("error: " ^ e)) ])
+    (fun () -> solve_impl ?options problem)
 
 let lookup sol v =
   match List.assoc_opt v sol.values with

@@ -1,3 +1,5 @@
+module Err = Smart_util.Err
+module Tracepoint = Smart_util.Tracepoint
 module Netlist = Smart_circuit.Netlist
 module Tech = Smart_tech.Tech
 module Constraints = Smart_constraints.Constraints
@@ -59,7 +61,7 @@ let fn_of_sizing sizing =
     | Some w -> w
     | None -> Smart_util.Err.fail "Sizer: no width for label %s" l
 
-let size ?(options = default_options) tech netlist spec =
+let size_typed_impl ?(options = default_options) tech netlist spec =
   let generated =
     Constraints.generate ~reductions:options.reductions
       ~objective:options.objective tech netlist spec
@@ -122,7 +124,7 @@ let size ?(options = default_options) tech netlist spec =
        in
        match Solver.solve ~options:options.gp_options current.Constraints.problem with
        | Error e ->
-         result := Some (Error ("Sizer: GP error: " ^ e));
+         result := Some (Error (Err.Gp_failure e));
          raise Exit
        | Ok sol -> (
          match sol.Solver.status with
@@ -135,9 +137,11 @@ let size ?(options = default_options) tech netlist spec =
              result :=
                Some
                  (Error
-                    (Printf.sprintf
-                       "Sizer: specification %.1f ps infeasible within device bounds"
-                       spec.Constraints.target_delay));
+                    (Err.Infeasible_spec
+                       {
+                         target_ps = spec.Constraints.target_delay;
+                         detail = "within device bounds";
+                       }));
              raise Exit
            end
          | Solver.Optimal | Solver.Iteration_limit ->
@@ -206,21 +210,53 @@ let size ?(options = default_options) tech netlist spec =
     | Some outcome -> Ok { outcome with iterations = !iterations }
     | None ->
       Error
-        (Printf.sprintf
-           "Sizer: no golden-feasible sizing found for %.1f ps in %d iterations"
-           spec.Constraints.target_delay !iterations))
+        (Err.Sta_disagreement
+           {
+             target_ps = spec.Constraints.target_delay;
+             iterations = !iterations;
+           }))
+
+let size_typed ?options tech netlist spec =
+  Tracepoint.timed "sizer.size"
+    ~attrs:(fun r ->
+      ("netlist", Tracepoint.Str netlist.Netlist.name)
+      :: ("target_ps", Tracepoint.Float spec.Constraints.target_delay)
+      ::
+      (match r with
+      | Ok o ->
+        [
+          ("ok", Tracepoint.Bool true);
+          ("iterations", Tracepoint.Int o.iterations);
+          ("gp_newton", Tracepoint.Int o.gp_newton_iterations);
+          ("sta_verifies", Tracepoint.Int (2 * o.iterations));
+          ("achieved_ps", Tracepoint.Float o.achieved_delay);
+        ]
+      | Error e ->
+        [ ("ok", Tracepoint.Bool false); ("error", Tracepoint.Str (Err.to_string e)) ]))
+    (fun () -> size_typed_impl ?options tech netlist spec)
+
+let size ?options tech netlist spec =
+  Result.map_error
+    (fun e -> "Sizer: " ^ Err.to_string e)
+    (size_typed ?options tech netlist spec)
 
 type min_delay = { golden_min : float; model_min : float }
 
-let minimize_delay ?(options = default_options) tech netlist spec =
+let minimize_delay_typed ?(options = default_options) tech netlist spec =
   let generated =
     Constraints.generate_min_delay ~reductions:options.reductions tech netlist spec
   in
   match Solver.solve ~options:options.gp_options generated.Constraints.problem with
-  | Error e -> Error ("Sizer.minimize_delay: " ^ e)
+  | Error e -> Error (Err.Gp_failure e)
   | Ok sol -> (
     match sol.Solver.status with
-    | Solver.Infeasible -> Error "Sizer.minimize_delay: infeasible"
+    | Solver.Infeasible ->
+      Error
+        (Err.Infeasible_spec
+           {
+             target_ps = spec.Constraints.target_delay;
+             detail = "min-delay problem has no feasible point";
+           })
     | Solver.Optimal | Solver.Iteration_limit ->
       let sizing_fn = fn_of_sizing (sizing_of_solution netlist sol) in
       let sta = Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn in
@@ -229,3 +265,8 @@ let minimize_delay ?(options = default_options) tech netlist spec =
           golden_min = sta.Sta.max_delay;
           model_min = Solver.lookup sol Constraints.delay_variable;
         })
+
+let minimize_delay ?options tech netlist spec =
+  Result.map_error
+    (fun e -> "Sizer.minimize_delay: " ^ Err.to_string e)
+    (minimize_delay_typed ?options tech netlist spec)

@@ -43,20 +43,43 @@ type outcome = {
   sta : Smart_sta.Sta.t;  (** final evaluate-mode timing *)
 }
 
+val size_typed :
+  ?options:options ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  Smart_constraints.Constraints.spec ->
+  (outcome, Smart_util.Err.t) result
+(** Size a netlist to meet a delay specification at minimum cost.
+    [Error] is structured: {!Smart_util.Err.Infeasible_spec} when the
+    specification is unreachable within device bounds,
+    {!Smart_util.Err.Sta_disagreement} when the model kept certifying the
+    spec but the golden timer never confirmed it, or
+    {!Smart_util.Err.Gp_failure} for malformed programs.  Emits a
+    ["sizer.size"] tracepoint when instrumentation is installed. *)
+
 val size :
   ?options:options ->
   Smart_tech.Tech.t ->
   Smart_circuit.Netlist.t ->
   Smart_constraints.Constraints.spec ->
   (outcome, string) result
-(** Size a netlist to meet a delay specification at minimum cost.
-    [Error] reports GP infeasibility (specification unreachable within
-    device bounds) or non-convergence diagnostics. *)
+(** {!size_typed} with the error rendered to a string — the original
+    API, kept for compatibility. *)
 
 type min_delay = {
   golden_min : float;  (** fastest golden delay found, ps *)
   model_min : float;  (** the GP's own makespan optimum, ps *)
 }
+
+val minimize_delay_typed :
+  ?options:options ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  Smart_constraints.Constraints.spec ->
+  (min_delay, Smart_util.Err.t) result
+(** Fastest achievable delay of the topology within size bounds — the
+    anchor point of area–delay trade-off curves (Fig. 6).  [model_min]
+    doubles as a {!options.min_delay_hint} for subsequent {!size} calls. *)
 
 val minimize_delay :
   ?options:options ->
@@ -64,6 +87,4 @@ val minimize_delay :
   Smart_circuit.Netlist.t ->
   Smart_constraints.Constraints.spec ->
   (min_delay, string) result
-(** Fastest achievable delay of the topology within size bounds — the
-    anchor point of area–delay trade-off curves (Fig. 6).  [model_min]
-    doubles as a {!options.min_delay_hint} for subsequent {!size} calls. *)
+(** {!minimize_delay_typed} with the error rendered to a string. *)

@@ -47,7 +47,9 @@ let top_group (i : Netlist.instance) =
   | Some k -> String.sub i.Netlist.group 0 k
   | None -> i.Netlist.group
 
-let analyze ?(mode = Evaluate) tech netlist ~sizing =
+let mode_name = function Evaluate -> "evaluate" | Precharge -> "precharge"
+
+let analyze_impl ~mode tech netlist ~sizing =
   let loads = Load.make tech netlist in
   let n = Array.length netlist.Netlist.nets in
   let timing = Array.make n unreachable in
@@ -167,6 +169,16 @@ let analyze ?(mode = Evaluate) tech netlist ~sizing =
     max_slope = !max_slope;
     slope_violations = List.rev !slope_violations;
   }
+
+let analyze ?(mode = Evaluate) tech netlist ~sizing =
+  Smart_util.Tracepoint.timed "sta.analyze"
+    ~attrs:(fun t ->
+      [
+        ("mode", Smart_util.Tracepoint.Str (mode_name mode));
+        ("netlist", Smart_util.Tracepoint.Str netlist.Netlist.name);
+        ("max_delay_ps", Smart_util.Tracepoint.Float t.max_delay);
+      ])
+    (fun () -> analyze_impl ~mode tech netlist ~sizing)
 
 let arrival t nid =
   let nt = t.nets.(nid) in

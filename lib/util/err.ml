@@ -4,3 +4,24 @@ let fail fmt = Format.kasprintf (fun s -> raise (Smart_error s)) fmt
 
 let invalid_arg_if cond fmt =
   Format.kasprintf (fun s -> if cond then raise (Smart_error s)) fmt
+
+type t =
+  | No_applicable_topology of { kind : string }
+  | Infeasible_spec of { target_ps : float; detail : string }
+  | Gp_failure of string
+  | Sta_disagreement of { target_ps : float; iterations : int }
+  | Invalid_request of string
+
+let to_string = function
+  | No_applicable_topology { kind } ->
+    Printf.sprintf "no applicable %s topology in database" kind
+  | Infeasible_spec { target_ps; detail } ->
+    Printf.sprintf "specification %.1f ps infeasible (%s)" target_ps detail
+  | Gp_failure msg -> "GP failure: " ^ msg
+  | Sta_disagreement { target_ps; iterations } ->
+    Printf.sprintf
+      "no golden-feasible sizing found for %.1f ps in %d iterations"
+      target_ps iterations
+  | Invalid_request msg -> "invalid request: " ^ msg
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

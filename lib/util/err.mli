@@ -1,7 +1,11 @@
 (** Error reporting for the SMART libraries.
 
     All SMART libraries signal unrecoverable user-facing errors through
-    {!Smart_error}; internal code paths prefer [option]/[result]. *)
+    {!Smart_error}; recoverable advisory outcomes travel as {!t} — a
+    structured variant replacing the stringly-typed [(_, string) result]
+    of the original explore/sizer surface.  [to_string] renders the
+    message the old string API produced, so compatibility wrappers are
+    exact. *)
 
 exception Smart_error of string
 (** The single exception raised at SMART API boundaries. *)
@@ -11,3 +15,23 @@ val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 val invalid_arg_if : bool -> ('a, Format.formatter, unit, unit) format4 -> 'a
 (** [invalid_arg_if cond fmt ...] raises {!Smart_error} when [cond] holds. *)
+
+(** {1 Structured advisory errors} *)
+
+type t =
+  | No_applicable_topology of { kind : string }
+      (** the database holds no entry passing the instance's pruning *)
+  | Infeasible_spec of {
+      target_ps : float;
+      detail : string;  (** which bound blocked it, or per-candidate reasons *)
+    }  (** no sizing can meet the delay specification *)
+  | Gp_failure of string  (** malformed or unbounded geometric program *)
+  | Sta_disagreement of {
+      target_ps : float;
+      iterations : int;
+    }  (** the model-space GP kept certifying the spec but the golden
+          timer never confirmed it within the iteration budget *)
+  | Invalid_request of string  (** ill-formed request (empty variants, ...) *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

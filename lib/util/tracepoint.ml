@@ -1,0 +1,43 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  span : string;
+  dur_s : float;
+  attrs : (string * value) list;
+}
+
+(* The sink is read on every emission, possibly from several domains; the
+   mutex serialises sink calls so sinks may keep unguarded state. *)
+let sink : (event -> unit) option ref = ref None
+let lock = Mutex.create ()
+
+let set_sink s =
+  Mutex.lock lock;
+  sink := s;
+  Mutex.unlock lock
+
+let enabled () = !sink <> None
+
+let emit span ?(dur_s = 0.) attrs =
+  if !sink <> None then begin
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        match !sink with None -> () | Some f -> f { span; dur_s; attrs })
+  end
+
+let timed span ~attrs f =
+  if !sink = None then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    emit span ~dur_s:(Unix.gettimeofday () -. t0) (attrs r);
+    r
+  end
+
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b

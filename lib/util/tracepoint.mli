@@ -1,0 +1,35 @@
+(** Low-level instrumentation hooks.
+
+    The deep layers of the sizing stack (GP solver, golden timer, sizer
+    loop) know nothing about trace sinks or file formats; they emit raw
+    named spans here.  {!Smart_engine.Engine.Trace} installs a sink that
+    decodes the well-known span names into typed events and routes them to
+    the configured destination (null / stderr / JSON).
+
+    When no sink is installed ({!enabled} is [false]) every call is a
+    cheap no-op — no clock reads, no allocation beyond the closure.  The
+    sink is called under a mutex, so spans may be emitted concurrently
+    from worker domains of the parallel evaluator. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  span : string;  (** well-known name, e.g. ["gp.solve"], ["sizer.size"] *)
+  dur_s : float;  (** wall-clock duration, seconds; 0 for instant events *)
+  attrs : (string * value) list;
+}
+
+val set_sink : (event -> unit) option -> unit
+(** Install (or remove, with [None]) the global sink. *)
+
+val enabled : unit -> bool
+
+val emit : string -> ?dur_s:float -> (string * value) list -> unit
+(** Emit one event; no-op when no sink is installed. *)
+
+val timed : string -> attrs:('a -> (string * value) list) -> (unit -> 'a) -> 'a
+(** [timed span ~attrs f] runs [f ()]; when a sink is installed, the
+    wall-clock duration and [attrs result] are emitted under [span].
+    Exceptions propagate without emitting. *)
+
+val value_to_string : value -> string

@@ -1,0 +1,172 @@
+(* Unit tests: Smart_engine (parallel evaluator, solve cache, trace). *)
+
+module Engine = Smart_engine.Engine
+module Explore = Smart_explore.Explore
+module Db = Smart_database.Database
+module C = Smart_constraints.Constraints
+module Sizer = Smart_sizer.Sizer
+module Macro = Smart_macros.Macro
+module Mux = Smart_macros.Mux
+module Tech = Smart_tech.Tech
+
+let tech = Tech.default
+let checkb msg = Alcotest.(check bool) msg
+let checki msg = Alcotest.(check int) msg
+
+let bits_equal a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+(* The ranking fingerprint: entry names in order with bit-exact scores. *)
+let fingerprint (r : Explore.ranking) =
+  List.map
+    (fun (c : Explore.candidate) ->
+      (c.Explore.entry_name, Int64.bits_of_float c.Explore.score))
+    r.Explore.ranked
+
+let explore_with engine ~kind ~bits ~delay =
+  let db = Db.builtins () in
+  let req = Db.requirements ~ext_load:25. bits in
+  Explore.explore_typed ~engine ~db ~kind ~requirements:req tech (C.spec delay)
+
+(* (a) A 4-wide pool must produce exactly the sequential ranking — same
+   order, same bit-identical scores, same rejections — on both the mux
+   and the adder database entries. *)
+let test_parallel_matches_sequential () =
+  List.iter
+    (fun (kind, bits, delay) ->
+      let seq = Engine.create ~workers:1 ~cache_capacity:0 () in
+      let par = Engine.create ~workers:4 ~cache_capacity:0 () in
+      checki "pool width honoured" 4 (Engine.workers par);
+      match
+        (explore_with seq ~kind ~bits ~delay, explore_with par ~kind ~bits ~delay)
+      with
+      | Ok a, Ok b ->
+        checkb (kind ^ ": identical rankings") true (fingerprint a = fingerprint b);
+        checkb (kind ^ ": identical rejections") true
+          (a.Explore.rejected = b.Explore.rejected)
+      | Error ea, Error eb ->
+        checkb (kind ^ ": identical errors") true (ea = eb)
+      | _ -> Alcotest.failf "%s: sequential and parallel disagree on success" kind)
+    [ ("mux", 4, 150.); ("adder", 4, 400.) ]
+
+(* (b) A cache hit must return a bit-identical outcome to the cold solve. *)
+let test_cache_hit_bit_identical () =
+  let e = Engine.create ~workers:1 ~cache_capacity:16 () in
+  let nl = (Mux.generate Mux.Strongly_mutexed ~n:4).Macro.netlist in
+  let spec = C.spec 150. in
+  let options = Sizer.default_options in
+  let cold = Engine.size e ~options tech nl spec in
+  let warm = Engine.size e ~options tech nl spec in
+  match (cold, warm) with
+  | Ok a, Ok b ->
+    checkb "same sizing assignment" true (a.Sizer.sizing = b.Sizer.sizing);
+    checkb "bit-identical delay" true
+      (bits_equal a.Sizer.achieved_delay b.Sizer.achieved_delay);
+    checkb "bit-identical width" true
+      (bits_equal a.Sizer.total_width b.Sizer.total_width);
+    let s = Engine.cache_stats e in
+    checki "one hit" 1 s.Engine.hits;
+    checki "one miss" 1 s.Engine.misses
+  | _ -> Alcotest.fail "sizing failed"
+
+(* A distinct spec (or netlist, tech, options) must not collide. *)
+let test_cache_distinguishes_inputs () =
+  let e = Engine.create ~workers:1 ~cache_capacity:16 () in
+  let nl = (Mux.generate Mux.Strongly_mutexed ~n:4).Macro.netlist in
+  let options = Sizer.default_options in
+  ignore (Engine.size e ~options tech nl (C.spec 150.));
+  ignore (Engine.size e ~options tech nl (C.spec 170.));
+  let s = Engine.cache_stats e in
+  checki "two misses" 2 s.Engine.misses;
+  checki "no hits" 0 s.Engine.hits
+
+(* (c) The LRU bound holds: capacity 2, three distinct solves evict the
+   least-recently-used entry, which then misses again. *)
+let test_lru_eviction_respects_bound () =
+  let e = Engine.create ~workers:1 ~cache_capacity:2 () in
+  let nl n = (Mux.generate Mux.Strongly_mutexed ~n).Macro.netlist in
+  let options = Sizer.default_options in
+  let size n = ignore (Engine.size e ~options tech (nl n) (C.spec 200.)) in
+  size 2;
+  (* A: miss *)
+  size 3;
+  (* B: miss *)
+  size 2;
+  (* A: hit, B becomes LRU *)
+  size 4;
+  (* C: miss, evicts B *)
+  let s1 = Engine.cache_stats e in
+  checkb "within capacity" true (s1.Engine.entries <= 2);
+  checki "one eviction" 1 s1.Engine.evictions;
+  size 3;
+  (* B again: must miss (evicted), not hit *)
+  let s2 = Engine.cache_stats e in
+  checki "evicted entry misses" (s1.Engine.misses + 1) s2.Engine.misses;
+  checki "hits unchanged by re-miss" s1.Engine.hits s2.Engine.hits;
+  checkb "still within capacity" true (s2.Engine.entries <= 2)
+
+(* (d) The trace sink receives exactly one sizing span per candidate. *)
+let test_trace_one_span_per_candidate () =
+  let sink, drain = Engine.Trace.memory () in
+  let e = Engine.create ~workers:2 ~cache_capacity:0 ~sink () in
+  match explore_with e ~kind:"mux" ~bits:4 ~delay:150. with
+  | Error _ -> Alcotest.fail "explore failed"
+  | Ok r ->
+    let spans =
+      List.filter
+        (function Engine.Trace.Sizing _ -> true | _ -> false)
+        (drain ())
+    in
+    checki "one sizing span per candidate"
+      (List.length r.Explore.ranked + List.length r.Explore.rejected)
+      (List.length spans);
+    List.iter
+      (function
+        | Engine.Trace.Sizing s ->
+          checkb "bypass cache status" true (s.cache = Engine.Trace.Bypass);
+          checkb "ok spans carry iterations" true
+            ((not s.ok) || s.iterations > 0)
+        | _ -> ())
+      spans
+
+(* The request facade: Smart.run over a Request.t matches the deprecated
+   advise wrapper, and typed errors surface where strings used to. *)
+let test_request_run_facade () =
+  let module Smart = Smart_core.Smart in
+  let request =
+    Smart.Request.make ~kind:"mux" ~bits:4 ~ext_load:25. ~delay:150. ()
+  in
+  (match (Smart.run request, explore_with (Engine.create ()) ~kind:"mux" ~bits:4 ~delay:150.) with
+  | Ok advice, Ok r ->
+    checkb "run matches explore winner" true
+      (advice.Smart.ranking.Explore.winner.Explore.entry_name
+      = r.Explore.winner.Explore.entry_name)
+  | _ -> Alcotest.fail "run failed");
+  match Smart.run (Smart.Request.make ~kind:"fifo" ~bits:4 ()) with
+  | Error (Smart.Error.No_applicable_topology { kind }) ->
+    checkb "typed no-applicable error" true (kind = "fifo")
+  | _ -> Alcotest.fail "expected No_applicable_topology"
+
+let () =
+  Alcotest.run "smart_engine"
+    [
+      ( "evaluator",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_matches_sequential;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit is bit-identical" `Quick
+            test_cache_hit_bit_identical;
+          Alcotest.test_case "key discrimination" `Quick
+            test_cache_distinguishes_inputs;
+          Alcotest.test_case "LRU bound" `Quick test_lru_eviction_respects_bound;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span per candidate" `Quick
+            test_trace_one_span_per_candidate;
+        ] );
+      ( "facade",
+        [ Alcotest.test_case "request/run" `Quick test_request_run_facade ] );
+    ]
