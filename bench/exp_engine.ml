@@ -71,6 +71,11 @@ let run ~fast () =
   Printf.printf "  sequential (1 worker):  %.2f s\n" wall_seq;
   Printf.printf "  parallel  (%d workers): %.2f s  (speedup %.2fx)\n"
     (Engine.workers par_engine) wall_par speedup;
+  if not (Engine.parallelism_available ()) then
+    Printf.printf
+      "  note: single hardware core -- the domain pool falls back to the\n\
+      \  deterministic sequential loop, so BENCH_engine.json reports\n\
+      \  workers=1 and speedup~1.0 by design, not by defect\n";
   let rank_seq, rej_seq = ranking_of res_seq in
   let rank_par, rej_par = ranking_of res_par in
   Runner.shape_check ~name:"parallel ranking identical to sequential"

@@ -16,6 +16,7 @@ let all_experiments =
     ("fig7", "Figure 7: comparator topology exploration");
     ("table2", "Table 2 and §6.4: functional blocks");
     ("paths", "§5.2: path-space reduction");
+    ("gp", "GP solver: warm-started hot path (BENCH_gp.json)");
     ("engine", "Engine: parallel evaluation + solve cache (BENCH_engine.json)");
     ("ablate", "Design-choice ablations");
     ("micro", "Bechamel micro-benchmarks");
@@ -28,6 +29,7 @@ let run_one ~fast = function
   | "fig7" -> Exp_fig7.run ~fast ()
   | "table2" -> Exp_table2.run ~fast ()
   | "paths" -> Exp_paths.run ~fast ()
+  | "gp" -> Exp_gp.run ~fast ()
   | "engine" -> Exp_engine.run ~fast ()
   | "ablate" -> Exp_ablate.run ~fast ()
   | "micro" -> if not fast then Micro.run ()
@@ -35,8 +37,28 @@ let run_one ~fast = function
     Printf.printf "unknown experiment %s; known: %s\n" other
       (String.concat ", " (List.map fst all_experiments))
 
+(* Smoke mode (dune build @bench-smoke): run the two JSON-emitting
+   experiments at reduced size and fail loudly if either artifact is
+   missing a field — keeps the perf-trajectory schema honest in CI. *)
+let smoke () =
+  Exp_gp.run ~fast:true ();
+  Exp_engine.run ~fast:true ();
+  let ok =
+    Runner.json_has_fields ~file:"BENCH_gp.json"
+      [
+        "wall_cold"; "wall_warm"; "speedup"; "newton_cold"; "newton_warm";
+        "alloc_words_cold"; "alloc_words_warm"; "rounds"; "warm_rounds";
+        "sizer_delay_cold_ps"; "sizer_delay_warm_ps";
+      ]
+    && Runner.json_has_fields ~file:"BENCH_engine.json"
+         [ "wall_seq"; "wall_par"; "speedup"; "cache_hit_rate"; "workers" ]
+  in
+  Printf.printf "\nbench smoke: %s\n" (if ok then "OK" else "FAILED");
+  exit (if ok then 0 else 1)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--smoke" args then smoke ();
   let fast = List.mem "--fast" args in
   let selected = List.filter (fun a -> a <> "--fast") args in
   let selected =

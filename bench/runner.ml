@@ -96,3 +96,33 @@ let write_json ~file fields =
   output_string oc "}\n";
   close_out oc;
   Printf.printf "  wrote %s\n" file
+
+(* Shape check for the written artifacts: every expected key present with
+   a parseable numeric value.  The files are our own flat one-field-per-
+   line format, so a line scan is a full parse. *)
+let json_has_fields ~file keys =
+  match
+    let ic = open_in file in
+    let fields = Hashtbl.create 16 in
+    (try
+       while true do
+         let line = input_line ic in
+         try
+           Scanf.sscanf (String.trim line) " \"%[^\"]\": %f" (fun k v ->
+               Hashtbl.replace fields k v)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+       done
+     with End_of_file -> close_in ic);
+    fields
+  with
+  | exception Sys_error e ->
+    Printf.printf "  shape check: %-44s MISSING (%s)\n" file e;
+    false
+  | fields ->
+    List.for_all
+      (fun k ->
+        let ok = Hashtbl.mem fields k in
+        if not ok then
+          Printf.printf "  shape check: %s lacks field %-20s DIVERGES\n" file k;
+        ok)
+      keys

@@ -407,6 +407,12 @@ let has_prefix ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
+let rescale_factors ~timing ~precharge name =
+  if has_prefix ~prefix:"t:" name || has_prefix ~prefix:"stg:" name then
+    1. /. timing
+  else if has_prefix ~prefix:"pre:" name then 1. /. precharge
+  else 1.
+
 let rescale result ~timing ~precharge =
   if not (timing > 0. && precharge > 0.) then
     Err.fail "Constraints.rescale: factors must be positive";
@@ -416,11 +422,8 @@ let rescale result ~timing ~precharge =
       Problem.inequalities =
         List.map
           (fun (name, p) ->
-            if has_prefix ~prefix:"t:" name || has_prefix ~prefix:"stg:" name then
-              (name, Posy.scale (1. /. timing) p)
-            else if has_prefix ~prefix:"pre:" name then
-              (name, Posy.scale (1. /. precharge) p)
-            else (name, p))
+            let s = rescale_factors ~timing ~precharge name in
+            (name, if s = 1. then p else Posy.scale s p))
           result.problem.Problem.inequalities;
     }
   in

@@ -74,6 +74,12 @@ val rescale : result -> timing:float -> precharge:float -> result
     evaluate/data-path budgets, [precharge] the per-stage precharge
     budgets.  Slope and bound constraints are untouched. *)
 
+val rescale_factors : timing:float -> precharge:float -> string -> float
+(** The per-constraint coefficient factor {!rescale} applies, keyed by
+    constraint name ([1.] for slope/bound constraints).  Feed this to
+    {!Smart_gp.Solver.rescale_compiled} to retarget budgets on an
+    already-compiled program without regenerating or recompiling it. *)
+
 val delay_variable : string
 (** Name of the makespan variable used by {!generate_min_delay}. *)
 

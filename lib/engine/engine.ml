@@ -28,6 +28,7 @@ module Trace = struct
         newton : int;
         centering : int;
         status : string;
+        warm : bool;
       }
     | Sta_verify of {
         wall_s : float;
@@ -59,8 +60,9 @@ module Trace = struct
       Printf.sprintf "min-delay %-31s %8.3fs cache=%s" m.label m.wall_s
         (cache_name m.cache)
     | Gp_solve g ->
-      Printf.sprintf "gp-solve %8.3fs newton=%d centering=%d status=%s"
+      Printf.sprintf "gp-solve %8.3fs newton=%d centering=%d status=%s %s"
         g.wall_s g.newton g.centering g.status
+        (if g.warm then "warm" else "cold")
     | Sta_verify v ->
       Printf.sprintf "sta-verify %-30s %8.3fs mode=%s max=%.1fps" v.netlist
         v.wall_s v.mode v.max_delay_ps
@@ -125,7 +127,7 @@ module Trace = struct
           ("event", jstr "gp_solve"); ("wall_s", jfloat g.wall_s);
           ("newton", string_of_int g.newton);
           ("centering", string_of_int g.centering);
-          ("status", jstr g.status);
+          ("status", jstr g.status); ("warm", jbool g.warm);
         ]
     | Sta_verify v ->
       json_fields
@@ -190,6 +192,7 @@ module Trace = struct
           newton = attr_int a "newton";
           centering = attr_int a "centering";
           status = attr_str a "status";
+          warm = attr_bool a "warm";
         }
     | "sta.analyze" ->
       Sta_verify

@@ -52,6 +52,7 @@ module Trace : sig
         newton : int;
         centering : int;
         status : string;
+        warm : bool;  (** warm start accepted — phase I was skipped *)
       }  (** decoded from the solver's ["gp.solve"] tracepoint *)
     | Sta_verify of {
         wall_s : float;

@@ -31,6 +31,8 @@ let default_options =
 
 type status = Optimal | Infeasible | Iteration_limit
 
+type warm_start = { w_y : Vec.t; w_t : float }
+
 type solution = {
   status : status;
   values : (string * float) list;
@@ -38,6 +40,8 @@ type solution = {
   duals : (string * float) list;
   newton_iterations : int;
   centering_steps : int;
+  warm_started : bool;
+  restart : warm_start option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -48,6 +52,29 @@ type compiled = {
   idx : Logspace.index;
   f0 : Logspace.t;
   cons : (string * Logspace.t) array;
+}
+
+(* Per-problem reusable buffers: the Newton inner loop runs entirely in
+   these, so repeated [resolve] calls on one prepared problem perform no
+   heap allocation per iteration. *)
+type workspace = {
+  scratch : Logspace.scratch;
+  h : Mat.t;  (* Hessian of the barrier *)
+  g : Vec.t;  (* gradient *)
+  d : Vec.t;  (* Newton direction *)
+  trial : Vec.t;  (* line-search trial point *)
+  chol : Mat.t;  (* in-place Cholesky factor / ridge copy *)
+  tmp : Vec.t;  (* substitution intermediate *)
+  ybuf : Vec.t;  (* the barrier iterate *)
+  ridge : float ref;  (* last successful regularisation shift *)
+}
+
+type prepared = {
+  problem : Problem.t;  (* as given: objective evaluation *)
+  reduced : Problem.t;  (* after equality elimination + default bounds *)
+  eliminated : (string * Monomial.t) list;
+  c : compiled option;  (* None: fully determined by equalities *)
+  ws : workspace option;
 }
 
 let bounds_to_inequalities bounds =
@@ -75,18 +102,55 @@ let compile (problem : Problem.t) =
       Array.of_list (List.map (fun (n, p) -> (n, Logspace.compile idx p)) ineqs);
   }
 
+let make_workspace c =
+  let n = Logspace.index_size c.idx in
+  let max_terms =
+    Array.fold_left
+      (fun acc (_, f) -> max acc (Logspace.num_terms f))
+      (Logspace.num_terms c.f0) c.cons
+  in
+  {
+    scratch = Logspace.make_scratch ~n ~max_terms;
+    h = Mat.create n n;
+    g = Vec.create n;
+    d = Vec.create n;
+    trial = Vec.create n;
+    chol = Mat.create n n;
+    tmp = Vec.create n;
+    ybuf = Vec.create n;
+    ridge = ref 0.;
+  }
+
+let prepare problem =
+  let reduced, eliminated = Problem.eliminate_equalities problem in
+  let reduced = Problem.default_bounds ~lo:1e-9 ~hi:1e9 reduced in
+  match Problem.variables reduced with
+  | [] -> { problem; reduced; eliminated; c = None; ws = None }
+  | _ ->
+    let c = compile reduced in
+    { problem; reduced; eliminated; c = Some c; ws = Some (make_workspace c) }
+
+let rescale_compiled p scale =
+  match p.c with
+  | None -> ()
+  | Some c ->
+    (* [Logspace.rescale] is absolute (relative to compile time), so every
+       constraint is re-patched each call — a factor reverting to 1.0
+       restores the as-compiled coefficients. *)
+    Array.iter (fun (name, f) -> Logspace.rescale f (scale name)) c.cons
+
 (* ------------------------------------------------------------------ *)
 (* Barrier method                                                      *)
 (* ------------------------------------------------------------------ *)
 
 (* phi_t(y) = t F0(y) - sum log(-F_k(y)); +inf when infeasible. *)
-let barrier_value c t y =
-  let v0 = Logspace.value c.f0 y in
+let barrier_value scratch c t y =
+  let v0 = Logspace.value_ws scratch c.f0 y in
   let acc = ref (t *. v0) in
   (try
      Array.iter
        (fun (_, f) ->
-         let v = Logspace.value f y in
+         let v = Logspace.value_ws scratch f y in
          if v >= 0. then begin
            acc := infinity;
            raise Exit
@@ -99,58 +163,65 @@ let barrier_value c t y =
 let strictly_feasible c y =
   Array.for_all (fun (_, f) -> Logspace.value f y < 0.) c.cons
 
-(* One centering: damped Newton on phi_t starting from strictly feasible y.
-   Returns (y*, inner iterations used, converged). *)
-let newton_center opts c t y0 =
+(* Warm-start acceptance needs real margin, not mere sign: a point with a
+   constraint slack of 1e-14 makes the first barrier Hessian ~1e28 and no
+   amount of regularisation recovers the Newton direction.  Marginal
+   points go through phase I instead, which re-opens the slack. *)
+let feasible_with_margin c y =
+  Array.for_all (fun (_, f) -> Logspace.value f y < -1e-9) c.cons
+
+(* One centering: damped Newton on phi_t starting from the strictly
+   feasible iterate in [y], which is advanced in place.  Returns
+   (inner iterations used, converged).  Allocation-free: every vector and
+   matrix lives in the workspace. *)
+let newton_center opts ws c t y =
   let n = Logspace.index_size c.idx in
-  let y = Vec.copy y0 in
   let iters = ref 0 in
   let converged = ref false in
+  let alpha_first = ref 1. in
   (try
      for _ = 1 to opts.max_newton do
        incr iters;
-       let h = Mat.create n n in
-       let _, g0 = Logspace.add_weighted_hessian c.f0 y t h in
-       let g = Vec.scale t g0 in
+       Mat.fill ws.h 0.;
+       Array.fill ws.g 0 n 0.;
+       (* Assemble gradient and Hessian of phi_t, fusing the value
+          computation (phi_t(y) falls out of the same softmax passes). *)
+       let v0 = Logspace.add_objective_term ws.scratch c.f0 y ~weight:t ws.h ws.g in
+       let phi0 = ref (t *. v0) in
        Array.iter
          (fun (_, f) ->
-           let vk = Logspace.value f y in
+           let vk = Logspace.add_barrier_term ws.scratch f y ws.h ws.g in
            if vk >= 0. then Err.fail "Gp.Solver: lost feasibility during Newton";
-           let w = 1. /. -.vk in
-           let _, gk = Logspace.add_weighted_hessian f y w h in
-           (* Barrier gradient term: gk / (-vk); Hessian extra rank-1 term
-              gk gk^T / vk^2, accumulated over the constraint's support
-              only (gk vanishes off-support). *)
-           let s = Logspace.support f in
-           let w2 = w *. w in
-           for a = 0 to Array.length s - 1 do
-             let ga = gk.(s.(a)) in
-             g.(s.(a)) <- g.(s.(a)) +. (w *. ga);
-             if ga <> 0. then
-               for bi = 0 to Array.length s - 1 do
-                 Mat.add_to h s.(a) s.(bi) (w2 *. ga *. gk.(s.(bi)))
-               done
-           done)
+           phi0 := !phi0 -. log (-.vk))
          c.cons;
-       let d = Mat.solve_spd_ridge h g in
-       let lambda2 = Vec.dot g d in
+       Mat.solve_spd_ridge_into ~hint:ws.ridge ~work:ws.chol ~tmp:ws.tmp ws.h
+         ws.g ws.d;
+       let lambda2 = Vec.dot ws.g ws.d in
        if lambda2 /. 2. < opts.newton_tol then begin
          converged := true;
          raise Exit
        end;
-       (* Backtracking line search along -d with Armijo condition. *)
-       let phi0 = barrier_value c t y in
-       let alpha = ref 1. in
+       (* Backtracking line search along -d with Armijo condition.  The
+          start step is warm-started from the previous acceptance, grown
+          4x and capped at the full step: when a near-singular Hessian
+          forces the iterate to crawl with alpha ~ 2^-30, restarting
+          each search from 1 would re-pay the ~30 rejected barrier
+          evaluations on every Newton step — and those evaluations, not
+          the factorisation, dominate such centerings.  Staying near the
+          viable step also keeps the crawl making progress instead of
+          thrashing between overshoot and rejection (faster growth
+          factors measurably reintroduce both costs). *)
+       let alpha = ref (Float.min 1. (!alpha_first *. 4.)) in
        let accepted = ref false in
-       let trial = Vec.create n in
        let backtracks = ref 0 in
        while (not !accepted) && !backtracks < 60 do
-         Array.blit y 0 trial 0 n;
-         Vec.axpy (-. !alpha) d trial;
-         let phi = barrier_value c t trial in
-         if phi <= phi0 -. (0.25 *. !alpha *. lambda2) then begin
-           Array.blit trial 0 y 0 n;
-           accepted := true
+         Array.blit y 0 ws.trial 0 n;
+         Vec.axpy (-. !alpha) ws.d ws.trial;
+         let phi = barrier_value ws.scratch c t ws.trial in
+         if phi <= !phi0 -. (0.25 *. !alpha *. lambda2) then begin
+           Array.blit ws.trial 0 y 0 n;
+           accepted := true;
+           alpha_first := !alpha
          end
          else begin
            alpha := !alpha /. 2.;
@@ -164,26 +235,48 @@ let newton_center opts c t y0 =
        end
      done
    with Exit -> ());
-  (y, !iters, !converged)
+  (!iters, !converged)
 
-(* Full barrier loop.  [stop_when y] allows early exit (used by phase I once
-   the original constraints are strictly satisfied). *)
-let barrier opts c y0 ?(stop_when = fun _ -> false) () =
+(* Full barrier loop over the iterate in [y] (advanced in place).
+   [stop_when y] allows early exit (used by phase I once the original
+   constraints are strictly satisfied).  At least one centering runs even
+   when [t0] already meets the gap bound — a warm start must re-center
+   after the problem was rescaled under it.
+
+   Besides the final iterate the loop records a restart snapshot: the
+   last central-path point whose gap [m/t] is still >= 1e-2.  The final
+   iterate hugs the active constraints (slack ~ eps), which makes it
+   useless as a warm start — its first barrier Hessian is beyond any
+   regularisation — whereas the mid-path point keeps real margin
+   (active slacks ~ gap/m) and survives the budget relaxations between
+   respecification rounds.  Snapshotting deeper (1e-3) backfires: after
+   a rescale the point is off the new central path, and re-centering at
+   the implied larger t crawls along the boundary. *)
+let snap_gap = 1e-2
+
+let barrier opts ws c ~t0 y ?(stop_when = fun _ -> false) () =
   let m = Array.length c.cons in
-  let t = ref opts.t0 in
-  let t_last = ref opts.t0 in
-  let y = ref (Vec.copy y0) in
+  let n = Logspace.index_size c.idx in
+  let t = ref t0 in
+  let t_last = ref t0 in
   let total = ref 0 in
   let centerings = ref 0 in
   let limit = ref false in
+  let snap_y = Vec.create n in
+  let snap_t = ref t0 in
+  let have_snap = ref false in
   (try
-     while float_of_int m /. !t >= opts.eps do
-       let y', iters, _ = newton_center opts c !t !y in
-       y := y';
+     while float_of_int m /. !t >= opts.eps || !centerings = 0 do
+       let iters, _ = newton_center opts ws c !t y in
        t_last := !t;
        total := !total + iters;
        incr centerings;
-       if stop_when !y then raise Exit;
+       if (not !have_snap) || float_of_int m /. !t >= snap_gap then begin
+         Array.blit y 0 snap_y 0 n;
+         snap_t := !t;
+         have_snap := true
+       end;
+       if stop_when y then raise Exit;
        if !centerings >= opts.max_centering then begin
          limit := true;
          raise Exit
@@ -191,7 +284,7 @@ let barrier opts c y0 ?(stop_when = fun _ -> false) () =
        t := !t *. opts.mu
      done
    with Exit -> ());
-  (!y, !t_last, !total, !centerings, !limit)
+  (!t_last, !total, !centerings, !limit, { w_y = snap_y; w_t = !snap_t })
 
 (* ------------------------------------------------------------------ *)
 (* Phase I                                                             *)
@@ -199,50 +292,63 @@ let barrier opts c y0 ?(stop_when = fun _ -> false) () =
 
 let slack_var = "__gp_slack"
 
-(* Find a strictly feasible y for [c] by solving
-   min S  s.t.  f_k(x)/S <= 1, starting from the bound midpoints with S
-   large enough.  Fails (None) when optimum S cannot be driven below 1. *)
-let phase1 opts (problem : Problem.t) c y_init =
-  if strictly_feasible c y_init then Some (y_init, 0, 0)
+(* Find a strictly feasible y for [c] by solving min S s.t. f_k(x)/S <= 1,
+   starting from [y_init] with S just above the worst violation.  Built
+   directly in compiled space: the slack variable is appended to the
+   index, so every existing exponent row keeps its position and the
+   current (rescaled) coefficients carry over.  Fails (None) when the
+   optimum S cannot be driven below 1. *)
+let phase1 opts c y_init =
+  if strictly_feasible c y_init then Some (Vec.copy y_init, 0, 0)
   else begin
-    let slack_m = Monomial.make 1. [ (slack_var, -1.) ] in
-    let relaxed =
-      Problem.make
-        ~inequalities:
-          (List.map
-             (fun (n, p) -> (n, Posy.mul_monomial p slack_m))
-             (problem.Problem.inequalities
-             @ bounds_to_inequalities problem.Problem.bounds))
-        ~bounds:[ (slack_var, 1e-9, 1e12) ]
-        (Posy.var slack_var)
+    let n = Logspace.index_size c.idx in
+    let idx1 =
+      Logspace.index_of_vars (Logspace.index_names c.idx @ [ slack_var ])
     in
-    let c1 = compile relaxed in
-    let n1 = Logspace.index_size c1.idx in
-    let y1 = Vec.create n1 in
-    (* Copy the initial point and set the slack above the worst violation. *)
-    List.iteri
-      (fun _ v ->
-        let p1 = Logspace.index_position c1.idx v in
-        if v <> slack_var then
-          y1.(p1) <- y_init.(Logspace.index_position c.idx v))
-      (Logspace.index_names c1.idx);
+    let spos = n in
+    let relaxed =
+      Array.map (fun (name, f) -> (name, Logspace.mul_var f spos (-1.))) c.cons
+    in
+    let slack_bounds =
+      List.map
+        (fun (name, p) -> (name, Logspace.compile idx1 p))
+        (bounds_to_inequalities [ (slack_var, 1e-9, 1e12) ])
+    in
+    let c1 =
+      {
+        idx = idx1;
+        f0 = Logspace.compile idx1 (Posy.var slack_var);
+        cons = Array.append relaxed (Array.of_list slack_bounds);
+      }
+    in
+    let ws1 = make_workspace c1 in
+    let y1 = ws1.ybuf in
+    Array.blit y_init 0 y1 0 n;
     let worst =
       Array.fold_left
         (fun acc (_, f) -> max acc (Logspace.value f y_init))
         neg_infinity c.cons
     in
-    y1.(Logspace.index_position c1.idx slack_var) <- worst +. 1.;
-    let project y1 =
-      Vec.init (Logspace.index_size c.idx) (fun i ->
-          let v = Logspace.index_name c.idx i in
-          y1.(Logspace.index_position c1.idx v))
-    in
+    (* Start the slack just above the worst violation: a warm-but-
+       infeasible seed (budgets tightened a few percent under the old
+       point) violates by ~log of the budget shift, and an e^1 slack
+       would throw that proximity away. *)
+    y1.(spos) <- Float.max worst 0. +. 0.05;
+    (* The original constraints read only positions < n, so they evaluate
+       directly on the extended iterate — no projection needed.  The exit
+       margin must clear the regularisation floor (the point feeds the
+       main barrier, where a hair-thin slack makes the first Hessian
+       nasty) but no more: a warm-but-infeasible seed keeps its active
+       constraints near 1e-4, and demanding a fatter margin would force
+       phase I to re-centre the whole problem instead of just repairing
+       the violated few. *)
     let stop_when y1 =
-      let y = project y1 in
-      Array.for_all (fun (_, f) -> Logspace.value f y < -1e-8) c.cons
+      Array.for_all (fun (_, f) -> Logspace.value f y1 < -1e-6) c.cons
     in
-    let y1', _, total, centerings, _ = barrier opts c1 y1 ~stop_when () in
-    let y = project y1' in
+    let _, total, centerings, _, _ =
+      barrier opts ws1 c1 ~t0:opts.t0 y1 ~stop_when ()
+    in
+    let y = Vec.init n (fun i -> y1.(i)) in
     if strictly_feasible c y then Some (y, total, centerings) else None
   end
 
@@ -251,10 +357,13 @@ let phase1 opts (problem : Problem.t) c y_init =
 (* ------------------------------------------------------------------ *)
 
 let initial_point (problem : Problem.t) idx =
+  let bounds = Hashtbl.create 64 in
+  List.iter
+    (fun (v, lo, hi) -> Hashtbl.replace bounds v (lo, hi))
+    problem.Problem.bounds;
   Vec.init (Logspace.index_size idx) (fun i ->
-      let v = Logspace.index_name idx i in
-      match List.find_opt (fun (v', _, _) -> v' = v) problem.Problem.bounds with
-      | Some (_, lo, hi) -> log (sqrt (lo *. hi))
+      match Hashtbl.find_opt bounds (Logspace.index_name idx i) with
+      | Some (lo, hi) -> log (sqrt (lo *. hi))
       | None -> 0.)
 
 let status_name = function
@@ -262,88 +371,155 @@ let status_name = function
   | Infeasible -> "infeasible"
   | Iteration_limit -> "iteration-limit"
 
-let solve_impl ?(options = default_options) problem =
-  let reduced, eliminated = Problem.eliminate_equalities problem in
-  let reduced = Problem.default_bounds ~lo:1e-9 ~hi:1e9 reduced in
-  match Problem.variables reduced with
-  | [] ->
-    (* Fully determined by equalities: evaluate directly. *)
-    let env v =
-      match List.assoc_opt v eliminated with
-      | Some m -> Monomial.eval (fun _ -> Err.fail "unbound %s" v) m
-      | None -> Err.fail "Gp.Solver: unbound variable %s" v
+let determined_solution p =
+  (* Fully determined by equalities: evaluate directly. *)
+  let env v =
+    match List.assoc_opt v p.eliminated with
+    | Some m -> Monomial.eval (fun _ -> Err.fail "unbound %s" v) m
+    | None -> Err.fail "Gp.Solver: unbound variable %s" v
+  in
+  {
+    status = Optimal;
+    values = List.map (fun (v, m) -> (v, Monomial.eval env m)) p.eliminated;
+    objective_value = Posy.eval env p.problem.Problem.objective;
+    duals = [];
+    newton_iterations = 0;
+    centering_steps = 0;
+    warm_started = false;
+    restart = None;
+  }
+
+let infeasible_solution ~newton ~centerings ~warm_started =
+  {
+    status = Infeasible;
+    values = [];
+    objective_value = nan;
+    duals = [];
+    newton_iterations = newton;
+    centering_steps = centerings;
+    warm_started;
+    restart = None;
+  }
+
+let final_solution p c y t_final ~newton ~centerings ~limit ~warm_started
+    ~restart =
+  let env_reduced v = exp y.(Logspace.index_position c.idx v) in
+  let reduced_values =
+    List.map (fun v -> (v, env_reduced v)) (Logspace.index_names c.idx)
+  in
+  let eliminated_values =
+    List.map (fun (v, m) -> (v, Monomial.eval env_reduced m)) p.eliminated
+  in
+  let values = reduced_values @ eliminated_values in
+  let env v =
+    match List.assoc_opt v values with
+    | Some x -> x
+    | None -> Err.fail "Gp.Solver: unbound variable %s" v
+  in
+  let duals =
+    Array.to_list
+      (Array.map
+         (fun (n, f) ->
+           let vk = Logspace.value f y in
+           (n, 1. /. (t_final *. -.vk)))
+         c.cons)
+  in
+  Log.debug (fun m ->
+      m "solved GP: %d vars, %d constraints, %d newton iterations%s"
+        (Logspace.index_size c.idx)
+        (Array.length c.cons) newton
+        (if warm_started then " (warm)" else ""));
+  {
+    status = (if limit then Iteration_limit else Optimal);
+    values;
+    objective_value = Posy.eval env p.problem.Problem.objective;
+    duals;
+    newton_iterations = newton;
+    centering_steps = centerings;
+    warm_started;
+    restart = Some restart;
+  }
+
+let resolve_impl ?(options = default_options) ?warm p =
+  match (p.c, p.ws) with
+  | None, _ | _, None -> determined_solution p
+  | Some c, Some ws -> (
+    let n = Logspace.index_size c.idx in
+    let warm_feasible =
+      match warm with
+      | Some w when Vec.dim w.w_y = n && feasible_with_margin c w.w_y -> true
+      | _ -> false
     in
-    Ok
-      {
-        status = Optimal;
-        values = List.map (fun (v, m) -> (v, Monomial.eval env m)) eliminated;
-        objective_value = Posy.eval env problem.Problem.objective;
-        duals = [];
-        newton_iterations = 0;
-        centering_steps = 0;
-      }
-  | _ ->
-    let c = compile reduced in
-    let y0 = initial_point reduced c.idx in
-    (match phase1 options reduced c y0 with
-    | None ->
-      Ok
-        {
-          status = Infeasible;
-          values = [];
-          objective_value = nan;
-          duals = [];
-          newton_iterations = 0;
-          centering_steps = 0;
-        }
-    | Some (y_feas, it1, ct1) ->
-      let y, t_final, it2, ct2, limit = barrier options c y_feas () in
-      let env_reduced v = exp y.(Logspace.index_position c.idx v) in
-      let reduced_values =
-        List.map (fun v -> (v, env_reduced v)) (Logspace.index_names c.idx)
+    if warm_feasible then begin
+      (* Skip phase I entirely and pick the barrier up at the snapshot's
+         own parameter: the mid-path point is feasible for the rescaled
+         problem with real margin, and the remaining centerings from
+         there to the gap bound are the cheap, well-conditioned ones. *)
+      let w = Option.get warm in
+      Array.blit w.w_y 0 ws.ybuf 0 n;
+      let t0 = Float.max options.t0 w.w_t in
+      let t_final, it, ct, limit, restart =
+        barrier options ws c ~t0 ws.ybuf ()
       in
-      let eliminated_values =
-        List.map (fun (v, m) -> (v, Monomial.eval env_reduced m)) eliminated
+      final_solution p c ws.ybuf t_final ~newton:it ~centerings:ct ~limit
+        ~warm_started:true ~restart
+    end
+    else begin
+      (* Cold (or warm-but-infeasible: the budgets tightened past the old
+         point).  Phase I still profits from the old point — the needed
+         slack is small — so use it as the initial guess when available.
+         The main barrier must sweep up from t0 regardless: the phase-I
+         point is not centred for a large parameter, and damped Newton at
+         high t from an uncentred point crawls along the boundary. *)
+      let y_init =
+        match warm with
+        | Some w when Vec.dim w.w_y = n -> w.w_y
+        | _ -> initial_point p.reduced c.idx
       in
-      let values = reduced_values @ eliminated_values in
-      let env v =
-        match List.assoc_opt v values with
-        | Some x -> x
-        | None -> Err.fail "Gp.Solver: unbound variable %s" v
-      in
-      let duals =
-        Array.to_list
-          (Array.map
-             (fun (n, f) ->
-               let vk = Logspace.value f y in
-               (n, 1. /. (t_final *. -.vk)))
-             c.cons)
-      in
-      Log.debug (fun m ->
-          m "solved GP: %d vars, %d constraints, %d newton iterations"
-            (Logspace.index_size c.idx)
-            (Array.length c.cons) (it1 + it2));
-      Ok
-        {
-          status = (if limit then Iteration_limit else Optimal);
-          values;
-          objective_value = Posy.eval env problem.Problem.objective;
-          duals;
-          newton_iterations = it1 + it2;
-          centering_steps = ct1 + ct2;
-        })
+      match phase1 options c y_init with
+      | None -> infeasible_solution ~newton:0 ~centerings:0 ~warm_started:false
+      | Some (y_feas, it1, ct1) ->
+        Array.blit y_feas 0 ws.ybuf 0 n;
+        let t_final, it2, ct2, limit, restart =
+          barrier options ws c ~t0:options.t0 ws.ybuf ()
+        in
+        final_solution p c ws.ybuf t_final ~newton:(it1 + it2)
+          ~centerings:(ct1 + ct2) ~limit ~warm_started:false ~restart
+    end)
+
+let solve_attrs = function
+  | Ok s ->
+    [
+      ("status", Tracepoint.Str (status_name s.status));
+      ("newton", Tracepoint.Int s.newton_iterations);
+      ("centering", Tracepoint.Int s.centering_steps);
+      ("warm", Tracepoint.Bool s.warm_started);
+    ]
+  | Error e -> [ ("status", Tracepoint.Str ("error: " ^ e)) ]
+
+let resolve ?options ?warm p =
+  Tracepoint.timed "gp.solve" ~attrs:solve_attrs (fun () ->
+      Ok (resolve_impl ?options ?warm p))
 
 let solve ?options problem =
-  Tracepoint.timed "gp.solve"
-    ~attrs:(function
-      | Ok s ->
-        [
-          ("status", Tracepoint.Str (status_name s.status));
-          ("newton", Tracepoint.Int s.newton_iterations);
-          ("centering", Tracepoint.Int s.centering_steps);
-        ]
-      | Error e -> [ ("status", Tracepoint.Str ("error: " ^ e)) ])
-    (fun () -> solve_impl ?options problem)
+  Tracepoint.timed "gp.solve" ~attrs:solve_attrs (fun () ->
+      Ok (resolve_impl ?options (prepare problem)))
+
+let warm_handle s = s.restart
+
+let warm_of_values p values =
+  match p.c with
+  | None -> None
+  | Some c ->
+    let n = Logspace.index_size c.idx in
+    let y = Vec.create n in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      match List.assoc_opt (Logspace.index_name c.idx i) values with
+      | Some x when x > 0. -> y.(i) <- log x
+      | _ -> ok := false
+    done;
+    if !ok then Some { w_y = y; w_t = default_options.t0 } else None
 
 let lookup sol v =
   match List.assoc_opt v sol.values with

@@ -6,7 +6,21 @@
     iterations with backtracking line search, barrier parameter increased
     geometrically until the duality gap bound [m/t] is below tolerance.
     A phase-I problem (minimise a slack scale [S] with [f_k(x) <= S])
-    produces the strictly feasible start. *)
+    produces the strictly feasible start.
+
+    {2 Incremental hot path}
+
+    Iterated workloads — the sizer's respecification loop solves the same
+    program 2–9 times with rescaled constraint budgets — use the split
+    API: {!prepare} compiles once, {!rescale_compiled} patches the
+    compiled coefficients in place (budget rescales never change exponent
+    rows), and {!resolve} re-solves, warm-started from the previous
+    round's log-space solution ({!warm_handle}).  A strictly feasible
+    warm point skips phase I entirely and restarts the barrier near the
+    previous final parameter; all inner-loop vectors and matrices live in
+    a per-problem workspace, so warm re-solves allocate nothing per
+    Newton iteration.  A [prepared] problem owns mutable state (compiled
+    coefficients, workspace) — do not share one across domains. *)
 
 type options = {
   eps : float;  (** target duality-gap bound (default 1e-7) *)
@@ -24,6 +38,13 @@ type status =
   | Infeasible  (** phase I could not drive the slack below 1 *)
   | Iteration_limit
 
+type warm_start
+(** A restart handle for {!resolve} on the same prepared problem (same
+    variable set): a well-centred mid-path iterate and its barrier
+    parameter, not the final boundary-hugging optimum — the snapshot
+    keeps enough constraint margin to stay strictly feasible across the
+    sizer's modest budget rescales. *)
+
 type solution = {
   status : status;
   values : (string * float) list;  (** optimal variable assignment *)
@@ -31,12 +52,50 @@ type solution = {
   duals : (string * float) list;  (** approximate dual per inequality *)
   newton_iterations : int;  (** total inner iterations, both phases *)
   centering_steps : int;
+  warm_started : bool;
+      (** phase I was skipped: the supplied warm point was strictly
+          feasible *)
+  restart : warm_start option;
+      (** handle for warm-starting the next {!resolve}; [None] for
+          infeasible or fully-determined solutions *)
 }
 
+type prepared
+(** A compiled problem plus its solver workspace, reusable across
+    {!resolve} calls. *)
+
+val prepare : Problem.t -> prepared
+(** Eliminate equalities, apply default bounds and compile to log-space
+    once.  Raises {!Smart_util.Err.Smart_error} on malformed problems. *)
+
+val rescale_compiled : prepared -> (string -> float) -> unit
+(** [rescale_compiled p scale] patches each compiled inequality [f <= 1]
+    into [scale name · f <= 1], in place, without recompiling — only the
+    log-coefficients change.  Factors are absolute with respect to the
+    problem as prepared (calling with [fun _ -> 1.] restores it), matching
+    {!Smart_constraints.Constraints.rescale} semantics when fed
+    {!Smart_constraints.Constraints.rescale_factors}. *)
+
+val resolve :
+  ?options:options -> ?warm:warm_start -> prepared -> (solution, string) result
+(** Solve the prepared (possibly rescaled) problem.  With [warm]: if the
+    point is strictly feasible with margin, phase I is skipped and the
+    barrier resumes at the snapshot's own parameter; otherwise the point
+    still seeds phase I.  Emits a ["gp.solve"] tracepoint with a [warm]
+    attribute. *)
+
+val warm_handle : solution -> warm_start option
+(** The solution's {!solution.restart} handle. *)
+
+val warm_of_values : prepared -> (string * float) list -> warm_start option
+(** Build a warm-start point from variable values in problem space (e.g. a
+    related problem's solution).  [None] when any compiled variable is
+    missing or non-positive — fall back to a cold resolve. *)
+
 val solve : ?options:options -> Problem.t -> (solution, string) result
-(** Solve a GP.  [Error] is reserved for malformed problems (empty variable
-    set, unbounded by construction); solver outcomes are reported in
-    [status]. *)
+(** [prepare] + cold [resolve].  [Error] is reserved for malformed
+    problems (empty variable set, unbounded by construction); solver
+    outcomes are reported in [status]. *)
 
 val lookup : solution -> string -> float
 (** Value of a variable in the solution; raises if absent. *)

@@ -14,6 +14,13 @@ let get m i j = m.data.((i * m.cols) + j)
 let set m i j x = m.data.((i * m.cols) + j) <- x
 let add_to m i j x = m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. x
 let copy m = { m with data = Array.copy m.data }
+let data m = m.data
+let fill m x = Array.fill m.data 0 (Array.length m.data) x
+
+let blit src dst =
+  if src.rows <> dst.rows || src.cols <> dst.cols then
+    Err.fail "Mat.blit: dimension mismatch";
+  Array.blit src.data 0 dst.data 0 (Array.length src.data)
 
 let transpose m = init m.cols m.rows (fun i j -> get m j i)
 
@@ -54,54 +61,78 @@ let rank1_update m a v =
       done
   done
 
-let cholesky m =
-  if m.rows <> m.cols then Err.fail "Mat.cholesky: non-square";
+(* In-place lower Cholesky: overwrites the lower triangle of [m] with L,
+   reading each a(i,j) before it is overwritten.  The (stale) upper triangle
+   is left untouched — the substitution routines only read the lower part.
+   Returns false when the matrix is not numerically SPD. *)
+let cholesky_inplace m =
+  if m.rows <> m.cols then Err.fail "Mat.cholesky_inplace: non-square";
   let n = m.rows in
-  let l = create n n in
+  let d = m.data in
   let ok = ref true in
   (try
      for i = 0 to n - 1 do
        for j = 0 to i do
-         let sum = ref (get m i j) in
+         let sum = ref d.((i * n) + j) in
          for k = 0 to j - 1 do
-           sum := !sum -. (get l i k *. get l j k)
+           sum := !sum -. (d.((i * n) + k) *. d.((j * n) + k))
          done;
          if i = j then begin
            if !sum <= 0. || Float.is_nan !sum then begin
              ok := false;
              raise Exit
            end;
-           set l i j (sqrt !sum)
+           d.((i * n) + j) <- sqrt !sum
          end
-         else set l i j (!sum /. get l j j)
+         else d.((i * n) + j) <- !sum /. d.((j * n) + j)
        done
      done
    with Exit -> ());
-  if !ok then Some l else None
+  !ok
 
-let forward_subst l b =
+let cholesky m =
+  if m.rows <> m.cols then Err.fail "Mat.cholesky: non-square";
+  let l = copy m in
+  if not (cholesky_inplace l) then None
+  else begin
+    (* Public factor keeps the conventional zero upper triangle. *)
+    for i = 0 to l.rows - 1 do
+      for j = i + 1 to l.cols - 1 do
+        set l i j 0.
+      done
+    done;
+    Some l
+  end
+
+let forward_subst_into l b y =
   let n = Vec.dim b in
-  let y = Vec.create n in
   for i = 0 to n - 1 do
     let sum = ref b.(i) in
     for k = 0 to i - 1 do
       sum := !sum -. (get l i k *. y.(k))
     done;
     y.(i) <- !sum /. get l i i
-  done;
+  done
+
+let forward_subst l b =
+  let y = Vec.create (Vec.dim b) in
+  forward_subst_into l b y;
   y
 
-let backward_subst_t l y =
+let backward_subst_t_into l y x =
   (* Solves L^T x = y given lower-triangular L. *)
   let n = Vec.dim y in
-  let x = Vec.create n in
   for i = n - 1 downto 0 do
     let sum = ref y.(i) in
     for k = i + 1 to n - 1 do
       sum := !sum -. (get l k i *. x.(k))
     done;
     x.(i) <- !sum /. get l i i
-  done;
+  done
+
+let backward_subst_t l y =
+  let x = Vec.create (Vec.dim y) in
+  backward_subst_t_into l y x;
   x
 
 let cholesky_solve a b =
@@ -109,26 +140,58 @@ let cholesky_solve a b =
   | None -> None
   | Some l -> Some (backward_subst_t l (forward_subst l b))
 
-let solve_spd_ridge a b =
+(* Allocation-free ridge solve: [work] holds the factor (destroyed), [tmp]
+   the forward-substitution intermediate, [x] the result.  On factorisation
+   failure the original [a] is re-copied into [work] with a larger ridge, so
+   [a] itself is never modified. *)
+let solve_spd_ridge_into ?hint ~work ~tmp a b x =
+  if a.rows <> a.cols then Err.fail "Mat.solve_spd_ridge_into: non-square";
+  if work.rows <> a.rows || work.cols <> a.cols then
+    Err.fail "Mat.solve_spd_ridge_into: workspace dimension mismatch";
   let n = a.rows in
+  (* Ridge escalation must be relative to the matrix scale: barrier
+     Hessians near a constraint boundary carry entries ~1/slack^2 (1e20
+     and beyond), where any absolute ridge is noise.  A shift of
+     n x (max diagonal) makes the matrix diagonally dominant, hence SPD,
+     so the relative cap always terminates on finite input. *)
+  let scale = ref 0. in
+  for i = 0 to n - 1 do
+    let d = abs_float (get a i i) in
+    if d > !scale then scale := d
+  done;
+  let scale = Float.max !scale 1. in
   let rec attempt ridge =
-    let a' =
-      if ridge = 0. then a
-      else begin
-        let c = copy a in
-        for i = 0 to n - 1 do
-          add_to c i i ridge
-        done;
-        c
-      end
-    in
-    match cholesky_solve a' b with
-    | Some x -> x
-    | None ->
-      if ridge > 1e12 then Err.fail "Mat.solve_spd_ridge: cannot regularise"
-      else attempt (if ridge = 0. then 1e-10 else ridge *. 100.)
+    Array.blit a.data 0 work.data 0 (Array.length a.data);
+    if ridge > 0. then
+      for i = 0 to n - 1 do
+        add_to work i i ridge
+      done;
+    if cholesky_inplace work then begin
+      (match hint with Some h -> h := ridge | None -> ());
+      forward_subst_into work b tmp;
+      backward_subst_t_into work tmp x
+    end
+    else if ridge > 10. *. float_of_int n *. scale then
+      Err.fail "Mat.solve_spd_ridge: cannot regularise"
+    else if ridge = 0. then attempt (1e-12 *. scale)
+    else attempt (ridge *. 100.)
   in
-  attempt 0.
+  (* Near-degenerate barrier Hessians fail at small ridges on every
+     Newton step; re-discovering the workable shift from zero costs a
+     full wasted factorisation per rung.  The hint carries the previous
+     step's successful ridge, and restarting one rung below it keeps the
+     regularisation as light as the matrix allows while paying for at
+     most two factorisations in the steady state. *)
+  match hint with
+  | Some h when !h > 0. -> attempt (Float.max (!h /. 100.) (1e-12 *. scale))
+  | _ -> attempt 0.
+
+let solve_spd_ridge a b =
+  let work = create a.rows a.cols in
+  let tmp = Vec.create a.rows in
+  let x = Vec.create a.rows in
+  solve_spd_ridge_into ~work ~tmp a b x;
+  x
 
 let lu_solve a b =
   if a.rows <> a.cols || a.rows <> Vec.dim b then

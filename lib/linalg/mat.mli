@@ -18,6 +18,18 @@ val add_to : t -> int -> int -> float -> unit
 (** [add_to m i j x] updates [m.(i).(j) <- m.(i).(j) + x]. *)
 
 val copy : t -> t
+
+val data : t -> float array
+(** The underlying row-major storage — element [(i,j)] at [i*cols + j].
+    Exposed so tight accumulation loops (the GP solver's Hessian assembly)
+    avoid per-element call overhead; treat as a borrowed buffer. *)
+
+val fill : t -> float -> unit
+(** Set every element (in place). *)
+
+val blit : t -> t -> unit
+(** [blit src dst] copies [src] into [dst] (equal dimensions required). *)
+
 val transpose : t -> t
 val matvec : t -> Vec.t -> Vec.t
 val matmul : t -> t -> t
@@ -31,12 +43,28 @@ val cholesky : t -> t option
 (** Lower-triangular Cholesky factor of a symmetric positive-definite matrix,
     or [None] when the matrix is not numerically SPD. *)
 
+val cholesky_inplace : t -> bool
+(** Overwrite the lower triangle with the Cholesky factor L (the upper
+    triangle is left stale); [false] when not numerically SPD.  The
+    allocation-free core of {!cholesky} / {!solve_spd_ridge_into}. *)
+
 val cholesky_solve : t -> Vec.t -> Vec.t option
 (** [cholesky_solve a b] solves [a x = b] for SPD [a]. *)
 
 val solve_spd_ridge : t -> Vec.t -> Vec.t
 (** Like {!cholesky_solve} but retries with growing diagonal regularisation
     [a + ridge*I] until the factorisation succeeds.  Always returns. *)
+
+val solve_spd_ridge_into :
+  ?hint:float ref -> work:t -> tmp:Vec.t -> t -> Vec.t -> Vec.t -> unit
+(** [solve_spd_ridge_into ~work ~tmp a b x] is {!solve_spd_ridge} without
+    heap allocation: [a] is copied into [work] (same dimensions) and
+    factored there, [tmp] holds the substitution intermediate and [x]
+    receives the solution.  [a] and [b] are not modified.  [hint], when
+    given, carries the successful ridge across calls: the next attempt
+    starts one escalation rung below the previous success instead of at
+    zero, sparing the repeated failed factorisations that sequences of
+    near-degenerate systems (barrier Hessians) otherwise pay. *)
 
 val lu_solve : t -> Vec.t -> Vec.t option
 (** Partial-pivot LU solve for general square systems; [None] if singular. *)

@@ -6,12 +6,14 @@ type index = { names : string array; positions : (string, int) Hashtbl.t }
 
 let index_of_vars names =
   let positions = Hashtbl.create 64 in
+  let count = ref 0 in
   let rev =
     List.fold_left
       (fun acc v ->
         if Hashtbl.mem positions v then acc
         else begin
-          Hashtbl.add positions v (List.length acc);
+          Hashtbl.add positions v !count;
+          incr count;
           v :: acc
         end)
       [] names
@@ -27,15 +29,19 @@ let index_position idx v =
 let index_name idx i = idx.names.(i)
 let index_names idx = Array.to_list idx.names
 
-(* One compiled term: log-coefficient plus sparse exponent row. *)
-type term = { logc : float; exps : (int * float) array }
+(* One compiled term: log-coefficient plus sparse exponent row.  [logc] is
+   mutable so budget rescales patch coefficients in place ({!rescale});
+   [base_logc] remembers the as-compiled value the rescale is relative to. *)
+type term = { mutable logc : float; base_logc : float; exps : (int * float) array }
 
 type t = { terms : term array; support : int array (* sorted distinct vars *) }
 
 let compile idx p =
   let compile_m m =
+    let logc = log (Monomial.coeff m) in
     {
-      logc = log (Monomial.coeff m);
+      logc;
+      base_logc = logc;
       exps =
         Monomial.exponents m
         |> List.map (fun (v, e) -> (index_position idx v, e))
@@ -52,8 +58,35 @@ let compile idx p =
 
 let support f = f.support
 
+let rescale f s =
+  if not (s > 0.) then Err.fail "Logspace.rescale: non-positive factor %g" s;
+  let ls = log s in
+  Array.iter (fun t -> t.logc <- t.base_logc +. ls) f.terms
+
+let mul_var f j e =
+  let terms =
+    Array.map
+      (fun t ->
+        {
+          logc = t.logc;
+          base_logc = t.logc;
+          exps = Array.append t.exps [| (j, e) |];
+        })
+      f.terms
+  in
+  let support =
+    if Array.exists (fun v -> v = j) f.support then f.support
+    else Array.append f.support [| j |] |> Array.to_list |> List.sort compare
+         |> Array.of_list
+  in
+  { terms; support }
+
 let term_value t y =
   Array.fold_left (fun acc (j, e) -> acc +. (e *. y.(j))) t.logc t.exps
+
+(* ------------------------------------------------------------------ *)
+(* Allocating evaluation (compile-time / diagnostic paths)             *)
+(* ------------------------------------------------------------------ *)
 
 (* Stable logsumexp with softmax weights. *)
 let softmax f y =
@@ -65,7 +98,20 @@ let softmax f y =
   let probs = Array.map (fun e -> e /. z) exps in
   (value, probs)
 
-let value f y = fst (softmax f y)
+(* Two-pass logsumexp: no intermediate arrays. *)
+let value f y =
+  let m = ref neg_infinity in
+  Array.iter
+    (fun t ->
+      let v = term_value t y in
+      if v > !m then m := v)
+    f.terms;
+  if !m = neg_infinity then neg_infinity
+  else begin
+    let z = ref 0. in
+    Array.iter (fun t -> z := !z +. exp (term_value t y -. !m)) f.terms;
+    !m +. log !z
+  end
 
 let grad_of_probs f y probs =
   let g = Vec.create (Vec.dim y) in
@@ -108,3 +154,139 @@ let add_weighted_hessian f y w h =
   (v, g)
 
 let num_terms f = Array.length f.terms
+
+(* ------------------------------------------------------------------ *)
+(* Workspace evaluation (the solver's per-Newton-iteration hot path)   *)
+(* ------------------------------------------------------------------ *)
+
+type scratch = { mutable vals : float array; gtmp : Vec.t }
+
+let make_scratch ~n ~max_terms =
+  { vals = Array.make (max 1 max_terms) 0.; gtmp = Vec.create n }
+
+let ensure_terms s k =
+  if Array.length s.vals < k then s.vals <- Array.make k 0.
+
+(* Softmax with probabilities left in [s.vals.(0..k-1)]; returns the value. *)
+let softmax_ws s f y =
+  let k = Array.length f.terms in
+  ensure_terms s k;
+  let vals = s.vals in
+  let m = ref neg_infinity in
+  for i = 0 to k - 1 do
+    let v = term_value f.terms.(i) y in
+    vals.(i) <- v;
+    if v > !m then m := v
+  done;
+  let z = ref 0. in
+  for i = 0 to k - 1 do
+    let e = exp (vals.(i) -. !m) in
+    vals.(i) <- e;
+    z := !z +. e
+  done;
+  let inv = 1. /. !z in
+  for i = 0 to k - 1 do
+    vals.(i) <- vals.(i) *. inv
+  done;
+  !m +. log !z
+
+(* Gradient over the support into [s.gtmp] from the probabilities computed
+   by [softmax_ws] (support entries are zeroed first; exponent rows only
+   ever touch support positions). *)
+let grad_ws s f =
+  let g = s.gtmp in
+  let sup = f.support in
+  for a = 0 to Array.length sup - 1 do
+    g.(sup.(a)) <- 0.
+  done;
+  let probs = s.vals in
+  Array.iteri
+    (fun i t ->
+      let p = probs.(i) in
+      if p > 0. then
+        Array.iter (fun (j, e) -> g.(j) <- g.(j) +. (p *. e)) t.exps)
+    f.terms
+
+(* Shared Hessian accumulation: h += c1 * sum_i p_i a_i a_i^T
+   + c2 * grad grad^T, writing straight into the matrix storage. *)
+let accumulate_ws s f h ~c1 ~c2 =
+  let data = Mat.data h in
+  let n = Vec.dim s.gtmp in
+  let probs = s.vals in
+  Array.iteri
+    (fun i t ->
+      let p = probs.(i) in
+      if p > 0. then begin
+        let w = c1 *. p in
+        let exps = t.exps in
+        for a = 0 to Array.length exps - 1 do
+          let j, ej = exps.(a) in
+          let wj = w *. ej in
+          let row = j * n in
+          for b = 0 to Array.length exps - 1 do
+            let k, ek = exps.(b) in
+            data.(row + k) <- data.(row + k) +. (wj *. ek)
+          done
+        done
+      end)
+    f.terms;
+  let g = s.gtmp in
+  let sup = f.support in
+  for a = 0 to Array.length sup - 1 do
+    let ga = g.(sup.(a)) in
+    if ga <> 0. then begin
+      let row = sup.(a) * n in
+      let w = c2 *. ga in
+      for b = 0 to Array.length sup - 1 do
+        let k = sup.(b) in
+        data.(row + k) <- data.(row + k) +. (w *. g.(k))
+      done
+    end
+  done
+
+let add_objective_term s f y ~weight h g =
+  let v = softmax_ws s f y in
+  grad_ws s f;
+  (* weight * hess = weight * (sum p a a^T - grad grad^T) *)
+  accumulate_ws s f h ~c1:weight ~c2:(-.weight);
+  let gt = s.gtmp in
+  let sup = f.support in
+  for a = 0 to Array.length sup - 1 do
+    let j = sup.(a) in
+    g.(j) <- g.(j) +. (weight *. gt.(j))
+  done;
+  v
+
+let add_barrier_term s f y h g =
+  let v = softmax_ws s f y in
+  if v >= 0. then v
+  else begin
+    let w = 1. /. -.v in
+    grad_ws s f;
+    (* Barrier term of -log(-F): gradient w*grad, Hessian
+       w*hess F + w^2 grad grad^T = w*sum p a a^T + (w^2 - w) grad grad^T. *)
+    accumulate_ws s f h ~c1:w ~c2:((w *. w) -. w);
+    let gt = s.gtmp in
+    let sup = f.support in
+    for a = 0 to Array.length sup - 1 do
+      let j = sup.(a) in
+      g.(j) <- g.(j) +. (w *. gt.(j))
+    done;
+    v
+  end
+
+let value_ws s f y =
+  let k = Array.length f.terms in
+  ensure_terms s k;
+  let vals = s.vals in
+  let m = ref neg_infinity in
+  for i = 0 to k - 1 do
+    let v = term_value f.terms.(i) y in
+    vals.(i) <- v;
+    if v > !m then m := v
+  done;
+  let z = ref 0. in
+  for i = 0 to k - 1 do
+    z := !z +. exp (vals.(i) -. !m)
+  done;
+  !m +. log !z

@@ -43,3 +43,50 @@ val num_terms : t -> int
 
 val support : t -> int array
 (** Sorted distinct variable indices occurring in the posynomial. *)
+
+val rescale : t -> float -> unit
+(** [rescale f s] patches the compiled coefficients in place so [f]
+    represents [s · p], where [p] is the posynomial originally passed to
+    {!compile}.  The factor is absolute (relative to compile time), not
+    cumulative, and exponent rows are untouched — rescaling a constraint
+    budget never changes the exponents, which is what lets the GP solver
+    reuse one compiled problem across respecification rounds. *)
+
+val mul_var : t -> int -> float -> t
+(** [mul_var f j e] is the compiled form of [f · x_j^e] ([j] a valid index
+    position): every term gains the exponent pair.  Coefficients are
+    captured at their *current* (possibly rescaled) values.  Used to build
+    the phase-I problem directly in compiled space. *)
+
+(** {2 Workspace evaluation}
+
+    The solver's inner Newton loop evaluates values, gradients and
+    Hessians thousands of times per solve; these variants reuse one
+    {!scratch} so the loop performs no heap allocation. *)
+
+type scratch
+(** Reusable buffers (softmax values/probabilities, gradient accumulator).
+    Not thread-safe; use one per solver instance. *)
+
+val make_scratch : n:int -> max_terms:int -> scratch
+(** [n] is the variable-index size, [max_terms] the largest term count
+    expected (grown automatically if exceeded). *)
+
+val value_ws : scratch -> t -> Smart_linalg.Vec.t -> float
+(** Allocation-free {!value}. *)
+
+val add_objective_term :
+  scratch -> t -> Smart_linalg.Vec.t -> weight:float ->
+  Smart_linalg.Mat.t -> Smart_linalg.Vec.t -> float
+(** [add_objective_term s f y ~weight h g] accumulates
+    [weight * hess F(y)] into [h] and [weight * grad F(y)] into [g]
+    (both in place, touching only the support) and returns [F(y)].
+    Allocation-free. *)
+
+val add_barrier_term :
+  scratch -> t -> Smart_linalg.Vec.t ->
+  Smart_linalg.Mat.t -> Smart_linalg.Vec.t -> float
+(** [add_barrier_term s f y h g] accumulates the Hessian and gradient of
+    the log-barrier term [-log(-F(y))] into [h] and [g] and returns
+    [F(y)].  When [F(y) >= 0] (infeasible) it returns the value without
+    touching [h] or [g].  Allocation-free. *)

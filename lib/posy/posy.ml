@@ -37,11 +37,23 @@ let scale s t = List.map (Monomial.scale s) t
 let mul_monomial t m = List.map (Monomial.mul m) t
 let div_monomial t m = mul_monomial t (Monomial.inv m)
 
-let rec pow_int t n =
+(* Exponentiation by squaring: O(log n) posynomial multiplications instead
+   of n-1 (each multiplication is itself quadratic in term count). *)
+let pow_int t n =
   if n < 0 then Err.fail "Posy.pow_int: negative power %d" n
   else if n = 0 then const 1.
-  else if n = 1 then t
-  else mul t (pow_int t (n - 1))
+  else begin
+    let rec go acc base n =
+      let acc =
+        if n land 1 = 1 then
+          Some (match acc with None -> base | Some a -> mul a base)
+        else acc
+      in
+      if n <= 1 then (match acc with Some a -> a | None -> const 1.)
+      else go acc (mul base base) (n lsr 1)
+    in
+    go None t n
+  end
 
 let as_monomial = function [ m ] -> Some m | _ -> None
 let is_const t = List.for_all Monomial.is_const t

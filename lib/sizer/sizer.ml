@@ -19,6 +19,7 @@ type options = {
   objective : Constraints.objective;
   gp_options : Solver.options;
   min_delay_hint : float option;
+  gp_warm_start : bool;
 }
 
 let default_options =
@@ -30,6 +31,7 @@ let default_options =
     objective = Constraints.Area;
     gp_options = Solver.default_options;
     min_delay_hint = None;
+    gp_warm_start = true;
   }
 
 type outcome = {
@@ -42,6 +44,8 @@ type outcome = {
   clock_load_width : float;
   iterations : int;
   gp_newton_iterations : int;
+  gp_warm_rounds : int;
+  gp_newton_per_round : int list;
   converged : bool;
   constraint_stats : Constraints.result;
   sta : Sta.t;
@@ -90,11 +94,44 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
   let result = ref None in
   let timing_factor = ref 1.0 in
   let precharge_factor = ref 1.0 in
-  (* Warm start: one min-delay solve reveals how fast the model thinks the
+  (* Compile the program once; every respecification round only patches
+     the compiled budget coefficients and re-solves, warm-started from the
+     previous round's log-space solution. *)
+  let prepared = Solver.prepare generated.Constraints.problem in
+  let warm = ref None in
+  (* Warm-start policy: hold one anchor snapshot while it keeps working,
+     re-anchor only after a round that fell back to phase I.  Under the
+     relaxing drift the respecification loop usually follows (optimistic
+     models vs the golden STA), the anchor — taken at the tightest
+     budgets seen — only gains constraint margin, and re-centering from
+     it stays cheap.  Chaining to every round's fresh snapshot instead
+     lets the start drift with the relaxed central paths, which can
+     strand a round near a constraint-activity crossover where
+     re-centering crawls; on the 64-bit CLA adder that one pathology
+     costs more than every other round combined.  When the budgets
+     tighten past the anchor the solver degrades to an anchor-seeded
+     phase I and reports the round as not warm-started, which is the cue
+     to adopt that round's snapshot as the new anchor. *)
+  let anchored = ref false in
+  let warm_rounds = ref 0 in
+  let newton_per_round = ref [] in
+  let remember sol =
+    newton_per_round := sol.Solver.newton_iterations :: !newton_per_round;
+    if sol.Solver.warm_started then incr warm_rounds;
+    if options.gp_warm_start && ((not !anchored) || not sol.Solver.warm_started)
+    then
+      match Solver.warm_handle sol with
+      | Some _ as w ->
+        warm := w;
+        anchored := true
+      | None -> ()
+  in
+  (* Pre-solve: one min-delay solve reveals how fast the model thinks the
      topology can go.  If that is slower than the target, the main loop
      would burn rounds discovering the same thing through infeasibility;
-     start with the implied relaxation instead.  Callers sweeping many
-     targets supply the hint to skip the pre-solve. *)
+     start with the implied relaxation instead.  Its solution also seeds
+     the first round's warm start (the variable sets overlap exactly).
+     Callers sweeping many targets supply the hint to skip the pre-solve. *)
   (match options.min_delay_hint with
   | Some d_model ->
     if d_model > spec.Constraints.target_delay then
@@ -114,19 +151,21 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
         total_newton := sol.Solver.newton_iterations;
         let d_model = Solver.lookup sol Constraints.delay_variable in
         if d_model > spec.Constraints.target_delay then
-          timing_factor := 1.1 *. d_model /. spec.Constraints.target_delay)));
+          timing_factor := 1.1 *. d_model /. spec.Constraints.target_delay;
+        if options.gp_warm_start then
+          warm := Solver.warm_of_values prepared sol.Solver.values)));
   (try
      for iter = 1 to options.max_iterations do
        iterations := iter;
-       let current =
-         Constraints.rescale generated ~timing:!timing_factor
-           ~precharge:!precharge_factor
-       in
-       match Solver.solve ~options:options.gp_options current.Constraints.problem with
+       Solver.rescale_compiled prepared
+         (Constraints.rescale_factors ~timing:!timing_factor
+            ~precharge:!precharge_factor);
+       match Solver.resolve ~options:options.gp_options ?warm:!warm prepared with
        | Error e ->
          result := Some (Error (Err.Gp_failure e));
          raise Exit
        | Ok sol -> (
+         remember sol;
          match sol.Solver.status with
          | Solver.Infeasible ->
            (* Model-space infeasible: relax the internal budgets.  Give up
@@ -165,6 +204,8 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
                clock_load_width = Netlist.clock_load_width netlist sizing_fn;
                iterations = iter;
                gp_newton_iterations = !total_newton;
+               gp_warm_rounds = !warm_rounds;
+               gp_newton_per_round = List.rev !newton_per_round;
                converged = true;
                constraint_stats = generated;
                sta = eval_sta;
@@ -207,7 +248,14 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
   | Some r -> r
   | None -> (
     match !best with
-    | Some outcome -> Ok { outcome with iterations = !iterations }
+    | Some outcome ->
+      Ok
+        {
+          outcome with
+          iterations = !iterations;
+          gp_warm_rounds = !warm_rounds;
+          gp_newton_per_round = List.rev !newton_per_round;
+        }
     | None ->
       Error
         (Err.Sta_disagreement
@@ -228,6 +276,11 @@ let size_typed ?options tech netlist spec =
           ("ok", Tracepoint.Bool true);
           ("iterations", Tracepoint.Int o.iterations);
           ("gp_newton", Tracepoint.Int o.gp_newton_iterations);
+          ("gp_warm_rounds", Tracepoint.Int o.gp_warm_rounds);
+          ( "gp_newton_per_round",
+            Tracepoint.Str
+              (String.concat ","
+                 (List.map string_of_int o.gp_newton_per_round)) );
           ("sta_verifies", Tracepoint.Int (2 * o.iterations));
           ("achieved_ps", Tracepoint.Float o.achieved_delay);
         ]

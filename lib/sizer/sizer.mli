@@ -23,6 +23,12 @@ type options = {
       (** known model-space minimum delay (ps): skips the warm-start
           min-delay pre-solve — pass it when sweeping many targets over
           one netlist *)
+  gp_warm_start : bool;
+      (** warm-start each respecification round's GP from the previous
+          round's log-space solution (and the first round from the
+          min-delay pre-solve), reusing one compiled program — the
+          incremental hot path (default true).  Disable to force a cold
+          compile-and-phase-I solve every round, e.g. for A/B timing. *)
 }
 
 val default_options : options
@@ -37,6 +43,12 @@ type outcome = {
   clock_load_width : float;
   iterations : int;  (** outer loop iterations used *)
   gp_newton_iterations : int;  (** cumulative inner Newton steps *)
+  gp_warm_rounds : int;
+      (** respecification rounds whose GP resolve skipped phase I via a
+          warm start *)
+  gp_newton_per_round : int list;
+      (** Newton iterations of each respecification round's GP solve, in
+          round order (excludes the min-delay pre-solve) *)
   converged : bool;
   constraint_stats : Smart_constraints.Constraints.result;
       (** the generated program (counts, area posynomial) *)

@@ -115,6 +115,115 @@ let test_constraint_le_helper () =
   let c2 = P.constraint_le "c" (Posy.var "x") (Posy.add (Posy.var "y") (Posy.const 1.)) in
   checkb "posynomial rhs rejected" true (c2 = None)
 
+(* Regression: patching compiled coefficients with [rescale_compiled]
+   must land on the same optimum as recompiling an explicitly rescaled
+   Problem — and the identity factor must restore the original. *)
+let test_rescale_compiled_matches_recompile () =
+  let vars = [ "a"; "b"; "c" ] in
+  let objective = Posy.sum (List.map Posy.var vars) in
+  let ineqs =
+    List.mapi
+      (fun i v ->
+        ( Printf.sprintf "c%d" i,
+          Posy.of_monomial (M.make (0.4 +. (0.2 *. float_of_int i)) [ (v, -1.) ])
+        ))
+      vars
+  in
+  let bounds = List.map (fun v -> (v, 0.01, 100.)) vars in
+  let base = P.make ~inequalities:ineqs ~bounds objective in
+  let factor = function "c0" -> 1.3 | "c1" -> 0.8 | _ -> 1.0 in
+  let prepared = S.prepare base in
+  let sol0 = match S.resolve prepared with Ok s -> s | Error e -> Alcotest.fail e in
+  S.rescale_compiled prepared factor;
+  let patched =
+    match S.resolve ?warm:(S.warm_handle sol0) prepared with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let recompiled =
+    solve_ok
+      (P.make
+         ~inequalities:
+           (List.map (fun (nm, c) -> (nm, Posy.scale (factor nm) c)) ineqs)
+         ~bounds objective)
+  in
+  checkb "both optimal" true
+    (patched.S.status = S.Optimal && recompiled.S.status = S.Optimal);
+  checkf 1e-5 "objective" recompiled.S.objective_value patched.S.objective_value;
+  List.iter
+    (fun v -> checkf 1e-4 v (S.lookup recompiled v) (S.lookup patched v))
+    vars;
+  (* Identity factors restore the problem as prepared. *)
+  S.rescale_compiled prepared (fun _ -> 1.);
+  let restored =
+    match S.resolve prepared with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  checkf 1e-5 "identity restores" sol0.S.objective_value
+    restored.S.objective_value
+
+(* Property: a warm-started resolve after a random budget rescale agrees
+   with a cold compile-and-solve of the equivalent rescaled Problem —
+   the hot path may never trade accuracy for speed.  Factors straddle 1
+   so both relaxing rounds (warm point stays feasible, phase I skipped)
+   and tightening rounds (falls back to a warm-seeded phase I) are
+   exercised. *)
+let prop_warm_resolve_matches_cold =
+  QCheck.Test.make ~name:"warm resolve matches cold solve across rescales"
+    ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let vars = [ "a"; "b"; "c" ] in
+      let objective =
+        Posy.of_monomials
+          (List.map (fun v -> M.make (Rng.uniform rng 0.5 2.) [ (v, 1.) ]) vars)
+      in
+      let ineqs =
+        List.mapi
+          (fun i v ->
+            ( Printf.sprintf "c%d" i,
+              Posy.of_monomial
+                (M.make (Rng.uniform rng 0.2 1.) [ (v, -1.) ]) ))
+          vars
+      in
+      let bounds = List.map (fun v -> (v, 0.01, 100.)) vars in
+      let base = P.make ~inequalities:ineqs ~bounds objective in
+      let prepared = S.prepare base in
+      match S.resolve prepared with
+      | Error _ -> false
+      | Ok sol0 ->
+        let warm = ref (S.warm_handle sol0) in
+        let round _ =
+          (* Absolute factors w.r.t. the problem as prepared. *)
+          let factors =
+            List.map (fun (nm, _) -> (nm, Rng.uniform rng 0.7 1.3)) ineqs
+          in
+          let factor nm =
+            match List.assoc_opt nm factors with Some f -> f | None -> 1.
+          in
+          S.rescale_compiled prepared factor;
+          let cold =
+            S.solve
+              (P.make
+                 ~inequalities:
+                   (List.map
+                      (fun (nm, c) -> (nm, Posy.scale (factor nm) c))
+                      ineqs)
+                 ~bounds objective)
+          in
+          match (cold, S.resolve ?warm:!warm prepared) with
+          | Ok sc, Ok sw ->
+            (match S.warm_handle sw with
+            | Some _ as w -> warm := w
+            | None -> ());
+            sc.S.status = S.Optimal
+            && sw.S.status = S.Optimal
+            && abs_float (sc.S.objective_value -. sw.S.objective_value)
+               <= 1e-5 *. abs_float sc.S.objective_value
+          | _ -> false
+        in
+        List.for_all round [ 1; 2; 3 ])
+
 (* Property: on random feasible problems, the solver's objective is no
    worse than any feasible point we can sample. *)
 let prop_no_sampled_point_beats_solver =
@@ -258,9 +367,15 @@ let () =
           Alcotest.test_case "bound validation" `Quick test_problem_validation;
           Alcotest.test_case "constraint_le" `Quick test_constraint_le_helper;
         ] );
+      ( "hot path",
+        [
+          Alcotest.test_case "rescale_compiled = recompile" `Quick
+            test_rescale_compiled_matches_recompile;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
+            prop_warm_resolve_matches_cold;
             prop_no_sampled_point_beats_solver;
             prop_solution_feasible;
             prop_objective_scaling_invariance;
