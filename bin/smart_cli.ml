@@ -130,6 +130,7 @@ let advise_cmd =
         | Smart.Error.Gp_failure _ -> "gp-failure"
         | Smart.Error.Sta_disagreement _ -> "sta-disagreement"
         | Smart.Error.Invalid_request _ -> "invalid-request"
+        | Smart.Error.Worker_crash _ -> "worker-crash"
       in
       Printf.eprintf "advise: [%s] %s\n" tag (Smart.Error.to_string e);
       1
@@ -276,7 +277,110 @@ let spice_cmd =
     (Cmd.info "spice" ~doc:"Size a macro and dump the transistor-level SPICE deck")
     Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg)
 
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let run seeds gates start_seed adder_bits =
+    (* Leg 1: differential timing gauntlet over random netlists. *)
+    let rep = Smart.Check.gauntlet ~seeds ~gates ~start_seed tech in
+    Printf.printf "check: gauntlet %d/%d netlists agreed (%d event pops)\n"
+      rep.Smart.Check.agreed rep.Smart.Check.netlists rep.Smart.Check.events;
+    List.iter
+      (fun f ->
+        Format.printf "%a@." Smart.Check.pp_finding f;
+        print_string (Smart.Check.reproducer_spice f))
+      rep.Smart.Check.findings;
+    let gauntlet_ok = rep.Smart.Check.findings = [] in
+    (* Leg 2: GP certificates on every sizer round of a real macro. *)
+    let certify_ok =
+      if adder_bits <= 0 then begin
+        print_endline "check: certification skipped (--adder-bits 0)";
+        true
+      end
+      else begin
+        let info = Smart.Cla_adder.generate ~bits:adder_bits () in
+        let nl = info.Smart.Macro.netlist in
+        match
+          Smart.Sizer.minimize_delay_typed tech nl (Smart.Constraints.spec 400.)
+        with
+        | Error e ->
+          Printf.printf "check: certification min-delay failed: %s\n"
+            (Smart.Error.to_string e);
+          false
+        | Ok md -> (
+          let target = 1.15 *. md.Smart.Sizer.golden_min in
+          let options =
+            {
+              Smart.Sizer.default_options with
+              Smart.Sizer.min_delay_hint = Some md.Smart.Sizer.model_min;
+            }
+          in
+          match
+            Smart.Check.certify_sizing ~options tech nl
+              (Smart.Constraints.spec target)
+          with
+          | Error e ->
+            Printf.printf "check: certification sizing failed: %s\n"
+              (Smart.Error.to_string e);
+            false
+          | Ok c ->
+            Printf.printf
+              "check: certified %d/%d sizer rounds on %d-bit adder \
+               (%.1f ps achieved / %.1f ps target)\n"
+              c.Smart.Check.certified c.Smart.Check.rounds adder_bits
+              c.Smart.Check.achieved_delay c.Smart.Check.target_delay;
+            c.Smart.Check.rounds > 0
+            && c.Smart.Check.certified = c.Smart.Check.rounds)
+      end
+    in
+    (* Leg 3: every injected fault class degrades to a structured error. *)
+    let drills = Smart.Check.fault_drill tech in
+    List.iter
+      (fun (d : Smart.Check.drill_result) ->
+        Printf.printf "check: fault %-16s %s (%s)\n" d.Smart.Check.fault_class
+          (if d.Smart.Check.passed then "ok" else "FAILED")
+          d.Smart.Check.detail)
+      drills;
+    let drill_ok =
+      List.for_all (fun (d : Smart.Check.drill_result) -> d.Smart.Check.passed) drills
+    in
+    if gauntlet_ok && certify_ok && drill_ok then begin
+      print_endline "check: PASS";
+      0
+    end
+    else begin
+      print_endline "check: FAIL";
+      1
+    end
+  in
+  let seeds_arg =
+    let doc = "Number of seeded random netlists for the gauntlet." in
+    Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let gates_arg =
+    let doc = "Gates per random netlist." in
+    Arg.(value & opt int 40 & info [ "gates" ] ~docv:"N" ~doc)
+  in
+  let start_seed_arg =
+    let doc = "First seed of the gauntlet range." in
+    Arg.(value & opt int 1 & info [ "start-seed" ] ~docv:"N" ~doc)
+  in
+  let adder_bits_arg =
+    let doc = "CLA adder width for the GP-certification leg (0 skips it)." in
+    Arg.(value & opt int 64 & info [ "adder-bits" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential verification gauntlet: STA vs event-sim vs arc-model \
+          on random netlists, GP certificates on a real sizing, fault drill")
+    Term.(const run $ seeds_arg $ gates_arg $ start_seed_arg $ adder_bits_arg)
+
 let () =
   let doc = "SMART -- macro-driven circuit design advisor (DAC 2000 reproduction)" in
   let info = Cmd.info "smart_cli" ~version:Smart.version ~doc in
-  exit (Cmd.eval' (Cmd.group info [ db_cmd; advise_cmd; size_cmd; paths_cmd; sweep_cmd; spice_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ db_cmd; advise_cmd; size_cmd; paths_cmd; sweep_cmd; spice_cmd;
+            check_cmd ]))

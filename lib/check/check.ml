@@ -1,0 +1,231 @@
+module Err = Smart_util.Err
+module Fault = Smart_util.Fault
+module Netlist = Smart_circuit.Netlist
+module Spice = Smart_circuit.Spice
+module Tech = Smart_tech.Tech
+module Constraints = Smart_constraints.Constraints
+module Sizer = Smart_sizer.Sizer
+module Engine = Smart_engine.Engine
+
+(* ------------------------------------------------------------------ *)
+(* Differential gauntlet over random netlists                          *)
+(* ------------------------------------------------------------------ *)
+
+type finding = {
+  seed : int;
+  gates : int;  (** size of the minimized reproducer *)
+  netlist : Netlist.t;  (** the minimized reproducer *)
+  mismatches : Oracle.mismatch list;
+}
+
+(* Shrink by re-generating at smaller gate counts (generation is
+   deterministic in (seed, gates)); the smallest still-disagreeing
+   instance is the reproducer. *)
+let minimize ~tol tech ~seed ~gates mismatches =
+  let fails g =
+    let nl = Gen.netlist ~gates:g ~seed () in
+    let v = Oracle.run ~tol tech nl ~sizing:(Gen.sizing ~seed nl) in
+    if v.Oracle.mismatches = [] then None else Some (nl, v.Oracle.mismatches)
+  in
+  let rec scan g =
+    if g >= gates then
+      { seed; gates; netlist = Gen.netlist ~gates ~seed (); mismatches }
+    else
+      match fails g with
+      | Some (nl, ms) -> { seed; gates = g; netlist = nl; mismatches = ms }
+      | None -> scan (g + 1)
+  in
+  scan 1
+
+let pp_finding fmt f =
+  Format.fprintf fmt
+    "@[<v>seed %d, minimized to %d gates, %d mismatch(es):@,%a@,%a@]" f.seed
+    f.gates
+    (List.length f.mismatches)
+    (Format.pp_print_list Oracle.pp_mismatch)
+    f.mismatches Netlist.pp_summary f.netlist
+
+let reproducer_spice f =
+  Spice.subckt f.netlist ~sizing:(Gen.sizing ~seed:f.seed f.netlist)
+
+type gauntlet_report = {
+  netlists : int;
+  agreed : int;
+  events : int;  (** total event-sim pops across all runs *)
+  findings : finding list;
+}
+
+let gauntlet ?(seeds = 200) ?(gates = 40) ?(start_seed = 1) ?(tol = 1e-9)
+    tech =
+  let findings = ref [] in
+  let agreed = ref 0 in
+  let events = ref 0 in
+  for seed = start_seed to start_seed + seeds - 1 do
+    let nl = Gen.netlist ~gates ~seed () in
+    let v = Oracle.run ~tol tech nl ~sizing:(Gen.sizing ~seed nl) in
+    events := !events + v.Oracle.events;
+    match v.Oracle.mismatches with
+    | [] -> incr agreed
+    | ms -> findings := minimize ~tol tech ~seed ~gates ms :: !findings
+  done;
+  {
+    netlists = seeds;
+    agreed = !agreed;
+    events = !events;
+    findings = List.rev !findings;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* GP certification of a real sizing run                               *)
+(* ------------------------------------------------------------------ *)
+
+type certification = {
+  rounds : int;  (** respecification rounds run *)
+  certified : int;  (** rounds whose certificate was validated *)
+  achieved_delay : float;
+  target_delay : float;
+}
+
+let certify_sizing ?(options = Sizer.default_options) tech netlist spec =
+  let options = { options with Sizer.certify = true } in
+  match Sizer.size_typed ~options tech netlist spec with
+  | Error e -> Error e
+  | Ok o ->
+    Ok
+      {
+        rounds = List.length o.Sizer.gp_newton_per_round;
+        certified = o.Sizer.certified_rounds;
+        achieved_delay = o.Sizer.achieved_delay;
+        target_delay = o.Sizer.target_delay;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Fault drill: every injected failure class must degrade to a         *)
+(* structured error, and never poison the solve cache                  *)
+(* ------------------------------------------------------------------ *)
+
+type drill_result = { fault_class : string; passed : bool; detail : string }
+
+let drill_netlist () = Gen.netlist ~gates:12 ~seed:7 ()
+
+let drill_options =
+  { Sizer.default_options with Sizer.max_iterations = 2 }
+
+let run_protected f =
+  match f () with
+  | Ok _ -> `Ok
+  | Error e -> `Err (e : Err.t)
+  | exception e -> `Raised (Printexc.to_string e)
+
+let gp_failure_drill tech =
+  Fault.reset ();
+  let engine = Engine.create ~workers:1 () in
+  let nl = drill_netlist () in
+  let spec = Constraints.spec 2000. in
+  let fault_class = "gp-failure" in
+  Fault.arm "sizer.gp" (Fault.Error_result "injected GP fault");
+  let first =
+    run_protected (fun () ->
+        Engine.size engine ~options:drill_options tech nl spec)
+  in
+  Fault.reset ();
+  (* The failed solve must not have been cached: the identical request
+     re-runs the sizer and succeeds (or fails for a real reason, but not
+     with the injected message). *)
+  let second =
+    run_protected (fun () ->
+        Engine.size engine ~options:drill_options tech nl spec)
+  in
+  match (first, second) with
+  | `Err (Err.Gp_failure msg), `Err (Err.Gp_failure msg')
+    when msg = msg' ->
+    { fault_class; passed = false;
+      detail = "injected failure replayed from cache: " ^ msg }
+  | `Err (Err.Gp_failure _), (`Ok | `Err _) ->
+    { fault_class; passed = true;
+      detail = "structured Gp_failure, retry re-ran the sizer" }
+  | `Raised e, _ ->
+    { fault_class; passed = false; detail = "uncaught exception: " ^ e }
+  | first, _ ->
+    let detail =
+      match first with
+      | `Ok -> "fault did not fire (solve succeeded)"
+      | `Err e -> "wrong error class: " ^ Err.to_string e
+      | `Raised e -> "uncaught exception: " ^ e
+    in
+    { fault_class; passed = false; detail }
+
+let sta_disagreement_drill tech =
+  Fault.reset ();
+  let engine = Engine.create ~workers:1 () in
+  let nl = drill_netlist () in
+  let spec = Constraints.spec 2000. in
+  let fault_class = "sta-disagreement" in
+  (* Every golden analysis reports 50x the true delay: the model keeps
+     certifying the spec, the golden timer never confirms it. *)
+  Fault.arm ~count:1_000 "sta.golden" (Fault.Scale 50.);
+  let r =
+    run_protected (fun () ->
+        Engine.size engine ~options:drill_options tech nl spec)
+  in
+  Fault.reset ();
+  match r with
+  | `Err (Err.Sta_disagreement _) ->
+    { fault_class; passed = true; detail = "structured Sta_disagreement" }
+  | `Err (Err.Infeasible_spec _) ->
+    (* Also acceptable: the scaled golden delay can push the respec loop
+       past its relaxation cap. *)
+    { fault_class; passed = true;
+      detail = "structured Infeasible_spec from scaled golden delay" }
+  | `Ok ->
+    { fault_class; passed = false; detail = "fault did not fire" }
+  | `Err e ->
+    { fault_class; passed = false;
+      detail = "wrong error class: " ^ Err.to_string e }
+  | `Raised e ->
+    { fault_class; passed = false; detail = "uncaught exception: " ^ e }
+
+let worker_crash_drill tech =
+  Fault.reset ();
+  let engine = Engine.create ~workers:2 () in
+  let nl = drill_netlist () in
+  let spec = Constraints.spec 2000. in
+  let fault_class = "worker-crash" in
+  Fault.arm "engine.worker" (Fault.Raise "injected worker crash");
+  let named = [ ("a", nl); ("b", nl); ("c", nl) ] in
+  let r =
+    try Ok (Engine.size_all engine ~options:drill_options tech spec named)
+    with e -> Error (Printexc.to_string e)
+  in
+  Fault.reset ();
+  match r with
+  | Error e ->
+    { fault_class; passed = false; detail = "uncaught exception: " ^ e }
+  | Ok results ->
+    let crashes =
+      List.filter
+        (fun (_, r) ->
+          match r with Error (Err.Worker_crash _) -> true | _ -> false)
+        results
+    in
+    let oks = List.filter (fun (_, r) -> Result.is_ok r) results in
+    if List.length crashes = 1 && List.length oks = List.length results - 1
+    then
+      { fault_class; passed = true;
+        detail = "one Worker_crash slot, rest of the batch unaffected" }
+    else
+      {
+        fault_class;
+        passed = false;
+        detail =
+          Printf.sprintf "%d crash slots, %d ok of %d"
+            (List.length crashes) (List.length oks) (List.length results);
+      }
+
+let fault_drill tech =
+  let rs =
+    [ gp_failure_drill tech; sta_disagreement_drill tech;
+      worker_crash_drill tech ]
+  in
+  Fault.reset ();
+  rs

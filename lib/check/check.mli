@@ -1,0 +1,69 @@
+(** Gauntlet orchestration: differential verification at scale.
+
+    Three batteries, one verdict each:
+
+    - {!gauntlet} runs the three-way timing {!Oracle} over seeded random
+      {!Gen} netlists; any disagreement is shrunk to a minimal
+      reproducer ({!finding}) printable as a summary and a SPICE deck.
+    - {!certify_sizing} re-runs a real sizing with the independent
+      {!Smart_gp.Certify} checker enabled on every respecification round.
+    - {!fault_drill} arms each {!Smart_util.Fault} class the engine
+      threads (GP failure, golden-STA disagreement, worker-domain crash)
+      and asserts the failure surfaces as a structured
+      {!Smart_util.Err.t} — never an uncaught exception, never a
+      poisoned cache entry. *)
+
+type finding = {
+  seed : int;
+  gates : int;  (** size of the minimized reproducer *)
+  netlist : Smart_circuit.Netlist.t;  (** the minimized reproducer *)
+  mismatches : Oracle.mismatch list;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val reproducer_spice : finding -> string
+(** The minimized reproducer as a SPICE subcircuit deck under the
+    oracle's sizing. *)
+
+type gauntlet_report = {
+  netlists : int;
+  agreed : int;  (** netlists on which all three oracles agreed *)
+  events : int;  (** total event-sim worklist pops across all runs *)
+  findings : finding list;  (** empty = gauntlet passed *)
+}
+
+val gauntlet :
+  ?seeds:int ->
+  ?gates:int ->
+  ?start_seed:int ->
+  ?tol:float ->
+  Smart_tech.Tech.t ->
+  gauntlet_report
+(** Run the oracle over [seeds] (default 200) random netlists of
+    [gates] gates (default 40), seeded [start_seed ..] (default 1). *)
+
+type certification = {
+  rounds : int;  (** respecification rounds run *)
+  certified : int;  (** rounds whose certificate was validated *)
+  achieved_delay : float;
+  target_delay : float;
+}
+
+val certify_sizing :
+  ?options:Smart_sizer.Sizer.options ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  Smart_constraints.Constraints.spec ->
+  (certification, Smart_util.Err.t) result
+(** {!Smart_sizer.Sizer.size_typed} with [certify = true] forced on; a
+    sizing that completes with [certified < rounds] had rounds whose
+    solver status was not [Optimal] (certification only applies to
+    optimal claims). *)
+
+type drill_result = { fault_class : string; passed : bool; detail : string }
+
+val fault_drill : Smart_tech.Tech.t -> drill_result list
+(** Run all three fault classes against a small random netlist on a
+    fresh engine.  Resets the global fault registry before and after
+    each drill. *)

@@ -1,0 +1,179 @@
+module Rng = Smart_util.Rng
+module Err = Smart_util.Err
+module Netlist = Smart_circuit.Netlist
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+
+(* A levelised random network like Blocks.random_logic, but drawing from
+   every cell family the timing engines know: static gates (including
+   AOI/OAI), pass gates, tri-state drivers and domino stages, so the
+   differential oracle exercises data, control, evaluate and precharge
+   arcs together.  Deterministic in (seed, gates): the minimizer re-runs
+   the generator at smaller gate counts to shrink a reproducer. *)
+
+let pick_distinct rng pool k =
+  List.init k (fun _ -> Rng.choose rng pool) |> List.sort_uniq compare
+
+let netlist ?(gates = 40) ~seed () =
+  if gates < 1 then Err.fail "Smart_check.Gen.netlist: gates >= 1";
+  let rng = Rng.create seed in
+  let b = B.create (Printf.sprintf "check-s%d-g%d" seed gates) in
+  let n_inputs = max 4 (gates / 8) in
+  let pool =
+    ref
+      (Array.of_list
+         (List.init n_inputs (fun i -> B.input b (Printf.sprintf "in%d" i))))
+  in
+  let unread = Hashtbl.create 64 in
+  let take k =
+    let ins = pick_distinct rng !pool k in
+    List.iter (fun n -> Hashtbl.remove unread n) ins;
+    ins
+  in
+  for g = 0 to gates - 1 do
+    let out = B.wire b (Printf.sprintf "w%d" g) in
+    let p = Printf.sprintf "g%dp" g and n = Printf.sprintf "g%dn" g in
+    let name = Printf.sprintf "rg%d" g in
+    let roll = Rng.int rng 100 in
+    (if roll < 55 then begin
+       (* Static CMOS: inverter / nand / nor. *)
+       let ins = take (1 + Rng.int rng 3) in
+       let fanin = List.length ins in
+       let cell =
+         match fanin with
+         | 1 -> Cell.inverter ~p ~n
+         | k ->
+           if Rng.bool rng then Cell.nand ~inputs:k ~p ~n
+           else Cell.nor ~inputs:k ~p ~n
+       in
+       B.inst b ~group:"rand/static" ~name ~cell
+         ~inputs:
+           (List.mapi
+              (fun j net ->
+                ((if fanin = 1 then "a" else Printf.sprintf "a%d" j), net))
+              ins)
+         ~out ()
+     end
+     else if roll < 70 then begin
+       (* Complex static: AOI21 / OAI21 (3 pins); degrade to a NAND when
+          the pool cannot supply 3 distinct nets. *)
+       match take 3 with
+       | [ x; y; z ] ->
+         let cell =
+           if Rng.bool rng then Cell.aoi21 ~p ~n else Cell.oai21 ~p ~n
+         in
+         B.inst b ~group:"rand/static" ~name ~cell
+           ~inputs:[ ("a0", x); ("a1", y); ("b", z) ]
+           ~out ()
+       | ins ->
+         let fanin = List.length ins in
+         let cell =
+           if fanin = 1 then Cell.inverter ~p ~n
+           else Cell.nand ~inputs:fanin ~p ~n
+         in
+         B.inst b ~group:"rand/static" ~name ~cell
+           ~inputs:
+             (List.mapi
+                (fun j net ->
+                  ((if fanin = 1 then "a" else Printf.sprintf "a%d" j), net))
+                ins)
+           ~out ()
+     end
+     else if roll < 80 then begin
+       (* Pass gate: data + select. *)
+       match take 2 with
+       | [ d; s ] ->
+         let style =
+           match Rng.int rng 3 with
+           | 0 -> Cell.Cmos_tgate
+           | 1 -> Cell.N_only
+           | _ -> Cell.P_only
+         in
+         B.inst b ~group:"rand/pass" ~name
+           ~cell:(Cell.Passgate { style; label = n })
+           ~inputs:[ ("d", d); ("s", s) ]
+           ~out ()
+       | [ d ] ->
+         B.inst b ~group:"rand/static" ~name
+           ~cell:(Cell.inverter ~p ~n)
+           ~inputs:[ ("a", d) ]
+           ~out ()
+       | _ -> assert false
+     end
+     else if roll < 88 then begin
+       (* Tri-state driver: data + enable. *)
+       match take 2 with
+       | [ d; en ] ->
+         B.inst b ~group:"rand/tri" ~name
+           ~cell:(Cell.Tristate { p_label = p; n_label = n })
+           ~inputs:[ ("d", d); ("en", en) ]
+           ~out ()
+       | [ d ] ->
+         B.inst b ~group:"rand/static" ~name
+           ~cell:(Cell.inverter ~p ~n)
+           ~inputs:[ ("a", d) ]
+           ~out ()
+       | _ -> assert false
+     end
+     else begin
+       (* Domino stage: random 1-3 pin pull-down, series or parallel. *)
+       let ins = take (1 + Rng.int rng 3) in
+       let pins =
+         List.mapi (fun j _ -> Printf.sprintf "a%d" j) ins
+       in
+       let leaves =
+         List.map (fun pin -> Pdn.leaf ~pin ~label:n) pins
+       in
+       let pull_down =
+         match leaves with
+         | [ l ] -> l
+         | ls -> if Rng.bool rng then Pdn.series ls else Pdn.parallel ls
+       in
+       let cell =
+         Cell.Domino
+           {
+             gate_name = Printf.sprintf "dyn%d" (List.length ins);
+             pull_down;
+             precharge = p;
+             eval = (if Rng.bool rng then Some (n ^ "f") else None);
+             out_p = p ^ "o";
+             out_n = n ^ "o";
+             keeper = Rng.bool rng;
+           }
+       in
+       B.inst b ~group:"rand/domino" ~name ~cell
+         ~inputs:(List.combine pins ins) ~out ()
+     end);
+    Hashtbl.replace unread out ();
+    pool := Array.append !pool [| out |]
+  done;
+  (* Re-drive unread nets through output inverters with external load, as
+     the macro generators do, so every gate is on a measured path. *)
+  let k = ref 0 in
+  Hashtbl.iter
+    (fun net () ->
+      let out = B.output b (Printf.sprintf "out%d" !k) in
+      let p = Printf.sprintf "o%dp" !k and n = Printf.sprintf "o%dn" !k in
+      B.inst b ~group:"rand/out" ~name:(Printf.sprintf "ro%d" !k)
+        ~cell:(Cell.inverter ~p ~n)
+        ~inputs:[ ("a", net) ]
+        ~out ();
+      B.ext_load b out 10.;
+      incr k)
+    unread;
+  B.freeze b
+
+(* A deterministic, label-diverse sizing: widths in [0.8, 8] drawn from a
+   stream split off the netlist seed, so the oracle times each cell at a
+   different operating point without depending on the sizer. *)
+let sizing ~seed nl =
+  let rng = Rng.split (Rng.create seed) in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun l -> Hashtbl.replace tbl l (Rng.uniform rng 0.8 8.))
+    (Netlist.labels nl);
+  fun l ->
+    match Hashtbl.find_opt tbl l with
+    | Some w -> w
+    | None -> Err.fail "Smart_check.Gen.sizing: unknown label %s" l

@@ -1,0 +1,19 @@
+(** Randomized netlist generation for the differential gauntlet.
+
+    Like {!Smart_blocks.Blocks.random_logic} but drawing from every cell
+    family the timing engines handle — static CMOS (inverter, NAND, NOR,
+    AOI21, OAI21), pass gates of all three styles, tri-state drivers and
+    domino stages — so one generated netlist exercises data, control,
+    evaluate and precharge arcs at once.  Generation is deterministic in
+    [(seed, gates)], which is what lets the minimizer shrink a failing
+    case by re-generating at smaller gate counts. *)
+
+val netlist : ?gates:int -> seed:int -> unit -> Smart_circuit.Netlist.t
+(** A levelised random network of [gates] stages (default 40) over
+    [max 4 (gates/8)] primary inputs; every unread net is re-driven
+    through an output inverter with a 10 fF external load. *)
+
+val sizing : seed:int -> Smart_circuit.Netlist.t -> string -> float
+(** A deterministic width per size label, uniform in [0.8, 8] µm from a
+    stream split off [seed] — a sizer-independent operating point for the
+    oracle. *)

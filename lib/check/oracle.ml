@@ -1,0 +1,145 @@
+module Netlist = Smart_circuit.Netlist
+module Tech = Smart_tech.Tech
+module Arc = Smart_models.Arc
+module Load = Smart_models.Load
+module Golden = Smart_models.Golden
+module Sta = Smart_sta.Sta
+module Event = Smart_sim.Event
+
+type mismatch = {
+  mode : string;
+  leg : string;
+  where : string;
+  sta_value : float;
+  other_value : float;
+}
+
+let pp_mismatch fmt m =
+  Format.fprintf fmt "[%s/%s] %s: sta %.9g vs %.9g" m.mode m.leg m.where
+    m.sta_value m.other_value
+
+(* Relative-with-floor agreement: arrivals are sums of ps-scale arc
+   delays, so float-order noise scales with magnitude. *)
+let agree tol a b =
+  a = b
+  || Float.abs (a -. b)
+     <= tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let event_mode = function
+  | Sta.Evaluate -> Event.Evaluate
+  | Sta.Precharge -> Event.Precharge
+
+(* Leg 1: the event-driven fixpoint must land on the same per-net,
+   per-sense arrivals as the topological STA pass. *)
+let diff_event ~tol ~mode_name netlist (sta : Sta.t) (ev : Event.t) =
+  let ms = ref [] in
+  let add where a b =
+    if not (agree tol a b) then
+      ms :=
+        { mode = mode_name; leg = "event"; where; sta_value = a;
+          other_value = b }
+        :: !ms
+  in
+  add "max_delay" sta.Sta.max_delay ev.Event.max_delay;
+  add "reachable_outputs"
+    (float_of_int sta.Sta.reachable_outputs)
+    (float_of_int ev.Event.reachable_outputs);
+  Array.iteri
+    (fun nid (nt : Sta.net_timing) ->
+      let name = (Netlist.net netlist nid).Netlist.net_name in
+      let er, ef = ev.Event.arr.(nid) in
+      add (name ^ ".rise") nt.Sta.arr_rise er;
+      add (name ^ ".fall") nt.Sta.arr_fall ef)
+    sta.Sta.nets;
+  List.rev !ms
+
+(* Leg 2: recompose the golden arc model along the STA's own critical
+   predecessor chain.  The chain (instance, pin, in-sense per hop) is the
+   STA's claim of where max_delay comes from; re-walking it launch-to-
+   capture with fresh {!Golden.arc_delay} calls must reproduce max_delay
+   — anything else means the DP recorded a predecessor it did not time,
+   or carried the wrong slope across a hop. *)
+let diff_path ~tol ~mode ~mode_name tech netlist ~sizing (sta : Sta.t) =
+  match sta.Sta.critical_output with
+  | None -> []
+  | Some out_name ->
+    let loads = Load.make tech netlist in
+    let out_nid = Netlist.find_net netlist out_name in
+    let nt = sta.Sta.nets.(out_nid) in
+    let out_sense =
+      if nt.Sta.arr_rise >= nt.Sta.arr_fall then Arc.Rise else Arc.Fall
+    in
+    (* Collect the chain output-to-launch via the public pred records
+       (richer than [Sta.critical_path]: it keeps the senses). *)
+    let rec chain nid sense acc guard =
+      if guard <= 0 then acc
+      else
+        let r, f = sta.Sta.preds.(nid) in
+        match (match sense with Arc.Rise -> r | Arc.Fall -> f) with
+        | None -> acc
+        | Some { Sta.p_inst; p_pin; p_in_sense } ->
+          let i = netlist.Netlist.instances.(p_inst) in
+          let acc = (i, p_pin, p_in_sense, sense) :: acc in
+          if p_pin = "clk" then acc
+          else
+            chain (List.assoc p_pin i.Netlist.conns) p_in_sense acc (guard - 1)
+    in
+    let steps =
+      chain out_nid out_sense [] (Array.length netlist.Netlist.instances + 1)
+    in
+    let mismatch where a b =
+      [ { mode = mode_name; leg = "path"; where; sta_value = a;
+          other_value = b } ]
+    in
+    (match steps with
+    | [] ->
+      (* An output with an arrival but no predecessor is a directly-seeded
+         net (a primary input wired straight to an output inverter has at
+         least one hop, so this should not happen with max_delay > 0). *)
+      if sta.Sta.max_delay = 0. then [] else mismatch "empty-chain" sta.Sta.max_delay 0.
+    | (_, first_pin, first_in_sense, _) :: _ ->
+      let launch_ok, launch =
+        if first_pin = "clk" then
+          (true, (0., tech.Tech.default_input_slope /. 2.))
+        else
+          match mode with
+          | Sta.Evaluate -> (true, (0., tech.Tech.default_input_slope))
+          | Sta.Precharge ->
+            (* Precharge chains can only launch from the clock. *)
+            (false, (0., 0.))
+      in
+      if not launch_ok then
+        mismatch "launch" sta.Sta.max_delay nan
+      else begin
+        ignore first_in_sense;
+        let arr, _slope =
+          List.fold_left
+            (fun (a, s) ((i : Netlist.instance), pin, _in_sense, out_sense) ->
+              let load = Load.numeric loads sizing i.Netlist.out in
+              let d, out_slope =
+                Golden.arc_delay tech ~sizing i.Netlist.cell ~pin ~out_sense
+                  ~load ~in_slope:s
+              in
+              (a +. d, out_slope))
+            launch steps
+        in
+        if agree tol arr sta.Sta.max_delay then []
+        else mismatch "composed-arrival" sta.Sta.max_delay arr
+      end)
+
+type verdict = {
+  mismatches : mismatch list;
+  events : int;  (** event-sim worklist pops, both modes *)
+}
+
+let run ?(tol = 1e-9) tech netlist ~sizing =
+  let leg mode mode_name =
+    let sta = Sta.analyze ~mode tech netlist ~sizing in
+    let ev = Event.analyze ~mode:(event_mode mode) tech netlist ~sizing in
+    ( diff_event ~tol ~mode_name netlist sta ev
+      @ diff_path ~tol ~mode ~mode_name tech netlist ~sizing sta,
+      ev.Event.events )
+  in
+  let m_eval, e_eval = leg Sta.Evaluate "evaluate" in
+  let m_pre, e_pre = leg Sta.Precharge "precharge" in
+  { mismatches = m_eval @ m_pre; events = e_eval + e_pre }

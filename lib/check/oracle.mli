@@ -1,0 +1,42 @@
+(** The three-way timing oracle.
+
+    One netlist, one sizing, three independent computations of the same
+    arrival times, diffed pairwise in both analysis modes:
+
+    + {b STA} — {!Smart_sta.Sta.analyze}, a single pass in topological
+      order;
+    + {b event-driven simulation} — {!Smart_sim.Event.analyze}, a
+      worklist fixpoint that shares only the arc model with the STA;
+    + {b arc-model path composition} — the golden model re-composed hop
+      by hop along the STA's own critical predecessor chain, which must
+      reproduce [max_delay].
+
+    All three use {!Smart_models.Golden.arc_delay}, so agreement checks
+    the {e propagation engines} (ordering, mode gates, sense threading,
+    clock fanout), not the device model itself. *)
+
+type mismatch = {
+  mode : string;  (** ["evaluate"] or ["precharge"] *)
+  leg : string;  (** ["event"] or ["path"] *)
+  where : string;  (** net/sense or path checkpoint that disagreed *)
+  sta_value : float;
+  other_value : float;
+}
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+type verdict = {
+  mismatches : mismatch list;  (** empty = all three oracles agree *)
+  events : int;  (** event-sim worklist pops, both modes *)
+}
+
+val run :
+  ?tol:float ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  sizing:(string -> float) ->
+  verdict
+(** Run both modes of all three legs.  [tol] (default 1e-9) is a relative
+    tolerance with a 1 ps floor: the legs perform the same float
+    operations in different orders, so agreement is tight but not
+    bitwise. *)

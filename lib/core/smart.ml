@@ -33,6 +33,12 @@ module Database = Smart_database.Database
 module Blocks = Smart_blocks.Blocks
 module Explore = Smart_explore.Explore
 module Engine = Smart_engine.Engine
+module Event = Smart_sim.Event
+module Certify = Smart_gp.Certify
+module Fault = Smart_util.Fault
+module Check = Smart_check.Check
+module Check_oracle = Smart_check.Oracle
+module Check_gen = Smart_check.Gen
 module Error = Smart_util.Err
 
 type advice = {

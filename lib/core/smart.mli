@@ -54,6 +54,12 @@ module Database = Smart_database.Database
 module Blocks = Smart_blocks.Blocks
 module Explore = Smart_explore.Explore
 module Engine = Smart_engine.Engine
+module Event = Smart_sim.Event
+module Certify = Smart_gp.Certify
+module Fault = Smart_util.Fault
+module Check = Smart_check.Check
+module Check_oracle = Smart_check.Oracle
+module Check_gen = Smart_check.Gen
 
 module Error : sig
   (** Structured advisory errors (see {!Smart_util.Err}). *)
@@ -64,6 +70,7 @@ module Error : sig
     | Gp_failure of string
     | Sta_disagreement of { target_ps : float; iterations : int }
     | Invalid_request of string
+    | Worker_crash of { item : int; detail : string }
 
   val to_string : t -> string
   val pp : Format.formatter -> t -> unit

@@ -363,7 +363,9 @@ module Pool = struct
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
             results.(i) <-
-              Some (try Ok (f input.(i)) with e -> Error e);
+              Some
+                (try Ok (f input.(i))
+                 with e -> Error (e, Printexc.get_raw_backtrace ()));
             loop ()
           end
         in
@@ -373,9 +375,19 @@ module Pool = struct
       worker ();
       List.iter Domain.join domains;
       Array.to_list results
-      |> List.map (function
+      |> List.mapi (fun i -> function
            | Some (Ok v) -> v
-           | Some (Error e) -> raise e
+           | Some (Error (e, bt)) ->
+             (* Re-raise with the worker domain's backtrace, naming the
+                failing item; a bare [raise] here would replace the trace
+                with this collection loop's. *)
+             let e =
+               match e with
+               | Err.Smart_error msg ->
+                 Err.Smart_error (Printf.sprintf "item %d: %s" i msg)
+               | e -> e
+             in
+             Printexc.raise_with_backtrace e bt
            | None -> assert false)
     end
 end
@@ -406,7 +418,12 @@ let default_engine = lazy (create ())
 let default () = Lazy.force default_engine
 let workers t = t.pool_width
 let parallelism_available () = Pool.recommended () > 1
-let set_sink t sink = t.sink <- sink
+let set_sink t sink =
+  (* [emit] reads the sink under [sink_lock]; writing it unguarded would
+     race with in-flight emits from worker domains. *)
+  Mutex.lock t.sink_lock;
+  t.sink <- sink;
+  Mutex.unlock t.sink_lock
 let cache_stats t = Cache.stats t.cache
 
 let hit_rate s =
@@ -454,11 +471,22 @@ let size t ?label ~options tech netlist spec =
     r
   | key, _ ->
     let t0 = Unix.gettimeofday () in
-    let r = Sizer.size_typed ~options tech netlist spec in
+    let r =
+      (* Fault site: lets tests crash a worker domain mid-batch or force
+         a failed result without touching the sizer. *)
+      match Smart_util.Fault.fire "engine.worker" with
+      | Some (Smart_util.Fault.Raise msg) -> raise (Err.Smart_error msg)
+      | Some (Smart_util.Fault.Error_result msg) ->
+        Error (Err.Gp_failure msg)
+      | Some (Smart_util.Fault.Scale _) | None ->
+        Sizer.size_typed ~options tech netlist spec
+    in
     let wall_s = Unix.gettimeofday () -. t0 in
     let cache =
       if caching t then begin
-        Cache.add t.cache key (Cache.Sized r);
+        (* Only successful outcomes are memoized: a transient failure
+           cached here would replay as a Hit on every retry. *)
+        if Result.is_ok r then Cache.add t.cache key (Cache.Sized r);
         Trace.Miss
       end
       else Trace.Bypass
@@ -499,7 +527,7 @@ let minimize_delay t ?label ~options tech netlist spec =
     let wall_s = Unix.gettimeofday () -. t0 in
     let cache =
       if caching t then begin
-        Cache.add t.cache key (Cache.Min r);
+        if Result.is_ok r then Cache.add t.cache key (Cache.Min r);
         Trace.Miss
       end
       else Trace.Bypass
@@ -508,4 +536,13 @@ let minimize_delay t ?label ~options tech netlist spec =
     r
 
 let size_all t ~options tech spec named =
-  map t (fun (name, nl) -> (name, size t ~label:name ~options tech nl spec)) named
+  let indexed = List.mapi (fun i nv -> (i, nv)) named in
+  map t
+    (fun (i, (name, nl)) ->
+      (* Degrade per item: a worker that raises turns into a structured
+         error in its slot instead of killing the whole batch. *)
+      ( name,
+        try size t ~label:name ~options tech nl spec
+        with Err.Smart_error msg ->
+          Error (Err.Worker_crash { item = i; detail = msg }) ))
+    indexed

@@ -19,8 +19,9 @@
     structure, size-label set, spec, tech, sizer options) — the netlist
     {e name} is excluded, so structurally identical candidates share an
     entry.  The cache is LRU-bounded and safe to share across worker
-    domains.  Cached [Error] outcomes are kept too: a sweep that rejects
-    a target once need not re-prove infeasibility. *)
+    domains.  Only [Ok] outcomes are memoized: a transient failure (GP
+    hiccup, injected fault) must not replay as a Hit on every retry, so
+    an identical request after an [Error] re-runs the sizer. *)
 
 module Err = Smart_util.Err
 module Tech = Smart_tech.Tech
@@ -131,7 +132,9 @@ val reset_cache : t -> unit
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving map over the engine's worker pool.  Falls back to
     [List.map] when the pool width is 1.  If [f] raises, remaining items
-    still run and the first exception (in input order) is re-raised. *)
+    still run and the first exception (in input order) is re-raised with
+    the worker domain's backtrace; {!Smart_util.Err.Smart_error}
+    messages are prefixed with the failing item's index. *)
 
 val size :
   t ->
@@ -161,4 +164,7 @@ val size_all :
   (string * Netlist.t) list ->
   (string * (Sizer.outcome, Err.t) result) list
 (** Size every named candidate against one spec across the pool.
-    Results are returned in input order. *)
+    Results are returned in input order.  A worker that raises
+    {!Smart_util.Err.Smart_error} on one item degrades to
+    [Error (Worker_crash _)] in that item's slot; the rest of the batch
+    is unaffected. *)

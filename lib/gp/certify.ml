@@ -1,0 +1,123 @@
+module Posy = Smart_posy.Posy
+module Monomial = Smart_posy.Monomial
+
+type report = {
+  ok : bool;
+  eta : float;
+  kkt : float;
+  worst_residual : float;
+  failures : string list;
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt "certificate %s (eta %.2e, kkt %.2e, residual %.2e)%s"
+    (if r.ok then "OK" else "FAILED")
+    r.eta r.kkt r.worst_residual
+    (match r.failures with
+    | [] -> ""
+    | fs -> ": " ^ String.concat "; " fs)
+
+exception Missing of string
+
+(* Mirror of the solver's bound-constraint synthesis: duals for bound
+   constraints are reported under these names, so the complementarity sum
+   must pair them the same way. *)
+let bound_inequalities bounds =
+  List.concat_map
+    (fun (v, lo, hi) ->
+      let lo_c =
+        if lo > 0. then
+          [ ("lo:" ^ v, Posy.of_monomial (Monomial.make lo [ (v, -1.) ])) ]
+        else []
+      in
+      (("hi:" ^ v, Posy.of_monomial (Monomial.make (1. /. hi) [ (v, 1.) ])))
+      :: lo_c)
+    bounds
+
+let check ?(feas_tol = 1e-6) ?(gap_tol = 1e-3) ?(kkt_tol = 1e-3)
+    (problem : Problem.t) (sol : Solver.solution) =
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> failures := s :: !failures) fmt in
+  (if sol.Solver.status <> Solver.Optimal then
+     fail "status: solution is not Optimal");
+  let env v =
+    match List.assoc_opt v sol.Solver.values with
+    | Some x -> x
+    | None -> raise (Missing v)
+  in
+  (* Point validity: finite, strictly positive. *)
+  List.iter
+    (fun (v, x) ->
+      if not (Float.is_finite x) || x <= 0. then
+        fail "point: %s = %g not finite positive" v x)
+    sol.Solver.values;
+  let worst = ref 0. in
+  let residual r = if r > !worst then worst := r in
+  (* Primal feasibility on the problem as given, not as reduced. *)
+  (try
+     List.iter
+       (fun (name, f) ->
+         let v = Posy.eval env f in
+         residual (v -. 1.);
+         if not (v <= 1. +. feas_tol) then
+           fail "infeasible: %s = %g > 1" name v)
+       problem.Problem.inequalities;
+     List.iter
+       (fun (name, g) ->
+         let v = Monomial.eval env g in
+         residual (Float.abs (v -. 1.));
+         if Float.abs (v -. 1.) > feas_tol then
+           fail "equality: %s = %g <> 1" name v)
+       problem.Problem.equalities;
+     List.iter
+       (fun (v, lo, hi) ->
+         let x = env v in
+         if x < lo *. (1. -. feas_tol) || x > hi *. (1. +. feas_tol) then
+           fail "bound: %s = %g outside [%g, %g]" v x lo hi)
+       problem.Problem.bounds
+   with Missing v -> fail "point: variable %s missing from solution" v);
+  (* Dual feasibility. *)
+  List.iter
+    (fun (name, l) ->
+      if l < 0. then fail "dual: lambda(%s) = %g < 0" name l)
+    sol.Solver.duals;
+  (* Complementarity sum over the reduced problem's inequalities (the set
+     the duals are reported against): eta = sum lambda_k * (-log f_k(x)).
+     At a barrier optimum each term is 1/t, so eta = m/t bounds the
+     duality gap. *)
+  let reduced, _ = Problem.eliminate_equalities problem in
+  let reduced = Problem.default_bounds ~lo:1e-9 ~hi:1e9 reduced in
+  let reduced_ineqs =
+    reduced.Problem.inequalities @ bound_inequalities reduced.Problem.bounds
+  in
+  let eta =
+    try
+      List.fold_left
+        (fun acc (name, f) ->
+          let lambda =
+            Option.value ~default:0. (List.assoc_opt name sol.Solver.duals)
+          in
+          let slack = Float.max 0. (-.log (Posy.eval env f)) in
+          acc +. (lambda *. slack))
+        0. reduced_ineqs
+    with Missing v ->
+      fail "point: variable %s missing from solution" v;
+      Float.infinity
+  in
+  if not (eta <= gap_tol) then fail "gap: eta = %g > %g" eta gap_tol;
+  let kkt =
+    if Problem.variables reduced = [] then 0.
+    else
+      try Solver.kkt_residual problem sol
+      with _ ->
+        fail "kkt: residual could not be evaluated";
+        Float.infinity
+  in
+  if not (kkt <= kkt_tol) then fail "kkt: residual %g > %g" kkt kkt_tol;
+  {
+    ok = !failures = [];
+    eta;
+    kkt;
+    worst_residual = !worst;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,46 @@
+(** Independent certificate checking for {!Solver} solutions.
+
+    The solver claims [Optimal]; this module re-derives the evidence from
+    the {!Problem.t} definition and the reported [(values, duals)] alone —
+    no solver internals, no compiled program state.  Checks:
+
+    - every variable value is finite and strictly positive;
+    - primal feasibility of the {e original} problem: posynomial
+      inequalities within [1 + feas_tol], monomial equalities within
+      [feas_tol] of 1, explicit bounds respected;
+    - dual feasibility: every reported multiplier is non-negative;
+    - a duality-gap surrogate: for a log-barrier optimum the
+      complementarity sum [eta = sum_k lambda_k * (-log f_k(x))] over the
+      reduced problem's inequalities (including the solver's synthetic
+      ["lo:"]/["hi:"] bound constraints) bounds the gap — it must be below
+      [gap_tol];
+    - KKT stationarity: the log-space residual
+      [grad f0 + sum lambda_k grad f_k] (recomputed from the problem) has
+      infinity norm below [kkt_tol].
+
+    A failed check names itself in {!report.failures} so gauntlet output
+    can say which certificate leg broke. *)
+
+type report = {
+  ok : bool;
+  eta : float;  (** complementarity-sum duality-gap surrogate *)
+  kkt : float;  (** infinity norm of the KKT stationarity residual *)
+  worst_residual : float;
+      (** max over constraints of the feasibility violation *)
+  failures : string list;  (** empty iff [ok] *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val check :
+  ?feas_tol:float ->
+  ?gap_tol:float ->
+  ?kkt_tol:float ->
+  Problem.t ->
+  Solver.solution ->
+  report
+(** [check problem sol] validates an [Optimal] solution against
+    [problem].  Defaults: [feas_tol = 1e-6] (relative constraint slack),
+    [gap_tol = 1e-3], [kkt_tol = 1e-4].  Solutions whose status is not
+    [Optimal] fail with an explicit ["status"] failure — certifying a
+    non-optimal claim is meaningless. *)

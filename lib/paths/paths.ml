@@ -211,14 +211,49 @@ let path_endpoint p =
 
 let extract ?(reductions = all_reductions) ?(max_paths = 200_000) t =
   let classes = compute_classes reductions t in
-  let memo : (int, step list list) Hashtbl.t = Hashtbl.create 64 in
-  let produced = ref 0 in
-  let budget_check extra =
-    produced := !produced + extra;
-    if !produced > max_paths then
-      Err.fail "Paths.extract: more than %d paths in %s; enable reductions"
-        max_paths t.Netlist.name
+  let out_classes =
+    List.sort_uniq compare (List.map (fun nid -> classes.of_net.(nid)) t.Netlist.outputs)
   in
+  (* Budget: count complete paths by dynamic programming over the class
+     quotient before materializing anything.  Charging materialized
+     intermediate lists instead (as this used to) re-bills every shared
+     prefix — a linear chain of N gates with one real path was charged N
+     times — and trips the guard on heavily-shared DAGs long before
+     [max_paths] distinct paths exist. *)
+  let count_memo : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let rec count_to cls =
+    match Hashtbl.find_opt count_memo cls with
+    | Some c -> c
+    | None ->
+      let nid = Hashtbl.find classes.rep cls in
+      let net = Netlist.net t nid in
+      let c =
+        match net.Netlist.net_kind with
+        | Netlist.Primary_input | Netlist.Clock -> 1.
+        | Netlist.Primary_output | Netlist.Internal ->
+          List.fold_left
+            (fun acc (i : Netlist.instance) ->
+              List.fold_left
+                (fun acc pin ->
+                  let fanin = List.assoc pin i.Netlist.conns in
+                  acc +. count_to classes.of_net.(fanin))
+                acc
+                (kept_pins reductions classes i))
+            0. (Netlist.drivers t nid)
+      in
+      Hashtbl.replace count_memo cls c;
+      c
+  in
+  let total = List.fold_left (fun acc cls -> acc +. count_to cls) 0. out_classes in
+  if total > float_of_int max_paths then
+    Err.fail "Paths.extract: more than %d paths in %s; enable reductions"
+      max_paths t.Netlist.name;
+  (* Every memoized class is an ancestor of an output, so each stored
+     prefix extends to at least one distinct complete path: intermediate
+     lists stay within the budget just checked.  Paths are built in
+     reverse (constant-time cons on the shared prefix) and flipped once at
+     the outputs. *)
+  let memo : (int, step list list) Hashtbl.t = Hashtbl.create 64 in
   let rec paths_to cls =
     match Hashtbl.find_opt memo cls with
     | Some ps -> ps
@@ -235,20 +270,18 @@ let extract ?(reductions = all_reductions) ?(max_paths = 200_000) t =
                 (fun pin ->
                   let fanin = List.assoc pin i.Netlist.conns in
                   let upstream = paths_to classes.of_net.(fanin) in
-                  budget_check (List.length upstream);
-                  List.map (fun p -> p @ [ { s_inst = i; s_pin = pin } ]) upstream)
+                  let step = { s_inst = i; s_pin = pin } in
+                  List.map (fun p -> step :: p) upstream)
                 (kept_pins reductions classes i))
             (Netlist.drivers t nid)
       in
       Hashtbl.replace memo cls result;
       result
   in
-  let out_classes =
-    List.sort_uniq compare (List.map (fun nid -> classes.of_net.(nid)) t.Netlist.outputs)
-  in
   let paths =
     List.concat_map
-      (fun cls -> List.map (fun steps -> { steps }) (paths_to cls))
+      (fun cls ->
+        List.map (fun steps -> { steps = List.rev steps }) (paths_to cls))
       out_classes
   in
   let exhaustive = exhaustive_count t in

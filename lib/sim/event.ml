@@ -1,0 +1,189 @@
+module Netlist = Smart_circuit.Netlist
+module Tech = Smart_tech.Tech
+module Arc = Smart_models.Arc
+module Load = Smart_models.Load
+module Golden = Smart_models.Golden
+module Err = Smart_util.Err
+
+type mode = Evaluate | Precharge
+
+type t = {
+  arr : (float * float) array;
+  slopes : (float * float) array;
+  max_delay : float;
+  critical_output : string option;
+  output_arrivals : (string * float) list;
+  reachable_outputs : int;
+  events : int;
+}
+
+let arrival t nid =
+  let r, f = t.arr.(nid) in
+  Float.max r f
+
+(* Chaotic-iteration dataflow: each driven net's per-sense (arrival,
+   slope) is a pure function of its drivers' current input states, and a
+   dirty-net worklist re-evaluates consumers until nothing changes.  The
+   function is recomputed from scratch and the value REPLACED (not
+   max-accumulated): an early event with a slow slope can transiently
+   yield a later output arrival than the final input state does, and
+   keeping such stale maxima would over-approximate what the
+   final-states-only STA computes.  Replacement semantics converge to the
+   unique fixpoint on an acyclic netlist — the same per-net values the
+   topological pass produces, reached in a different order. *)
+let analyze ?(mode = Evaluate) tech netlist ~sizing =
+  let n = Array.length netlist.Netlist.nets in
+  let loads = Load.make tech netlist in
+  let arr = Array.make n (neg_infinity, neg_infinity) in
+  let slopes = Array.make n (0., 0.) in
+  let queue = Queue.create () in
+  let in_queue = Array.make n false in
+  let events = ref 0 in
+  let touch nid =
+    if not in_queue.(nid) then begin
+      in_queue.(nid) <- true;
+      Queue.add nid queue
+    end
+  in
+  (* [conns] excludes the clock pin, so precharge arcs are reached through
+     a separate clock-fanout table built from [clk]. *)
+  let clock_fanout = Array.make n [] in
+  Array.iter
+    (fun (i : Netlist.instance) ->
+      match i.Netlist.clk with
+      | Some cnid -> clock_fanout.(cnid) <- i :: clock_fanout.(cnid)
+      | None -> ())
+    netlist.Netlist.instances;
+  let seeded = Array.make n false in
+  (* Launch events: same stimuli as the STA modes, but injected as net
+     state rather than per-arc launch rules. *)
+  (match mode with
+  | Evaluate ->
+    Array.iter
+      (fun (net : Netlist.net) ->
+        if net.Netlist.net_kind = Netlist.Primary_input then begin
+          arr.(net.Netlist.net_id) <- (0., 0.);
+          slopes.(net.Netlist.net_id) <-
+            (tech.Tech.default_input_slope, tech.Tech.default_input_slope);
+          seeded.(net.Netlist.net_id) <- true;
+          touch net.Netlist.net_id
+        end)
+      netlist.Netlist.nets
+  | Precharge ->
+    Array.iter
+      (fun (net : Netlist.net) ->
+        if net.Netlist.net_kind = Netlist.Clock then begin
+          arr.(net.Netlist.net_id) <- (neg_infinity, 0.);
+          slopes.(net.Netlist.net_id) <-
+            (0., tech.Tech.default_input_slope /. 2.);
+          seeded.(net.Netlist.net_id) <- true;
+          touch net.Netlist.net_id
+        end)
+      netlist.Netlist.nets);
+  (* Recompute a driven net's state from its drivers' current inputs. *)
+  let recompute out_nid =
+    if seeded.(out_nid) then ()
+    else begin
+      let best_ar = ref neg_infinity and best_sr = ref 0. in
+      let best_af = ref neg_infinity and best_sf = ref 0. in
+      let load = Load.numeric loads sizing out_nid in
+      List.iter
+        (fun (i : Netlist.instance) ->
+          let fire (arc : Arc.t) in_net =
+            List.iter
+              (fun (in_sense, out_sense) ->
+                let a, s =
+                  let r, f = arr.(in_net) in
+                  let sr, sf = slopes.(in_net) in
+                  match in_sense with
+                  | Arc.Rise -> (r, sr)
+                  | Arc.Fall -> (f, sf)
+                in
+                if a > neg_infinity then begin
+                  let d, out_slope =
+                    Golden.arc_delay tech ~sizing i.Netlist.cell
+                      ~pin:arc.Arc.pin ~out_sense ~load ~in_slope:s
+                  in
+                  match out_sense with
+                  | Arc.Rise ->
+                    if a +. d > !best_ar then begin
+                      best_ar := a +. d;
+                      best_sr := out_slope
+                    end
+                  | Arc.Fall ->
+                    if a +. d > !best_af then begin
+                      best_af := a +. d;
+                      best_sf := out_slope
+                    end
+                end)
+              arc.Arc.senses
+          in
+          List.iter
+            (fun (arc : Arc.t) ->
+              match (arc.Arc.kind, mode) with
+              | Arc.Precharge, Precharge -> (
+                match i.Netlist.clk with
+                | Some cnid -> fire arc cnid
+                | None -> ())
+              | Arc.Precharge, Evaluate -> ()
+              | Arc.Eval, Precharge -> ()
+              | (Arc.Eval | Arc.Data | Arc.Control), _ ->
+                fire arc (List.assoc arc.Arc.pin i.Netlist.conns))
+            (Arc.arcs_of i.Netlist.cell))
+        (Netlist.drivers netlist out_nid);
+      let next_arr = (!best_ar, !best_af) in
+      let next_slopes = (!best_sr, !best_sf) in
+      if arr.(out_nid) <> next_arr || slopes.(out_nid) <> next_slopes then begin
+        arr.(out_nid) <- next_arr;
+        slopes.(out_nid) <- next_slopes;
+        touch out_nid
+      end
+    end
+  in
+  (* The budget turns a combinational cycle (or an event blow-up) into a
+     diagnosable failure instead of a hang. *)
+  let budget = ref (200_000 + (1024 * Array.length netlist.Netlist.instances)) in
+  while not (Queue.is_empty queue) do
+    decr budget;
+    if !budget < 0 then
+      Err.fail "Sim.Event: event budget exceeded on %s (combinational cycle?)"
+        netlist.Netlist.name;
+    incr events;
+    let nid = Queue.pop queue in
+    in_queue.(nid) <- false;
+    (* Re-evaluate every net driven by a consumer of this net, once. *)
+    let outs = ref [] in
+    List.iter
+      (fun ((i : Netlist.instance), _pin) ->
+        if not (List.mem i.Netlist.out !outs) then outs := i.Netlist.out :: !outs)
+      (Netlist.fanout netlist nid);
+    List.iter
+      (fun (i : Netlist.instance) ->
+        if not (List.mem i.Netlist.out !outs) then outs := i.Netlist.out :: !outs)
+      clock_fanout.(nid);
+    List.iter recompute !outs
+  done;
+  let output_arrivals =
+    List.filter_map
+      (fun nid ->
+        let r, f = arr.(nid) in
+        let a = Float.max r f in
+        if a = neg_infinity then None
+        else Some ((Netlist.net netlist nid).Netlist.net_name, a))
+      netlist.Netlist.outputs
+  in
+  let max_delay, critical_output =
+    List.fold_left
+      (fun (best, who) (name, a) ->
+        if a > best then (a, Some name) else (best, who))
+      (0., None) output_arrivals
+  in
+  {
+    arr;
+    slopes;
+    max_delay;
+    critical_output;
+    output_arrivals;
+    reachable_outputs = List.length output_arrivals;
+    events = !events;
+  }

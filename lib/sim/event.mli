@@ -1,0 +1,41 @@
+(** Event-driven timing propagation — an independent second timing oracle.
+
+    Computes the same quantity as {!Smart_sta.Sta.analyze} (per-net,
+    per-sense worst arrival and slope under the {!Smart_models.Golden}
+    arc model) by a different algorithm: instead of a single pass in
+    topological order, events are propagated through a worklist until the
+    arrival fixpoint is reached.  Because arrivals only increase, the
+    fixpoint is the same maximum the STA computes — any disagreement
+    beyond float-accumulation noise means one of the two engines
+    mis-handles an arc, a mode gate, or the clock fanout.  Smart_check's
+    three-way oracle diffs the two on randomized netlists.
+
+    Mode semantics mirror the STA: [Evaluate] seeds every primary input
+    at t = 0 (both senses) with the tech default slope; [Precharge] seeds
+    the clock net falling at t = 0 with a crisp (half-default) slope and
+    propagates only precharge/static/pass arcs. *)
+
+type mode = Evaluate | Precharge
+
+type t = {
+  arr : (float * float) array;
+      (** (rise, fall) arrival per net id; [neg_infinity] = unreachable *)
+  slopes : (float * float) array;  (** (rise, fall) slope per net id *)
+  max_delay : float;  (** worst arrival over primary outputs (0 if none) *)
+  critical_output : string option;
+  output_arrivals : (string * float) list;
+  reachable_outputs : int;
+  events : int;  (** worklist pops until fixpoint — a fairness metric *)
+}
+
+val analyze :
+  ?mode:mode ->
+  Smart_tech.Tech.t ->
+  Smart_circuit.Netlist.t ->
+  sizing:(string -> float) ->
+  t
+(** Raises {!Smart_util.Err.Smart_error} if the event budget is exceeded
+    (combinational cycle).  Default mode [Evaluate]. *)
+
+val arrival : t -> Smart_circuit.Netlist.net_id -> float
+(** Worst-sense arrival of a net ([neg_infinity] if unreachable). *)

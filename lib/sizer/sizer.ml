@@ -20,6 +20,7 @@ type options = {
   gp_options : Solver.options;
   min_delay_hint : float option;
   gp_warm_start : bool;
+  certify : bool;
 }
 
 let default_options =
@@ -32,6 +33,7 @@ let default_options =
     gp_options = Solver.default_options;
     min_delay_hint = None;
     gp_warm_start = true;
+    certify = false;
   }
 
 type outcome = {
@@ -46,6 +48,7 @@ type outcome = {
   gp_newton_iterations : int;
   gp_warm_rounds : int;
   gp_newton_per_round : int list;
+  certified_rounds : int;
   converged : bool;
   constraint_stats : Constraints.result;
   sta : Sta.t;
@@ -115,6 +118,7 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
   let anchored = ref false in
   let warm_rounds = ref 0 in
   let newton_per_round = ref [] in
+  let certified = ref 0 in
   let remember sol =
     newton_per_round := sol.Solver.newton_iterations :: !newton_per_round;
     if sol.Solver.warm_started then incr warm_rounds;
@@ -160,12 +164,42 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
        Solver.rescale_compiled prepared
          (Constraints.rescale_factors ~timing:!timing_factor
             ~precharge:!precharge_factor);
-       match Solver.resolve ~options:options.gp_options ?warm:!warm prepared with
+       let resolved =
+         (* Fault site: lets tests force a GP failure (or a worker-domain
+            exception) out of an otherwise healthy solve. *)
+         match Smart_util.Fault.fire "sizer.gp" with
+         | Some (Smart_util.Fault.Error_result msg) -> Error msg
+         | Some (Smart_util.Fault.Raise msg) -> raise (Err.Smart_error msg)
+         | Some (Smart_util.Fault.Scale _) | None ->
+           Solver.resolve ~options:options.gp_options ?warm:!warm prepared
+       in
+       match resolved with
        | Error e ->
          result := Some (Error (Err.Gp_failure e));
          raise Exit
        | Ok sol -> (
          remember sol;
+         (if options.certify && sol.Solver.status = Solver.Optimal then
+            (* Certify against the problem-space rescale — an independent
+               reconstruction of what [rescale_compiled] patched into the
+               compiled program, checked without trusting solver state. *)
+            let scaled =
+              Constraints.rescale generated ~timing:!timing_factor
+                ~precharge:!precharge_factor
+            in
+            let report =
+              Smart_gp.Certify.check scaled.Constraints.problem sol
+            in
+            if report.Smart_gp.Certify.ok then incr certified
+            else begin
+              result :=
+                Some
+                  (Error
+                     (Err.Gp_failure
+                        (Format.asprintf "round %d %a" iter
+                           Smart_gp.Certify.pp_report report)));
+              raise Exit
+            end);
          match sol.Solver.status with
          | Solver.Infeasible ->
            (* Model-space infeasible: relax the internal budgets.  Give up
@@ -193,12 +227,20 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
              Sta.analyze ~mode:Sta.Precharge tech netlist ~sizing:sizing_fn
            in
            total_newton := !total_newton + sol.Solver.newton_iterations;
+           (* A precharge STA that reached no output folds its max from 0,
+              which would trivially "meet" any budget.  When the program
+              carries precharge constraints, report the distinction as an
+              unmeetable (infinite) precharge delay instead of a met one. *)
+           let achieved_precharge =
+             if has_pre && pre_sta.Sta.reachable_outputs = 0 then infinity
+             else pre_sta.Sta.max_delay
+           in
            let outcome =
              {
                sizing;
                sizing_fn;
                achieved_delay = eval_sta.Sta.max_delay;
-               achieved_precharge = pre_sta.Sta.max_delay;
+               achieved_precharge;
                target_delay = spec.Constraints.target_delay;
                total_width = Netlist.total_width netlist sizing_fn;
                clock_load_width = Netlist.clock_load_width netlist sizing_fn;
@@ -206,6 +248,7 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
                gp_newton_iterations = !total_newton;
                gp_warm_rounds = !warm_rounds;
                gp_newton_per_round = List.rev !newton_per_round;
+               certified_rounds = !certified;
                converged = true;
                constraint_stats = generated;
                sta = eval_sta;
@@ -219,7 +262,10 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
            if meets outcome && improved then best := Some outcome;
            let miss_t = eval_sta.Sta.max_delay /. spec.Constraints.target_delay in
            let miss_p =
-             if has_pre then pre_sta.Sta.max_delay /. precharge_budget else 1.
+             if has_pre then
+               if achieved_precharge = infinity then 1.
+               else achieved_precharge /. precharge_budget
+             else 1.
            in
            Log.debug (fun m ->
                m "iteration %d: delay %.1f/%.1f ps (x%.3f), precharge %.1f/%.1f"
@@ -255,6 +301,7 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
           iterations = !iterations;
           gp_warm_rounds = !warm_rounds;
           gp_newton_per_round = List.rev !newton_per_round;
+          certified_rounds = !certified;
         }
     | None ->
       Error

@@ -29,6 +29,12 @@ type options = {
           min-delay pre-solve), reusing one compiled program — the
           incremental hot path (default true).  Disable to force a cold
           compile-and-phase-I solve every round, e.g. for A/B timing. *)
+  certify : bool;
+      (** validate every [Optimal] resolve with the independent
+          {!Smart_gp.Certify} checker against a problem-space
+          reconstruction of the round's rescaled program; a rejected
+          certificate aborts the loop with
+          {!Smart_util.Err.Gp_failure} (default false) *)
 }
 
 val default_options : options
@@ -37,7 +43,10 @@ type outcome = {
   sizing : (string * float) list;  (** width per label, µm *)
   sizing_fn : string -> float;
   achieved_delay : float;  (** golden STA evaluate delay, ps *)
-  achieved_precharge : float;  (** golden STA precharge delay, ps *)
+  achieved_precharge : float;
+      (** golden STA precharge delay, ps; [infinity] when the program has
+          precharge constraints but the precharge STA reached no output
+          (no precharge path is not "precharge met") *)
   target_delay : float;
   total_width : float;
   clock_load_width : float;
@@ -49,6 +58,9 @@ type outcome = {
   gp_newton_per_round : int list;
       (** Newton iterations of each respecification round's GP solve, in
           round order (excludes the min-delay pre-solve) *)
+  certified_rounds : int;
+      (** rounds whose solution passed the independent GP certificate
+          check (0 unless {!options.certify}) *)
   converged : bool;
   constraint_stats : Smart_constraints.Constraints.result;
       (** the generated program (counts, area posynomial) *)

@@ -23,6 +23,7 @@ type t = {
   max_delay : float;
   critical_output : string option;
   output_arrivals : (string * float) list;
+  reachable_outputs : int;
   group_delays : (string * float) list;
   max_slope : float;
   slope_violations : (string * float) list;
@@ -134,6 +135,7 @@ let analyze_impl ~mode tech netlist ~sizing =
       (fun (best, who) (name, a) -> if a > best then (a, Some name) else (best, who))
       (0., None) output_arrivals
   in
+  let max_delay = Smart_util.Fault.scale "sta.golden" max_delay in
   let group_tbl : (string, float) Hashtbl.t = Hashtbl.create 8 in
   Array.iter
     (fun (i : Netlist.instance) ->
@@ -165,6 +167,7 @@ let analyze_impl ~mode tech netlist ~sizing =
     max_delay;
     critical_output;
     output_arrivals;
+    reachable_outputs = List.length output_arrivals;
     group_delays;
     max_slope = !max_slope;
     slope_violations = List.rev !slope_violations;

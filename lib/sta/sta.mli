@@ -40,6 +40,10 @@ type t = {
   max_delay : float;  (** worst arrival over primary outputs (0 if none) *)
   critical_output : string option;
   output_arrivals : (string * float) list;  (** worst arrival per output *)
+  reachable_outputs : int;
+      (** outputs reached by any launch event in this mode.  [max_delay]
+          folds from 0, so a 0 here means "no path" — not "met with 0 ps";
+          the sizer's precharge check keys off this distinction *)
   group_delays : (string * float) list;
       (** worst driven-net arrival per top-level instance group *)
   max_slope : float;

@@ -11,6 +11,7 @@ type t =
   | Gp_failure of string
   | Sta_disagreement of { target_ps : float; iterations : int }
   | Invalid_request of string
+  | Worker_crash of { item : int; detail : string }
 
 let to_string = function
   | No_applicable_topology { kind } ->
@@ -23,5 +24,7 @@ let to_string = function
       "no golden-feasible sizing found for %.1f ps in %d iterations"
       target_ps iterations
   | Invalid_request msg -> "invalid request: " ^ msg
+  | Worker_crash { item; detail } ->
+    Printf.sprintf "worker crashed on item %d: %s" item detail
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -32,6 +32,12 @@ type t =
     }  (** the model-space GP kept certifying the spec but the golden
           timer never confirmed it within the iteration budget *)
   | Invalid_request of string  (** ill-formed request (empty variants, ...) *)
+  | Worker_crash of {
+      item : int;  (** index of the failing item in the mapped batch *)
+      detail : string;
+    }
+      (** a worker domain raised while evaluating one batch item; the
+          rest of the batch is unaffected *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
