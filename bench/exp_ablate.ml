@@ -139,8 +139,7 @@ let partition_ablation ~fast () =
      Sizer.minimize_delay Runner.tech anchor.Smart.Macro.netlist
        (Constraints.spec 1e6)
    with
-  | Error e -> Printf.printf "  %s
-" e
+  | Error e -> Printf.printf "  %s\n" e
   | Ok md ->
     let spec = Constraints.spec (1.25 *. md.Sizer.golden_min) in
     let ms =
@@ -172,8 +171,7 @@ let partition_ablation ~fast () =
         List.fold_left (fun (bm, bw) (m, w) -> if w < bw then (m, w) else (bm, bw))
           (m0, w0) rest
       in
-      Printf.printf "  best partition m = %d (paper: floor(n/2) = %d)
-" best_m (n / 2);
+      Printf.printf "  best partition m = %d (paper: floor(n/2) = %d)\n" best_m (n / 2);
       Runner.shape_check ~name:"optimal partition near floor(n/2)"
         (abs (best_m - (n / 2)) <= n / 4)));
   (* Crossover: unsplit vs partitioned as the mux widens. *)
@@ -207,8 +205,7 @@ let partition_ablation ~fast () =
       widths
   in
   Tab.print t;
-  Printf.printf "  paper (§4): the partitioned topology wins when the mux is large
-";
+  Printf.printf "  paper (§4): the partitioned topology wins when the mux is large\n";
   match List.rev winners with
   | (n_big, w) :: _ ->
     Runner.shape_check

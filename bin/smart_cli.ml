@@ -131,6 +131,7 @@ let advise_cmd =
         | Smart.Error.Sta_disagreement _ -> "sta-disagreement"
         | Smart.Error.Invalid_request _ -> "invalid-request"
         | Smart.Error.Worker_crash _ -> "worker-crash"
+        | Smart.Error.Lint_failed _ -> "lint-failed"
       in
       Printf.eprintf "advise: [%s] %s\n" tag (Smart.Error.to_string e);
       1
@@ -277,6 +278,92 @@ let spice_cmd =
     (Cmd.info "spice" ~doc:"Size a macro and dump the transistor-level SPICE deck")
     Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg)
 
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit one JSON document per netlist.")
+  in
+  let rules_arg =
+    Arg.(value & flag
+         & info [ "rules" ] ~doc:"List the registered lint rules and exit.")
+  in
+  let kind_opt_arg =
+    let doc = "Lint only entries of this macro kind." in
+    Arg.(value & opt (some string) None & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
+  in
+  let run kind_opt bits load json list_rules =
+    if list_rules then begin
+      Printf.printf "%-26s %-7s %s\n" "rule" "group" "rationale";
+      List.iter
+        (fun (r : Smart.Lint_rules.rule) ->
+          Printf.printf "%-26s %-7s %s\n" r.Smart.Lint_rules.id
+            r.Smart.Lint_rules.group r.Smart.Lint_rules.doc)
+        (Smart.Lint.rules ());
+      0
+    end
+    else begin
+      let db = Smart.Database.builtins () in
+      let entries =
+        match kind_opt with
+        | None -> Smart.Database.entries db
+        | Some k ->
+          List.filter
+            (fun (e : Smart.Database.entry) -> e.Smart.Database.kind = k)
+            (Smart.Database.entries db)
+      in
+      if entries = [] then begin
+        Printf.eprintf "lint: no database entries%s\n"
+          (match kind_opt with Some k -> " of kind " ^ k | None -> "");
+        2
+      end
+      else begin
+        (* Each entry is probed at the requested width first, then at
+           doublings up to 64 — generators constrain their widths (the
+           CLA wants multiples of 4, decoders small address widths). *)
+        let widths =
+          bits
+          :: List.filter (fun b -> b <> bits) [ 2; 4; 8; 16; 32; 64 ]
+        in
+        let ok = ref true in
+        let skipped = ref [] in
+        List.iter
+          (fun (e : Smart.Database.entry) ->
+            let rec probe = function
+              | [] -> skipped := e.Smart.Database.entry_name :: !skipped
+              | b :: rest ->
+                let req =
+                  requirements ~bits:b ~load ~no_onehot:false ~no_dynamic:false
+                in
+                if e.Smart.Database.applicable req then begin
+                  let info = e.Smart.Database.build req in
+                  let rep = Smart.Lint.run info.Smart.Macro.netlist in
+                  print_endline
+                    (if json then Smart.Lint.to_json rep
+                     else Smart.Lint.to_text rep);
+                  if not json then print_newline ();
+                  if not (Smart.Lint.ok rep) then ok := false
+                end
+                else probe rest
+            in
+            probe widths)
+          entries;
+        List.iter
+          (fun n -> Printf.eprintf "lint: skipped %s (no applicable width)\n" n)
+          (List.rev !skipped);
+        if !ok then 0 else 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static electrical-rule and constraint-coverage analyzer \
+          over database macros (exit 1 on unwaived Error findings)")
+    Term.(const run $ kind_opt_arg $ bits_arg $ load_arg $ json_arg
+          $ rules_arg)
+
 (* ---------------- check ---------------- *)
 
 let check_cmd =
@@ -290,7 +377,19 @@ let check_cmd =
         Format.printf "%a@." Smart.Check.pp_finding f;
         print_string (Smart.Check.reproducer_spice f))
       rep.Smart.Check.findings;
-    let gauntlet_ok = rep.Smart.Check.findings = [] in
+    List.iter
+      (fun (seed, lint) ->
+        Printf.printf "check: seed %d lints with unwaived errors:\n%s\n" seed
+          (Smart.Lint.to_text lint))
+      rep.Smart.Check.lint_dirty;
+    List.iter
+      (Printf.printf "check: broken variant for rule %s did not fire it\n")
+      rep.Smart.Check.rules_unfired;
+    let gauntlet_ok =
+      rep.Smart.Check.findings = []
+      && rep.Smart.Check.lint_dirty = []
+      && rep.Smart.Check.rules_unfired = []
+    in
     (* Leg 2: GP certificates on every sizer round of a real macro. *)
     let certify_ok =
       if adder_bits <= 0 then begin
@@ -383,4 +482,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ db_cmd; advise_cmd; size_cmd; paths_cmd; sweep_cmd; spice_cmd;
-            check_cmd ]))
+            lint_cmd; check_cmd ]))

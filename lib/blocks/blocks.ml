@@ -1,6 +1,5 @@
 module Err = Smart_util.Err
 module Rng = Smart_util.Rng
-module Tech = Smart_tech.Tech
 module Netlist = Smart_circuit.Netlist
 module B = Smart_circuit.Netlist.Builder
 module Cell = Smart_circuit.Cell

@@ -2,10 +2,11 @@ module Err = Smart_util.Err
 module Fault = Smart_util.Fault
 module Netlist = Smart_circuit.Netlist
 module Spice = Smart_circuit.Spice
-module Tech = Smart_tech.Tech
 module Constraints = Smart_constraints.Constraints
 module Sizer = Smart_sizer.Sizer
 module Engine = Smart_engine.Engine
+module Lint = Smart_lint.Lint
+module Report = Smart_lint.Report
 
 (* ------------------------------------------------------------------ *)
 (* Differential gauntlet over random netlists                          *)
@@ -53,15 +54,33 @@ type gauntlet_report = {
   agreed : int;
   events : int;  (** total event-sim pops across all runs *)
   findings : finding list;
+  lint_dirty : (int * Lint.report) list;
+  rules_unfired : string list;
 }
+
+(* Every broken variant must make (at least) its named rule fire; a rule
+   whose violator passes silently has rotted. *)
+let unfired_rules ~tech () =
+  Gen.broken ()
+  |> List.filter_map (fun (rule, nl) ->
+         let rep = Lint.run ~tech nl in
+         if List.exists (fun (d : Report.diag) -> d.Report.rule = rule)
+              rep.Lint.diags
+         then None
+         else Some rule)
 
 let gauntlet ?(seeds = 200) ?(gates = 40) ?(start_seed = 1) ?(tol = 1e-9)
     tech =
   let findings = ref [] in
   let agreed = ref 0 in
   let events = ref 0 in
+  let lint_dirty = ref [] in
   for seed = start_seed to start_seed + seeds - 1 do
     let nl = Gen.netlist ~gates ~seed () in
+    (* Generated netlists are discipline-correct by construction; any
+       unwaived Error-severity finding is a generator or analyzer bug. *)
+    let lint = Lint.run ~tech nl in
+    if not (Lint.ok lint) then lint_dirty := (seed, lint) :: !lint_dirty;
     let v = Oracle.run ~tol tech nl ~sizing:(Gen.sizing ~seed nl) in
     events := !events + v.Oracle.events;
     match v.Oracle.mismatches with
@@ -73,6 +92,8 @@ let gauntlet ?(seeds = 200) ?(gates = 40) ?(start_seed = 1) ?(tol = 1e-9)
     agreed = !agreed;
     events = !events;
     findings = List.rev !findings;
+    lint_dirty = List.rev !lint_dirty;
+    rules_unfired = unfired_rules ~tech ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -222,10 +243,46 @@ let worker_crash_drill tech =
             (List.length crashes) (List.length oks) (List.length results);
       }
 
+let lint_crash_drill tech =
+  Fault.reset ();
+  let nl = drill_netlist () in
+  let fault_class = "lint-rule-crash" in
+  Fault.arm Lint.fault_site (Fault.Raise "injected rule crash");
+  let first =
+    try Ok (Lint.run ~tech nl) with e -> Error (Printexc.to_string e)
+  in
+  Fault.reset ();
+  let second =
+    try Ok (Lint.run ~tech nl) with e -> Error (Printexc.to_string e)
+  in
+  match (first, second) with
+  | Error e, _ | _, Error e ->
+    { fault_class; passed = false; detail = "uncaught exception: " ^ e }
+  | Ok rep, Ok rep' ->
+    let crash_reported =
+      List.exists
+        (fun (d : Report.diag) -> d.Report.rule = "lint/rule-crash")
+        rep.Lint.diags
+    in
+    if rep.Lint.crashed = [] || not crash_reported then
+      { fault_class; passed = false;
+        detail = "injected crash left no lint/rule-crash diagnostic" }
+    else if rep.Lint.rules_run <> rep'.Lint.rules_run then
+      { fault_class; passed = false;
+        detail = "crashed run evaluated fewer rules than a clean one" }
+    else if rep'.Lint.crashed <> [] then
+      { fault_class; passed = false;
+        detail = "crash state leaked into a clean rerun" }
+    else
+      { fault_class; passed = true;
+        detail =
+          "structured lint/rule-crash warning, remaining rules ran, rerun \
+           clean" }
+
 let fault_drill tech =
   let rs =
     [ gp_failure_drill tech; sta_disagreement_drill tech;
-      worker_crash_drill tech ]
+      worker_crash_drill tech; lint_crash_drill tech ]
   in
   Fault.reset ();
   rs

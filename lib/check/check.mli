@@ -5,11 +5,15 @@
     - {!gauntlet} runs the three-way timing {!Oracle} over seeded random
       {!Gen} netlists; any disagreement is shrunk to a minimal
       reproducer ({!finding}) printable as a summary and a SPICE deck.
+      Every generated netlist is also {!Smart_lint}-analyzed (generation
+      is discipline-correct by construction, so an unwaived Error is a
+      generator or analyzer bug), and every {!Gen.broken} variant must
+      make its named rule fire.
     - {!certify_sizing} re-runs a real sizing with the independent
       {!Smart_gp.Certify} checker enabled on every respecification round.
     - {!fault_drill} arms each {!Smart_util.Fault} class the engine
-      threads (GP failure, golden-STA disagreement, worker-domain crash)
-      and asserts the failure surfaces as a structured
+      threads (GP failure, golden-STA disagreement, worker-domain crash,
+      lint-rule crash) and asserts the failure surfaces as a structured
       {!Smart_util.Err.t} — never an uncaught exception, never a
       poisoned cache entry. *)
 
@@ -30,7 +34,13 @@ type gauntlet_report = {
   netlists : int;
   agreed : int;  (** netlists on which all three oracles agreed *)
   events : int;  (** total event-sim worklist pops across all runs *)
-  findings : finding list;  (** empty = gauntlet passed *)
+  findings : finding list;  (** empty = oracles agreed everywhere *)
+  lint_dirty : (int * Smart_lint.Lint.report) list;
+      (** seeds whose generated netlist has unwaived Error-severity lint
+          findings — empty when the generator honours the disciplines *)
+  rules_unfired : string list;
+      (** built-in rule ids whose {!Gen.broken} violator failed to make
+          the rule fire — empty when every rule still detects its target *)
 }
 
 val gauntlet :

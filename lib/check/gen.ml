@@ -15,19 +15,85 @@ module Pdn = Smart_circuit.Pdn
 let pick_distinct rng pool k =
   List.init k (fun _ -> Rng.choose rng pool) |> List.sort_uniq compare
 
+(* Evaluate-phase discipline state per generated net, mirroring the
+   Smart_lint flow analysis: monotonicity class, Vt degradation of each
+   logic level, and whether the net is a legal unfooted-domino (D2)
+   input.  The generator consults it when placing family-sensitive
+   cells, so random netlists respect the circuit-family disciplines by
+   construction — the property the lint gauntlet asserts (zero
+   Error-severity findings over any seed) — while still exercising
+   every cell family and every rule's analysis machinery. *)
+type ninfo = {
+  pol : [ `Rise | `Fall | `Unknown ];
+  vt : bool * bool;  (** (degraded high, degraded low) *)
+  dyn_ok : bool;  (** primary input or domino output: precharge-low *)
+  all_r : bool;
+      (** every transition chain reaching this net keeps a rising variant *)
+  all_f : bool;
+      (** every transition chain reaching this net keeps a falling variant *)
+}
+
+let flip_pol = function
+  | `Rise -> `Fall
+  | `Fall -> `Rise
+  | `Unknown -> `Unknown
+
 let netlist ?(gates = 40) ~seed () =
   if gates < 1 then Err.fail "Smart_check.Gen.netlist: gates >= 1";
   let rng = Rng.create seed in
   let b = B.create (Printf.sprintf "check-s%d-g%d" seed gates) in
   let n_inputs = max 4 (gates / 8) in
+  let info : (Netlist.net_id, ninfo) Hashtbl.t = Hashtbl.create 64 in
+  (* Constraint generation threads transition senses along each path and
+     drops chains a restricted arc rejects: evaluate arcs and rising-on
+     selects accept only rising chains, falling-on selects only falling
+     ones.  A gate whose every chain dies downstream gets no timing
+     constraint at all — an unwaivable cover/arc + cover/orphan-label
+     Error.  The generator therefore tracks, per net, whether every chain
+     lineage keeps a rising (all_r) / falling (all_f) variant, and only
+     wires sense-restricted pins to nets whose lineages all carry the
+     accepted edge.  Primary inputs launch chains with whichever sense
+     the first arc wants, so they satisfy everything. *)
+  let pi_info =
+    { pol = `Rise; vt = (false, false); dyn_ok = true;
+      all_r = true; all_f = true }
+  in
   let pool =
     ref
       (Array.of_list
-         (List.init n_inputs (fun i -> B.input b (Printf.sprintf "in%d" i))))
+         (List.init n_inputs (fun i ->
+              let nid = B.input b (Printf.sprintf "in%d" i) in
+              Hashtbl.replace info nid pi_info;
+              nid)))
+  in
+  let state nid = Hashtbl.find info nid in
+  let static_out ins =
+    (* Inverting static stage: flips a uniform input polarity, restores
+       both levels, and is always-on (never a legal D2 feeder). *)
+    let pol =
+      match List.map (fun nid -> (state nid).pol) ins with
+      | [] -> `Unknown
+      | p :: rest ->
+        if List.for_all (fun q -> q = p) rest then flip_pol p else `Unknown
+    in
+    (* Inverting data arcs flip every chain's sense and kill none. *)
+    let all_r = List.for_all (fun nid -> (state nid).all_f) ins in
+    let all_f = List.for_all (fun nid -> (state nid).all_r) ins in
+    { pol; vt = (false, false); dyn_ok = false; all_r; all_f }
   in
   let unread = Hashtbl.create 64 in
-  let take k =
-    let ins = pick_distinct rng !pool k in
+  let take ?accept k =
+    let from =
+      match accept with
+      | None -> !pool
+      | Some f ->
+        (* The filtered pool can only be empty transiently; primary
+           inputs satisfy every accept predicate used below and never
+           leave the pool, so the fallback is just defensive. *)
+        let filtered = Array.of_list (List.filter f (Array.to_list !pool)) in
+        if Array.length filtered = 0 then !pool else filtered
+    in
+    let ins = pick_distinct rng from k in
     List.iter (fun n -> Hashtbl.remove unread n) ins;
     ins
   in
@@ -36,115 +102,171 @@ let netlist ?(gates = 40) ~seed () =
     let p = Printf.sprintf "g%dp" g and n = Printf.sprintf "g%dn" g in
     let name = Printf.sprintf "rg%d" g in
     let roll = Rng.int rng 100 in
-    (if roll < 55 then begin
-       (* Static CMOS: inverter / nand / nor. *)
-       let ins = take (1 + Rng.int rng 3) in
-       let fanin = List.length ins in
-       let cell =
-         match fanin with
-         | 1 -> Cell.inverter ~p ~n
-         | k ->
-           if Rng.bool rng then Cell.nand ~inputs:k ~p ~n
-           else Cell.nor ~inputs:k ~p ~n
-       in
-       B.inst b ~group:"rand/static" ~name ~cell
-         ~inputs:
-           (List.mapi
-              (fun j net ->
-                ((if fanin = 1 then "a" else Printf.sprintf "a%d" j), net))
-              ins)
-         ~out ()
-     end
-     else if roll < 70 then begin
-       (* Complex static: AOI21 / OAI21 (3 pins); degrade to a NAND when
-          the pool cannot supply 3 distinct nets. *)
-       match take 3 with
-       | [ x; y; z ] ->
-         let cell =
-           if Rng.bool rng then Cell.aoi21 ~p ~n else Cell.oai21 ~p ~n
-         in
-         B.inst b ~group:"rand/static" ~name ~cell
-           ~inputs:[ ("a0", x); ("a1", y); ("b", z) ]
-           ~out ()
-       | ins ->
-         let fanin = List.length ins in
-         let cell =
-           if fanin = 1 then Cell.inverter ~p ~n
-           else Cell.nand ~inputs:fanin ~p ~n
-         in
-         B.inst b ~group:"rand/static" ~name ~cell
-           ~inputs:
-             (List.mapi
-                (fun j net ->
-                  ((if fanin = 1 then "a" else Printf.sprintf "a%d" j), net))
-                ins)
-           ~out ()
-     end
-     else if roll < 80 then begin
-       (* Pass gate: data + select. *)
-       match take 2 with
-       | [ d; s ] ->
-         let style =
-           match Rng.int rng 3 with
-           | 0 -> Cell.Cmos_tgate
-           | 1 -> Cell.N_only
-           | _ -> Cell.P_only
-         in
-         B.inst b ~group:"rand/pass" ~name
-           ~cell:(Cell.Passgate { style; label = n })
-           ~inputs:[ ("d", d); ("s", s) ]
-           ~out ()
-       | [ d ] ->
-         B.inst b ~group:"rand/static" ~name
-           ~cell:(Cell.inverter ~p ~n)
-           ~inputs:[ ("a", d) ]
-           ~out ()
-       | _ -> assert false
-     end
-     else if roll < 88 then begin
-       (* Tri-state driver: data + enable. *)
-       match take 2 with
-       | [ d; en ] ->
-         B.inst b ~group:"rand/tri" ~name
-           ~cell:(Cell.Tristate { p_label = p; n_label = n })
-           ~inputs:[ ("d", d); ("en", en) ]
-           ~out ()
-       | [ d ] ->
-         B.inst b ~group:"rand/static" ~name
-           ~cell:(Cell.inverter ~p ~n)
-           ~inputs:[ ("a", d) ]
-           ~out ()
-       | _ -> assert false
-     end
-     else begin
-       (* Domino stage: random 1-3 pin pull-down, series or parallel. *)
-       let ins = take (1 + Rng.int rng 3) in
-       let pins =
-         List.mapi (fun j _ -> Printf.sprintf "a%d" j) ins
-       in
-       let leaves =
-         List.map (fun pin -> Pdn.leaf ~pin ~label:n) pins
-       in
-       let pull_down =
-         match leaves with
-         | [ l ] -> l
-         | ls -> if Rng.bool rng then Pdn.series ls else Pdn.parallel ls
-       in
-       let cell =
-         Cell.Domino
-           {
-             gate_name = Printf.sprintf "dyn%d" (List.length ins);
-             pull_down;
-             precharge = p;
-             eval = (if Rng.bool rng then Some (n ^ "f") else None);
-             out_p = p ^ "o";
-             out_n = n ^ "o";
-             keeper = Rng.bool rng;
-           }
-       in
-       B.inst b ~group:"rand/domino" ~name ~cell
-         ~inputs:(List.combine pins ins) ~out ()
-     end);
+    let out_info =
+      if roll < 55 then begin
+        (* Static CMOS: inverter / nand / nor. *)
+        let ins = take (1 + Rng.int rng 3) in
+        let fanin = List.length ins in
+        let cell =
+          match fanin with
+          | 1 -> Cell.inverter ~p ~n
+          | k ->
+            if Rng.bool rng then Cell.nand ~inputs:k ~p ~n
+            else Cell.nor ~inputs:k ~p ~n
+        in
+        B.inst b ~group:"rand/static" ~name ~cell
+          ~inputs:
+            (List.mapi
+               (fun j net ->
+                 ((if fanin = 1 then "a" else Printf.sprintf "a%d" j), net))
+               ins)
+          ~out ();
+        static_out ins
+      end
+      else if roll < 70 then begin
+        (* Complex static: AOI21 / OAI21 (3 pins); degrade to a NAND when
+           the pool cannot supply 3 distinct nets. *)
+        match take 3 with
+        | [ x; y; z ] ->
+          let cell =
+            if Rng.bool rng then Cell.aoi21 ~p ~n else Cell.oai21 ~p ~n
+          in
+          B.inst b ~group:"rand/static" ~name ~cell
+            ~inputs:[ ("a0", x); ("a1", y); ("b", z) ]
+            ~out ();
+          static_out [ x; y; z ]
+        | ins ->
+          let fanin = List.length ins in
+          let cell =
+            if fanin = 1 then Cell.inverter ~p ~n
+            else Cell.nand ~inputs:fanin ~p ~n
+          in
+          B.inst b ~group:"rand/static" ~name ~cell
+            ~inputs:
+              (List.mapi
+                 (fun j net ->
+                   ((if fanin = 1 then "a" else Printf.sprintf "a%d" j), net))
+                 ins)
+            ~out ();
+          static_out ins
+      end
+      else if roll < 80 then begin
+        (* Pass gate: data + select.  The style roll is vetoed when the
+           single-device style would degrade the data net's second logic
+           level too (both-drop feeding a gate input is an Error-severity
+           lint finding); a transmission gate is always safe.  The select
+           rides a Control arc that accepts a single edge (rising for
+           N-only and transmission gates, falling for P-only), so it is
+           drawn from nets whose every chain lineage carries that edge. *)
+        match take 1 with
+        | [ d ] -> begin
+          let dn, dp = (state d).vt in
+          let style =
+            match Rng.int rng 3 with
+            | 0 -> Cell.Cmos_tgate
+            | 1 -> if dp then Cell.Cmos_tgate else Cell.N_only
+            | _ -> if dn then Cell.Cmos_tgate else Cell.P_only
+          in
+          let sel_ok nid =
+            let st = state nid in
+            nid <> d
+            && (match style with Cell.P_only -> st.all_f | _ -> st.all_r)
+          in
+          match take ~accept:sel_ok 1 with
+          | [ s ] when sel_ok s ->
+            B.inst b ~group:"rand/pass" ~name
+              ~cell:(Cell.Passgate { style; label = n })
+              ~inputs:[ ("d", d); ("s", s) ]
+              ~out ();
+            let vt =
+              match style with
+              | Cell.N_only -> (true, dp)
+              | Cell.P_only -> (dn, true)
+              | Cell.Cmos_tgate -> (dn, dp)
+            in
+            (* Select chains produce both output edges; data chains keep
+               their sense through the buffering data arc. *)
+            let di = state d in
+            { pol = di.pol; vt; dyn_ok = false;
+              all_r = di.all_r; all_f = di.all_f }
+          | _ ->
+            B.inst b ~group:"rand/static" ~name
+              ~cell:(Cell.inverter ~p ~n)
+              ~inputs:[ ("a", d) ]
+              ~out ();
+            static_out [ d ]
+        end
+        | _ -> assert false
+      end
+      else if roll < 88 then begin
+        (* Tri-state driver: data + enable (rising-on control arc, so the
+           enable must come from an all-rising-capable net). *)
+        match take 1 with
+        | [ d ] -> begin
+          let en_ok nid = nid <> d && (state nid).all_r in
+          match take ~accept:en_ok 1 with
+          | [ en ] when en_ok en ->
+            B.inst b ~group:"rand/tri" ~name
+              ~cell:(Cell.Tristate { p_label = p; n_label = n })
+              ~inputs:[ ("d", d); ("en", en) ]
+              ~out ();
+            let di = state d in
+            { pol = flip_pol di.pol; vt = (false, false); dyn_ok = false;
+              all_r = di.all_f; all_f = di.all_r }
+          | _ ->
+            B.inst b ~group:"rand/static" ~name
+              ~cell:(Cell.inverter ~p ~n)
+              ~inputs:[ ("a", d) ]
+              ~out ();
+            static_out [ d ]
+        end
+        | _ -> assert false
+      end
+      else begin
+        (* Domino stage: random 1-3 pin pull-down, series or parallel.
+           The monotonicity discipline restricts inputs to provably
+           monotone-rising nets whose chain lineages all carry a rising
+           edge (the evaluate arc rejects falling chains), and the stage
+           may go unfooted (D2) only when every input precharges low
+           (primary inputs by interface convention, domino outputs by
+           construction). *)
+        let ins =
+          take
+            ~accept:(fun nid ->
+              let st = state nid in
+              st.pol = `Rise && st.all_r)
+            (1 + Rng.int rng 3)
+        in
+        let pins = List.mapi (fun j _ -> Printf.sprintf "a%d" j) ins in
+        let leaves = List.map (fun pin -> Pdn.leaf ~pin ~label:n) pins in
+        let pull_down =
+          match leaves with
+          | [ l ] -> l
+          | ls -> if Rng.bool rng then Pdn.series ls else Pdn.parallel ls
+        in
+        let want_d2 = Rng.bool rng in
+        let d2_legal = List.for_all (fun nid -> (state nid).dyn_ok) ins in
+        let cell =
+          Cell.Domino
+            {
+              gate_name = Printf.sprintf "dyn%d" (List.length ins);
+              pull_down;
+              precharge = p;
+              eval = (if want_d2 && d2_legal then None else Some (n ^ "f"));
+              out_p = p ^ "o";
+              out_n = n ^ "o";
+              keeper = Rng.bool rng;
+            }
+        in
+        B.inst b ~group:"rand/domino" ~name ~cell
+          ~inputs:(List.combine pins ins) ~out ();
+        (* The evaluate arc pinches the sense set: only rising chains
+           leave a domino stage. *)
+        { pol = `Rise; vt = (false, false); dyn_ok = true;
+          all_r = true; all_f = false }
+      end
+    in
+    Hashtbl.replace info out out_info;
     Hashtbl.replace unread out ();
     pool := Array.append !pool [| out |]
   done;
@@ -177,3 +299,252 @@ let sizing ~seed nl =
     match Hashtbl.find_opt tbl l with
     | Some w -> w
     | None -> Err.fail "Smart_check.Gen.sizing: unknown label %s" l
+
+(* ------------------------------------------------------------------ *)
+(* Intentionally-broken variants: one minimal violator per lint rule   *)
+(* ------------------------------------------------------------------ *)
+
+let inv = Cell.inverter
+
+let domino1 ?(footed = true) ?(keeper = true) ~tag () =
+  Cell.Domino
+    {
+      gate_name = "dyn1";
+      pull_down = Pdn.leaf ~pin:"a" ~label:(tag ^ "N");
+      precharge = tag ^ "P";
+      eval = (if footed then Some (tag ^ "F") else None);
+      out_p = tag ^ "OP";
+      out_n = tag ^ "ON";
+      keeper;
+    }
+
+let fix name build =
+  let b = B.create ("broken_" ^ name) in
+  build b;
+  B.freeze_unchecked b
+
+let broken () =
+  [
+    ( "elec/comb-loop",
+      fix "loop" (fun b ->
+          let x = B.wire b "x" and y = B.wire b "y" in
+          let out = B.output b "out" in
+          B.inst b ~name:"i1" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", x) ] ~out:y ();
+          B.inst b ~name:"i2" ~cell:(inv ~p:"P2" ~n:"N2")
+            ~inputs:[ ("a", y) ] ~out:x ();
+          B.inst b ~name:"i3" ~cell:(inv ~p:"P3" ~n:"N3")
+            ~inputs:[ ("a", x) ] ~out ()) );
+    ( "elec/undriven",
+      fix "undriven" (fun b ->
+          let u = B.wire b "u" in
+          let out = B.output b "out" in
+          B.inst b ~name:"i1" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", u) ] ~out ()) );
+    ( "elec/no-reader",
+      fix "no_reader" (fun b ->
+          let i = B.input b "in" in
+          let out = B.output b "out" in
+          let dead = B.wire b "dead" in
+          B.inst b ~name:"live" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", i) ] ~out ();
+          B.inst b ~name:"dead_drv" ~cell:(inv ~p:"P2" ~n:"N2")
+            ~inputs:[ ("a", i) ] ~out:dead ()) );
+    ( "elec/drive-fight",
+      fix "drive_fight" (fun b ->
+          let i = B.input b "in" in
+          let x = B.wire b "x" in
+          let out = B.output b "out" in
+          B.inst b ~name:"d1" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", i) ] ~out:x ();
+          B.inst b ~name:"d2" ~cell:(inv ~p:"P2" ~n:"N2")
+            ~inputs:[ ("a", i) ] ~out:x ();
+          B.inst b ~name:"buf" ~cell:(inv ~p:"P3" ~n:"N3")
+            ~inputs:[ ("a", x) ] ~out ()) );
+    ( "elec/tristate-contention",
+      fix "contention" (fun b ->
+          let in0 = B.input b "in0" and in1 = B.input b "in1" in
+          let en = B.input b "en" in
+          let bus = B.wire b "bus" in
+          let out = B.output b "out" in
+          B.inst b ~name:"t0"
+            ~cell:(Cell.Tristate { p_label = "TP0"; n_label = "TN0" })
+            ~inputs:[ ("d", in0); ("en", en) ]
+            ~out:bus ();
+          B.inst b ~name:"t1"
+            ~cell:(Cell.Tristate { p_label = "TP1"; n_label = "TN1" })
+            ~inputs:[ ("d", in1); ("en", en) ]
+            ~out:bus ();
+          B.inst b ~name:"buf" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", bus) ] ~out ()) );
+    ( "family/domino-monotone",
+      fix "monotone" (fun b ->
+          let i = B.input b "in" in
+          let f = B.wire b "f" in
+          let out = B.output b "out" in
+          (* One inverting static stage between a rising net and the
+             pull-down: the input provably falls during evaluate. *)
+          B.inst b ~name:"invert" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", i) ] ~out:f ();
+          B.inst b ~name:"dom" ~cell:(domino1 ~tag:"D" ())
+            ~inputs:[ ("a", f) ] ~out ()) );
+    ( "family/unfooted-input",
+      fix "unfooted" (fun b ->
+          let i = B.input b "in" in
+          let a = B.wire b "a" and r = B.wire b "r" in
+          let out = B.output b "out" in
+          (* Two inverters keep the input monotone rising, but it is
+             still driven by always-on logic — illegal for a D2 foot. *)
+          B.inst b ~name:"i1" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", i) ] ~out:a ();
+          B.inst b ~name:"i2" ~cell:(inv ~p:"P2" ~n:"N2")
+            ~inputs:[ ("a", a) ] ~out:r ();
+          B.inst b ~name:"dom"
+            ~cell:(domino1 ~footed:false ~tag:"D" ())
+            ~inputs:[ ("a", r) ] ~out ()) );
+    ( "family/keeper",
+      fix "keeper" (fun b ->
+          let i = B.input b "in" in
+          let d = B.wire b "d" in
+          B.inst b ~name:"dom"
+            ~cell:(domino1 ~keeper:false ~tag:"D" ())
+            ~inputs:[ ("a", i) ] ~out:d ();
+          List.iter
+            (fun k ->
+              let out = B.output b (Printf.sprintf "out%d" k) in
+              B.inst b ~name:(Printf.sprintf "r%d" k)
+                ~cell:
+                  (inv ~p:(Printf.sprintf "RP%d" k)
+                     ~n:(Printf.sprintf "RN%d" k))
+                ~inputs:[ ("a", d) ] ~out ())
+            [ 0; 1; 2 ]) );
+    ( "family/pass-depth",
+      fix "pass_depth" (fun b ->
+          let d = B.input b "in" in
+          let out = B.output b "out" in
+          let last =
+            List.fold_left
+              (fun prev k ->
+                let s = B.input b (Printf.sprintf "s%d" k) in
+                let m = B.wire b (Printf.sprintf "m%d" k) in
+                B.inst b ~name:(Printf.sprintf "pg%d" k)
+                  ~cell:
+                    (Cell.Passgate
+                       { style = Cell.Cmos_tgate;
+                         label = Printf.sprintf "PG%d" k })
+                  ~inputs:[ ("d", prev); ("s", s) ]
+                  ~out:m ();
+                m)
+              d [ 0; 1; 2; 3 ]
+          in
+          B.inst b ~name:"restore" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", last) ] ~out ()) );
+    ( "family/sneak-path",
+      fix "sneak" (fun b ->
+          let d0 = B.input b "d0" and d1 = B.input b "d1" in
+          let s = B.input b "s" in
+          let m = B.wire b "m" in
+          let out = B.output b "out" in
+          B.inst b ~name:"pg0"
+            ~cell:(Cell.Passgate { style = Cell.Cmos_tgate; label = "PG0" })
+            ~inputs:[ ("d", d0); ("s", s) ]
+            ~out:m ();
+          B.inst b ~name:"pg1"
+            ~cell:(Cell.Passgate { style = Cell.Cmos_tgate; label = "PG1" })
+            ~inputs:[ ("d", d1); ("s", s) ]
+            ~out:m ();
+          B.inst b ~name:"buf" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", m) ] ~out ()) );
+    ( "family/vt-drop",
+      fix "vt_drop" (fun b ->
+          let i = B.input b "in" in
+          let s0 = B.input b "s0" and s1 = B.input b "s1" in
+          let x = B.wire b "x" and y = B.wire b "y" in
+          let out = B.output b "out" in
+          B.inst b ~name:"pn"
+            ~cell:(Cell.Passgate { style = Cell.N_only; label = "PGN" })
+            ~inputs:[ ("d", i); ("s", s0) ]
+            ~out:x ();
+          B.inst b ~name:"pp"
+            ~cell:(Cell.Passgate { style = Cell.P_only; label = "PGP" })
+            ~inputs:[ ("d", x); ("s", s1) ]
+            ~out:y ();
+          B.inst b ~name:"rcv" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", y) ] ~out ()) );
+    ( "reg/label-role",
+      fix "label_role" (fun b ->
+          let i = B.input b "in" in
+          let s = B.input b "s" in
+          let x = B.wire b "x" and m = B.wire b "m" in
+          let out = B.output b "out" in
+          (* "L" sizes an NMOS pull-down here and a pass device below. *)
+          B.inst b ~name:"drv" ~cell:(inv ~p:"P1" ~n:"L")
+            ~inputs:[ ("a", i) ] ~out:x ();
+          B.inst b ~name:"pg"
+            ~cell:(Cell.Passgate { style = Cell.Cmos_tgate; label = "L" })
+            ~inputs:[ ("d", x); ("s", s) ]
+            ~out:m ();
+          B.inst b ~name:"buf" ~cell:(inv ~p:"P2" ~n:"N2")
+            ~inputs:[ ("a", m) ] ~out ()) );
+    ( "reg/dominance",
+      fix "dominance" (fun b ->
+          let i = B.input b "in" in
+          let a = B.wire b "a" and c = B.wire b "c" in
+          (* Identical drivers: a and c land in one class; a, with three
+             readers, becomes the representative, yet c's single reader
+             presents more unit gate-cap (a 7-leaf pull-down) than a's
+             three inverters combined. *)
+          B.inst b ~name:"da" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", i) ] ~out:a ();
+          B.inst b ~name:"dc" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", i) ] ~out:c ();
+          List.iter
+            (fun k ->
+              let out = B.output b (Printf.sprintf "out%d" k) in
+              B.inst b ~name:(Printf.sprintf "r%d" k)
+                ~cell:
+                  (inv ~p:(Printf.sprintf "RP%d" k)
+                     ~n:(Printf.sprintf "RN%d" k))
+                ~inputs:[ ("a", a) ] ~out ())
+            [ 0; 1; 2 ];
+          let out3 = B.output b "out3" in
+          B.inst b ~name:"heavy"
+            ~cell:
+              (Cell.Domino
+                 {
+                   gate_name = "wide7";
+                   pull_down =
+                     Pdn.parallel
+                       (List.init 7 (fun _ -> Pdn.leaf ~pin:"a" ~label:"DN"));
+                   precharge = "DP";
+                   eval = Some "DF";
+                   out_p = "DOP";
+                   out_n = "DON";
+                   keeper = true;
+                 })
+            ~inputs:[ ("a", c) ] ~out:out3 ()) );
+    ( "cover/arc",
+      fix "arc" (fun b ->
+          let i = B.input b "in" in
+          let w1 = B.wire b "w1" and w2 = B.wire b "w2" in
+          let out = B.output b "out" in
+          (* Dead cone: w2 reaches no primary output, so no timing
+             constraint ever covers the arcs through i1 and i2. *)
+          B.inst b ~name:"i1" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", i) ] ~out:w1 ();
+          B.inst b ~name:"i2" ~cell:(inv ~p:"P2" ~n:"N2")
+            ~inputs:[ ("a", w1) ] ~out:w2 ();
+          B.inst b ~name:"live" ~cell:(inv ~p:"P3" ~n:"N3")
+            ~inputs:[ ("a", i) ] ~out ()) );
+    ( "cover/orphan-label",
+      fix "orphan" (fun b ->
+          let i = B.input b "in" in
+          let w1 = B.wire b "w1" in
+          let out = B.output b "out" in
+          (* OP1/ON1 appear on no input-to-output path: the GP would size
+             them on slope and bound caps alone. *)
+          B.inst b ~name:"orphan" ~cell:(inv ~p:"OP1" ~n:"ON1")
+            ~inputs:[ ("a", i) ] ~out:w1 ();
+          B.inst b ~name:"live" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", i) ] ~out ()) );
+  ]

@@ -11,7 +11,26 @@
 val netlist : ?gates:int -> seed:int -> unit -> Smart_circuit.Netlist.t
 (** A levelised random network of [gates] stages (default 40) over
     [max 4 (gates/8)] primary inputs; every unread net is re-driven
-    through an output inverter with a 10 fF external load. *)
+    through an output inverter with a 10 fF external load.
+
+    Generated netlists are {e discipline-correct by construction}: the
+    generator tracks evaluate-phase polarity, Vt degradation and
+    unfooted-legality per net (mirroring the {!Smart_lint} flow
+    analysis), restricts domino inputs to monotone-rising nets, foots
+    dynamic stages whose inputs are not provably precharge-low, and
+    vetoes single-device pass styles that would degrade both logic
+    levels of a net.  {!Smart_lint.Lint.run} therefore reports no
+    Error-severity finding on any seed — the property the lint
+    gauntlet asserts. *)
+
+val broken : unit -> (string * Smart_circuit.Netlist.t) list
+(** Intentionally ill-formed minimal netlists, one per built-in lint
+    rule: [(rule id, netlist)] pairs built with
+    {!Smart_circuit.Netlist.Builder.freeze_unchecked}.  Each netlist
+    makes at least the named rule fire (a fixture may also trip other
+    rules — e.g. a dead cone is both an uncovered arc and an orphan
+    label); the gauntlet asserts the named rule is among the
+    diagnostics. *)
 
 val sizing : seed:int -> Smart_circuit.Netlist.t -> string -> float
 (** A deterministic width per size label, uniform in [0.8, 8] µm from a

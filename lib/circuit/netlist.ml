@@ -14,6 +14,8 @@ type instance = {
   out : net_id;
 }
 
+type waiver = { w_rule : string; w_loc : string; w_reason : string }
+
 type t = {
   name : string;
   nets : net array;
@@ -22,6 +24,7 @@ type t = {
   outputs : net_id list;
   clock : net_id option;
   ext_loads : (net_id * float) list;
+  waivers : waiver list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -231,6 +234,7 @@ module Builder = struct
     mutable boutputs : net_id list;  (* reversed *)
     mutable bclock : net_id option;
     mutable bloads : (net_id * float) list;
+    mutable bwaivers : waiver list;
     names : (string, unit) Hashtbl.t;
   }
 
@@ -245,6 +249,7 @@ module Builder = struct
       boutputs = [];
       bclock = None;
       bloads = [];
+      bwaivers = [];
       names = Hashtbl.create 64;
     }
 
@@ -287,21 +292,31 @@ module Builder = struct
 
   let ext_load b id load = b.bloads <- (id, load) :: b.bloads
 
+  let waive b ~rule ~loc reason =
+    b.bwaivers <- { w_rule = rule; w_loc = loc; w_reason = reason } :: b.bwaivers
+
+  let freeze_unchecked b =
+    {
+      name = b.bname;
+      nets = Array.of_list (List.rev b.bnets);
+      instances = Array.of_list (List.rev b.binsts);
+      inputs = List.rev b.binputs;
+      outputs = List.rev b.boutputs;
+      clock = b.bclock;
+      ext_loads = b.bloads;
+      waivers = List.rev b.bwaivers;
+    }
+
   let freeze b =
-    let t =
-      {
-        name = b.bname;
-        nets = Array.of_list (List.rev b.bnets);
-        instances = Array.of_list (List.rev b.binsts);
-        inputs = List.rev b.binputs;
-        outputs = List.rev b.boutputs;
-        clock = b.bclock;
-        ext_loads = b.bloads;
-      }
-    in
+    let t = freeze_unchecked b in
     (match validate t with
     | [] -> ()
     | issues ->
       Err.fail "Netlist %s fails validation:@\n%s" t.name (String.concat "\n" issues));
     t
 end
+
+let waiver_applies (w : waiver) ~rule ~loc =
+  (w.w_rule = "*" || w.w_rule = rule) && (w.w_loc = "*" || w.w_loc = loc)
+
+let waived t ~rule ~loc = List.exists (waiver_applies ~rule ~loc) t.waivers

@@ -22,6 +22,15 @@ type instance = {
   out : net_id;
 }
 
+type waiver = {
+  w_rule : string;  (** lint rule id, or ["*"] for any rule *)
+  w_loc : string;  (** net/instance/label name, or ["*"] for any location *)
+  w_reason : string;  (** why the finding is acceptable — required *)
+}
+(** An in-netlist lint waiver: a designer annotation recording that a
+    specific {!Smart_lint} finding on this netlist is understood and
+    accepted.  Waived diagnostics are still reported but never gate. *)
+
 type t = private {
   name : string;
   nets : net array;
@@ -30,6 +39,7 @@ type t = private {
   outputs : net_id list;
   clock : net_id option;
   ext_loads : (net_id * float) list;  (** extra fF on a net (usually outputs) *)
+  waivers : waiver list;
 }
 
 (** {1 Construction} *)
@@ -57,8 +67,19 @@ module Builder : sig
       Raises if a pin is missing, duplicated, or unknown to the cell. *)
 
   val ext_load : b -> net_id -> float -> unit
+
+  val waive : b -> rule:string -> loc:string -> string -> unit
+  (** [waive b ~rule ~loc reason] records an explicit lint waiver: the
+      diagnostic [rule] at the net/instance/label named [loc] (["*"]
+      wildcards either) is accepted for the stated [reason]. *)
+
   val freeze : b -> t
   (** Validates (see {!validate}) and returns the immutable netlist. *)
+
+  val freeze_unchecked : b -> t
+  (** {!freeze} without validation — for intentionally ill-formed netlists
+      (lint fixtures, {!Smart_check} broken variants).  Never use for
+      production macros. *)
 end
 
 (** {1 Queries} *)
@@ -105,6 +126,9 @@ val relabel_per_instance : t -> t
     ("<instance>.<label>").  Models the least-width-optimal/worst-regularity
     labelling the paper contrasts with shared labels (§4): most GP
     variables, no path collapsing. *)
+
+val waived : t -> rule:string -> loc:string -> bool
+(** Whether some waiver annotation covers the (rule, location) pair. *)
 
 val validate : t -> string list
 (** Structural lint: unconnected pins, undriven or multiply-driven nets

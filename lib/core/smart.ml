@@ -39,12 +39,16 @@ module Fault = Smart_util.Fault
 module Check = Smart_check.Check
 module Check_oracle = Smart_check.Oracle
 module Check_gen = Smart_check.Gen
+module Lint = Smart_lint.Lint
+module Lint_rules = Smart_lint.Rules
+module Lint_report = Smart_lint.Report
 module Error = Smart_util.Err
 
 type advice = {
   ranking : Explore.ranking;
   metric : Explore.metric;
   spec : Constraints.spec;
+  lints : Lint.report list;
 }
 
 module Request = struct
@@ -57,39 +61,72 @@ module Request = struct
     options : Sizer.options;
     tech : Tech.t;
     engine : Engine.t option;
+    lint : [ `Off | `Warn | `Strict ];
   }
 
   let make ?(ext_load = 30.) ?(strongly_mutexed_selects = true)
       ?(allow_dynamic = true) ?(delay = 150.) ?spec
       ?(metric = Explore.Area) ?(options = Sizer.default_options)
-      ?(tech = Tech.default) ?engine ~kind ~bits () =
+      ?(tech = Tech.default) ?engine ?(lint = `Warn) ~kind ~bits () =
     let requirements =
       Database.requirements ~ext_load ~strongly_mutexed_selects ~allow_dynamic
         bits
     in
     let spec = match spec with Some s -> s | None -> Constraints.spec delay in
-    { kind; bits; requirements; spec; metric; options; tech; engine }
+    { kind; bits; requirements; spec; metric; options; tech; engine; lint }
 
   let with_spec spec t = { t with spec }
   let with_metric metric t = { t with metric }
   let with_options options t = { t with options }
   let with_tech tech t = { t with tech }
   let with_engine engine t = { t with engine = Some engine }
+  let with_lint lint t = { t with lint }
 
   let with_requirements requirements t =
     { t with requirements; bits = requirements.Database.bits }
 end
 
+(* Static analysis happens strictly before any GP work: candidates are
+   generated (cheap — netlist construction only), linted, and in [`Strict]
+   mode an unwaived Error-severity finding fails the whole request with
+   the structured {!Error.Lint_failed} — the engine never sees the
+   candidates, so nothing meaningless lands in its solve cache. *)
+let lint_candidates ?db (r : Request.t) =
+  match r.Request.lint with
+  | `Off -> Ok []
+  | (`Warn | `Strict) as mode ->
+    let db = match db with Some db -> db | None -> Database.builtins () in
+    let built =
+      Database.build_all db ~kind:r.Request.kind r.Request.requirements
+    in
+    let reports =
+      List.map
+        (fun (_, info) ->
+          Lint.run ~tech:r.Request.tech ~spec:r.Request.spec
+            info.Smart_macros.Macro.netlist)
+        built
+    in
+    let failing = List.filter (fun rep -> not (Lint.ok rep)) reports in
+    (match (mode, failing) with
+    | `Strict, rep :: _ ->
+      Error
+        (Error.Lint_failed
+           { netlist = rep.Lint.netlist; diagnostics = Lint.gating rep })
+    | _ -> Ok reports)
+
 let run ?db (r : Request.t) =
-  let db = match db with Some db -> db | None -> Database.builtins () in
-  match
-    Explore.explore_typed ?engine:r.Request.engine ~options:r.Request.options
-      ~metric:r.Request.metric ~db ~kind:r.Request.kind
-      ~requirements:r.Request.requirements r.Request.tech r.Request.spec
-  with
+  match lint_candidates ?db r with
   | Error e -> Error e
-  | Ok ranking ->
-    Ok { ranking; metric = r.Request.metric; spec = r.Request.spec }
+  | Ok lints -> (
+    let db = match db with Some db -> db | None -> Database.builtins () in
+    match
+      Explore.explore_typed ?engine:r.Request.engine ~options:r.Request.options
+        ~metric:r.Request.metric ~db ~kind:r.Request.kind
+        ~requirements:r.Request.requirements r.Request.tech r.Request.spec
+    with
+    | Error e -> Error e
+    | Ok ranking ->
+      Ok { ranking; metric = r.Request.metric; spec = r.Request.spec; lints })
 
 let advise ?options ?(metric = Explore.Area) ~db ~kind ~requirements tech spec =
   let request =
@@ -103,6 +140,7 @@ let advise ?options ?(metric = Explore.Area) ~db ~kind ~requirements tech spec =
         (match options with Some o -> o | None -> Sizer.default_options);
       tech;
       engine = None;
+      lint = `Warn;
     }
   in
   Result.map_error Error.to_string (run ~db request)

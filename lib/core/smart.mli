@@ -60,6 +60,9 @@ module Fault = Smart_util.Fault
 module Check = Smart_check.Check
 module Check_oracle = Smart_check.Oracle
 module Check_gen = Smart_check.Gen
+module Lint = Smart_lint.Lint
+module Lint_rules = Smart_lint.Rules
+module Lint_report = Smart_lint.Report
 
 module Error : sig
   (** Structured advisory errors (see {!Smart_util.Err}). *)
@@ -71,6 +74,10 @@ module Error : sig
     | Sta_disagreement of { target_ps : float; iterations : int }
     | Invalid_request of string
     | Worker_crash of { item : int; detail : string }
+    | Lint_failed of {
+        netlist : string;
+        diagnostics : (string * string * string) list;
+      }
 
   val to_string : t -> string
   val pp : Format.formatter -> t -> unit
@@ -80,6 +87,9 @@ type advice = {
   ranking : Explore.ranking;  (** all sized candidates, best first *)
   metric : Explore.metric;
   spec : Constraints.spec;
+  lints : Lint.report list;
+      (** one static-analysis report per candidate netlist (empty when
+          the request ran with [lint = `Off]) *)
 }
 
 (** Advisory requests: one record carrying everything {!run} needs,
@@ -95,6 +105,11 @@ module Request : sig
     options : Sizer.options;
     tech : Tech.t;
     engine : Engine.t option;  (** [None]: the process-default engine *)
+    lint : [ `Off | `Warn | `Strict ];
+        (** static analysis of every candidate before sizing: [`Warn]
+            attaches reports to the advice, [`Strict] additionally fails
+            the request with {!Error.Lint_failed} on any unwaived
+            [Error]-severity finding — before any GP solve *)
   }
 
   val make :
@@ -107,19 +122,21 @@ module Request : sig
     ?options:Sizer.options ->
     ?tech:Tech.t ->
     ?engine:Engine.t ->
+    ?lint:[ `Off | `Warn | `Strict ] ->
     kind:string ->
     bits:int ->
     unit ->
     t
   (** Defaults: 30 fF load, one-hot and dynamic allowed, 150 ps target
       (ignored when [spec] is given), area metric, default sizer options,
-      default technology, process-default engine. *)
+      default technology, process-default engine, [`Warn] linting. *)
 
   val with_spec : Constraints.spec -> t -> t
   val with_metric : Explore.metric -> t -> t
   val with_options : Sizer.options -> t -> t
   val with_tech : Tech.t -> t -> t
   val with_engine : Engine.t -> t -> t
+  val with_lint : [ `Off | `Warn | `Strict ] -> t -> t
   val with_requirements : Database.requirements -> t -> t
 end
 

@@ -42,6 +42,13 @@ module Trace = struct
         target_ps : float;
         ok : bool;
       }
+    | Lint_span of {
+        wall_s : float;
+        netlist : string;
+        rules : int;
+        errors : int;
+        warnings : int;
+      }
     | Raw of Tracepoint.event
 
   type sink = event -> unit
@@ -70,6 +77,9 @@ module Trace = struct
       Printf.sprintf "sizer %-35s %8.3fs target=%.1fps %s" s.netlist s.wall_s
         s.target_ps
         (if s.ok then "ok" else "rejected")
+    | Lint_span l ->
+      Printf.sprintf "lint %-36s %8.3fs rules=%d errors=%d warnings=%d"
+        l.netlist l.wall_s l.rules l.errors l.warnings
     | Raw e ->
       Printf.sprintf "%s %8.3fs %s" e.Tracepoint.span e.Tracepoint.dur_s
         (String.concat " "
@@ -143,6 +153,14 @@ module Trace = struct
           ("wall_s", jfloat s.wall_s); ("target_ps", jfloat s.target_ps);
           ("ok", jbool s.ok);
         ]
+    | Lint_span l ->
+      json_fields
+        [
+          ("event", jstr "lint"); ("netlist", jstr l.netlist);
+          ("wall_s", jfloat l.wall_s); ("rules", string_of_int l.rules);
+          ("errors", string_of_int l.errors);
+          ("warnings", string_of_int l.warnings);
+        ]
     | Raw e ->
       json_fields
         (("event", jstr "raw")
@@ -209,6 +227,15 @@ module Trace = struct
           netlist = attr_str a "netlist";
           target_ps = attr_float a "target_ps";
           ok = attr_bool a "ok";
+        }
+    | "lint.run" ->
+      Lint_span
+        {
+          wall_s = e.Tracepoint.dur_s;
+          netlist = attr_str a "netlist";
+          rules = attr_int a "rules";
+          errors = attr_int a "errors";
+          warnings = attr_int a "warnings";
         }
     | _ -> Raw e
 

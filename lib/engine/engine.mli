@@ -67,6 +67,13 @@ module Trace : sig
         target_ps : float;
         ok : bool;
       }  (** decoded from ["sizer.size"] (direct, engine-less sizings) *)
+    | Lint_span of {
+        wall_s : float;
+        netlist : string;
+        rules : int;
+        errors : int;  (** unwaived [Error]-severity findings *)
+        warnings : int;
+      }  (** decoded from ["lint.run"] ({!Smart_lint.Lint.run}) *)
     | Raw of Smart_util.Tracepoint.event  (** unrecognised span *)
 
   type sink = event -> unit

@@ -1,5 +1,4 @@
 module Err = Smart_util.Err
-module Tech = Smart_tech.Tech
 module Netlist = Smart_circuit.Netlist
 module Macro = Smart_macros.Macro
 module Database = Smart_database.Database

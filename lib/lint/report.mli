@@ -1,0 +1,57 @@
+(** Lint diagnostics and their renderings.
+
+    A diagnostic pins one rule violation to one location in a netlist.
+    Locations are symbolic (net / instance / size-label names) rather
+    than ids so they survive rendering, JSON round-trips, and the
+    in-netlist waiver annotations of {!Smart_circuit.Netlist} — a waiver
+    matches on exactly the [loc_name] reported here. *)
+
+type severity = Error | Warn | Info
+
+val severity_to_string : severity -> string
+val severity_rank : severity -> int
+(** [Error] < [Warn] < [Info] — sort key putting gating findings first. *)
+
+type loc =
+  | Net of string  (** a net, by name *)
+  | Inst of string  (** an instance, by name *)
+  | Label of string  (** a GP size label *)
+  | Whole_netlist  (** netlist-wide finding (e.g. combinational cycle) *)
+
+val loc_name : loc -> string
+(** The bare name a waiver matches against (["<netlist>"] for
+    {!Whole_netlist}). *)
+
+val loc_to_string : loc -> string
+(** Kind-prefixed rendering, e.g. ["net mid"], ["inst pg0"]. *)
+
+type diag = {
+  rule : string;  (** rule id, e.g. ["family/domino-monotone"] *)
+  severity : severity;
+  loc : loc;
+  message : string;
+  hint : string option;  (** suggested fix, when the rule knows one *)
+  waived : bool;  (** an in-netlist waiver covers this finding *)
+}
+
+val diag :
+  ?hint:string -> rule:string -> severity:severity -> loc:loc -> string -> diag
+(** Build a diagnostic (not yet waiver-resolved: [waived = false]). *)
+
+val compare_diag : diag -> diag -> int
+(** Severity-major ordering (waived findings sort after live ones of the
+    same severity), then rule id, then location. *)
+
+val to_text : diag -> string
+(** One line: [severity rule @ loc: message (hint) [waived: ...]]. *)
+
+val to_json : diag -> string
+(** One JSON object with [rule], [severity], [loc_kind], [loc],
+    [message], [hint] (optional) and [waived] fields. *)
+
+val list_to_text : netlist:string -> diag list -> string
+(** Multi-line human report with a per-severity summary header. *)
+
+val list_to_json : netlist:string -> diag list -> string
+(** A single JSON document: [{"netlist": ..., "summary": {...},
+    "diagnostics": [...]}]. *)

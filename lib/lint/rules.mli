@@ -1,0 +1,41 @@
+(** The built-in lint rules.
+
+    Rules are pure functions from a shared analysis context to
+    diagnostics.  The context owns the expensive derived views (driver /
+    fanout maps, the polarity- and Vt-annotated forward traversal, net
+    classes, the generated constraint set) as lazy values so each rule
+    pays only for what it reads, and netlists that defeat an analysis
+    (e.g. a combinational cycle breaks every topological pass) degrade
+    to the rules that still apply. *)
+
+type ctx
+
+val make_ctx :
+  ?tech:Smart_tech.Tech.t ->
+  ?spec:Smart_constraints.Constraints.spec ->
+  ?reductions:Smart_paths.Paths.reductions ->
+  Smart_circuit.Netlist.t ->
+  ctx
+(** Defaults: default technology, a 150 ps area spec (the coverage rules
+    only care about constraint {e structure}, not the budget value), all
+    path reductions on. *)
+
+type rule = {
+  id : string;  (** e.g. ["family/domino-monotone"] *)
+  group : string;  (** ["elec"] | ["family"] | ["reg"] | ["cover"] *)
+  doc : string;  (** one-line rationale *)
+  check : ctx -> Report.diag list;
+}
+
+val builtin : rule list
+(** All shipped rules, grouped electrical / family / regularity /
+    coverage, in reporting order. *)
+
+(** {1 Thresholds} (exposed for tests and docs) *)
+
+val max_pass_depth : int
+(** Longest unrestored pass-transistor chain before
+    [family/pass-depth] warns. *)
+
+val keeper_fanout : int
+(** Fanout at which an unkept domino output draws [family/keeper]. *)

@@ -101,6 +101,12 @@ let encoded_2to1 () =
   B.inst b ~group:"outdrv" ~name:"outdrv"
     ~cell:(Cell.inverter ~p:"P3" ~n:"N3")
     ~inputs:[ ("a", mid) ] ~out ();
+  (* The Fig. 2(c) trade-off: mid sees a Vt-degraded high (N-pass) and a
+     degraded low (P-pass) but the output driver restores it — accepted in
+     exchange for eliminating the select inversion from the critical path. *)
+  B.waive b ~rule:"family/vt-drop" ~loc:"mid"
+    "encoded 2:1 mux: degraded mid is restored by outdrv (Fig. 2(c)); the \
+     select needs no local inverter in exchange";
   (b, out)
 
 (* Fig. 2(d): inverting tri-state drivers (P1/N1) share the bus, buffered

@@ -34,7 +34,13 @@ let encoded_select_bit b ~group ~labels:(pdrv, ndrv, pass, pout, nout) ~name
     ~out:mid ();
   B.inst b ~group ~name:(name ^ "_o")
     ~cell:(Cell.inverter ~p:pout ~n:nout)
-    ~inputs:[ ("a", mid) ] ~out ()
+    ~inputs:[ ("a", mid) ] ~out ();
+  (* The Fig. 2(c) trade-off: mid sees a Vt-degraded high (N-pass branch)
+     and low (P-pass branch) but is restored by the dedicated output
+     inverter above — accepted in exchange for zero select inversions. *)
+  B.waive b ~rule:"family/vt-drop" ~loc:(name ^ "_m")
+    "encoded 2:1 stage: degraded mid is restored by its output inverter \
+     (Fig. 2(c)); no select inverter needed in exchange"
 
 let generate ?(ext_load = default_load) ~bits () =
   if bits < 2 || not (is_power_of_two bits) then

@@ -45,7 +45,6 @@ let exhaustive_count t =
 type classes = {
   of_net : int array;  (** net id -> class id *)
   rep : (int, Netlist.net_id) Hashtbl.t;  (** class id -> representative *)
-  rep_fanout : (int, int) Hashtbl.t;  (** fanout count of the representative *)
   count : int;
 }
 
@@ -137,7 +136,7 @@ let compute_classes red t =
     end
   in
   Array.iter (fun (net : Netlist.net) -> ignore (class_of net.Netlist.net_id)) t.Netlist.nets;
-  { of_net; rep; rep_fanout; count = !next }
+  { of_net; rep; count = !next }
 
 let classes ?(reductions = all_reductions) t = compute_classes reductions t
 let class_of_net c nid = c.of_net.(nid)

@@ -1,7 +1,6 @@
 module Err = Smart_util.Err
 module Tracepoint = Smart_util.Tracepoint
 module Netlist = Smart_circuit.Netlist
-module Tech = Smart_tech.Tech
 module Constraints = Smart_constraints.Constraints
 module Paths = Smart_paths.Paths
 module Solver = Smart_gp.Solver

@@ -1,5 +1,4 @@
 module Netlist = Smart_circuit.Netlist
-module Cell = Smart_circuit.Cell
 module Tech = Smart_tech.Tech
 module Arc = Smart_models.Arc
 module Load = Smart_models.Load

@@ -12,6 +12,10 @@ type t =
   | Sta_disagreement of { target_ps : float; iterations : int }
   | Invalid_request of string
   | Worker_crash of { item : int; detail : string }
+  | Lint_failed of {
+      netlist : string;
+      diagnostics : (string * string * string) list;
+    }
 
 let to_string = function
   | No_applicable_topology { kind } ->
@@ -26,5 +30,11 @@ let to_string = function
   | Invalid_request msg -> "invalid request: " ^ msg
   | Worker_crash { item; detail } ->
     Printf.sprintf "worker crashed on item %d: %s" item detail
+  | Lint_failed { netlist; diagnostics } ->
+    Printf.sprintf "lint failed on %s: %s" netlist
+      (String.concat "; "
+         (List.map
+            (fun (rule, loc, msg) -> Printf.sprintf "[%s] %s: %s" rule loc msg)
+            diagnostics))
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)

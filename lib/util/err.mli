@@ -38,6 +38,14 @@ type t =
     }
       (** a worker domain raised while evaluating one batch item; the
           rest of the batch is unaffected *)
+  | Lint_failed of {
+      netlist : string;
+      diagnostics : (string * string * string) list;
+          (** (rule id, location, message) per unwaived [Error]-severity
+              diagnostic, as reported by {!Smart_lint.Lint} *)
+    }
+      (** a [`Strict]-mode request was gated before any GP solve because
+          static analysis found electrical-rule or coverage violations *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

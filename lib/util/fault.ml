@@ -1,6 +1,6 @@
 type action = Error_result of string | Raise of string | Scale of float
 
-type site_state = { mutable action : action; mutable shots : int }
+type site_state = { action : action; mutable shots : int }
 
 let lock = Mutex.create ()
 let armed : (string, site_state) Hashtbl.t = Hashtbl.create 7

@@ -10,7 +10,6 @@ module Err = Smart_util.Err
 module Paths = Smart_paths.Paths
 module Sta = Smart_sta.Sta
 module Cell = Smart_circuit.Cell
-module N = Smart_circuit.Netlist
 module B = Smart_circuit.Netlist.Builder
 module Tech = Smart_tech.Tech
 module Constraints = Smart_constraints.Constraints

@@ -3,7 +3,6 @@
 module Sizer = Smart_sizer.Sizer
 module C = Smart_constraints.Constraints
 module Cell = Smart_circuit.Cell
-module N = Smart_circuit.Netlist
 module B = Smart_circuit.Netlist.Builder
 module Mux = Smart_macros.Mux
 module Macro = Smart_macros.Macro
