@@ -18,6 +18,7 @@ let all_experiments =
     ("paths", "§5.2: path-space reduction");
     ("gp", "GP solver: warm-started hot path (BENCH_gp.json)");
     ("engine", "Engine: parallel evaluation + solve cache (BENCH_engine.json)");
+    ("corners", "Smart_corners: robust multi-corner sizing (BENCH_corners.json)");
     ("ablate", "Design-choice ablations");
     ("micro", "Bechamel micro-benchmarks");
   ]
@@ -31,6 +32,7 @@ let run_one ~fast = function
   | "paths" -> Exp_paths.run ~fast ()
   | "gp" -> Exp_gp.run ~fast ()
   | "engine" -> Exp_engine.run ~fast ()
+  | "corners" -> Exp_corners.run ~fast ()
   | "ablate" -> Exp_ablate.run ~fast ()
   | "micro" -> if not fast then Micro.run ()
   | other ->
@@ -56,9 +58,24 @@ let smoke () =
   Printf.printf "\nbench smoke: %s\n" (if ok then "OK" else "FAILED");
   exit (if ok then 0 else 1)
 
+(* Corner smoke (dune build @corner-smoke, pulled into @bench-smoke): the
+   corners experiment at reduced size plus its artifact schema check. *)
+let smoke_corners () =
+  Exp_corners.run ~fast:true ();
+  let ok =
+    Runner.json_has_fields ~file:"BENCH_corners.json"
+      [
+        "width_typ"; "width_robust"; "width_overhead"; "worst_corner_slack_ps";
+        "wall_verify_seq"; "wall_verify_par"; "verify_speedup"; "workers";
+      ]
+  in
+  Printf.printf "\ncorner smoke: %s\n" (if ok then "OK" else "FAILED");
+  exit (if ok then 0 else 1)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then smoke ();
+  if List.mem "--smoke-corners" args then smoke_corners ();
   let fast = List.mem "--fast" args in
   let selected = List.filter (fun a -> a <> "--fast") args in
   let selected =

@@ -61,6 +61,38 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"SPEC" ~doc)
 
+let corners_arg =
+  let doc =
+    "Size robustly over a comma-separated process-corner set \
+     (e.g. $(b,fast,typ,slow)); each name is a builtin corner or \
+     $(i,name:rc_scale).  One joint sizing must meet the spec at every \
+     corner; candidates are ranked by their worst corner."
+  in
+  Arg.(value & opt (some string) None & info [ "corners" ] ~docv:"SET" ~doc)
+
+(* [--corners] is optional everywhere; a malformed set is a usage error. *)
+let parse_corners = function
+  | None -> None
+  | Some s -> (
+    match Smart.Corners.of_string s with
+    | Ok set -> Some set
+    | Error msg ->
+      Printf.eprintf "smart_cli: bad --corners: %s\n" msg;
+      exit 2)
+
+let print_corner_reports ~binding reports =
+  List.iter
+    (fun (r : Smart.Sizer.corner_report) ->
+      Printf.printf "  corner %-8s %8.1f ps  slack %+7.1f ps%s%s\n"
+        r.Smart.Sizer.corner_name r.Smart.Sizer.corner_delay
+        r.Smart.Sizer.corner_slack
+        (if Float.is_finite r.Smart.Sizer.corner_precharge
+           && r.Smart.Sizer.corner_precharge > 0.
+         then Printf.sprintf "  precharge %.1f ps" r.Smart.Sizer.corner_precharge
+         else "")
+        (if r.Smart.Sizer.corner_name = binding then "  <- binding" else ""))
+    reports
+
 (* Sinks may be fed concurrently from the engine and the global
    tracepoint bridge; serialise them behind one mutex. *)
 let locked_sink sink =
@@ -110,10 +142,12 @@ let db_cmd =
 (* ---------------- advise ---------------- *)
 
 let advise_cmd =
-  let run kind bits load delay metric no_onehot no_dynamic workers trace =
+  let run kind bits load delay metric no_onehot no_dynamic workers trace corners
+      =
+    let corners = parse_corners corners in
     let engine, cleanup = make_engine ~workers ~trace in
     let request =
-      Smart.Request.make ~kind ~bits ~delay ~metric ~engine ()
+      Smart.Request.make ~kind ~bits ~delay ~metric ~engine ?corners ()
       |> Smart.Request.with_requirements
            (requirements ~bits ~load ~no_onehot ~no_dynamic)
     in
@@ -136,28 +170,39 @@ let advise_cmd =
       Printf.eprintf "advise: [%s] %s\n" tag (Smart.Error.to_string e);
       1
     | Ok advice ->
-      Printf.printf "%-34s %9s %9s %9s %9s\n" "topology" "delay ps" "width um"
-        "clock um" "power uW";
+      Printf.printf "%-34s %9s %9s %9s %9s%s\n" "topology" "delay ps" "width um"
+        "clock um" "power uW"
+        (if corners <> None then "  binding" else "");
       List.iter
         (fun (c : Smart.Explore.candidate) ->
-          Printf.printf "%-34s %9.1f %9.1f %9.1f %9.1f\n"
+          Printf.printf "%-34s %9.1f %9.1f %9.1f %9.1f%s\n"
             c.Smart.Explore.entry_name
             c.Smart.Explore.outcome.Smart.Sizer.achieved_delay
             c.Smart.Explore.outcome.Smart.Sizer.total_width
             c.Smart.Explore.outcome.Smart.Sizer.clock_load_width
-            c.Smart.Explore.power_report.Smart.Power.total_uw)
+            c.Smart.Explore.power_report.Smart.Power.total_uw
+            (match c.Smart.Explore.binding_corner with
+            | Some b -> "  " ^ b
+            | None -> ""))
         advice.Smart.ranking.Smart.Explore.ranked;
       List.iter
         (fun (n, r) -> Printf.printf "%-34s rejected: %s\n" n r)
         advice.Smart.ranking.Smart.Explore.rejected;
+      let winner = advice.Smart.ranking.Smart.Explore.winner in
+      (match winner.Smart.Explore.binding_corner with
+      | Some binding when winner.Smart.Explore.corners <> [] ->
+        Printf.printf "\n%s across corners:\n" winner.Smart.Explore.entry_name;
+        print_corner_reports ~binding winner.Smart.Explore.corners
+      | _ -> ());
       Printf.printf "\nrecommended: %s (metric: %s)\n"
-        advice.Smart.ranking.Smart.Explore.winner.Smart.Explore.entry_name
+        winner.Smart.Explore.entry_name
         (Smart.Explore.metric_to_string metric);
       0
   in
   Cmd.v (Cmd.info "advise" ~doc:"Run the SMART advisory flow on a macro instance")
     Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg $ metric_arg
-          $ no_onehot_arg $ no_dynamic_arg $ workers_arg $ trace_arg)
+          $ no_onehot_arg $ no_dynamic_arg $ workers_arg $ trace_arg
+          $ corners_arg)
 
 (* ---------------- helpers for single-entry commands ---------------- *)
 
@@ -170,7 +215,17 @@ let build_first ~kind ~req =
 (* ---------------- size ---------------- *)
 
 let size_cmd =
-  let run kind bits load delay =
+  let print_widths (o : Smart.Sizer.outcome) =
+    Printf.printf
+      "  total width %.1f um, clock load %.1f um, %d GP Newton steps\n"
+      o.Smart.Sizer.total_width o.Smart.Sizer.clock_load_width
+      o.Smart.Sizer.gp_newton_iterations;
+    List.iter
+      (fun (l, w) -> Printf.printf "  %-10s %6.2f um\n" l w)
+      o.Smart.Sizer.sizing
+  in
+  let run kind bits load delay workers corners =
+    let corners = parse_corners corners in
     let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
     match build_first ~kind ~req with
     | Error e ->
@@ -178,23 +233,43 @@ let size_cmd =
       1
     | Ok info -> (
       let nl = info.Smart.Macro.netlist in
-      match Smart.Sizer.size tech nl (Smart.Constraints.spec delay) with
-      | Error e ->
-        prerr_endline e;
-        1
-      | Ok o ->
-        Printf.printf "%s sized to %.1f ps (spec %.1f):\n" (Smart.Macro.name info)
-          o.Smart.Sizer.achieved_delay delay;
-        Printf.printf "  total width %.1f um, clock load %.1f um, %d GP Newton steps\n"
-          o.Smart.Sizer.total_width o.Smart.Sizer.clock_load_width
-          o.Smart.Sizer.gp_newton_iterations;
-        List.iter
-          (fun (l, w) -> Printf.printf "  %-10s %6.2f um\n" l w)
-          o.Smart.Sizer.sizing;
-        0)
+      let spec = Smart.Constraints.spec delay in
+      match corners with
+      | None -> (
+        match Smart.Sizer.size tech nl spec with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok o ->
+          Printf.printf "%s sized to %.1f ps (spec %.1f):\n"
+            (Smart.Macro.name info) o.Smart.Sizer.achieved_delay delay;
+          print_widths o;
+          0)
+      | Some set -> (
+        (* The engine fans the per-round per-corner golden verifies across
+           its worker pool. *)
+        let engine = Smart.Engine.create ~workers () in
+        match
+          Smart.Engine.size_robust engine ~options:Smart.Sizer.default_options
+            set nl spec
+        with
+        | Error e ->
+          prerr_endline (Smart.Error.to_string e);
+          1
+        | Ok ro ->
+          Printf.printf
+            "%s robustly sized over [%s] (spec %.1f ps, binding corner %s):\n"
+            (Smart.Macro.name info)
+            (Smart.Corners.to_string set)
+            delay ro.Smart.Sizer.binding_corner;
+          print_corner_reports ~binding:ro.Smart.Sizer.binding_corner
+            ro.Smart.Sizer.per_corner;
+          print_widths ro.Smart.Sizer.robust;
+          0))
   in
   Cmd.v (Cmd.info "size" ~doc:"Size one macro to a delay specification")
-    Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg)
+    Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg $ workers_arg
+          $ corners_arg)
 
 (* ---------------- paths ---------------- *)
 

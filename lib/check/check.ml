@@ -3,6 +3,8 @@ module Fault = Smart_util.Fault
 module Netlist = Smart_circuit.Netlist
 module Spice = Smart_circuit.Spice
 module Constraints = Smart_constraints.Constraints
+module Corners = Smart_corners.Corners
+module Sta = Smart_sta.Sta
 module Sizer = Smart_sizer.Sizer
 module Engine = Smart_engine.Engine
 module Lint = Smart_lint.Lint
@@ -119,6 +121,53 @@ let certify_sizing ?(options = Sizer.default_options) tech netlist spec =
         achieved_delay = o.Sizer.achieved_delay;
         target_delay = o.Sizer.target_delay;
       }
+
+(* ------------------------------------------------------------------ *)
+(* Independent re-timing of a robust (multi-corner) sizing             *)
+(* ------------------------------------------------------------------ *)
+
+type robust_verification = {
+  corners_checked : int;
+  reports_agree : bool;
+  worst_corner : string;
+  binding_agrees : bool;
+  all_meet_spec : bool;
+}
+
+let verify_robust ?(tol = 1e-6) ?(band = 0.02) set netlist spec
+    (ro : Sizer.robust_outcome) =
+  let sizing = ro.Sizer.robust.Sizer.sizing_fn in
+  let measured =
+    List.map
+      (fun (c : Corners.corner) ->
+        ( c.Corners.corner_name,
+          (Sta.analyze ~mode:Sta.Evaluate c.Corners.tech netlist ~sizing)
+            .Sta.max_delay ))
+      (Corners.to_list set)
+  in
+  let close a b = Float.abs (a -. b) <= tol *. Float.max 1. (Float.abs b) in
+  let reports_agree =
+    List.length measured = List.length ro.Sizer.per_corner
+    && List.for_all2
+         (fun (name, d) (r : Sizer.corner_report) ->
+           name = r.Sizer.corner_name && close d r.Sizer.corner_delay)
+         measured ro.Sizer.per_corner
+  in
+  let worst_corner, _ =
+    List.fold_left
+      (fun (wn, wd) (n, d) -> if d > wd then (n, d) else (wn, wd))
+      ("", neg_infinity) measured
+  in
+  {
+    corners_checked = List.length measured;
+    reports_agree;
+    worst_corner;
+    binding_agrees = worst_corner = ro.Sizer.binding_corner;
+    all_meet_spec =
+      List.for_all
+        (fun (_, d) -> d <= spec.Constraints.target_delay *. (1. +. band))
+        measured;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Fault drill: every injected failure class must degrade to a         *)

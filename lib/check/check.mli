@@ -71,6 +71,32 @@ val certify_sizing :
     solver status was not [Optimal] (certification only applies to
     optimal claims). *)
 
+type robust_verification = {
+  corners_checked : int;
+  reports_agree : bool;
+      (** the sizer's per-corner reports match an independent golden STA
+          re-timing of the returned sizing at every corner *)
+  worst_corner : string;  (** independently determined worst corner *)
+  binding_agrees : bool;
+      (** the independently found worst corner is the one the sizer
+          claimed as binding *)
+  all_meet_spec : bool;  (** every corner within the [band] of the spec *)
+}
+
+val verify_robust :
+  ?tol:float ->
+  ?band:float ->
+  Smart_corners.Corners.set ->
+  Smart_circuit.Netlist.t ->
+  Smart_constraints.Constraints.spec ->
+  Smart_sizer.Sizer.robust_outcome ->
+  robust_verification
+(** Differentially verify a {!Smart_sizer.Sizer.size_robust_typed}
+    outcome: re-time the sizing at every corner with the golden STA,
+    independently of the numbers the sizer reported, and compare.
+    [tol] (default 1e-6, relative) bounds report-vs-retiming agreement;
+    [band] (default 0.02) is the spec acceptance band. *)
+
 type drill_result = { fault_class : string; passed : bool; detail : string }
 
 val fault_drill : Smart_tech.Tech.t -> drill_result list

@@ -66,7 +66,17 @@ val generate :
   Smart_circuit.Netlist.t ->
   spec ->
   result
-(** Build the GP for a netlist under a delay specification. *)
+(** Build the GP for a netlist under a delay specification.
+
+    Generation is deterministic and pure in the technology: calling it
+    once per process corner (the same netlist, a [Smart_tech.Tech.scaled]
+    tech each time) yields programs over the {e same} variable set (the
+    shared size labels) with the {e same} constraint names in the same
+    order — only the posynomial coefficients differ.  Multi-corner robust
+    sizing ({!Smart_corners.Corners.generate_robust}) relies on exactly
+    this contract to tag and merge the per-corner programs into one GP,
+    and to route per-corner budget factors by name through
+    {!rescale_factors}. *)
 
 val rescale : result -> timing:float -> precharge:float -> result
 (** Tighten (factor < 1) or relax the timing budgets — the outer loop's

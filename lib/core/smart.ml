@@ -16,6 +16,7 @@ module Arc = Smart_models.Arc
 module Sta = Smart_sta.Sta
 module Paths = Smart_paths.Paths
 module Constraints = Smart_constraints.Constraints
+module Corners = Smart_corners.Corners
 module Power = Smart_power.Power
 module Baseline = Smart_baseline.Baseline
 module Sizer = Smart_sizer.Sizer
@@ -62,18 +63,30 @@ module Request = struct
     tech : Tech.t;
     engine : Engine.t option;
     lint : [ `Off | `Warn | `Strict ];
+    corners : Corners.set option;
   }
 
   let make ?(ext_load = 30.) ?(strongly_mutexed_selects = true)
       ?(allow_dynamic = true) ?(delay = 150.) ?spec
       ?(metric = Explore.Area) ?(options = Sizer.default_options)
-      ?(tech = Tech.default) ?engine ?(lint = `Warn) ~kind ~bits () =
+      ?(tech = Tech.default) ?engine ?(lint = `Warn) ?corners ~kind ~bits () =
     let requirements =
       Database.requirements ~ext_load ~strongly_mutexed_selects ~allow_dynamic
         bits
     in
     let spec = match spec with Some s -> s | None -> Constraints.spec delay in
-    { kind; bits; requirements; spec; metric; options; tech; engine; lint }
+    {
+      kind;
+      bits;
+      requirements;
+      spec;
+      metric;
+      options;
+      tech;
+      engine;
+      lint;
+      corners;
+    }
 
   let with_spec spec t = { t with spec }
   let with_metric metric t = { t with metric }
@@ -81,6 +94,7 @@ module Request = struct
   let with_tech tech t = { t with tech }
   let with_engine engine t = { t with engine = Some engine }
   let with_lint lint t = { t with lint }
+  let with_corners corners t = { t with corners = Some corners }
 
   let with_requirements requirements t =
     { t with requirements; bits = requirements.Database.bits }
@@ -121,8 +135,9 @@ let run ?db (r : Request.t) =
     let db = match db with Some db -> db | None -> Database.builtins () in
     match
       Explore.explore_typed ?engine:r.Request.engine ~options:r.Request.options
-        ~metric:r.Request.metric ~db ~kind:r.Request.kind
-        ~requirements:r.Request.requirements r.Request.tech r.Request.spec
+        ?corners:r.Request.corners ~metric:r.Request.metric ~db
+        ~kind:r.Request.kind ~requirements:r.Request.requirements
+        r.Request.tech r.Request.spec
     with
     | Error e -> Error e
     | Ok ranking ->
@@ -141,6 +156,7 @@ let advise ?options ?(metric = Explore.Area) ~db ~kind ~requirements tech spec =
       tech;
       engine = None;
       lint = `Warn;
+      corners = None;
     }
   in
   Result.map_error Error.to_string (run ~db request)

@@ -37,6 +37,7 @@ module Arc = Smart_models.Arc
 module Sta = Smart_sta.Sta
 module Paths = Smart_paths.Paths
 module Constraints = Smart_constraints.Constraints
+module Corners = Smart_corners.Corners
 module Power = Smart_power.Power
 module Baseline = Smart_baseline.Baseline
 module Sizer = Smart_sizer.Sizer
@@ -110,6 +111,12 @@ module Request : sig
             attaches reports to the advice, [`Strict] additionally fails
             the request with {!Error.Lint_failed} on any unwaived
             [Error]-severity finding — before any GP solve *)
+    corners : Corners.set option;
+        (** when set, every candidate is jointly sized over the corner
+            set ({!Smart_sizer.Sizer.size_robust_typed}) and ranked by
+            worst-corner cost; the per-corner golden results land on each
+            {!Explore.candidate}.  [None]: single-tech sizing at
+            [tech]. *)
   }
 
   val make :
@@ -123,13 +130,15 @@ module Request : sig
     ?tech:Tech.t ->
     ?engine:Engine.t ->
     ?lint:[ `Off | `Warn | `Strict ] ->
+    ?corners:Corners.set ->
     kind:string ->
     bits:int ->
     unit ->
     t
   (** Defaults: 30 fF load, one-hot and dynamic allowed, 150 ps target
       (ignored when [spec] is given), area metric, default sizer options,
-      default technology, process-default engine, [`Warn] linting. *)
+      default technology, process-default engine, [`Warn] linting,
+      single-corner (no [corners]) sizing. *)
 
   val with_spec : Constraints.spec -> t -> t
   val with_metric : Explore.metric -> t -> t
@@ -137,6 +146,7 @@ module Request : sig
   val with_tech : Tech.t -> t -> t
   val with_engine : Engine.t -> t -> t
   val with_lint : [ `Off | `Warn | `Strict ] -> t -> t
+  val with_corners : Corners.set -> t -> t
   val with_requirements : Database.requirements -> t -> t
 end
 

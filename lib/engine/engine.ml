@@ -3,6 +3,7 @@ module Tracepoint = Smart_util.Tracepoint
 module Tech = Smart_tech.Tech
 module Netlist = Smart_circuit.Netlist
 module Constraints = Smart_constraints.Constraints
+module Corners = Smart_corners.Corners
 module Sizer = Smart_sizer.Sizer
 
 (* ------------------------------------------------------------------ *)
@@ -179,12 +180,33 @@ module Trace = struct
   let stderr_line e = Printf.eprintf "trace: %s\n%!" (to_string e)
 
   let memory () =
+    (* Worker domains emit concurrently; the cons is a read-modify-write
+       that would lose events unguarded, so both the sink and the drain
+       take the lock. *)
+    let lock = Mutex.create () in
     let events = ref [] in
-    ((fun e -> events := e :: !events), fun () -> List.rev !events)
+    let locked f =
+      Mutex.lock lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+    in
+    ( (fun e -> locked (fun () -> events := e :: !events)),
+      fun () -> locked (fun () -> List.rev !events) )
 
-  let json_lines oc e =
-    output_string oc (to_json e);
-    output_char oc '\n'
+  let json_lines oc =
+    (* One lock per sink: a line is rendered outside the lock, then
+       written and flushed atomically — concurrent domains can never
+       interleave bytes within a line, and a consumer tailing the channel
+       sees every completed line immediately. *)
+    let lock = Mutex.create () in
+    fun e ->
+      let line = to_json e in
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
 
   let attr_int attrs k =
     match List.assoc_opt k attrs with Some (Tracepoint.Int i) -> i | _ -> 0
@@ -261,6 +283,7 @@ module Cache = struct
   type cached =
     | Sized of (Sizer.outcome, Err.t) result
     | Min of (Sizer.min_delay, Err.t) result
+    | Robust of (Sizer.robust_outcome, Err.t) result
 
   type entry = { mutable last_use : int; value : cached }
 
@@ -347,10 +370,13 @@ end
 
 (* The cache key digests the structural identity of a solve: netlist
    wiring and size-label set (the name is dropped so structurally equal
-   candidates share entries), the delay specification, the technology and
-   the full sizer options.  All components are plain data, so a Marshal
-   digest is a faithful structural hash. *)
-let solve_key ~tag ~(options : Sizer.options) tech (nl : Netlist.t) spec =
+   candidates share entries), the delay specification, the technology —
+   or, for robust solves, the full corner list (names, cumulative
+   rc_scale and each corner's scaled technology), so a typ-only entry can
+   never serve a 3-corner request and vice versa — and the full sizer
+   options.  All components are plain data, so a Marshal digest is a
+   faithful structural hash. *)
+let solve_key ~tag ?corners ~(options : Sizer.options) tech (nl : Netlist.t) spec =
   let structure =
     ( Array.map (fun n -> (n.Netlist.net_name, n.Netlist.net_kind)) nl.Netlist.nets,
       Array.map
@@ -364,8 +390,19 @@ let solve_key ~tag ~(options : Sizer.options) tech (nl : Netlist.t) spec =
       nl.Netlist.ext_loads,
       Netlist.labels nl )
   in
+  let corner_key =
+    match corners with
+    | None -> None
+    | Some set ->
+      Some
+        (List.map
+           (fun (c : Corners.corner) ->
+             (c.Corners.corner_name, c.Corners.rc_scale, c.Corners.tech))
+           (Corners.to_list set))
+  in
   Digest.to_hex
-    (Digest.string (Marshal.to_string (tag, structure, spec, tech, options) []))
+    (Digest.string
+       (Marshal.to_string (tag, corner_key, structure, spec, tech, options) []))
 
 (* ------------------------------------------------------------------ *)
 (* Worker pool                                                         *)
@@ -536,6 +573,86 @@ let size t ?label ~options tech netlist spec =
          });
     r
 
+(* The engine's verify fan-out for robust sizing: each respecification
+   round's per-corner golden STA runs land on the worker pool. *)
+let pool_mapper t = { Sizer.map = (fun f xs -> Pool.map ~workers:t.pool_width f xs) }
+
+let size_robust t ?label ?(pooled_verify = true) ~options corners netlist spec =
+  let label =
+    let base = match label with Some l -> l | None -> netlist.Netlist.name in
+    Printf.sprintf "%s[%s]" base (Corners.to_string corners)
+  in
+  let nominal_tech = (Corners.nominal corners).Corners.tech in
+  let cached =
+    if caching t then
+      let key =
+        solve_key ~tag:"robust" ~corners ~options nominal_tech netlist spec
+      in
+      (key, Cache.find t.cache key)
+    else ("", None)
+  in
+  match cached with
+  | _, Some (Cache.Robust r) ->
+    let iterations, gp_newton =
+      match r with
+      | Ok o ->
+        (o.Sizer.robust.Sizer.iterations,
+         o.Sizer.robust.Sizer.gp_newton_iterations)
+      | Error _ -> (0, 0)
+    in
+    emit t
+      (Trace.Sizing
+         {
+           label;
+           wall_s = 0.;
+           iterations;
+           gp_newton;
+           sta_verifies = 0;
+           cache = Trace.Hit;
+           ok = Result.is_ok r;
+         });
+    r
+  | key, _ ->
+    let t0 = Unix.gettimeofday () in
+    let mapper =
+      if pooled_verify && t.pool_width > 1 then pool_mapper t
+      else Sizer.sequential_mapper
+    in
+    let r =
+      match Smart_util.Fault.fire "engine.worker" with
+      | Some (Smart_util.Fault.Raise msg) -> raise (Err.Smart_error msg)
+      | Some (Smart_util.Fault.Error_result msg) -> Error (Err.Gp_failure msg)
+      | Some (Smart_util.Fault.Scale _) | None ->
+        Sizer.size_robust_typed ~options ~mapper corners netlist spec
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let cache =
+      if caching t then begin
+        if Result.is_ok r then Cache.add t.cache key (Cache.Robust r);
+        Trace.Miss
+      end
+      else Trace.Bypass
+    in
+    let iterations, gp_newton =
+      match r with
+      | Ok o ->
+        (o.Sizer.robust.Sizer.iterations,
+         o.Sizer.robust.Sizer.gp_newton_iterations)
+      | Error _ -> (0, 0)
+    in
+    emit t
+      (Trace.Sizing
+         {
+           label;
+           wall_s;
+           iterations;
+           gp_newton;
+           sta_verifies = Corners.length corners * iterations;
+           cache;
+           ok = Result.is_ok r;
+         });
+    r
+
 let minimize_delay t ?label ~options tech netlist spec =
   let label = match label with Some l -> l | None -> netlist.Netlist.name in
   let cached =
@@ -570,6 +687,20 @@ let size_all t ~options tech spec named =
          error in its slot instead of killing the whole batch. *)
       ( name,
         try size t ~label:name ~options tech nl spec
+        with Err.Smart_error msg ->
+          Error (Err.Worker_crash { item = i; detail = msg }) ))
+    indexed
+
+let size_robust_all t ~options corners spec named =
+  let indexed = List.mapi (fun i nv -> (i, nv)) named in
+  map t
+    (fun (i, (name, nl)) ->
+      (* Candidates already saturate the pool; the per-candidate corner
+         verifies stay sequential to avoid nested domain spawns. *)
+      ( name,
+        try
+          size_robust t ~label:name ~pooled_verify:false ~options corners nl
+            spec
         with Err.Smart_error msg ->
           Error (Err.Worker_crash { item = i; detail = msg }) ))
     indexed

@@ -27,6 +27,7 @@ module Err = Smart_util.Err
 module Tech = Smart_tech.Tech
 module Netlist = Smart_circuit.Netlist
 module Constraints = Smart_constraints.Constraints
+module Corners = Smart_corners.Corners
 module Sizer = Smart_sizer.Sizer
 
 (** {1 Instrumentation} *)
@@ -82,10 +83,17 @@ module Trace : sig
   val stderr_line : sink  (** one compact line per event on stderr *)
 
   val memory : unit -> sink * (unit -> event list)
-  (** An accumulating sink and its drain (events in emission order). *)
+  (** An accumulating sink and its drain (events in emission order).
+      Both are safe to call from concurrent worker domains — the
+      accumulator is mutex-guarded, so no event is ever lost to a racing
+      read-modify-write. *)
 
   val json_lines : out_channel -> sink
-  (** One JSON object per line; the caller owns the channel. *)
+  (** One JSON object per line; the caller owns the channel.  Each
+      returned sink serialises its writes under an internal lock and
+      flushes after every line, so concurrent domains never interleave
+      bytes within a line and a consumer tailing the channel sees
+      complete lines immediately. *)
 
   val to_string : event -> string
   val to_json : event -> string
@@ -153,6 +161,24 @@ val size :
   (Sizer.outcome, Err.t) result
 (** Memoized {!Sizer.size_typed}; emits one {!Trace.Sizing} span. *)
 
+val size_robust :
+  t ->
+  ?label:string ->
+  ?pooled_verify:bool ->
+  options:Sizer.options ->
+  Corners.set ->
+  Netlist.t ->
+  Constraints.spec ->
+  (Sizer.robust_outcome, Err.t) result
+(** Memoized {!Sizer.size_robust_typed}.  The per-round per-corner golden
+    STA verifies are fanned across this engine's worker pool unless
+    [pooled_verify] is [false] (set by {!size_robust_all}, whose
+    candidates already saturate the pool).  Cache keys digest the full
+    corner list — names, cumulative [rc_scale] and each corner's scaled
+    technology — alongside the structural solve identity, so a typ-only
+    entry never serves a multi-corner request (or vice versa).  Emits one
+    {!Trace.Sizing} span labelled [<name>[<corners>]]. *)
+
 val minimize_delay :
   t ->
   ?label:string ->
@@ -175,3 +201,15 @@ val size_all :
     {!Smart_util.Err.Smart_error} on one item degrades to
     [Error (Worker_crash _)] in that item's slot; the rest of the batch
     is unaffected. *)
+
+val size_robust_all :
+  t ->
+  options:Sizer.options ->
+  Corners.set ->
+  Constraints.spec ->
+  (string * Netlist.t) list ->
+  (string * (Sizer.robust_outcome, Err.t) result) list
+(** {!size_all}'s robust counterpart: every named candidate jointly sized
+    over the corner set across the pool (per-candidate corner verifies
+    sequential — the batch already saturates the workers).  Same ordering
+    and per-item degradation guarantees. *)

@@ -3,6 +3,7 @@ module Netlist = Smart_circuit.Netlist
 module Macro = Smart_macros.Macro
 module Database = Smart_database.Database
 module Constraints = Smart_constraints.Constraints
+module Corners = Smart_corners.Corners
 module Sizer = Smart_sizer.Sizer
 module Power = Smart_power.Power
 module Engine = Smart_engine.Engine
@@ -20,6 +21,8 @@ type candidate = {
   outcome : Sizer.outcome;
   power_report : Power.report;
   score : float;
+  corners : Sizer.corner_report list;
+  binding_corner : string option;
 }
 
 type ranking = {
@@ -46,28 +49,75 @@ let engine_of = function Some e -> e | None -> Engine.default ()
 (* All candidates go through the engine in one batch: the pool sizes them
    concurrently, the solve cache absorbs repeats, and every candidate
    gets a sizing trace span.  Results come back in input order, so the
-   ranking is identical however many workers ran. *)
-let size_candidates ?engine ?options ~metric tech spec named_infos =
+   ranking is identical however many workers ran.
+
+   With [corners], every candidate is jointly sized over the corner set
+   and scored by its worst-corner cost: widths are corner-independent
+   once the sizing is robust, but power is not — the Power metric takes
+   the maximum estimate over the corners' technologies, so a topology
+   that only looks cheap at typical cannot win the ranking. *)
+let size_candidates ?engine ?options ?corners ~metric tech spec named_infos =
   let engine = engine_of engine in
   let options =
     let base = match options with Some o -> o | None -> Sizer.default_options in
     { base with Sizer.objective = objective_of_metric metric }
   in
+  let nets =
+    List.map (fun (n, (i : Macro.info)) -> (n, i.Macro.netlist)) named_infos
+  in
   let results =
-    Engine.size_all engine ~options tech spec
-      (List.map (fun (n, (i : Macro.info)) -> (n, i.Macro.netlist)) named_infos)
+    match corners with
+    | None ->
+      List.map
+        (fun (n, r) -> (n, Result.map (fun o -> (o, [], None)) r))
+        (Engine.size_all engine ~options tech spec nets)
+    | Some set ->
+      List.map
+        (fun (n, r) ->
+          ( n,
+            Result.map
+              (fun (ro : Sizer.robust_outcome) ->
+                (ro.Sizer.robust, ro.Sizer.per_corner,
+                 Some ro.Sizer.binding_corner))
+              r ))
+        (Engine.size_robust_all engine ~options set spec nets)
+  in
+  let worst_corner_power netlist sizing_fn =
+    match corners with
+    | None -> Power.estimate tech netlist ~sizing:sizing_fn
+    | Some set ->
+      let reports =
+        List.map
+          (fun (c : Corners.corner) ->
+            Power.estimate c.Corners.tech netlist ~sizing:sizing_fn)
+          (Corners.to_list set)
+      in
+      List.fold_left
+        (fun (worst : Power.report) (r : Power.report) ->
+          if r.Power.total_uw > worst.Power.total_uw then r else worst)
+        (List.hd reports) (List.tl reports)
   in
   let accepted, rejected =
     List.fold_left2
       (fun (acc, rej) (entry_name, (info : Macro.info)) (_, result) ->
         match result with
         | Error e -> (acc, (entry_name, Err.to_string e) :: rej)
-        | Ok outcome ->
+        | Ok (outcome, corner_reports, binding_corner) ->
           let power_report =
-            Power.estimate tech info.Macro.netlist ~sizing:outcome.Sizer.sizing_fn
+            worst_corner_power info.Macro.netlist outcome.Sizer.sizing_fn
           in
           let score = score_of metric outcome power_report in
-          ({ entry_name; info; outcome; power_report; score } :: acc, rej))
+          ( {
+              entry_name;
+              info;
+              outcome;
+              power_report;
+              score;
+              corners = corner_reports;
+              binding_corner;
+            }
+            :: acc,
+            rej ))
       ([], []) named_infos results
   in
   let ranked = List.sort (fun a b -> Float.compare a.score b.score) accepted in
@@ -83,12 +133,12 @@ let size_candidates ?engine ?options ~metric tech spec named_infos =
          })
   | winner :: _ -> Ok { winner; ranked; rejected = List.rev rejected }
 
-let explore_typed ?engine ?options ?(metric = Area) ~db ~kind ~requirements
-    tech spec =
+let explore_typed ?engine ?options ?corners ?(metric = Area) ~db ~kind
+    ~requirements tech spec =
   let built = Database.build_all db ~kind requirements in
   if built = [] then Error (Err.No_applicable_topology { kind })
   else
-    size_candidates ?engine ?options ~metric tech spec
+    size_candidates ?engine ?options ?corners ~metric tech spec
       (List.map
          (fun ((e : Database.entry), info) -> (e.Database.entry_name, info))
          built)
@@ -100,18 +150,19 @@ let legacy_error = function
     Printf.sprintf "Explore: no topology meets the specification (%s)" detail
   | e -> "Explore: " ^ Err.to_string e
 
-let explore ?engine ?options ?metric ~db ~kind ~requirements tech spec =
+let explore ?engine ?options ?corners ?metric ~db ~kind ~requirements tech spec =
   Result.map_error legacy_error
-    (explore_typed ?engine ?options ?metric ~db ~kind ~requirements tech spec)
+    (explore_typed ?engine ?options ?corners ?metric ~db ~kind ~requirements
+       tech spec)
 
-let tune_typed ?engine ?options ?(metric = Area) ~variants tech spec =
+let tune_typed ?engine ?options ?corners ?(metric = Area) ~variants tech spec =
   if variants = [] then Error (Err.Invalid_request "Explore.tune: no variants")
-  else size_candidates ?engine ?options ~metric tech spec variants
+  else size_candidates ?engine ?options ?corners ~metric tech spec variants
 
-let tune ?engine ?options ?(metric = Area) ~variants tech spec =
+let tune ?engine ?options ?corners ?(metric = Area) ~variants tech spec =
   if variants = [] then Err.fail "Explore.tune: no variants";
   Result.map_error legacy_error
-    (tune_typed ?engine ?options ~metric ~variants tech spec)
+    (tune_typed ?engine ?options ?corners ~metric ~variants tech spec)
 
 let sweep_area_delay ?engine ?options ?(points = 8) ?(min_relax = 1.0)
     ?(max_relax = 1.35) tech netlist spec =

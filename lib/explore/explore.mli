@@ -21,8 +21,17 @@ type candidate = {
   entry_name : string;
   info : Smart_macros.Macro.info;
   outcome : Smart_sizer.Sizer.outcome;
+      (** when sized over a corner set, the joint sizing reported from the
+          binding corner's viewpoint (see
+          {!Smart_sizer.Sizer.robust_outcome}) *)
   power_report : Smart_power.Power.report;
+      (** worst (maximum [total_uw]) over the corner set when one was
+          requested; the single-tech estimate otherwise *)
   score : float;  (** under the requested metric; lower is better *)
+  corners : Smart_sizer.Sizer.corner_report list;
+      (** per-corner golden results, set order; [[]] without [?corners] *)
+  binding_corner : string option;
+      (** worst golden corner; [None] without [?corners] *)
 }
 
 type ranking = {
@@ -34,6 +43,7 @@ type ranking = {
 val explore_typed :
   ?engine:Smart_engine.Engine.t ->
   ?options:Smart_sizer.Sizer.options ->
+  ?corners:Smart_corners.Corners.set ->
   ?metric:metric ->
   db:Smart_database.Database.t ->
   kind:string ->
@@ -44,7 +54,12 @@ val explore_typed :
 (** Size every applicable topology and rank by [metric] (default [Area]).
     Candidates are evaluated through [engine] (default: the process
     engine) — fanned across its worker pool and memoized in its solve
-    cache; rankings are identical at any pool width.  [Error] is
+    cache; rankings are identical at any pool width.  With [corners],
+    every candidate is jointly sized over the corner set
+    ({!Smart_engine.Engine.size_robust_all}) and ranked by its
+    worst-corner cost — under the [Power] metric, the maximum estimate
+    over the corners' technologies — so a topology that only wins at
+    typical cannot top the ranking.  [Error] is
     {!Smart_util.Err.No_applicable_topology} when pruning leaves nothing,
     or {!Smart_util.Err.Infeasible_spec} when no candidate can meet the
     specification. *)
@@ -52,6 +67,7 @@ val explore_typed :
 val explore :
   ?engine:Smart_engine.Engine.t ->
   ?options:Smart_sizer.Sizer.options ->
+  ?corners:Smart_corners.Corners.set ->
   ?metric:metric ->
   db:Smart_database.Database.t ->
   kind:string ->
@@ -82,6 +98,7 @@ val sweep_area_delay :
 val tune_typed :
   ?engine:Smart_engine.Engine.t ->
   ?options:Smart_sizer.Sizer.options ->
+  ?corners:Smart_corners.Corners.set ->
   ?metric:metric ->
   variants:(string * Smart_macros.Macro.info) list ->
   Smart_tech.Tech.t ->
@@ -94,6 +111,7 @@ val tune_typed :
 val tune :
   ?engine:Smart_engine.Engine.t ->
   ?options:Smart_sizer.Sizer.options ->
+  ?corners:Smart_corners.Corners.set ->
   ?metric:metric ->
   variants:(string * Smart_macros.Macro.info) list ->
   Smart_tech.Tech.t ->

@@ -81,6 +81,60 @@ let eliminate_equalities t =
   in
   go t []
 
+let scenario_sep = '@'
+
+let scenario_name ~tag name = Printf.sprintf "%s%c%s" tag scenario_sep name
+
+let split_scenario name =
+  match String.index_opt name scenario_sep with
+  | None -> None
+  | Some i ->
+    Some
+      (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+
+let merge ~objective tagged =
+  if tagged = [] then Err.fail "Gp.Problem.merge: no scenarios";
+  List.iter
+    (fun (tag, t) ->
+      if t.equalities <> [] then
+        Err.fail "Gp.Problem.merge: scenario %s carries equalities" tag;
+      if String.contains tag scenario_sep then
+        Err.fail "Gp.Problem.merge: scenario tag %s contains '%c'" tag
+          scenario_sep)
+    tagged;
+  let inequalities =
+    List.concat_map
+      (fun (tag, t) ->
+        List.map (fun (n, p) -> (scenario_name ~tag n, p)) t.inequalities)
+      tagged
+  in
+  (* Shared variables, per-scenario bounds: keep the intersection.  The
+     scenarios of a corner merge bound the same size labels identically,
+     but a designer-supplied corner may tighten one — the sizing must
+     respect every scenario's box. *)
+  let bounds = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (_, t) ->
+      List.iter
+        (fun (v, lo, hi) ->
+          match Hashtbl.find_opt bounds v with
+          | None ->
+            Hashtbl.replace bounds v (lo, hi);
+            order := v :: !order
+          | Some (lo', hi') ->
+            Hashtbl.replace bounds v (Float.max lo lo', Float.min hi hi'))
+        t.bounds)
+    tagged;
+  let bounds =
+    List.rev_map
+      (fun v ->
+        let lo, hi = Hashtbl.find bounds v in
+        (v, lo, hi))
+      !order
+  in
+  make ~inequalities ~bounds objective
+
 let default_bounds ~lo ~hi t =
   let have = List.map (fun (v, _, _) -> v) t.bounds in
   let missing = List.filter (fun v -> not (List.mem v have)) (variables t) in

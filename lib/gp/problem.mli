@@ -41,6 +41,25 @@ val eliminate_equalities : t -> t * (string * Monomial.t) list
     the eliminated variables with the monomials (over remaining variables)
     that reconstruct them. *)
 
+val merge : objective:Posy.t -> (string * t) list -> t
+(** [merge ~objective tagged] joins several problems over a {e shared}
+    variable set into one: each scenario's inequalities are copied under
+    names tagged [<tag>@<name>] (so per-scenario budget rescales can
+    still address them — see {!split_scenario}), bounds are intersected
+    per variable, and the scenarios' own objectives are replaced by
+    [objective].  This is the joint robust-GP construction: one width
+    vector, per-corner constraint coefficients.  Scenarios must be
+    equality-free (constraint generation emits none) and tags must not
+    contain ['@'].  Raises {!Smart_util.Err.Smart_error} on an empty
+    scenario list. *)
+
+val scenario_name : tag:string -> string -> string
+(** The merged name [<tag>@<name>] {!merge} gives a scenario constraint. *)
+
+val split_scenario : string -> (string * string) option
+(** Invert {!scenario_name}: [Some (tag, name)] for merged constraint
+    names, [None] for unmerged ones. *)
+
 val default_bounds : lo:float -> hi:float -> t -> t
 (** Add [lo <= x <= hi] for every variable lacking an explicit bound. *)
 

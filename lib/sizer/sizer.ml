@@ -2,6 +2,7 @@ module Err = Smart_util.Err
 module Tracepoint = Smart_util.Tracepoint
 module Netlist = Smart_circuit.Netlist
 module Constraints = Smart_constraints.Constraints
+module Corners = Smart_corners.Corners
 module Paths = Smart_paths.Paths
 module Solver = Smart_gp.Solver
 module Sta = Smart_sta.Sta
@@ -338,6 +339,318 @@ let size ?options tech netlist spec =
   Result.map_error
     (fun e -> "Sizer: " ^ Err.to_string e)
     (size_typed ?options tech netlist spec)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-corner robust sizing                                          *)
+(* ------------------------------------------------------------------ *)
+
+type mapper = { map : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+
+let sequential_mapper = { map = (fun f xs -> List.map f xs) }
+
+type corner_report = {
+  corner_name : string;
+  corner_delay : float;
+  corner_precharge : float;
+  corner_slack : float;
+}
+
+type robust_outcome = {
+  robust : outcome;
+  per_corner : corner_report list;
+  binding_corner : string;
+}
+
+let size_robust_impl ?(options = default_options) ?(mapper = sequential_mapper)
+    corners netlist spec =
+  let merged =
+    Corners.generate_robust ~reductions:options.reductions
+      ~objective:options.objective corners netlist spec
+  in
+  let generated = merged.Corners.generated in
+  let corner_list = Corners.to_list corners in
+  let indexed = List.mapi (fun i c -> (i, c)) corner_list in
+  let n = List.length corner_list in
+  let precharge_budget =
+    match spec.Constraints.precharge_budget with
+    | Some b -> b
+    | None -> spec.Constraints.target_delay
+  in
+  let tol = options.tolerance in
+  let has_pre = generated.Constraints.precharge_constraints > 0 in
+  (* Per-corner model-space budgets: each corner's respecification knob is
+     retargeted by its own golden-vs-spec mismatch; the round's acceptance
+     and convergence key on the worst golden-verified corner. *)
+  let timing = Array.make n 1.0 in
+  let pre_f = Array.make n 1.0 in
+  let best = ref None in
+  let total_newton = ref 0 in
+  let iterations = ref 0 in
+  let result = ref None in
+  let prepared = Solver.prepare generated.Constraints.problem in
+  let warm = ref None in
+  let anchored = ref false in
+  let warm_rounds = ref 0 in
+  let newton_per_round = ref [] in
+  let remember sol =
+    newton_per_round := sol.Solver.newton_iterations :: !newton_per_round;
+    if sol.Solver.warm_started then incr warm_rounds;
+    if options.gp_warm_start && ((not !anchored) || not sol.Solver.warm_started)
+    then
+      match Solver.warm_handle sol with
+      | Some _ as w ->
+        warm := w;
+        anchored := true
+      | None -> ()
+  in
+  (* Golden verification at every corner; the engine supplies a mapper
+     that fans these across its worker pool. *)
+  let verify sizing_fn =
+    mapper.map
+      (fun (i, (c : Corners.corner)) ->
+        let tech = c.Corners.tech in
+        let eval = Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn in
+        let pre = Sta.analyze ~mode:Sta.Precharge tech netlist ~sizing:sizing_fn in
+        let achieved_pre =
+          if has_pre && pre.Sta.reachable_outputs = 0 then infinity
+          else pre.Sta.max_delay
+        in
+        (i, c, eval, achieved_pre))
+      indexed
+  in
+  (* Seed the budgets: one min-delay pre-solve on the structurally worst
+     corner (largest RC product) reveals how much slower than the target
+     the model thinks the binding corner is; starting from the implied
+     relaxation saves the loop from burning rounds on infeasibility. *)
+  (match options.min_delay_hint with
+  | Some d_model ->
+    if d_model > spec.Constraints.target_delay then
+      Array.iteri
+        (fun i _ ->
+          timing.(i) <- 1.1 *. d_model /. spec.Constraints.target_delay)
+        timing
+  | None -> (
+    let worst_corner =
+      List.fold_left
+        (fun (bi, (bc : Corners.corner)) (ci, (cc : Corners.corner)) ->
+          if cc.Corners.rc_scale > bc.Corners.rc_scale then (ci, cc)
+          else (bi, bc))
+        (List.hd indexed) (List.tl indexed)
+    in
+    let _, wc = worst_corner in
+    match
+      Solver.solve ~options:options.gp_options
+        (Constraints.generate_min_delay ~reductions:options.reductions
+           wc.Corners.tech netlist spec)
+          .Constraints.problem
+    with
+    | Error _ -> ()
+    | Ok sol -> (
+      match sol.Solver.status with
+      | Solver.Infeasible | Solver.Iteration_limit -> ()
+      | Solver.Optimal ->
+        total_newton := sol.Solver.newton_iterations;
+        let d_model = Solver.lookup sol Constraints.delay_variable in
+        if d_model > spec.Constraints.target_delay then begin
+          let f = 1.1 *. d_model /. spec.Constraints.target_delay in
+          Array.iteri (fun i _ -> timing.(i) <- f) timing
+        end;
+        if options.gp_warm_start then
+          warm := Solver.warm_of_values prepared sol.Solver.values)));
+  (try
+     for iter = 1 to options.max_iterations do
+       iterations := iter;
+       Solver.rescale_compiled prepared
+         (Corners.rescale_factors ~timing ~precharge:pre_f);
+       let resolved =
+         match Smart_util.Fault.fire "sizer.gp" with
+         | Some (Smart_util.Fault.Error_result msg) -> Error msg
+         | Some (Smart_util.Fault.Raise msg) -> raise (Err.Smart_error msg)
+         | Some (Smart_util.Fault.Scale _) | None ->
+           Solver.resolve ~options:options.gp_options ?warm:!warm prepared
+       in
+       match resolved with
+       | Error e ->
+         result := Some (Error (Err.Gp_failure e));
+         raise Exit
+       | Ok sol -> (
+         remember sol;
+         match sol.Solver.status with
+         | Solver.Infeasible ->
+           (* The merged model cannot say which corner binds; relax every
+              corner's budget and let the golden checks re-tighten the
+              slack ones.  Give up only when even wide-open models at
+              every corner stay infeasible. *)
+           Array.iteri (fun i f -> timing.(i) <- f *. 1.35) timing;
+           Array.iteri (fun i f -> pre_f.(i) <- f *. 1.15) pre_f;
+           if Array.for_all (fun f -> f > 24.) timing then begin
+             result :=
+               Some
+                 (Error
+                    (Err.Infeasible_spec
+                       {
+                         target_ps = spec.Constraints.target_delay;
+                         detail =
+                           Printf.sprintf
+                             "within device bounds at all corners (%s)"
+                             (Corners.to_string corners);
+                       }));
+             raise Exit
+           end
+         | Solver.Optimal | Solver.Iteration_limit ->
+           let sizing = sizing_of_solution netlist sol in
+           let sizing_fn = fn_of_sizing sizing in
+           total_newton := !total_newton + sol.Solver.newton_iterations;
+           let verified = verify sizing_fn in
+           (* The binding corner: worst golden evaluate miss. *)
+           let _, bind_c, bind_eval, bind_pre =
+             List.fold_left
+               (fun (_, _, (be : Sta.t), _ as bacc) (_, _, (e : Sta.t), _ as cacc) ->
+                 if e.Sta.max_delay > be.Sta.max_delay then cacc else bacc)
+               (List.hd verified) (List.tl verified)
+           in
+           let worst_pre =
+             List.fold_left (fun acc (_, _, _, p) -> Float.max acc p) 0. verified
+           in
+           let reports =
+             List.map
+               (fun (_, (c : Corners.corner), (e : Sta.t), p) ->
+                 {
+                   corner_name = c.Corners.corner_name;
+                   corner_delay = e.Sta.max_delay;
+                   corner_precharge = p;
+                   corner_slack =
+                     spec.Constraints.target_delay -. e.Sta.max_delay;
+                 })
+               verified
+           in
+           let meets =
+             List.for_all
+               (fun (_, _, (e : Sta.t), p) ->
+                 e.Sta.max_delay
+                 <= spec.Constraints.target_delay *. (1. +. tol)
+                 && ((not has_pre) || p <= precharge_budget *. (1. +. tol)))
+               verified
+           in
+           let outcome =
+             {
+               sizing;
+               sizing_fn;
+               achieved_delay = bind_eval.Sta.max_delay;
+               achieved_precharge = (if has_pre then worst_pre else bind_pre);
+               target_delay = spec.Constraints.target_delay;
+               total_width = Netlist.total_width netlist sizing_fn;
+               clock_load_width = Netlist.clock_load_width netlist sizing_fn;
+               iterations = iter;
+               gp_newton_iterations = !total_newton;
+               gp_warm_rounds = !warm_rounds;
+               gp_newton_per_round = List.rev !newton_per_round;
+               certified_rounds = 0;
+               converged = true;
+               constraint_stats = generated;
+               sta = bind_eval;
+             }
+           in
+           let robust =
+             {
+               robust = outcome;
+               per_corner = reports;
+               binding_corner = bind_c.Corners.corner_name;
+             }
+           in
+           let improved =
+             match !best with
+             | Some b ->
+               outcome.total_width < b.robust.total_width *. 0.997
+             | None -> true
+           in
+           if meets && improved then best := Some robust;
+           let miss_t =
+             bind_eval.Sta.max_delay /. spec.Constraints.target_delay
+           in
+           let miss_p =
+             if has_pre then
+               if worst_pre = infinity then 1.
+               else worst_pre /. precharge_budget
+             else 1.
+           in
+           Log.debug (fun m ->
+               m "robust iteration %d: binding %s %.1f/%.1f ps, precharge %.1f"
+                 iter bind_c.Corners.corner_name bind_eval.Sta.max_delay
+                 spec.Constraints.target_delay worst_pre);
+           if
+             miss_t >= 1. -. tol && miss_t <= 1. +. tol && miss_p <= 1. +. tol
+             && (miss_p >= 1. -. (3. *. tol) || not has_pre)
+             && not (meets && improved)
+           then raise Exit;
+           (* Retarget every corner by its own golden miss — the
+              per-corner analogue of the single-corner loop's "create new
+              delay specification" step. *)
+           let retarget factor miss =
+             let adj = (1. /. miss) ** options.damping in
+             let adj = Float.max 0.5 (Float.min 2.0 adj) in
+             factor *. adj
+           in
+           List.iter
+             (fun (i, _, (e : Sta.t), p) ->
+               let m_t = e.Sta.max_delay /. spec.Constraints.target_delay in
+               if m_t > 1. +. tol || m_t < 1. -. tol then
+                 timing.(i) <- retarget timing.(i) m_t;
+               if has_pre && p < infinity then begin
+                 let m_p = p /. precharge_budget in
+                 if m_p > 1. +. tol || m_p < 1. -. tol then
+                   pre_f.(i) <- retarget pre_f.(i) m_p
+               end)
+             verified)
+     done
+   with Exit -> ());
+  match !result with
+  | Some r -> r
+  | None -> (
+    match !best with
+    | Some r ->
+      Ok
+        {
+          r with
+          robust =
+            {
+              r.robust with
+              iterations = !iterations;
+              gp_warm_rounds = !warm_rounds;
+              gp_newton_per_round = List.rev !newton_per_round;
+            };
+        }
+    | None ->
+      Error
+        (Err.Sta_disagreement
+           {
+             target_ps = spec.Constraints.target_delay;
+             iterations = !iterations;
+           }))
+
+let size_robust_typed ?options ?mapper corners netlist spec =
+  Tracepoint.timed "sizer.size_robust"
+    ~attrs:(fun r ->
+      ("netlist", Tracepoint.Str netlist.Netlist.name)
+      :: ("target_ps", Tracepoint.Float spec.Constraints.target_delay)
+      :: ("corners", Tracepoint.Str (Corners.to_string corners))
+      ::
+      (match r with
+      | Ok o ->
+        [
+          ("ok", Tracepoint.Bool true);
+          ("binding_corner", Tracepoint.Str o.binding_corner);
+          ("iterations", Tracepoint.Int o.robust.iterations);
+          ("achieved_ps", Tracepoint.Float o.robust.achieved_delay);
+        ]
+      | Error e ->
+        [ ("ok", Tracepoint.Bool false); ("error", Tracepoint.Str (Err.to_string e)) ]))
+    (fun () -> size_robust_impl ?options ?mapper corners netlist spec)
+
+let size_robust ?options ?mapper corners netlist spec =
+  Result.map_error
+    (fun e -> "Sizer: " ^ Err.to_string e)
+    (size_robust_typed ?options ?mapper corners netlist spec)
 
 type min_delay = { golden_min : float; model_min : float }
 

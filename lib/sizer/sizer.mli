@@ -90,6 +90,64 @@ val size :
 (** {!size_typed} with the error rendered to a string — the original
     API, kept for compatibility. *)
 
+(** {1 Multi-corner robust sizing} *)
+
+type mapper = { map : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+(** How {!size_robust_typed} runs its independent per-corner golden
+    verifies: {!sequential_mapper} runs them in order; the engine passes
+    its worker pool so the corners verify concurrently. *)
+
+val sequential_mapper : mapper
+
+type corner_report = {
+  corner_name : string;
+  corner_delay : float;  (** golden evaluate delay at this corner, ps *)
+  corner_precharge : float;
+      (** golden precharge delay at this corner, ps ([infinity] when the
+          program has precharge constraints but no precharge path
+          reached an output) *)
+  corner_slack : float;  (** [target - corner_delay], ps; negative = miss *)
+}
+
+type robust_outcome = {
+  robust : outcome;
+      (** the joint sizing, reported from the binding corner's viewpoint:
+          [achieved_delay]/[sta] are the worst corner's golden numbers,
+          [achieved_precharge] the worst corner's precharge,
+          [constraint_stats] the merged per-corner program *)
+  per_corner : corner_report list;  (** one report per corner, set order *)
+  binding_corner : string;
+      (** the corner whose golden evaluate delay is worst — [slow] for
+          RC-dominated macros *)
+}
+
+val size_robust_typed :
+  ?options:options ->
+  ?mapper:mapper ->
+  Smart_corners.Corners.set ->
+  Smart_circuit.Netlist.t ->
+  Smart_constraints.Constraints.spec ->
+  (robust_outcome, Smart_util.Err.t) result
+(** Joint robust sizing: one width assignment that the golden timer
+    confirms at {e every} corner of the set.  Constraint generation runs
+    once per corner against the shared size labels, the per-corner
+    programs are merged into one GP
+    ({!Smart_corners.Corners.generate_robust}) compiled once and
+    warm-started across respecification rounds, and each round golden-
+    verifies all corners (through [mapper]) and retargets every corner's
+    internal budget by its own measured miss; acceptance and convergence
+    key on the worst-corner result.  Errors as {!size_typed}, with
+    [Infeasible_spec] naming the corner set. *)
+
+val size_robust :
+  ?options:options ->
+  ?mapper:mapper ->
+  Smart_corners.Corners.set ->
+  Smart_circuit.Netlist.t ->
+  Smart_constraints.Constraints.spec ->
+  (robust_outcome, string) result
+(** {!size_robust_typed} with the error rendered to a string. *)
+
 type min_delay = {
   golden_min : float;  (** fastest golden delay found, ps *)
   model_min : float;  (** the GP's own makespan optimum, ps *)

@@ -17,6 +17,7 @@ type t = {
   logic_delay_fit : float;
   slope_sensitivity : float;
   gate_fit : (string * float) list;
+  rc_scale : float;
 }
 
 let default =
@@ -39,17 +40,39 @@ let default =
     logic_delay_fit = 0.69;
     slope_sensitivity = 0.06;
     gate_fit = [];
+    rc_scale = 1.0;
   }
 
+let scaled_suffix = "-scaled"
+
 let scaled ?(rc_scale = 1.) ?name t =
+  (* The uniform scale is split as sqrt across R and C so that every RC
+     product (delay) moves by exactly [rc_scale] while R-only and C-only
+     quantities drift as little as possible. *)
   let s = sqrt rc_scale in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      (* Normalize: repeated anonymous scaling must not compound the
+         suffix ("typ-scaled-scaled"); the cumulative factor lives in
+         [rc_scale], not the name. *)
+      let base =
+        let sl = String.length scaled_suffix and nl = String.length t.name in
+        if nl >= sl && String.sub t.name (nl - sl) sl = scaled_suffix then
+          String.sub t.name 0 (nl - sl)
+        else t.name
+      in
+      base ^ scaled_suffix
+  in
   {
     t with
-    name = (match name with Some n -> n | None -> t.name ^ "-scaled");
+    name;
     rn = t.rn *. s;
     rp = t.rp *. s;
     cg = t.cg *. s;
     cd = t.cd *. s;
+    rc_scale = t.rc_scale *. rc_scale;
   }
 
 let gate_fit_of t name =

@@ -36,14 +36,26 @@ type t = {
           [Cell.gate_name] — the "model building for sizing" step of the
           paper's Figure 3 flow for bringing a new macro into SMART.
           Unlisted gates use 1.0. *)
+  rc_scale : float;
+      (** cumulative RC-product factor applied by {!scaled} relative to
+          the process this record was derived from (1.0 for {!default}).
+          Corner caches digest this field, so two technologies reached by
+          different scaling histories never alias. *)
 }
 
 val default : t
 (** The synthetic 180 nm-class process used throughout the benches. *)
 
 val scaled : ?rc_scale:float -> ?name:string -> t -> t
-(** Uniformly scale the RC products — used to model process corners in
-    robustness tests. *)
+(** Uniformly scale the RC products — the process-corner model.  The
+    factor is split as [sqrt rc_scale] across the resistances ([rn],
+    [rp]) and the capacitances ([cg], [cd]), so every RC product — hence
+    every delay — scales by exactly [rc_scale] while R-only and C-only
+    quantities move by only its square root.  The cumulative factor is
+    recorded in {!type-t.rc_scale} ([t.rc_scale *. rc_scale]).  Without
+    [name] the result is named [<base>-scaled], where [<base>] strips any
+    previous ["-scaled"] suffix — repeated anonymous scaling never
+    compounds the name. *)
 
 val res_n : t -> float -> float
 (** [res_n t w] is the NMOS on-resistance (kΩ) at width [w] µm. *)

@@ -1,10 +1,13 @@
 (* Robustness at process corners: the whole flow (baseline, sizer, STA,
    power) must behave sanely when the technology's RC products are scaled
-   up or down 40% (slow / fast corners). *)
+   up or down 40% (slow / fast corners), and Smart_corners must produce
+   one joint sizing the golden timer confirms at every corner. *)
 
 module Smart = Smart_core.Smart
 module Tech = Smart.Tech
 module Sizer = Smart.Sizer
+module Corners = Smart.Corners
+module Engine = Smart.Engine
 module C = Smart.Constraints
 
 let checkb msg = Alcotest.(check bool) msg
@@ -70,6 +73,126 @@ let test_domino_corners () =
             (o.Sizer.achieved_precharge <= target *. 1.03)))
     corners
 
+(* ---- Smart_corners: the corner-set abstraction ---- *)
+
+let test_set_construction () =
+  let set = Corners.default_set () in
+  Alcotest.(check (list string)) "canonical names" [ "fast"; "typ"; "slow" ]
+    (Corners.names set);
+  checkb "scales ordered" true
+    (match Corners.to_list set with
+    | [ f; t; s ] ->
+      f.Corners.rc_scale < t.Corners.rc_scale
+      && t.Corners.rc_scale < s.Corners.rc_scale
+    | _ -> false);
+  checkb "nominal is typ" true
+    ((Corners.nominal set).Corners.corner_name = "typ");
+  (match Corners.of_string "fast,typ,slow" with
+  | Ok s -> checkb "of_string round-trips" true (Corners.to_string s = "fast,typ,slow")
+  | Error e -> Alcotest.fail e);
+  (match Corners.of_string "typ,hot:1.6" with
+  | Ok s ->
+    checkb "custom scale parsed" true
+      (List.exists
+         (fun (c : Corners.corner) ->
+           c.Corners.corner_name = "hot" && c.Corners.rc_scale = 1.6)
+         (Corners.to_list s))
+  | Error e -> Alcotest.fail e);
+  checkb "bad name rejected" true
+    (Result.is_error (Corners.of_string "typ,typ"));
+  checkb "bad scale rejected" true
+    (Result.is_error (Corners.of_string "cold:-1"))
+
+(* One joint sizing must meet the spec at *every* corner of the default
+   set (2% acceptance band + verification headroom), with the slow corner
+   binding for these RC-dominated macros, and cost at least the width of
+   a typical-only sizing. *)
+let test_robust_meets_every_corner () =
+  let info = Smart.Mux.generate Smart.Mux.Strongly_mutexed ~n:4 in
+  let nl = info.Smart.Macro.netlist in
+  let set = Corners.default_set () in
+  let slow_tech =
+    (List.nth (Corners.to_list set) 2).Corners.tech
+  in
+  match Sizer.minimize_delay slow_tech nl (C.spec 1e6) with
+  | Error e -> Alcotest.fail ("slow min-delay: " ^ e)
+  | Ok md -> (
+    let target = 1.25 *. md.Sizer.golden_min in
+    match Sizer.size_robust set nl (C.spec target) with
+    | Error e -> Alcotest.fail ("robust: " ^ e)
+    | Ok ro ->
+      Alcotest.(check int) "one report per corner" 3
+        (List.length ro.Sizer.per_corner);
+      List.iter
+        (fun (r : Sizer.corner_report) ->
+          checkb (r.Sizer.corner_name ^ " meets spec") true
+            (r.Sizer.corner_delay <= target *. 1.03))
+        ro.Sizer.per_corner;
+      Alcotest.(check string) "slow corner binds" "slow"
+        ro.Sizer.binding_corner;
+      checkb "outcome reports the binding corner" true
+        (ro.Sizer.robust.Sizer.achieved_delay
+        = (List.nth ro.Sizer.per_corner 2).Sizer.corner_delay);
+      (* Robustness costs width relative to a typical-only sizing. *)
+      (match Sizer.size (Corners.nominal set).Corners.tech nl (C.spec target) with
+      | Error e -> Alcotest.fail ("typ-only: " ^ e)
+      | Ok typ_only ->
+        checkb "robust width >= typ-only width" true
+          (ro.Sizer.robust.Sizer.total_width
+          >= typ_only.Sizer.total_width *. 0.999));
+      (* Independent differential re-timing of the sizer's claims. *)
+      let v = Smart.Check.verify_robust set nl (C.spec target) ro in
+      checkb "independent re-timing agrees" true v.Smart.Check.reports_agree;
+      checkb "binding corner confirmed" true v.Smart.Check.binding_agrees;
+      checkb "independently meets spec everywhere" true
+        v.Smart.Check.all_meet_spec)
+
+(* Domino macros carry per-corner precharge constraints through the merge;
+   the joint sizing must satisfy them at every corner too. *)
+let test_robust_domino_precharge () =
+  let info = Smart.Mux.generate Smart.Mux.Domino_unsplit ~n:4 in
+  let nl = info.Smart.Macro.netlist in
+  let set = Corners.default_set () in
+  let slow_tech = (List.nth (Corners.to_list set) 2).Corners.tech in
+  match Sizer.minimize_delay slow_tech nl (C.spec 1e6) with
+  | Error e -> Alcotest.fail ("slow min-delay: " ^ e)
+  | Ok md -> (
+    let target = 1.3 *. md.Sizer.golden_min in
+    match Sizer.size_robust set nl (C.spec target) with
+    | Error e -> Alcotest.fail ("robust: " ^ e)
+    | Ok ro ->
+      List.iter
+        (fun (r : Sizer.corner_report) ->
+          checkb (r.Sizer.corner_name ^ " evaluate ok") true
+            (r.Sizer.corner_delay <= target *. 1.03);
+          checkb (r.Sizer.corner_name ^ " precharge ok") true
+            (r.Sizer.corner_precharge <= target *. 1.03))
+        ro.Sizer.per_corner)
+
+(* The engine cache digests the corner set: a typ-only robust entry, a
+   3-corner robust entry and a plain single-tech entry for the same
+   netlist/spec are three distinct keys, and only an exact repeat hits. *)
+let test_engine_cache_corner_sets_distinct () =
+  let e = Engine.create ~workers:1 ~cache_capacity:16 () in
+  let nl = (Smart.Mux.generate Smart.Mux.Strongly_mutexed ~n:4).Smart.Macro.netlist in
+  let spec = C.spec 150. in
+  let options = Sizer.default_options in
+  ignore (Engine.size e ~options Tech.default nl spec);
+  ignore (Engine.size_robust e ~options (Corners.typ_only ()) nl spec);
+  ignore (Engine.size_robust e ~options (Corners.default_set ()) nl spec);
+  let s = Engine.cache_stats e in
+  Alcotest.(check int) "three distinct misses" 3 s.Engine.misses;
+  Alcotest.(check int) "no cross-set hits" 0 s.Engine.hits;
+  match
+    ( Engine.size_robust e ~options (Corners.default_set ()) nl spec,
+      Engine.cache_stats e )
+  with
+  | Ok ro, s2 ->
+    Alcotest.(check int) "exact repeat hits" 1 s2.Engine.hits;
+    checkb "hit still carries all corners" true
+      (List.length ro.Sizer.per_corner = 3)
+  | Error e, _ -> Alcotest.fail (Smart.Error.to_string e)
+
 let () =
   Alcotest.run "smart_corners"
     [
@@ -79,5 +202,15 @@ let () =
           Alcotest.test_case "sizer at all corners" `Slow test_sizer_all_corners;
           Alcotest.test_case "min delay tracks corner" `Slow test_min_delay_tracks_corner;
           Alcotest.test_case "domino at corners" `Slow test_domino_corners;
+        ] );
+      ( "robust",
+        [
+          Alcotest.test_case "set construction" `Quick test_set_construction;
+          Alcotest.test_case "meets every corner" `Slow
+            test_robust_meets_every_corner;
+          Alcotest.test_case "domino precharge at corners" `Slow
+            test_robust_domino_precharge;
+          Alcotest.test_case "engine cache keeps sets apart" `Slow
+            test_engine_cache_corner_sets_distinct;
         ] );
     ]

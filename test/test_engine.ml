@@ -128,6 +128,111 @@ let test_trace_one_span_per_candidate () =
         | _ -> ())
       spans
 
+(* (e) Trace sinks under many domains.  [memory] used to lose events to
+   the non-atomic [events := e :: !events] read-modify-write; the stress
+   below reliably exposed that: several domains hammering one sink must
+   drain exactly every event. *)
+let test_memory_sink_no_lost_events () =
+  let domains = 4 and per_domain = 5_000 in
+  let sink, drain = Engine.Trace.memory () in
+  let emit d =
+    for i = 1 to per_domain do
+      sink
+        (Engine.Trace.Min_delay
+           {
+             label = Printf.sprintf "d%d:%d" d i;
+             wall_s = 0.;
+             cache = Engine.Trace.Bypass;
+           })
+    done
+  in
+  let spawned = List.init domains (fun d -> Domain.spawn (fun () -> emit d)) in
+  List.iter Domain.join spawned;
+  let events = drain () in
+  checki "no lost events" (domains * per_domain) (List.length events);
+  (* Every domain's full sequence made it, in per-domain emission order
+     (the drain is globally ordered, per-domain subsequences preserved). *)
+  List.iter
+    (fun d ->
+      let mine =
+        List.filter_map
+          (function
+            | Engine.Trace.Min_delay { label; _ } ->
+              (match String.split_on_char ':' label with
+              | [ tag; i ] when tag = Printf.sprintf "d%d" d ->
+                Some (int_of_string i)
+              | _ -> None)
+            | _ -> None)
+          events
+      in
+      checki (Printf.sprintf "domain %d complete" d) per_domain
+        (List.length mine);
+      checkb
+        (Printf.sprintf "domain %d order preserved" d)
+        true
+        (mine = List.init per_domain (fun i -> i + 1)))
+    (List.init domains (fun d -> d))
+
+(* [json_lines] used to interleave bytes from concurrent domains into
+   corrupt lines and only flush on close.  Now: every line is a complete
+   JSON object, the count is exact, and each line is flushed as written. *)
+let test_json_lines_concurrent_integrity () =
+  let path = Filename.temp_file "smart_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      let sink = Engine.Trace.json_lines oc in
+      (* Per-line flush: one event must be on disk before any close. *)
+      sink
+        (Engine.Trace.Min_delay
+           { label = "flush-probe"; wall_s = 0.; cache = Engine.Trace.Hit });
+      checkb "flushed before close" true ((Unix.stat path).Unix.st_size > 0);
+      let domains = 4 and per_domain = 2_000 in
+      let emit d =
+        for i = 1 to per_domain do
+          sink
+            (Engine.Trace.Sizing
+               {
+                 label = Printf.sprintf "d%d:%d" d i;
+                 wall_s = 0.;
+                 iterations = i;
+                 gp_newton = 0;
+                 sta_verifies = 0;
+                 cache = Engine.Trace.Bypass;
+                 ok = true;
+               })
+        done
+      in
+      let spawned =
+        List.init domains (fun d -> Domain.spawn (fun () -> emit d))
+      in
+      List.iter Domain.join spawned;
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      checki "one line per event" (1 + (domains * per_domain))
+        (List.length lines);
+      (* Interleaved writes would leave lines that don't scan as one JSON
+         object: wrong delimiters, or an odd number of quotes. *)
+      List.iter
+        (fun line ->
+          let n = String.length line in
+          let quotes = ref 0 in
+          String.iter (fun c -> if c = '"' then incr quotes) line;
+          checkb "line is one complete JSON object" true
+            (n > 2
+            && line.[0] = '{'
+            && line.[n - 1] = '}'
+            && !quotes mod 2 = 0))
+        lines)
+
 (* The request facade: Smart.run over a Request.t matches the deprecated
    advise wrapper, and typed errors surface where strings used to. *)
 let test_request_run_facade () =
@@ -166,6 +271,10 @@ let () =
         [
           Alcotest.test_case "span per candidate" `Quick
             test_trace_one_span_per_candidate;
+          Alcotest.test_case "memory sink loses nothing" `Quick
+            test_memory_sink_no_lost_events;
+          Alcotest.test_case "json_lines stays well-formed" `Quick
+            test_json_lines_concurrent_integrity;
         ] );
       ( "facade",
         [ Alcotest.test_case "request/run" `Quick test_request_run_facade ] );

@@ -30,6 +30,31 @@ let test_scaled_name () =
   checkb "default suffix" true
     (String.length (Tech.scaled t).Tech.name > String.length t.Tech.name)
 
+let test_scaled_name_normalized () =
+  (* Repeated unnamed scaling must not compound the suffix. *)
+  let twice = Tech.scaled (Tech.scaled t) in
+  Alcotest.(check string) "one suffix only" (t.Tech.name ^ "-scaled")
+    twice.Tech.name;
+  let thrice = Tech.scaled twice in
+  Alcotest.(check string) "still one suffix" (t.Tech.name ^ "-scaled")
+    thrice.Tech.name
+
+let test_scaled_cumulative_rc_scale () =
+  checkf 1e-9 "default is nominal" 1.0 t.Tech.rc_scale;
+  let s = Tech.scaled ~rc_scale:2. (Tech.scaled ~rc_scale:3. t) in
+  checkf 1e-9 "composes multiplicatively" 6.0 s.Tech.rc_scale;
+  checkf 1e-9 "explicit name keeps the record"
+    1.4 (Tech.scaled ~rc_scale:1.4 ~name:"slow" t).Tech.rc_scale
+
+let test_scaled_sqrt_split () =
+  (* rc_scale splits as sqrt across R and C so every RC product (hence
+     every delay) scales exactly by rc_scale. *)
+  let s = Tech.scaled ~rc_scale:4. t in
+  checkf 1e-9 "R side takes sqrt" (sqrt 4. *. t.Tech.rn) s.Tech.rn;
+  checkf 1e-9 "C side takes sqrt" (sqrt 4. *. t.Tech.cg) s.Tech.cg;
+  checkf 1e-9 "RC product scales linearly" (4. *. t.Tech.rn *. t.Tech.cg)
+    (s.Tech.rn *. s.Tech.cg)
+
 let test_parameter_sanity () =
   checkb "PMOS weaker" true (t.Tech.rp > t.Tech.rn);
   checkb "bounds ordered" true (t.Tech.w_min < t.Tech.w_max);
@@ -45,6 +70,11 @@ let () =
           Alcotest.test_case "fo4 sane" `Quick test_fo4_sane;
           Alcotest.test_case "fo4 scaling" `Quick test_fo4_width_invariant;
           Alcotest.test_case "scaled naming" `Quick test_scaled_name;
+          Alcotest.test_case "scaled naming normalized" `Quick
+            test_scaled_name_normalized;
+          Alcotest.test_case "cumulative rc_scale" `Quick
+            test_scaled_cumulative_rc_scale;
+          Alcotest.test_case "sqrt RC split" `Quick test_scaled_sqrt_split;
           Alcotest.test_case "parameter sanity" `Quick test_parameter_sanity;
         ] );
     ]
