@@ -53,12 +53,12 @@ let model_accuracy_ablation () =
   let info = Smart.Incrementor.generate ~bits:13 () in
   let nl = info.Smart.Macro.netlist in
   let run_with tech name =
-    match Sizer.minimize_delay tech nl (Constraints.spec 1e6) with
-    | Error e -> Printf.printf "  %s: %s\n" name e
+    match Sizer.minimize_delay_typed tech nl (Constraints.spec 1e6) with
+    | Error e -> Printf.printf "  %s: %s\n" name (Smart.Error.to_string e)
     | Ok md -> (
       let bl = Smart.Baseline.size ~target:(1.2 *. md.Sizer.golden_min) tech nl in
-      match Sizer.size tech nl (Constraints.spec bl.Smart.Baseline.achieved_delay) with
-      | Error e -> Printf.printf "  %s: %s\n" name e
+      match Sizer.size_typed tech nl (Constraints.spec bl.Smart.Baseline.achieved_delay) with
+      | Error e -> Printf.printf "  %s: %s\n" name (Smart.Error.to_string e)
       | Ok o ->
         Printf.printf
           "  %-28s outer iterations %d, GP Newton steps %4d, width %.0f um\n"
@@ -82,12 +82,12 @@ let labeling_ablation () =
   List.iter
     (fun (name, nl) ->
       let t0 = Unix.gettimeofday () in
-      match Sizer.minimize_delay Runner.tech nl (Constraints.spec 1e6) with
-      | Error e -> Tab.rowf t "%s|-|-|%s" name e
+      match Sizer.minimize_delay_typed Runner.tech nl (Constraints.spec 1e6) with
+      | Error e -> Tab.rowf t "%s|-|-|%s" name (Smart.Error.to_string e)
       | Ok md -> (
         let target = 1.25 *. md.Sizer.golden_min in
-        match Sizer.size Runner.tech nl (Constraints.spec target) with
-        | Error e -> Tab.rowf t "%s|-|-|%s" name e
+        match Sizer.size_typed Runner.tech nl (Constraints.spec target) with
+        | Error e -> Tab.rowf t "%s|-|-|%s" name (Smart.Error.to_string e)
         | Ok o ->
           Tab.rowf t "%s|%d|%.1f|%.1f" name
             (List.length (Smart.Circuit.labels nl))
@@ -107,16 +107,16 @@ let otb_ablation ~fast () =
      D1 phase budget (half the cycle) binds and costs width. *)
   let info = Smart.Mux.generate ~ext_load:40. (Smart.Mux.Domino_partitioned None) ~n:bits in
   let nl = info.Smart.Macro.netlist in
-  match Sizer.minimize_delay Runner.tech nl (Constraints.spec 1e6) with
-  | Error e -> Printf.printf "  %s\n" e
+  match Sizer.minimize_delay_typed Runner.tech nl (Constraints.spec 1e6) with
+  | Error e -> Printf.printf "  %s\n" (Smart.Error.to_string e)
   | Ok md ->
     let target = 1.3 *. md.Sizer.golden_min in
     let t = Tab.create [ "OTB"; "width um"; "stage constraints" ] in
     List.iter
       (fun otb ->
         let spec = Constraints.spec ~otb target in
-        match Sizer.size Runner.tech nl spec with
-        | Error e -> Tab.rowf t "%b|-|%s" otb e
+        match Sizer.size_typed Runner.tech nl spec with
+        | Error e -> Tab.rowf t "%b|-|%s" otb (Smart.Error.to_string e)
         | Ok o ->
           Tab.rowf t "%b|%.1f|%d" otb o.Sizer.total_width
             o.Sizer.constraint_stats.Constraints.stage_constraints)
@@ -136,10 +136,10 @@ let partition_ablation ~fast () =
   (* Common spec from the recommended partition's achievable delay. *)
   let anchor = Smart.Mux.generate (Smart.Mux.Domino_partitioned None) ~n in
   (match
-     Sizer.minimize_delay Runner.tech anchor.Smart.Macro.netlist
+     Sizer.minimize_delay_typed Runner.tech anchor.Smart.Macro.netlist
        (Constraints.spec 1e6)
    with
-  | Error e -> Printf.printf "  %s\n" e
+  | Error e -> Printf.printf "  %s\n" (Smart.Error.to_string e)
   | Ok md ->
     let spec = Constraints.spec (1.25 *. md.Sizer.golden_min) in
     let ms =
@@ -152,7 +152,7 @@ let partition_ablation ~fast () =
         (fun m ->
           let info = Smart.Mux.generate (Smart.Mux.Domino_partitioned (Some m)) ~n in
           match
-            Smart.Explore.tune ~variants:[ (string_of_int m, info) ] Runner.tech spec
+            Smart.Explore.tune_typed ~variants:[ (string_of_int m, info) ] Runner.tech spec
           with
           | Error _ ->
             Tab.rowf t "%d|-" m;
@@ -183,15 +183,15 @@ let partition_ablation ~fast () =
         let u = Smart.Mux.generate Smart.Mux.Domino_unsplit ~n in
         let p = Smart.Mux.generate (Smart.Mux.Domino_partitioned None) ~n in
         match
-          ( Sizer.minimize_delay Runner.tech u.Smart.Macro.netlist (Constraints.spec 1e6),
-            Sizer.minimize_delay Runner.tech p.Smart.Macro.netlist (Constraints.spec 1e6) )
+          ( Sizer.minimize_delay_typed Runner.tech u.Smart.Macro.netlist (Constraints.spec 1e6),
+            Sizer.minimize_delay_typed Runner.tech p.Smart.Macro.netlist (Constraints.spec 1e6) )
         with
         | Ok mu, Ok mp -> (
           let target = 1.25 *. Float.max mu.Sizer.golden_min mp.Sizer.golden_min in
           let spec = Constraints.spec target in
           match
-            ( Sizer.size Runner.tech u.Smart.Macro.netlist spec,
-              Sizer.size Runner.tech p.Smart.Macro.netlist spec )
+            ( Sizer.size_typed Runner.tech u.Smart.Macro.netlist spec,
+              Sizer.size_typed Runner.tech p.Smart.Macro.netlist spec )
           with
           | Ok ou, Ok op ->
             let wu = ou.Sizer.total_width and wp = op.Sizer.total_width in

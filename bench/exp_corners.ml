@@ -52,18 +52,18 @@ let run ~fast () =
   let typ = Corners.nominal set in
   let options = Sizer.default_options in
   match
-    Sizer.minimize_delay ~options slow.Corners.tech nl
+    Sizer.minimize_delay_typed ~options slow.Corners.tech nl
       (Smart.Constraints.spec 1e6)
   with
-  | Error e -> Printf.printf "  min-delay at slow corner failed: %s\n" e
+  | Error e -> Printf.printf "  min-delay at slow corner failed: %s\n" (Smart.Error.to_string e)
   | Ok md -> (
     let target = 1.25 *. md.Sizer.golden_min in
     let spec = Smart.Constraints.spec target in
     Printf.printf
       "  %d-input mux, corners [%s]; slow-corner min %.1f ps, spec %.1f ps\n"
       bits (Corners.to_string set) md.Sizer.golden_min target;
-    match Sizer.size ~options typ.Corners.tech nl spec with
-    | Error e -> Printf.printf "  typ-only sizing failed: %s\n" e
+    match Sizer.size_typed ~options typ.Corners.tech nl spec with
+    | Error e -> Printf.printf "  typ-only sizing failed: %s\n" (Smart.Error.to_string e)
     | Ok typ_only -> (
       (* The single-corner flow's blind spot: its sizing golden-verified
          at the other corners. *)

@@ -49,12 +49,12 @@ let run ~fast () =
       List.filter_map
         (fun (name, info) ->
           match
-            Smart.Explore.tune ~metric:Smart.Explore.Area
+            Smart.Explore.tune_typed ~metric:Smart.Explore.Area
               ~variants:[ (name, info) ]
               Runner.tech spec
           with
           | Error e ->
-            Printf.printf "  %s: %s\n" name e;
+            Printf.printf "  %s: %s\n" name (Smart.Error.to_string e);
             None
           | Ok ranking ->
             let c = ranking.Smart.Explore.winner in

@@ -160,11 +160,11 @@ let run ~fast () =
      land on the same golden delay. *)
   let size gp_warm_start =
     match
-      Sizer.size
+      Sizer.size_typed
         ~options:{ Sizer.default_options with Sizer.gp_warm_start }
         tech nl spec
     with
-    | Error e -> fail "sizer (%b): %s" gp_warm_start e
+    | Error e -> fail "sizer (%b): %s" gp_warm_start (Smart.Error.to_string e)
     | Ok o -> o
   in
   let o_warm = size true in

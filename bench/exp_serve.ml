@@ -1,0 +1,146 @@
+(* Serve bench: the advisory daemon's front door.
+
+   Protocol:
+     1. latency of one advise request through [Server.handle_line] in
+        three regimes — cold (full GP solve), warm-from-disk (a fresh
+        daemon over the same cache directory: the solve is replayed from
+        the persistent store, no GP span), warm in memory (same daemon,
+        LRU hit);
+     2. throughput: a batch of distinct (cache-missing) requests pushed
+        through [Server.submit] with 1 and with 4 worker domains;
+     3. the cross-restart hit rate: what fraction of the restarted
+        daemon's lookups were answered by the on-disk store.
+
+   Writes BENCH_serve.json {latency_cold_ms, latency_disk_ms,
+   latency_memory_ms, rps_1w, rps_4w, restart_hit_rate, workers} for the
+   perf trajectory. *)
+
+module Engine = Smart_engine.Engine
+module Server = Smart_serve.Server
+module Jsonx = Smart_serve.Jsonx
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let advise_line ?(id = "bench") ~bits ~delay () =
+  Printf.sprintf {|{"id":"%s","op":"advise","kind":"mux","bits":%d,"delay":%g}|}
+    id bits delay
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error _ -> ()
+
+(* The advice payload of a response line; latency comparisons must ignore
+   the envelope's [cache] and [wall_ms], which differ by construction. *)
+let advice_of line =
+  match Jsonx.parse line with
+  | Error e -> failwith ("serve bench: unparseable response: " ^ e)
+  | Ok j ->
+    (match Jsonx.member "advice" j with
+    | Some a -> Jsonx.to_string a
+    | None -> failwith ("serve bench: response is not advice: " ^ line))
+
+let cache_of line =
+  match Jsonx.parse line with
+  | Ok j -> Option.bind (Jsonx.member "cache" j) Jsonx.to_str
+  | Error _ -> None
+
+(* Push [lines] through a fresh [workers]-wide daemon and wait for every
+   reply; returns requests/sec. *)
+let throughput ~workers lines =
+  let server = Server.create ~workers ~max_queue:256 () in
+  let replies = Atomic.make 0 in
+  let (), wall =
+    time (fun () ->
+        List.iter
+          (fun line ->
+            Server.submit server
+              ~reply:(fun _ -> Atomic.incr replies)
+              line)
+          lines;
+        Server.drain server)
+  in
+  Server.shutdown server;
+  if Atomic.get replies <> List.length lines then
+    failwith "serve bench: lost replies";
+  (float_of_int (List.length lines) /. wall, wall)
+
+let run ~fast () =
+  Runner.heading "Serve: daemon latency + persistent solve cache";
+  let bits = if fast then 4 else 8 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "smart_serve_bench.%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  (* A fixed stamp: the "restarted" daemon below is the same process, so
+     the default binary-digest stamp would hit anyway, but pinning it
+     makes the cross-restart intent explicit. *)
+  let stamp = "bench" in
+  let line = advise_line ~bits ~delay:160. () in
+
+  (* Daemon #1: cold solve, then the in-memory replay. *)
+  let s1 = Server.create ~workers:1 ~cache_dir:dir ~cache_stamp:stamp () in
+  let r_cold, wall_cold = time (fun () -> Server.handle_line s1 line) in
+  let r_mem, wall_mem = time (fun () -> Server.handle_line s1 line) in
+  Server.shutdown s1;
+
+  (* Daemon #2 over the same cache directory: a restart.  The solve must
+     come back from disk, bit-identical, with no GP work. *)
+  let s2 = Server.create ~workers:1 ~cache_dir:dir ~cache_stamp:stamp () in
+  let r_disk, wall_disk = time (fun () -> Server.handle_line s2 line) in
+  let stats = Engine.cache_stats (Server.engine s2) in
+  let looked_up = stats.Engine.hits + stats.Engine.store_hits + stats.Engine.misses in
+  let restart_hit_rate =
+    if looked_up = 0 then 0.
+    else float_of_int stats.Engine.store_hits /. float_of_int looked_up
+  in
+  Server.shutdown s2;
+
+  Printf.printf "  advise latency (mux, %d bits):\n" bits;
+  Printf.printf "    cold (GP solve)      %8.1f ms\n" (1e3 *. wall_cold);
+  Printf.printf "    warm from disk       %8.1f ms  (daemon restart)\n"
+    (1e3 *. wall_disk);
+  Printf.printf "    warm in memory       %8.1f ms\n" (1e3 *. wall_mem);
+  Printf.printf "  cross-restart store hit rate: %.2f\n" restart_hit_rate;
+  Runner.shape_check ~name:"restart serve answered from disk"
+    (cache_of r_disk = Some "disk");
+  Runner.shape_check ~name:"advice identical across restart"
+    (advice_of r_cold = advice_of r_disk);
+  Runner.shape_check ~name:"memory replay identical too"
+    (advice_of r_cold = advice_of r_mem);
+  Runner.shape_check ~name:"disk hit beats cold solve" (wall_disk < wall_cold);
+  Runner.shape_check ~name:"cross-restart hit rate > 0" (restart_hit_rate > 0.);
+
+  (* Throughput: distinct delay targets so every request is a real solve,
+     through 1 and 4 worker domains. *)
+  let n = if fast then 4 else 12 in
+  let batch =
+    List.init n (fun i ->
+        advise_line ~id:(string_of_int i) ~bits ~delay:(150. +. float_of_int i) ())
+  in
+  let rps_1w, wall_1w = throughput ~workers:1 batch in
+  let rps_4w, wall_4w = throughput ~workers:4 batch in
+  Printf.printf "  throughput (%d distinct solves):\n" n;
+  Printf.printf "    1 worker   %6.2f req/s  (%.2f s)\n" rps_1w wall_1w;
+  Printf.printf "    4 workers  %6.2f req/s  (%.2f s)\n" rps_4w wall_4w;
+  Runner.shape_check ~name:"4-worker pool not slower (or single core)"
+    (rps_4w >= 0.8 *. rps_1w || not (Engine.parallelism_available ()));
+
+  rm_rf dir;
+  Runner.write_json ~file:"BENCH_serve.json"
+    [
+      ("latency_cold_ms", 1e3 *. wall_cold);
+      ("latency_disk_ms", 1e3 *. wall_disk);
+      ("latency_memory_ms", 1e3 *. wall_mem);
+      ("rps_1w", rps_1w);
+      ("rps_4w", rps_4w);
+      ("restart_hit_rate", restart_hit_rate);
+      ("workers", 4.);
+    ]

@@ -32,9 +32,9 @@ let shared_clock_baselines infos =
     List.map
       (fun (info : Macro.info) ->
         match
-          Sizer.minimize_delay tech info.Macro.netlist (Constraints.spec 1e6)
+          Sizer.minimize_delay_typed tech info.Macro.netlist (Constraints.spec 1e6)
         with
-        | Error e -> failwith e
+        | Error e -> failwith (Smart.Error.to_string e)
         | Ok md ->
           Baseline.size ~target:(1.2 *. md.Sizer.golden_min) tech
             info.Macro.netlist)

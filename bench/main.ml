@@ -19,6 +19,7 @@ let all_experiments =
     ("gp", "GP solver: warm-started hot path (BENCH_gp.json)");
     ("engine", "Engine: parallel evaluation + solve cache (BENCH_engine.json)");
     ("corners", "Smart_corners: robust multi-corner sizing (BENCH_corners.json)");
+    ("serve", "Serve: daemon latency + persistent cache (BENCH_serve.json)");
     ("ablate", "Design-choice ablations");
     ("micro", "Bechamel micro-benchmarks");
   ]
@@ -33,6 +34,7 @@ let run_one ~fast = function
   | "gp" -> Exp_gp.run ~fast ()
   | "engine" -> Exp_engine.run ~fast ()
   | "corners" -> Exp_corners.run ~fast ()
+  | "serve" -> Exp_serve.run ~fast ()
   | "ablate" -> Exp_ablate.run ~fast ()
   | "micro" -> if not fast then Micro.run ()
   | other ->
@@ -58,6 +60,20 @@ let smoke () =
   Printf.printf "\nbench smoke: %s\n" (if ok then "OK" else "FAILED");
   exit (if ok then 0 else 1)
 
+(* Serve smoke (dune build @serve-smoke, pulled into @bench-smoke): the
+   daemon experiment at reduced size plus its artifact schema check. *)
+let smoke_serve () =
+  Exp_serve.run ~fast:true ();
+  let ok =
+    Runner.json_has_fields ~file:"BENCH_serve.json"
+      [
+        "latency_cold_ms"; "latency_disk_ms"; "latency_memory_ms";
+        "rps_1w"; "rps_4w"; "restart_hit_rate"; "workers";
+      ]
+  in
+  Printf.printf "\nserve smoke: %s\n" (if ok then "OK" else "FAILED");
+  exit (if ok then 0 else 1)
+
 (* Corner smoke (dune build @corner-smoke, pulled into @bench-smoke): the
    corners experiment at reduced size plus its artifact schema check. *)
 let smoke_corners () =
@@ -75,6 +91,7 @@ let smoke_corners () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then smoke ();
+  if List.mem "--smoke-serve" args then smoke_serve ();
   if List.mem "--smoke-corners" args then smoke_corners ();
   let fast = List.mem "--fast" args in
   let selected = List.filter (fun a -> a <> "--fast") args in

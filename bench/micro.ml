@@ -42,7 +42,7 @@ let tests () =
            ignore (Constraints.generate tech mux (Constraints.spec 60.))));
     Test.make ~name:"fig5: full SMART sizing (mux8)"
       (Staged.stage (fun () ->
-           ignore (Sizer.size tech mux (Constraints.spec 60.))));
+           ignore (Sizer.size_typed tech mux (Constraints.spec 60.))));
     Test.make ~name:"oracle: switch-level sim (mux8)"
       (Staged.stage (fun () -> ignore (Smart.Sim.eval_bits mux sim_inputs)));
   ]

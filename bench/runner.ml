@@ -48,8 +48,9 @@ let power_saving c =
    overrides step 2 (used by Table 1's shared-clock-template variant). *)
 let compare_macro ?(slack = 1.2) ?baseline ~label (info : Macro.info) =
   let nl = info.Macro.netlist in
-  match Sizer.minimize_delay tech nl (Constraints.spec 1e6) with
-  | Error e -> Error (Printf.sprintf "%s: min-delay failed: %s" label e)
+  match Sizer.minimize_delay_typed tech nl (Constraints.spec 1e6) with
+  | Error e ->
+    Error (Printf.sprintf "%s: min-delay failed: %s" label (Smart.Error.to_string e))
   | Ok md ->
     let bl =
       match baseline with
@@ -60,8 +61,9 @@ let compare_macro ?(slack = 1.2) ?baseline ~label (info : Macro.info) =
       { Sizer.default_options with Sizer.min_delay_hint = Some md.Sizer.model_min }
     in
     let spec = Constraints.spec bl.Baseline.achieved_delay in
-    (match Sizer.size ~options tech nl spec with
-    | Error e -> Error (Printf.sprintf "%s: sizing failed: %s" label e)
+    (match Sizer.size_typed ~options tech nl spec with
+    | Error e ->
+      Error (Printf.sprintf "%s: sizing failed: %s" label (Smart.Error.to_string e))
     | Ok smart ->
       Ok
         {

@@ -70,6 +70,30 @@ let corners_arg =
   in
   Arg.(value & opt (some string) None & info [ "corners" ] ~docv:"SET" ~doc)
 
+(* ---------------- unified error reporting ----------------
+
+   Every subcommand renders advisory failures the same way: one stderr
+   line carrying [Smart.Error.to_json] (code + human message + structured
+   data), and an exit status from one table:
+
+     0  success
+     1  advisory failure (infeasible-spec, sta-disagreement, gp-failure,
+        no-applicable-topology, lint-failed, worker-crash)
+     2  caller error (invalid-request, bad-request, CLI usage)
+     3  server overloaded (serve's backpressure rejection)              *)
+
+let exit_code_of_error (e : Smart.Error.t) =
+  match e with
+  | Smart.Error.Invalid_request _ | Smart.Error.Bad_request _ -> 2
+  | Smart.Error.Overloaded _ -> 3
+  | Smart.Error.No_applicable_topology _ | Smart.Error.Infeasible_spec _
+  | Smart.Error.Gp_failure _ | Smart.Error.Sta_disagreement _
+  | Smart.Error.Worker_crash _ | Smart.Error.Lint_failed _ -> 1
+
+let report_error ~cmd e =
+  Printf.eprintf "%s: %s\n" cmd (Smart.Error.to_json e);
+  exit_code_of_error e
+
 (* [--corners] is optional everywhere; a malformed set is a usage error. *)
 let parse_corners = function
   | None -> None
@@ -154,21 +178,7 @@ let advise_cmd =
     let result = Smart.run request in
     cleanup ();
     match result with
-    | Error e ->
-      (* Typed errors: the variant name tells the caller what went wrong
-         before the rendered detail. *)
-      let tag =
-        match e with
-        | Smart.Error.No_applicable_topology _ -> "no-applicable-topology"
-        | Smart.Error.Infeasible_spec _ -> "infeasible-spec"
-        | Smart.Error.Gp_failure _ -> "gp-failure"
-        | Smart.Error.Sta_disagreement _ -> "sta-disagreement"
-        | Smart.Error.Invalid_request _ -> "invalid-request"
-        | Smart.Error.Worker_crash _ -> "worker-crash"
-        | Smart.Error.Lint_failed _ -> "lint-failed"
-      in
-      Printf.eprintf "advise: [%s] %s\n" tag (Smart.Error.to_string e);
-      1
+    | Error e -> report_error ~cmd:"advise" e
     | Ok advice ->
       Printf.printf "%-34s %9s %9s %9s %9s%s\n" "topology" "delay ps" "width um"
         "clock um" "power uW"
@@ -209,7 +219,7 @@ let advise_cmd =
 let build_first ~kind ~req =
   let db = Smart.Database.builtins () in
   match Smart.Database.build_all db ~kind req with
-  | [] -> Error (Printf.sprintf "no applicable %s in database" kind)
+  | [] -> Error (Smart.Error.No_applicable_topology { kind })
   | (_, info) :: _ -> Ok info
 
 (* ---------------- size ---------------- *)
@@ -228,18 +238,14 @@ let size_cmd =
     let corners = parse_corners corners in
     let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
     match build_first ~kind ~req with
-    | Error e ->
-      prerr_endline e;
-      1
+    | Error e -> report_error ~cmd:"size" e
     | Ok info -> (
       let nl = info.Smart.Macro.netlist in
       let spec = Smart.Constraints.spec delay in
       match corners with
       | None -> (
-        match Smart.Sizer.size tech nl spec with
-        | Error e ->
-          prerr_endline e;
-          1
+        match Smart.Sizer.size_typed tech nl spec with
+        | Error e -> report_error ~cmd:"size" e
         | Ok o ->
           Printf.printf "%s sized to %.1f ps (spec %.1f):\n"
             (Smart.Macro.name info) o.Smart.Sizer.achieved_delay delay;
@@ -253,9 +259,7 @@ let size_cmd =
           Smart.Engine.size_robust engine ~options:Smart.Sizer.default_options
             set nl spec
         with
-        | Error e ->
-          prerr_endline (Smart.Error.to_string e);
-          1
+        | Error e -> report_error ~cmd:"size" e
         | Ok ro ->
           Printf.printf
             "%s robustly sized over [%s] (spec %.1f ps, binding corner %s):\n"
@@ -277,9 +281,7 @@ let paths_cmd =
   let run kind bits load =
     let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
     match build_first ~kind ~req with
-    | Error e ->
-      prerr_endline e;
-      1
+    | Error e -> report_error ~cmd:"paths" e
     | Ok info ->
       let nl = info.Smart.Macro.netlist in
       let _, stats = Smart.Paths.extract nl in
@@ -304,9 +306,7 @@ let sweep_cmd =
   let run kind bits load points workers trace =
     let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
     match build_first ~kind ~req with
-    | Error e ->
-      prerr_endline e;
-      1
+    | Error e -> report_error ~cmd:"sweep" e
     | Ok info ->
       let engine, cleanup = make_engine ~workers ~trace in
       let pts =
@@ -336,15 +336,11 @@ let spice_cmd =
   let run kind bits load delay =
     let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
     match build_first ~kind ~req with
-    | Error e ->
-      prerr_endline e;
-      1
+    | Error e -> report_error ~cmd:"spice" e
     | Ok info -> (
       let nl = info.Smart.Macro.netlist in
-      match Smart.Sizer.size tech nl (Smart.Constraints.spec delay) with
-      | Error e ->
-        prerr_endline e;
-        1
+      match Smart.Sizer.size_typed tech nl (Smart.Constraints.spec delay) with
+      | Error e -> report_error ~cmd:"spice" e
       | Ok o ->
         print_string (Smart.Spice.subckt nl ~sizing:o.Smart.Sizer.sizing_fn);
         0)
@@ -479,7 +475,7 @@ let check_cmd =
         with
         | Error e ->
           Printf.printf "check: certification min-delay failed: %s\n"
-            (Smart.Error.to_string e);
+            (Smart.Error.to_json e);
           false
         | Ok md -> (
           let target = 1.15 *. md.Smart.Sizer.golden_min in
@@ -495,7 +491,7 @@ let check_cmd =
           with
           | Error e ->
             Printf.printf "check: certification sizing failed: %s\n"
-              (Smart.Error.to_string e);
+              (Smart.Error.to_json e);
             false
           | Ok c ->
             Printf.printf
@@ -550,6 +546,63 @@ let check_cmd =
           on random netlists, GP certificates on a real sizing, fault drill")
     Term.(const run $ seeds_arg $ gates_arg $ start_seed_arg $ adder_bits_arg)
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let stdio_arg =
+    let doc =
+      "Serve newline-delimited JSON requests on stdin/stdout (the default \
+       when $(b,--socket) is not given)."
+    in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "Persist solved outcomes under $(docv); identical requests are \
+       re-served from disk across daemon restarts."
+    in
+    Arg.(value
+         & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Queue bound; requests beyond it are refused immediately with a \
+       structured $(b,overloaded) error."
+    in
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let run workers max_queue cache_dir stdio socket trace =
+    (* The daemon's engine is single-domain: throughput comes from the
+       serve pool running requests concurrently, one solve per worker. *)
+    let engine, cleanup = make_engine ~workers:1 ~trace in
+    let server =
+      Smart_serve.Server.create
+        ~workers:(if workers <= 0 then 1 else workers)
+        ~max_queue ?cache_dir ~engine ()
+    in
+    (match socket with
+    | Some path -> Smart_serve.Server.serve_socket server path
+    | None ->
+      ignore stdio;
+      Smart_serve.Server.serve_channels server stdin stdout);
+    Smart_serve.Server.shutdown server;
+    cleanup ();
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the advisor as a long-lived daemon speaking the versioned \
+          JSON wire protocol (one request per line), with an optional \
+          persistent solve cache")
+    Term.(const run $ workers_arg $ max_queue_arg $ cache_dir_arg $ stdio_arg
+          $ socket_arg $ trace_arg)
+
 let () =
   let doc = "SMART -- macro-driven circuit design advisor (DAC 2000 reproduction)" in
   let info = Cmd.info "smart_cli" ~version:Smart.version ~doc in
@@ -557,4 +610,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ db_cmd; advise_cmd; size_cmd; paths_cmd; sweep_cmd; spice_cmd;
-            lint_cmd; check_cmd ]))
+            lint_cmd; check_cmd; serve_cmd ]))

@@ -19,8 +19,14 @@ let () =
   List.iter
     (fun metric ->
       Printf.printf "\n--- metric: %s ---\n" (Smart.Explore.metric_to_string metric);
-      match Smart.advise ~metric ~db ~kind:"mux" ~requirements tech spec with
-      | Error msg -> Printf.printf "  no solution: %s\n" msg
+      let request =
+        Smart.Request.make ~kind:"mux" ~bits:8 ~metric ()
+        |> Smart.Request.with_tech tech
+        |> Smart.Request.with_spec spec
+        |> Smart.Request.with_requirements requirements
+      in
+      match Smart.run ~db request with
+      | Error e -> Printf.printf "  no solution: %s\n" (Smart.Error.to_string e)
       | Ok advice ->
         List.iteri
           (fun rank (c : Smart.Explore.candidate) ->

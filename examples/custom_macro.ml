@@ -71,10 +71,13 @@ let () =
     [ 0; 1; 2; 3 ];
   print_endline "custom macro verified against its truth table";
   let requirements = Smart.Database.requirements ~ext_load:20. 4 in
-  match
-    Smart.advise ~db ~kind:"mux" ~requirements tech (Smart.Constraints.spec 130.)
-  with
-  | Error msg -> Printf.printf "no solution: %s\n" msg
+  let request =
+    Smart.Request.make ~kind:"mux" ~bits:4 ~delay:130. ()
+    |> Smart.Request.with_tech tech
+    |> Smart.Request.with_requirements requirements
+  in
+  match Smart.run ~db request with
+  | Error e -> Printf.printf "no solution: %s\n" (Smart.Error.to_string e)
   | Ok advice ->
     Printf.printf "\nranking with the custom entry competing:\n";
     List.iteri

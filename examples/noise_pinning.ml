@@ -13,8 +13,9 @@ let () =
   let nl = info.Smart.Macro.netlist in
   let target = 140. in
   let run label spec =
-    match Smart.Sizer.size tech nl spec with
-    | Error e -> Printf.printf "%-28s failed: %s\n" label e
+    match Smart.Sizer.size_typed tech nl spec with
+    | Error e ->
+      Printf.printf "%-28s failed: %s\n" label (Smart.Error.to_string e)
     | Ok o ->
       Printf.printf "%-28s delay %6.1f ps  width %7.1f um  N2 = %5.2f um\n"
         label o.Smart.Sizer.achieved_delay o.Smart.Sizer.total_width

@@ -16,8 +16,14 @@ let () =
   let spec = Smart.Constraints.spec 120. in
   Printf.printf "SMART %s -- advising a 4:1 mux, %g ps, %g fF\n\n"
     Smart.version spec.Smart.Constraints.target_delay 30.;
-  match Smart.advise ~db ~kind:"mux" ~requirements tech spec with
-  | Error msg -> Printf.printf "no solution: %s\n" msg
+  let request =
+    Smart.Request.make ~kind:"mux" ~bits:4 ()
+    |> Smart.Request.with_tech tech
+    |> Smart.Request.with_spec spec
+    |> Smart.Request.with_requirements requirements
+  in
+  match Smart.run ~db request with
+  | Error e -> Printf.printf "no solution: %s\n" (Smart.Error.to_string e)
   | Ok advice ->
     Printf.printf "%-34s %9s %9s %9s %8s\n" "topology" "delay ps" "width um"
       "clock um" "power uW";

@@ -135,7 +135,7 @@ let apply_smart ?sizer_options ?(target_slack = 1.2) tech block =
       let target =
         if c.is_macro then
           match
-            Sizer.minimize_delay ~options:sizer_options tech nl
+            Sizer.minimize_delay_typed ~options:sizer_options tech nl
               (Constraints.spec 1e6)
           with
           | Ok md -> target_slack *. md.Sizer.golden_min
@@ -164,7 +164,7 @@ let apply_smart ?sizer_options ?(target_slack = 1.2) tech block =
       if not c.is_macro then improved := add_component !improved tech c bl.Baseline.sizing_fn
       else begin
         let spec = Constraints.spec bl.Baseline.achieved_delay in
-        match Sizer.size ~options:sizer_options tech nl spec with
+        match Sizer.size_typed ~options:sizer_options tech nl spec with
         | Error _ ->
           (* SMART could not certify this macro; the original stays. *)
           improved := add_component !improved tech c bl.Baseline.sizing_fn

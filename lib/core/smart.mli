@@ -79,9 +79,19 @@ module Error : sig
         netlist : string;
         diagnostics : (string * string * string) list;
       }
+    | Bad_request of { field : string option; detail : string }
+    | Overloaded of { queued : int; limit : int }
 
   val to_string : t -> string
   val pp : Format.formatter -> t -> unit
+
+  val code : t -> string
+  (** Stable kebab-case tag (["infeasible-spec"], ...), shared by the CLI
+      error reporting and the serve wire protocol. *)
+
+  val to_json : t -> string
+  (** [{"code":...,"message":...,"data":{...}}] — the one error rendering
+      used by every CLI subcommand and the daemon. *)
 end
 
 type advice = {
@@ -163,8 +173,10 @@ val advise :
   Tech.t ->
   Constraints.spec ->
   (advice, string) result
+[@@deprecated "build a Request.t with Smart.Request.make and call Smart.run"]
 (** Deprecated compatibility wrapper: builds a {!Request.t} and calls
     {!run}, rendering errors with {!Error.to_string}.  New code should
-    use {!run} directly. *)
+    use {!run} directly.  Scheduled for removal; see the migration
+    timeline in the README. *)
 
 val version : string

@@ -11,7 +11,7 @@ module Sizer = Smart_sizer.Sizer
 (* ------------------------------------------------------------------ *)
 
 module Trace = struct
-  type cache_status = Hit | Miss | Bypass
+  type cache_status = Hit | Disk | Miss | Bypass
 
   type event =
     | Sizing of {
@@ -56,7 +56,11 @@ module Trace = struct
 
   let null _ = ()
 
-  let cache_name = function Hit -> "hit" | Miss -> "miss" | Bypass -> "bypass"
+  let cache_name = function
+    | Hit -> "hit"
+    | Disk -> "disk"
+    | Miss -> "miss"
+    | Bypass -> "bypass"
 
   let to_string = function
     | Sizing s ->
@@ -273,6 +277,7 @@ end
 
 type cache_stats = {
   hits : int;
+  store_hits : int;
   misses : int;
   evictions : int;
   entries : int;
@@ -293,6 +298,7 @@ module Cache = struct
     lock : Mutex.t;
     mutable tick : int;
     mutable hits : int;
+    mutable store_hits : int;
     mutable misses : int;
     mutable evictions : int;
   }
@@ -304,6 +310,7 @@ module Cache = struct
       lock = Mutex.create ();
       tick = 0;
       hits = 0;
+      store_hits = 0;
       misses = 0;
       evictions = 0;
     }
@@ -349,10 +356,23 @@ module Cache = struct
             Hashtbl.replace t.table key { last_use = t.tick; value }
           end)
 
+  (* A persistent-store hit: the memory lookup already counted a miss, so
+     reclassify it, and promote the entry so repeats hit memory. *)
+  let store_promote t key value =
+    locked t (fun () ->
+        t.misses <- t.misses - 1;
+        t.store_hits <- t.store_hits + 1;
+        if t.capacity > 0 && not (Hashtbl.mem t.table key) then begin
+          if Hashtbl.length t.table >= t.capacity then evict_lru t;
+          t.tick <- t.tick + 1;
+          Hashtbl.replace t.table key { last_use = t.tick; value }
+        end)
+
   let stats t =
     locked t (fun () ->
         {
           hits = t.hits;
+          store_hits = t.store_hits;
           misses = t.misses;
           evictions = t.evictions;
           entries = Hashtbl.length t.table;
@@ -364,8 +384,29 @@ module Cache = struct
         Hashtbl.reset t.table;
         t.tick <- 0;
         t.hits <- 0;
+        t.store_hits <- 0;
         t.misses <- 0;
         t.evictions <- 0)
+end
+
+(* The solver/model version stamp folded into every cache key.  Bump it
+   whenever the sizer, the GP solver or the timing models change meaning:
+   a persisted entry written under another stamp then simply never
+   matches, so a newer binary can never be served an older binary's
+   solution (and vice versa).  Settable so tests can flip it and assert
+   the miss, and so embedders can namespace their own model changes. *)
+let version_stamp = Atomic.make "smart-solve-1"
+let cache_version () = Atomic.get version_stamp
+let set_cache_version v = Atomic.set version_stamp v
+
+(* Pluggable persistent backing store for the solve cache (the serve
+   daemon plugs a content-addressed on-disk store in here).  Keys are the
+   same digests the in-memory cache uses; values are opaque blobs. *)
+module Store = struct
+  type t = {
+    find : string -> string option;
+    save : string -> string -> unit;
+  }
 end
 
 (* The cache key digests the structural identity of a solve: netlist
@@ -402,7 +443,9 @@ let solve_key ~tag ?corners ~(options : Sizer.options) tech (nl : Netlist.t) spe
   in
   Digest.to_hex
     (Digest.string
-       (Marshal.to_string (tag, corner_key, structure, spec, tech, options) []))
+       (Marshal.to_string
+          (cache_version (), tag, corner_key, structure, spec, tech, options)
+          []))
 
 (* ------------------------------------------------------------------ *)
 (* Worker pool                                                         *)
@@ -463,6 +506,7 @@ end
 type t = {
   pool_width : int;
   cache : Cache.t;
+  store : Store.t option Atomic.t;
   sink_lock : Mutex.t;
   mutable sink : Trace.sink;
 }
@@ -474,6 +518,7 @@ let create ?(workers = 0) ?(cache_capacity = 256) ?(sink = Trace.null) () =
   {
     pool_width = max 1 width;
     cache = Cache.create (max 0 cache_capacity);
+    store = Atomic.make None;
     sink_lock = Mutex.create ();
     sink;
   }
@@ -489,12 +534,62 @@ let set_sink t sink =
   t.sink <- sink;
   Mutex.unlock t.sink_lock
 let cache_stats t = Cache.stats t.cache
+let set_store t store = Atomic.set t.store store
 
 let hit_rate s =
-  let total = s.hits + s.misses in
-  if total = 0 then 0. else float_of_int s.hits /. float_of_int total
+  let served = s.hits + s.store_hits in
+  let total = served + s.misses in
+  if total = 0 then 0. else float_of_int served /. float_of_int total
 
 let reset_cache t = Cache.reset t.cache
+
+(* Persisted entries are Marshal blobs (with [Closures] — outcomes carry
+   the [sizing_fn] lookup closure).  Closure marshalling ties a blob to
+   the exact producing binary: a blob written by another build fails to
+   decode and is treated as a miss, which is precisely the invalidation
+   the version stamp promises.  Store failures of any kind degrade to
+   miss/no-persist — a broken cache directory must never fail a solve. *)
+let encode_entry (v : Cache.cached) =
+  try Some (Marshal.to_string v [ Marshal.Closures ]) with _ -> None
+
+let decode_entry blob : Cache.cached option =
+  try Some (Marshal.from_string blob 0) with _ -> None
+
+(* Two-level lookup: memory first, then the persistent store; a store hit
+   is promoted into the memory LRU so repeats are pure memory hits. *)
+let lookup t ~tag ?corners ~options tech netlist spec =
+  if t.cache.Cache.capacity <= 0 then ("", None)
+  else begin
+    let key = solve_key ~tag ?corners ~options tech netlist spec in
+    match Cache.find t.cache key with
+    | Some v -> (key, Some (v, Trace.Hit))
+    | None -> (
+      match Atomic.get t.store with
+      | None -> (key, None)
+      | Some (store : Store.t) -> (
+        match (try store.Store.find key with _ -> None) with
+        | None -> (key, None)
+        | Some blob -> (
+          match decode_entry blob with
+          | None -> (key, None)
+          | Some v ->
+            Cache.store_promote t.cache key v;
+            (key, Some (v, Trace.Disk)))))
+  end
+
+(* Memoize an [Ok] outcome in memory and, when a store is plugged in,
+   persist it.  Error outcomes are never published anywhere — a transient
+   failure must not replay as a hit, in memory or across restarts. *)
+let publish t key v =
+  if t.cache.Cache.capacity > 0 && key <> "" then begin
+    Cache.add t.cache key v;
+    match Atomic.get t.store with
+    | None -> ()
+    | Some (store : Store.t) -> (
+      match encode_entry v with
+      | Some blob -> ( try store.Store.save key blob with _ -> ())
+      | None -> ())
+  end
 
 let emit t event =
   Mutex.lock t.sink_lock;
@@ -508,14 +603,8 @@ let caching t = t.cache.Cache.capacity > 0
 
 let size t ?label ~options tech netlist spec =
   let label = match label with Some l -> l | None -> netlist.Netlist.name in
-  let cached =
-    if caching t then
-      let key = solve_key ~tag:"size" ~options tech netlist spec in
-      (key, Cache.find t.cache key)
-    else ("", None)
-  in
-  match cached with
-  | _, Some (Cache.Sized r) ->
+  match lookup t ~tag:"size" ~options tech netlist spec with
+  | _, Some (Cache.Sized r, status) ->
     let iterations, gp_newton =
       match r with
       | Ok o -> (o.Sizer.iterations, o.Sizer.gp_newton_iterations)
@@ -529,7 +618,7 @@ let size t ?label ~options tech netlist spec =
            iterations;
            gp_newton;
            sta_verifies = 0;
-           cache = Trace.Hit;
+           cache = status;
            ok = Result.is_ok r;
          });
     r
@@ -550,7 +639,7 @@ let size t ?label ~options tech netlist spec =
       if caching t then begin
         (* Only successful outcomes are memoized: a transient failure
            cached here would replay as a Hit on every retry. *)
-        if Result.is_ok r then Cache.add t.cache key (Cache.Sized r);
+        if Result.is_ok r then publish t key (Cache.Sized r);
         Trace.Miss
       end
       else Trace.Bypass
@@ -583,16 +672,8 @@ let size_robust t ?label ?(pooled_verify = true) ~options corners netlist spec =
     Printf.sprintf "%s[%s]" base (Corners.to_string corners)
   in
   let nominal_tech = (Corners.nominal corners).Corners.tech in
-  let cached =
-    if caching t then
-      let key =
-        solve_key ~tag:"robust" ~corners ~options nominal_tech netlist spec
-      in
-      (key, Cache.find t.cache key)
-    else ("", None)
-  in
-  match cached with
-  | _, Some (Cache.Robust r) ->
+  match lookup t ~tag:"robust" ~corners ~options nominal_tech netlist spec with
+  | _, Some (Cache.Robust r, status) ->
     let iterations, gp_newton =
       match r with
       | Ok o ->
@@ -608,7 +689,7 @@ let size_robust t ?label ?(pooled_verify = true) ~options corners netlist spec =
            iterations;
            gp_newton;
            sta_verifies = 0;
-           cache = Trace.Hit;
+           cache = status;
            ok = Result.is_ok r;
          });
     r
@@ -628,7 +709,7 @@ let size_robust t ?label ?(pooled_verify = true) ~options corners netlist spec =
     let wall_s = Unix.gettimeofday () -. t0 in
     let cache =
       if caching t then begin
-        if Result.is_ok r then Cache.add t.cache key (Cache.Robust r);
+        if Result.is_ok r then publish t key (Cache.Robust r);
         Trace.Miss
       end
       else Trace.Bypass
@@ -655,15 +736,9 @@ let size_robust t ?label ?(pooled_verify = true) ~options corners netlist spec =
 
 let minimize_delay t ?label ~options tech netlist spec =
   let label = match label with Some l -> l | None -> netlist.Netlist.name in
-  let cached =
-    if caching t then
-      let key = solve_key ~tag:"min-delay" ~options tech netlist spec in
-      (key, Cache.find t.cache key)
-    else ("", None)
-  in
-  match cached with
-  | _, Some (Cache.Min r) ->
-    emit t (Trace.Min_delay { label; wall_s = 0.; cache = Trace.Hit });
+  match lookup t ~tag:"min-delay" ~options tech netlist spec with
+  | _, Some (Cache.Min r, status) ->
+    emit t (Trace.Min_delay { label; wall_s = 0.; cache = status });
     r
   | key, _ ->
     let t0 = Unix.gettimeofday () in
@@ -671,7 +746,7 @@ let minimize_delay t ?label ~options tech netlist spec =
     let wall_s = Unix.gettimeofday () -. t0 in
     let cache =
       if caching t then begin
-        if Result.is_ok r then Cache.add t.cache key (Cache.Min r);
+        if Result.is_ok r then publish t key (Cache.Min r);
         Trace.Miss
       end
       else Trace.Bypass

@@ -34,7 +34,10 @@ module Sizer = Smart_sizer.Sizer
 
 module Trace : sig
   type cache_status =
-    | Hit  (** served from the solve cache *)
+    | Hit  (** served from the in-memory solve cache *)
+    | Disk
+        (** served from the engine's persistent backing store
+            ({!set_store}) and promoted into the memory cache *)
     | Miss  (** solved, then inserted *)
     | Bypass  (** caching disabled on this engine *)
 
@@ -112,10 +115,11 @@ end
 type t
 
 type cache_stats = {
-  hits : int;
-  misses : int;
+  hits : int;  (** in-memory hits *)
+  store_hits : int;  (** persistent-store hits (promoted into memory) *)
+  misses : int;  (** full misses — the sizer actually ran *)
   evictions : int;
-  entries : int;  (** currently resident *)
+  entries : int;  (** currently resident in memory *)
   capacity : int;
 }
 
@@ -139,10 +143,43 @@ val parallelism_available : unit -> bool
 val set_sink : t -> Trace.sink -> unit
 val cache_stats : t -> cache_stats
 val hit_rate : cache_stats -> float
-(** [hits / (hits + misses)]; 0 when no lookups happened. *)
+(** [(hits + store_hits) / (hits + store_hits + misses)]; 0 when no
+    lookups happened. *)
 
 val reset_cache : t -> unit
-(** Drop all entries and zero the counters. *)
+(** Drop all in-memory entries and zero the counters.  The persistent
+    store, if any, is untouched. *)
+
+(** {1 Persistent solve-cache backing store} *)
+
+(** A pluggable second cache level keyed by the same structural digests
+    as the memory cache.  Lookups consult memory first, then the store; a
+    store hit is decoded, promoted into the memory LRU and traced as
+    {!Trace.Disk}.  Only [Ok] outcomes are ever saved (the no-error-
+    caching invariant extends to disk), and any store failure — I/O
+    error, undecodable blob — silently degrades to a miss.  Entries are
+    Marshal blobs tied to the producing binary and to {!cache_version};
+    {!Smart_serve.Store} provides the content-addressed on-disk
+    implementation the serve daemon uses. *)
+module Store : sig
+  type t = {
+    find : string -> string option;  (** digest → blob *)
+    save : string -> string -> unit;  (** must be atomic per key *)
+  }
+end
+
+val set_store : t -> Store.t option -> unit
+(** Attach (or detach) a persistent backing store.  Only consulted while
+    caching is enabled ([cache_capacity > 0]). *)
+
+val cache_version : unit -> string
+(** The solver/model version stamp folded into every solve-cache digest. *)
+
+val set_cache_version : string -> unit
+(** Replace the stamp.  Every existing entry — memory or store — keys
+    under the old stamp and can no longer be served: bump this whenever
+    solver or model semantics change.  Exposed so tests can flip it and
+    assert the miss. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving map over the engine's worker pool.  Falls back to

@@ -75,7 +75,10 @@ val explore :
   Smart_tech.Tech.t ->
   Smart_constraints.Constraints.spec ->
   (ranking, string) result
-(** {!explore_typed} with errors rendered to the original strings. *)
+[@@deprecated
+  "use Explore.explore_typed: structured Err.t instead of strings"]
+(** {!explore_typed} with errors rendered to the original strings.
+    Scheduled for removal; see the migration timeline in the README. *)
 
 val sweep_area_delay :
   ?engine:Smart_engine.Engine.t ->
@@ -117,6 +120,8 @@ val tune :
   Smart_tech.Tech.t ->
   Smart_constraints.Constraints.spec ->
   (ranking, string) result
+[@@deprecated "use Explore.tune_typed: structured Err.t instead of strings"]
 (** {!tune_typed} with errors rendered to strings; raises
     {!Smart_util.Err.Smart_error} on an empty variant list (original
-    behaviour). *)
+    behaviour).  Scheduled for removal; see the migration timeline in the
+    README. *)

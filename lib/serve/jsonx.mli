@@ -1,0 +1,48 @@
+(** A minimal, dependency-free JSON tree with a total parser.
+
+    The wire protocol ({!Wire}) needs both directions — the engine's
+    trace sinks only print JSON — and the toolchain ships no JSON
+    library, so this module carries exactly what the daemon needs:
+    a value tree, a recursive-descent parser that never raises, and a
+    printer whose float rendering is the shortest decimal that parses
+    back to the identical bit pattern (so codec round-trips are exact).
+
+    Numbers are IEEE doubles, as in JavaScript; integers survive up to
+    2{^53}.  Strings are byte sequences: the parser decodes [\uXXXX]
+    escapes to UTF-8 and the printer escapes control characters, quotes
+    and backslashes, passing other bytes through. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** insertion order preserved *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document; trailing non-whitespace is an
+    error.  Never raises — malformed input is [Error msg] with a byte
+    offset in the message. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite numbers render as
+    [null] — they have no JSON spelling. *)
+
+val float_to_string : float -> string
+(** The printer's number rendering: integral floats print without a
+    fractional part, others as the shortest decimal that round-trips. *)
+
+(** {1 Accessors} — total, [None]/default on shape mismatch *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] for absent fields and non-objects). *)
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+(** Integral [Num] only. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

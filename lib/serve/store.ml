@@ -1,0 +1,126 @@
+module Engine = Smart_engine.Engine
+
+type t = { dir : string; stamp : string }
+
+let magic = "SMARTCACHE"
+let format_version = 1
+
+(* The default stamp ties entries to both the solver/model version and
+   the producing binary: cached blobs hold Marshal'd closures, which are
+   only safe to read back into the exact executable that wrote them. *)
+let default_stamp () =
+  let binary =
+    match Digest.file Sys.executable_name with
+    | d -> Digest.to_hex d
+    | exception _ -> "unknown-binary"
+  in
+  Engine.cache_version () ^ ":" ^ binary
+
+let mkdir_p path =
+  let rec go path =
+    if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+    then begin
+      go (Filename.dirname path);
+      try Unix.mkdir path 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let create ?stamp ~dir () =
+  let stamp = match stamp with Some s -> s | None -> default_stamp () in
+  mkdir_p dir;
+  { dir; stamp }
+
+let dir t = t.dir
+let stamp t = t.stamp
+
+let hex_key key =
+  String.length key = 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       key
+
+let path_of t key = Filename.concat t.dir (Filename.concat (String.sub key 0 2) (String.sub key 2 30))
+
+let header t = Printf.sprintf "%s %d %s\n" magic format_version t.stamp
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Split off the first line; [None] when no newline is present. *)
+let split_header content =
+  match String.index_opt content '\n' with
+  | None -> None
+  | Some i ->
+    Some
+      ( String.sub content 0 (i + 1),
+        String.sub content (i + 1) (String.length content - i - 1) )
+
+let find t key =
+  if not (hex_key key) then None
+  else
+    let path = path_of t key in
+    match read_file path with
+    | exception _ -> None
+    | content -> (
+      match split_header content with
+      | Some (hdr, blob) when hdr = header t -> Some blob
+      | _ -> None)
+
+let save t key blob =
+  if hex_key key then begin
+    let path = path_of t key in
+    try
+      mkdir_p (Filename.dirname path);
+      (* Unique temp name per writer; rename within one directory is
+         atomic, so concurrent daemons race benignly (same key, same
+         content). *)
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Thread.id (Thread.self ()))
+      in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc (header t);
+         output_string oc blob;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with _ -> ());
+         raise e);
+      Sys.rename tmp path
+    with _ -> ()
+  end
+
+let warm_up t =
+  let kept = ref 0 and evicted = ref 0 in
+  let shards = try Sys.readdir t.dir with _ -> [||] in
+  Array.iter
+    (fun shard ->
+      let shard_dir = Filename.concat t.dir shard in
+      if String.length shard = 2 && Sys.is_directory shard_dir then
+        let entries = try Sys.readdir shard_dir with _ -> [||] in
+        Array.iter
+          (fun entry ->
+            let path = Filename.concat shard_dir entry in
+            let stale =
+              match read_file path with
+              | exception _ -> true
+              | content -> (
+                match split_header content with
+                | Some (hdr, _) -> hdr <> header t
+                | None -> true)
+            in
+            if stale then begin
+              (try Sys.remove path with _ -> ());
+              incr evicted
+            end
+            else incr kept)
+          entries)
+    shards;
+  (!kept, !evicted)
+
+let engine_store t = { Engine.Store.find = find t; save = save t }

@@ -1,0 +1,44 @@
+(** Content-addressed persistent solve cache.
+
+    Entries are keyed by the engine's structural solve digest (a 32-char
+    hex MD5) and sharded two levels deep ([cache_dir/ab/cdef…]) so a warm
+    directory never puts tens of thousands of files in one listing.  Each
+    file is a one-line header
+
+    {v SMARTCACHE 1 <stamp> v}
+
+    followed by the engine's opaque entry blob.  The stamp defaults to
+    {!Smart_engine.Engine.cache_version} joined with a digest of the
+    running executable: solve entries contain Marshal'd closures, so a
+    blob is only meaningful to the binary that wrote it.  A header
+    mismatch (version bump, different binary, foreign file) reads as a
+    miss — never an error — and {!warm_up} deletes such entries.
+
+    Writes are atomic (temp file + [rename] in the same directory), so a
+    crash mid-write can leave a stray temp file but never a torn entry.
+    Reads validate the key shape before touching the filesystem. *)
+
+type t
+
+val create : ?stamp:string -> dir:string -> unit -> t
+(** Open (creating directories as needed) a cache rooted at [dir].
+    [stamp] overrides the binary+engine-version stamp — tests use this to
+    simulate a version bump. *)
+
+val dir : t -> string
+val stamp : t -> string
+
+val find : t -> string -> string option
+(** [None] on absent entries, malformed keys, stale stamps and any
+    I/O failure. *)
+
+val save : t -> string -> string -> unit
+(** Atomic write; silently drops the entry on I/O failure (the cache is
+    an accelerator, not a durability layer). *)
+
+val warm_up : t -> int * int
+(** Scan the cache directory, deleting entries whose header does not
+    match this store's stamp.  Returns [(kept, evicted)]. *)
+
+val engine_store : t -> Smart_engine.Engine.Store.t
+(** The record {!Smart_engine.Engine.set_store} accepts. *)

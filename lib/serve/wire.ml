@@ -1,0 +1,674 @@
+module Smart = Smart_core.Smart
+module Err = Smart_util.Err
+
+let version = 1
+
+let ( let* ) = Result.bind
+let bad ?field detail = Error (Err.Bad_request { field; detail })
+
+(* Field access that separates "absent" (fine — defaults apply, and
+   unknown fields on the wire are simply never looked at) from "present
+   with the wrong shape" (a structured Bad_request naming the field). *)
+let opt_field j name conv what =
+  match Jsonx.member name j with
+  | None | Some Jsonx.Null -> Ok None
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok (Some x)
+    | None -> bad ~field:name ("expected " ^ what))
+
+let dflt d = Result.map (Option.value ~default:d)
+
+let decode_version j =
+  let* v = dflt version (opt_field j "v" Jsonx.to_int "an integer") in
+  if v < 1 then bad ~field:"v" "protocol version must be >= 1"
+  else if v > version then
+    bad ~field:"v"
+      (Printf.sprintf "protocol version %d not supported (this daemon speaks %d)"
+         v version)
+  else Ok v
+
+module Request = struct
+  type op = Advise | Ping | Stats | Shutdown
+
+  type tech_spec = {
+    base : string;
+    rc_scale : float option;
+    tech_name : string option;
+  }
+
+  type options_spec = {
+    max_iterations : int option;
+    tolerance : float option;
+    damping : float option;
+    gp_warm_start : bool option;
+    certify : bool option;
+  }
+
+  type t = {
+    v : int;
+    id : string option;
+    op : op;
+    kind : string;
+    bits : int;
+    ext_load : float option;
+    strongly_mutexed_selects : bool option;
+    allow_dynamic : bool option;
+    delay : float option;
+    metric : string option;
+    lint : string option;
+    corners : string option;
+    tech : tech_spec option;
+    options : options_spec option;
+  }
+
+  let make ?id ?(op = Advise) ?ext_load ?strongly_mutexed_selects
+      ?allow_dynamic ?delay ?metric ?lint ?corners ?tech ?options ~kind ~bits
+      () =
+    {
+      v = version;
+      id;
+      op;
+      kind;
+      bits;
+      ext_load;
+      strongly_mutexed_selects;
+      allow_dynamic;
+      delay;
+      metric;
+      lint;
+      corners;
+      tech;
+      options;
+    }
+
+  let op_name = function
+    | Advise -> "advise"
+    | Ping -> "ping"
+    | Stats -> "stats"
+    | Shutdown -> "shutdown"
+
+  let op_of_name = function
+    | "advise" -> Some Advise
+    | "ping" -> Some Ping
+    | "stats" -> Some Stats
+    | "shutdown" -> Some Shutdown
+    | _ -> None
+
+  (* Encoding writes only populated fields; absent optional fields stay
+     off the wire so old daemons never see them at all. *)
+  let encode t =
+    let opt name conv = function
+      | None -> []
+      | Some x -> [ (name, conv x) ]
+    in
+    let tech_json (ts : tech_spec) =
+      Jsonx.Obj
+        ([ ("base", Jsonx.Str ts.base) ]
+        @ opt "rc_scale" (fun f -> Jsonx.Num f) ts.rc_scale
+        @ opt "name" (fun s -> Jsonx.Str s) ts.tech_name)
+    in
+    let options_json (os : options_spec) =
+      Jsonx.Obj
+        (opt "max_iterations" (fun i -> Jsonx.Num (float_of_int i))
+           os.max_iterations
+        @ opt "tolerance" (fun f -> Jsonx.Num f) os.tolerance
+        @ opt "damping" (fun f -> Jsonx.Num f) os.damping
+        @ opt "gp_warm_start" (fun b -> Jsonx.Bool b) os.gp_warm_start
+        @ opt "certify" (fun b -> Jsonx.Bool b) os.certify)
+    in
+    Jsonx.Obj
+      ([ ("v", Jsonx.Num (float_of_int t.v)) ]
+      @ opt "id" (fun s -> Jsonx.Str s) t.id
+      @ [ ("op", Jsonx.Str (op_name t.op)) ]
+      @ (if t.kind = "" then [] else [ ("kind", Jsonx.Str t.kind) ])
+      @ (if t.bits = 0 then []
+         else [ ("bits", Jsonx.Num (float_of_int t.bits)) ])
+      @ opt "ext_load" (fun f -> Jsonx.Num f) t.ext_load
+      @ opt "strongly_mutexed_selects"
+          (fun b -> Jsonx.Bool b)
+          t.strongly_mutexed_selects
+      @ opt "allow_dynamic" (fun b -> Jsonx.Bool b) t.allow_dynamic
+      @ opt "delay" (fun f -> Jsonx.Num f) t.delay
+      @ opt "metric" (fun s -> Jsonx.Str s) t.metric
+      @ opt "lint" (fun s -> Jsonx.Str s) t.lint
+      @ opt "corners" (fun s -> Jsonx.Str s) t.corners
+      @ opt "tech" tech_json t.tech
+      @ opt "options" options_json t.options)
+
+  let decode_tech j =
+    match j with
+    | Jsonx.Obj _ ->
+      let* base = dflt "default" (opt_field j "base" Jsonx.to_str "a string") in
+      let* rc_scale = opt_field j "rc_scale" Jsonx.to_float "a number" in
+      let* tech_name = opt_field j "name" Jsonx.to_str "a string" in
+      Ok { base; rc_scale; tech_name }
+    | _ -> bad ~field:"tech" "expected an object"
+
+  let decode_options j =
+    match j with
+    | Jsonx.Obj _ ->
+      let* max_iterations =
+        opt_field j "max_iterations" Jsonx.to_int "an integer"
+      in
+      let* tolerance = opt_field j "tolerance" Jsonx.to_float "a number" in
+      let* damping = opt_field j "damping" Jsonx.to_float "a number" in
+      let* gp_warm_start =
+        opt_field j "gp_warm_start" Jsonx.to_bool "a boolean"
+      in
+      let* certify = opt_field j "certify" Jsonx.to_bool "a boolean" in
+      Ok { max_iterations; tolerance; damping; gp_warm_start; certify }
+    | _ -> bad ~field:"options" "expected an object"
+
+  let decode j =
+    match j with
+    | Jsonx.Obj _ ->
+      let* v = decode_version j in
+      let* id = opt_field j "id" Jsonx.to_str "a string" in
+      let* op_str = dflt "advise" (opt_field j "op" Jsonx.to_str "a string") in
+      let* op =
+        match op_of_name op_str with
+        | Some op -> Ok op
+        | None -> bad ~field:"op" ("unknown operation " ^ op_str)
+      in
+      let* kind = dflt "" (opt_field j "kind" Jsonx.to_str "a string") in
+      let* bits = dflt 0 (opt_field j "bits" Jsonx.to_int "an integer") in
+      let* ext_load = opt_field j "ext_load" Jsonx.to_float "a number" in
+      let* strongly_mutexed_selects =
+        opt_field j "strongly_mutexed_selects" Jsonx.to_bool "a boolean"
+      in
+      let* allow_dynamic =
+        opt_field j "allow_dynamic" Jsonx.to_bool "a boolean"
+      in
+      let* delay = opt_field j "delay" Jsonx.to_float "a number" in
+      let* metric = opt_field j "metric" Jsonx.to_str "a string" in
+      let* lint = opt_field j "lint" Jsonx.to_str "a string" in
+      let* corners = opt_field j "corners" Jsonx.to_str "a string" in
+      let* tech =
+        match Jsonx.member "tech" j with
+        | None | Some Jsonx.Null -> Ok None
+        | Some tj -> Result.map Option.some (decode_tech tj)
+      in
+      let* options =
+        match Jsonx.member "options" j with
+        | None | Some Jsonx.Null -> Ok None
+        | Some oj -> Result.map Option.some (decode_options oj)
+      in
+      Ok
+        {
+          v;
+          id;
+          op;
+          kind;
+          bits;
+          ext_load;
+          strongly_mutexed_selects;
+          allow_dynamic;
+          delay;
+          metric;
+          lint;
+          corners;
+          tech;
+          options;
+        }
+    | _ -> bad "request must be a JSON object"
+
+  let of_line line =
+    match Jsonx.parse line with
+    | Error msg -> bad msg
+    | Ok j -> decode j
+
+  let to_line t = Jsonx.to_string (encode t)
+
+  (* ---------------- elaboration ---------------- *)
+
+  let positive name = function
+    | Some f when f <= 0. -> bad ~field:name "must be positive"
+    | v -> Ok v
+
+  let elaborate t =
+    let* () = if t.kind = "" then bad ~field:"kind" "required" else Ok () in
+    let* () =
+      if t.bits < 1 then bad ~field:"bits" "must be a positive integer"
+      else Ok ()
+    in
+    let* ext_load = positive "ext_load" t.ext_load in
+    let* delay = positive "delay" t.delay in
+    let* metric =
+      match t.metric with
+      | None -> Ok None
+      | Some "area" -> Ok (Some Smart.Explore.Area)
+      | Some "power" -> Ok (Some Smart.Explore.Power)
+      | Some ("clock" | "clock-load") -> Ok (Some Smart.Explore.Clock_load)
+      | Some other ->
+        bad ~field:"metric"
+          (Printf.sprintf "unknown metric %s (area, power, clock)" other)
+    in
+    let* lint =
+      match t.lint with
+      | None -> Ok None
+      | Some "off" -> Ok (Some `Off)
+      | Some "warn" -> Ok (Some `Warn)
+      | Some "strict" -> Ok (Some `Strict)
+      | Some other ->
+        bad ~field:"lint"
+          (Printf.sprintf "unknown lint level %s (off, warn, strict)" other)
+    in
+    let* tech =
+      match t.tech with
+      | None -> Ok None
+      | Some ts ->
+        let* () =
+          if ts.base <> "default" then
+            bad ~field:"tech.base"
+              (Printf.sprintf "unknown base technology %s" ts.base)
+          else Ok ()
+        in
+        let* rc_scale = positive "tech.rc_scale" ts.rc_scale in
+        (match rc_scale with
+        | None -> Ok (Some Smart.Tech.default)
+        | Some s ->
+          Ok
+            (Some
+               (Smart.Tech.scaled ~rc_scale:s ?name:ts.tech_name
+                  Smart.Tech.default)))
+    in
+    let* corners =
+      match t.corners with
+      | None -> Ok None
+      | Some s -> (
+        let base =
+          match tech with Some b -> b | None -> Smart.Tech.default
+        in
+        match Smart.Corners.of_string ~base s with
+        | Ok set -> Ok (Some set)
+        | Error msg -> bad ~field:"corners" msg)
+    in
+    let* options =
+      match t.options with
+      | None -> Ok None
+      | Some os ->
+        let d = Smart.Sizer.default_options in
+        let* () =
+          match os.max_iterations with
+          | Some i when i < 1 -> bad ~field:"options.max_iterations" "must be >= 1"
+          | _ -> Ok ()
+        in
+        let* _ = positive "options.tolerance" os.tolerance in
+        let* _ = positive "options.damping" os.damping in
+        Ok
+          (Some
+             {
+               d with
+               Smart.Sizer.max_iterations =
+                 Option.value ~default:d.Smart.Sizer.max_iterations
+                   os.max_iterations;
+               Smart.Sizer.tolerance =
+                 Option.value ~default:d.Smart.Sizer.tolerance os.tolerance;
+               Smart.Sizer.damping =
+                 Option.value ~default:d.Smart.Sizer.damping os.damping;
+               Smart.Sizer.gp_warm_start =
+                 Option.value ~default:d.Smart.Sizer.gp_warm_start
+                   os.gp_warm_start;
+               Smart.Sizer.certify =
+                 Option.value ~default:d.Smart.Sizer.certify os.certify;
+             })
+    in
+    Ok
+      (Smart.Request.make ?ext_load
+         ?strongly_mutexed_selects:t.strongly_mutexed_selects
+         ?allow_dynamic:t.allow_dynamic ?delay ?metric ?options ?tech ?lint
+         ?corners ~kind:t.kind ~bits:t.bits ())
+end
+
+module Advice = struct
+  type corner = { corner : string; delay_ps : float; slack_ps : float }
+
+  type candidate = {
+    entry : string;
+    delay_ps : float;
+    width_um : float;
+    clock_um : float;
+    power_uw : float;
+    score : float;
+    iterations : int;
+    binding_corner : string option;
+    corners : corner list;
+    sizing : (string * float) list;
+  }
+
+  type t = {
+    v : int;
+    winner : string;
+    metric : string;
+    target_ps : float;
+    ranked : candidate list;
+    rejected : (string * string) list;
+  }
+
+  let of_advice (a : Smart.advice) =
+    let candidate (c : Smart.Explore.candidate) =
+      {
+        entry = c.Smart.Explore.entry_name;
+        delay_ps = c.Smart.Explore.outcome.Smart.Sizer.achieved_delay;
+        width_um = c.Smart.Explore.outcome.Smart.Sizer.total_width;
+        clock_um = c.Smart.Explore.outcome.Smart.Sizer.clock_load_width;
+        power_uw = c.Smart.Explore.power_report.Smart.Power.total_uw;
+        score = c.Smart.Explore.score;
+        iterations = c.Smart.Explore.outcome.Smart.Sizer.iterations;
+        binding_corner = c.Smart.Explore.binding_corner;
+        corners =
+          List.map
+            (fun (r : Smart.Sizer.corner_report) ->
+              {
+                corner = r.Smart.Sizer.corner_name;
+                delay_ps = r.Smart.Sizer.corner_delay;
+                slack_ps = r.Smart.Sizer.corner_slack;
+              })
+            c.Smart.Explore.corners;
+        sizing = c.Smart.Explore.outcome.Smart.Sizer.sizing;
+      }
+    in
+    {
+      v = version;
+      winner = a.Smart.ranking.Smart.Explore.winner.Smart.Explore.entry_name;
+      metric = Smart.Explore.metric_to_string a.Smart.metric;
+      target_ps = a.Smart.spec.Smart.Constraints.target_delay;
+      ranked = List.map candidate a.Smart.ranking.Smart.Explore.ranked;
+      rejected = a.Smart.ranking.Smart.Explore.rejected;
+    }
+
+  let encode t =
+    let corner_json (c : corner) =
+      Jsonx.Obj
+        [
+          ("corner", Jsonx.Str c.corner);
+          ("delay_ps", Jsonx.Num c.delay_ps);
+          ("slack_ps", Jsonx.Num c.slack_ps);
+        ]
+    in
+    let candidate_json (c : candidate) =
+      Jsonx.Obj
+        ([
+           ("entry", Jsonx.Str c.entry);
+           ("delay_ps", Jsonx.Num c.delay_ps);
+           ("width_um", Jsonx.Num c.width_um);
+           ("clock_um", Jsonx.Num c.clock_um);
+           ("power_uw", Jsonx.Num c.power_uw);
+           ("score", Jsonx.Num c.score);
+           ("iterations", Jsonx.Num (float_of_int c.iterations));
+         ]
+        @ (match c.binding_corner with
+          | None -> []
+          | Some b -> [ ("binding_corner", Jsonx.Str b) ])
+        @ (if c.corners = [] then []
+           else [ ("corners", Jsonx.Arr (List.map corner_json c.corners)) ])
+        @ [
+            ( "sizing",
+              Jsonx.Obj (List.map (fun (l, w) -> (l, Jsonx.Num w)) c.sizing) );
+          ])
+    in
+    Jsonx.Obj
+      [
+        ("v", Jsonx.Num (float_of_int t.v));
+        ("winner", Jsonx.Str t.winner);
+        ("metric", Jsonx.Str t.metric);
+        ("target_ps", Jsonx.Num t.target_ps);
+        ("ranked", Jsonx.Arr (List.map candidate_json t.ranked));
+        ( "rejected",
+          Jsonx.Arr
+            (List.map
+               (fun (n, r) ->
+                 Jsonx.Obj
+                   [ ("entry", Jsonx.Str n); ("reason", Jsonx.Str r) ])
+               t.rejected) );
+      ]
+
+  let req_field j name conv what =
+    match opt_field j name conv what with
+    | Ok (Some x) -> Ok x
+    | Ok None -> bad ~field:name "required"
+    | Error e -> Error e
+
+  let decode_corner j =
+    let* corner = req_field j "corner" Jsonx.to_str "a string" in
+    let* delay_ps = req_field j "delay_ps" Jsonx.to_float "a number" in
+    let* slack_ps = req_field j "slack_ps" Jsonx.to_float "a number" in
+    Ok { corner; delay_ps; slack_ps }
+
+  let decode_candidate j =
+    let* entry = req_field j "entry" Jsonx.to_str "a string" in
+    let* delay_ps = req_field j "delay_ps" Jsonx.to_float "a number" in
+    let* width_um = req_field j "width_um" Jsonx.to_float "a number" in
+    let* clock_um = req_field j "clock_um" Jsonx.to_float "a number" in
+    let* power_uw = req_field j "power_uw" Jsonx.to_float "a number" in
+    let* score = req_field j "score" Jsonx.to_float "a number" in
+    let* iterations = req_field j "iterations" Jsonx.to_int "an integer" in
+    let* binding_corner = opt_field j "binding_corner" Jsonx.to_str "a string" in
+    let* corners =
+      match Jsonx.member "corners" j with
+      | None | Some Jsonx.Null -> Ok []
+      | Some (Jsonx.Arr xs) ->
+        List.fold_left
+          (fun acc x ->
+            let* acc = acc in
+            let* c = decode_corner x in
+            Ok (c :: acc))
+          (Ok []) xs
+        |> Result.map List.rev
+      | Some _ -> bad ~field:"corners" "expected an array"
+    in
+    let* sizing =
+      match Jsonx.member "sizing" j with
+      | None | Some Jsonx.Null -> Ok []
+      | Some (Jsonx.Obj fields) ->
+        List.fold_left
+          (fun acc (l, v) ->
+            let* acc = acc in
+            match Jsonx.to_float v with
+            | Some w -> Ok ((l, w) :: acc)
+            | None -> bad ~field:("sizing." ^ l) "expected a number")
+          (Ok []) fields
+        |> Result.map List.rev
+      | Some _ -> bad ~field:"sizing" "expected an object"
+    in
+    Ok
+      {
+        entry;
+        delay_ps;
+        width_um;
+        clock_um;
+        power_uw;
+        score;
+        iterations;
+        binding_corner;
+        corners;
+        sizing;
+      }
+
+  let decode j =
+    match j with
+    | Jsonx.Obj _ ->
+      let* v = decode_version j in
+      let* winner = req_field j "winner" Jsonx.to_str "a string" in
+      let* metric = req_field j "metric" Jsonx.to_str "a string" in
+      let* target_ps = req_field j "target_ps" Jsonx.to_float "a number" in
+      let* ranked =
+        match Jsonx.member "ranked" j with
+        | Some (Jsonx.Arr xs) ->
+          List.fold_left
+            (fun acc x ->
+              let* acc = acc in
+              let* c = decode_candidate x in
+              Ok (c :: acc))
+            (Ok []) xs
+          |> Result.map List.rev
+        | _ -> bad ~field:"ranked" "expected an array"
+      in
+      let* rejected =
+        match Jsonx.member "rejected" j with
+        | None | Some Jsonx.Null -> Ok []
+        | Some (Jsonx.Arr xs) ->
+          List.fold_left
+            (fun acc x ->
+              let* acc = acc in
+              let* n = req_field x "entry" Jsonx.to_str "a string" in
+              let* r = req_field x "reason" Jsonx.to_str "a string" in
+              Ok ((n, r) :: acc))
+            (Ok []) xs
+          |> Result.map List.rev
+        | Some _ -> bad ~field:"rejected" "expected an array"
+      in
+      Ok { v; winner; metric; target_ps; ranked; rejected }
+    | _ -> bad "advice must be a JSON object"
+end
+
+module Error = struct
+  (* Encoding parses {!Smart_util.Err.to_json}'s own rendering, so the
+     CLI's stderr line and the wire object can never drift apart. *)
+  let encode e =
+    match Jsonx.parse (Err.to_json e) with
+    | Ok j -> j
+    | Error _ ->
+      (* Unreachable for well-formed to_json; keep total anyway. *)
+      Jsonx.Obj
+        [
+          ("code", Jsonx.Str (Err.code e));
+          ("message", Jsonx.Str (Err.to_string e));
+        ]
+
+  let req_field j name conv what =
+    match opt_field j name conv what with
+    | Ok (Some x) -> Ok x
+    | Ok None -> bad ~field:name "required"
+    | Error e -> Error e
+
+  let decode j =
+    let* code = req_field j "code" Jsonx.to_str "a string" in
+    let data = Option.value ~default:(Jsonx.Obj []) (Jsonx.member "data" j) in
+    match code with
+    | "no-applicable-topology" ->
+      let* kind = req_field data "kind" Jsonx.to_str "a string" in
+      Ok (Err.No_applicable_topology { kind })
+    | "infeasible-spec" ->
+      let* target_ps = req_field data "target_ps" Jsonx.to_float "a number" in
+      let* detail = req_field data "detail" Jsonx.to_str "a string" in
+      Ok (Err.Infeasible_spec { target_ps; detail })
+    | "gp-failure" ->
+      let* detail = req_field data "detail" Jsonx.to_str "a string" in
+      Ok (Err.Gp_failure detail)
+    | "sta-disagreement" ->
+      let* target_ps = req_field data "target_ps" Jsonx.to_float "a number" in
+      let* iterations = req_field data "iterations" Jsonx.to_int "an integer" in
+      Ok (Err.Sta_disagreement { target_ps; iterations })
+    | "invalid-request" ->
+      let* detail = req_field data "detail" Jsonx.to_str "a string" in
+      Ok (Err.Invalid_request detail)
+    | "worker-crash" ->
+      let* item = req_field data "item" Jsonx.to_int "an integer" in
+      let* detail = req_field data "detail" Jsonx.to_str "a string" in
+      Ok (Err.Worker_crash { item; detail })
+    | "lint-failed" ->
+      let* netlist = req_field data "netlist" Jsonx.to_str "a string" in
+      let* diagnostics =
+        match Jsonx.member "diagnostics" data with
+        | Some (Jsonx.Arr xs) ->
+          List.fold_left
+            (fun acc x ->
+              let* acc = acc in
+              let* rule = req_field x "rule" Jsonx.to_str "a string" in
+              let* loc = req_field x "loc" Jsonx.to_str "a string" in
+              let* msg = req_field x "message" Jsonx.to_str "a string" in
+              Ok ((rule, loc, msg) :: acc))
+            (Ok []) xs
+          |> Result.map List.rev
+        | _ -> bad ~field:"diagnostics" "expected an array"
+      in
+      Ok (Err.Lint_failed { netlist; diagnostics })
+    | "bad-request" ->
+      let* field = opt_field data "field" Jsonx.to_str "a string" in
+      let* detail = req_field data "detail" Jsonx.to_str "a string" in
+      Ok (Err.Bad_request { field; detail })
+    | "overloaded" ->
+      let* queued = req_field data "queued" Jsonx.to_int "an integer" in
+      let* limit = req_field data "limit" Jsonx.to_int "an integer" in
+      Ok (Err.Overloaded { queued; limit })
+    | other -> bad ~field:"error.code" ("unknown error code " ^ other)
+end
+
+module Response = struct
+  type payload =
+    | Advice of Advice.t
+    | Failed of Smart.Error.t
+    | Pong
+    | Stats of Jsonx.t
+
+  type t = {
+    v : int;
+    id : string option;
+    cache : string option;
+    wall_ms : float option;
+    payload : payload;
+  }
+
+  let ok ?id ?cache ?wall_ms advice =
+    { v = version; id; cache; wall_ms; payload = Advice advice }
+
+  let error ?id e =
+    { v = version; id; cache = None; wall_ms = None; payload = Failed e }
+
+  let encode t =
+    let opt name conv = function
+      | None -> []
+      | Some x -> [ (name, conv x) ]
+    in
+    let ok_flag =
+      match t.payload with Failed _ -> false | _ -> true
+    in
+    Jsonx.Obj
+      ([ ("v", Jsonx.Num (float_of_int t.v)) ]
+      @ opt "id" (fun s -> Jsonx.Str s) t.id
+      @ [ ("ok", Jsonx.Bool ok_flag) ]
+      @ opt "cache" (fun s -> Jsonx.Str s) t.cache
+      @ opt "wall_ms" (fun f -> Jsonx.Num f) t.wall_ms
+      @
+      match t.payload with
+      | Advice a -> [ ("advice", Advice.encode a) ]
+      | Failed e -> [ ("error", Error.encode e) ]
+      | Pong -> [ ("pong", Jsonx.Bool true) ]
+      | Stats s -> [ ("stats", s) ])
+
+  let decode j =
+    match j with
+    | Jsonx.Obj _ ->
+      let* v = decode_version j in
+      let* id = opt_field j "id" Jsonx.to_str "a string" in
+      let* cache = opt_field j "cache" Jsonx.to_str "a string" in
+      let* wall_ms = opt_field j "wall_ms" Jsonx.to_float "a number" in
+      let* payload =
+        match
+          ( Jsonx.member "advice" j,
+            Jsonx.member "error" j,
+            Jsonx.member "pong" j,
+            Jsonx.member "stats" j )
+        with
+        | Some aj, None, None, None ->
+          Result.map (fun a -> Advice a) (Advice.decode aj)
+        | None, Some ej, None, None ->
+          Result.map (fun e -> Failed e) (Error.decode ej)
+        | None, None, Some _, None -> Ok Pong
+        | None, None, None, Some sj -> Ok (Stats sj)
+        | _ ->
+          bad
+            "response must carry exactly one of advice / error / pong / stats"
+      in
+      Ok { v; id; cache; wall_ms; payload }
+    | _ -> bad "response must be a JSON object"
+
+  let to_line t = Jsonx.to_string (encode t)
+
+  let of_line line =
+    match Jsonx.parse line with
+    | Error msg -> bad msg
+    | Ok j -> decode j
+end

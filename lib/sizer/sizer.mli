@@ -87,8 +87,10 @@ val size :
   Smart_circuit.Netlist.t ->
   Smart_constraints.Constraints.spec ->
   (outcome, string) result
+[@@deprecated "use Sizer.size_typed: structured Err.t instead of strings"]
 (** {!size_typed} with the error rendered to a string — the original
-    API, kept for compatibility. *)
+    API, kept for compatibility.  Scheduled for removal; see the
+    migration timeline in the README. *)
 
 (** {1 Multi-corner robust sizing} *)
 
@@ -146,7 +148,10 @@ val size_robust :
   Smart_circuit.Netlist.t ->
   Smart_constraints.Constraints.spec ->
   (robust_outcome, string) result
-(** {!size_robust_typed} with the error rendered to a string. *)
+[@@deprecated
+  "use Sizer.size_robust_typed: structured Err.t instead of strings"]
+(** {!size_robust_typed} with the error rendered to a string.  Scheduled
+    for removal; see the migration timeline in the README. *)
 
 type min_delay = {
   golden_min : float;  (** fastest golden delay found, ps *)
@@ -169,4 +174,7 @@ val minimize_delay :
   Smart_circuit.Netlist.t ->
   Smart_constraints.Constraints.spec ->
   (min_delay, string) result
-(** {!minimize_delay_typed} with the error rendered to a string. *)
+[@@deprecated
+  "use Sizer.minimize_delay_typed: structured Err.t instead of strings"]
+(** {!minimize_delay_typed} with the error rendered to a string.
+    Scheduled for removal; see the migration timeline in the README. *)

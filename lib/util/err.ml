@@ -16,6 +16,8 @@ type t =
       netlist : string;
       diagnostics : (string * string * string) list;
     }
+  | Bad_request of { field : string option; detail : string }
+  | Overloaded of { queued : int; limit : int }
 
 let to_string = function
   | No_applicable_topology { kind } ->
@@ -36,5 +38,93 @@ let to_string = function
          (List.map
             (fun (rule, loc, msg) -> Printf.sprintf "[%s] %s: %s" rule loc msg)
             diagnostics))
+  | Bad_request { field; detail } -> (
+    match field with
+    | Some f -> Printf.sprintf "bad request: field %s: %s" f detail
+    | None -> "bad request: " ^ detail)
+  | Overloaded { queued; limit } ->
+    Printf.sprintf "server overloaded: %d requests queued (limit %d)" queued
+      limit
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let code = function
+  | No_applicable_topology _ -> "no-applicable-topology"
+  | Infeasible_spec _ -> "infeasible-spec"
+  | Gp_failure _ -> "gp-failure"
+  | Sta_disagreement _ -> "sta-disagreement"
+  | Invalid_request _ -> "invalid-request"
+  | Worker_crash _ -> "worker-crash"
+  | Lint_failed _ -> "lint-failed"
+  | Bad_request _ -> "bad-request"
+  | Overloaded _ -> "overloaded"
+
+(* JSON rendering is self-contained (lib/util has no dependencies): the
+   escaper covers the control characters and the two JSON metacharacters,
+   which is all a [to_string] message can contain. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+(* Shortest decimal that parses back to the identical double, so the
+   serve wire codec can round-trip errors exactly. *)
+let jfloat f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let s15 = Printf.sprintf "%.15g" f in
+    if float_of_string s15 = f then s15
+    else
+      let s16 = Printf.sprintf "%.16g" f in
+      if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+
+let jobj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let data_fields = function
+  | No_applicable_topology { kind } -> [ ("kind", jstr kind) ]
+  | Infeasible_spec { target_ps; detail } ->
+    [ ("target_ps", jfloat target_ps); ("detail", jstr detail) ]
+  | Gp_failure detail -> [ ("detail", jstr detail) ]
+  | Sta_disagreement { target_ps; iterations } ->
+    [ ("target_ps", jfloat target_ps);
+      ("iterations", string_of_int iterations) ]
+  | Invalid_request detail -> [ ("detail", jstr detail) ]
+  | Worker_crash { item; detail } ->
+    [ ("item", string_of_int item); ("detail", jstr detail) ]
+  | Lint_failed { netlist; diagnostics } ->
+    [ ("netlist", jstr netlist);
+      ( "diagnostics",
+        "["
+        ^ String.concat ","
+            (List.map
+               (fun (rule, loc, msg) ->
+                 jobj
+                   [ ("rule", jstr rule); ("loc", jstr loc);
+                     ("message", jstr msg) ])
+               diagnostics)
+        ^ "]" ) ]
+  | Bad_request { field; detail } ->
+    (match field with Some f -> [ ("field", jstr f) ] | None -> [])
+    @ [ ("detail", jstr detail) ]
+  | Overloaded { queued; limit } ->
+    [ ("queued", string_of_int queued); ("limit", string_of_int limit) ]
+
+let to_json e =
+  jobj
+    [ ("code", jstr (code e)); ("message", jstr (to_string e));
+      ("data", jobj (data_fields e)) ]

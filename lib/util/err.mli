@@ -46,6 +46,29 @@ type t =
     }
       (** a [`Strict]-mode request was gated before any GP solve because
           static analysis found electrical-rule or coverage violations *)
+  | Bad_request of {
+      field : string option;  (** offending wire-protocol field, if known *)
+      detail : string;
+    }
+      (** a wire request could not be decoded or elaborated into a
+          {!Smart_core.Smart.Request.t} — malformed JSON, an unsupported
+          protocol version, or an invalid field value *)
+  | Overloaded of {
+      queued : int;  (** requests already waiting when this one arrived *)
+      limit : int;  (** the server's queue bound *)
+    }
+      (** the serve daemon's bounded request queue was full; the request
+          was rejected immediately rather than buffered without bound *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
+
+val code : t -> string
+(** Stable kebab-case tag of the variant (["infeasible-spec"], ...) — the
+    wire protocol's error code and the key of the CLI's documented
+    error→exit-code table. *)
+
+val to_json : t -> string
+(** One-line JSON object [{"code":...,"message":...,"data":{...}}] with
+    the structured payload under ["data"] — the single error rendering
+    shared by every CLI subcommand and the serve wire protocol. *)

@@ -28,12 +28,12 @@ let test_sizer_all_corners () =
   let nl = info.Smart.Macro.netlist in
   List.iter
     (fun (name, tech) ->
-      match Sizer.minimize_delay tech nl (C.spec 1e6) with
-      | Error e -> Alcotest.fail (name ^ ": " ^ e)
+      match Sizer.minimize_delay_typed tech nl (C.spec 1e6) with
+      | Error e -> Alcotest.fail (name ^ ": " ^ Smart.Error.to_string e)
       | Ok md -> (
         let target = 1.25 *. md.Sizer.golden_min in
-        match Sizer.size tech nl (C.spec target) with
-        | Error e -> Alcotest.fail (name ^ ": " ^ e)
+        match Sizer.size_typed tech nl (C.spec target) with
+        | Error e -> Alcotest.fail (name ^ ": " ^ Smart.Error.to_string e)
         | Ok o ->
           checkb (name ^ " meets spec") true
             (o.Sizer.achieved_delay <= target *. 1.03)))
@@ -45,9 +45,9 @@ let test_min_delay_tracks_corner () =
   let mins =
     List.map
       (fun (name, tech) ->
-        match Sizer.minimize_delay tech nl (C.spec 1e6) with
+        match Sizer.minimize_delay_typed tech nl (C.spec 1e6) with
         | Ok md -> md.Sizer.golden_min
-        | Error e -> Alcotest.fail (name ^ ": " ^ e))
+        | Error e -> Alcotest.fail (name ^ ": " ^ Smart.Error.to_string e))
       corners
   in
   match mins with
@@ -62,12 +62,12 @@ let test_domino_corners () =
   let nl = info.Smart.Macro.netlist in
   List.iter
     (fun (name, tech) ->
-      match Sizer.minimize_delay tech nl (C.spec 1e6) with
-      | Error e -> Alcotest.fail (name ^ ": " ^ e)
+      match Sizer.minimize_delay_typed tech nl (C.spec 1e6) with
+      | Error e -> Alcotest.fail (name ^ ": " ^ Smart.Error.to_string e)
       | Ok md -> (
         let target = 1.3 *. md.Sizer.golden_min in
-        match Sizer.size tech nl (C.spec target) with
-        | Error e -> Alcotest.fail (name ^ ": " ^ e)
+        match Sizer.size_typed tech nl (C.spec target) with
+        | Error e -> Alcotest.fail (name ^ ": " ^ Smart.Error.to_string e)
         | Ok o ->
           checkb (name ^ " precharge ok") true
             (o.Sizer.achieved_precharge <= target *. 1.03)))
@@ -114,12 +114,12 @@ let test_robust_meets_every_corner () =
   let slow_tech =
     (List.nth (Corners.to_list set) 2).Corners.tech
   in
-  match Sizer.minimize_delay slow_tech nl (C.spec 1e6) with
-  | Error e -> Alcotest.fail ("slow min-delay: " ^ e)
+  match Sizer.minimize_delay_typed slow_tech nl (C.spec 1e6) with
+  | Error e -> Alcotest.fail ("slow min-delay: " ^ Smart.Error.to_string e)
   | Ok md -> (
     let target = 1.25 *. md.Sizer.golden_min in
-    match Sizer.size_robust set nl (C.spec target) with
-    | Error e -> Alcotest.fail ("robust: " ^ e)
+    match Sizer.size_robust_typed set nl (C.spec target) with
+    | Error e -> Alcotest.fail ("robust: " ^ Smart.Error.to_string e)
     | Ok ro ->
       Alcotest.(check int) "one report per corner" 3
         (List.length ro.Sizer.per_corner);
@@ -134,8 +134,8 @@ let test_robust_meets_every_corner () =
         (ro.Sizer.robust.Sizer.achieved_delay
         = (List.nth ro.Sizer.per_corner 2).Sizer.corner_delay);
       (* Robustness costs width relative to a typical-only sizing. *)
-      (match Sizer.size (Corners.nominal set).Corners.tech nl (C.spec target) with
-      | Error e -> Alcotest.fail ("typ-only: " ^ e)
+      (match Sizer.size_typed (Corners.nominal set).Corners.tech nl (C.spec target) with
+      | Error e -> Alcotest.fail ("typ-only: " ^ Smart.Error.to_string e)
       | Ok typ_only ->
         checkb "robust width >= typ-only width" true
           (ro.Sizer.robust.Sizer.total_width
@@ -154,12 +154,12 @@ let test_robust_domino_precharge () =
   let nl = info.Smart.Macro.netlist in
   let set = Corners.default_set () in
   let slow_tech = (List.nth (Corners.to_list set) 2).Corners.tech in
-  match Sizer.minimize_delay slow_tech nl (C.spec 1e6) with
-  | Error e -> Alcotest.fail ("slow min-delay: " ^ e)
+  match Sizer.minimize_delay_typed slow_tech nl (C.spec 1e6) with
+  | Error e -> Alcotest.fail ("slow min-delay: " ^ Smart.Error.to_string e)
   | Ok md -> (
     let target = 1.3 *. md.Sizer.golden_min in
-    match Sizer.size_robust set nl (C.spec target) with
-    | Error e -> Alcotest.fail ("robust: " ^ e)
+    match Sizer.size_robust_typed set nl (C.spec target) with
+    | Error e -> Alcotest.fail ("robust: " ^ Smart.Error.to_string e)
     | Ok ro ->
       List.iter
         (fun (r : Sizer.corner_report) ->

@@ -233,6 +233,36 @@ let test_json_lines_concurrent_integrity () =
             && !quotes mod 2 = 0))
         lines)
 
+(* (f) The cache key must incorporate the solver/model version stamp:
+   flipping the stamp invalidates every entry (a hit would hand back a
+   blob produced by a different solver), and restoring it revalidates
+   them. *)
+let test_cache_version_stamp_invalidates () =
+  let original = Engine.cache_version () in
+  Fun.protect
+    ~finally:(fun () -> Engine.set_cache_version original)
+    (fun () ->
+      let e = Engine.create ~workers:1 ~cache_capacity:16 () in
+      let nl = (Mux.generate Mux.Strongly_mutexed ~n:4).Macro.netlist in
+      let spec = C.spec 150. in
+      let options = Sizer.default_options in
+      let size () = ignore (Engine.size e ~options tech nl spec) in
+      size ();
+      size ();
+      let s1 = Engine.cache_stats e in
+      checki "warm-up: one miss" 1 s1.Engine.misses;
+      checki "warm-up: one hit" 1 s1.Engine.hits;
+      Engine.set_cache_version (original ^ "+model-bump");
+      size ();
+      let s2 = Engine.cache_stats e in
+      checki "stamp flip forces a miss" (s1.Engine.misses + 1) s2.Engine.misses;
+      checki "stamp flip adds no hit" s1.Engine.hits s2.Engine.hits;
+      Engine.set_cache_version original;
+      size ();
+      let s3 = Engine.cache_stats e in
+      checki "restored stamp hits again" (s2.Engine.hits + 1) s3.Engine.hits;
+      checki "restored stamp adds no miss" s2.Engine.misses s3.Engine.misses)
+
 (* The request facade: Smart.run over a Request.t matches the deprecated
    advise wrapper, and typed errors surface where strings used to. *)
 let test_request_run_facade () =
@@ -266,6 +296,8 @@ let () =
           Alcotest.test_case "key discrimination" `Quick
             test_cache_distinguishes_inputs;
           Alcotest.test_case "LRU bound" `Quick test_lru_eviction_respects_bound;
+          Alcotest.test_case "version stamp invalidates" `Quick
+            test_cache_version_stamp_invalidates;
         ] );
       ( "trace",
         [

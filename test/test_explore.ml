@@ -15,10 +15,10 @@ let test_explore_ranks_by_metric () =
   let db = Db.builtins () in
   let req = Db.requirements ~ext_load:25. 4 in
   match
-    Explore.explore ~metric:Explore.Area ~db ~kind:"mux" ~requirements:req tech
+    Explore.explore_typed ~metric:Explore.Area ~db ~kind:"mux" ~requirements:req tech
       (C.spec 150.)
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
   | Ok r ->
     checkb "has candidates" true (List.length r.Explore.ranked >= 2);
     let scores = List.map (fun c -> c.Explore.score) r.Explore.ranked in
@@ -38,7 +38,7 @@ let test_explore_reports_rejections () =
   let req = Db.requirements ~ext_load:25. 4 in
   (* A hard target: some topologies cannot make it and must be listed. *)
   match
-    Explore.explore ~db ~kind:"mux" ~requirements:req tech (C.spec 40.)
+    Explore.explore_typed ~db ~kind:"mux" ~requirements:req tech (C.spec 40.)
   with
   | Error _ -> () (* all rejected: acceptable at this target *)
   | Ok r ->
@@ -49,7 +49,7 @@ let test_explore_unknown_kind () =
   let db = Db.builtins () in
   checkb "no candidates error" true
     (match
-       Explore.explore ~db ~kind:"fifo" ~requirements:(Db.requirements 4) tech
+       Explore.explore_typed ~db ~kind:"fifo" ~requirements:(Db.requirements 4) tech
          (C.spec 100.)
      with
     | Error _ -> true
@@ -59,8 +59,8 @@ let test_metric_changes_winner_score () =
   let db = Db.builtins () in
   let req = Db.requirements ~ext_load:25. 8 in
   let spec = C.spec 160. in
-  let area = Explore.explore ~metric:Explore.Area ~db ~kind:"mux" ~requirements:req tech spec in
-  let power = Explore.explore ~metric:Explore.Power ~db ~kind:"mux" ~requirements:req tech spec in
+  let area = Explore.explore_typed ~metric:Explore.Area ~db ~kind:"mux" ~requirements:req tech spec in
+  let power = Explore.explore_typed ~metric:Explore.Power ~db ~kind:"mux" ~requirements:req tech spec in
   match (area, power) with
   | Ok a, Ok p ->
     checkb "scores measured in different units" true
@@ -71,9 +71,9 @@ let test_tune_variants () =
   let v1 = Smart_macros.Comparator.generate ~bits:8 ~xor_group:2 ~or_radix:4 () in
   let v2 = Smart_macros.Comparator.generate ~bits:8 ~xor_group:1 ~or_radix:8 () in
   match
-    Explore.tune ~variants:[ ("x2r4", v1); ("x1r8", v2) ] tech (C.spec 140.)
+    Explore.tune_typed ~variants:[ ("x2r4", v1); ("x1r8", v2) ] tech (C.spec 140.)
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
   | Ok r -> checkb "both sized" true (List.length r.Explore.ranked = 2)
 
 let test_sweep_monotone () =

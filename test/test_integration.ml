@@ -9,8 +9,13 @@ let checkb msg = Alcotest.(check bool) msg
 let test_advise_mux () =
   let db = Smart.Database.builtins () in
   let req = Smart.Database.requirements ~ext_load:30. 4 in
-  match Smart.advise ~db ~kind:"mux" ~requirements:req tech (Smart.Constraints.spec 140.) with
-  | Error e -> Alcotest.fail e
+  let request =
+    Smart.Request.make ~kind:"mux" ~bits:4 ~delay:140. ()
+    |> Smart.Request.with_tech tech
+    |> Smart.Request.with_requirements req
+  in
+  match Smart.run ~db request with
+  | Error e -> Alcotest.fail (Smart.Error.to_string e)
   | Ok advice ->
     let w = advice.Smart.ranking.Smart.Explore.winner in
     checkb "winner meets spec" true
@@ -38,8 +43,13 @@ let test_advise_respects_mutex_requirement () =
   let req =
     Smart.Database.requirements ~strongly_mutexed_selects:false ~ext_load:30. 4
   in
-  match Smart.advise ~db ~kind:"mux" ~requirements:req tech (Smart.Constraints.spec 150.) with
-  | Error e -> Alcotest.fail e
+  let request =
+    Smart.Request.make ~kind:"mux" ~bits:4 ~delay:150. ()
+    |> Smart.Request.with_tech tech
+    |> Smart.Request.with_requirements req
+  in
+  match Smart.run ~db request with
+  | Error e -> Alcotest.fail (Smart.Error.to_string e)
   | Ok advice ->
     List.iter
       (fun c ->
@@ -62,8 +72,13 @@ let test_designer_extension_flow () =
           Smart.Zero_detect.generate ~radix:8 ~bits:req.Smart.Database.bits ());
     };
   let req = Smart.Database.requirements ~ext_load:10. 4 in
-  match Smart.advise ~db ~kind:"zero-detect" ~requirements:req tech (Smart.Constraints.spec 120.) with
-  | Error e -> Alcotest.fail e
+  let request =
+    Smart.Request.make ~kind:"zero-detect" ~bits:4 ~delay:120. ()
+    |> Smart.Request.with_tech tech
+    |> Smart.Request.with_requirements req
+  in
+  match Smart.run ~db request with
+  | Error e -> Alcotest.fail (Smart.Error.to_string e)
   | Ok advice ->
     checkb "custom entry competed" true
       (List.exists
@@ -78,16 +93,17 @@ let test_full_paper_flow_small () =
      same performance -> width drops, timing holds (golden-verified). *)
   let info = Smart.Incrementor.generate ~bits:8 () in
   let nl = info.Smart.Macro.netlist in
-  match Smart.Sizer.minimize_delay tech nl (Smart.Constraints.spec 1e6) with
-  | Error e -> Alcotest.fail e
+  match Smart.Sizer.minimize_delay_typed tech nl (Smart.Constraints.spec 1e6) with
+  | Error e -> Alcotest.fail (Smart.Error.to_string e)
   | Ok md ->
     let bl =
       Smart.Baseline.size ~target:(1.2 *. md.Smart.Sizer.golden_min) tech nl
     in
     (match
-       Smart.Sizer.size tech nl (Smart.Constraints.spec bl.Smart.Baseline.achieved_delay)
+       Smart.Sizer.size_typed tech nl
+         (Smart.Constraints.spec bl.Smart.Baseline.achieved_delay)
      with
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Smart.Error.to_string e)
     | Ok o ->
       checkb "same performance" true
         (o.Smart.Sizer.achieved_delay

@@ -116,12 +116,12 @@ let test_regfile_structure () =
 
 let test_regfile_sizes () =
   let info = Regfile.generate ~words:8 ~width:2 () in
-  match Sizer.minimize_delay tech info.Macro.netlist (C.spec 1e6) with
-  | Error e -> Alcotest.fail e
+  match Sizer.minimize_delay_typed tech info.Macro.netlist (C.spec 1e6) with
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
   | Ok md -> (
     let target = 1.3 *. md.Sizer.golden_min in
-    match Sizer.size tech info.Macro.netlist (C.spec target) with
-    | Error e -> Alcotest.fail e
+    match Sizer.size_typed tech info.Macro.netlist (C.spec target) with
+    | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
     | Ok o -> checkb "meets spec" true (o.Sizer.achieved_delay <= target *. 1.03))
 
 (* ---------------- designer pinning (§2) ---------------- *)
@@ -131,8 +131,8 @@ let test_pinning_respected () =
   let nl = info.Macro.netlist in
   (* Pin the pass gates wide (noise immunity on a noisy region). *)
   let spec = C.spec ~pinned:[ ("N2", 12.) ] 120. in
-  match Sizer.size tech nl spec with
-  | Error e -> Alcotest.fail e
+  match Sizer.size_typed tech nl spec with
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
   | Ok o ->
     Alcotest.(check (float 0.01)) "pinned width held" 12.
       (o.Sizer.sizing_fn "N2");
@@ -143,8 +143,8 @@ let test_pinning_respected () =
 let test_pinning_changes_cost () =
   let info = Smart_macros.Mux.generate Smart_macros.Mux.Strongly_mutexed ~n:4 in
   let nl = info.Macro.netlist in
-  match (Sizer.size tech nl (C.spec 120.),
-         Sizer.size tech nl (C.spec ~pinned:[ ("N2", 12.) ] 120.)) with
+  match (Sizer.size_typed tech nl (C.spec 120.),
+         Sizer.size_typed tech nl (C.spec ~pinned:[ ("N2", 12.) ] 120.)) with
   | Ok free, Ok pinned ->
     checkb "pinning costs area" true
       (pinned.Sizer.total_width >= free.Sizer.total_width)
@@ -153,7 +153,7 @@ let test_pinning_changes_cost () =
 let test_pinning_clamped_to_bounds () =
   let info = Smart_macros.Mux.generate Smart_macros.Mux.Strongly_mutexed ~n:4 in
   let spec = C.spec ~pinned:[ ("N2", 1e9) ] 150. in
-  match Sizer.size tech info.Macro.netlist spec with
+  match Sizer.size_typed tech info.Macro.netlist spec with
   | Error _ -> () (* acceptable: absurd pin may be infeasible *)
   | Ok o ->
     checkb "clamped to w_max" true (o.Sizer.sizing_fn "N2" <= tech.Tech.w_max *. 1.01)

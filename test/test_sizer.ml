@@ -25,9 +25,9 @@ let chain () =
   B.freeze b
 
 let size_ok nl spec =
-  match Sizer.size tech nl spec with
+  match Sizer.size_typed tech nl spec with
   | Ok o -> o
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
 
 let test_meets_specification () =
   let nl = chain () in
@@ -58,12 +58,12 @@ let test_widths_within_bounds () =
 let test_infeasible_spec () =
   let nl = chain () in
   checkb "absurd target rejected" true
-    (match Sizer.size tech nl (C.spec 1.) with Error _ -> true | Ok _ -> false)
+    (match Sizer.size_typed tech nl (C.spec 1.) with Error _ -> true | Ok _ -> false)
 
 let test_minimize_delay () =
   let nl = chain () in
-  match Sizer.minimize_delay tech nl (C.spec 1e6) with
-  | Error e -> Alcotest.fail e
+  match Sizer.minimize_delay_typed tech nl (C.spec 1e6) with
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
   | Ok md ->
     checkb "positive" true (md.Sizer.golden_min > 5.);
     checkb "model and golden same ballpark" true
@@ -76,16 +76,16 @@ let test_minimize_delay () =
 
 let test_min_delay_hint_equivalence () =
   let nl = chain () in
-  match Sizer.minimize_delay tech nl (C.spec 1e6) with
-  | Error e -> Alcotest.fail e
+  match Sizer.minimize_delay_typed tech nl (C.spec 1e6) with
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
   | Ok md ->
     let spec = C.spec (1.25 *. md.Sizer.golden_min) in
     let without = size_ok nl spec in
     let options =
       { Sizer.default_options with Sizer.min_delay_hint = Some md.Sizer.model_min }
     in
-    (match Sizer.size ~options tech nl spec with
-    | Error e -> Alcotest.fail e
+    (match Sizer.size_typed ~options tech nl spec with
+    | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
     | Ok with_hint ->
       checkb "hint does not change the answer materially" true
         (abs_float (with_hint.Sizer.total_width -. without.Sizer.total_width)
@@ -95,8 +95,8 @@ let test_min_delay_hint_equivalence () =
 let test_domino_macro_sizing () =
   let info = Mux.generate Mux.Domino_unsplit ~n:8 in
   let nl = info.Macro.netlist in
-  match Sizer.minimize_delay tech nl (C.spec 1e6) with
-  | Error e -> Alcotest.fail e
+  match Sizer.minimize_delay_typed tech nl (C.spec 1e6) with
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
   | Ok md ->
     let target = 1.25 *. md.Sizer.golden_min in
     let o = size_ok nl (C.spec target) in
@@ -108,16 +108,16 @@ let test_domino_macro_sizing () =
 let test_objective_changes_solution () =
   let info = Mux.generate Mux.Domino_unsplit ~n:8 in
   let nl = info.Macro.netlist in
-  match Sizer.minimize_delay tech nl (C.spec 1e6) with
-  | Error e -> Alcotest.fail e
+  match Sizer.minimize_delay_typed tech nl (C.spec 1e6) with
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
   | Ok md ->
     let spec = C.spec (1.4 *. md.Sizer.golden_min) in
     let area = size_ok nl spec in
     let options =
       { Sizer.default_options with Sizer.objective = C.Clock_load }
     in
-    (match Sizer.size ~options tech nl spec with
-    | Error e -> Alcotest.fail e
+    (match Sizer.size_typed ~options tech nl spec with
+    | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
     | Ok clock ->
       checkb "clock objective trades clock for area" true
         (clock.Sizer.clock_load_width <= area.Sizer.clock_load_width *. 1.05))
