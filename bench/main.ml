@@ -19,6 +19,7 @@ let all_experiments =
     ("gp", "GP solver: warm-started hot path (BENCH_gp.json)");
     ("engine", "Engine: parallel evaluation + solve cache (BENCH_engine.json)");
     ("corners", "Smart_corners: robust multi-corner sizing (BENCH_corners.json)");
+    ("sparse", "Structured GP: corner families vs dense (BENCH_sparse.json)");
     ("serve", "Serve: daemon latency + persistent cache (BENCH_serve.json)");
     ("ablate", "Design-choice ablations");
     ("micro", "Bechamel micro-benchmarks");
@@ -34,6 +35,7 @@ let run_one ~fast = function
   | "gp" -> Exp_gp.run ~fast ()
   | "engine" -> Exp_engine.run ~fast ()
   | "corners" -> Exp_corners.run ~fast ()
+  | "sparse" -> ignore (Exp_sparse.run ~fast () : bool)
   | "serve" -> Exp_serve.run ~fast ()
   | "ablate" -> Exp_ablate.run ~fast ()
   | "micro" -> if not fast then Micro.run ()
@@ -88,11 +90,31 @@ let smoke_corners () =
   Printf.printf "\ncorner smoke: %s\n" (if ok then "OK" else "FAILED");
   exit (if ok then 0 else 1)
 
+(* Sparse smoke (dune build @sparse-smoke, pulled into @bench-smoke): the
+   structured-GP experiment at reduced size.  Fails when the structured
+   path silently fell back to dense (no families bundled) or diverged
+   from the dense reference — not just when the artifact is malformed. *)
+let smoke_sparse () =
+  let engaged = Exp_sparse.run ~fast:true () in
+  let ok =
+    engaged
+    && Runner.json_has_fields ~file:"BENCH_sparse.json"
+         [
+           "scenarios"; "families"; "bundled_constraints"; "blocks";
+           "wall_typ"; "wall_dense"; "wall_block"; "robust_typ_ratio";
+           "dense_block_speedup"; "newton_dense"; "newton_block";
+           "advice_max_rel_diff"; "workers";
+         ]
+  in
+  Printf.printf "\nsparse smoke: %s\n" (if ok then "OK" else "FAILED");
+  exit (if ok then 0 else 1)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then smoke ();
   if List.mem "--smoke-serve" args then smoke_serve ();
   if List.mem "--smoke-corners" args then smoke_corners ();
+  if List.mem "--smoke-sparse" args then smoke_sparse ();
   let fast = List.mem "--fast" args in
   let selected = List.filter (fun a -> a <> "--fast") args in
   let selected =

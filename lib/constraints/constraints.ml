@@ -39,19 +39,74 @@ type result = {
 
 (* Dominance pruning over a group of same-budget constraints: drop any
    whose posynomial is dominated term-by-term by a kept one (its constraint
-   is implied).  Longest (most-term) constraints are considered first. *)
-let prune_dominated constraints =
+   is implied).  Longest (most-term) constraints are considered first.
+
+   A dominator must contain every exponent vector of the dominated
+   posynomial, so the only kept constraints worth testing against a
+   candidate are those sharing the candidate's rarest term — an inverted
+   index on exponent vectors finds them directly.  Same kept set as the
+   all-pairs scan (no false negatives: a dominator contains the chosen
+   term too), but near-linear instead of quadratic in the group size.
+
+   With [rc_scales] the generated program stands in for a whole corner
+   set (the caller projects it per corner afterwards), so a constraint
+   may only be dropped when it is dominated at every scale. *)
+let prune_dominated ?rc_scales constraints =
+  let dominates =
+    match rc_scales with
+    | None -> Posy.dominates
+    | Some scales -> Posy.dominates_at ~scales
+  in
   let sorted =
     List.sort
       (fun (_, p) (_, q) -> compare (Posy.num_terms q) (Posy.num_terms p))
       constraints
   in
+  let module B = struct
+    type bucket = { mutable n : int; mutable items : Posy.t list }
+  end in
+  let index : ((string * float) list, B.bucket) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let bucket key =
+    match Hashtbl.find_opt index key with
+    | Some b -> b
+    | None ->
+      let b = { B.n = 0; B.items = [] } in
+      Hashtbl.replace index key b;
+      b
+  in
   let kept = ref [] in
   let dropped = ref 0 in
   List.iter
     (fun (name, p) ->
-      if List.exists (fun (_, k) -> Posy.dominates k p) !kept then incr dropped
-      else kept := (name, p) :: !kept)
+      let buckets =
+        List.map
+          (fun m -> bucket (Smart_posy.Monomial.exponents m))
+          (Posy.monomials p)
+      in
+      let rarest =
+        List.fold_left
+          (fun best (b : B.bucket) ->
+            match best with
+            | Some (cand : B.bucket) when cand.B.n <= b.B.n -> best
+            | _ -> Some b)
+          None buckets
+      in
+      let dominated =
+        match rarest with
+        | None -> false
+        | Some b -> List.exists (fun k -> dominates k p) b.B.items
+      in
+      if dominated then incr dropped
+      else begin
+        kept := (name, p) :: !kept;
+        List.iter
+          (fun (b : B.bucket) ->
+            b.B.n <- b.B.n + 1;
+            b.B.items <- p :: b.B.items)
+          buckets
+      end)
     sorted;
   (List.rev !kept, !dropped)
 
@@ -123,8 +178,8 @@ let sense_chains (netlist : Netlist.t) (p : Paths.path) =
 
 let delay_variable = "delay$"
 
-let generate_internal ~reductions ~budget ~objective_override ~objective tech
-    netlist spec =
+let generate_internal ?rc_scales ~reductions ~budget ~objective_override
+    ~objective tech netlist spec =
   let classes = Paths.classes ~reductions netlist in
   let paths, _stats = Paths.extract ~reductions netlist in
   let loads = Load.make tech netlist in
@@ -369,10 +424,12 @@ let generate_internal ~reductions ~budget ~objective_override ~objective tech
     | Some p -> p
     | None -> objective_posy objective netlist
   in
-  let timing_kept, dropped_t = prune_dominated (List.rev !timing) in
-  let stage_kept, dropped_s = prune_dominated (List.rev !stage) in
-  let slope_kept, dropped_sl = prune_dominated (List.rev !slope) in
-  let precharge_kept, dropped_p = prune_dominated (List.rev !precharge) in
+  let timing_kept, dropped_t = prune_dominated ?rc_scales (List.rev !timing) in
+  let stage_kept, dropped_s = prune_dominated ?rc_scales (List.rev !stage) in
+  let slope_kept, dropped_sl = prune_dominated ?rc_scales (List.rev !slope) in
+  let precharge_kept, dropped_p =
+    prune_dominated ?rc_scales (List.rev !precharge)
+  in
   let problem =
     Problem.make
       ~inequalities:(timing_kept @ stage_kept @ slope_kept @ precharge_kept)
@@ -390,9 +447,9 @@ let generate_internal ~reductions ~budget ~objective_override ~objective tech
     dominated_pruned = dropped_t + dropped_s + dropped_sl + dropped_p;
   }
 
-let generate ?(reductions = Paths.all_reductions) ?(objective = Area) tech
-    netlist spec =
-  generate_internal ~reductions ~budget:(`Const spec.target_delay)
+let generate ?rc_scales ?(reductions = Paths.all_reductions) ?(objective = Area)
+    tech netlist spec =
+  generate_internal ?rc_scales ~reductions ~budget:(`Const spec.target_delay)
     ~objective_override:None ~objective tech netlist spec
 
 let generate_min_delay ?(reductions = Paths.all_reductions) ?(area_weight = 1e-4)
@@ -402,6 +459,37 @@ let generate_min_delay ?(reductions = Paths.all_reductions) ?(area_weight = 1e-4
   in
   generate_internal ~reductions ~budget:`Var ~objective_override:(Some obj)
     ~objective:Area tech netlist spec
+
+(* Re-anchor a generated program at another corner of the same process
+   family: every coefficient is a polynomial in the corner scale [s]
+   (monomials track their RC-degree decomposition from the resistance
+   and capacitance leaves up), so projection is exact — identical to
+   regenerating at [Tech.scaled] up to floating-point rounding.  [None]
+   when any coefficient lost its decomposition, or the program carries
+   equalities (generation emits none). *)
+let project ~scale result =
+  if scale = 1. then Some result
+  else if result.problem.Problem.equalities <> [] then None
+  else
+    let exception Lost in
+    try
+      let posy p =
+        match Posy.project_rc scale p with
+        | Some q -> q
+        | None -> raise Lost
+      in
+      let problem =
+        {
+          result.problem with
+          Problem.objective = posy result.problem.Problem.objective;
+          Problem.inequalities =
+            List.map
+              (fun (n, p) -> (n, posy p))
+              result.problem.Problem.inequalities;
+        }
+      in
+      Some { result with problem; area = posy result.area }
+    with Lost -> None
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix

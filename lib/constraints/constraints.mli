@@ -60,6 +60,7 @@ type result = {
 }
 
 val generate :
+  ?rc_scales:float list ->
   ?reductions:Smart_paths.Paths.reductions ->
   ?objective:objective ->
   Smart_tech.Tech.t ->
@@ -76,7 +77,23 @@ val generate :
     sizing ({!Smart_corners.Corners.generate_robust}) relies on exactly
     this contract to tag and merge the per-corner programs into one GP,
     and to route per-corner budget factors by name through
-    {!rescale_factors}. *)
+    {!rescale_factors}.
+
+    [rc_scales] declares that the program will stand in for a whole set
+    of RC-scaled corners (the scales are relative to [tech], as
+    [sqrt] of the {!Smart_tech.Tech.rc_ratio}): dominance pruning then
+    only drops a constraint redundant at {e every} scale, so one
+    generation pass followed by {!project} per corner yields exactly the
+    per-corner programs — without repeating the pipeline per corner. *)
+
+val project : scale:float -> result -> result option
+(** Re-anchor a generated program at corner scale [scale] (relative to
+    the tech it was generated at): each coefficient's RC-degree
+    decomposition — maintained from the resistance/capacitance leaves
+    through every posynomial operation — is evaluated at the new scale.
+    Exact up to floating-point rounding; the identity at [1.].  [None]
+    when a coefficient's decomposition was lost ({!Smart_posy.Monomial.rc}
+    empty) — callers fall back to regenerating at the scaled tech. *)
 
 val rescale : result -> timing:float -> precharge:float -> result
 (** Tighten (factor < 1) or relax the timing budgets — the outer loop's

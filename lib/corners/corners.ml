@@ -109,16 +109,11 @@ type merged = {
   per_corner : (corner * Constraints.result) list;
 }
 
-let generate_robust ?(reductions = Paths.all_reductions)
-    ?(objective = Constraints.Area) (s : set) netlist spec =
-  let per_corner =
-    List.map
-      (fun c -> (c, Constraints.generate ~reductions ~objective c.tech netlist spec))
-      s
-  in
+let merge_generated per_corner =
+  if per_corner = [] then Err.fail "Corners: merge_generated on empty list";
   (* The objective (area / weighted width) is a pure function of the
      netlist's size labels — identical across corners; take any copy. *)
-  let _, first = List.hd per_corner in
+  let _, (first : Constraints.result) = List.hd per_corner in
   let problem =
     Problem.merge ~objective:first.Constraints.problem.Problem.objective
       (List.mapi
@@ -140,6 +135,62 @@ let generate_robust ?(reductions = Paths.all_reductions)
     }
   in
   { generated; per_corner }
+
+(* When every corner is a uniform RC excursion of the nominal one
+   ([Tech.rc_ratio] recognises each tech as [Tech.scaled] of the nominal
+   base), the per-corner programs share all structure — one generation
+   pass at the nominal corner, with coefficients carrying their RC-degree
+   decomposition, projects exactly onto the whole set.  [Some scales]
+   (one [sqrt rc_ratio] per corner, in corner order) when eligible. *)
+let projection_scales (s : set) =
+  let nom = nominal s in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | c :: rest -> (
+      match Tech.rc_ratio ~base:nom.tech c.tech with
+      | Some k -> go (sqrt k :: acc) rest
+      | None -> None)
+  in
+  go [] s
+
+let generate_projected ?(reductions = Paths.all_reductions)
+    ?(objective = Constraints.Area) (s : set) netlist spec =
+  match projection_scales s with
+  | None -> None
+  | Some scales ->
+    let nom = nominal s in
+    let base =
+      Constraints.generate ~rc_scales:scales ~reductions ~objective nom.tech
+        netlist spec
+    in
+    let rec go acc cs ss =
+      match (cs, ss) with
+      | [], [] -> Some (List.rev acc)
+      | c :: cs, scale :: ss -> (
+        match Constraints.project ~scale base with
+        | Some r -> go ((c, r) :: acc) cs ss
+        | None -> None)
+      | _ -> None
+    in
+    go [] s scales
+
+let generate_robust ?(reductions = Paths.all_reductions)
+    ?(objective = Constraints.Area) ?map (s : set) netlist spec =
+  (* Fast path: one nominal generation projected per corner (uniform
+     RC-scaled sets — the common case).  Otherwise the corners generate
+     independently; that is embarrassingly parallel (same netlist, one
+     tech per corner) and dominates the robust wall, so [map] lets the
+     caller fan the corners across a worker pool. *)
+  match generate_projected ~reductions ~objective s netlist spec with
+  | Some per_corner -> merge_generated per_corner
+  | None ->
+    let gen c =
+      Constraints.generate ~reductions ~objective c.tech netlist spec
+    in
+    let results =
+      match map with None -> List.map gen s | Some m -> m gen s
+    in
+    merge_generated (List.combine s results)
 
 let rescale_factors ~timing ~precharge name =
   match Problem.split_scenario name with

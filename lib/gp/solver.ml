@@ -5,6 +5,7 @@ module Monomial = Smart_posy.Monomial
 module Logspace = Smart_posy.Logspace
 module Vec = Smart_linalg.Vec
 module Mat = Smart_linalg.Mat
+module Block = Smart_linalg.Block
 
 let src = Logs.Src.create "smart.gp" ~doc:"SMART geometric program solver"
 
@@ -52,21 +53,63 @@ type compiled = {
   idx : Logspace.index;
   f0 : Logspace.t;
   cons : (string * Logspace.t) array;
+  bundle : bool;  (* family bundling requested at compile time *)
+  fams : (int array * Logspace.family) array;
+      (* bundled scenario copies; indices into [cons] *)
+  singles : int array;  (* unbundled constraints; indices into [cons] *)
 }
+
+(* Group scenario copies [<tag>@<name>] of one constraint by base name
+   and bundle each group whose compiled members share term structure
+   exactly (they do whenever the merge only rescaled coefficients — the
+   canonical compile order is coefficient-blind).  Bundled members
+   evaluate from one pass of dot products and one pass of exp per
+   family instead of one per member: on a 3-corner merge that removes
+   two thirds of the transcendental work dominating Newton assembly. *)
+let build_layout cons =
+  let groups = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iteri
+    (fun i (name, _) ->
+      match Problem.split_scenario name with
+      | None -> ()
+      | Some (_, base) -> (
+        match Hashtbl.find_opt groups base with
+        | None ->
+          Hashtbl.replace groups base [ i ];
+          order := base :: !order
+        | Some is -> Hashtbl.replace groups base (i :: is)))
+    cons;
+  let fams = ref [] in
+  let bundled = Array.make (max 1 (Array.length cons)) false in
+  List.iter
+    (fun base ->
+      let is = Array.of_list (List.rev (Hashtbl.find groups base)) in
+      if Array.length is >= 2 then
+        match Logspace.family_of (Array.map (fun i -> snd cons.(i)) is) with
+        | Some fam ->
+          Array.iter (fun i -> bundled.(i) <- true) is;
+          fams := (is, fam) :: !fams
+        | None -> ())
+    (List.rev !order);
+  let singles = ref [] in
+  Array.iteri (fun i _ -> if not bundled.(i) then singles := i :: !singles) cons;
+  (Array.of_list (List.rev !fams), Array.of_list (List.rev !singles))
 
 (* Per-problem reusable buffers: the Newton inner loop runs entirely in
    these, so repeated [resolve] calls on one prepared problem perform no
    heap allocation per iteration. *)
 type workspace = {
   scratch : Logspace.scratch;
-  h : Mat.t;  (* Hessian of the barrier *)
+  h : Mat.t;  (* Hessian of the barrier, lower triangle only *)
   g : Vec.t;  (* gradient *)
   d : Vec.t;  (* Newton direction *)
   trial : Vec.t;  (* line-search trial point *)
-  chol : Mat.t;  (* in-place Cholesky factor / ridge copy *)
+  chol : Mat.t;  (* in-place Cholesky factor / ridge copy (dense path) *)
   tmp : Vec.t;  (* substitution intermediate *)
   ybuf : Vec.t;  (* the barrier iterate *)
   ridge : float ref;  (* last successful regularisation shift *)
+  block : Block.ws option;  (* arrow-head Schur path; None = dense *)
 }
 
 type prepared = {
@@ -75,6 +118,7 @@ type prepared = {
   eliminated : (string * Monomial.t) list;
   c : compiled option;  (* None: fully determined by equalities *)
   ws : workspace option;
+  bstruct : Block.structure option;  (* detected arrow-head partition *)
 }
 
 let bounds_to_inequalities bounds =
@@ -91,26 +135,30 @@ let bounds_to_inequalities bounds =
       lo_c @ hi_c)
     bounds
 
-let compile (problem : Problem.t) =
+let compile ?order ?(bundle = true) (problem : Problem.t) =
   let ineqs = problem.inequalities @ bounds_to_inequalities problem.bounds in
-  let vars = Problem.variables problem in
-  let idx = Logspace.index_of_vars vars in
-  {
-    idx;
-    f0 = Logspace.compile idx problem.objective;
-    cons =
-      Array.of_list (List.map (fun (n, p) -> (n, Logspace.compile idx p)) ineqs);
-  }
-
-let make_workspace c =
-  let n = Logspace.index_size c.idx in
-  let max_terms =
-    Array.fold_left
-      (fun acc (_, f) -> max acc (Logspace.num_terms f))
-      (Logspace.num_terms c.f0) c.cons
+  let vars =
+    match order with Some o -> o | None -> Problem.variables problem
   in
+  let idx = Logspace.index_of_vars vars in
+  let cons =
+    Array.of_list (List.map (fun (n, p) -> (n, Logspace.compile idx p)) ineqs)
+  in
+  let fams, singles =
+    if bundle then build_layout cons
+    else ([||], Array.init (Array.length cons) Fun.id)
+  in
+  { idx; f0 = Logspace.compile idx problem.objective; cons; bundle; fams; singles }
+
+let max_terms c =
+  Array.fold_left
+    (fun acc (_, f) -> max acc (Logspace.num_terms f))
+    (Logspace.num_terms c.f0) c.cons
+
+let make_workspace ?bstruct c =
+  let n = Logspace.index_size c.idx in
   {
-    scratch = Logspace.make_scratch ~n ~max_terms;
+    scratch = Logspace.make_scratch ~n ~max_terms:(max_terms c);
     h = Mat.create n n;
     g = Vec.create n;
     d = Vec.create n;
@@ -119,16 +167,83 @@ let make_workspace c =
     tmp = Vec.create n;
     ybuf = Vec.create n;
     ridge = ref 0.;
+    block = Option.map Block.make_ws bstruct;
   }
 
-let prepare problem =
+(* Arrow-head detection on a merged problem: when scenarios carry
+   private variables, ordering the index privates-first/border-last
+   makes the Newton system block-sparse and {!Block} solves it at
+   O(sum n_i^3 + ...) instead of the dense cube.  Corner merges over a
+   single width vector have no private variables — the partition comes
+   back empty and the solver stays dense. *)
+let detect_blocks reduced =
+  match Problem.structure reduced with
+  | None -> None
+  | Some st ->
+    let privates =
+      List.filter (fun (_, vs) -> vs <> []) st.Problem.private_vars
+    in
+    if privates = [] then None
+    else begin
+      let order = List.concat_map snd privates @ st.Problem.shared in
+      let bst =
+        {
+          Block.sizes =
+            Array.of_list (List.map (fun (_, vs) -> List.length vs) privates);
+          border = List.length st.Problem.shared;
+        }
+      in
+      Some (order, bst)
+    end
+
+let prepare ?(structure = true) problem =
   let reduced, eliminated = Problem.eliminate_equalities problem in
   let reduced = Problem.default_bounds ~lo:1e-9 ~hi:1e9 reduced in
   match Problem.variables reduced with
-  | [] -> { problem; reduced; eliminated; c = None; ws = None }
+  | [] ->
+    { problem; reduced; eliminated; c = None; ws = None; bstruct = None }
   | _ ->
-    let c = compile reduced in
-    { problem; reduced; eliminated; c = Some c; ws = Some (make_workspace c) }
+    let detected = if structure then detect_blocks reduced else None in
+    let order = Option.map fst detected in
+    let bstruct = Option.map snd detected in
+    let c = compile ?order ~bundle:structure reduced in
+    {
+      problem;
+      reduced;
+      eliminated;
+      c = Some c;
+      ws = Some (make_workspace ?bstruct c);
+      bstruct;
+    }
+
+type structure_stats = {
+  families : int;
+  bundled_constraints : int;
+  scenarios : int;
+  blocks : int;
+}
+
+let structure_stats p =
+  match p.c with
+  | None -> { families = 0; bundled_constraints = 0; scenarios = 0; blocks = 0 }
+  | Some c ->
+    let tags = Hashtbl.create 8 in
+    Array.iter
+      (fun (name, _) ->
+        match Problem.split_scenario name with
+        | Some (tag, _) -> Hashtbl.replace tags tag ()
+        | None -> ())
+      c.cons;
+    {
+      families = Array.length c.fams;
+      bundled_constraints =
+        Array.fold_left (fun acc (is, _) -> acc + Array.length is) 0 c.fams;
+      scenarios = Hashtbl.length tags;
+      blocks =
+        (match p.bstruct with
+        | Some st -> Array.length st.Block.sizes
+        | None -> 0);
+    }
 
 let rescale_compiled p scale =
   match p.c with
@@ -137,26 +252,36 @@ let rescale_compiled p scale =
     (* [Logspace.rescale] is absolute (relative to compile time), so every
        constraint is re-patched each call — a factor reverting to 1.0
        restores the as-compiled coefficients. *)
-    Array.iter (fun (name, f) -> Logspace.rescale f (scale name)) c.cons
+    Array.iter (fun (name, f) -> Logspace.rescale f (scale name)) c.cons;
+    (* Family ratios are derived from the coefficients; refresh them. *)
+    Array.iter (fun (_, fam) -> Logspace.family_refresh fam) c.fams
 
 (* ------------------------------------------------------------------ *)
 (* Barrier method                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* phi_t(y) = t F0(y) - sum log(-F_k(y)); +inf when infeasible. *)
+(* phi_t(y) = t F0(y) - sum log(-F_k(y)); +inf when infeasible.
+   Bundled families evaluate all their members per shared exp pass. *)
 let barrier_value scratch c t y =
   let v0 = Logspace.value_ws scratch c.f0 y in
   let acc = ref (t *. v0) in
   (try
      Array.iter
-       (fun (_, f) ->
-         let v = Logspace.value_ws scratch f y in
+       (fun (_, fam) ->
+         if Logspace.family_value_ws scratch fam y ~phi:acc >= 0. then begin
+           acc := infinity;
+           raise Exit
+         end)
+       c.fams;
+     Array.iter
+       (fun i ->
+         let v = Logspace.value_ws scratch (snd c.cons.(i)) y in
          if v >= 0. then begin
            acc := infinity;
            raise Exit
          end;
          acc := !acc -. log (-.v))
-       c.cons
+       c.singles
    with Exit -> ());
   !acc
 
@@ -174,11 +299,21 @@ let feasible_with_margin c y =
    feasible iterate in [y], which is advanced in place.  Returns
    (inner iterations used, converged).  Allocation-free: every vector and
    matrix lives in the workspace. *)
+(* A centering can stall: near-singular Hessians at large t force
+   accepted steps with alpha ~ 2^-30 whose phi decrease is far below
+   anything that changes the outcome, yet the Newton decrement stays
+   above tolerance — without a guard such centerings burn the full
+   [max_newton] budget crawling.  Exiting after several consecutive
+   negligible decreases is safe: the next centering re-approaches the
+   central path at the larger t from a barely different point. *)
+let stall_limit = 8
+
 let newton_center opts ws c t y =
   let n = Logspace.index_size c.idx in
   let iters = ref 0 in
   let converged = ref false in
   let alpha_first = ref 1. in
+  let stalled = ref 0 in
   (try
      for _ = 1 to opts.max_newton do
        incr iters;
@@ -189,13 +324,26 @@ let newton_center opts ws c t y =
        let v0 = Logspace.add_objective_term ws.scratch c.f0 y ~weight:t ws.h ws.g in
        let phi0 = ref (t *. v0) in
        Array.iter
-         (fun (_, f) ->
-           let vk = Logspace.add_barrier_term ws.scratch f y ws.h ws.g in
+         (fun (_, fam) ->
+           let worst =
+             Logspace.add_barrier_family ws.scratch fam y ws.h ws.g ~phi:phi0
+           in
+           if worst >= 0. then
+             Err.fail "Gp.Solver: lost feasibility during Newton")
+         c.fams;
+       Array.iter
+         (fun i ->
+           let vk =
+             Logspace.add_barrier_term ws.scratch (snd c.cons.(i)) y ws.h ws.g
+           in
            if vk >= 0. then Err.fail "Gp.Solver: lost feasibility during Newton";
            phi0 := !phi0 -. log (-.vk))
-         c.cons;
-       Mat.solve_spd_ridge_into ~hint:ws.ridge ~work:ws.chol ~tmp:ws.tmp ws.h
-         ws.g ws.d;
+         c.singles;
+       (match ws.block with
+       | Some b -> Block.solve_spd_ridge_into ~hint:ws.ridge b ws.h ws.g ws.d
+       | None ->
+         Mat.solve_spd_ridge_into ~hint:ws.ridge ~work:ws.chol ~tmp:ws.tmp ws.h
+           ws.g ws.d);
        let lambda2 = Vec.dot ws.g ws.d in
        if lambda2 /. 2. < opts.newton_tol then begin
          converged := true;
@@ -214,6 +362,7 @@ let newton_center opts ws c t y =
        let alpha = ref (Float.min 1. (!alpha_first *. 4.)) in
        let accepted = ref false in
        let backtracks = ref 0 in
+       let decrease = ref 0. in
        while (not !accepted) && !backtracks < 60 do
          Array.blit y 0 ws.trial 0 n;
          Vec.axpy (-. !alpha) ws.d ws.trial;
@@ -221,7 +370,8 @@ let newton_center opts ws c t y =
          if phi <= !phi0 -. (0.25 *. !alpha *. lambda2) then begin
            Array.blit ws.trial 0 y 0 n;
            accepted := true;
-           alpha_first := !alpha
+           alpha_first := !alpha;
+           decrease := !phi0 -. phi
          end
          else begin
            alpha := !alpha /. 2.;
@@ -232,7 +382,15 @@ let newton_center opts ws c t y =
          (* Step direction yields no progress: accept current point. *)
          converged := true;
          raise Exit
+       end;
+       if !decrease < opts.newton_tol then begin
+         incr stalled;
+         if !stalled >= stall_limit then begin
+           converged := true;
+           raise Exit
+         end
        end
+       else stalled := 0
      done
    with Exit -> ());
   (!iters, !converged)
@@ -314,11 +472,24 @@ let phase1 opts c y_init =
         (fun (name, p) -> (name, Logspace.compile idx1 p))
         (bounds_to_inequalities [ (slack_var, 1e-9, 1e12) ])
     in
+    let cons1 = Array.append relaxed (Array.of_list slack_bounds) in
+    (* The relaxed scenario copies still share term structure (mul_var
+       applies the same insertion to every member), so family bundling
+       carries over to phase I.  The block path does not: the slack
+       couples every constraint, growing the border — phase I is the
+       cold path, the dense solve there is fine. *)
+    let fams1, singles1 =
+      if c.bundle then build_layout cons1
+      else ([||], Array.init (Array.length cons1) Fun.id)
+    in
     let c1 =
       {
         idx = idx1;
         f0 = Logspace.compile idx1 (Posy.var slack_var);
-        cons = Array.append relaxed (Array.of_list slack_bounds);
+        cons = cons1;
+        bundle = c.bundle;
+        fams = fams1;
+        singles = singles1;
       }
     in
     let ws1 = make_workspace c1 in
@@ -498,7 +669,13 @@ let solve_attrs = function
   | Error e -> [ ("status", Tracepoint.Str ("error: " ^ e)) ]
 
 let resolve ?options ?warm p =
-  Tracepoint.timed "gp.solve" ~attrs:solve_attrs (fun () ->
+  let st = structure_stats p in
+  let attrs r =
+    ("families", Tracepoint.Int st.families)
+    :: ("blocks", Tracepoint.Int st.blocks)
+    :: solve_attrs r
+  in
+  Tracepoint.timed "gp.solve" ~attrs (fun () ->
       Ok (resolve_impl ?options ?warm p))
 
 let solve ?options problem =
@@ -529,17 +706,22 @@ let lookup sol v =
 let kkt_residual problem sol =
   let reduced, _eliminated = Problem.eliminate_equalities problem in
   let reduced = Problem.default_bounds ~lo:1e-9 ~hi:1e9 reduced in
-  let c = compile reduced in
+  let c = compile ~bundle:false reduced in
+  let n = Logspace.index_size c.idx in
   let y =
-    Vec.init (Logspace.index_size c.idx) (fun i ->
-        log (lookup sol (Logspace.index_name c.idx i)))
+    Vec.init n (fun i -> log (lookup sol (Logspace.index_name c.idx i)))
   in
-  let _, g0 = Logspace.value_grad c.f0 y in
-  let r = Vec.copy g0 in
+  (* One scratch for the whole residual: per-constraint gradients are
+     accumulated straight into [r] (scaled by the dual), so the loop
+     allocates nothing — this runs per certification, over every
+     constraint of the merged problem. *)
+  let scratch = Logspace.make_scratch ~n ~max_terms:(max_terms c) in
+  let r = Vec.create n in
+  let (_ : float) = Logspace.add_scaled_grad scratch c.f0 y 1. r in
   Array.iter
-    (fun (n, f) ->
-      let lambda = try List.assoc n sol.duals with Not_found -> 0. in
-      let _, gk = Logspace.value_grad f y in
-      Vec.axpy lambda gk r)
+    (fun (name, f) ->
+      let lambda = try List.assoc name sol.duals with Not_found -> 0. in
+      let (_ : float) = Logspace.add_scaled_grad scratch f y lambda r in
+      ())
     c.cons;
   Vec.norm_inf r

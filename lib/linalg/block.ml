@@ -1,0 +1,217 @@
+module Err = Smart_util.Err
+
+(* Arrow-head SPD systems
+       [ A_1           C_1^T ]
+       [      ...      ...   ]
+       [          A_p  C_p^T ]
+       [ C_1  ...  C_p  D    ]
+   in block-ordered dense storage: variables of block 1, ..., block p,
+   then the shared border.  Only the lower triangle of the input is read
+   (the assembly convention shared with Mat.cholesky_inplace), so the
+   coupling strips C_i live in the border rows and the cross-block
+   rectangles are never touched — they are structurally zero.
+
+   The solve Cholesky-factors each A_i independently, forms the border
+   Schur complement S = D - sum_i C_i A_i^-1 C_i^T, factors S, and
+   back-substitutes — O(sum n_i^3 + s^2 sum n_i + s^3) instead of the
+   dense O((sum n_i + s)^3). *)
+
+type structure = { sizes : int array; border : int }
+
+let dim st = Array.fold_left ( + ) st.border st.sizes
+
+let validate st =
+  if st.border < 0 then Err.fail "Block: negative border size";
+  Array.iter (fun n -> if n <= 0 then Err.fail "Block: non-positive block size") st.sizes
+
+(* Workspaces are preallocated per structure and reused across solves —
+   the same in-place contract as Mat.solve_spd_ridge_into.  All hot
+   buffers are flat float arrays (OCaml unboxes float array elements). *)
+type ws = {
+  st : structure;
+  offs : int array;  (* block start offsets; offs.(p) = total block vars *)
+  bf : Mat.t array;  (* per-block Cholesky workspace, n_i x n_i *)
+  w : Mat.t array;  (* per-block L_i^-1 C_i^T, n_i x s *)
+  schur : Mat.t;  (* border Schur complement / factor, s x s *)
+  u : Vec.t;  (* L_i^-1 b_i per block, concatenated *)
+  rhs_s : Vec.t;  (* border right-hand side *)
+  x_s : Vec.t;  (* border solution *)
+  tmpb : Vec.t;  (* per-block intermediate, max n_i *)
+}
+
+let make_ws st =
+  validate st;
+  let p = Array.length st.sizes in
+  let offs = Array.make (p + 1) 0 in
+  for i = 0 to p - 1 do
+    offs.(i + 1) <- offs.(i) + st.sizes.(i)
+  done;
+  let maxb = Array.fold_left max 1 st.sizes in
+  {
+    st;
+    offs;
+    bf = Array.map (fun n -> Mat.create n n) st.sizes;
+    w = Array.map (fun n -> Mat.create n st.border) st.sizes;
+    schur = Mat.create st.border st.border;
+    u = Vec.create offs.(p);
+    rhs_s = Vec.create st.border;
+    x_s = Vec.create st.border;
+    tmpb = Vec.create maxb;
+  }
+
+(* One factorization + solve attempt at a fixed ridge; false when any
+   Cholesky (block or Schur) fails.  [a] is read lower-triangle-only. *)
+let attempt ws a b x ridge =
+  let st = ws.st in
+  let p = Array.length st.sizes in
+  let nb = ws.offs.(p) in
+  let s = st.border in
+  let ad = Mat.data a in
+  let n = fst (Mat.dims a) in
+  let ok = ref true in
+  (* Border Schur accumulator starts from D + ridge*I and the border rhs;
+     only the lower triangle of [schur] is maintained. *)
+  let sd = Mat.data ws.schur in
+  for i = 0 to s - 1 do
+    let arow = (nb + i) * n in
+    let srow = i * s in
+    for j = 0 to i do
+      sd.(srow + j) <- ad.(arow + nb + j)
+    done;
+    sd.((i * s) + i) <- sd.((i * s) + i) +. ridge;
+    ws.rhs_s.(i) <- b.(nb + i)
+  done;
+  (try
+     for bi = 0 to p - 1 do
+       let o = ws.offs.(bi) in
+       let ni = st.sizes.(bi) in
+       let f = ws.bf.(bi) in
+       let fd = Mat.data f in
+       (* Copy A_i's lower triangle (+ ridge) out of the big matrix. *)
+       for i = 0 to ni - 1 do
+         let arow = (o + i) * n in
+         let frow = i * ni in
+         for j = 0 to i do
+           fd.(frow + j) <- ad.(arow + o + j)
+         done;
+         fd.(frow + i) <- fd.(frow + i) +. ridge
+       done;
+       if not (Mat.cholesky_inplace f) then begin
+         ok := false;
+         raise Exit
+       end;
+       (* W_i = L_i^-1 C_i^T, all border columns advanced together:
+          column j of C_i^T is border row nb+j restricted to this block. *)
+       let wd = Mat.data ws.w.(bi) in
+       for r = 0 to ni - 1 do
+         let wrow = r * s in
+         for j = 0 to s - 1 do
+           wd.(wrow + j) <- ad.(((nb + j) * n) + o + r)
+         done;
+         let frow = r * ni in
+         for k = 0 to r - 1 do
+           let l = fd.(frow + k) in
+           if l <> 0. then begin
+             let krow = k * s in
+             for j = 0 to s - 1 do
+               wd.(wrow + j) <- wd.(wrow + j) -. (l *. wd.(krow + j))
+             done
+           end
+         done;
+         let inv = 1. /. fd.(frow + r) in
+         for j = 0 to s - 1 do
+           wd.(wrow + j) <- wd.(wrow + j) *. inv
+         done
+       done;
+       (* u_i = L_i^-1 b_i. *)
+       for r = 0 to ni - 1 do
+         let sum = ref b.(o + r) in
+         let frow = r * ni in
+         for k = 0 to r - 1 do
+           sum := !sum -. (fd.(frow + k) *. ws.u.(o + k))
+         done;
+         ws.u.(o + r) <- !sum /. fd.(frow + r)
+       done;
+       (* S -= W_i^T W_i (lower triangle), rhs_s -= W_i^T u_i. *)
+       for r = 0 to ni - 1 do
+         let wrow = r * s in
+         let ur = ws.u.(o + r) in
+         for i = 0 to s - 1 do
+           let wi = wd.(wrow + i) in
+           if wi <> 0. then begin
+             let srow = i * s in
+             for j = 0 to i do
+               sd.(srow + j) <- sd.(srow + j) -. (wi *. wd.(wrow + j))
+             done
+           end;
+           ws.rhs_s.(i) <- ws.rhs_s.(i) -. (wi *. ur)
+         done
+       done
+     done;
+     if s > 0 && not (Mat.cholesky_inplace ws.schur) then begin
+       ok := false;
+       raise Exit
+     end
+   with Exit -> ());
+  if !ok then begin
+    (* Border solve, then per-block back-substitution
+       x_i = L_i^-T (u_i - W_i x_s). *)
+    if s > 0 then begin
+      Mat.forward_subst_into ws.schur ws.rhs_s ws.x_s;
+      Mat.backward_subst_t_into ws.schur ws.x_s ws.x_s
+    end;
+    for i = 0 to s - 1 do
+      x.(nb + i) <- ws.x_s.(i)
+    done;
+    for bi = 0 to p - 1 do
+      let o = ws.offs.(bi) in
+      let ni = st.sizes.(bi) in
+      let fd = Mat.data ws.bf.(bi) in
+      let wd = Mat.data ws.w.(bi) in
+      for r = 0 to ni - 1 do
+        let wrow = r * s in
+        let acc = ref ws.u.(o + r) in
+        for j = 0 to s - 1 do
+          acc := !acc -. (wd.(wrow + j) *. ws.x_s.(j))
+        done;
+        ws.tmpb.(r) <- !acc
+      done;
+      for r = ni - 1 downto 0 do
+        let sum = ref ws.tmpb.(r) in
+        for k = r + 1 to ni - 1 do
+          sum := !sum -. (fd.((k * ni) + r) *. x.(o + k))
+        done;
+        x.(o + r) <- !sum /. fd.((r * ni) + r)
+      done
+    done
+  end;
+  !ok
+
+(* Same ridge-escalation policy as Mat.solve_spd_ridge_into: scale-relative
+   rungs, optional cross-call hint restarting one rung below the previous
+   success, hard failure past 10 * n * scale. *)
+let solve_spd_ridge_into ?hint ws a b x =
+  let n = dim ws.st in
+  let ar, ac = Mat.dims a in
+  if ar <> n || ac <> n then
+    Err.fail "Block.solve_spd_ridge_into: %dx%d matrix for structure of dim %d"
+      ar ac n;
+  if Vec.dim b <> n || Vec.dim x <> n then
+    Err.fail "Block.solve_spd_ridge_into: vector dimension mismatch";
+  let scale = ref 0. in
+  for i = 0 to n - 1 do
+    let d = abs_float (Mat.get a i i) in
+    if d > !scale then scale := d
+  done;
+  let scale = Float.max !scale 1. in
+  let rec go ridge =
+    if attempt ws a b x ridge then
+      match hint with Some h -> h := ridge | None -> ()
+    else if ridge > 10. *. float_of_int n *. scale then
+      Err.fail "Block.solve_spd_ridge: cannot regularise"
+    else if ridge = 0. then go (1e-12 *. scale)
+    else go (ridge *. 100.)
+  in
+  match hint with
+  | Some h when !h > 0. -> go (Float.max (!h /. 100.) (1e-12 *. scale))
+  | _ -> go 0.

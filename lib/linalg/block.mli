@@ -1,0 +1,39 @@
+(** Arrow-head SPD solves via per-block Cholesky + border Schur complement.
+
+    A merged multi-scenario Newton system couples scenario-private
+    variables only through a shared border (the size labels), giving the
+    Hessian an arrow-head shape: independent diagonal blocks [A_i] plus
+    coupling strips [C_i] into a border block [D].  This module factors
+    each [A_i] independently, forms the border Schur complement
+    [S = D - sum_i C_i A_i^-1 C_i^T], and back-substitutes — cost
+    [O(sum n_i^3 + s^2 sum n_i + s^3)] instead of the dense
+    [O((sum n_i + s)^3)].
+
+    Storage convention: the matrix is dense row-major ({!Mat.t}) with
+    variables ordered block 1, ..., block p, then the border; only the
+    {e lower triangle} is read (the convention of the solver's Hessian
+    assembly and {!Mat.cholesky_inplace}), so the structurally-zero
+    cross-block rectangles are never touched. *)
+
+type structure = {
+  sizes : int array;  (** per-block variable counts (each > 0) *)
+  border : int;  (** shared-border variable count *)
+}
+
+val dim : structure -> int
+(** Total system dimension: [sum sizes + border]. *)
+
+type ws
+(** Preallocated factorization workspace (per-block factors, coupling
+    strips, Schur matrix).  One per solver instance; reused across
+    solves so the steady state allocates nothing. *)
+
+val make_ws : structure -> ws
+
+val solve_spd_ridge_into : ?hint:float ref -> ws -> Mat.t -> Vec.t -> Vec.t -> unit
+(** [solve_spd_ridge_into ws a b x] solves [a x = b] for an arrow-head
+    SPD [a] in block order, writing the solution into [x].  Same
+    contract as {!Mat.solve_spd_ridge_into}: [a] and [b] are not
+    modified, factorization failures retry with scale-relative diagonal
+    ridge escalation (applied to every block and the border alike), and
+    [hint] carries the successful ridge across calls. *)

@@ -24,15 +24,46 @@ let blit src dst =
 
 let transpose m = init m.cols m.rows (fun i j -> get m j i)
 
+let matvec_into m v out =
+  if Vec.dim v <> m.cols || Vec.dim out <> m.rows then
+    Err.fail "Mat.matvec_into: %dx%d matrix, %d-vector in, %d-vector out" m.rows
+      m.cols (Vec.dim v) (Vec.dim out);
+  let d = m.data in
+  for i = 0 to m.rows - 1 do
+    let row = i * m.cols in
+    let acc = ref 0. in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. (d.(row + j) *. v.(j))
+    done;
+    out.(i) <- !acc
+  done
+
 let matvec m v =
-  if Vec.dim v <> m.cols then
-    Err.fail "Mat.matvec: %dx%d matrix applied to %d-vector" m.rows m.cols (Vec.dim v);
-  Array.init m.rows (fun i ->
-      let acc = ref 0. in
-      for j = 0 to m.cols - 1 do
-        acc := !acc +. (get m i j *. v.(j))
-      done;
-      !acc)
+  let out = Vec.create m.rows in
+  matvec_into m v out;
+  out
+
+(* Symmetric matvec reading only the lower triangle: each subdiagonal
+   element a(i,j) contributes to both y(i) and y(j), so matrices whose
+   upper triangle is stale (the solver's Hessians, Cholesky workspaces)
+   multiply correctly. *)
+let symv_lower_into m x y =
+  if m.rows <> m.cols || Vec.dim x <> m.cols || Vec.dim y <> m.rows then
+    Err.fail "Mat.symv_lower_into: dimension mismatch";
+  let n = m.rows in
+  let d = m.data in
+  Array.fill y 0 n 0.;
+  for i = 0 to n - 1 do
+    let row = i * n in
+    let xi = x.(i) in
+    let acc = ref (d.(row + i) *. xi) in
+    for j = 0 to i - 1 do
+      let a = d.(row + j) in
+      acc := !acc +. (a *. x.(j));
+      y.(j) <- y.(j) +. (a *. xi)
+    done;
+    y.(i) <- y.(i) +. !acc
+  done
 
 let matmul a b =
   if a.cols <> b.rows then

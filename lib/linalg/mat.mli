@@ -32,6 +32,17 @@ val blit : t -> t -> unit
 
 val transpose : t -> t
 val matvec : t -> Vec.t -> Vec.t
+
+val matvec_into : t -> Vec.t -> Vec.t -> unit
+(** [matvec_into m v out] writes [m v] into [out] without allocating.
+    {!matvec} is this plus a fresh result vector. *)
+
+val symv_lower_into : t -> Vec.t -> Vec.t -> unit
+(** [symv_lower_into m x y] writes [m x] into [y] for a symmetric [m]
+    whose {e lower triangle only} is valid (the upper may be stale) —
+    the storage convention of the solver's Hessian assembly and
+    {!cholesky_inplace}.  Allocation-free. *)
+
 val matmul : t -> t -> t
 val add : t -> t -> t
 val scale : float -> t -> t
@@ -47,6 +58,14 @@ val cholesky_inplace : t -> bool
 (** Overwrite the lower triangle with the Cholesky factor L (the upper
     triangle is left stale); [false] when not numerically SPD.  The
     allocation-free core of {!cholesky} / {!solve_spd_ridge_into}. *)
+
+val forward_subst_into : t -> Vec.t -> Vec.t -> unit
+(** [forward_subst_into l b y] solves [L y = b] for lower-triangular [l]
+    (upper triangle ignored), allocation-free. *)
+
+val backward_subst_t_into : t -> Vec.t -> Vec.t -> unit
+(** [backward_subst_t_into l y x] solves [L^T x = y] for lower-triangular
+    [l], allocation-free.  [x] and [y] may be the same vector. *)
 
 val cholesky_solve : t -> Vec.t -> Vec.t option
 (** [cholesky_solve a b] solves [a x = b] for SPD [a]. *)

@@ -23,9 +23,16 @@ val index_name : index -> int -> string
 val index_names : index -> string list
 
 type t
-(** A compiled posynomial [F(y) = logsumexp_i (a_i . y + b_i)]. *)
+(** A compiled posynomial [F(y) = logsumexp_i (a_i . y + b_i)], stored as
+    flat CSR arrays (term offsets / column indices / exponents) so the
+    evaluation loops run over unboxed floats. *)
 
 val compile : index -> Posy.t -> t
+(** Terms are ordered canonically by exponent row (total because a
+    {!Posy.t} holds at most one monomial per distinct exponent vector).
+    The order depends only on the rows, never the coefficients, so
+    scenario copies of one constraint — same structure, scaled
+    coefficients — compile to term-aligned forms ({!family_of}). *)
 
 val value : t -> Smart_linalg.Vec.t -> float
 (** [value f y] is [F(y)] = log of the posynomial at [x = exp y]. *)
@@ -35,9 +42,13 @@ val value_grad : t -> Smart_linalg.Vec.t -> float * Smart_linalg.Vec.t
 
 val add_weighted_hessian :
   t -> Smart_linalg.Vec.t -> float -> Smart_linalg.Mat.t -> float * Smart_linalg.Vec.t
-(** [add_weighted_hessian f y w h] accumulates [w * hess F(y)] into [h]
-    (in place) and returns [(F(y), grad F(y))].  The Hessian of a
-    logsumexp is [sum_i p_i a_i a_i^T - g g^T] with softmax weights [p]. *)
+(** [add_weighted_hessian f y w h] accumulates [w * hess F(y)] into the
+    {e lower triangle} of [h] (in place) and returns [(F(y), grad F(y))].
+    The Hessian of a logsumexp is [sum_i p_i a_i a_i^T - g g^T] with
+    softmax weights [p].  The upper triangle of [h] is never written —
+    the Cholesky-based solves read the lower only, and mirroring would
+    double the assembly cost; readers wanting the full matrix must
+    symmetrize. *)
 
 val num_terms : t -> int
 
@@ -79,14 +90,71 @@ val add_objective_term :
   scratch -> t -> Smart_linalg.Vec.t -> weight:float ->
   Smart_linalg.Mat.t -> Smart_linalg.Vec.t -> float
 (** [add_objective_term s f y ~weight h g] accumulates
-    [weight * hess F(y)] into [h] and [weight * grad F(y)] into [g]
-    (both in place, touching only the support) and returns [F(y)].
-    Allocation-free. *)
+    [weight * hess F(y)] into the lower triangle of [h] and
+    [weight * grad F(y)] into [g] (both in place, touching only the
+    support) and returns [F(y)].  Allocation-free. *)
 
 val add_barrier_term :
   scratch -> t -> Smart_linalg.Vec.t ->
   Smart_linalg.Mat.t -> Smart_linalg.Vec.t -> float
 (** [add_barrier_term s f y h g] accumulates the Hessian and gradient of
-    the log-barrier term [-log(-F(y))] into [h] and [g] and returns
-    [F(y)].  When [F(y) >= 0] (infeasible) it returns the value without
-    touching [h] or [g].  Allocation-free. *)
+    the log-barrier term [-log(-F(y))] into the lower triangle of [h]
+    and into [g], and returns [F(y)].  When [F(y) >= 0] (infeasible) it
+    returns the value without touching [h] or [g].  Single-term
+    posynomials (bounds, monomial constraints) skip the softmax
+    entirely: no [exp]/[log] on that path.  Allocation-free. *)
+
+val add_scaled_grad :
+  scratch -> t -> Smart_linalg.Vec.t -> float -> Smart_linalg.Vec.t -> float
+(** [add_scaled_grad s f y lambda r] accumulates [lambda * grad F(y)]
+    into [r] (touching only the support) and returns [F(y)].
+    Allocation-free — the KKT residual assembly's replacement for
+    {!value_grad}. *)
+
+(** {2 Constraint families}
+
+    A merged multi-scenario problem carries one copy of each constraint
+    per scenario; the copies share exponent rows exactly (corner merges
+    scale RC products and budgets, never exponents) and, thanks to the
+    canonical {!compile} order, share term order too.  A {!family}
+    evaluates all members from a single pass of term dot products and a
+    single pass of [exp]: member [c]'s softmax terms are
+    [ratio_c(i) * E_i] with [E_i] the shared shifted exponentials and
+    [ratio_c(i) = coef_c(i)/coef_0(i)] precomputed, so per-member work is
+    multiply-adds.  The shared term-part Hessian
+    [sum_i (sum_c w_c p_ci) a_i a_i^T] is accumulated once with combined
+    weights; only the rank-one gradient outer products stay per-member.
+    Results agree with the member-at-a-time path up to roundoff. *)
+
+type family
+
+val family_of : t array -> family option
+(** [family_of members] bundles the compiled forms when they share term
+    structure exactly (same rows, same order); [None] when they differ
+    or fewer than two members are given.  Coefficient ratios are
+    captured from the members' current (possibly rescaled) values. *)
+
+val family_refresh : family -> unit
+(** Recompute the coefficient ratios from the members' current
+    coefficients — required after {!rescale} of any member. *)
+
+val family_size : family -> int
+(** Number of member scenarios. *)
+
+val family_terms : family -> int
+(** Terms per member (shared). *)
+
+val add_barrier_family :
+  scratch -> family -> Smart_linalg.Vec.t ->
+  Smart_linalg.Mat.t -> Smart_linalg.Vec.t -> phi:float ref -> float
+(** [add_barrier_family s fam y h g ~phi] accumulates every member's
+    log-barrier Hessian (lower triangle) and gradient into [h] and [g],
+    adds [sum_c -log(-F_c(y))] to [phi], and returns the worst (largest)
+    member value.  When that value is [>= 0] (some member infeasible)
+    nothing is written.  Allocation-free. *)
+
+val family_value_ws :
+  scratch -> family -> Smart_linalg.Vec.t -> phi:float ref -> float
+(** Line-search companion: adds the members' barrier values to [phi]
+    (only when all are feasible) and returns the worst member value.
+    Allocation-free. *)

@@ -5,6 +5,8 @@ module Constraints = Smart_constraints.Constraints
 module Corners = Smart_corners.Corners
 module Paths = Smart_paths.Paths
 module Solver = Smart_gp.Solver
+module Problem = Smart_gp.Problem
+module Posy = Smart_posy.Posy
 module Sta = Smart_sta.Sta
 
 let src = Logs.Src.create "smart.sizer" ~doc:"SMART sizing engine"
@@ -20,6 +22,7 @@ type options = {
   gp_options : Solver.options;
   min_delay_hint : float option;
   gp_warm_start : bool;
+  gp_structure : bool;
   certify : bool;
 }
 
@@ -33,6 +36,7 @@ let default_options =
     gp_options = Solver.default_options;
     min_delay_hint = None;
     gp_warm_start = true;
+    gp_structure = true;
     certify = false;
   }
 
@@ -48,6 +52,7 @@ type outcome = {
   gp_newton_iterations : int;
   gp_warm_rounds : int;
   gp_newton_per_round : int list;
+  gp_families : int;
   certified_rounds : int;
   converged : bool;
   constraint_stats : Constraints.result;
@@ -100,7 +105,10 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
   (* Compile the program once; every respecification round only patches
      the compiled budget coefficients and re-solves, warm-started from the
      previous round's log-space solution. *)
-  let prepared = Solver.prepare generated.Constraints.problem in
+  let prepared =
+    Solver.prepare ~structure:options.gp_structure generated.Constraints.problem
+  in
+  let gp_families = (Solver.structure_stats prepared).Solver.families in
   let warm = ref None in
   (* Warm-start policy: hold one anchor snapshot while it keeps working,
      re-anchor only after a round that fell back to phase I.  Under the
@@ -248,6 +256,7 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
                gp_newton_iterations = !total_newton;
                gp_warm_rounds = !warm_rounds;
                gp_newton_per_round = List.rev !newton_per_round;
+               gp_families;
                certified_rounds = !certified;
                converged = true;
                constraint_stats = generated;
@@ -329,6 +338,7 @@ let size_typed ?options tech netlist spec =
               (String.concat ","
                  (List.map string_of_int o.gp_newton_per_round)) );
           ("sta_verifies", Tracepoint.Int (2 * o.iterations));
+          ("gp_families", Tracepoint.Int o.gp_families);
           ("achieved_ps", Tracepoint.Float o.achieved_delay);
         ]
       | Error e ->
@@ -363,14 +373,73 @@ type robust_outcome = {
 
 let size_robust_impl ?(options = default_options) ?(mapper = sequential_mapper)
     corners netlist spec =
-  let merged =
-    Corners.generate_robust ~reductions:options.reductions
-      ~objective:options.objective corners netlist spec
-  in
-  let generated = merged.Corners.generated in
   let corner_list = Corners.to_list corners in
   let indexed = List.mapi (fun i c -> (i, c)) corner_list in
   let n = List.length corner_list in
+  (* The structurally worst corner (largest RC product) anchors the
+     min-delay pre-solve below. *)
+  let worst_corner =
+    List.fold_left
+      (fun (bc : Corners.corner) (cc : Corners.corner) ->
+        if cc.Corners.rc_scale > bc.Corners.rc_scale then cc else bc)
+      (List.hd corner_list) (List.tl corner_list)
+  in
+  (* One batch of constraint generations through the mapper: the corner
+     programs, plus — when no hint spares it — the pre-solve's min-delay
+     program at the worst corner.  A uniform RC-scaled corner set (the
+     common case) collapses to one projected generation pass
+     ([Corners.generate_projected]); heterogeneous sets generate per
+     corner, where an engine-supplied mapper can still fan the
+     independent tasks across its worker pool. *)
+  let needs_min_delay = options.min_delay_hint = None in
+  let gen_corner (c : Corners.corner) =
+    Constraints.generate ~reductions:options.reductions
+      ~objective:options.objective c.Corners.tech netlist spec
+  in
+  let tasks =
+    (if Corners.projection_scales corners <> None then [ `Projected ]
+     else List.map (fun c -> `Corner c) corner_list)
+    @ if needs_min_delay then [ `Min_delay ] else []
+  in
+  let generations =
+    mapper.map
+      (function
+        | `Projected -> (
+          match
+            Corners.generate_projected ~reductions:options.reductions
+              ~objective:options.objective corners netlist spec
+          with
+          | Some per_corner -> List.map snd per_corner
+          | None ->
+            (* A coefficient lost its RC decomposition: regenerate the
+               honest way. *)
+            List.map gen_corner corner_list)
+        | `Corner c -> [ gen_corner c ]
+        | `Min_delay ->
+          [
+            Constraints.generate_min_delay ~reductions:options.reductions
+              worst_corner.Corners.tech netlist spec;
+          ])
+      tasks
+    |> List.concat
+  in
+  let corner_gens, min_delay_gen =
+    let rec take k = function
+      | rest when k = 0 -> ([], rest)
+      | [] -> assert false
+      | g :: rest ->
+        let gs, extra = take (k - 1) rest in
+        (g :: gs, extra)
+    in
+    match take n generations with
+    | gs, [] -> (gs, None)
+    | gs, [ md ] -> (gs, Some md)
+    | _ -> assert false
+  in
+  let merged =
+    Corners.merge_generated (List.combine corner_list corner_gens)
+  in
+  let generated = merged.Corners.generated in
   let precharge_budget =
     match spec.Constraints.precharge_budget with
     | Some b -> b
@@ -383,24 +452,51 @@ let size_robust_impl ?(options = default_options) ?(mapper = sequential_mapper)
      and convergence key on the worst golden-verified corner. *)
   let timing = Array.make n 1.0 in
   let pre_f = Array.make n 1.0 in
+  (* Each corner's budget-scaled constraint posynomials, for the tightness
+     test below: a slack corner's budget is only worth retargeting when
+     its model constraints actually bind — relaxing an inactive
+     constraint cannot move the optimum, it only deforms the barrier and
+     costs the next warm start a near-cold re-centering. *)
+  let prefixed ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let timing_posys = Array.make n [] in
+  let pre_posys = Array.make n [] in
+  List.iter
+    (fun (name, p) ->
+      match Problem.split_scenario name with
+      | Some (tag, rest) -> (
+        match Corners.index_of_tag tag with
+        | Some i when i >= 0 && i < n ->
+          if prefixed ~prefix:"t:" rest || prefixed ~prefix:"stg:" rest then
+            timing_posys.(i) <- p :: timing_posys.(i)
+          else if prefixed ~prefix:"pre:" rest then
+            pre_posys.(i) <- p :: pre_posys.(i)
+        | _ -> ())
+      | None -> ())
+    generated.Constraints.problem.Problem.inequalities;
   let best = ref None in
   let total_newton = ref 0 in
   let iterations = ref 0 in
   let result = ref None in
-  let prepared = Solver.prepare generated.Constraints.problem in
+  let prepared =
+    Solver.prepare ~structure:options.gp_structure generated.Constraints.problem
+  in
+  let gp_families = (Solver.structure_stats prepared).Solver.families in
   let warm = ref None in
-  let anchored = ref false in
   let warm_rounds = ref 0 in
   let newton_per_round = ref [] in
+  (* Re-anchor on every round's mid-path snapshot: the corner budgets
+     drift a little between rounds, and a warm start from the latest
+     snapshot (taken at the nearest budget state) re-centres in a
+     fraction of the steps an older anchor needs. *)
   let remember sol =
     newton_per_round := sol.Solver.newton_iterations :: !newton_per_round;
     if sol.Solver.warm_started then incr warm_rounds;
-    if options.gp_warm_start && ((not !anchored) || not sol.Solver.warm_started)
-    then
+    if options.gp_warm_start then
       match Solver.warm_handle sol with
-      | Some _ as w ->
-        warm := w;
-        anchored := true
+      | Some _ as w -> warm := w
       | None -> ()
   in
   (* Golden verification at every corner; the engine supplies a mapper
@@ -430,20 +526,12 @@ let size_robust_impl ?(options = default_options) ?(mapper = sequential_mapper)
           timing.(i) <- 1.1 *. d_model /. spec.Constraints.target_delay)
         timing
   | None -> (
-    let worst_corner =
-      List.fold_left
-        (fun (bi, (bc : Corners.corner)) (ci, (cc : Corners.corner)) ->
-          if cc.Corners.rc_scale > bc.Corners.rc_scale then (ci, cc)
-          else (bi, bc))
-        (List.hd indexed) (List.tl indexed)
+    let min_delay_problem =
+      match min_delay_gen with
+      | Some g -> g.Constraints.problem
+      | None -> assert false (* hint was [None], so the batch made one *)
     in
-    let _, wc = worst_corner in
-    match
-      Solver.solve ~options:options.gp_options
-        (Constraints.generate_min_delay ~reductions:options.reductions
-           wc.Corners.tech netlist spec)
-          .Constraints.problem
-    with
+    match Solver.solve ~options:options.gp_options min_delay_problem with
     | Error _ -> ()
     | Ok sol -> (
       match sol.Solver.status with
@@ -456,7 +544,36 @@ let size_robust_impl ?(options = default_options) ?(mapper = sequential_mapper)
           Array.iteri (fun i _ -> timing.(i) <- f) timing
         end;
         if options.gp_warm_start then
-          warm := Solver.warm_of_values prepared sol.Solver.values)));
+          warm := Solver.warm_of_values prepared sol.Solver.values;
+        (* Calibrate each corner's budget to its model-vs-golden gap at
+           the pre-solve sizing (one STA sweep).  The first verified
+           round would discover the same factors and retarget — but one
+           round late: the budgets then shift under the round-1 warm
+           anchor, whose margin a few-percent tightening on the binding
+           corner already exceeds, and round 2 falls back to a phase-I
+           re-centering that costs more Newton steps than the rest of
+           the loop combined.  Seeding the factors up front lets every
+           post-round-1 resolve run warm. *)
+        let presizing_fn = fn_of_sizing (sizing_of_solution netlist sol) in
+        let max_eval posys =
+          List.fold_left
+            (fun acc p -> Float.max acc (Posy.eval presizing_fn p))
+            0. posys
+        in
+        let clamp c = Float.max 0.5 (Float.min 2.0 c) in
+        List.iter
+          (fun (i, _, (e : Sta.t), pre) ->
+            let model_t =
+              spec.Constraints.target_delay *. max_eval timing_posys.(i)
+            in
+            if e.Sta.max_delay > 0. && model_t > 0. then
+              timing.(i) <- timing.(i) *. clamp (model_t /. e.Sta.max_delay);
+            if has_pre && pre > 0. && pre < infinity then begin
+              let model_p = precharge_budget *. max_eval pre_posys.(i) in
+              if model_p > 0. then
+                pre_f.(i) <- pre_f.(i) *. clamp (model_p /. pre)
+            end)
+          (verify presizing_fn))));
   (try
      for iter = 1 to options.max_iterations do
        iterations := iter;
@@ -545,6 +662,7 @@ let size_robust_impl ?(options = default_options) ?(mapper = sequential_mapper)
                gp_newton_iterations = !total_newton;
                gp_warm_rounds = !warm_rounds;
                gp_newton_per_round = List.rev !newton_per_round;
+               gp_families;
                certified_rounds = 0;
                converged = true;
                constraint_stats = generated;
@@ -585,23 +703,58 @@ let size_robust_impl ?(options = default_options) ?(mapper = sequential_mapper)
            then raise Exit;
            (* Retarget every corner by its own golden miss — the
               per-corner analogue of the single-corner loop's "create new
-              delay specification" step. *)
+              delay specification" step.  A corner is only {e relaxed}
+              when its model constraints bind at the solution: a corner
+              slack in both model and golden needs no budget change, and
+              inflating it round after round (the clamp allows 2x per
+              round) keeps deforming the merged GP for nothing — the
+              warm restart then pays a near-cold re-centering every
+              round. *)
            let retarget factor miss =
              let adj = (1. /. miss) ** options.damping in
              let adj = Float.max 0.5 (Float.min 2.0 adj) in
              factor *. adj
            in
+           let env =
+             let tbl = Hashtbl.create 256 in
+             List.iter
+               (fun (v, x) -> Hashtbl.replace tbl v x)
+               sol.Solver.values;
+             fun v ->
+               match Hashtbl.find_opt tbl v with Some x -> x | None -> 1.
+           in
+           let model_tight posys factor =
+             List.exists
+               (fun p -> Posy.eval env p >= 0.98 *. factor)
+               posys
+           in
+           let moved = ref false in
+           let set (arr : float array) i f =
+             if arr.(i) <> f then begin
+               arr.(i) <- f;
+               moved := true
+             end
+           in
            List.iter
              (fun (i, _, (e : Sta.t), p) ->
                let m_t = e.Sta.max_delay /. spec.Constraints.target_delay in
-               if m_t > 1. +. tol || m_t < 1. -. tol then
-                 timing.(i) <- retarget timing.(i) m_t;
+               if
+                 m_t > 1. +. tol
+                 || (m_t < 1. -. tol && model_tight timing_posys.(i) timing.(i))
+               then set timing i (retarget timing.(i) m_t);
                if has_pre && p < infinity then begin
                  let m_p = p /. precharge_budget in
-                 if m_p > 1. +. tol || m_p < 1. -. tol then
-                   pre_f.(i) <- retarget pre_f.(i) m_p
+                 if
+                   m_p > 1. +. tol
+                   || (m_p < 1. -. tol && model_tight pre_posys.(i) pre_f.(i))
+                 then set pre_f i (retarget pre_f.(i) m_p)
                end)
-             verified)
+             verified;
+           (* Fixed point: no budget changed, so the next round would
+              re-solve the identical GP to the identical solution — and
+              identical verify.  Whatever [best] holds now is the loop's
+              answer; running out the remaining rounds cannot change it. *)
+           if not !moved then raise Exit)
      done
    with Exit -> ());
   match !result with
@@ -641,6 +794,7 @@ let size_robust_typed ?options ?mapper corners netlist spec =
           ("ok", Tracepoint.Bool true);
           ("binding_corner", Tracepoint.Str o.binding_corner);
           ("iterations", Tracepoint.Int o.robust.iterations);
+          ("gp_families", Tracepoint.Int o.robust.gp_families);
           ("achieved_ps", Tracepoint.Float o.robust.achieved_delay);
         ]
       | Error e ->

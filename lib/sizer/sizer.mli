@@ -29,6 +29,13 @@ type options = {
           min-delay pre-solve), reusing one compiled program — the
           incremental hot path (default true).  Disable to force a cold
           compile-and-phase-I solve every round, e.g. for A/B timing. *)
+  gp_structure : bool;
+      (** let the GP compile exploit merged multi-corner structure:
+          scenario copies of a constraint are bundled into families that
+          share one exp pass per Newton assembly, and scenario-private
+          variables (when present) route the Newton solve through the
+          arrow-head Schur path (default true).  Disable for a dense
+          per-constraint reference solve, e.g. for A/B comparisons. *)
   certify : bool;
       (** validate every [Optimal] resolve with the independent
           {!Smart_gp.Certify} checker against a problem-space
@@ -58,6 +65,9 @@ type outcome = {
   gp_newton_per_round : int list;
       (** Newton iterations of each respecification round's GP solve, in
           round order (excludes the min-delay pre-solve) *)
+  gp_families : int;
+      (** constraint families the GP compile bundled (0 for single-corner
+          programs or when {!options.gp_structure} is off) *)
   certified_rounds : int;
       (** rounds whose solution passed the independent GP certificate
           check (0 unless {!options.certify}) *)

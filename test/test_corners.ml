@@ -193,9 +193,130 @@ let test_engine_cache_corner_sets_distinct () =
       (List.length ro.Sizer.per_corner = 3)
   | Error e, _ -> Alcotest.fail (Smart.Error.to_string e)
 
+(* The default set is a uniform RC-scaled family of its nominal corner,
+   so one projected generation pass must serve all three corners. *)
+let test_projection_scales_default_set () =
+  match Corners.projection_scales (Corners.default_set ()) with
+  | None -> Alcotest.fail "default set not recognised as RC-scaled family"
+  | Some scales ->
+    Alcotest.(check (list (float 1e-9)))
+      "corner scales are sqrt rc_ratio"
+      [ sqrt 0.6; 1.0; sqrt 1.4 ]
+      scales
+
+let test_projection_scales_heterogeneous () =
+  (* A corner built on a different base process (here a different beta)
+     is not a pure RC excursion — the fast path must refuse it. *)
+  let odd_base = { Tech.default with Tech.beta = Tech.default.Tech.beta *. 1.1 } in
+  let set =
+    Corners.of_corners
+      [
+        Corners.corner ~name:"typ" ~rc_scale:1.0 ();
+        Corners.corner ~base:odd_base ~name:"odd" ~rc_scale:1.4 ();
+      ]
+  in
+  checkb "heterogeneous set rejected" true (Corners.projection_scales set = None)
+
+(* Projection exactness: the single nominal generation pass, projected
+   per corner, reproduces the per-corner generated programs — same
+   constraint sets, coefficients equal to roundoff.  This is what makes
+   generate_robust's fast path safe to take silently. *)
+let test_generate_projected_matches_per_corner () =
+  let nl = (Smart.Cla_adder.generate ~bits:8 ()).Smart.Macro.netlist in
+  let set = Corners.default_set () in
+  let spec = C.spec 200. in
+  match Corners.generate_projected set nl spec with
+  | None -> Alcotest.fail "default set should project"
+  | Some projected ->
+    List.iter2
+      (fun ((corner : Corners.corner), (rp : C.result)) (c : Corners.corner) ->
+        Alcotest.(check string) "corner order" c.Corners.corner_name
+          corner.Corners.corner_name;
+        let rd = C.generate c.Corners.tech nl spec in
+        let ineqs (r : C.result) = r.C.problem.Smart_gp.Problem.inequalities in
+        Alcotest.(check int)
+          (corner.Corners.corner_name ^ " constraint count")
+          (List.length (ineqs rd))
+          (List.length (ineqs rp));
+        let tbl = Hashtbl.create 256 in
+        List.iter (fun (n, p) -> Hashtbl.replace tbl n p) (ineqs rd);
+        List.iter
+          (fun (n, p) ->
+            match Hashtbl.find_opt tbl n with
+            | None -> Alcotest.failf "%s: projected-only constraint %s"
+                        corner.Corners.corner_name n
+            | Some q ->
+              let mt = Hashtbl.create 32 in
+              List.iter
+                (fun m ->
+                  Hashtbl.replace mt (Smart.Monomial.exponents m)
+                    (Smart.Monomial.coeff m))
+                (Smart.Posy.monomials q);
+              List.iter
+                (fun m ->
+                  match Hashtbl.find_opt mt (Smart.Monomial.exponents m) with
+                  | None -> Alcotest.failf "%s/%s: term mismatch"
+                              corner.Corners.corner_name n
+                  | Some cd ->
+                    let cp = Smart.Monomial.coeff m in
+                    if abs_float (cp -. cd) > 1e-12 *. abs_float cd then
+                      Alcotest.failf "%s/%s: coeff %.17g vs %.17g"
+                        corner.Corners.corner_name n cp cd)
+                (Smart.Posy.monomials p))
+          (ineqs rp))
+      projected
+      (Corners.to_list set)
+
+(* The tentpole regression: the structured (bundled / block) solver path
+   must hand the sizer the same advice as the dense reference on the
+   64-bit adder's 3-corner robust solve. *)
+let test_structured_advice_matches_dense () =
+  let nl = (Smart.Cla_adder.generate ~bits:64 ()).Smart.Macro.netlist in
+  let set = Corners.default_set () in
+  let slow_tech = (List.nth (Corners.to_list set) 2).Corners.tech in
+  match Sizer.minimize_delay_typed slow_tech nl (C.spec 1e6) with
+  | Error e -> Alcotest.fail ("slow min-delay: " ^ Smart.Error.to_string e)
+  | Ok md -> (
+    let spec = C.spec (1.25 *. md.Sizer.golden_min) in
+    let solve structure =
+      let options =
+        { Sizer.default_options with Sizer.gp_structure = structure }
+      in
+      match Sizer.size_robust_typed ~options set nl spec with
+      | Ok ro -> ro.Sizer.robust
+      | Error e -> Alcotest.fail (Smart.Error.to_string e)
+    in
+    let structured = solve true and dense = solve false in
+    checkb "structured path actually bundles" true
+      (structured.Sizer.gp_families > 0);
+    let max_rel = ref 0. in
+    List.iter2
+      (fun (l1, w1) (l2, w2) ->
+        Alcotest.(check string) "label order" l2 l1;
+        let rel = abs_float (w1 -. w2) /. Float.max 1e-12 (abs_float w2) in
+        if rel > !max_rel then max_rel := rel)
+      structured.Sizer.sizing dense.Sizer.sizing;
+    if !max_rel > 1e-6 then
+      Alcotest.failf "advice diverges: max rel width diff %.3e" !max_rel;
+    match (structured.Sizer.achieved_delay, dense.Sizer.achieved_delay) with
+    | a, b when abs_float (a -. b) > 1e-6 *. b ->
+      Alcotest.failf "achieved delay diverges: %.6f vs %.6f" a b
+    | _ -> ())
+
 let () =
   Alcotest.run "smart_corners"
     [
+      ( "projection",
+        [
+          Alcotest.test_case "default set scales" `Quick
+            test_projection_scales_default_set;
+          Alcotest.test_case "heterogeneous set refused" `Quick
+            test_projection_scales_heterogeneous;
+          Alcotest.test_case "projected = per-corner generation" `Quick
+            test_generate_projected_matches_per_corner;
+          Alcotest.test_case "structured advice = dense (64-bit)" `Slow
+            test_structured_advice_matches_dense;
+        ] );
       ( "corners",
         [
           Alcotest.test_case "FO4 ordering" `Quick test_fo4_ordering;

@@ -349,6 +349,120 @@ let prop_redundant_constraint_harmless =
         < 1e-3
       | _ -> false)
 
+(* A synthetic multi-scenario merge with genuinely private variables:
+   shared widths w0..w_m, and per scenario a chain of stage variables
+   s<i>_<j> coupling consecutive widths.  Each stage constraint
+   k/(w_j s) + k s/w_{j+1} <= 1 is strictly convex in log s, so the
+   optimum determines every private variable uniquely — the dense and
+   block paths must agree on all of them, not just the objective. *)
+let arrowhead_merge ~scenarios ~stages =
+  let w j = Printf.sprintf "w%d" j in
+  let scenario i =
+    let k = 0.3 +. (0.05 *. float_of_int i) in
+    let ineqs =
+      List.init stages (fun j ->
+          let s = Printf.sprintf "s%d_%d" i j in
+          ( Printf.sprintf "st%d" j,
+            Posy.of_monomials
+              [
+                M.make k [ (w j, -1.); (s, -1.) ];
+                M.make k [ (s, 1.); (w (j + 1), -1.) ];
+              ] ))
+    in
+    P.make ~inequalities:ineqs (Posy.var (w 0))
+  in
+  let shared = List.init (stages + 1) w in
+  let objective = Posy.sum (List.map Posy.var shared) in
+  let tagged =
+    List.init scenarios (fun i -> (Printf.sprintf "c%d" i, scenario i))
+  in
+  P.merge ~objective tagged
+
+let test_merge_structure_partition () =
+  let merged = arrowhead_merge ~scenarios:3 ~stages:2 in
+  (match P.structure merged with
+  | None -> Alcotest.fail "merged problem reports no structure"
+  | Some st ->
+    Alcotest.(check (array string)) "tags" [| "c0"; "c1"; "c2" |] st.P.tags;
+    Alcotest.(check (list string)) "shared are the widths" [ "w0"; "w1"; "w2" ]
+      (List.sort compare st.P.shared);
+    List.iter
+      (fun (tag, privs) ->
+        Alcotest.(check int) (tag ^ " private count") 2 (List.length privs);
+        checkb (tag ^ " privates carry the tag index") true
+          (List.for_all
+             (fun v ->
+               String.length v >= 2 && v.[1] = tag.[String.length tag - 1])
+             privs))
+      st.P.private_vars);
+  (* An unmerged problem has no partition... *)
+  checkb "plain problem has no structure" true
+    (P.structure (P.make (Posy.var "x")) = None);
+  (* ...and a merge over only shared variables has tags but no blocks. *)
+  let shared_only =
+    P.merge ~objective:(Posy.var "x")
+      [
+        ("a", P.make ~inequalities:[ ("c", Posy.of_monomial (M.make 0.5 [ ("x", -1.) ])) ]
+                (Posy.var "x"));
+        ("b", P.make ~inequalities:[ ("c", Posy.of_monomial (M.make 0.7 [ ("x", -1.) ])) ]
+                (Posy.var "x"));
+      ]
+  in
+  match P.structure shared_only with
+  | None -> Alcotest.fail "shared-only merge reports no structure"
+  | Some st ->
+    checkb "no private variables" true
+      (List.for_all (fun (_, privs) -> privs = []) st.P.private_vars)
+
+let test_block_path_matches_dense () =
+  let merged = arrowhead_merge ~scenarios:3 ~stages:5 in
+  let structured = S.prepare ~structure:true merged in
+  let dense = S.prepare ~structure:false merged in
+  Alcotest.(check int) "arrow-head blocks detected" 3
+    (S.structure_stats structured).S.blocks;
+  Alcotest.(check int) "dense reference has none" 0
+    (S.structure_stats dense).S.blocks;
+  match (S.resolve structured, S.resolve dense) with
+  | Ok sb, Ok sd ->
+    checkb "both optimal" true (sb.S.status = S.Optimal && sd.S.status = S.Optimal);
+    checkf 1e-6 "objective agrees" sd.S.objective_value sb.S.objective_value;
+    List.iter
+      (fun (v, xd) ->
+        let xb = S.lookup sb v in
+        checkb (v ^ " agrees") true
+          (abs_float (xb -. xd) <= 1e-5 *. Float.max 1. (abs_float xd)))
+      sd.S.values
+  | _ -> Alcotest.fail "resolve failed"
+
+(* The warm hot path's allocation contract: all Newton-loop vectors and
+   matrices live in the prepared workspace, so a warm re-solve's minor
+   allocation is the fixed per-solve overhead (solution lists), not
+   O(newton iterations).  A leak of even one Hessian-sized buffer per
+   iteration (~3.4k words here) trips the per-iteration bound. *)
+let test_warm_resolve_newton_allocation_free () =
+  let merged = arrowhead_merge ~scenarios:3 ~stages:5 in
+  let prepared = S.prepare ~structure:true merged in
+  let sol0 =
+    match S.resolve prepared with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  match S.warm_handle sol0 with
+  | None -> Alcotest.fail "no warm handle"
+  | Some warm -> (
+    (* Modest relax keeps the snapshot strictly feasible: phase I skipped. *)
+    S.rescale_compiled prepared (fun _ -> 0.9);
+    let before = Gc.minor_words () in
+    let resolved = S.resolve ~warm prepared in
+    let delta = Gc.minor_words () -. before in
+    match resolved with
+    | Error e -> Alcotest.fail e
+    | Ok sol ->
+      checkb "warm started" true sol.S.warm_started;
+      checkb "did some Newton work" true (sol.S.newton_iterations >= 3);
+      let per_iter = delta /. float_of_int sol.S.newton_iterations in
+      if per_iter > 1000. then
+        Alcotest.failf "allocates %.0f minor words per warm Newton iteration"
+          per_iter)
+
 let () =
   Alcotest.run "smart_gp"
     [
@@ -371,6 +485,15 @@ let () =
         [
           Alcotest.test_case "rescale_compiled = recompile" `Quick
             test_rescale_compiled_matches_recompile;
+          Alcotest.test_case "warm Newton allocation-free" `Quick
+            test_warm_resolve_newton_allocation_free;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "merge partition" `Quick
+            test_merge_structure_partition;
+          Alcotest.test_case "block path = dense path" `Quick
+            test_block_path_matches_dense;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -96,6 +96,106 @@ let test_rank1_update () =
   checkf "(0,1)" 6. (Mat.get m 0 1);
   checkf "(1,1)" 18. (Mat.get m 1 1)
 
+let test_matvec_into_matches_matvec () =
+  let a = Mat.init 3 4 (fun i j -> float_of_int ((3 * i) - j + 1)) in
+  let v = Vec.of_list [ 1.; -2.; 0.5; 3. ] in
+  let out = Vec.create 3 in
+  Mat.matvec_into a v out;
+  Alcotest.(check (list (float 1e-12)))
+    "matvec_into = matvec"
+    (Vec.to_list (Mat.matvec a v))
+    (Vec.to_list out)
+
+let test_symv_lower_ignores_upper () =
+  (* Symmetric [[2,1],[1,3]] stored with garbage in the upper triangle. *)
+  let m = Mat.create 2 2 in
+  Mat.set m 0 0 2.;
+  Mat.set m 1 0 1.;
+  Mat.set m 1 1 3.;
+  Mat.set m 0 1 999.;
+  let y = Vec.create 2 in
+  Mat.symv_lower_into m (Vec.of_list [ 1.; 2. ]) y;
+  Alcotest.(check (list (float 1e-12))) "y = Ax" [ 4.; 7. ] (Vec.to_list y)
+
+(* Random arrow-head SPD system in block order, lower triangle filled:
+   per-block G G^T + dominance on the diagonal, random coupling strips
+   into the border.  Returns the structure and the (lower-valid) matrix. *)
+let random_arrowhead rng ~blocks ~maxb ~border =
+  let sizes = Array.init blocks (fun _ -> 1 + Smart_util.Rng.int rng maxb) in
+  let st = { Smart_linalg.Block.sizes; border } in
+  let n = Smart_linalg.Block.dim st in
+  let full = Mat.create n n in
+  let offs = Array.make (blocks + 1) 0 in
+  for i = 0 to blocks - 1 do
+    offs.(i + 1) <- offs.(i) + sizes.(i)
+  done;
+  let nb = offs.(blocks) in
+  (* Dense symmetric factor respecting the arrow-head sparsity: a block
+     row of G touches only its own block's columns, a border row touches
+     everything — so G G^T couples blocks to the border but never block
+     to block. *)
+  let g = Mat.create n n in
+  let bi_of i =
+    let b = ref 0 in
+    while !b < blocks && i >= offs.(!b + 1) do incr b done;
+    !b
+  in
+  for i = 0 to n - 1 do
+    let lo, hi =
+      if i < nb then
+        let b = bi_of i in
+        (offs.(b), offs.(b + 1))
+      else (0, n)
+    in
+    for j = lo to hi - 1 do
+      Mat.set g i j (Smart_util.Rng.uniform rng (-1.) 1.)
+    done
+  done;
+  (* full = G G^T + (n+1) I, computed lower-only. *)
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (if i = j then float_of_int (n + 1) else 0.) in
+      for k = 0 to n - 1 do
+        acc := !acc +. (Mat.get g i k *. Mat.get g j k)
+      done;
+      Mat.set full i j !acc
+    done
+  done;
+  (st, full)
+
+(* The tentpole property: the block Schur solve matches the dense ridge
+   solve within 1e-9 on random arrow-head SPD systems. *)
+let prop_block_matches_dense =
+  QCheck.Test.make ~name:"block Schur solve matches solve_spd_ridge (1e-9)"
+    ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Smart_util.Rng.create seed in
+      let blocks = 1 + Smart_util.Rng.int rng 4 in
+      let border = Smart_util.Rng.int rng 4 in
+      let st, a = random_arrowhead rng ~blocks ~maxb:4 ~border in
+      let n = Smart_linalg.Block.dim st in
+      let b = Vec.init n (fun _ -> Smart_util.Rng.uniform rng (-5.) 5.) in
+      (* Mirror the lower triangle for the dense reference solve. *)
+      let sym = Mat.init n n (fun i j -> Mat.get a (max i j) (min i j)) in
+      let dense = Mat.solve_spd_ridge sym b in
+      let ws = Smart_linalg.Block.make_ws st in
+      let x = Vec.create n in
+      Smart_linalg.Block.solve_spd_ridge_into ws a b x;
+      Vec.norm_inf (Vec.sub dense x) <= 1e-9 *. Float.max 1. (Vec.norm_inf dense))
+
+(* The block path must survive rank-deficient systems through the shared
+   ridge-escalation ladder, like the dense path does. *)
+let test_block_ridge_fallback () =
+  let st = { Smart_linalg.Block.sizes = [| 2 |]; border = 1 } in
+  let a = Mat.create 3 3 in
+  let ws = Smart_linalg.Block.make_ws st in
+  let x = Vec.create 3 in
+  let hint = ref 0. in
+  Smart_linalg.Block.solve_spd_ridge_into ~hint ws a (Vec.of_list [ 1.; 1.; 1. ]) x;
+  checkb "finite" true (Array.for_all Float.is_finite x);
+  checkb "ridge recorded" true (!hint > 0.)
+
 (* Property: random SPD systems solve with small residuals. *)
 let prop_spd_solve =
   QCheck.Test.make ~name:"cholesky solves random SPD systems" ~count:100
@@ -136,6 +236,8 @@ let () =
       ( "mat",
         [
           Alcotest.test_case "identity matvec" `Quick test_mat_identity_matvec;
+          Alcotest.test_case "matvec_into" `Quick test_matvec_into_matches_matvec;
+          Alcotest.test_case "symv lower-only" `Quick test_symv_lower_ignores_upper;
           Alcotest.test_case "matmul" `Quick test_mat_matmul;
           Alcotest.test_case "transpose" `Quick test_mat_transpose;
           Alcotest.test_case "rank1 update" `Quick test_rank1_update;
@@ -147,10 +249,11 @@ let () =
             test_cholesky_rejects_indefinite;
           Alcotest.test_case "cholesky solve" `Quick test_cholesky_solve;
           Alcotest.test_case "ridge fallback" `Quick test_ridge_always_returns;
+          Alcotest.test_case "block ridge fallback" `Quick test_block_ridge_fallback;
           Alcotest.test_case "lu with pivoting" `Quick test_lu_solve;
           Alcotest.test_case "lu singular" `Quick test_lu_singular;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_spd_solve; prop_lu_matches_cholesky ] );
+          [ prop_spd_solve; prop_lu_matches_cholesky; prop_block_matches_dense ] );
     ]

@@ -190,8 +190,12 @@ let prop_logspace_gradient_fd =
           abs_float (fd -. g.(i)) < 1e-4)
         [ 0; 1; 2 ])
 
-let prop_logspace_hessian_psd_diag =
-  QCheck.Test.make ~name:"logsumexp Hessian has non-negative diagonal"
+(* add_weighted_hessian writes the lower triangle only; the upper must
+   stay untouched, and the symmetrized matrix must be PSD (logsumexp is
+   convex).  Seeding the upper with garbage catches any accidental
+   full-matrix write. *)
+let prop_logspace_hessian_psd_lower =
+  QCheck.Test.make ~name:"logsumexp Hessian is PSD, lower triangle only"
     ~count:100
     QCheck.(int_range 0 100_000)
     (fun seed ->
@@ -201,8 +205,29 @@ let prop_logspace_hessian_psd_diag =
       let f = L.compile idx p in
       let y = Vec.init 3 (fun _ -> Rng.uniform rng (-1.) 1.) in
       let h = Mat.create 3 3 in
+      for i = 0 to 2 do
+        for j = i + 1 to 2 do
+          Mat.set h i j 999.
+        done
+      done;
       let _ = L.add_weighted_hessian f y 1. h in
-      List.for_all (fun i -> Mat.get h i i >= -1e-9) [ 0; 1; 2 ])
+      let upper_untouched = ref true in
+      for i = 0 to 2 do
+        for j = i + 1 to 2 do
+          if Mat.get h i j <> 999. then upper_untouched := false
+        done
+      done;
+      let d = Vec.init 3 (fun _ -> Rng.uniform rng (-1.) 1.) in
+      let quad = ref 0. in
+      for i = 0 to 2 do
+        for j = 0 to 2 do
+          let hij = if j <= i then Mat.get h i j else Mat.get h j i in
+          quad := !quad +. (d.(i) *. hij *. d.(j))
+        done
+      done;
+      !upper_untouched
+      && !quad >= -1e-9
+      && List.for_all (fun i -> Mat.get h i i >= -1e-9) [ 0; 1; 2 ])
 
 let () =
   Alcotest.run "smart_posy"
@@ -236,6 +261,6 @@ let () =
             prop_dominates_pointwise;
             prop_logspace_value;
             prop_logspace_gradient_fd;
-            prop_logspace_hessian_psd_diag;
+            prop_logspace_hessian_psd_lower;
           ] );
     ]
