@@ -86,8 +86,8 @@ let run ~fast () =
       (* Joint robust sizing, once with sequential per-corner verifies and
          once fanned across the engine pool (caches off so both runs do
          the full loop). *)
-      let eng_seq = Engine.create ~cache_capacity:0 () in
-      let eng_par = Engine.create ~cache_capacity:0 () in
+      let eng_seq = Engine.create ~workers:1 ~cache_capacity:0 () in
+      let eng_par = Engine.create ~workers:(Runner.workers ()) ~cache_capacity:0 () in
       let res_seq, wall_seq =
         time (fun () ->
             Engine.size_robust eng_seq ~pooled_verify:false ~options set nl
@@ -131,8 +131,9 @@ let run ~fast () =
           wall_seq (Engine.workers eng_par) wall_par speedup;
         if not (Engine.parallelism_available ()) then
           Printf.printf
-            "  note: single hardware core -- pooled verifies fall back to\n\
-            \  the sequential loop, so verify_speedup~1.0 by design\n";
+            "  note: single hardware core -- the %d pooled verify workers\n\
+            \  time-share one core, so verify_speedup~1.0 by design\n"
+            (Engine.workers eng_par);
         Runner.shape_check ~name:"robust sizing meets spec at every corner"
           (List.for_all
              (fun (r : Sizer.corner_report) ->

@@ -1,0 +1,113 @@
+(* Hierarchical scale-out: regularity extraction + partitioned GP
+   (Smart_hier) against the monolithic sizer on a full multi-column
+   datapath — the macro methodology pushed to netlists whose single dense
+   GP is the bottleneck.  Emits BENCH_hier.json {gates, components,
+   classes, dedup_ratio, partitions, cut_nets, boundary_iterations,
+   solves, wall_mono, wall_hier, speedup, workers, advice_rel_diff,
+   width_mono, width_hier} for the perf trajectory.
+
+   Returns false when the comparison is meaningless (one worker) or the
+   hierarchical advice diverged from the monolithic reference — the
+   smoke rule turns that into a CI failure. *)
+
+module Smart = Smart_core.Smart
+module Netlist = Smart.Circuit
+module Constraints = Smart.Constraints
+module Sizer = Smart.Sizer
+module Sta = Smart.Sta
+module Engine = Smart.Engine
+module Hier = Smart.Hier
+module Macro = Smart.Macro
+module Tech = Smart.Tech
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run ~fast () =
+  Runner.heading
+    "Hierarchical sizing: regularity extraction + partitioned GP";
+  let columns, stages, tail = if fast then (3, 6, 2) else (14, 16, 6) in
+  let info = Smart.Datapath.generate ~columns ~stages ~tail () in
+  let nl = info.Macro.netlist in
+  let gates = Netlist.instance_count nl in
+  let tech = Runner.tech in
+  (* Target: 80% of the delay at a uniform 4x-minimum sizing — met by
+     upsizing, so both flows have real work and a feasible spec. *)
+  let coarse =
+    Sta.analyze tech nl ~sizing:(fun _ -> 4. *. tech.Smart_tech.Tech.w_min)
+  in
+  let target = 0.8 *. coarse.Sta.max_delay in
+  let spec = Constraints.spec target in
+  let plan = Hier.plan nl in
+  Printf.printf "  %dx%d datapath: %d gates, %d labels, target %.1f ps\n"
+    columns stages gates
+    (List.length (Netlist.labels nl))
+    target;
+  Printf.printf
+    "  plan: %d components -> %d classes (%d dedup covering %d gates), %d \
+     residual gates in %d partitions, %d cut nets\n"
+    plan.Hier.components plan.Hier.classes plan.Hier.dedup_classes
+    plan.Hier.deduped_instances plan.Hier.residual_instances
+    plan.Hier.partitions plan.Hier.cut_nets;
+  List.iteri
+    (fun i (members, g) ->
+      if i < 5 then
+        Printf.printf "    class %d: %d members x %d gates\n" i members g)
+    plan.Hier.class_sizes;
+  let engine = Engine.create ~workers:(Runner.workers ()) () in
+  let hier_res, wall_hier = time (fun () -> Hier.size ~engine tech nl spec) in
+  let mono_res, wall_mono = time (fun () -> Sizer.size_typed tech nl spec) in
+  match (hier_res, mono_res) with
+  | Error e, _ ->
+    Printf.printf "  hier sizing failed: %s\n" (Smart.Error.to_string e);
+    false
+  | _, Error e ->
+    Printf.printf "  monolithic sizing failed: %s\n" (Smart.Error.to_string e);
+    false
+  | Ok h, Ok m ->
+    let hs = h.Hier.sizer in
+    let rep = h.Hier.report in
+    let speedup = if wall_hier > 0. then wall_mono /. wall_hier else 1. in
+    let advice_rel_diff =
+      Float.abs (hs.Sizer.achieved_delay -. m.Sizer.achieved_delay)
+      /. m.Sizer.achieved_delay
+    in
+    Printf.printf "  monolithic: %.2f s, %.1f ps achieved, %.1f um\n" wall_mono
+      m.Sizer.achieved_delay m.Sizer.total_width;
+    Printf.printf
+      "  hier:       %.2f s, %.1f ps achieved, %.1f um\n\
+      \              %d outer iterations, %d solves -> %d distinct tasks \
+       (dedup %.1fx)\n"
+      wall_hier hs.Sizer.achieved_delay hs.Sizer.total_width
+      rep.Hier.outer_iterations rep.Hier.solves rep.Hier.distinct_tasks
+      rep.Hier.dedup_ratio;
+    Printf.printf "  speedup %.2fx with %d workers; delay advice diff %.2f%%\n"
+      speedup (Engine.workers engine)
+      (100. *. advice_rel_diff);
+    let meets = hs.Sizer.achieved_delay <= target *. 1.02 in
+    let regular = plan.Hier.dedup_classes >= 1 && rep.Hier.dedup_ratio > 1.5 in
+    Runner.shape_check ~name:"hier meets the spec the monolithic flow met"
+      meets;
+    Runner.shape_check ~name:"regularity extraction found repeated structure"
+      regular;
+    Runner.write_json ~file:"BENCH_hier.json"
+      [
+        ("gates", float_of_int gates);
+        ("components", float_of_int plan.Hier.components);
+        ("classes", float_of_int plan.Hier.classes);
+        ("dedup_ratio", rep.Hier.dedup_ratio);
+        ("partitions", float_of_int plan.Hier.partitions);
+        ("cut_nets", float_of_int plan.Hier.cut_nets);
+        ("boundary_iterations", float_of_int rep.Hier.outer_iterations);
+        ("solves", float_of_int rep.Hier.solves);
+        ("wall_mono", wall_mono);
+        ("wall_hier", wall_hier);
+        ("speedup", speedup);
+        ("workers", float_of_int (Engine.workers engine));
+        ("advice_rel_diff", advice_rel_diff);
+        ("width_mono", m.Sizer.total_width);
+        ("width_hier", hs.Sizer.total_width);
+      ];
+    Engine.workers engine > 1 && meets && regular && advice_rel_diff <= 0.02

@@ -79,7 +79,7 @@ let run ~fast () =
        constraint generation and golden verifies fan across the pool —
        the production robust configuration; the typ-only baseline is the
        plain sequential single-corner flow. *)
-    let eng = Engine.create ~cache_capacity:0 () in
+    let eng = Engine.create ~workers:(Runner.workers ()) ~cache_capacity:0 () in
     (* What the structured compile sees on the merged program. *)
     let merged =
       Corners.generate_robust ~reductions:block_opts.Sizer.reductions

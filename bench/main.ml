@@ -20,6 +20,7 @@ let all_experiments =
     ("engine", "Engine: parallel evaluation + solve cache (BENCH_engine.json)");
     ("corners", "Smart_corners: robust multi-corner sizing (BENCH_corners.json)");
     ("sparse", "Structured GP: corner families vs dense (BENCH_sparse.json)");
+    ("hier", "Smart_hier: regularity + partitioned GP (BENCH_hier.json)");
     ("serve", "Serve: daemon latency + persistent cache (BENCH_serve.json)");
     ("ablate", "Design-choice ablations");
     ("micro", "Bechamel micro-benchmarks");
@@ -36,6 +37,7 @@ let run_one ~fast = function
   | "engine" -> Exp_engine.run ~fast ()
   | "corners" -> Exp_corners.run ~fast ()
   | "sparse" -> ignore (Exp_sparse.run ~fast () : bool)
+  | "hier" -> ignore (Exp_hier.run ~fast () : bool)
   | "serve" -> Exp_serve.run ~fast ()
   | "ablate" -> Exp_ablate.run ~fast ()
   | "micro" -> if not fast then Micro.run ()
@@ -109,12 +111,33 @@ let smoke_sparse () =
   Printf.printf "\nsparse smoke: %s\n" (if ok then "OK" else "FAILED");
   exit (if ok then 0 else 1)
 
+(* Hier smoke (dune build @hier-smoke, pulled into @bench-smoke): the
+   hierarchical experiment at reduced size.  Fails when the pool ended up
+   single-worker (the comparison is void), when regularity extraction
+   found nothing to dedup, or when the hierarchical advice diverged from
+   the monolithic reference — not just when the artifact is malformed. *)
+let smoke_hier () =
+  let sound = Exp_hier.run ~fast:true () in
+  let ok =
+    sound
+    && Runner.json_has_fields ~file:"BENCH_hier.json"
+         [
+           "gates"; "components"; "classes"; "dedup_ratio"; "partitions";
+           "cut_nets"; "boundary_iterations"; "solves"; "wall_mono";
+           "wall_hier"; "speedup"; "workers"; "advice_rel_diff";
+           "width_mono"; "width_hier";
+         ]
+  in
+  Printf.printf "\nhier smoke: %s\n" (if ok then "OK" else "FAILED");
+  exit (if ok then 0 else 1)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then smoke ();
   if List.mem "--smoke-serve" args then smoke_serve ();
   if List.mem "--smoke-corners" args then smoke_corners ();
   if List.mem "--smoke-sparse" args then smoke_sparse ();
+  if List.mem "--smoke-hier" args then smoke_hier ();
   let fast = List.mem "--fast" args in
   let selected = List.filter (fun a -> a <> "--fast") args in
   let selected =

@@ -23,6 +23,19 @@ module Stats = Smart_util.Stats
 
 let tech = Tech.default
 
+(* Pool width for the parallel benches.  [Engine.create ()] asks the
+   runtime, which collapses to one worker on a single-core runner and
+   silently voids every seq-vs-pooled comparison (the artifact then
+   records [workers: 1] and a ~1.0 speedup that looks like a defect).
+   Benches that mean "the pool" must provision at least two workers —
+   an explicit width oversubscribes a narrow machine, which these
+   solve-bound workloads tolerate — and record the width they got.
+   SMART_BENCH_WORKERS overrides for scaling studies. *)
+let workers () =
+  match Option.bind (Sys.getenv_opt "SMART_BENCH_WORKERS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> max 2 (Smart.Engine.Pool.recommended ())
+
 type comparison = {
   label : string;
   baseline : Baseline.result;

@@ -70,6 +70,15 @@ let corners_arg =
   in
   Arg.(value & opt (some string) None & info [ "corners" ] ~docv:"SET" ~doc)
 
+let hier_arg =
+  let mode_conv = Arg.enum [ ("auto", `Auto); ("off", `Off); ("force", `Force) ] in
+  let doc =
+    "Hierarchical sizing: $(b,auto) engages regularity extraction and \
+     partitioned GP on large netlists, $(b,force) always decomposes, \
+     $(b,off) keeps the monolithic flow.  Ignored with $(b,--corners)."
+  in
+  Arg.(value & opt mode_conv `Auto & info [ "hier" ] ~docv:"MODE" ~doc)
+
 (* ---------------- unified error reporting ----------------
 
    Every subcommand renders advisory failures the same way: one stderr
@@ -167,11 +176,11 @@ let db_cmd =
 
 let advise_cmd =
   let run kind bits load delay metric no_onehot no_dynamic workers trace corners
-      =
+      hier =
     let corners = parse_corners corners in
     let engine, cleanup = make_engine ~workers ~trace in
     let request =
-      Smart.Request.make ~kind ~bits ~delay ~metric ~engine ?corners ()
+      Smart.Request.make ~kind ~bits ~delay ~metric ~engine ?corners ~hier ()
       |> Smart.Request.with_requirements
            (requirements ~bits ~load ~no_onehot ~no_dynamic)
     in
@@ -212,7 +221,7 @@ let advise_cmd =
   Cmd.v (Cmd.info "advise" ~doc:"Run the SMART advisory flow on a macro instance")
     Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg $ metric_arg
           $ no_onehot_arg $ no_dynamic_arg $ workers_arg $ trace_arg
-          $ corners_arg)
+          $ corners_arg $ hier_arg)
 
 (* ---------------- helpers for single-entry commands ---------------- *)
 
@@ -234,7 +243,28 @@ let size_cmd =
       (fun (l, w) -> Printf.printf "  %-10s %6.2f um\n" l w)
       o.Smart.Sizer.sizing
   in
-  let run kind bits load delay workers corners =
+  let print_hier_report (r : Smart.Hier.report) =
+    let p = r.Smart.Hier.plan in
+    Printf.printf
+      "  hierarchical plan: %d gates -> %d components, %d classes (%d deduped \
+       covering %d gates), %d residual gates in %d partitions, %d cut nets\n"
+      p.Smart.Hier.total_instances p.Smart.Hier.components p.Smart.Hier.classes
+      p.Smart.Hier.dedup_classes p.Smart.Hier.deduped_instances
+      p.Smart.Hier.residual_instances p.Smart.Hier.partitions
+      p.Smart.Hier.cut_nets;
+    Printf.printf "  %-24s %9s %9s\n" "class" "members" "gates/rep";
+    List.iteri
+      (fun i (members, gates) ->
+        Printf.printf "  class %-18d %9d %9d\n" i members gates)
+      p.Smart.Hier.class_sizes;
+    Printf.printf
+      "  %d outer iterations, %d solves -> %d distinct tasks (dedup %.1fx), \
+       boundary movement %.1f ps\n"
+      r.Smart.Hier.outer_iterations r.Smart.Hier.solves
+      r.Smart.Hier.distinct_tasks r.Smart.Hier.dedup_ratio
+      r.Smart.Hier.boundary_movement
+  in
+  let run kind bits load delay workers corners hier =
     let corners = parse_corners corners in
     let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
     match build_first ~kind ~req with
@@ -243,6 +273,17 @@ let size_cmd =
       let nl = info.Smart.Macro.netlist in
       let spec = Smart.Constraints.spec delay in
       match corners with
+      | None when Smart.Hier.engages hier nl -> (
+        let engine = Smart.Engine.create ~workers () in
+        match Smart.Hier.size ~engine tech nl spec with
+        | Error e -> report_error ~cmd:"size" e
+        | Ok h ->
+          let o = h.Smart.Hier.sizer in
+          Printf.printf "%s hierarchically sized to %.1f ps (spec %.1f):\n"
+            (Smart.Macro.name info) o.Smart.Sizer.achieved_delay delay;
+          print_hier_report h.Smart.Hier.report;
+          print_widths o;
+          0)
       | None -> (
         match Smart.Sizer.size_typed tech nl spec with
         | Error e -> report_error ~cmd:"size" e
@@ -273,7 +314,7 @@ let size_cmd =
   in
   Cmd.v (Cmd.info "size" ~doc:"Size one macro to a delay specification")
     Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg $ workers_arg
-          $ corners_arg)
+          $ corners_arg $ hier_arg)
 
 (* ---------------- paths ---------------- *)
 

@@ -165,6 +165,15 @@ let relabel_per_instance t =
         t.instances;
   }
 
+let rename ?(net = fun n -> n) ?(inst = fun n -> n) t =
+  {
+    t with
+    nets =
+      Array.map (fun n -> { n with net_name = net n.net_name }) t.nets;
+    instances =
+      Array.map (fun i -> { i with inst_name = inst i.inst_name }) t.instances;
+  }
+
 let validate t =
   let issues = ref [] in
   let issue fmt = Format.kasprintf (fun s -> issues := s :: !issues) fmt in

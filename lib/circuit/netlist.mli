@@ -121,6 +121,14 @@ val clock_load_width : t -> (string -> float) -> float
 val device_count : t -> int
 val instance_count : t -> int
 
+val rename : ?net:(string -> string) -> ?inst:(string -> string) -> t -> t
+(** Rename nets and/or instances; ids, wiring, labels and loads are
+    untouched.  Waivers keep the old location names (renaming a waived
+    netlist drops the waiver's grip — intentional, waivers are designer
+    annotations tied to the names they were written against).  Used by
+    the hierarchy tests to check name-independence of isomorphism
+    classes, mirroring the engine cache-digest contract. *)
+
 val relabel_per_instance : t -> t
 (** Give every instance its own copies of its size labels
     ("<instance>.<label>").  Models the least-width-optimal/worst-regularity

@@ -34,6 +34,8 @@ module Database = Smart_database.Database
 module Blocks = Smart_blocks.Blocks
 module Explore = Smart_explore.Explore
 module Engine = Smart_engine.Engine
+module Hier = Smart_hier.Hier
+module Datapath = Smart_macros.Datapath
 module Event = Smart_sim.Event
 module Certify = Smart_gp.Certify
 module Fault = Smart_util.Fault
@@ -64,12 +66,14 @@ module Request = struct
     engine : Engine.t option;
     lint : [ `Off | `Warn | `Strict ];
     corners : Corners.set option;
+    hier : Hier.mode;
   }
 
   let make ?(ext_load = 30.) ?(strongly_mutexed_selects = true)
       ?(allow_dynamic = true) ?(delay = 150.) ?spec
       ?(metric = Explore.Area) ?(options = Sizer.default_options)
-      ?(tech = Tech.default) ?engine ?(lint = `Warn) ?corners ~kind ~bits () =
+      ?(tech = Tech.default) ?engine ?(lint = `Warn) ?corners
+      ?(hier = `Auto) ~kind ~bits () =
     let requirements =
       Database.requirements ~ext_load ~strongly_mutexed_selects ~allow_dynamic
         bits
@@ -86,6 +90,7 @@ module Request = struct
       engine;
       lint;
       corners;
+      hier;
     }
 
   let with_spec spec t = { t with spec }
@@ -95,6 +100,7 @@ module Request = struct
   let with_engine engine t = { t with engine = Some engine }
   let with_lint lint t = { t with lint }
   let with_corners corners t = { t with corners = Some corners }
+  let with_hier hier t = { t with hier }
 
   let with_requirements requirements t =
     { t with requirements; bits = requirements.Database.bits }
@@ -135,7 +141,8 @@ let run ?db (r : Request.t) =
     let db = match db with Some db -> db | None -> Database.builtins () in
     match
       Explore.explore_typed ?engine:r.Request.engine ~options:r.Request.options
-        ?corners:r.Request.corners ~metric:r.Request.metric ~db
+        ?corners:r.Request.corners ~hier:r.Request.hier ~metric:r.Request.metric
+        ~db
         ~kind:r.Request.kind ~requirements:r.Request.requirements
         r.Request.tech r.Request.spec
     with
@@ -157,8 +164,9 @@ let advise ?options ?(metric = Explore.Area) ~db ~kind ~requirements tech spec =
       engine = None;
       lint = `Warn;
       corners = None;
+      hier = `Auto;
     }
   in
   Result.map_error Error.to_string (run ~db request)
 
-let version = "1.1.0"
+let version = "1.2.0"

@@ -51,10 +51,12 @@ module Cla_adder = Smart_macros.Cla_adder
 module Shifter = Smart_macros.Shifter
 module Encoder = Smart_macros.Encoder
 module Regfile = Smart_macros.Regfile
+module Datapath = Smart_macros.Datapath
 module Database = Smart_database.Database
 module Blocks = Smart_blocks.Blocks
 module Explore = Smart_explore.Explore
 module Engine = Smart_engine.Engine
+module Hier = Smart_hier.Hier
 module Event = Smart_sim.Event
 module Certify = Smart_gp.Certify
 module Fault = Smart_util.Fault
@@ -127,6 +129,11 @@ module Request : sig
             worst-corner cost; the per-corner golden results land on each
             {!Explore.candidate}.  [None]: single-tech sizing at
             [tech]. *)
+    hier : Hier.mode;
+        (** hierarchical sizing of large candidates (regularity
+            extraction + partitioned GP, {!Hier}): [`Auto] (the default)
+            engages on datapath-scale netlists, [`Force] always, [`Off]
+            never.  Ignored when [corners] is set. *)
   }
 
   val make :
@@ -141,6 +148,7 @@ module Request : sig
     ?engine:Engine.t ->
     ?lint:[ `Off | `Warn | `Strict ] ->
     ?corners:Corners.set ->
+    ?hier:Hier.mode ->
     kind:string ->
     bits:int ->
     unit ->
@@ -148,7 +156,8 @@ module Request : sig
   (** Defaults: 30 fF load, one-hot and dynamic allowed, 150 ps target
       (ignored when [spec] is given), area metric, default sizer options,
       default technology, process-default engine, [`Warn] linting,
-      single-corner (no [corners]) sizing. *)
+      single-corner (no [corners]) sizing, [`Auto] hierarchical
+      engagement. *)
 
   val with_spec : Constraints.spec -> t -> t
   val with_metric : Explore.metric -> t -> t
@@ -157,6 +166,7 @@ module Request : sig
   val with_engine : Engine.t -> t -> t
   val with_lint : [ `Off | `Warn | `Strict ] -> t -> t
   val with_corners : Corners.set -> t -> t
+  val with_hier : Hier.mode -> t -> t
   val with_requirements : Database.requirements -> t -> t
 end
 

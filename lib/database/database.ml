@@ -167,6 +167,16 @@ let builtins () =
               ~width:4 ());
       };
       {
+        entry_name = "datapath/chain-static";
+        kind = "datapath";
+        description = "multi-column chained static datapath (hier stress)";
+        applicable = (fun req -> req.bits >= 4);
+        build =
+          (fun req ->
+            Smart_macros.Datapath.generate ~ext_load:req.ext_load ~columns:4
+              ~stages:(max 4 req.bits) ~tail:8 ());
+      };
+      {
         entry_name = "adder/dual-rail-domino-cla";
         kind = "adder";
         description = "dual-rail domino carry-lookahead adder";

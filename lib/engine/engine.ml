@@ -332,14 +332,22 @@ module Cache = struct
           None)
 
   (* Evict the least-recently-used entry.  A linear scan: capacities are
-     small (hundreds) and eviction only runs when the cache is full. *)
+     small (hundreds) and eviction only runs when the cache is full.
+     Equal ages tie-break on the smaller key so the victim — and thus the
+     cache contents after any request sequence — is independent of
+     [Hashtbl.iter] order (which varies with insertion history and hash
+     seeding). *)
   let evict_lru t =
     let victim = ref None in
     Hashtbl.iter
       (fun k e ->
         match !victim with
-        | Some (_, age) when age <= e.last_use -> ()
-        | _ -> victim := Some (k, e.last_use))
+        | Some (vk, age)
+          when e.last_use < age || (e.last_use = age && String.compare k vk < 0)
+          ->
+          victim := Some (k, e.last_use)
+        | Some _ -> ()
+        | None -> victim := Some (k, e.last_use))
       t.table;
     match !victim with
     | Some (k, _) ->
@@ -356,12 +364,19 @@ module Cache = struct
             Hashtbl.replace t.table key { last_use = t.tick; value }
           end)
 
-  (* A persistent-store hit: the memory lookup already counted a miss, so
-     reclassify it, and promote the entry so repeats hit memory. *)
-  let store_promote t key value =
+  let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
+
+  (* A persistent-store hit: when the caller's memory lookup already
+     counted a miss ([counted_miss]), reclassify it as a store hit; a
+     warm-up/prefetch path that never called [find] passes
+     [~counted_miss:false] so misses cannot go negative.  Either way the
+     entry is promoted so repeats hit memory. *)
+  let store_promote ?(counted_miss = true) t key value =
     locked t (fun () ->
-        t.misses <- t.misses - 1;
-        t.store_hits <- t.store_hits + 1;
+        if counted_miss && t.misses > 0 then begin
+          t.misses <- t.misses - 1;
+          t.store_hits <- t.store_hits + 1
+        end;
         if t.capacity > 0 && not (Hashtbl.mem t.table key) then begin
           if Hashtbl.length t.table >= t.capacity then evict_lru t;
           t.tick <- t.tick + 1;
@@ -589,6 +604,29 @@ let publish t key v =
       match encode_entry v with
       | Some blob -> ( try store.Store.save key blob with _ -> ())
       | None -> ())
+  end
+
+(* Warm the memory cache from the persistent store without touching the
+   hit/miss statistics: a probe, not a request.  Returns whether the
+   entry is now resident in memory.  "size"-tagged entries only — warm-up
+   feeds the plain sizing path. *)
+let prefetch t ~options tech netlist spec =
+  if t.cache.Cache.capacity <= 0 then false
+  else begin
+    let key = solve_key ~tag:"size" ~options tech netlist spec in
+    if Cache.mem t.cache key then true
+    else
+      match Atomic.get t.store with
+      | None -> false
+      | Some (store : Store.t) -> (
+        match (try store.Store.find key with _ -> None) with
+        | None -> false
+        | Some blob -> (
+          match decode_entry blob with
+          | None -> false
+          | Some v ->
+            Cache.store_promote ~counted_miss:false t.cache key v;
+            true))
   end
 
 let emit t event =

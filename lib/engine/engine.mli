@@ -181,6 +181,26 @@ val set_cache_version : string -> unit
     solver or model semantics change.  Exposed so tests can flip it and
     assert the miss. *)
 
+module Pool : sig
+  val recommended : unit -> int
+  (** [Domain.recommended_domain_count ()] — the width an engine created
+      with [workers:0] gets.  Exposed so benches and callers provisioning
+      explicit pools can anchor on the runtime's recommendation. *)
+end
+
+val prefetch :
+  t ->
+  options:Sizer.options ->
+  Tech.t ->
+  Netlist.t ->
+  Constraints.spec ->
+  bool
+(** Warm the memory cache for a plain sizing request from the persistent
+    store, without recording a hit or a miss (a probe is not a request —
+    the stats invariants in {!cache_stats} stay intact).  Returns whether
+    the entry is now resident in memory.  No-op ([false]) when caching is
+    disabled; a store/decode failure degrades to [false]. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving map over the engine's worker pool.  Falls back to
     [List.map] when the pool width is 1.  If [f] raises, remaining items

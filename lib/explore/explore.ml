@@ -7,6 +7,7 @@ module Corners = Smart_corners.Corners
 module Sizer = Smart_sizer.Sizer
 module Power = Smart_power.Power
 module Engine = Smart_engine.Engine
+module Hier = Smart_hier.Hier
 
 type metric = Area | Power | Clock_load
 
@@ -56,21 +57,44 @@ let engine_of = function Some e -> e | None -> Engine.default ()
    once the sizing is robust, but power is not — the Power metric takes
    the maximum estimate over the corners' technologies, so a topology
    that only looks cheap at typical cannot win the ranking. *)
-let size_candidates ?engine ?options ?corners ~metric tech spec named_infos =
+(* [hier] routes large single-corner candidates through the hierarchical
+   sizer (Smart_hier): those candidates run sequentially because each one
+   already fans its sub-problems across the engine pool — nesting the
+   candidate fan-out on top would oversubscribe it.  Corner-set sizing
+   stays monolithic (the robust flow couples corners inside one GP). *)
+let size_candidates ?engine ?options ?corners ?(hier : Hier.mode = `Off) ~metric
+    tech spec named_infos =
   let engine = engine_of engine in
   let options =
     let base = match options with Some o -> o | None -> Sizer.default_options in
     { base with Sizer.objective = objective_of_metric metric }
   in
+  let hier_options = { Hier.default_options with Hier.sizer = options } in
   let nets =
     List.map (fun (n, (i : Macro.info)) -> (n, i.Macro.netlist)) named_infos
   in
   let results =
     match corners with
     | None ->
-      List.map
-        (fun (n, r) -> (n, Result.map (fun o -> (o, [], None)) r))
-        (Engine.size_all engine ~options tech spec nets)
+      let engaged =
+        List.map (fun (_, nl) -> Hier.engages ~options:hier_options hier nl) nets
+      in
+      if List.exists Fun.id engaged then
+        List.map2
+          (fun (n, nl) h ->
+            let r =
+              if h then
+                Result.map
+                  (fun (o : Hier.outcome) -> o.Hier.sizer)
+                  (Hier.size ~options:hier_options ~engine tech nl spec)
+              else Engine.size engine ~label:n ~options tech nl spec
+            in
+            (n, Result.map (fun o -> (o, [], None)) r))
+          nets engaged
+      else
+        List.map
+          (fun (n, r) -> (n, Result.map (fun o -> (o, [], None)) r))
+          (Engine.size_all engine ~options tech spec nets)
     | Some set ->
       List.map
         (fun (n, r) ->
@@ -133,12 +157,12 @@ let size_candidates ?engine ?options ?corners ~metric tech spec named_infos =
          })
   | winner :: _ -> Ok { winner; ranked; rejected = List.rev rejected }
 
-let explore_typed ?engine ?options ?corners ?(metric = Area) ~db ~kind
+let explore_typed ?engine ?options ?corners ?hier ?(metric = Area) ~db ~kind
     ~requirements tech spec =
   let built = Database.build_all db ~kind requirements in
   if built = [] then Error (Err.No_applicable_topology { kind })
   else
-    size_candidates ?engine ?options ?corners ~metric tech spec
+    size_candidates ?engine ?options ?corners ?hier ~metric tech spec
       (List.map
          (fun ((e : Database.entry), info) -> (e.Database.entry_name, info))
          built)
@@ -155,9 +179,10 @@ let explore ?engine ?options ?corners ?metric ~db ~kind ~requirements tech spec 
     (explore_typed ?engine ?options ?corners ?metric ~db ~kind ~requirements
        tech spec)
 
-let tune_typed ?engine ?options ?corners ?(metric = Area) ~variants tech spec =
+let tune_typed ?engine ?options ?corners ?hier ?(metric = Area) ~variants tech
+    spec =
   if variants = [] then Error (Err.Invalid_request "Explore.tune: no variants")
-  else size_candidates ?engine ?options ?corners ~metric tech spec variants
+  else size_candidates ?engine ?options ?corners ?hier ~metric tech spec variants
 
 let tune ?engine ?options ?corners ?(metric = Area) ~variants tech spec =
   if variants = [] then Err.fail "Explore.tune: no variants";

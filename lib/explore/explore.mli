@@ -44,6 +44,7 @@ val explore_typed :
   ?engine:Smart_engine.Engine.t ->
   ?options:Smart_sizer.Sizer.options ->
   ?corners:Smart_corners.Corners.set ->
+  ?hier:Smart_hier.Hier.mode ->
   ?metric:metric ->
   db:Smart_database.Database.t ->
   kind:string ->
@@ -62,7 +63,11 @@ val explore_typed :
     typical cannot top the ranking.  [Error] is
     {!Smart_util.Err.No_applicable_topology} when pruning leaves nothing,
     or {!Smart_util.Err.Infeasible_spec} when no candidate can meet the
-    specification. *)
+    specification.  [hier] (default [`Off]) routes candidates that
+    {!Smart_hier.Hier.engages} through hierarchical sizing; such
+    candidates run sequentially, each fanning its own sub-problems across
+    the engine pool.  Ignored when [corners] is set — robust sizing stays
+    monolithic. *)
 
 val explore :
   ?engine:Smart_engine.Engine.t ->
@@ -102,6 +107,7 @@ val tune_typed :
   ?engine:Smart_engine.Engine.t ->
   ?options:Smart_sizer.Sizer.options ->
   ?corners:Smart_corners.Corners.set ->
+  ?hier:Smart_hier.Hier.mode ->
   ?metric:metric ->
   variants:(string * Smart_macros.Macro.info) list ->
   Smart_tech.Tech.t ->

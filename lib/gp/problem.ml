@@ -29,6 +29,9 @@ let variables t =
   List.sort_uniq String.compare
     (Posy.vars t.objective @ of_ineqs @ of_eqs @ of_bounds)
 
+let variable_count t = List.length (variables t)
+let inequality_count t = List.length t.inequalities
+
 (* Solve a monomial equality [g = 1] for one of its variables:
    g = c * x^e * rest = 1  ==>  x = (c * rest)^(-1/e). *)
 let solve_equality g =

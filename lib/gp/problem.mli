@@ -36,6 +36,12 @@ val constraint_le : string -> Posy.t -> Posy.t -> (string * Posy.t) option
 val variables : t -> string list
 (** Every variable occurring in the problem (sorted). *)
 
+val variable_count : t -> int
+(** [List.length (variables t)] — for size reports. *)
+
+val inequality_count : t -> int
+(** Number of posynomial inequality constraints. *)
+
 val eliminate_equalities : t -> t * (string * Monomial.t) list
 (** Substitute away each monomial equality.  Returns the reduced problem and
     the eliminated variables with the monomials (over remaining variables)

@@ -1,0 +1,130 @@
+module B = Smart_circuit.Netlist.Builder
+module Cell = Smart_circuit.Cell
+
+(* A full-datapath stress netlist: [columns] identical bit-slice columns,
+   each a chain of [stages] 5-gate stages threaded by one carry net, then
+   an irregular tail (AND merge tree + inverter chain, unique labels per
+   gate) collecting the column carries into one loaded result output.
+
+   Two properties are load-bearing for the hierarchy work:
+
+   - {b Regular body, shared labels.}  Stage [s] uses the same size
+     labels in every column, so the GP variable count grows with
+     [stages] only while the gate count grows with [columns * stages] —
+     the monolithic problem stays solvable for cross-checking, and the
+     columns are exact structural repeats for class extraction.
+   - {b Linear path growth.}  Exactly one stage input (the carry) chains
+     to the previous stage; the rest are fresh primary inputs, so the
+     path count grows linearly in depth instead of exponentially.
+
+   Each stage also drives an observation output through an inverter so
+   internal nets stay read and every stage lies on an input-to-output
+   path. *)
+
+let stage_cell_labels s g =
+  let tag = Printf.sprintf "s%d%c" s g in
+  ("P" ^ tag, "N" ^ tag)
+
+let build_stage b ~col ~stage ~cin =
+  let group = Printf.sprintf "col%d/s%d" col stage in
+  let name fmt = Printf.ksprintf (fun s -> s) fmt in
+  let pref = Printf.sprintf "c%d_s%d" col stage in
+  let pa = B.input b (name "%s_pa" pref) in
+  let pb = B.input b (name "%s_pb" pref) in
+  let pc = B.input b (name "%s_pc" pref) in
+  let w1 = B.wire b (name "%s_w1" pref) in
+  let w2 = B.wire b (name "%s_w2" pref) in
+  let w3 = B.wire b (name "%s_w3" pref) in
+  let cout = B.wire b (name "%s_cout" pref) in
+  let obs = B.output b (name "%s_obs" pref) in
+  let p1, n1 = stage_cell_labels stage 'a' in
+  B.inst b ~group ~name:(name "%s_nand" pref)
+    ~cell:(Cell.nand ~inputs:2 ~p:p1 ~n:n1)
+    ~inputs:[ ("a0", cin); ("a1", pa) ]
+    ~out:w1 ();
+  let p2, n2 = stage_cell_labels stage 'b' in
+  B.inst b ~group ~name:(name "%s_nor" pref)
+    ~cell:(Cell.nor ~inputs:2 ~p:p2 ~n:n2)
+    ~inputs:[ ("a0", w1); ("a1", pb) ]
+    ~out:w2 ();
+  let p3, n3 = stage_cell_labels stage 'c' in
+  B.inst b ~group ~name:(name "%s_aoi" pref)
+    ~cell:(Cell.aoi21 ~p:p3 ~n:n3)
+    ~inputs:[ ("a0", w2); ("a1", pa); ("b", pc) ]
+    ~out:w3 ();
+  let p4, n4 = stage_cell_labels stage 'd' in
+  B.inst b ~group ~name:(name "%s_cinv" pref)
+    ~cell:(Cell.inverter ~p:p4 ~n:n4)
+    ~inputs:[ ("a", w3) ]
+    ~out:cout ();
+  let p5, n5 = stage_cell_labels stage 'e' in
+  B.inst b ~group ~name:(name "%s_oinv" pref)
+    ~cell:(Cell.inverter ~p:p5 ~n:n5)
+    ~inputs:[ ("a", w2) ]
+    ~out:obs ();
+  cout
+
+(* Balanced AND merge tree over the column carries; every AND gets its
+   own labels (the irregular residual the partitioner must handle). *)
+let rec merge_tree b ~group nets =
+  match nets with
+  | [] -> Smart_util.Err.fail "Datapath.merge_tree: no nets"
+  | [ n ] -> n
+  | nets ->
+    let count = ref 0 in
+    let rec pair = function
+      | a :: c :: rest ->
+        let k = !count in
+        incr count;
+        let o = B.wire b (Printf.sprintf "%s_m%d" group k) in
+        Gates.and2 b ~group ~name:(Printf.sprintf "%s_and%d" group k)
+          ~labels:(Printf.sprintf "%s%d" group k)
+          a c o;
+        o :: pair rest
+      | rest -> rest
+    in
+    merge_tree b ~group:(group ^ "x") (pair nets)
+
+let generate ?(columns = 4) ?(stages = 8) ?(tail = 4) ?(ext_load = 30.) () =
+  if columns < 1 || stages < 1 || tail < 0 then
+    Smart_util.Err.fail "Datapath.generate: bad shape %dx%d tail %d" columns
+      stages tail;
+  let b = B.create (Printf.sprintf "datapath%dx%d" columns stages) in
+  let couts =
+    List.init columns (fun col ->
+        let cin = B.input b (Printf.sprintf "c%d_cin" col) in
+        let rec run stage cin =
+          if stage >= stages then cin
+          else run (stage + 1) (build_stage b ~col ~stage ~cin)
+        in
+        run 0 cin)
+  in
+  let merged = merge_tree b ~group:"tail" couts in
+  let result = B.output b "result" in
+  let last =
+    List.fold_left
+      (fun src k ->
+        let dst =
+          if k = tail - 1 then result else B.wire b (Printf.sprintf "tail_t%d" k)
+        in
+        B.inst b ~group:"tail" ~name:(Printf.sprintf "tail_inv%d" k)
+          ~cell:
+            (Cell.inverter
+               ~p:(Printf.sprintf "Ptl%d" k)
+               ~n:(Printf.sprintf "Ntl%d" k))
+          ~inputs:[ ("a", src) ]
+          ~out:dst ();
+        dst)
+      merged
+      (List.init tail (fun k -> k))
+  in
+  (if tail = 0 then
+     (* No tail chain: buffer the tree root straight into the result. *)
+     B.inst b ~group:"tail" ~name:"tail_buf"
+       ~cell:(Cell.inverter ~p:"Ptb" ~n:"Ntb")
+       ~inputs:[ ("a", last) ]
+       ~out:result ());
+  B.ext_load b result ext_load;
+  Macro.make ~kind:"datapath"
+    ~variant:(Printf.sprintf "%dx%d-chain-static" columns stages)
+    ~bits:stages (B.freeze b)

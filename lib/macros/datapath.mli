@@ -1,0 +1,26 @@
+(** Full-datapath stress generator for the hierarchical sizing flow.
+
+    Chains [columns] identical bit-slice columns of [stages] static
+    5-gate stages (NAND2 → NOR2 → AOI21 → inverter carry, plus an
+    observation inverter per stage), then collects the column carries
+    through an irregular tail — an AND merge tree and an inverter chain
+    with unique per-gate labels — into one externally loaded [result]
+    output.
+
+    Stage labels are shared {e across} columns: gate count scales with
+    [columns * stages] (≥1k gates at 14×16) while GP variables scale
+    with [stages] only, so the monolithic cross-check solve stays
+    tractable and the columns are exact structural repeats for
+    {!Smart_hier} class extraction.  Exactly one net (the carry) chains
+    consecutive stages, so path count grows linearly in depth. *)
+
+val generate :
+  ?columns:int ->
+  ?stages:int ->
+  ?tail:int ->
+  ?ext_load:float ->
+  unit ->
+  Macro.info
+(** [generate ()] builds a [columns]×[stages] datapath (defaults 4×8,
+    [tail] 4 extra inverters, [ext_load] 30 fF on [result]).  Gate count
+    is [5*columns*stages + 2*(columns-1) + max 1 tail]. *)

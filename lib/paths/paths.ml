@@ -296,6 +296,27 @@ let extract ?(reductions = all_reductions) ?(max_paths = 200_000) t =
   in
   (paths, stats)
 
+(* Topological level per net: primary inputs sit at 0, a driven net one
+   past its slowest fanin.  Kahn order guarantees every driver is levelled
+   before its readers; co-driven nets (pass/tri-state buses) keep the max
+   over their drivers.  The hierarchical sizer splits delay budgets by
+   levelised depth share, so this lives here next to the path machinery. *)
+let levels (t : Netlist.t) =
+  let lvl = Array.make (Array.length t.Netlist.nets) 0 in
+  List.iter
+    (fun (i : Netlist.instance) ->
+      let here =
+        1
+        + List.fold_left
+            (fun acc (_, nid) -> max acc lvl.(nid))
+            0 i.Netlist.conns
+      in
+      if here > lvl.(i.Netlist.out) then lvl.(i.Netlist.out) <- here)
+    (Netlist.topo_order t);
+  lvl
+
+let depth t = Array.fold_left max 0 (levels t)
+
 let pp_path ppf p =
   let pp_step ppf s =
     Format.fprintf ppf "%s.%s" s.s_inst.Netlist.inst_name s.s_pin

@@ -69,4 +69,12 @@ val extract :
 val path_endpoint : path -> Smart_circuit.Netlist.net_id
 (** Net the path terminates on. *)
 
+val levels : Smart_circuit.Netlist.t -> int array
+(** Topological level per net id: primary inputs at 0, every driven net
+    one past its slowest fanin (max over drivers for co-driven nets).
+    {!Smart_hier} splits partition delay budgets by level-span share. *)
+
+val depth : Smart_circuit.Netlist.t -> int
+(** [Array.fold_left max 0 (levels t)] — the levelised logic depth. *)
+
 val pp_path : Format.formatter -> path -> unit

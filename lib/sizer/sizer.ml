@@ -229,10 +229,14 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
            let sizing = sizing_of_solution netlist sol in
            let sizing_fn = fn_of_sizing sizing in
            let eval_sta =
-             Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn
+             Sta.analyze ~mode:Sta.Evaluate
+               ?input_slope:spec.Constraints.input_slope tech netlist
+               ~sizing:sizing_fn
            in
            let pre_sta =
-             Sta.analyze ~mode:Sta.Precharge tech netlist ~sizing:sizing_fn
+             Sta.analyze ~mode:Sta.Precharge
+               ?input_slope:spec.Constraints.input_slope tech netlist
+               ~sizing:sizing_fn
            in
            total_newton := !total_newton + sol.Solver.newton_iterations;
            (* A precharge STA that reached no output folds its max from 0,
@@ -505,8 +509,16 @@ let size_robust_impl ?(options = default_options) ?(mapper = sequential_mapper)
     mapper.map
       (fun (i, (c : Corners.corner)) ->
         let tech = c.Corners.tech in
-        let eval = Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn in
-        let pre = Sta.analyze ~mode:Sta.Precharge tech netlist ~sizing:sizing_fn in
+        let eval =
+          Sta.analyze ~mode:Sta.Evaluate
+            ?input_slope:spec.Constraints.input_slope tech netlist
+            ~sizing:sizing_fn
+        in
+        let pre =
+          Sta.analyze ~mode:Sta.Precharge
+            ?input_slope:spec.Constraints.input_slope tech netlist
+            ~sizing:sizing_fn
+        in
         let achieved_pre =
           if has_pre && pre.Sta.reachable_outputs = 0 then infinity
           else pre.Sta.max_delay
@@ -825,7 +837,11 @@ let minimize_delay_typed ?(options = default_options) tech netlist spec =
            })
     | Solver.Optimal | Solver.Iteration_limit ->
       let sizing_fn = fn_of_sizing (sizing_of_solution netlist sol) in
-      let sta = Sta.analyze ~mode:Sta.Evaluate tech netlist ~sizing:sizing_fn in
+      let sta =
+        Sta.analyze ~mode:Sta.Evaluate
+          ?input_slope:spec.Constraints.input_slope tech netlist
+          ~sizing:sizing_fn
+      in
       Ok
         {
           golden_min = sta.Sta.max_delay;

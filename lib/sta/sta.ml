@@ -49,7 +49,12 @@ let top_group (i : Netlist.instance) =
 
 let mode_name = function Evaluate -> "evaluate" | Precharge -> "precharge"
 
-let analyze_impl ~mode tech netlist ~sizing =
+let analyze_impl ~mode ~input_slope tech netlist ~sizing =
+  let launch_slope =
+    match input_slope with
+    | Some s -> s
+    | None -> tech.Tech.default_input_slope
+  in
   let loads = Load.make tech netlist in
   let n = Array.length netlist.Netlist.nets in
   let timing = Array.make n unreachable in
@@ -69,8 +74,8 @@ let analyze_impl ~mode tech netlist ~sizing =
           {
             arr_rise = 0.;
             arr_fall = 0.;
-            slope_rise = tech.Tech.default_input_slope;
-            slope_fall = tech.Tech.default_input_slope;
+            slope_rise = launch_slope;
+            slope_fall = launch_slope;
           }
       | Netlist.Primary_input, Precharge -> ()
       | (Netlist.Primary_output | Netlist.Internal | Netlist.Clock), _ -> ())
@@ -85,7 +90,7 @@ let analyze_impl ~mode tech netlist ~sizing =
           match (arc.Arc.kind, mode) with
           | Arc.Precharge, Precharge ->
             (* Clock falls at t = 0 with a crisp edge. *)
-            Some (fun (_ : Arc.sense) -> Some (0., tech.Tech.default_input_slope /. 2.))
+            Some (fun (_ : Arc.sense) -> Some (0., launch_slope /. 2.))
           | Arc.Precharge, Evaluate -> None
           | Arc.Eval, Precharge -> None
           | (Arc.Eval | Arc.Data | Arc.Control), _ ->
@@ -172,7 +177,7 @@ let analyze_impl ~mode tech netlist ~sizing =
     slope_violations = List.rev !slope_violations;
   }
 
-let analyze ?(mode = Evaluate) tech netlist ~sizing =
+let analyze ?(mode = Evaluate) ?input_slope tech netlist ~sizing =
   Smart_util.Tracepoint.timed "sta.analyze"
     ~attrs:(fun t ->
       [
@@ -180,7 +185,7 @@ let analyze ?(mode = Evaluate) tech netlist ~sizing =
         ("netlist", Smart_util.Tracepoint.Str netlist.Netlist.name);
         ("max_delay_ps", Smart_util.Tracepoint.Float t.max_delay);
       ])
-    (fun () -> analyze_impl ~mode tech netlist ~sizing)
+    (fun () -> analyze_impl ~mode ~input_slope tech netlist ~sizing)
 
 let arrival t nid =
   let nt = t.nets.(nid) in

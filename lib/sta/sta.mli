@@ -52,11 +52,18 @@ type t = {
 
 val analyze :
   ?mode:mode ->
+  ?input_slope:float ->
   Smart_tech.Tech.t ->
   Smart_circuit.Netlist.t ->
   sizing:(string -> float) ->
   t
-(** Time the netlist under a concrete sizing.  Default mode [Evaluate]. *)
+(** Time the netlist under a concrete sizing.  Default mode [Evaluate].
+    [input_slope] sets the launch slope at primary inputs (and half of it
+    at the clock edge), defaulting to the technology's
+    [default_input_slope].  Callers sizing against a
+    {!Smart_constraints.Constraints.spec} with an explicit [input_slope]
+    must pass it here too, or the golden check silently re-times the
+    boundary with a different slope than the GP model constrained. *)
 
 val arrival : t -> Smart_circuit.Netlist.net_id -> float
 (** Worst-sense arrival of a net ([neg_infinity] if unreachable). *)

@@ -1,0 +1,154 @@
+(* Hierarchical sizing (Smart_hier): regularity extraction must be
+   name-blind and deterministic, the partitioned flow must agree with the
+   monolithic reference within tolerance, and `Auto engagement must key
+   off netlist size alone. *)
+
+module Smart = Smart_core.Smart
+module Tech = Smart.Tech
+module Sizer = Smart.Sizer
+module Sta = Smart.Sta
+module Engine = Smart.Engine
+module Hier = Smart.Hier
+module Macro = Smart.Macro
+module Circuit = Smart.Circuit
+module C = Smart.Constraints
+
+let tech = Tech.default
+let checkb msg = Alcotest.(check bool) msg
+let checki msg = Alcotest.(check int) msg
+
+let datapath ?(tail = 2) columns stages =
+  (Smart.Datapath.generate ~columns ~stages ~tail ()).Macro.netlist
+
+(* A target every flow can meet: 80% of the uniform-4x-minimum STA. *)
+let easy_target nl =
+  let coarse =
+    Sta.analyze tech nl ~sizing:(fun _ -> 4. *. tech.Tech.w_min)
+  in
+  0.8 *. coarse.Sta.max_delay
+
+(* ---- engagement ---- *)
+
+let test_engages () =
+  let small = datapath 2 2 in
+  let big = datapath 14 16 in
+  checkb "`Off never engages" false (Hier.engages `Off big);
+  checkb "`Force engages even small" true (Hier.engages `Force small);
+  checkb "`Auto skips small" false (Hier.engages `Auto small);
+  checkb "`Auto engages big" true (Hier.engages `Auto big)
+
+(* ---- plan shape ---- *)
+
+let test_plan_shape () =
+  let nl = datapath 3 6 in
+  let p = Hier.plan nl in
+  checki "all gates planned" (Circuit.instance_count nl)
+    p.Hier.total_instances;
+  checkb "found components" true (p.Hier.components > 1);
+  checkb "found repeated classes" true (p.Hier.dedup_classes >= 1);
+  checkb "dedup covers most gates" true
+    (p.Hier.deduped_instances > p.Hier.total_instances / 2);
+  (* Every instance lands in exactly one bucket. *)
+  checki "dedup + residual = total" p.Hier.total_instances
+    (p.Hier.deduped_instances + p.Hier.residual_instances);
+  List.iter
+    (fun (members, gates) ->
+      checkb "class members repeat" true (members >= 2);
+      checkb "class reps are real" true (gates >= 1))
+    p.Hier.class_sizes
+
+(* ---- canonicalization is name-blind ---- *)
+
+let test_plan_rename_invariant () =
+  let nl = datapath 3 5 in
+  let renamed =
+    Smart.Circuit.rename
+      ~net:(fun n -> "zz_" ^ n)
+      ~inst:(fun i -> "qq_" ^ i)
+      nl
+  in
+  let p = Hier.plan nl and p' = Hier.plan renamed in
+  checki "components invariant" p.Hier.components p'.Hier.components;
+  checki "classes invariant" p.Hier.classes p'.Hier.classes;
+  checki "dedup classes invariant" p.Hier.dedup_classes p'.Hier.dedup_classes;
+  checki "deduped gates invariant" p.Hier.deduped_instances
+    p'.Hier.deduped_instances;
+  Alcotest.(check (list (pair int int)))
+    "class sizes invariant" p.Hier.class_sizes p'.Hier.class_sizes
+
+(* ---- hierarchical result vs monolithic reference ---- *)
+
+let size_both nl target =
+  let spec = C.spec target in
+  let engine = Engine.create ~workers:2 () in
+  let mono =
+    match Sizer.size_typed tech nl spec with
+    | Ok o -> o
+    | Error e -> Alcotest.fail ("mono: " ^ Smart.Error.to_string e)
+  in
+  let hier =
+    match Hier.size ~engine tech nl spec with
+    | Ok h -> h
+    | Error e -> Alcotest.fail ("hier: " ^ Smart.Error.to_string e)
+  in
+  (mono, hier)
+
+let test_hier_meets_spec () =
+  let nl = datapath 3 6 in
+  let target = easy_target nl in
+  let mono, hier = size_both nl target in
+  let d_h = hier.Hier.sizer.Sizer.achieved_delay in
+  let d_m = mono.Sizer.achieved_delay in
+  checkb "hier meets the spec" true (d_h <= target *. 1.02);
+  checkb "hier advice within 2% of monolithic" true
+    (Float.abs (d_h -. d_m) /. d_m <= 0.02);
+  checkb "hier solved fewer tasks than gates" true
+    (hier.Hier.report.Hier.distinct_tasks
+    < hier.Hier.report.Hier.plan.Hier.total_instances);
+  checkb "dedup ratio above 1" true (hier.Hier.report.Hier.dedup_ratio > 1.)
+
+let test_hier_sizes_every_label () =
+  let nl = datapath 3 4 in
+  let _, hier = size_both nl (easy_target nl) in
+  let fn = hier.Hier.sizer.Sizer.sizing_fn in
+  List.iter
+    (fun l ->
+      let w = fn l in
+      checkb ("label " ^ l ^ " sized") true
+        (Float.is_finite w && w >= tech.Tech.w_min *. 0.999))
+    (Circuit.labels nl)
+
+(* ---- QCheck: hier ~ mono across generator shapes ---- *)
+
+let qcheck_hier_close =
+  QCheck.Test.make ~count:4 ~name:"hier tracks monolithic delay"
+    QCheck.(pair (int_range 3 5) (int_range 1 2))
+    (fun (stages, cols_half) ->
+      let nl = datapath (2 * cols_half) stages in
+      let target = easy_target nl in
+      let mono, hier = size_both nl target in
+      let d_h = hier.Hier.sizer.Sizer.achieved_delay in
+      let d_m = mono.Sizer.achieved_delay in
+      d_h <= target *. 1.02 && Float.abs (d_h -. d_m) /. d_m <= 0.03)
+
+let () =
+  Alcotest.run "smart_hier"
+    [
+      ( "engage",
+        [ Alcotest.test_case "mode thresholds" `Quick test_engages ] );
+      ( "plan",
+        [
+          Alcotest.test_case "shape" `Quick test_plan_shape;
+          Alcotest.test_case "rename invariance" `Quick
+            test_plan_rename_invariant;
+        ] );
+      ( "size",
+        [
+          Alcotest.test_case "meets spec, tracks mono" `Slow
+            test_hier_meets_spec;
+          Alcotest.test_case "every label sized" `Slow
+            test_hier_sizes_every_label;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest qcheck_hier_close ] );
+    ]
