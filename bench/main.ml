@@ -21,6 +21,7 @@ let all_experiments =
     ("corners", "Smart_corners: robust multi-corner sizing (BENCH_corners.json)");
     ("sparse", "Structured GP: corner families vs dense (BENCH_sparse.json)");
     ("hier", "Smart_hier: regularity + partitioned GP (BENCH_hier.json)");
+    ("absint", "Smart_absint: interval proofs + presolve (BENCH_absint.json)");
     ("serve", "Serve: daemon latency + persistent cache (BENCH_serve.json)");
     ("ablate", "Design-choice ablations");
     ("micro", "Bechamel micro-benchmarks");
@@ -38,6 +39,7 @@ let run_one ~fast = function
   | "corners" -> Exp_corners.run ~fast ()
   | "sparse" -> ignore (Exp_sparse.run ~fast () : bool)
   | "hier" -> ignore (Exp_hier.run ~fast () : bool)
+  | "absint" -> ignore (Exp_absint.run ~fast () : bool)
   | "serve" -> Exp_serve.run ~fast ()
   | "ablate" -> Exp_ablate.run ~fast ()
   | "micro" -> if not fast then Micro.run ()
@@ -131,6 +133,27 @@ let smoke_hier () =
   Printf.printf "\nhier smoke: %s\n" (if ok then "OK" else "FAILED");
   exit (if ok then 0 else 1)
 
+(* Absint gauntlet (dune build @absint-gauntlet, pulled into
+   @bench-smoke): the static-analysis experiment at reduced size.  Fails
+   on any interval-enclosure violation, a merged-program drop rate below
+   10%, advice divergence after presolve, or a fast-fail certificate
+   less than 50x faster than the gate-off rejection — not just when the
+   artifact is malformed. *)
+let smoke_absint () =
+  let sound = Exp_absint.run ~fast:true () in
+  let ok =
+    sound
+    && Runner.json_has_fields ~file:"BENCH_absint.json"
+         [
+           "gauntlet_seeds"; "gauntlet_violations"; "constraints_dropped_pct";
+           "bound_tightening_pct"; "advice_max_rel_diff"; "wall_analysis";
+           "wall_full_solve"; "wall_reduced_solve"; "presolve_wall_saved_pct";
+           "fastfail_ms"; "full_reject_ms"; "fastfail_speedup";
+         ]
+  in
+  Printf.printf "\nabsint gauntlet: %s\n" (if ok then "OK" else "FAILED");
+  exit (if ok then 0 else 1)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then smoke ();
@@ -138,6 +161,7 @@ let () =
   if List.mem "--smoke-corners" args then smoke_corners ();
   if List.mem "--smoke-sparse" args then smoke_sparse ();
   if List.mem "--smoke-hier" args then smoke_hier ();
+  if List.mem "--smoke-absint" args then smoke_absint ();
   let fast = List.mem "--fast" args in
   let selected = List.filter (fun a -> a <> "--fast") args in
   let selected =

@@ -390,6 +390,71 @@ let spice_cmd =
     (Cmd.info "spice" ~doc:"Size a macro and dump the transistor-level SPICE deck")
     Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg)
 
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let run kind bits load delay =
+    let req = requirements ~bits ~load ~no_onehot:false ~no_dynamic:false in
+    match build_first ~kind ~req with
+    | Error e -> report_error ~cmd:"analyze" e
+    | Ok info ->
+      let nl = info.Smart.Macro.netlist in
+      let spec = Smart.Constraints.spec delay in
+      let engine = Smart.Engine.create ~workers:1 () in
+      let a =
+        Smart.Engine.analyze engine ~options:Smart.Sizer.default_options tech
+          nl spec
+      in
+      let s = a.Smart.Engine.area_summary in
+      Printf.printf
+        "%s: %d variables, %d inequalities, %d equalities (%d narrowing \
+         sweeps)\n"
+        (Smart.Macro.name info) s.Smart.Absint.variables
+        s.Smart.Absint.inequalities s.Smart.Absint.equalities
+        s.Smart.Absint.sweeps;
+      Printf.printf "  proven delay floor  %10.1f ps   (spec %.1f ps)\n"
+        a.Smart.Engine.delay_lo_ps delay;
+      Printf.printf "  area lower bound    %10.1f um   (no sizing can beat it)\n"
+        s.Smart.Absint.objective_lo;
+      Printf.printf "  never-binding       %10d constraints\n"
+        s.Smart.Absint.never_binding;
+      Printf.printf
+        "  bound tightening    %10d variables narrowed (avg %.1f%% log-width)\n"
+        s.Smart.Absint.tightened s.Smart.Absint.tighten_avg_pct;
+      (* Presolve preview at the generated (fixed) budgets: what a direct
+         [Solver.solve] of this program would be spared. *)
+      let g = Smart.Constraints.generate tech nl spec in
+      let fixed = Smart.Absint.analyze g.Smart.Constraints.problem in
+      let red = Smart.Absint.reduce fixed in
+      Printf.printf
+        "  presolve            %10d/%d inequalities dropped (%.1f%%), %d \
+         bounds tightened\n"
+        (List.length red.Smart.Absint.dropped)
+        red.Smart.Absint.total
+        (Smart.Absint.drop_pct red)
+        red.Smart.Absint.tightened_bounds;
+      (* The verdict is against the spec AS GIVEN (fixed budgets): a
+         certificate here means no sizing within device bounds meets it.
+         [s.infeasible] is the stronger sizer-classified claim (not even
+         the respecification loop could rescue it); prefer it when both
+         exist. *)
+      (match (s.Smart.Absint.infeasible, fixed.Smart.Absint.certificate) with
+      | Some c, _ | None, Some c ->
+        report_error ~cmd:"analyze"
+          (Smart.Absint.err_of_certificate ~target_ps:delay c)
+      | None, None ->
+        Printf.printf "  verdict             no infeasibility certificate\n";
+        0)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Abstract interpretation of a macro's sizing program: proven \
+          delay/area lower bounds, never-binding constraints, presolve \
+          reduction preview (exit 1 with $(b,infeasible-spec) when the \
+          spec is certified unreachable)")
+    Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg)
+
 (* ---------------- lint ---------------- *)
 
 let lint_cmd =
@@ -651,4 +716,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ db_cmd; advise_cmd; size_cmd; paths_cmd; sweep_cmd; spice_cmd;
-            lint_cmd; check_cmd; serve_cmd ]))
+            analyze_cmd; lint_cmd; check_cmd; serve_cmd ]))

@@ -1,0 +1,58 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then
+    invalid_arg
+      (Printf.sprintf "Interval.make: [%g; %g] is not a log interval" lo hi);
+  { lo; hi }
+
+let of_linear a b =
+  if not (a > 0. && b >= a) then
+    invalid_arg
+      (Printf.sprintf "Interval.of_linear: [%g; %g] is not positive-ordered" a b);
+  make (log a) (log b)
+
+let point v = of_linear v v
+let top = { lo = neg_infinity; hi = infinity }
+let lo_linear iv = exp iv.lo
+let hi_linear iv = exp iv.hi
+
+let meet a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+let join a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let width iv = iv.hi -. iv.lo
+
+let slack = 1e-9
+
+let contains iv y = y >= iv.lo -. slack && y <= iv.hi +. slack
+let shift d iv = { lo = iv.lo +. d; hi = iv.hi +. d }
+
+let scale a iv =
+  if a >= 0. then { lo = a *. iv.lo; hi = a *. iv.hi }
+  else { lo = a *. iv.hi; hi = a *. iv.lo }
+
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+
+let lse xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Interval.lse: empty";
+  let m = Array.fold_left Float.max neg_infinity xs in
+  if m = neg_infinity then neg_infinity
+  else if m = infinity then infinity
+  else begin
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      s := !s +. exp (xs.(i) -. m)
+    done;
+    m +. log !s
+  end
+
+let log_sub b s =
+  if s >= b then neg_infinity
+  else if s = neg_infinity then b
+  else b +. log1p (-.exp (s -. b))
+
+let pp ppf iv =
+  Format.fprintf ppf "[%.4g, %.4g]" (lo_linear iv) (hi_linear iv)

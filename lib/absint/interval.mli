@@ -1,0 +1,69 @@
+(** Log-space intervals over strictly positive quantities.
+
+    The abstract domain of {!Absint}: an interval [\[lo; hi\]] holds the
+    {e logarithm} of a positive value, so a GP variable [x in \[a; b\]]
+    is abstracted as [\[log a; log b\]] and a monomial
+    [c * prod x_i^{a_i}] maps to the {e exact} affine image
+    [log c + sum a_i * y_i] — the monomial transfer function loses
+    nothing.  Posynomials (sums of monomials) go through interval
+    log-sum-exp, which is the only place the abstraction over-approximates
+    (it ignores that one variable couples the terms). *)
+
+type t = { lo : float; hi : float }
+(** Logs of a positive quantity; invariant [lo <= hi].  [lo] may be
+    [neg_infinity] (value can approach 0), [hi] may be [infinity]. *)
+
+val make : float -> float -> t
+(** [make lo hi] in log space; raises [Invalid_argument] when [lo > hi]
+    or either endpoint is NaN. *)
+
+val of_linear : float -> float -> t
+(** [of_linear a b] abstracts a positive linear-space range [\[a; b\]];
+    requires [0 < a <= b]. *)
+
+val point : float -> t
+(** Degenerate interval at a positive linear-space value. *)
+
+val top : t
+(** All positive values: [\[-inf; +inf\]]. *)
+
+val lo_linear : t -> float
+val hi_linear : t -> float
+(** Endpoints back in linear space ([exp]). *)
+
+val meet : t -> t -> t option
+(** Intersection; [None] when empty. *)
+
+val join : t -> t -> t
+(** Convex hull. *)
+
+val width : t -> float
+(** [hi - lo] in log space — the ratio [hi/lo] of the linear range, as a
+    log.  [0.] for points, [infinity] for unbounded intervals. *)
+
+val contains : t -> float -> bool
+(** Membership of a log-space point (closed, with a 1e-9 slack for
+    roundoff at the endpoints). *)
+
+val shift : float -> t -> t
+(** Add a log-space constant to both endpoints (multiply the linear
+    value). *)
+
+val scale : float -> t -> t
+(** [scale a iv] is the image of [y -> a * y] — the interval of
+    [x^a] in log space.  Negative [a] flips the endpoints. *)
+
+val add : t -> t -> t
+(** Minkowski sum — the interval of a linear-space {e product}. *)
+
+val lse : float array -> float
+(** Numerically-stable log-sum-exp: [log (sum_i exp x_i)].  Requires a
+    non-empty array; [neg_infinity] entries contribute nothing. *)
+
+val log_sub : float -> float -> float
+(** [log_sub b s] is [log (exp b - exp s)] for [s <= b], computed as
+    [b + log1p (-(exp (s - b)))] so near-cancellation stays stable.
+    [neg_infinity] when [s >= b] (the difference is not positive). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the {e linear}-space range, e.g. [[2.3e-1, 4.1e2]]. *)

@@ -547,4 +547,25 @@ let broken () =
             ~inputs:[ ("a", i) ] ~out:w1 ();
           B.inst b ~name:"live" ~cell:(inv ~p:"P1" ~n:"N1")
             ~inputs:[ ("a", i) ] ~out ()) );
+    ( "cover/unreachable-budget",
+      fix "unreachable" (fun b ->
+          let i = B.input b "in" in
+          let out = B.output b "out" in
+          (* One inverter into a monstrous external load: even at the
+             device-bound maximum width the proven delay floor exceeds
+             the default 150 ps budget — interval-certifiably
+             infeasible at every sizing. *)
+          B.inst b ~name:"drv" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", i) ] ~out ();
+          B.ext_load b out 1e5) );
+    ( "cover/vacuous-constraint",
+      fix "vacuous" (fun b ->
+          let i = B.input b "in" in
+          let out = B.output b "out" in
+          (* One lightly-loaded inverter: its path delay stays under the
+             150 ps budget at EVERY in-bounds sizing, so the timing
+             constraint provably never binds. *)
+          B.inst b ~name:"drv" ~cell:(inv ~p:"P1" ~n:"N1")
+            ~inputs:[ ("a", i) ] ~out ();
+          B.ext_load b out 2.) );
   ]

@@ -45,6 +45,8 @@ module Check_gen = Smart_check.Gen
 module Lint = Smart_lint.Lint
 module Lint_rules = Smart_lint.Rules
 module Lint_report = Smart_lint.Report
+module Absint = Smart_absint.Absint
+module Interval = Smart_absint.Interval
 module Error = Smart_util.Err
 
 type advice = {
@@ -134,39 +136,66 @@ let lint_candidates ?db (r : Request.t) =
            { netlist = rep.Lint.netlist; diagnostics = Lint.gating rep })
     | _ -> Ok reports)
 
+(* Interval precheck, same discipline as the lint gate: every candidate's
+   generated program is abstractly interpreted (Smart_absint) before the
+   engine sees anything; when {e every} candidate carries an
+   infeasibility certificate, the request is provably unservable and is
+   rejected with one structured error — no candidate is compiled, solved
+   or cached.  A partially-certified menu proceeds: the certified
+   candidates fast-fail inside the sizer, the rest compete as usual. *)
+let absint_candidates ?db (r : Request.t) =
+  if not r.Request.options.Sizer.absint then None
+  else
+    let db = match db with Some db -> db | None -> Database.builtins () in
+    let built =
+      Database.build_all db ~kind:r.Request.kind r.Request.requirements
+    in
+    if built = [] then None
+    else begin
+      (* Under a corner set the joint sizing must hold at the nominal
+         corner too, so a nominal-tech certificate already covers the
+         robust flow. *)
+      let tech =
+        match r.Request.corners with
+        | Some set -> (Corners.nominal set).Corners.tech
+        | None -> r.Request.tech
+      in
+      let robust = r.Request.corners <> None in
+      let errs =
+        List.map
+          (fun (_, info) ->
+            let generated =
+              Constraints.generate
+                ~reductions:r.Request.options.Sizer.reductions
+                ~objective:r.Request.options.Sizer.objective tech
+                info.Smart_macros.Macro.netlist r.Request.spec
+            in
+            Absint.infeasibility
+              ~options:(Absint.sizer_options ~robust)
+              ~target_ps:r.Request.spec.Constraints.target_delay
+              generated.Constraints.problem)
+          built
+      in
+      if List.for_all Option.is_some errs then List.hd errs else None
+    end
+
 let run ?db (r : Request.t) =
   match lint_candidates ?db r with
   | Error e -> Error e
   | Ok lints -> (
-    let db = match db with Some db -> db | None -> Database.builtins () in
-    match
-      Explore.explore_typed ?engine:r.Request.engine ~options:r.Request.options
-        ?corners:r.Request.corners ~hier:r.Request.hier ~metric:r.Request.metric
-        ~db
-        ~kind:r.Request.kind ~requirements:r.Request.requirements
-        r.Request.tech r.Request.spec
-    with
-    | Error e -> Error e
-    | Ok ranking ->
-      Ok { ranking; metric = r.Request.metric; spec = r.Request.spec; lints })
+    match absint_candidates ?db r with
+    | Some e -> Error e
+    | None -> (
+      let db = match db with Some db -> db | None -> Database.builtins () in
+      match
+        Explore.explore_typed ?engine:r.Request.engine ~options:r.Request.options
+          ?corners:r.Request.corners ~hier:r.Request.hier ~metric:r.Request.metric
+          ~db
+          ~kind:r.Request.kind ~requirements:r.Request.requirements
+          r.Request.tech r.Request.spec
+      with
+      | Error e -> Error e
+      | Ok ranking ->
+        Ok { ranking; metric = r.Request.metric; spec = r.Request.spec; lints }))
 
-let advise ?options ?(metric = Explore.Area) ~db ~kind ~requirements tech spec =
-  let request =
-    {
-      Request.kind;
-      bits = requirements.Database.bits;
-      requirements;
-      spec;
-      metric;
-      options =
-        (match options with Some o -> o | None -> Sizer.default_options);
-      tech;
-      engine = None;
-      lint = `Warn;
-      corners = None;
-      hier = `Auto;
-    }
-  in
-  Result.map_error Error.to_string (run ~db request)
-
-let version = "1.2.0"
+let version = "1.3.0"

@@ -14,10 +14,7 @@
       match Smart.run request with
       | Ok advice -> ...
       | Error e -> prerr_endline (Smart.Error.to_string e)
-    ]}
-
-    {!advise} is the original one-call entry point, kept as a thin
-    wrapper over {!run}; new code should build a {!Request.t}. *)
+    ]} *)
 
 module Tech = Smart_tech.Tech
 module Circuit = Smart_circuit.Netlist
@@ -66,6 +63,8 @@ module Check_gen = Smart_check.Gen
 module Lint = Smart_lint.Lint
 module Lint_rules = Smart_lint.Rules
 module Lint_report = Smart_lint.Report
+module Absint = Smart_absint.Absint
+module Interval = Smart_absint.Interval
 
 module Error : sig
   (** Structured advisory errors (see {!Smart_util.Err}). *)
@@ -172,21 +171,11 @@ end
 
 val run : ?db:Database.t -> Request.t -> (advice, Error.t) result
 (** The advisory flow of Figure 1 over a macro instance ([db] defaults
-    to {!Database.builtins}). *)
-
-val advise :
-  ?options:Sizer.options ->
-  ?metric:Explore.metric ->
-  db:Database.t ->
-  kind:string ->
-  requirements:Database.requirements ->
-  Tech.t ->
-  Constraints.spec ->
-  (advice, string) result
-[@@deprecated "build a Request.t with Smart.Request.make and call Smart.run"]
-(** Deprecated compatibility wrapper: builds a {!Request.t} and calls
-    {!run}, rendering errors with {!Error.to_string}.  New code should
-    use {!run} directly.  Scheduled for removal; see the migration
-    timeline in the README. *)
+    to {!Database.builtins}).  Two static gates run strictly before any
+    GP work: the lint gate (see {!Request.t.lint}) and — unless
+    [options.absint] is off — an interval-analysis precheck
+    ({!Absint}) that rejects the request with
+    {!Error.Infeasible_spec} when {e every} candidate's generated
+    program carries an infeasibility certificate. *)
 
 val version : string

@@ -5,6 +5,7 @@ module Netlist = Smart_circuit.Netlist
 module Constraints = Smart_constraints.Constraints
 module Corners = Smart_corners.Corners
 module Sizer = Smart_sizer.Sizer
+module Absint = Smart_absint.Absint
 
 (* ------------------------------------------------------------------ *)
 (* Instrumentation                                                     *)
@@ -24,6 +25,7 @@ module Trace = struct
         ok : bool;
       }
     | Min_delay of { label : string; wall_s : float; cache : cache_status }
+    | Analysis of { label : string; wall_s : float; cache : cache_status }
     | Gp_solve of {
         wall_s : float;
         newton : int;
@@ -71,6 +73,9 @@ module Trace = struct
     | Min_delay m ->
       Printf.sprintf "min-delay %-31s %8.3fs cache=%s" m.label m.wall_s
         (cache_name m.cache)
+    | Analysis a ->
+      Printf.sprintf "absint %-34s %8.3fs cache=%s" a.label a.wall_s
+        (cache_name a.cache)
     | Gp_solve g ->
       Printf.sprintf "gp-solve %8.3fs newton=%d centering=%d status=%s %s"
         g.wall_s g.newton g.centering g.status
@@ -135,6 +140,12 @@ module Trace = struct
         [
           ("event", jstr "min_delay"); ("label", jstr m.label);
           ("wall_s", jfloat m.wall_s); ("cache", jstr (cache_name m.cache));
+        ]
+    | Analysis a ->
+      json_fields
+        [
+          ("event", jstr "absint"); ("label", jstr a.label);
+          ("wall_s", jfloat a.wall_s); ("cache", jstr (cache_name a.cache));
         ]
     | Gp_solve g ->
       json_fields
@@ -284,11 +295,22 @@ type cache_stats = {
   capacity : int;
 }
 
+(* The cacheable product of an interval-analysis pass: the area program's
+   summary under the sizer classification plus a proven lower bound on
+   achievable delay from the min-delay program.  Plain data (Absint
+   summaries are Marshal-safe by contract), so it persists like any other
+   solve outcome. *)
+type analysis_report = {
+  area_summary : Absint.summary;
+  delay_lo_ps : float;
+}
+
 module Cache = struct
   type cached =
     | Sized of (Sizer.outcome, Err.t) result
     | Min of (Sizer.min_delay, Err.t) result
     | Robust of (Sizer.robust_outcome, Err.t) result
+    | Analysis of analysis_report
 
   type entry = { mutable last_use : int; value : cached }
 
@@ -410,7 +432,7 @@ end
    matches, so a newer binary can never be served an older binary's
    solution (and vice versa).  Settable so tests can flip it and assert
    the miss, and so embedders can namespace their own model changes. *)
-let version_stamp = Atomic.make "smart-solve-1"
+let version_stamp = Atomic.make "smart-solve-2"
 let cache_version () = Atomic.get version_stamp
 let set_cache_version v = Atomic.set version_stamp v
 
@@ -791,6 +813,57 @@ let minimize_delay t ?label ~options tech netlist spec =
     in
     emit t (Trace.Min_delay { label; wall_s; cache });
     r
+
+(* Pure static analysis — no GP solve, no STA.  Cached under its own tag
+   because the result depends on exactly the same structural identity as
+   a sizing (netlist wiring, spec, tech, options) but is a different
+   product.  The cache entry carries plain data only, so unlike solver
+   outcomes it also survives across binaries. *)
+let analyze t ?label ~options tech netlist spec =
+  let label = match label with Some l -> l | None -> netlist.Netlist.name in
+  match lookup t ~tag:"absint" ~options tech netlist spec with
+  | _, Some (Cache.Analysis a, status) ->
+    emit t (Trace.Analysis { label; wall_s = 0.; cache = status });
+    a
+  | key, _ ->
+    let t0 = Unix.gettimeofday () in
+    let generated =
+      Constraints.generate ~reductions:options.Sizer.reductions
+        ~objective:options.Sizer.objective tech netlist spec
+    in
+    let area =
+      Absint.analyze
+        ~options:(Absint.sizer_options ~robust:false)
+        generated.Constraints.problem
+    in
+    (* The delay floor comes from the min-delay formulation: the makespan
+       variable's narrowed lower bound is a bound no solver run (and no
+       respecification loop) can beat.  Fixed-budget classification — the
+       min-delay program is solved exactly as generated. *)
+    let min_delay =
+      Constraints.generate_min_delay ~reductions:options.Sizer.reductions tech
+        netlist spec
+    in
+    let md_analysis =
+      Absint.analyze ~options:Absint.default_options
+        min_delay.Constraints.problem
+    in
+    let delay_lo_ps =
+      match Absint.var_interval md_analysis Constraints.delay_variable with
+      | Some iv -> Absint.Interval.lo_linear iv
+      | None -> 0.
+    in
+    let a = { area_summary = Absint.summarize area; delay_lo_ps } in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let cache =
+      if caching t then begin
+        publish t key (Cache.Analysis a);
+        Trace.Miss
+      end
+      else Trace.Bypass
+    in
+    emit t (Trace.Analysis { label; wall_s; cache });
+    a
 
 let size_all t ~options tech spec named =
   let indexed = List.mapi (fun i nv -> (i, nv)) named in

@@ -29,6 +29,7 @@ module Netlist = Smart_circuit.Netlist
 module Constraints = Smart_constraints.Constraints
 module Corners = Smart_corners.Corners
 module Sizer = Smart_sizer.Sizer
+module Absint = Smart_absint.Absint
 
 (** {1 Instrumentation} *)
 
@@ -52,6 +53,8 @@ module Trace : sig
         ok : bool;
       }  (** one per candidate sizing routed through an engine *)
     | Min_delay of { label : string; wall_s : float; cache : cache_status }
+    | Analysis of { label : string; wall_s : float; cache : cache_status }
+        (** one per interval-analysis pass routed through {!analyze} *)
     | Gp_solve of {
         wall_s : float;
         newton : int;
@@ -245,6 +248,34 @@ val minimize_delay :
   Constraints.spec ->
   (Sizer.min_delay, Err.t) result
 (** Memoized {!Sizer.minimize_delay_typed}. *)
+
+type analysis_report = {
+  area_summary : Absint.summary;
+      (** the sizing program analyzed under
+          {!Smart_absint.Absint.sizer_options} — carries the narrowed
+          bounds, never-binding count and any infeasibility certificate *)
+  delay_lo_ps : float;
+      (** proven lower bound (ps) on the delay any sizing of this netlist
+          can reach, from the min-delay program's makespan variable — no
+          solver run can beat it *)
+}
+(** Plain data (no closures), so unlike solver outcomes a persisted entry
+    also decodes across binaries. *)
+
+val analyze :
+  t ->
+  ?label:string ->
+  options:Sizer.options ->
+  Tech.t ->
+  Netlist.t ->
+  Constraints.spec ->
+  analysis_report
+(** Memoized interval analysis ({!Smart_absint.Absint.analyze}) of a
+    netlist's sizing and min-delay programs — generation plus narrowing
+    only, never a GP solve or an STA run.  Cached under its own tag with
+    the same structural digest as sizings, so repeats (hierarchy
+    isomorphism classes, repeated advisory calls) are free.  Emits one
+    {!Trace.Analysis} span. *)
 
 val size_all :
   t ->

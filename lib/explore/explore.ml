@@ -167,27 +167,10 @@ let explore_typed ?engine ?options ?corners ?hier ?(metric = Area) ~db ~kind
          (fun ((e : Database.entry), info) -> (e.Database.entry_name, info))
          built)
 
-let legacy_error = function
-  | Err.No_applicable_topology { kind } ->
-    Printf.sprintf "Explore: no applicable %s topology in database" kind
-  | Err.Infeasible_spec { detail; _ } ->
-    Printf.sprintf "Explore: no topology meets the specification (%s)" detail
-  | e -> "Explore: " ^ Err.to_string e
-
-let explore ?engine ?options ?corners ?metric ~db ~kind ~requirements tech spec =
-  Result.map_error legacy_error
-    (explore_typed ?engine ?options ?corners ?metric ~db ~kind ~requirements
-       tech spec)
-
 let tune_typed ?engine ?options ?corners ?hier ?(metric = Area) ~variants tech
     spec =
   if variants = [] then Error (Err.Invalid_request "Explore.tune: no variants")
   else size_candidates ?engine ?options ?corners ?hier ~metric tech spec variants
-
-let tune ?engine ?options ?corners ?(metric = Area) ~variants tech spec =
-  if variants = [] then Err.fail "Explore.tune: no variants";
-  Result.map_error legacy_error
-    (tune_typed ?engine ?options ?corners ~metric ~variants tech spec)
 
 let sweep_area_delay ?engine ?options ?(points = 8) ?(min_relax = 1.0)
     ?(max_relax = 1.35) tech netlist spec =

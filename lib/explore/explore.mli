@@ -69,22 +69,6 @@ val explore_typed :
     the engine pool.  Ignored when [corners] is set — robust sizing stays
     monolithic. *)
 
-val explore :
-  ?engine:Smart_engine.Engine.t ->
-  ?options:Smart_sizer.Sizer.options ->
-  ?corners:Smart_corners.Corners.set ->
-  ?metric:metric ->
-  db:Smart_database.Database.t ->
-  kind:string ->
-  requirements:Smart_database.Database.requirements ->
-  Smart_tech.Tech.t ->
-  Smart_constraints.Constraints.spec ->
-  (ranking, string) result
-[@@deprecated
-  "use Explore.explore_typed: structured Err.t instead of strings"]
-(** {!explore_typed} with errors rendered to the original strings.
-    Scheduled for removal; see the migration timeline in the README. *)
-
 val sweep_area_delay :
   ?engine:Smart_engine.Engine.t ->
   ?options:Smart_sizer.Sizer.options ->
@@ -116,18 +100,3 @@ val tune_typed :
 (** Compare explicit structural variants of one macro (the topology
     optimizer): each is sized against the same spec and ranked.
     [Error Invalid_request] on an empty variant list. *)
-
-val tune :
-  ?engine:Smart_engine.Engine.t ->
-  ?options:Smart_sizer.Sizer.options ->
-  ?corners:Smart_corners.Corners.set ->
-  ?metric:metric ->
-  variants:(string * Smart_macros.Macro.info) list ->
-  Smart_tech.Tech.t ->
-  Smart_constraints.Constraints.spec ->
-  (ranking, string) result
-[@@deprecated "use Explore.tune_typed: structured Err.t instead of strings"]
-(** {!tune_typed} with errors rendered to strings; raises
-    {!Smart_util.Err.Smart_error} on an empty variant list (original
-    behaviour).  Scheduled for removal; see the migration timeline in the
-    README. *)

@@ -121,7 +121,13 @@ val size :
 (** Hierarchically size [netlist] to [spec] using [engine]'s worker pool
     for concurrent sub-solves and its cache for repeat boundaries.
     Callers gate on {!engages}; [size] itself always decomposes.
-    Errors: a sub-problem infeasible even after budget relaxation
-    surfaces as {!Smart_util.Err.Infeasible_spec}; an outer loop that
-    exhausts {!options.max_outer} without the golden timer confirming
-    the target is {!Smart_util.Err.Sta_disagreement}. *)
+    Unless [options.sizer.absint] is off, every first-iteration
+    sub-problem representative is interval-analyzed
+    ({!Smart_engine.Engine.analyze} — one cached summary per
+    isomorphism class) before any GP dispatch, and a certificate
+    fast-fails the whole sizing with
+    {!Smart_util.Err.Infeasible_spec}.  Errors: a sub-problem
+    infeasible even after budget relaxation surfaces as
+    {!Smart_util.Err.Infeasible_spec}; an outer loop that exhausts
+    {!options.max_outer} without the golden timer confirming the target
+    is {!Smart_util.Err.Sta_disagreement}. *)

@@ -7,6 +7,7 @@ module Paths = Smart_paths.Paths
 module Constraints = Smart_constraints.Constraints
 module Tech = Smart_tech.Tech
 module Posy = Smart_posy.Posy
+module Absint = Smart_absint.Absint
 open Report
 
 let max_pass_depth = 3
@@ -49,6 +50,9 @@ type ctx = {
   flow : flow option Lazy.t;
   classes : Paths.classes option Lazy.t;
   gp : Constraints.result option Lazy.t;
+  absint : Absint.t option Lazy.t;
+      (** interval analysis of [gp]'s program at the declared budgets
+          (fixed classification) — shared by the [cover] interval rules *)
 }
 
 let pin_net (i : Netlist.instance) pin = List.assoc pin i.conns
@@ -139,7 +143,14 @@ let make_ctx ?(tech = Tech.default) ?(spec = Constraints.spec 150.)
         try Some (Constraints.generate ~reductions tech nl spec)
         with Smart_util.Err.Smart_error _ -> None))
   in
-  { nl; spec; drivers; fanouts; topo; flow; classes; gp }
+  let absint =
+    lazy
+      (match Lazy.force gp with
+      | None -> None
+      | Some result ->
+        Some (Absint.analyze result.Constraints.problem))
+  in
+  { nl; spec; drivers; fanouts; topo; flow; classes; gp; absint }
 
 (* ------------------------------------------------------------------ *)
 (* Shared helpers                                                      *)
@@ -833,6 +844,65 @@ let r_orphan_label ctx =
                     l);
              ])
 
+(* Interval-backed coverage rules: the generated program is abstractly
+   interpreted at its declared budgets (fixed classification — lint has
+   no respecification loop to appeal to), and the narrowed intervals
+   either certify a budget unreachable at ANY sizing or prove a
+   constraint can never bind. *)
+
+let r_unreachable_budget ctx =
+  match Lazy.force ctx.absint with
+  | None -> []
+  | Some a -> (
+    match a.Absint.certificate with
+    | None -> []
+    | Some c ->
+      [
+        diag ~rule:"cover/unreachable-budget" ~severity:Warn
+          ~loc:Whole_netlist
+          ~hint:
+            "relax the target delay, slope cap or precharge budget until \
+             the proven floor fits"
+          (Printf.sprintf
+             "%s — the spec is infeasible for this netlist at every \
+              sizing, by interval proof (constraint %s exceeds its budget \
+              by %.2fx)"
+             c.Absint.detail c.Absint.constraint_name c.Absint.excess);
+      ])
+
+let r_vacuous_constraint ctx =
+  match Lazy.force ctx.absint with
+  | None -> []
+  | Some a ->
+    if a.Absint.certificate <> None then []
+    else begin
+      let vacuous =
+        Array.to_list a.Absint.constraints
+        |> List.filter_map (fun (c : Absint.constraint_bound) ->
+               if c.Absint.binding_possible then None else Some c.Absint.name)
+      in
+      match vacuous with
+      | [] -> []
+      | names ->
+        let n = List.length names in
+        let shown = List.filteri (fun i _ -> i < 5) names in
+        let suffix = if n > List.length shown then ", ..." else "" in
+        [
+          diag ~rule:"cover/vacuous-constraint" ~severity:Info
+            ~loc:Whole_netlist
+            ~hint:
+              "harmless, but a large vacuous count suggests budgets far \
+               from the design's operating region"
+            (Printf.sprintf
+               "%d constraint%s can never bind at the declared budgets \
+                (interval proof): %s%s"
+               n
+               (if n = 1 then "" else "s")
+               (String.concat ", " shown)
+               suffix);
+        ]
+    end
+
 (* ------------------------------------------------------------------ *)
 (* Registry order                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -935,5 +1005,17 @@ let builtin =
       group = "cover";
       doc = "every size label needs an active sizing constraint";
       check = r_orphan_label;
+    };
+    {
+      id = "cover/unreachable-budget";
+      group = "cover";
+      doc = "a budget below the interval-proven floor fails at every sizing";
+      check = r_unreachable_budget;
+    };
+    {
+      id = "cover/vacuous-constraint";
+      group = "cover";
+      doc = "constraints proven slack at every sizing are dead weight";
+      check = r_vacuous_constraint;
     };
   ]

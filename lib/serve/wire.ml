@@ -608,14 +608,22 @@ module Response = struct
     id : string option;
     cache : string option;
     wall_ms : float option;
+    diagnostics : string list;
     payload : payload;
   }
 
-  let ok ?id ?cache ?wall_ms advice =
-    { v = version; id; cache; wall_ms; payload = Advice advice }
+  let ok ?id ?cache ?wall_ms ?(diagnostics = []) advice =
+    { v = version; id; cache; wall_ms; diagnostics; payload = Advice advice }
 
-  let error ?id e =
-    { v = version; id; cache = None; wall_ms = None; payload = Failed e }
+  let error ?id ?(diagnostics = []) e =
+    {
+      v = version;
+      id;
+      cache = None;
+      wall_ms = None;
+      diagnostics;
+      payload = Failed e;
+    }
 
   let encode t =
     let opt name conv = function
@@ -631,6 +639,12 @@ module Response = struct
       @ [ ("ok", Jsonx.Bool ok_flag) ]
       @ opt "cache" (fun s -> Jsonx.Str s) t.cache
       @ opt "wall_ms" (fun f -> Jsonx.Num f) t.wall_ms
+      (* Absent when empty: a v1 peer that predates the field sees a
+         byte-identical response for diagnostic-free traffic. *)
+      @ (match t.diagnostics with
+        | [] -> []
+        | ds ->
+          [ ("diagnostics", Jsonx.Arr (List.map (fun s -> Jsonx.Str s) ds)) ])
       @
       match t.payload with
       | Advice a -> [ ("advice", Advice.encode a) ]
@@ -645,6 +659,22 @@ module Response = struct
       let* id = opt_field j "id" Jsonx.to_str "a string" in
       let* cache = opt_field j "cache" Jsonx.to_str "a string" in
       let* wall_ms = opt_field j "wall_ms" Jsonx.to_float "a number" in
+      let* diagnostics =
+        (* Tolerant default: absent (an older peer) decodes as []. *)
+        match Jsonx.member "diagnostics" j with
+        | None -> Ok []
+        | Some (Jsonx.Arr xs) ->
+          List.fold_left
+            (fun acc x ->
+              let* acc = acc in
+              match Jsonx.to_str x with
+              | Some s -> Ok (s :: acc)
+              | None ->
+                bad ~field:"diagnostics" "expected an array of strings")
+            (Ok []) xs
+          |> Result.map List.rev
+        | Some _ -> bad ~field:"diagnostics" "expected an array of strings"
+      in
       let* payload =
         match
           ( Jsonx.member "advice" j,
@@ -662,7 +692,7 @@ module Response = struct
           bad
             "response must carry exactly one of advice / error / pong / stats"
       in
-      Ok { v; id; cache; wall_ms; payload }
+      Ok { v; id; cache; wall_ms; diagnostics; payload }
     | _ -> bad "response must be a JSON object"
 
   let to_line t = Jsonx.to_string (encode t)

@@ -167,11 +167,24 @@ module Response : sig
         (** how the advisory was served: ["memory"] / ["disk"] /
             ["solved"] (approximate under concurrent load) *)
     wall_ms : float option;
+    diagnostics : string list;
+        (** human-readable static-analysis lines (lint findings,
+            interval-analysis bound notes) attached to the response.
+            Omitted from the wire when empty, and an absent field
+            decodes as [[]] — a v1 peer on either side of the field's
+            introduction interoperates unchanged. *)
     payload : payload;
   }
 
-  val ok : ?id:string -> ?cache:string -> ?wall_ms:float -> Advice.t -> t
-  val error : ?id:string -> Smart.Error.t -> t
+  val ok :
+    ?id:string ->
+    ?cache:string ->
+    ?wall_ms:float ->
+    ?diagnostics:string list ->
+    Advice.t ->
+    t
+
+  val error : ?id:string -> ?diagnostics:string list -> Smart.Error.t -> t
   val encode : t -> Jsonx.t
   val decode : Jsonx.t -> (t, Smart.Error.t) result
   val to_line : t -> string

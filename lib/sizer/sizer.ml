@@ -24,6 +24,8 @@ type options = {
   gp_warm_start : bool;
   gp_structure : bool;
   certify : bool;
+  absint : bool;
+  absint_presolve : bool;
 }
 
 let default_options =
@@ -38,7 +40,36 @@ let default_options =
     gp_warm_start = true;
     gp_structure = true;
     certify = false;
+    absint = true;
+    absint_presolve = false;
   }
+
+module Absint = Smart_absint.Absint
+
+(* Static gate + presolve: one interval analysis of the generated
+   program, classified by what this loop can actually do to each budget
+   class.  A certificate (a constraint provably violated at every budget
+   the loop could grant — slope bounds, precharge beyond any reachable
+   relaxation) rejects the specification before anything is compiled or
+   solved.  When presolve is enabled the same fixed point feeds
+   [Absint.reduce ~tighten:false]: constraints proven slack or dominated
+   within their budget class are dropped before [Solver.prepare], with
+   names and the variable set preserved so warm starts and budget
+   rescales work unchanged.  Certified runs skip the reduction — the
+   independent certificate wants every constraint's dual. *)
+let absint_gate ~robust ~options ~target_ps (problem : Problem.t) =
+  if not (options.absint || options.absint_presolve) then Ok problem
+  else begin
+    let analysis = Absint.analyze ~options:(Absint.sizer_options ~robust) problem in
+    match analysis.Absint.certificate with
+    | Some c when options.absint ->
+      Error (Absint.err_of_certificate ~target_ps c)
+    | Some _ -> Ok problem
+    | None ->
+      if options.absint_presolve && not options.certify then
+        Ok (Absint.reduce ~tighten:false analysis).Absint.reduced
+      else Ok problem
+  end
 
 type outcome = {
   sizing : (string * float) list;
@@ -73,11 +104,12 @@ let fn_of_sizing sizing =
     | Some w -> w
     | None -> Smart_util.Err.fail "Sizer: no width for label %s" l
 
-let size_typed_impl ?(options = default_options) tech netlist spec =
-  let generated =
-    Constraints.generate ~reductions:options.reductions
-      ~objective:options.objective tech netlist spec
-  in
+(* The respecification loop proper; [gp_problem] is [generated]'s program
+   after the absint gate (and possibly presolve reduction) — same variable
+   set and constraint names, so rescale-by-name and warm starts are
+   unaffected. *)
+let size_typed_loop ~options tech netlist spec
+    (generated : Constraints.result) gp_problem =
   let precharge_budget =
     match spec.Constraints.precharge_budget with
     | Some b -> b
@@ -105,9 +137,7 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
   (* Compile the program once; every respecification round only patches
      the compiled budget coefficients and re-solves, warm-started from the
      previous round's log-space solution. *)
-  let prepared =
-    Solver.prepare ~structure:options.gp_structure generated.Constraints.problem
-  in
+  let prepared = Solver.prepare ~structure:options.gp_structure gp_problem in
   let gp_families = (Solver.structure_stats prepared).Solver.families in
   let warm = ref None in
   (* Warm-start policy: hold one anchor snapshot while it keeps working,
@@ -324,6 +354,21 @@ let size_typed_impl ?(options = default_options) tech netlist spec =
              iterations = !iterations;
            }))
 
+let size_typed_impl ?(options = default_options) tech netlist spec =
+  let generated =
+    Constraints.generate ~reductions:options.reductions
+      ~objective:options.objective tech netlist spec
+  in
+  (* Reject provably-infeasible specifications before the program is
+     compiled or any GP solve runs (no gp.solve span is emitted on the
+     fast-fail path). *)
+  match
+    absint_gate ~robust:false ~options
+      ~target_ps:spec.Constraints.target_delay generated.Constraints.problem
+  with
+  | Error e -> Error e
+  | Ok gp_problem -> size_typed_loop ~options tech netlist spec generated gp_problem
+
 let size_typed ?options tech netlist spec =
   Tracepoint.timed "sizer.size"
     ~attrs:(fun r ->
@@ -348,11 +393,6 @@ let size_typed ?options tech netlist spec =
       | Error e ->
         [ ("ok", Tracepoint.Bool false); ("error", Tracepoint.Str (Err.to_string e)) ]))
     (fun () -> size_typed_impl ?options tech netlist spec)
-
-let size ?options tech netlist spec =
-  Result.map_error
-    (fun e -> "Sizer: " ^ Err.to_string e)
-    (size_typed ?options tech netlist spec)
 
 (* ------------------------------------------------------------------ *)
 (* Multi-corner robust sizing                                          *)
@@ -444,6 +484,14 @@ let size_robust_impl ?(options = default_options) ?(mapper = sequential_mapper)
     Corners.merge_generated (List.combine corner_list corner_gens)
   in
   let generated = merged.Corners.generated in
+  (* Reject provably-infeasible specifications (at any corner) before
+     the merged program is compiled or any GP solve runs. *)
+  match
+    absint_gate ~robust:true ~options
+      ~target_ps:spec.Constraints.target_delay generated.Constraints.problem
+  with
+  | Error e -> Error e
+  | Ok gp_problem ->
   let precharge_budget =
     match spec.Constraints.precharge_budget with
     | Some b -> b
@@ -484,9 +532,7 @@ let size_robust_impl ?(options = default_options) ?(mapper = sequential_mapper)
   let total_newton = ref 0 in
   let iterations = ref 0 in
   let result = ref None in
-  let prepared =
-    Solver.prepare ~structure:options.gp_structure generated.Constraints.problem
-  in
+  let prepared = Solver.prepare ~structure:options.gp_structure gp_problem in
   let gp_families = (Solver.structure_stats prepared).Solver.families in
   let warm = ref None in
   let warm_rounds = ref 0 in
@@ -813,18 +859,22 @@ let size_robust_typed ?options ?mapper corners netlist spec =
         [ ("ok", Tracepoint.Bool false); ("error", Tracepoint.Str (Err.to_string e)) ]))
     (fun () -> size_robust_impl ?options ?mapper corners netlist spec)
 
-let size_robust ?options ?mapper corners netlist spec =
-  Result.map_error
-    (fun e -> "Sizer: " ^ Err.to_string e)
-    (size_robust_typed ?options ?mapper corners netlist spec)
-
 type min_delay = { golden_min : float; model_min : float }
 
 let minimize_delay_typed ?(options = default_options) tech netlist spec =
   let generated =
     Constraints.generate_min_delay ~reductions:options.reductions tech netlist spec
   in
-  match Solver.solve ~options:options.gp_options generated.Constraints.problem with
+  (* The makespan budgets are the delay variable itself (never certified
+     against), but fixed budget classes — slope above all — can still
+     prove the program infeasible before the solve. *)
+  match
+    absint_gate ~robust:false ~options
+      ~target_ps:spec.Constraints.target_delay generated.Constraints.problem
+  with
+  | Error e -> Error e
+  | Ok gp_problem ->
+  match Solver.solve ~options:options.gp_options gp_problem with
   | Error e -> Error (Err.Gp_failure e)
   | Ok sol -> (
     match sol.Solver.status with
@@ -847,8 +897,3 @@ let minimize_delay_typed ?(options = default_options) tech netlist spec =
           golden_min = sta.Sta.max_delay;
           model_min = Solver.lookup sol Constraints.delay_variable;
         })
-
-let minimize_delay ?options tech netlist spec =
-  Result.map_error
-    (fun e -> "Sizer.minimize_delay: " ^ Err.to_string e)
-    (minimize_delay_typed ?options tech netlist spec)

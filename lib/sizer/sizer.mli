@@ -42,6 +42,20 @@ type options = {
           reconstruction of the round's rescaled program; a rejected
           certificate aborts the loop with
           {!Smart_util.Err.Gp_failure} (default false) *)
+  absint : bool;
+      (** interval-analyze the generated program before compiling it and
+          reject provably-infeasible specifications
+          ({!Smart_absint.Absint}) with a structured
+          {!Smart_util.Err.Infeasible_spec} — {e before} any GP solve
+          runs, so the fast-fail path emits no [gp.solve] span
+          (default true) *)
+  absint_presolve : bool;
+      (** feed {!Smart_gp.Solver.prepare} the
+          {!Smart_absint.Absint.reduce}d program — provably-slack and
+          dominated constraints dropped within their budget class, the
+          variable set and constraint names preserved.  Skipped when
+          [certify] is set (the independent certificate checks the full
+          dual vector of the unreduced program).  (default false) *)
 }
 
 val default_options : options
@@ -90,17 +104,6 @@ val size_typed :
     spec but the golden timer never confirmed it, or
     {!Smart_util.Err.Gp_failure} for malformed programs.  Emits a
     ["sizer.size"] tracepoint when instrumentation is installed. *)
-
-val size :
-  ?options:options ->
-  Smart_tech.Tech.t ->
-  Smart_circuit.Netlist.t ->
-  Smart_constraints.Constraints.spec ->
-  (outcome, string) result
-[@@deprecated "use Sizer.size_typed: structured Err.t instead of strings"]
-(** {!size_typed} with the error rendered to a string — the original
-    API, kept for compatibility.  Scheduled for removal; see the
-    migration timeline in the README. *)
 
 (** {1 Multi-corner robust sizing} *)
 
@@ -151,18 +154,6 @@ val size_robust_typed :
     key on the worst-corner result.  Errors as {!size_typed}, with
     [Infeasible_spec] naming the corner set. *)
 
-val size_robust :
-  ?options:options ->
-  ?mapper:mapper ->
-  Smart_corners.Corners.set ->
-  Smart_circuit.Netlist.t ->
-  Smart_constraints.Constraints.spec ->
-  (robust_outcome, string) result
-[@@deprecated
-  "use Sizer.size_robust_typed: structured Err.t instead of strings"]
-(** {!size_robust_typed} with the error rendered to a string.  Scheduled
-    for removal; see the migration timeline in the README. *)
-
 type min_delay = {
   golden_min : float;  (** fastest golden delay found, ps *)
   model_min : float;  (** the GP's own makespan optimum, ps *)
@@ -176,15 +167,5 @@ val minimize_delay_typed :
   (min_delay, Smart_util.Err.t) result
 (** Fastest achievable delay of the topology within size bounds — the
     anchor point of area–delay trade-off curves (Fig. 6).  [model_min]
-    doubles as a {!options.min_delay_hint} for subsequent {!size} calls. *)
-
-val minimize_delay :
-  ?options:options ->
-  Smart_tech.Tech.t ->
-  Smart_circuit.Netlist.t ->
-  Smart_constraints.Constraints.spec ->
-  (min_delay, string) result
-[@@deprecated
-  "use Sizer.minimize_delay_typed: structured Err.t instead of strings"]
-(** {!minimize_delay_typed} with the error rendered to a string.
-    Scheduled for removal; see the migration timeline in the README. *)
+    doubles as a {!options.min_delay_hint} for subsequent
+    {!size_typed} calls. *)

@@ -1,0 +1,265 @@
+(* Smart_absint tests: the interval domain, the soundness gauntlet
+   (intervals must enclose every solved optimum and never certify a
+   feasible program), presolve equivalence (the reduced program advises
+   identically), and the engine fast-fail regression (a certified
+   infeasible spec is rejected before any GP solve runs). *)
+
+module Smart = Smart_core.Smart
+module Absint = Smart.Absint
+module Interval = Smart.Interval
+module C = Smart.Constraints
+module Gp = Smart.Gp
+module Gen = Smart.Check_gen
+module Sta = Smart.Sta
+module Tech = Smart.Tech
+module Sizer = Smart.Sizer
+module Engine = Smart.Engine
+module Corners = Smart.Corners
+module Err = Smart_util.Err
+
+let tech = Tech.default
+let checkb msg = Alcotest.(check bool) msg
+let checki msg = Alcotest.(check int) msg
+
+(* ---------------- interval domain ---------------- *)
+
+let test_interval_linear_roundtrip () =
+  let iv = Interval.of_linear 0.25 12.5 in
+  checkb "lo" true (abs_float (Interval.lo_linear iv -. 0.25) < 1e-12);
+  checkb "hi" true (abs_float (Interval.hi_linear iv -. 12.5) < 1e-12);
+  checkb "point width" true (Interval.width (Interval.point 3.) = 0.);
+  checkb "top is unbounded" true (Interval.width Interval.top = infinity)
+
+let test_interval_add_is_product () =
+  let a = Interval.of_linear 2. 3. and b = Interval.of_linear 5. 7. in
+  let p = Interval.add a b in
+  checkb "product lo" true (abs_float (Interval.lo_linear p -. 10.) < 1e-9);
+  checkb "product hi" true (abs_float (Interval.hi_linear p -. 21.) < 1e-9)
+
+let test_interval_scale_negative_flips () =
+  let a = Interval.of_linear 2. 8. in
+  let inv = Interval.scale (-1.) a in
+  checkb "1/x lo" true (abs_float (Interval.lo_linear inv -. 0.125) < 1e-12);
+  checkb "1/x hi" true (abs_float (Interval.hi_linear inv -. 0.5) < 1e-12)
+
+let interval_lse_matches_naive =
+  QCheck.Test.make ~name:"lse matches naive log-sum-exp" ~count:500
+    QCheck.(list_of_size Gen.(return 4) (float_range (-20.) 20.))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let xs = Array.of_list xs in
+      let naive =
+        log (Array.fold_left (fun acc x -> acc +. exp x) 0. xs)
+      in
+      abs_float (Interval.lse xs -. naive) < 1e-9 *. (1. +. abs_float naive))
+
+let test_log_sub_stable () =
+  (* Near-cancellation: log(e^b - e^s) with s close to b. *)
+  let b = 10. and s = 10. -. 1e-9 in
+  let d = Interval.log_sub b s in
+  checkb "finite under near-cancellation" true
+    (d > neg_infinity && d < b);
+  checkb "non-positive difference collapses" true
+    (Interval.log_sub 1. 2. = neg_infinity)
+
+(* ---------------- soundness gauntlet ---------------- *)
+
+(* For every generated netlist: analyze the fixed-budget program, solve
+   it, and require (a) a certificate is never contradicted by an Optimal
+   solve, (b) an Optimal solve's objective and variable assignment lie
+   inside the proven intervals, (c) the min-delay floor never exceeds
+   the golden STA's measured delay at an in-bounds operating point. *)
+let soundness_one ~gates seed =
+  let nl = Gen.netlist ~gates ~seed () in
+  let spec = C.spec 400. in
+  let g = C.generate tech nl spec in
+  let a = Absint.analyze g.C.problem in
+  (match (a.Absint.certificate, Gp.solve g.C.problem) with
+  | Some c, Ok sol ->
+    if sol.Gp.status = Gp.Optimal then
+      Alcotest.failf "seed %d: certified infeasible (%s) yet solved Optimal"
+        seed c.Absint.detail
+  | _, Error _ | None, Ok _ -> ());
+  (match Gp.solve g.C.problem with
+  | Error _ -> ()
+  | Ok sol when sol.Gp.status <> Gp.Optimal -> ()
+  | Ok sol ->
+    let lo = Interval.lo_linear a.Absint.objective in
+    if sol.Gp.objective_value < lo *. (1. -. 1e-6) then
+      Alcotest.failf "seed %d: optimum %.6g beats proven floor %.6g" seed
+        sol.Gp.objective_value lo;
+    List.iter
+      (fun (name, v) ->
+        match Absint.var_interval a name with
+        | None -> ()
+        | Some iv ->
+          if not (Interval.contains iv (log v)) then
+            Alcotest.failf "seed %d: solved %s=%.6g escapes [%.6g, %.6g]"
+              seed name v (Interval.lo_linear iv) (Interval.hi_linear iv))
+      sol.Gp.values);
+  (* Golden enclosure: the proven model-delay floor is a lower bound
+     over the whole box, so no in-box sizing — here the gauntlet's
+     deterministic operating point — can be measured faster (small
+     tolerance for golden-vs-model slope handoff). *)
+  let md = C.generate_min_delay tech nl spec in
+  let mda = Absint.analyze md.C.problem in
+  match Absint.var_interval mda C.delay_variable with
+  | None -> Alcotest.failf "seed %d: min-delay program lost %s" seed
+              C.delay_variable
+  | Some iv ->
+    let floor = Interval.lo_linear iv in
+    let golden =
+      (Sta.analyze tech nl ~sizing:(Gen.sizing ~seed nl)).Sta.max_delay
+    in
+    if golden > 0. && floor > golden *. 1.05 then
+      Alcotest.failf "seed %d: floor %.2f ps above golden %.2f ps" seed
+        floor golden
+
+let test_soundness_gauntlet () =
+  for seed = 1 to 40 do
+    soundness_one ~gates:10 seed
+  done
+
+(* ---------------- presolve equivalence ---------------- *)
+
+let rel_diff a b = abs_float (a -. b) /. max 1e-30 (max (abs_float a) (abs_float b))
+
+let solve_optimal name problem =
+  match Gp.solve problem with
+  | Error e -> Alcotest.failf "%s: solve failed: %s" name e
+  | Ok sol ->
+    if sol.Gp.status <> Gp.Optimal then Alcotest.failf "%s: not Optimal" name;
+    sol
+
+(* The reduced program must advise identically: same objective value and
+   the same sizing, to solver tolerance. *)
+let assert_reduction_equivalent name (problem : Smart.Gp_problem.t) =
+  let a = Absint.analyze problem in
+  checkb (name ^ ": no certificate") true (a.Absint.certificate = None);
+  let red = Absint.reduce ~tighten:true a in
+  let full = solve_optimal (name ^ " full") problem in
+  let small = solve_optimal (name ^ " reduced") red.Absint.reduced in
+  let obj_diff = rel_diff full.Gp.objective_value small.Gp.objective_value in
+  checkb
+    (Printf.sprintf "%s: objective within 1e-6 (rel diff %.3g)" name obj_diff)
+    true (obj_diff <= 1e-6);
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (n, v) -> Hashtbl.replace tbl n v) small.Gp.values;
+  List.iter
+    (fun (n, v) ->
+      match Hashtbl.find_opt tbl n with
+      | None -> Alcotest.failf "%s: reduced program lost variable %s" name n
+      | Some v' ->
+        if rel_diff v v' > 1e-4 then
+          Alcotest.failf "%s: %s diverged %.8g vs %.8g" name n v v')
+    full.Gp.values;
+  red
+
+let test_presolve_adder64 () =
+  let nl = (Smart.Cla_adder.generate ~bits:64 ()).Smart.Macro.netlist in
+  let g = C.generate tech nl (C.spec 400.) in
+  let red = assert_reduction_equivalent "adder64" g.C.problem in
+  checki "names preserved" red.Absint.total
+    (List.length red.Absint.dropped + red.Absint.kept)
+
+(* 3-corner merged rot4: cross-corner dominance must retire a material
+   slice of the merged constraint set — the BENCH_absint acceptance
+   criterion, pinned here as a regression. *)
+let test_presolve_rot4_merged () =
+  let nl = (Smart.Shifter.generate ~bits:4 ()).Smart.Macro.netlist in
+  let m =
+    Corners.generate_robust (Corners.default_set ()) nl (C.spec 400.)
+  in
+  let red =
+    assert_reduction_equivalent "rot4 merged" m.Corners.generated.C.problem
+  in
+  let pct = Absint.drop_pct red in
+  checkb
+    (Printf.sprintf "merged 3-corner drop >= 10%% (got %.1f%%)" pct)
+    true (pct >= 10.);
+  (* Every drop is explainable in original terms. *)
+  List.iter
+    (fun (n, reason) ->
+      match reason with
+      | Absint.Slack -> ()
+      | Absint.Dominated _ -> (
+        match Absint.implied_by red n with
+        | Some _ -> ()
+        | None -> Alcotest.failf "dropped %s has no implied_by witness" n))
+    red.Absint.dropped
+
+(* ---------------- fast-fail regression ---------------- *)
+
+(* A spec whose slope budget is provably unreachable must be rejected
+   with a structured certificate BEFORE any GP solve runs: the trace may
+   carry analysis spans but no gp.solve span. *)
+let test_fast_fail_no_gp_solve () =
+  let nl = (Smart.Mux.generate Smart.Mux.Strongly_mutexed ~n:4).Smart.Macro.netlist in
+  let spec = C.spec ~max_slope:1e-4 400. in
+  let sink, drain = Engine.Trace.memory () in
+  let engine = Engine.create ~workers:1 ~sink () in
+  (match Engine.size engine ~options:Sizer.default_options tech nl spec with
+  | Error (Err.Infeasible_spec _) -> ()
+  | Error e -> Alcotest.failf "wrong error class: %s" (Err.to_string e)
+  | Ok _ -> Alcotest.fail "impossible slope budget was accepted");
+  let gp_spans =
+    List.filter
+      (function Engine.Trace.Gp_solve _ -> true | _ -> false)
+      (drain ())
+  in
+  checki "no gp.solve span on the fast-fail path" 0 (List.length gp_spans)
+
+(* Turning the gate off restores the old behaviour: the solver itself
+   reports the infeasibility (or the sizer fails to meet the slope), but
+   only after doing GP work — the latency contrast the bench measures. *)
+let test_gate_off_still_fails () =
+  let nl = (Smart.Mux.generate Smart.Mux.Strongly_mutexed ~n:4).Smart.Macro.netlist in
+  let spec = C.spec ~max_slope:1e-4 400. in
+  let options = { Sizer.default_options with Sizer.absint = false } in
+  match Sizer.size_typed ~options tech nl spec with
+  | Ok _ -> Alcotest.fail "impossible slope budget was accepted"
+  | Error _ -> ()
+
+(* The infeasibility helper renders the same certificate the analysis
+   carries, as a structured error. *)
+let test_infeasibility_helper () =
+  let nl = (Smart.Mux.generate Smart.Mux.Strongly_mutexed ~n:4).Smart.Macro.netlist in
+  let g = C.generate tech nl (C.spec ~max_slope:1e-4 400.) in
+  match
+    Absint.infeasibility
+      ~options:(Absint.sizer_options ~robust:false)
+      ~target_ps:400. g.C.problem
+  with
+  | Some (Err.Infeasible_spec _) -> ()
+  | Some e -> Alcotest.failf "wrong error: %s" (Err.to_string e)
+  | None -> Alcotest.fail "no certificate for an impossible slope budget"
+
+let () =
+  Alcotest.run "smart_absint"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "linear roundtrip" `Quick
+            test_interval_linear_roundtrip;
+          Alcotest.test_case "add is product" `Quick test_interval_add_is_product;
+          Alcotest.test_case "negative scale flips" `Quick
+            test_interval_scale_negative_flips;
+          QCheck_alcotest.to_alcotest interval_lse_matches_naive;
+          Alcotest.test_case "log_sub stability" `Quick test_log_sub_stable;
+        ] );
+      ( "soundness",
+        [ Alcotest.test_case "gauntlet" `Slow test_soundness_gauntlet ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "adder64 equivalence" `Slow test_presolve_adder64;
+          Alcotest.test_case "rot4 merged drop" `Slow test_presolve_rot4_merged;
+        ] );
+      ( "fast-fail",
+        [
+          Alcotest.test_case "no gp.solve span" `Quick test_fast_fail_no_gp_solve;
+          Alcotest.test_case "gate off still fails" `Quick
+            test_gate_off_still_fails;
+          Alcotest.test_case "infeasibility helper" `Quick
+            test_infeasibility_helper;
+        ] );
+    ]

@@ -201,6 +201,38 @@ let roundtrip_response =
       in
       rt ok && rt err)
 
+let roundtrip_diagnostics =
+  QCheck.Test.make
+    ~name:"response diagnostics round-trip (and vanish when empty)"
+    ~count:200
+    QCheck.(pair wire_advice (small_list ident))
+    (fun (a, diags) ->
+      let ok = Wire.Response.ok ~cache:"solved" ~diagnostics:diags a in
+      let line = Wire.Response.to_line ok in
+      (* Diagnostic-free responses stay byte-identical to the pre-field
+         wire form; non-empty lists survive the round trip. *)
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i =
+          i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+        in
+        at 0
+      in
+      contains line "\"diagnostics\"" = (diags <> [])
+      &&
+      match Wire.Response.of_line line with
+      | Ok r' -> r'.Wire.Response.diagnostics = diags
+      | Error _ -> false)
+
+let test_absent_diagnostics_decodes_empty () =
+  (* A v1 response emitted before the field existed. *)
+  let old = {|{"v":1,"pong":true}|} in
+  match Wire.Response.of_line old with
+  | Ok r ->
+    Alcotest.(check (list string))
+      "absent field decodes as []" [] r.Wire.Response.diagnostics
+  | Error e -> Alcotest.fail (Err.to_string e)
+
 (* The parser itself must be total; fuzz it with raw bytes. *)
 let parser_total =
   QCheck.Test.make ~name:"jsonx parser never raises" ~count:500
@@ -373,12 +405,15 @@ let () =
             roundtrip_error;
             roundtrip_advice;
             roundtrip_response;
+            roundtrip_diagnostics;
             parser_total;
           ] );
       ( "hardening",
         [
           Alcotest.test_case "unknown fields ignored" `Quick
             test_unknown_fields_ignored;
+          Alcotest.test_case "absent diagnostics decodes empty" `Quick
+            test_absent_diagnostics_decodes_empty;
           Alcotest.test_case "malformed input" `Quick
             test_malformed_is_bad_request;
           Alcotest.test_case "elaboration validation" `Quick
