@@ -96,8 +96,12 @@ let run ~fast () =
   in
   let points = if fast then 4 else 6 in
   let sweep () =
-    Smart.Explore.sweep_area_delay ~engine:cache_engine ~points tech nl
-      (Smart.Constraints.spec 1e6)
+    match
+      Smart.Explore.sweep_area_delay ~engine:cache_engine ~points tech nl
+        (Smart.Constraints.spec 1e6)
+    with
+    | Ok s -> s.Smart.Explore.sweep_curve
+    | Error _ -> []
   in
   let pts_cold, wall_cold = time sweep in
   let pts_warm, wall_warm = time sweep in

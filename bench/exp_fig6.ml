@@ -16,14 +16,17 @@ let run ~fast () =
   (* The paper plots a working range, not the min-delay wall: sweep from
      8% above the fastest feasible point, where area-delay trading is
      meaningful, out to 42% relaxation. *)
-  let points =
+  let sweep =
     Smart.Explore.sweep_area_delay ~points:(if fast then 5 else 8)
       ~min_relax:1.08 ~max_relax:1.42 Runner.tech info.Smart.Macro.netlist
       (Smart.Constraints.spec 1e6)
   in
-  match points with
-  | [] -> print_endline "  sweep failed"
-  | (d0, _) :: _ ->
+  match sweep with
+  | Error e ->
+    Printf.printf "  sweep failed: %s\n" (Smart.Error.to_string e)
+  | Ok { Smart.Explore.sweep_curve = []; _ } ->
+    print_endline "  sweep: every point infeasible"
+  | Ok { Smart.Explore.sweep_curve = (d0, _) :: _ as points; _ } ->
     (* Normalize as the paper does: delay to the tightest point; area so
        the mid-curve sits near 1. *)
     let areas = List.map snd points in

@@ -22,6 +22,7 @@ let all_experiments =
     ("sparse", "Structured GP: corner families vs dense (BENCH_sparse.json)");
     ("hier", "Smart_hier: regularity + partitioned GP (BENCH_hier.json)");
     ("absint", "Smart_absint: interval proofs + presolve (BENCH_absint.json)");
+    ("egraph", "Smart_rewrite: e-graph saturation + gauntlet (BENCH_egraph.json)");
     ("serve", "Serve: daemon latency + persistent cache (BENCH_serve.json)");
     ("ablate", "Design-choice ablations");
     ("micro", "Bechamel micro-benchmarks");
@@ -40,6 +41,7 @@ let run_one ~fast = function
   | "sparse" -> ignore (Exp_sparse.run ~fast () : bool)
   | "hier" -> ignore (Exp_hier.run ~fast () : bool)
   | "absint" -> ignore (Exp_absint.run ~fast () : bool)
+  | "egraph" -> ignore (Exp_egraph.run ~fast () : bool)
   | "serve" -> Exp_serve.run ~fast ()
   | "ablate" -> Exp_ablate.run ~fast ()
   | "micro" -> if not fast then Micro.run ()
@@ -154,9 +156,31 @@ let smoke_absint () =
   Printf.printf "\nabsint gauntlet: %s\n" (if ok then "OK" else "FAILED");
   exit (if ok then 0 else 1)
 
+(* E-graph smoke (dune build @egraph-smoke, pulled into @bench-smoke):
+   the rewrite experiment at reduced size.  Fails when extraction cannot
+   match the menu on the naive-chain workload, when the soundness
+   gauntlet reports any equivalence/lint/oracle finding or extracts
+   fewer than 200 candidates, or when BENCH_egraph.json drops a field. *)
+let smoke_egraph () =
+  let sound = Exp_egraph.run ~fast:true () in
+  let ok =
+    sound
+    && Runner.json_has_fields ~file:"BENCH_egraph.json"
+         [
+           "saturation_wall"; "enodes"; "eclasses"; "saturated";
+           "chain_menu_best"; "chain_rewrite_best"; "mux_menu_best";
+           "mux_rewrite_best"; "gauntlet_seeds"; "gauntlet_candidates";
+           "gauntlet_oracle_findings"; "gauntlet_lint_errors";
+           "gauntlet_equiv_failures"; "gauntlet_wall"; "workers";
+         ]
+  in
+  Printf.printf "\negraph smoke: %s\n" (if ok then "OK" else "FAILED");
+  exit (if ok then 0 else 1)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then smoke ();
+  if List.mem "--smoke-egraph" args then smoke_egraph ();
   if List.mem "--smoke-serve" args then smoke_serve ();
   if List.mem "--smoke-corners" args then smoke_corners ();
   if List.mem "--smoke-sparse" args then smoke_sparse ();

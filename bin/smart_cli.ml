@@ -3,6 +3,7 @@
    Subcommands:
      db       list the design database
      advise   run the Figure 1 flow on a macro instance
+     explore  advise, optionally expanding the menu by e-graph rewriting
      size     size one named macro to a delay spec
      paths    show §5.2 path statistics for a macro
      sweep    area-delay sweep (Figure 6 style)                      *)
@@ -223,6 +224,118 @@ let advise_cmd =
           $ no_onehot_arg $ no_dynamic_arg $ workers_arg $ trace_arg
           $ corners_arg $ hier_arg)
 
+(* ---------------- explore ---------------- *)
+
+let explore_cmd =
+  let rewrite_arg =
+    let doc =
+      "Expand the candidate menu by e-graph equality saturation \
+       ($(b,Smart_rewrite)): every candidate is abstracted, saturated \
+       under the rewrite rule set, and the extracted top-k alternative \
+       topologies are sized alongside the hand-coded menu."
+    in
+    Arg.(value & flag & info [ "rewrite" ] ~doc)
+  in
+  let rw_iters_arg =
+    let doc = "Saturation round cap for $(b,--rewrite)." in
+    Arg.(value & opt int Smart.Rewrite.default_budget.Smart.Rewrite.iter_limit
+         & info [ "rewrite-iters" ] ~docv:"N" ~doc)
+  in
+  let rw_nodes_arg =
+    let doc = "E-node growth limit for $(b,--rewrite)." in
+    Arg.(value & opt int Smart.Rewrite.default_budget.Smart.Rewrite.node_limit
+         & info [ "rewrite-nodes" ] ~docv:"N" ~doc)
+  in
+  let rw_topk_arg =
+    let doc = "Candidates extracted per source for $(b,--rewrite)." in
+    Arg.(value & opt int Smart.Rewrite.default_budget.Smart.Rewrite.top_k
+         & info [ "rewrite-top-k" ] ~docv:"K" ~doc)
+  in
+  let run kind bits load delay metric no_onehot no_dynamic workers trace rewrite
+      rw_iters rw_nodes rw_topk =
+    let engine, cleanup = make_engine ~workers ~trace in
+    let rewrite_mode =
+      if rewrite then
+        `Saturate
+          {
+            Smart.Rewrite.iter_limit = rw_iters;
+            node_limit = rw_nodes;
+            top_k = rw_topk;
+          }
+      else `Off
+    in
+    let request =
+      Smart.Request.make ~kind ~bits ~delay ~metric ~engine
+        ~rewrite:rewrite_mode ()
+      |> Smart.Request.with_requirements
+           (requirements ~bits ~load ~no_onehot ~no_dynamic)
+    in
+    let result = Smart.run request in
+    cleanup ();
+    match result with
+    | Error e -> report_error ~cmd:"explore" e
+    | Ok advice ->
+      let ranking = advice.Smart.ranking in
+      Printf.printf "%-40s %9s %9s %9s\n" "topology" "delay ps" "width um"
+        "power uW";
+      List.iter
+        (fun (c : Smart.Explore.candidate) ->
+          Printf.printf "%-40s %9.1f %9.1f %9.1f\n" c.Smart.Explore.entry_name
+            c.Smart.Explore.outcome.Smart.Sizer.achieved_delay
+            c.Smart.Explore.outcome.Smart.Sizer.total_width
+            c.Smart.Explore.power_report.Smart.Power.total_uw)
+        ranking.Smart.Explore.ranked;
+      List.iter
+        (fun (n, r) -> Printf.printf "%-40s rejected: %s\n" n r)
+        ranking.Smart.Explore.rejected;
+      (match ranking.Smart.Explore.rewrite with
+      | None -> ()
+      | Some rw ->
+        Printf.printf "\nsaturation (per source):\n";
+        Printf.printf "  %-34s %6s %7s %8s %5s  %s\n" "source" "rounds"
+          "enodes" "eclasses" "fixed" "rule hits";
+        List.iter
+          (fun (n, (s : Smart.Rewrite.stats)) ->
+            Printf.printf "  %-34s %6d %7d %8d %5s  %s\n" n
+              s.Smart.Rewrite.rounds s.Smart.Rewrite.enodes
+              s.Smart.Rewrite.eclasses
+              (if s.Smart.Rewrite.saturated then "yes" else "no")
+              (String.concat ", "
+                 (List.map
+                    (fun (r, k) -> Printf.sprintf "%s:%d" r k)
+                    s.Smart.Rewrite.rule_hits)))
+          rw.Smart.Explore.rw_sources;
+        List.iter
+          (fun (n, reason) -> Printf.printf "  %-34s skipped: %s\n" n reason)
+          rw.Smart.Explore.rw_skipped;
+        if rw.Smart.Explore.rw_candidates <> [] then begin
+          Printf.printf "\nextracted candidates:\n";
+          Printf.printf "  %-40s %-26s %s\n" "candidate" "source"
+            "pre-size cost";
+          List.iter
+            (fun (c, src, cost) ->
+              Printf.printf "  %-40s %-26s %13.1f\n" c src cost)
+            rw.Smart.Explore.rw_candidates
+        end;
+        List.iter
+          (fun (c, rule) ->
+            Printf.printf "  %-40s dropped by lint rule %s\n" c rule)
+          rw.Smart.Explore.rw_lint_dropped);
+      let winner = ranking.Smart.Explore.winner in
+      Printf.printf "\nrecommended: %s (metric: %s)\n"
+        winner.Smart.Explore.entry_name
+        (Smart.Explore.metric_to_string metric);
+      0
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Rank every applicable topology, optionally expanding the menu by \
+          e-graph rewriting (--rewrite)")
+    Term.(const run $ kind_arg $ bits_arg $ load_arg $ delay_arg $ metric_arg
+          $ no_onehot_arg $ no_dynamic_arg $ workers_arg $ trace_arg
+          $ rewrite_arg $ rw_iters_arg $ rw_nodes_arg $ rw_topk_arg)
+
 (* ---------------- helpers for single-entry commands ---------------- *)
 
 let build_first ~kind ~req =
@@ -350,21 +463,31 @@ let sweep_cmd =
     | Error e -> report_error ~cmd:"sweep" e
     | Ok info ->
       let engine, cleanup = make_engine ~workers ~trace in
-      let pts =
+      let sweep =
         Smart.Explore.sweep_area_delay ~engine ~points tech
           info.Smart.Macro.netlist
           (Smart.Constraints.spec 1e6)
       in
       cleanup ();
-      (match pts with
-      | [] ->
-        prerr_endline "sweep failed";
+      (match sweep with
+      | Error e -> report_error ~cmd:"sweep" e
+      | Ok { Smart.Explore.sweep_curve = []; sweep_skipped; _ } ->
+        prerr_endline "sweep: every point infeasible";
+        List.iter
+          (fun (d, e) ->
+            Printf.eprintf "  %.1f ps: %s\n" d (Smart.Error.to_string e))
+          sweep_skipped;
         1
-      | (d0, _) :: _ ->
+      | Ok { Smart.Explore.sweep_curve = (d0, _) :: _ as pts; sweep_skipped; _ }
+        ->
         Printf.printf "%12s %12s %12s\n" "target ps" "norm delay" "width um";
         List.iter
           (fun (d, a) -> Printf.printf "%12.1f %12.3f %12.0f\n" d (d /. d0) a)
           pts;
+        List.iter
+          (fun (d, e) ->
+            Printf.printf "%12.1f skipped: %s\n" d (Smart.Error.to_string e))
+          sweep_skipped;
         0)
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Area-delay sweep of a macro (Figure 6 style)")
@@ -715,5 +838,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ db_cmd; advise_cmd; size_cmd; paths_cmd; sweep_cmd; spice_cmd;
-            analyze_cmd; lint_cmd; check_cmd; serve_cmd ]))
+          [ db_cmd; advise_cmd; explore_cmd; size_cmd; paths_cmd; sweep_cmd;
+            spice_cmd; analyze_cmd; lint_cmd; check_cmd; serve_cmd ]))

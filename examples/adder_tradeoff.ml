@@ -19,17 +19,25 @@ let () =
     "paths: %.0f exhaustive -> %d after reduction (%.0fx, %d net classes)\n\n"
     stats.Smart.Paths.exhaustive_paths stats.Smart.Paths.reduced_paths
     stats.Smart.Paths.reduction_factor stats.Smart.Paths.class_count;
-  let points =
+  let sweep =
     Smart.Explore.sweep_area_delay ~points:6 ~max_relax:1.35 tech nl
       (Smart.Constraints.spec 1e6)
   in
-  match points with
-  | [] -> print_endline "sweep failed"
-  | (d0, a0) :: _ ->
+  match sweep with
+  | Error e -> Printf.printf "sweep failed: %s\n" (Smart.Error.to_string e)
+  | Ok { Smart.Explore.sweep_curve = []; sweep_skipped; _ } ->
+    Printf.printf "sweep: every point infeasible (%d skipped)\n"
+      (List.length sweep_skipped)
+  | Ok { Smart.Explore.sweep_curve = (d0, a0) :: _ as points; sweep_skipped; _ }
+    ->
     Printf.printf "%12s %12s %12s %12s\n" "target ps" "norm delay" "width um"
       "norm area";
     List.iter
       (fun (d, a) ->
         Printf.printf "%12.1f %12.3f %12.0f %12.3f\n" d (d /. d0) a (a /. a0))
       points;
+    List.iter
+      (fun (d, e) ->
+        Printf.printf "%12.1f skipped: %s\n" d (Smart.Error.to_string e))
+      sweep_skipped;
     Printf.printf "\n(Figure 6's shape: convex, decreasing as the spec relaxes)\n"

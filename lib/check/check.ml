@@ -335,3 +335,108 @@ let fault_drill tech =
   in
   Fault.reset ();
   rs
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite soundness gauntlet                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Rewrite = Smart_rewrite.Rewrite
+module Sim = Smart_sim.Sim
+
+type rewrite_report = {
+  rw_seeds : int;
+  rw_candidates : int;
+  rw_saturated : int;
+  rw_skipped : (int * string) list;
+  rw_equiv_failures : (int * string) list;
+  rw_sim_failures : (int * string) list;
+  rw_lint_dirty : (int * string * Lint.report) list;
+  rw_oracle_findings : (int * string * Oracle.mismatch list) list;
+}
+
+(* Exhaustive netlist-level cross-simulation: the term-level
+   [Rewrite.equivalent] check proves the e-graph honest, this one proves
+   the renderer honest — both must hold independently. *)
+let netlists_sim_agree reference candidate =
+  let input_names (nl : Netlist.t) =
+    List.map
+      (fun nid -> (Netlist.net nl nid).Netlist.net_name)
+      nl.Netlist.inputs
+  in
+  let ins =
+    List.sort_uniq compare (input_names reference @ input_names candidate)
+  in
+  let n = List.length ins in
+  n <= 16
+  &&
+  let ok = ref true in
+  for v = 0 to (1 lsl n) - 1 do
+    let env = List.mapi (fun i x -> (x, v land (1 lsl i) <> 0)) ins in
+    let restrict nl =
+      let names = input_names nl in
+      List.filter (fun (x, _) -> List.mem x names) env
+    in
+    let out nl assignment name =
+      List.assoc_opt name (Sim.eval_bits nl assignment)
+    in
+    List.iter
+      (fun nid ->
+        let name = (Netlist.net reference nid).Netlist.net_name in
+        let a = out reference (restrict reference) name in
+        let b = out candidate (restrict candidate) name in
+        if a = None || a <> b then ok := false)
+      reference.Netlist.outputs
+  done;
+  !ok
+
+let default_rewrite_budget = { Rewrite.default_budget with Rewrite.top_k = 6 }
+
+let rewrite_gauntlet ?(seeds = 40) ?(budget = default_rewrite_budget)
+    ?(start_seed = 1) ?(tol = 1e-9) tech =
+  let candidates = ref 0
+  and saturated = ref 0
+  and skipped = ref []
+  and equiv_failures = ref []
+  and sim_failures = ref []
+  and lint_dirty = ref []
+  and oracle_findings = ref [] in
+  for seed = start_seed to start_seed + seeds - 1 do
+    let t = Rewrite.random_seed_term ~seed () in
+    let nl =
+      Rewrite.to_netlist ~name:(Printf.sprintf "rwg%d" seed) [ ("out", t) ]
+    in
+    match Rewrite.explore_netlist ~budget nl with
+    | Error reason -> skipped := (seed, reason) :: !skipped
+    | Ok rep ->
+      if rep.Rewrite.rw_stats.Rewrite.saturated then incr saturated;
+      List.iter
+        (fun (ex : Rewrite.extraction) ->
+          incr candidates;
+          let tag = ex.Rewrite.ex_tag in
+          (match List.assoc_opt "out" ex.Rewrite.ex_terms with
+          | Some t' when Rewrite.equivalent t t' -> ()
+          | _ -> equiv_failures := (seed, tag) :: !equiv_failures);
+          if not (netlists_sim_agree nl ex.Rewrite.ex_netlist) then
+            sim_failures := (seed, tag) :: !sim_failures;
+          let lint = Lint.run ~tech ex.Rewrite.ex_netlist in
+          if not (Lint.ok lint) then
+            lint_dirty := (seed, tag, lint) :: !lint_dirty;
+          let v =
+            Oracle.run ~tol tech ex.Rewrite.ex_netlist
+              ~sizing:(Gen.sizing ~seed ex.Rewrite.ex_netlist)
+          in
+          if v.Oracle.mismatches <> [] then
+            oracle_findings := (seed, tag, v.Oracle.mismatches)
+                               :: !oracle_findings)
+        rep.Rewrite.rw_extracted
+  done;
+  {
+    rw_seeds = seeds;
+    rw_candidates = !candidates;
+    rw_saturated = !saturated;
+    rw_skipped = List.rev !skipped;
+    rw_equiv_failures = List.rev !equiv_failures;
+    rw_sim_failures = List.rev !sim_failures;
+    rw_lint_dirty = List.rev !lint_dirty;
+    rw_oracle_findings = List.rev !oracle_findings;
+  }

@@ -103,3 +103,38 @@ val fault_drill : Smart_tech.Tech.t -> drill_result list
 (** Run all three fault classes against a small random netlist on a
     fresh engine.  Resets the global fault registry before and after
     each drill. *)
+
+type rewrite_report = {
+  rw_seeds : int;
+  rw_candidates : int;  (** extractions cross-checked *)
+  rw_saturated : int;  (** seeds whose e-graph reached fixpoint in budget *)
+  rw_skipped : (int * string) list;
+      (** seeds {!Smart_rewrite.Rewrite.explore_netlist} declined *)
+  rw_equiv_failures : (int * string) list;
+      (** (seed, tag) where the extracted {e term} is not boolean-equal
+          to the source — an e-graph rule is unsound *)
+  rw_sim_failures : (int * string) list;
+      (** (seed, tag) where the rendered {e netlist} disagrees with the
+          source under exhaustive simulation — the renderer is unsound *)
+  rw_lint_dirty : (int * string * Smart_lint.Lint.report) list;
+      (** extractions with unwaived Error-severity lint findings — the
+          extractor's conservative family discipline has a hole *)
+  rw_oracle_findings : (int * string * Oracle.mismatch list) list;
+      (** extractions on which the three-way timing Oracle disagreed *)
+}
+
+val rewrite_gauntlet :
+  ?seeds:int ->
+  ?budget:Smart_rewrite.Rewrite.budget ->
+  ?start_seed:int ->
+  ?tol:float ->
+  Smart_tech.Tech.t ->
+  rewrite_report
+(** The rewrite-soundness battery: [seeds] (default 40) deterministic
+    random terms ({!Smart_rewrite.Rewrite.random_seed_term}) are each
+    rendered, saturated and extracted under [budget] (default: the
+    library default with [top_k = 6]), and {e every} extracted candidate
+    is checked four ways — term equivalence, exhaustive netlist
+    cross-simulation, the lint battery, and the three-way timing
+    {!Oracle} under a {!Gen} sizing.  All four failure lists empty is
+    the pass verdict. *)

@@ -47,6 +47,7 @@ module Lint_rules = Smart_lint.Rules
 module Lint_report = Smart_lint.Report
 module Absint = Smart_absint.Absint
 module Interval = Smart_absint.Interval
+module Rewrite = Smart_rewrite.Rewrite
 module Error = Smart_util.Err
 
 type advice = {
@@ -69,13 +70,14 @@ module Request = struct
     lint : [ `Off | `Warn | `Strict ];
     corners : Corners.set option;
     hier : Hier.mode;
+    rewrite : Explore.rewrite_mode;
   }
 
   let make ?(ext_load = 30.) ?(strongly_mutexed_selects = true)
       ?(allow_dynamic = true) ?(delay = 150.) ?spec
       ?(metric = Explore.Area) ?(options = Sizer.default_options)
       ?(tech = Tech.default) ?engine ?(lint = `Warn) ?corners
-      ?(hier = `Auto) ~kind ~bits () =
+      ?(hier = `Auto) ?(rewrite = `Off) ~kind ~bits () =
     let requirements =
       Database.requirements ~ext_load ~strongly_mutexed_selects ~allow_dynamic
         bits
@@ -93,6 +95,7 @@ module Request = struct
       lint;
       corners;
       hier;
+      rewrite;
     }
 
   let with_spec spec t = { t with spec }
@@ -103,6 +106,7 @@ module Request = struct
   let with_lint lint t = { t with lint }
   let with_corners corners t = { t with corners = Some corners }
   let with_hier hier t = { t with hier }
+  let with_rewrite rewrite t = { t with rewrite }
 
   let with_requirements requirements t =
     { t with requirements; bits = requirements.Database.bits }
@@ -189,8 +193,8 @@ let run ?db (r : Request.t) =
       let db = match db with Some db -> db | None -> Database.builtins () in
       match
         Explore.explore_typed ?engine:r.Request.engine ~options:r.Request.options
-          ?corners:r.Request.corners ~hier:r.Request.hier ~metric:r.Request.metric
-          ~db
+          ?corners:r.Request.corners ~hier:r.Request.hier
+          ~rewrite:r.Request.rewrite ~metric:r.Request.metric ~db
           ~kind:r.Request.kind ~requirements:r.Request.requirements
           r.Request.tech r.Request.spec
       with
@@ -198,4 +202,4 @@ let run ?db (r : Request.t) =
       | Ok ranking ->
         Ok { ranking; metric = r.Request.metric; spec = r.Request.spec; lints }))
 
-let version = "1.3.0"
+let version = "1.4.0"

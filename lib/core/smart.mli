@@ -65,6 +65,7 @@ module Lint_rules = Smart_lint.Rules
 module Lint_report = Smart_lint.Report
 module Absint = Smart_absint.Absint
 module Interval = Smart_absint.Interval
+module Rewrite = Smart_rewrite.Rewrite
 
 module Error : sig
   (** Structured advisory errors (see {!Smart_util.Err}). *)
@@ -133,6 +134,13 @@ module Request : sig
             extraction + partitioned GP, {!Hier}): [`Auto] (the default)
             engages on datapath-scale netlists, [`Force] always, [`Off]
             never.  Ignored when [corners] is set. *)
+    rewrite : Explore.rewrite_mode;
+        (** topology generation by equality saturation ({!Rewrite}):
+            [`Saturate budget] abstracts every menu candidate into an
+            e-graph, saturates it under [budget], and enters the
+            extracted top-k alternative topologies (lint-vetted) into
+            the ranking alongside the hand-coded menu.  [`Off] (the
+            default) ranks the menu as-is. *)
   }
 
   val make :
@@ -148,6 +156,7 @@ module Request : sig
     ?lint:[ `Off | `Warn | `Strict ] ->
     ?corners:Corners.set ->
     ?hier:Hier.mode ->
+    ?rewrite:Explore.rewrite_mode ->
     kind:string ->
     bits:int ->
     unit ->
@@ -156,7 +165,7 @@ module Request : sig
       (ignored when [spec] is given), area metric, default sizer options,
       default technology, process-default engine, [`Warn] linting,
       single-corner (no [corners]) sizing, [`Auto] hierarchical
-      engagement. *)
+      engagement, [`Off] rewriting. *)
 
   val with_spec : Constraints.spec -> t -> t
   val with_metric : Explore.metric -> t -> t
@@ -166,6 +175,7 @@ module Request : sig
   val with_lint : [ `Off | `Warn | `Strict ] -> t -> t
   val with_corners : Corners.set -> t -> t
   val with_hier : Hier.mode -> t -> t
+  val with_rewrite : Explore.rewrite_mode -> t -> t
   val with_requirements : Database.requirements -> t -> t
 end
 

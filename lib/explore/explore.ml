@@ -8,6 +8,8 @@ module Sizer = Smart_sizer.Sizer
 module Power = Smart_power.Power
 module Engine = Smart_engine.Engine
 module Hier = Smart_hier.Hier
+module Rewrite = Smart_rewrite.Rewrite
+module Lint = Smart_lint.Lint
 
 type metric = Area | Power | Clock_load
 
@@ -26,10 +28,20 @@ type candidate = {
   binding_corner : string option;
 }
 
+type rewrite_mode = [ `Off | `Saturate of Rewrite.budget ]
+
+type rewrite_summary = {
+  rw_sources : (string * Rewrite.stats) list;
+  rw_skipped : (string * string) list;
+  rw_candidates : (string * string * float) list;
+  rw_lint_dropped : (string * string) list;
+}
+
 type ranking = {
   winner : candidate;
   ranked : candidate list;
   rejected : (string * string) list;
+  rewrite : rewrite_summary option;
 }
 
 let objective_of_metric = function
@@ -47,6 +59,65 @@ let score_of metric (outcome : Sizer.outcome) (power : Power.report) =
 
 let engine_of = function Some e -> e | None -> Engine.default ()
 
+(* Equality saturation multiplies the menu: every abstractable candidate
+   netlist seeds an e-graph, the extracted top-k alternatives are
+   rendered, statically vetted by the family-discipline analyzer, and
+   appended as ordinary candidates — the engine pool, solve cache,
+   corners and hier routing all apply to them unchanged.  A seed the
+   abstraction cannot express (pass gates, tri-states) is skipped with
+   its reason; a rendering the analyzer rejects is dropped with the
+   gating rule.  Both land in the ranking's [rewrite] summary. *)
+let expand_rewrites ~rewrite ~tech ~spec named_infos =
+  match rewrite with
+  | `Off -> (named_infos, None)
+  | `Saturate budget ->
+    let sources = ref []
+    and skipped = ref []
+    and added = ref []
+    and dropped = ref [] in
+    let extras =
+      List.concat_map
+        (fun (n, (info : Macro.info)) ->
+          match Rewrite.explore_netlist ~budget info.Macro.netlist with
+          | Error reason ->
+            skipped := (n, reason) :: !skipped;
+            []
+          | Ok rep ->
+            sources := (n, rep.Rewrite.rw_stats) :: !sources;
+            List.filter_map
+              (fun (ex : Rewrite.extraction) ->
+                let cname = n ^ "~" ^ ex.Rewrite.ex_tag in
+                let lint = Lint.run ~tech ~spec ex.Rewrite.ex_netlist in
+                if not (Lint.ok lint) then begin
+                  let rule =
+                    match Lint.gating lint with
+                    | (rule, _, _) :: _ -> rule
+                    | [] -> "lint"
+                  in
+                  dropped := (cname, rule) :: !dropped;
+                  None
+                end
+                else begin
+                  added := (cname, n, ex.Rewrite.ex_netlist_cost) :: !added;
+                  Some
+                    ( cname,
+                      Macro.make ~kind:info.Macro.kind
+                        ~variant:
+                          (info.Macro.variant ^ "~" ^ ex.Rewrite.ex_tag)
+                        ~bits:info.Macro.bits ex.Rewrite.ex_netlist )
+                end)
+              rep.Rewrite.rw_extracted)
+        named_infos
+    in
+    ( named_infos @ extras,
+      Some
+        {
+          rw_sources = List.rev !sources;
+          rw_skipped = List.rev !skipped;
+          rw_candidates = List.rev !added;
+          rw_lint_dropped = List.rev !dropped;
+        } )
+
 (* All candidates go through the engine in one batch: the pool sizes them
    concurrently, the solve cache absorbs repeats, and every candidate
    gets a sizing trace span.  Results come back in input order, so the
@@ -62,14 +133,23 @@ let engine_of = function Some e -> e | None -> Engine.default ()
    already fans its sub-problems across the engine pool — nesting the
    candidate fan-out on top would oversubscribe it.  Corner-set sizing
    stays monolithic (the robust flow couples corners inside one GP). *)
-let size_candidates ?engine ?options ?corners ?(hier : Hier.mode = `Off) ~metric
-    tech spec named_infos =
+let size_candidates ?engine ?options ?corners ?(hier : Hier.mode = `Off)
+    ?hier_options ?(rewrite : rewrite_mode = `Off) ~metric tech spec
+    named_infos =
   let engine = engine_of engine in
   let options =
     let base = match options with Some o -> o | None -> Sizer.default_options in
     { base with Sizer.objective = objective_of_metric metric }
   in
-  let hier_options = { Hier.default_options with Hier.sizer = options } in
+  let hier_options =
+    let base =
+      match hier_options with Some h -> h | None -> Hier.default_options
+    in
+    { base with Hier.sizer = options }
+  in
+  let named_infos, rewrite_summary =
+    expand_rewrites ~rewrite ~tech ~spec named_infos
+  in
   let nets =
     List.map (fun (n, (i : Macro.info)) -> (n, i.Macro.netlist)) named_infos
   in
@@ -86,7 +166,8 @@ let size_candidates ?engine ?options ?corners ?(hier : Hier.mode = `Off) ~metric
               if h then
                 Result.map
                   (fun (o : Hier.outcome) -> o.Hier.sizer)
-                  (Hier.size ~options:hier_options ~engine tech nl spec)
+                  (Hier.size ~options:hier_options ~label:n ~engine tech nl
+                     spec)
               else Engine.size engine ~label:n ~options tech nl spec
             in
             (n, Result.map (fun o -> (o, [], None)) r))
@@ -155,49 +236,90 @@ let size_candidates ?engine ?options ?corners ?(hier : Hier.mode = `Off) ~metric
              String.concat "; "
                (List.map (fun (n, r) -> n ^ ": " ^ r) (List.rev rejected));
          })
-  | winner :: _ -> Ok { winner; ranked; rejected = List.rev rejected }
+  | winner :: _ ->
+    Ok
+      {
+        winner;
+        ranked;
+        rejected = List.rev rejected;
+        rewrite = rewrite_summary;
+      }
 
-let explore_typed ?engine ?options ?corners ?hier ?(metric = Area) ~db ~kind
-    ~requirements tech spec =
+let explore_typed ?engine ?options ?corners ?hier ?hier_options ?rewrite
+    ?(metric = Area) ~db ~kind ~requirements tech spec =
   let built = Database.build_all db ~kind requirements in
   if built = [] then Error (Err.No_applicable_topology { kind })
   else
-    size_candidates ?engine ?options ?corners ?hier ~metric tech spec
+    size_candidates ?engine ?options ?corners ?hier ?hier_options ?rewrite
+      ~metric tech spec
       (List.map
          (fun ((e : Database.entry), info) -> (e.Database.entry_name, info))
          built)
 
-let tune_typed ?engine ?options ?corners ?hier ?(metric = Area) ~variants tech
-    spec =
+let tune_typed ?engine ?options ?corners ?hier ?hier_options ?rewrite
+    ?(metric = Area) ~variants tech spec =
   if variants = [] then Error (Err.Invalid_request "Explore.tune: no variants")
-  else size_candidates ?engine ?options ?corners ?hier ~metric tech spec variants
+  else
+    size_candidates ?engine ?options ?corners ?hier ?hier_options ?rewrite
+      ~metric tech spec variants
+
+type sweep = {
+  sweep_curve : (float * float) list;
+  sweep_skipped : (float * Err.t) list;
+  sweep_min_delay : Sizer.min_delay;
+}
 
 let sweep_area_delay ?engine ?options ?(points = 8) ?(min_relax = 1.0)
     ?(max_relax = 1.35) tech netlist spec =
-  let engine = engine_of engine in
-  let options = match options with Some o -> o | None -> Sizer.default_options in
-  match Engine.minimize_delay engine ~options tech netlist spec with
-  | Error _ -> []
-  | Ok { Sizer.golden_min; model_min } ->
-    let options = { options with Sizer.min_delay_hint = Some model_min } in
-    let targets =
-      List.init points (fun k ->
-          golden_min
-          *. (min_relax
-             +. ((max_relax -. min_relax) *. float_of_int k
-                /. float_of_int (points - 1))))
+  if points < 1 then
+    Error
+      (Err.Invalid_request
+         (Printf.sprintf "Explore.sweep_area_delay: points = %d (need >= 1)"
+            points))
+  else
+    let engine = engine_of engine in
+    let options =
+      match options with Some o -> o | None -> Sizer.default_options
     in
-    (* Sweep points are independent sizings of one netlist; fan them out
-       across the pool like explore candidates. *)
-    Engine.map engine
-      (fun target ->
-        let spec' = { spec with Constraints.target_delay = target } in
-        match
-          Engine.size engine
-            ~label:(Printf.sprintf "%s@%.1fps" netlist.Netlist.name target)
-            ~options tech netlist spec'
-        with
-        | Error _ -> None
-        | Ok o -> Some (target, o.Sizer.total_width))
-      targets
-    |> List.filter_map Fun.id
+    match Engine.minimize_delay engine ~options tech netlist spec with
+    | Error e -> Error e
+    | Ok ({ Sizer.golden_min; model_min } as min_delay) ->
+      let options = { options with Sizer.min_delay_hint = Some model_min } in
+      (* A single point sweeps nothing: it sits mid-range, where the
+         trade-off is representative and the target comfortably clears
+         the min-delay wall — never a division by zero. *)
+      let step k =
+        if points = 1 then (max_relax -. min_relax) /. 2.
+        else
+          (max_relax -. min_relax) *. float_of_int k
+          /. float_of_int (points - 1)
+      in
+      let targets =
+        List.init points (fun k -> golden_min *. (min_relax +. step k))
+      in
+      (* Sweep points are independent sizings of one netlist; fan them out
+         across the pool like explore candidates. *)
+      let outcomes =
+        Engine.map engine
+          (fun target ->
+            let spec' = { spec with Constraints.target_delay = target } in
+            ( target,
+              Engine.size engine
+                ~label:(Printf.sprintf "%s@%.1fps" netlist.Netlist.name target)
+                ~options tech netlist spec' ))
+          targets
+      in
+      let curve, skipped =
+        List.fold_left
+          (fun (curve, skipped) (target, r) ->
+            match r with
+            | Ok o -> ((target, o.Sizer.total_width) :: curve, skipped)
+            | Error e -> (curve, (target, e) :: skipped))
+          ([], []) outcomes
+      in
+      Ok
+        {
+          sweep_curve = List.rev curve;
+          sweep_skipped = List.rev skipped;
+          sweep_min_delay = min_delay;
+        }

@@ -5,13 +5,20 @@
     generated, sized by the SMART sizer against the same constraints, and
     scored under a designer-chosen cost metric (area, power, clock load).
     SMART "can automatically pick the best solution ... or let the designer
-    make his/her own choice": {!explore} returns the full ranking.
+    make his/her own choice": {!explore_typed} returns the full ranking.
+
+    With [?rewrite:(`Saturate budget)], every candidate netlist also
+    seeds {!Smart_rewrite.Rewrite} equality saturation, and the extracted
+    top-k alternative topologies join the menu as ordinary candidates
+    (lint-vetted, sized through the same engine batch) — topology
+    {e generation} on top of topology {e selection}.
 
     {!sweep_area_delay} regenerates Fig. 6-style area–delay trade-off
-    curves; {!tune} is the paper's §3(iii) "topology optimizer" (listed as
-    under development there, implemented here): automatic tuning of a
-    topology's structural parameter — a domino mux's partition point, a
-    comparator's XOR grouping — by sizing each candidate structure. *)
+    curves; {!tune_typed} is the paper's §3(iii) "topology optimizer"
+    (listed as under development there, implemented here): automatic
+    tuning of a topology's structural parameter — a domino mux's
+    partition point, a comparator's XOR grouping — by sizing each
+    candidate structure. *)
 
 type metric = Area | Power | Clock_load
 
@@ -34,10 +41,27 @@ type candidate = {
       (** worst golden corner; [None] without [?corners] *)
 }
 
+type rewrite_mode = [ `Off | `Saturate of Smart_rewrite.Rewrite.budget ]
+
+type rewrite_summary = {
+  rw_sources : (string * Smart_rewrite.Rewrite.stats) list;
+      (** per abstracted source candidate: its saturation stats *)
+  rw_skipped : (string * string) list;
+      (** sources the term abstraction could not express, with reasons *)
+  rw_candidates : (string * string * float) list;
+      (** (candidate name, source name, pre-sizing netlist cost) for
+          every rewrite-generated candidate that entered the batch *)
+  rw_lint_dropped : (string * string) list;
+      (** rewrite candidates rejected before sizing, with the gating
+          lint rule *)
+}
+
 type ranking = {
   winner : candidate;
   ranked : candidate list;  (** best first *)
   rejected : (string * string) list;  (** entry name, failure reason *)
+  rewrite : rewrite_summary option;
+      (** present iff the request asked for [`Saturate] *)
 }
 
 val explore_typed :
@@ -45,6 +69,8 @@ val explore_typed :
   ?options:Smart_sizer.Sizer.options ->
   ?corners:Smart_corners.Corners.set ->
   ?hier:Smart_hier.Hier.mode ->
+  ?hier_options:Smart_hier.Hier.options ->
+  ?rewrite:rewrite_mode ->
   ?metric:metric ->
   db:Smart_database.Database.t ->
   kind:string ->
@@ -66,8 +92,22 @@ val explore_typed :
     specification.  [hier] (default [`Off]) routes candidates that
     {!Smart_hier.Hier.engages} through hierarchical sizing; such
     candidates run sequentially, each fanning its own sub-problems across
-    the engine pool.  Ignored when [corners] is set — robust sizing stays
-    monolithic. *)
+    the engine pool, with trace spans labelled per candidate
+    (["hier:<name>/<unit>"]).  [hier_options] tunes that routing (its
+    [sizer] field is overridden with the effective sizer options).
+    Ignored when [corners] is set — robust sizing stays monolithic.
+    [rewrite] (default [`Off]) expands the menu by equality saturation;
+    the ranking's [rewrite] field reports what was generated, skipped
+    and lint-dropped. *)
+
+type sweep = {
+  sweep_curve : (float * float) list;
+      (** [(delay target, total width)], fastest target first *)
+  sweep_skipped : (float * Smart_util.Err.t) list;
+      (** targets whose sizing failed, with the structured reason *)
+  sweep_min_delay : Smart_sizer.Sizer.min_delay;
+      (** the minimum-delay probe the targets were derived from *)
+}
 
 val sweep_area_delay :
   ?engine:Smart_engine.Engine.t ->
@@ -78,20 +118,26 @@ val sweep_area_delay :
   Smart_tech.Tech.t ->
   Smart_circuit.Netlist.t ->
   Smart_constraints.Constraints.spec ->
-  (float * float) list
-(** [(delay target, total width)] pairs spanning [min_relax] ×..×
-    [max_relax] of the fastest feasible delay (defaults: 8 points, 1.0×
-    to 1.35×) — the Fig. 6 curve.  Right at 1.0× the area wall is steep;
-    plotting from a few percent off it, as the paper does, shows the
-    working range.  Points whose sizing fails are skipped.  Points are
-    sized concurrently over [engine]'s pool, and re-sweeps of the same
-    netlist hit its solve cache. *)
+  (sweep, Smart_util.Err.t) result
+(** Area–delay targets spanning [min_relax] ×..× [max_relax] of the
+    fastest feasible delay (defaults: 8 points, 1.0× to 1.35×) — the
+    Fig. 6 curve.  Right at 1.0× the area wall is steep; plotting from a
+    few percent off it, as the paper does, shows the working range.
+    [points = 1] sizes one mid-range point (the mean of the relax
+    bounds, clear of the min-delay wall); [points < 1] is
+    [Error Invalid_request].  A point whose sizing fails lands in
+    [sweep_skipped] with its reason instead of silently vanishing; a
+    failed minimum-delay probe fails the whole sweep.  Points are sized
+    concurrently over [engine]'s pool, and re-sweeps of the same netlist
+    hit its solve cache. *)
 
 val tune_typed :
   ?engine:Smart_engine.Engine.t ->
   ?options:Smart_sizer.Sizer.options ->
   ?corners:Smart_corners.Corners.set ->
   ?hier:Smart_hier.Hier.mode ->
+  ?hier_options:Smart_hier.Hier.options ->
+  ?rewrite:rewrite_mode ->
   ?metric:metric ->
   variants:(string * Smart_macros.Macro.info) list ->
   Smart_tech.Tech.t ->
@@ -99,4 +145,5 @@ val tune_typed :
   (ranking, Smart_util.Err.t) result
 (** Compare explicit structural variants of one macro (the topology
     optimizer): each is sized against the same spec and ranked.
-    [Error Invalid_request] on an empty variant list. *)
+    [Error Invalid_request] on an empty variant list.  Accepts the same
+    [rewrite] expansion as {!explore_typed}. *)

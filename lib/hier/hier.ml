@@ -76,9 +76,16 @@ type ctx = {
   readers : (int, (Netlist.instance * string) list) Hashtbl.t;
   levels : int array;  (* per-net logic depth, for the FM seed split *)
   load : Load.t;  (* for loads seen through external pass gates *)
+  span_prefix : string;
+      (* caller's candidate label, threaded into every sub-solve span as
+         "hier:<label>/<unit>" so batch callers (Explore) keep per-
+         candidate trace-span parity with the monolithic Engine.size path *)
 }
 
-let prep tech nl =
+let span_label ctx unit_name =
+  Printf.sprintf "hier:%s%s" ctx.span_prefix unit_name
+
+let prep ?label tech nl =
   let readers = Hashtbl.create 256 in
   Array.iter
     (fun (i : Netlist.instance) ->
@@ -91,7 +98,8 @@ let prep tech nl =
         i.Netlist.conns)
     nl.Netlist.instances;
   let levels = Paths.levels nl in
-  { nl; tech; readers; levels; load = Load.make tech nl }
+  let span_prefix = match label with Some l -> l ^ "/" | None -> "" in
+  { nl; tech; readers; levels; load = Load.make tech nl; span_prefix }
 
 let readers_of ctx nid =
   Option.value ~default:[] (Hashtbl.find_opt ctx.readers nid)
@@ -825,7 +833,7 @@ let solve_group engine (opts : options) ctx spec group =
   let rec attempt budget tries =
     let r =
       Engine.size engine
-        ~label:(Printf.sprintf "hier:%s" rep.t_unit.u_name)
+        ~label:(span_label ctx rep.t_unit.u_name)
         ~options:opts.sizer ctx.tech sub (sub_spec spec rep ~budget)
     in
     match r with
@@ -920,8 +928,8 @@ let has_domino nl =
     (fun (i : Netlist.instance) -> Cell.has_clock i.Netlist.cell)
     nl.Netlist.instances
 
-let size ?(options = default_options) ~engine tech nl spec =
-  let ctx = prep tech nl in
+let size ?(options = default_options) ?label ~engine tech nl spec =
+  let ctx = prep ?label tech nl in
   let d = decompose ctx options in
   let target = spec.Constraints.target_delay in
   (* The outer acceptance band is half the sizer's: the monolithic flow
@@ -1088,7 +1096,7 @@ let size ?(options = default_options) ~engine tech nl spec =
               let rep = List.hd g in
               let a =
                 Engine.analyze engine
-                  ~label:(Printf.sprintf "hier:%s" rep.t_unit.u_name)
+                  ~label:(span_label ctx rep.t_unit.u_name)
                   ~options:options.sizer ctx.tech rep.t_sub
                   (sub_spec spec rep ~budget:rep.t_budget)
               in

@@ -113,6 +113,7 @@ val plan : ?options:options -> Netlist.t -> plan
 
 val size :
   ?options:options ->
+  ?label:string ->
   engine:Engine.t ->
   Tech.t ->
   Netlist.t ->
@@ -120,6 +121,10 @@ val size :
   (outcome, Smart_util.Err.t) result
 (** Hierarchically size [netlist] to [spec] using [engine]'s worker pool
     for concurrent sub-solves and its cache for repeat boundaries.
+    [label] names the enclosing candidate: every sub-solve trace span is
+    emitted as ["hier:<label>/<unit>"] (just ["hier:<unit>"] without it),
+    so batch callers keep per-candidate span attribution — the parity
+    {!Smart_explore.Explore} relies on.
     Callers gate on {!engages}; [size] itself always decomposes.
     Unless [options.sizer.absint] is off, every first-iteration
     sub-problem representative is interval-analyzed

@@ -1,0 +1,981 @@
+module Err = Smart_util.Err
+module Rng = Smart_util.Rng
+module Netlist = Smart_circuit.Netlist
+module Cell = Smart_circuit.Cell
+module Pdn = Smart_circuit.Pdn
+module Paths = Smart_paths.Paths
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consed boolean terms                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Term = struct
+  type gate = And | Or
+  type fam = Static | Domino
+
+  type t = { tid : int; node : node }
+  and node = In of string | Not of t | Merge of gate * fam * t list
+
+  (* Structural keys over child ids; one global table so equal terms are
+     physically equal across the whole process.  A mutex guards the
+     table — terms may be built from engine worker domains (the serve
+     daemon runs requests concurrently). *)
+  type key =
+    | KIn of string
+    | KNot of int
+    | KMerge of gate * fam * int list
+
+  let lock = Mutex.create ()
+  let table : (key, t) Hashtbl.t = Hashtbl.create 1024
+  let counter = ref 0
+
+  let intern key build =
+    Mutex.lock lock;
+    let t =
+      match Hashtbl.find_opt table key with
+      | Some t -> t
+      | None ->
+        let t = { tid = !counter; node = build () } in
+        incr counter;
+        Hashtbl.add table key t;
+        t
+    in
+    Mutex.unlock lock;
+    t
+
+  let input x = intern (KIn x) (fun () -> In x)
+  let not_ u = intern (KNot u.tid) (fun () -> Not u)
+
+  let merge g f cs =
+    if cs = [] then Err.fail "Rewrite.Term.merge: empty child list";
+    let cs =
+      List.sort_uniq (fun a b -> compare a.tid b.tid) cs
+    in
+    match cs with
+    | [ c ] -> c (* AND/OR idempotence *)
+    | cs -> intern (KMerge (g, f, List.map (fun c -> c.tid) cs))
+              (fun () -> Merge (g, f, cs))
+
+  let eval env t =
+    let memo = Hashtbl.create 64 in
+    let rec go t =
+      match Hashtbl.find_opt memo t.tid with
+      | Some v -> v
+      | None ->
+        let v =
+          match t.node with
+          | In x -> env x
+          | Not u -> not (go u)
+          | Merge (And, _, cs) -> List.for_all go cs
+          | Merge (Or, _, cs) -> List.exists go cs
+        in
+        Hashtbl.add memo t.tid v;
+        v
+    in
+    go t
+
+  let fold_nodes f acc t =
+    let seen = Hashtbl.create 64 in
+    let acc = ref acc in
+    let rec go t =
+      if not (Hashtbl.mem seen t.tid) then begin
+        Hashtbl.add seen t.tid ();
+        acc := f !acc t;
+        match t.node with
+        | In _ -> ()
+        | Not u -> go u
+        | Merge (_, _, cs) -> List.iter go cs
+      end
+    in
+    go t;
+    !acc
+
+  let inputs t =
+    fold_nodes
+      (fun acc t -> match t.node with In x -> x :: acc | _ -> acc)
+      [] t
+    |> List.sort_uniq compare
+
+  let size t = fold_nodes (fun n _ -> n + 1) 0 t
+
+  (* Evaluate-phase polarity, conservatively (mirrors the lint flow
+     analysis): inputs rise by interface convention, Not flips, a merge
+     of all-rising children rises (static AND/OR is NAND/NOR + inverter
+     — two inversions), anything else is unknown. *)
+  type pol = Rise | Fall | Unknown
+
+  let flip = function Rise -> Fall | Fall -> Rise | Unknown -> Unknown
+
+  let pol t =
+    let memo = Hashtbl.create 64 in
+    let rec go t =
+      match Hashtbl.find_opt memo t.tid with
+      | Some p -> p
+      | None ->
+        let p =
+          match t.node with
+          | In _ -> Rise
+          | Not u -> flip (go u)
+          | Merge (_, _, cs) ->
+            if List.for_all (fun c -> go c = Rise) cs then Rise else Unknown
+        in
+        Hashtbl.add memo t.tid p;
+        p
+    in
+    go t
+
+  let monotone_rise t = pol t = Rise
+
+  (* Logical-effort stage factor of one merge gate, output inverter
+     included for static (folded away under an enclosing Not). *)
+  let stage_effort g f k =
+    let k = float_of_int k in
+    match (f, g) with
+    | Static, And -> ((k +. 2.) /. 3.) +. 1. (* NAND + inverter *)
+    | Static, Or -> (((2. *. k) +. 1.) /. 3.) +. 1. (* NOR + inverter *)
+    | Domino, And -> ((k +. 1.) /. 3.) +. 0.5 (* NMOS stack + HI-skew inv *)
+    | Domino, Or -> (2. /. 3.) +. 0.5
+
+  let depth_estimate t =
+    let memo = Hashtbl.create 64 in
+    let rec go t =
+      match Hashtbl.find_opt memo t.tid with
+      | Some d -> d
+      | None ->
+        let d =
+          match t.node with
+          | In _ -> 0.
+          | Not { node = Merge (g, Static, cs); _ } ->
+            (* folded: the NAND/NOR alone, no output inverter *)
+            children_max cs +. stage_effort g Static (List.length cs) -. 1.
+          | Not u -> go u +. 1.
+          | Merge (g, f, cs) ->
+            children_max cs +. stage_effort g f (List.length cs)
+        in
+        Hashtbl.add memo t.tid d;
+        d
+    and children_max cs = List.fold_left (fun a c -> Float.max a (go c)) 0. cs
+    in
+    go t
+
+  (* Device-width proxy per node: a static k-merge is NAND/NOR (2k
+     devices) + inverter (2); domino is the pull-down (k) + precharge,
+     foot, keeper and output inverter (~5); an inverter is 2. *)
+  let width_estimate t =
+    let seen = Hashtbl.create 64 in
+    let total = ref 0. in
+    let rec go t =
+      if not (Hashtbl.mem seen t.tid) then begin
+        Hashtbl.add seen t.tid ();
+        match t.node with
+        | In _ -> ()
+        | Not ({ node = Merge (_, Static, cs); _ } as u) ->
+          (* folded single NAND/NOR; [u] itself is only priced if some
+             other parent references it directly *)
+          Hashtbl.remove seen u.tid;
+          total := !total +. (2. *. float_of_int (List.length cs));
+          List.iter go cs
+        | Not u ->
+          total := !total +. 2.;
+          go u
+        | Merge (_, Static, cs) ->
+          total := !total +. (2. *. float_of_int (List.length cs)) +. 2.;
+          List.iter go cs
+        | Merge (_, Domino, cs) ->
+          total := !total +. float_of_int (List.length cs) +. 5.;
+          List.iter go cs
+      end
+    in
+    go t;
+    !total
+
+  let cost t = (1. +. depth_estimate t) *. (1. +. width_estimate t)
+
+  let rec pp fmt t =
+    match t.node with
+    | In x -> Format.pp_print_string fmt x
+    | Not u -> Format.fprintf fmt "!%a" pp u
+    | Merge (g, f, cs) ->
+      let op = match g with And -> "&" | Or -> "|" in
+      let tag = match f with Static -> "" | Domino -> "d" in
+      Format.fprintf fmt "%s(%a)" tag
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt " %s " op)
+           pp)
+        cs
+
+  let to_string t = Format.asprintf "%a" pp t
+end
+
+let equivalent a b =
+  let ins =
+    List.sort_uniq compare (Term.inputs a @ Term.inputs b) |> Array.of_list
+  in
+  let n = Array.length ins in
+  if n > 16 then
+    Err.fail "Rewrite.equivalent: %d inputs (exhaustive check capped at 16)" n;
+  let ok = ref true in
+  let v = ref 0 in
+  while !ok && !v < 1 lsl n do
+    let bits = !v in
+    let env x =
+      let rec idx i = if ins.(i) = x then i else idx (i + 1) in
+      bits land (1 lsl idx 0) <> 0
+    in
+    if Term.eval env a <> Term.eval env b then ok := false;
+    incr v
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Budget                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type budget = { node_limit : int; iter_limit : int; top_k : int }
+
+let default_budget = { node_limit = 2000; iter_limit = 6; top_k = 4 }
+
+type stats = {
+  rounds : int;
+  enodes : int;
+  eclasses : int;
+  rule_hits : (string * int) list;
+  saturated : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The e-graph                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Egraph = struct
+  type enode =
+    | NIn of string
+    | NNot of int
+    | NMerge of Term.gate * Term.fam * int list
+        (** children are class ids, sorted and deduplicated *)
+
+  type t = {
+    mutable parent : int array; (* union-find over class ids *)
+    mutable count : int;
+    memo : (enode, int) Hashtbl.t; (* canonical e-node -> class *)
+    mutable classes : (int * enode list) list; (* root -> nodes, sorted *)
+    terms : (int, int) Hashtbl.t; (* Term.tid -> class (add_term memo) *)
+  }
+
+  let create () =
+    {
+      parent = Array.make 64 0;
+      count = 0;
+      memo = Hashtbl.create 256;
+      classes = [];
+      terms = Hashtbl.create 64;
+    }
+
+  let rec find g i =
+    let p = g.parent.(i) in
+    if p = i then i
+    else begin
+      let r = find g p in
+      g.parent.(i) <- r;
+      r
+    end
+
+  let fresh g =
+    if g.count = Array.length g.parent then begin
+      let np = Array.make (2 * g.count) 0 in
+      Array.blit g.parent 0 np 0 g.count;
+      g.parent <- np
+    end;
+    let i = g.count in
+    g.parent.(i) <- i;
+    g.count <- g.count + 1;
+    i
+
+  let canon g = function
+    | NIn _ as n -> n
+    | NNot a -> NNot (find g a)
+    | NMerge (gt, f, cs) ->
+      NMerge (gt, f, List.sort_uniq compare (List.map (find g) cs))
+
+  (* The root of a union is always the smaller class id: allocation
+     order is deterministic, so everything downstream is too. *)
+  let union g a b =
+    let ra = find g a and rb = find g b in
+    if ra = rb then false
+    else begin
+      let keep = min ra rb and drop = max ra rb in
+      g.parent.(drop) <- keep;
+      true
+    end
+
+  let add_node g n =
+    match canon g n with
+    | NMerge (_, _, [ c ]) -> c (* singleton merge is its child *)
+    | n -> (
+      match Hashtbl.find_opt g.memo n with
+      | Some c -> find g c
+      | None ->
+        let c = fresh g in
+        Hashtbl.replace g.memo n c;
+        c)
+
+  let rec add_term g (t : Term.t) =
+    match Hashtbl.find_opt g.terms t.Term.tid with
+    | Some c -> find g c
+    | None ->
+      let c =
+        match t.Term.node with
+        | Term.In x -> add_node g (NIn x)
+        | Term.Not u -> add_node g (NNot (add_term g u))
+        | Term.Merge (gt, f, cs) ->
+          add_node g (NMerge (gt, f, List.map (add_term g) cs))
+      in
+      Hashtbl.replace g.terms t.Term.tid c;
+      c
+
+  let node_count g = Hashtbl.length g.memo
+
+  (* Congruence closure: re-canonicalize the memo until stable (two
+     e-nodes that became structurally equal union their classes), then
+     refresh the sorted class index. *)
+  let rebuild g =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let entries =
+        Hashtbl.fold (fun n c acc -> (n, c) :: acc) g.memo []
+        |> List.sort compare
+      in
+      Hashtbl.reset g.memo;
+      List.iter
+        (fun (n, c) ->
+          let c = find g c in
+          match canon g n with
+          | NMerge (_, _, [ c' ]) -> if union g c c' then changed := true
+          | n -> (
+            match Hashtbl.find_opt g.memo n with
+            | Some c' -> if union g c c' then changed := true
+            | None -> Hashtbl.replace g.memo n c))
+        entries
+    done;
+    let by_class = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun n c ->
+        let c = find g c in
+        let l = try Hashtbl.find by_class c with Not_found -> [] in
+        Hashtbl.replace by_class c (n :: l))
+      g.memo;
+    g.classes <-
+      Hashtbl.fold
+        (fun c l acc -> (c, List.sort compare l) :: acc)
+        by_class []
+      |> List.sort compare
+
+  let class_count g = List.length g.classes
+
+  let nodes_of g c =
+    match List.assoc_opt (find g c) g.classes with Some l -> l | None -> []
+
+  let dual = function Term.And -> Term.Or | Term.Or -> Term.And
+  let other_fam = function Term.Static -> Term.Domino | Term.Domino -> Term.Static
+
+  (* Remove one occurrence of [x] from a sorted-unique list. *)
+  let remove1 x l = List.filter (fun y -> y <> x) l
+
+  (* Each rule inspects one (class, e-node) pair from the round's
+     snapshot and adds equal e-nodes / unions classes; the return is the
+     number of changes it made (new node or effective union). *)
+
+  let apply_union g c n' =
+    let before = node_count g in
+    let c' = add_node g n' in
+    let grew = node_count g > before in
+    let unioned = union g c c' in
+    if grew || unioned then 1 else 0
+
+  let rule_family_swap g c = function
+    | NMerge (gt, f, cs) -> apply_union g c (NMerge (gt, other_fam f, cs))
+    | _ -> 0
+
+  let rule_assoc_flatten g c = function
+    | NMerge (gt, f, cs) ->
+      List.fold_left
+        (fun hits ci ->
+          List.fold_left
+            (fun hits node ->
+              match node with
+              | NMerge (gt', _, inner) when gt' = gt ->
+                hits
+                + apply_union g c (NMerge (gt, f, remove1 ci cs @ inner))
+              | _ -> hits)
+            hits (nodes_of g ci))
+        0 cs
+    | _ -> 0
+
+  let rec first_n n l =
+    if n = 0 then [] else match l with [] -> [] | x :: r -> x :: first_n (n - 1) r
+
+  let rec drop_n n l =
+    if n = 0 then l else match l with [] -> [] | _ :: r -> drop_n (n - 1) r
+
+  let rule_assoc_group g c = function
+    | NMerge (gt, f, cs) when List.length cs >= 3 ->
+      let len = List.length cs in
+      let splits = List.sort_uniq compare [ 2; (len + 1) / 2 ] in
+      List.fold_left
+        (fun hits sp ->
+          let lc = add_node g (NMerge (gt, f, first_n sp cs)) in
+          let rc = add_node g (NMerge (gt, f, drop_n sp cs)) in
+          hits + apply_union g c (NMerge (gt, f, [ lc; rc ])))
+        0 splits
+    | _ -> 0
+
+  let rule_double_neg g c = function
+    | NNot a ->
+      List.fold_left
+        (fun hits node ->
+          match node with
+          | NNot b -> hits + if union g c b then 1 else 0
+          | _ -> hits)
+        0 (nodes_of g a)
+    | _ -> 0
+
+  let rule_demorgan g c = function
+    | NNot a ->
+      List.fold_left
+        (fun hits node ->
+          match node with
+          | NMerge (gt, f, cs) ->
+            let mapped = List.map (fun ci -> add_node g (NNot ci)) cs in
+            hits + apply_union g c (NMerge (dual gt, f, mapped))
+          | _ -> hits)
+        0 (nodes_of g a)
+    | _ -> 0
+
+  let rule_demorgan_merge g c = function
+    | NMerge (gt, f, cs) ->
+      let nots =
+        List.map
+          (fun ci ->
+            List.find_map
+              (function NNot d -> Some d | _ -> None)
+              (nodes_of g ci))
+          cs
+      in
+      if List.exists Option.is_none nots then 0
+      else
+        let ds = List.map Option.get nots in
+        let inner = add_node g (NMerge (dual gt, f, ds)) in
+        apply_union g c (NNot inner)
+    | _ -> 0
+
+  (* Distributive factoring, both orientations: a merge of [outer] whose
+     children all carry an [inner]-merge e-node sharing a class [x]
+     factors into inner(x, outer(residuals)). *)
+  let rule_factor g c = function
+    | NMerge (outer, f, cs) when List.length cs >= 2 ->
+      let inner = dual outer in
+      let inner_nodes ci =
+        List.filter_map
+          (function
+            | NMerge (gt, _, ds) when gt = inner && List.length ds >= 2 ->
+              Some ds
+            | _ -> None)
+          (nodes_of g ci)
+      in
+      let per_child = List.map inner_nodes cs in
+      if List.exists (fun l -> l = []) per_child then 0
+      else
+        let divisors =
+          List.fold_left
+            (fun acc dss ->
+              let here = List.sort_uniq compare (List.concat dss) in
+              List.filter (fun x -> List.mem x here) acc)
+            (List.sort_uniq compare (List.concat (List.hd per_child)))
+            (List.tl per_child)
+        in
+        List.fold_left
+          (fun hits x ->
+            let residuals =
+              List.map
+                (fun dss ->
+                  let ds = List.find (fun ds -> List.mem x ds) dss in
+                  add_node g (NMerge (inner, f, remove1 x ds)))
+                per_child
+            in
+            let rc = add_node g (NMerge (outer, f, residuals)) in
+            hits + apply_union g c (NMerge (inner, f, [ x; rc ])))
+          0 (first_n 2 divisors)
+    | _ -> 0
+
+  let rules =
+    [
+      ("family-swap", rule_family_swap);
+      ("assoc-flatten", rule_assoc_flatten);
+      ("assoc-group", rule_assoc_group);
+      ("double-neg", rule_double_neg);
+      ("demorgan", rule_demorgan);
+      ("demorgan-merge", rule_demorgan_merge);
+      ("factor", rule_factor);
+    ]
+
+  let saturate ?(budget = default_budget) g =
+    rebuild g;
+    let hits = Hashtbl.create 8 in
+    let bump r n =
+      if n > 0 then
+        Hashtbl.replace hits r ((try Hashtbl.find hits r with Not_found -> 0) + n)
+    in
+    let rounds = ref 0 and saturated = ref false and stop = ref false in
+    while (not !stop) && !rounds < budget.iter_limit do
+      incr rounds;
+      let snapshot =
+        List.concat_map (fun (c, ns) -> List.map (fun n -> (c, n)) ns) g.classes
+      in
+      let changed = ref 0 in
+      List.iter
+        (fun (c, n) ->
+          if node_count g < budget.node_limit then
+            List.iter
+              (fun (name, rule) ->
+                let h = rule g c n in
+                bump name h;
+                changed := !changed + h)
+              rules)
+        snapshot;
+      rebuild g;
+      if !changed = 0 then begin
+        stop := true;
+        saturated := true
+      end
+      else if node_count g >= budget.node_limit then stop := true
+    done;
+    {
+      rounds = !rounds;
+      enodes = node_count g;
+      eclasses = class_count g;
+      rule_hits =
+        Hashtbl.fold (fun r n acc -> (r, n) :: acc) hits [] |> List.sort compare;
+      saturated = !saturated;
+    }
+
+  (* Beam extraction: per class, the top-k distinct terms by Term.cost.
+     Monotone fixpoint — candidate lists only ever improve — with a
+     round cap for safety on adversarial graphs.  Domino e-nodes are
+     only realized over monotone-rising child terms (the lint
+     family-discipline, decided conservatively; the rendered candidate
+     is re-checked by the real analyzer). *)
+  let extract ?(k = 4) g roots =
+    let cost_memo = Hashtbl.create 256 in
+    let cost t =
+      match Hashtbl.find_opt cost_memo t.Term.tid with
+      | Some c -> c
+      | None ->
+        let c = Term.cost t in
+        Hashtbl.add cost_memo t.Term.tid c;
+        c
+    in
+    let best : (int, (float * Term.t) list) Hashtbl.t = Hashtbl.create 64 in
+    let best_of c = try Hashtbl.find best (find g c) with Not_found -> [] in
+    let node_candidates = function
+      | NIn x -> [ Term.input x ]
+      | NNot a -> List.map (fun (_, t) -> Term.not_ t) (best_of a)
+      | NMerge (gt, f, cs) ->
+        let lists = List.map best_of cs in
+        if List.exists (fun l -> l = []) lists then []
+        else
+          let kmax =
+            List.fold_left (fun a l -> max a (List.length l)) 0 lists
+          in
+          List.init kmax (fun i ->
+              Term.merge gt f
+                (List.map
+                   (fun l -> snd (List.nth l (min i (List.length l - 1))))
+                   lists))
+          |> List.filter (fun t ->
+                 match t.Term.node with
+                 | Term.Merge (_, Term.Domino, cs) ->
+                   List.for_all Term.monotone_rise cs
+                 | _ -> true)
+    in
+    let changed = ref true and rounds = ref 0 in
+    while !changed && !rounds < 64 do
+      changed := false;
+      incr rounds;
+      List.iter
+        (fun (c, ns) ->
+          let cands =
+            List.concat_map node_candidates ns
+            |> List.map (fun t -> (cost t, t))
+          in
+          let merged =
+            cands @ best_of c
+            |> List.sort (fun (ca, a) (cb, b) ->
+                   match Float.compare ca cb with
+                   | 0 -> compare a.Term.tid b.Term.tid
+                   | n -> n)
+          in
+          let rec dedup seen = function
+            | [] -> []
+            | (_, t) :: rest when List.mem t.Term.tid seen -> dedup seen rest
+            | (c, t) :: rest -> (c, t) :: dedup (t.Term.tid :: seen) rest
+          in
+          let merged = first_n k (dedup [] merged) in
+          let ids l = List.map (fun (_, t) -> t.Term.tid) l in
+          if ids merged <> ids (best_of c) then begin
+            Hashtbl.replace best (find g c) merged;
+            changed := true
+          end)
+        g.classes
+    done;
+    List.map (fun r -> (r, best_of r)) roots
+end
+
+(* ------------------------------------------------------------------ *)
+(* Netlist -> terms                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type seed = {
+  seed_name : string;
+  seed_inputs : string list;
+  seed_outputs : (string * Term.t) list;
+  seed_loads : (string * float) list;
+}
+
+exception Unsupported of string
+
+let of_netlist nl =
+  try
+    let topo =
+      try Netlist.topo_order nl
+      with _ -> raise (Unsupported "combinational cycle")
+    in
+    let terms : (Netlist.net_id, Term.t) Hashtbl.t = Hashtbl.create 64 in
+    let term_of_net nid =
+      match Hashtbl.find_opt terms nid with
+      | Some t -> t
+      | None ->
+        raise
+          (Unsupported
+             (Printf.sprintf "net %s has no abstracted driver"
+                (Netlist.net nl nid).Netlist.net_name))
+    in
+    List.iter
+      (fun nid ->
+        let n = Netlist.net nl nid in
+        Hashtbl.replace terms nid (Term.input n.Netlist.net_name))
+      nl.Netlist.inputs;
+    List.iter
+      (fun (i : Netlist.instance) ->
+        let pdn_term fam pd =
+          let rec go = function
+            | Pdn.Leaf { pin; _ } -> term_of_net (List.assoc pin i.Netlist.conns)
+            | Pdn.Series ts -> Term.merge Term.And fam (List.map go ts)
+            | Pdn.Parallel ts -> Term.merge Term.Or fam (List.map go ts)
+          in
+          go pd
+        in
+        match i.Netlist.cell with
+        | Cell.Static { pull_down; _ } ->
+          Hashtbl.replace terms i.Netlist.out
+            (Term.not_ (pdn_term Term.Static pull_down))
+        | Cell.Domino { pull_down; _ } ->
+          Hashtbl.replace terms i.Netlist.out (pdn_term Term.Domino pull_down)
+        | Cell.Passgate _ -> raise (Unsupported "pass-gate logic")
+        | Cell.Tristate _ -> raise (Unsupported "tri-state driver"))
+      topo;
+    let outputs =
+      List.map
+        (fun nid ->
+          let n = Netlist.net nl nid in
+          (n.Netlist.net_name, term_of_net nid))
+        nl.Netlist.outputs
+    in
+    let loads =
+      List.filter_map
+        (fun (nid, ff) ->
+          let n = Netlist.net nl nid in
+          if n.Netlist.net_kind = Netlist.Primary_output then
+            Some (n.Netlist.net_name, ff)
+          else None)
+        nl.Netlist.ext_loads
+    in
+    let inputs =
+      List.map (fun nid -> (Netlist.net nl nid).Netlist.net_name)
+        nl.Netlist.inputs
+    in
+    Ok
+      {
+        seed_name = nl.Netlist.name;
+        seed_inputs = inputs;
+        seed_outputs = outputs;
+        seed_loads = loads;
+      }
+  with Unsupported reason -> Error reason
+
+(* ------------------------------------------------------------------ *)
+(* Terms -> netlist                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module B = Netlist.Builder
+
+let to_netlist ?(name = "rewrite") ?(inputs = []) ?(loads = []) terms =
+  let b = B.create name in
+  (* Primary inputs in interface order, restricted to what survives. *)
+  let used =
+    List.concat_map (fun (_, t) -> Term.inputs t) terms
+    |> List.sort_uniq compare
+  in
+  let declared = List.filter (fun x -> List.mem x used) inputs in
+  let extra = List.filter (fun x -> not (List.mem x declared)) used in
+  let input_net = Hashtbl.create 16 in
+  List.iter
+    (fun x -> Hashtbl.replace input_net x (B.input b x))
+    (declared @ extra);
+  let memo : (int, Netlist.net_id) Hashtbl.t = Hashtbl.create 64 in
+  let inv ~tag ~label_tag src dst =
+    B.inst b ~group:"rw" ~name:tag
+      ~cell:(Cell.inverter ~p:("P" ^ label_tag) ~n:("N" ^ label_tag))
+      ~inputs:[ ("a", src) ] ~out:dst ()
+  in
+  let static_gate tid gt child_nets dst =
+    let k = List.length child_nets in
+    let p = Printf.sprintf "P%d" tid and n = Printf.sprintf "N%d" tid in
+    let cell =
+      match gt with
+      | Term.And -> Cell.nand ~inputs:k ~p ~n
+      | Term.Or -> Cell.nor ~inputs:k ~p ~n
+    in
+    B.inst b ~group:"rw"
+      ~name:(Printf.sprintf "g%d" tid)
+      ~cell
+      ~inputs:(List.mapi (fun j c -> (Printf.sprintf "a%d" j, c)) child_nets)
+      ~out:dst ()
+  in
+  let domino_gate tid gt child_nets dst =
+    let k = List.length child_nets in
+    let label = Printf.sprintf "N%d" tid in
+    let leaves =
+      List.mapi (fun j _ -> Pdn.leaf ~pin:(Printf.sprintf "d%d" j) ~label)
+        child_nets
+    in
+    let pull_down, gn =
+      match gt with
+      | Term.And -> (Pdn.series leaves, Printf.sprintf "rwdomand%d" k)
+      | Term.Or -> (Pdn.parallel leaves, Printf.sprintf "rwdomor%d" k)
+    in
+    B.inst b ~group:"rw"
+      ~name:(Printf.sprintf "g%d" tid)
+      ~cell:
+        (Cell.Domino
+           {
+             gate_name = gn;
+             pull_down;
+             precharge = Printf.sprintf "PP%d" tid;
+             eval = Some (Printf.sprintf "NF%d" tid);
+             out_p = Printf.sprintf "OP%d" tid;
+             out_n = Printf.sprintf "ON%d" tid;
+             keeper = true;
+           })
+      ~inputs:(List.mapi (fun j c -> (Printf.sprintf "d%d" j, c)) child_nets)
+      ~out:dst ()
+  in
+  (* [net_of] renders into a fresh wire (memoized); [emit] renders
+     directly into a given target net (used for roots). *)
+  let rec net_of (t : Term.t) =
+    match Hashtbl.find_opt memo t.Term.tid with
+    | Some n -> n
+    | None ->
+      let n =
+        match t.Term.node with
+        | Term.In x -> Hashtbl.find input_net x
+        | _ ->
+          let w = B.wire b (Printf.sprintf "t%d" t.Term.tid) in
+          emit t w;
+          w
+      in
+      Hashtbl.replace memo t.Term.tid n;
+      n
+  and emit (t : Term.t) dst =
+    match t.Term.node with
+    | Term.In _ -> assert false
+    | Term.Not { node = Term.Merge (gt, Term.Static, cs); _ } ->
+      (* fold the negation into a bare NAND/NOR *)
+      static_gate t.Term.tid gt (List.map net_of cs) dst
+    | Term.Not u ->
+      inv ~tag:(Printf.sprintf "n%d" t.Term.tid)
+        ~label_tag:(string_of_int t.Term.tid)
+        (net_of u) dst
+    | Term.Merge (gt, Term.Static, cs) ->
+      let w = B.wire b (Printf.sprintf "t%dn" t.Term.tid) in
+      static_gate t.Term.tid gt (List.map net_of cs) w;
+      inv ~tag:(Printf.sprintf "gi%d" t.Term.tid)
+        ~label_tag:(Printf.sprintf "I%d" t.Term.tid)
+        w dst
+    | Term.Merge (gt, Term.Domino, cs) ->
+      domino_gate t.Term.tid gt (List.map net_of cs) dst
+  in
+  List.iter
+    (fun (oname, (t : Term.t)) ->
+      let o = B.output b oname in
+      let buffer src =
+        let w = B.wire b (oname ^ "_buf") in
+        inv ~tag:("b0_" ^ oname) ~label_tag:("B0" ^ oname) src w;
+        inv ~tag:("b1_" ^ oname) ~label_tag:("B1" ^ oname) w o
+      in
+      (match (Hashtbl.find_opt memo t.Term.tid, t.Term.node) with
+      | Some n, _ -> buffer n (* shared with an earlier root/subterm *)
+      | None, Term.In _ -> buffer (net_of t)
+      | None, _ ->
+        emit t o;
+        Hashtbl.replace memo t.Term.tid o);
+      match List.assoc_opt oname loads with
+      | Some ff -> B.ext_load b o ff
+      | None -> ())
+    terms;
+  B.freeze b
+
+(* ------------------------------------------------------------------ *)
+(* Netlist-level cost: Paths class quotient x levelised depth          *)
+(* ------------------------------------------------------------------ *)
+
+let netlist_cost nl =
+  let classes = Paths.classes nl in
+  let width =
+    List.fold_left
+      (fun acc nid ->
+        match Netlist.driver nl nid with
+        | None -> acc
+        | Some i ->
+          acc
+          +. List.fold_left
+               (fun a (_, m) -> a +. m)
+               0.
+               (Cell.all_widths i.Netlist.cell))
+      0. (Paths.class_reps classes)
+  in
+  (1. +. float_of_int (Paths.depth nl)) *. (1. +. width)
+
+(* ------------------------------------------------------------------ *)
+(* One-call exploration                                                *)
+(* ------------------------------------------------------------------ *)
+
+type extraction = {
+  ex_tag : string;
+  ex_terms : (string * Term.t) list;
+  ex_netlist : Netlist.t;
+  ex_term_cost : float;
+  ex_netlist_cost : float;
+}
+
+type report = {
+  rw_seed : seed;
+  rw_stats : stats;
+  rw_extracted : extraction list;
+}
+
+let explore_netlist ?(budget = default_budget) nl =
+  match of_netlist nl with
+  | Error e -> Error e
+  | Ok seed ->
+    let g = Egraph.create () in
+    let roots =
+      List.map (fun (o, t) -> (o, Egraph.add_term g t)) seed.seed_outputs
+    in
+    let stats = Egraph.saturate ~budget g in
+    let best = Egraph.extract ~k:budget.top_k g (List.map snd roots) in
+    let per_root =
+      List.map (fun (o, c) -> (o, List.assoc c best)) roots
+    in
+    let kmax =
+      List.fold_left (fun a (_, l) -> max a (List.length l)) 0 per_root
+    in
+    let nth_clamped l i =
+      let len = List.length l in
+      if len = 0 then None else Some (List.nth l (min i (len - 1)))
+    in
+    let source_ids =
+      List.map (fun (o, t) -> (o, t.Term.tid)) seed.seed_outputs
+    in
+    let candidates =
+      List.init kmax (fun i ->
+          List.filter_map
+            (fun (o, l) ->
+              Option.map (fun (cost, t) -> (o, cost, t)) (nth_clamped l i))
+            per_root)
+      |> List.filter (fun cand -> List.length cand = List.length roots)
+      (* drop the source structure itself and index-clamping duplicates *)
+      |> List.filter (fun cand ->
+             List.exists
+               (fun (o, _, t) -> List.assoc o source_ids <> t.Term.tid)
+               cand)
+    in
+    let rec dedup seen = function
+      | [] -> []
+      | cand :: rest ->
+        let key = List.map (fun (_, _, t) -> t.Term.tid) cand in
+        if List.mem key seen then dedup seen rest
+        else cand :: dedup (key :: seen) rest
+    in
+    let candidates = dedup [] candidates in
+    let extracted =
+      List.mapi
+        (fun i cand ->
+          let tag = Printf.sprintf "rw%d" (i + 1) in
+          let terms = List.map (fun (o, _, t) -> (o, t)) cand in
+          let term_cost =
+            List.fold_left (fun a (_, c, _) -> a +. c) 0. cand
+          in
+          let rendered =
+            to_netlist
+              ~name:(seed.seed_name ^ "~" ^ tag)
+              ~inputs:seed.seed_inputs ~loads:seed.seed_loads terms
+          in
+          {
+            ex_tag = tag;
+            ex_terms = terms;
+            ex_netlist = rendered;
+            ex_term_cost = term_cost;
+            ex_netlist_cost = netlist_cost rendered;
+          })
+        candidates
+      |> List.sort (fun a b ->
+             Float.compare a.ex_netlist_cost b.ex_netlist_cost)
+    in
+    Ok { rw_seed = seed; rw_stats = stats; rw_extracted = extracted }
+
+(* ------------------------------------------------------------------ *)
+(* Random terms for the soundness gauntlet                             *)
+(* ------------------------------------------------------------------ *)
+
+let random_seed_term ?(inputs = 6) ?(nodes = 12) ~seed () =
+  let rng = Rng.create seed in
+  let pool =
+    ref
+      (Array.to_list
+         (Array.init inputs (fun i -> Term.input (Printf.sprintf "x%d" i))))
+  in
+  let pick () = Rng.choose rng (Array.of_list !pool) in
+  for _ = 1 to nodes do
+    let a = pick () and b = pick () in
+    let t =
+      if a.Term.tid = b.Term.tid then Term.not_ a
+      else
+        let gt = if Rng.bool rng then Term.And else Term.Or in
+        let fam =
+          if Rng.bool rng && Term.monotone_rise a && Term.monotone_rise b
+          then Term.Domino
+          else Term.Static
+        in
+        match Rng.int rng 4 with
+        | 0 when List.length !pool > 2 ->
+          Term.merge gt fam [ a; b; pick () ]
+        | 1 -> Term.not_ (Term.merge gt Term.Static [ a; b ])
+        | _ -> Term.merge gt fam [ a; b ]
+    in
+    pool := t :: !pool
+  done;
+  let a = pick () and b = pick () in
+  if a.Term.tid = b.Term.tid then
+    match a.Term.node with Term.In _ -> Term.not_ a | _ -> a
+  else Term.merge Term.Or Term.Static [ a; b ]

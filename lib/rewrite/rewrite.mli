@@ -1,0 +1,194 @@
+(** Topology generation by rewriting: e-graph equality saturation over
+    macro DAGs.
+
+    The paper's methodology wins by searching over {e topologies}, not
+    just sizes, yet {!Smart_explore.Explore} ranks a fixed hand-coded
+    generator menu.  This module multiplies that menu mechanically: a
+    candidate netlist is abstracted into a boolean {!Term} DAG
+    (hash-consed — repeated structure shares one subterm), the term is
+    loaded into an e-graph, a rule set closes the graph over
+    merge-tree associativity/commutativity, De Morgan duals, mux
+    factoring (distributivity) and static ↔ domino family swaps, and a
+    cost-model-driven beam extracts the top-k structurally distinct
+    implementations, each rendered back to a netlist ready for the
+    ordinary {!Smart_explore.Explore.size_candidates} batch path.
+
+    Soundness is layered: every rule is a boolean identity
+    (commutativity is free — e-node children are sorted class ids);
+    domino e-nodes are only extractable over monotone-rising subterms
+    (the {!Smart_lint} [family/domino-monotone] discipline, decided
+    conservatively here and re-checked by the real analyzer on the
+    rendered netlist); and {!Smart_check}'s rewrite gauntlet cross-times
+    every extracted candidate with the three-way Oracle. *)
+
+(** {1 Terms} *)
+
+(** Hash-consed boolean terms over named inputs.  [Merge (And, f, cs)]
+    is the conjunction of [cs] implemented in family [f] (static:
+    NAND/NOR + inverter, the inverter folded away under an enclosing
+    {!Term.not_}; domino: a non-inverting footed stage); [Merge (Or, _, _)]
+    dually.  Children are sorted and deduplicated by term id, so
+    commutativity and idempotence hold structurally.  Equal terms are
+    physically equal and share one [tid]. *)
+module Term : sig
+  type gate = And | Or
+  type fam = Static | Domino
+
+  type t = private { tid : int; node : node }
+
+  and node = In of string | Not of t | Merge of gate * fam * t list
+
+  val input : string -> t
+
+  val not_ : t -> t
+  (** Plain negation — [Not (Not t)] is {e not} collapsed; the e-graph's
+      double-negation rule handles that as an equality, not a rewrite. *)
+
+  val merge : gate -> fam -> t list -> t
+  (** Children are sorted/deduped by id; a singleton merge returns its
+      child.  Raises on an empty list. *)
+
+  val eval : (string -> bool) -> t -> bool
+  (** Boolean value under an input assignment (memoized over the DAG). *)
+
+  val inputs : t -> string list
+  (** Distinct input names, sorted. *)
+
+  val size : t -> int
+  (** Distinct subterms (DAG nodes, not tree nodes). *)
+
+  val monotone_rise : t -> bool
+  (** Conservative monotonicity: [true] when the term provably makes at
+      most one 0→1 transition during evaluate given monotone-rising
+      inputs — the legality condition for feeding a domino stage
+      (mirrors the lint [family/domino-monotone] flow analysis). *)
+
+  val depth_estimate : t -> float
+  (** Logical-effort depth: worst root-to-input sum of per-stage efforts
+      under the term's families (folded static inverters included). *)
+
+  val width_estimate : t -> float
+  (** Device-width proxy summed over distinct subterms — DAG sharing is
+      counted once, so regular (hash-consed) structure is cheap. *)
+
+  val cost : t -> float
+  (** [(1 + depth_estimate) * (1 + width_estimate)] — the beam's
+      extraction objective. *)
+
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+val equivalent : Term.t -> Term.t -> bool
+(** Exhaustive functional equivalence over the union of the two terms'
+    inputs.  Raises {!Smart_util.Err.Smart_error} above 16 inputs. *)
+
+(** {1 Saturation budget} *)
+
+type budget = {
+  node_limit : int;  (** stop enlarging past this many e-nodes (2000) *)
+  iter_limit : int;  (** saturation round cap (6) *)
+  top_k : int;  (** distinct candidates extracted per seed (4) *)
+}
+
+val default_budget : budget
+
+type stats = {
+  rounds : int;  (** saturation rounds run *)
+  enodes : int;
+  eclasses : int;
+  rule_hits : (string * int) list;  (** rule name → matches applied *)
+  saturated : bool;  (** fixpoint reached within the budget *)
+}
+
+(** {1 The e-graph} *)
+
+module Egraph : sig
+  type t
+
+  val create : unit -> t
+
+  val add_term : t -> Term.t -> int
+  (** Load a term; returns its e-class id. *)
+
+  val node_count : t -> int
+  val class_count : t -> int
+
+  val saturate : ?budget:budget -> t -> stats
+  (** Run the rule set to fixpoint or budget: merge-tree
+      flatten/group (associativity), double negation, De Morgan in both
+      directions, distributive factoring, and static ↔ domino family
+      swap.  Commutativity and idempotence are structural (sorted,
+      deduplicated e-node children). *)
+
+  val extract : ?k:int -> t -> int list -> (int * (float * Term.t) list) list
+  (** Beam extraction: for each requested class, up to [k] structurally
+      distinct terms, best {!Term.cost} first.  Domino e-nodes are only
+      realized over {!Term.monotone_rise} children. *)
+end
+
+(** {1 Netlist round-trip} *)
+
+type seed = {
+  seed_name : string;
+  seed_inputs : string list;  (** source primary inputs, interface order *)
+  seed_outputs : (string * Term.t) list;  (** output name → abstracted term *)
+  seed_loads : (string * float) list;  (** output name → external fF *)
+}
+
+val of_netlist : Smart_circuit.Netlist.t -> (seed, string) result
+(** Abstract a static/domino netlist into boolean terms, one per primary
+    output.  [Error reason] on unsupported content (pass gates,
+    tri-states, combinational cycles, undriven outputs) — callers skip
+    the seed and record the reason. *)
+
+val to_netlist :
+  ?name:string ->
+  ?inputs:string list ->
+  ?loads:(string * float) list ->
+  (string * Term.t) list ->
+  Smart_circuit.Netlist.t
+(** Render terms back to a netlist, one gate per [Merge] (static:
+    NAND/NOR with the output inverter folded into an enclosing [Not];
+    domino: a footed, keepered stage), every instance with its own size
+    labels.  [inputs] fixes primary-input declaration order; inputs no
+    surviving term reads are dropped.  [loads] re-applies external
+    loads by output name.  Shared subterms render once — hash-consing
+    is the regularity story. *)
+
+val netlist_cost : Smart_circuit.Netlist.t -> float
+(** Netlist-level extraction score: levelised depth × the device width
+    of one representative per {!Smart_paths.Paths.classes} equivalence
+    class — the same class quotient the path reducer uses, so repeated
+    structure is priced once. *)
+
+(** {1 One-call exploration} *)
+
+type extraction = {
+  ex_tag : string;  (** ["rw1"], ["rw2"], ... (stable identity, not rank) *)
+  ex_terms : (string * Term.t) list;  (** output name → extracted term *)
+  ex_netlist : Smart_circuit.Netlist.t;
+  ex_term_cost : float;  (** summed beam estimate of the terms *)
+  ex_netlist_cost : float;  (** {!netlist_cost} of the rendering *)
+}
+
+type report = {
+  rw_seed : seed;
+  rw_stats : stats;
+  rw_extracted : extraction list;
+      (** structurally distinct, source structure excluded, best
+          {!netlist_cost} first; at most [budget.top_k] *)
+}
+
+val explore_netlist :
+  ?budget:budget -> Smart_circuit.Netlist.t -> (report, string) result
+(** Abstract, saturate, extract and render in one call — the engine
+    behind [Explore]'s [`Saturate] mode and the CLI's [--rewrite]. *)
+
+(** {1 Gauntlet support} *)
+
+val random_seed_term : ?inputs:int -> ?nodes:int -> seed:int -> unit -> Term.t
+(** Deterministic random term for the rewrite-soundness gauntlet:
+    [nodes] (default 12) random gates in mixed families over [inputs]
+    (default 6) named [x0..] — domino merges only ever placed over
+    monotone-rising subterms, as a legal generator must. *)

@@ -71,6 +71,18 @@ let test_small_gauntlet () =
   checkb "no findings" true (r.Check.findings = []);
   checkb "event sim did work" true (r.Check.events > 0)
 
+(* Every extracted rewrite candidate must survive all four soundness
+   checks: term equivalence, exhaustive cross-simulation, lint, and the
+   three-way timing Oracle. *)
+let test_small_rewrite_gauntlet () =
+  let r = Check.rewrite_gauntlet ~seeds:10 tech in
+  checkb "extracted candidates" true (r.Check.rw_candidates >= 10);
+  checkb "no seeds skipped" true (r.Check.rw_skipped = []);
+  checkb "no equivalence failures" true (r.Check.rw_equiv_failures = []);
+  checkb "no simulation failures" true (r.Check.rw_sim_failures = []);
+  checkb "no lint errors" true (r.Check.rw_lint_dirty = []);
+  checkb "no oracle findings" true (r.Check.rw_oracle_findings = [])
+
 (* ---------------- GP certification ---------------- *)
 
 let test_certify_small_sizing () =
@@ -173,6 +185,8 @@ let () =
           Alcotest.test_case "seed 161 regression" `Quick
             test_oracle_seed_161_regression;
           Alcotest.test_case "small gauntlet" `Quick test_small_gauntlet;
+          Alcotest.test_case "rewrite gauntlet" `Quick
+            test_small_rewrite_gauntlet;
         ] );
       ( "certify",
         [ Alcotest.test_case "small sizing" `Quick test_certify_small_sizing ] );

@@ -128,6 +128,55 @@ let test_trace_one_span_per_candidate () =
         | _ -> ())
       spans
 
+(* Hier-engaged candidates keep per-candidate span attribution: every
+   sub-solve span a hierarchically sized candidate emits is labelled
+   "hier:<candidate>/<unit>", so a batch's spans partition by candidate
+   even though each candidate fans out many engine solves. *)
+let test_trace_hier_spans_per_candidate () =
+  let sink, drain = Engine.Trace.memory () in
+  let e = Engine.create ~workers:2 ~cache_capacity:0 ~sink () in
+  let variants =
+    [
+      ("m4", Mux.generate Mux.Strongly_mutexed ~n:4);
+      ("m8", Mux.generate Mux.Strongly_mutexed ~n:8);
+    ]
+  in
+  let hier_options =
+    { Smart_hier.Hier.default_options with auto_threshold = 1 }
+  in
+  match
+    Explore.tune_typed ~engine:e ~hier:`Auto ~hier_options ~variants tech
+      (C.spec 250.)
+  with
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
+  | Ok r ->
+    checkb "both candidates engaged hier" true
+      (List.for_all
+         (fun (_, (i : Macro.info)) ->
+           Smart_hier.Hier.engages ~options:hier_options `Auto i.Macro.netlist)
+         variants);
+    checki "both candidates ranked or rejected" 2
+      (List.length r.Explore.ranked + List.length r.Explore.rejected);
+    let labels =
+      List.filter_map
+        (function
+          | Engine.Trace.Sizing { label; _ } -> Some label | _ -> None)
+        (drain ())
+    in
+    let prefixed p l =
+      String.length l >= String.length p && String.sub l 0 (String.length p) = p
+    in
+    List.iter
+      (fun (n, _) ->
+        checkb (n ^ " has attributed hier spans") true
+          (List.exists (prefixed ("hier:" ^ n ^ "/")) labels))
+      variants;
+    checkb "every sizing span attributed to a candidate" true
+      (List.for_all
+         (fun l ->
+           List.exists (fun (n, _) -> prefixed ("hier:" ^ n ^ "/") l) variants)
+         labels)
+
 (* (e) Trace sinks under many domains.  [memory] used to lose events to
    the non-atomic [events := e :: !events] read-modify-write; the stress
    below reliably exposed that: several domains hammering one sink must
@@ -406,6 +455,8 @@ let () =
         [
           Alcotest.test_case "span per candidate" `Quick
             test_trace_one_span_per_candidate;
+          Alcotest.test_case "hier spans per candidate" `Quick
+            test_trace_hier_spans_per_candidate;
           Alcotest.test_case "memory sink loses nothing" `Quick
             test_memory_sink_no_lost_events;
           Alcotest.test_case "json_lines stays well-formed" `Quick

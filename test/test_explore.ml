@@ -78,18 +78,114 @@ let test_tune_variants () =
 
 let test_sweep_monotone () =
   let info = Mux.generate Mux.Strongly_mutexed ~n:4 in
-  let pts = Explore.sweep_area_delay ~points:4 tech info.Macro.netlist (C.spec 1e6) in
-  checkb "has points" true (List.length pts >= 3);
-  let rec decreasing = function
-    | (_, a) :: ((_, b) :: _ as rest) -> a >= b -. 1e-6 && decreasing rest
-    | _ -> true
+  match
+    Explore.sweep_area_delay ~points:4 tech info.Macro.netlist (C.spec 1e6)
+  with
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
+  | Ok s ->
+    let pts = s.Explore.sweep_curve in
+    checkb "has points" true (List.length pts >= 3);
+    checkb "skipped + curve = points" true
+      (List.length pts + List.length s.Explore.sweep_skipped = 4);
+    let rec decreasing = function
+      | (_, a) :: ((_, b) :: _ as rest) -> a >= b -. 1e-6 && decreasing rest
+      | _ -> true
+    in
+    checkb "area decreases as delay relaxes" true (decreasing pts);
+    let rec increasing = function
+      | (d, _) :: ((d', _) :: _ as rest) -> d < d' && increasing rest
+      | _ -> true
+    in
+    checkb "delay targets increase" true (increasing pts)
+
+(* Regression: points = 1 used to compute targets as golden_min * (relax
+   + span * 0/0) — a NaN target the sizer then rejected, silently
+   returning an empty sweep.  One point must mean one finite target. *)
+let test_sweep_single_point () =
+  let info = Mux.generate Mux.Strongly_mutexed ~n:4 in
+  match
+    Explore.sweep_area_delay ~points:1 tech info.Macro.netlist (C.spec 1e6)
+  with
+  | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
+  | Ok s ->
+    checkb "exactly one point" true (List.length s.Explore.sweep_curve = 1);
+    checkb "nothing skipped" true (s.Explore.sweep_skipped = []);
+    let d, a = List.hd s.Explore.sweep_curve in
+    checkb "target is finite" true (Float.is_finite d && Float.is_finite a);
+    let gm = s.Explore.sweep_min_delay.Sizer.golden_min in
+    checkb "target inside the relax range" true
+      (d >= gm *. (1.0 -. 1e-9) && d <= gm *. 1.35)
+
+let test_sweep_invalid_points () =
+  let info = Mux.generate Mux.Strongly_mutexed ~n:4 in
+  match
+    Explore.sweep_area_delay ~points:0 tech info.Macro.netlist (C.spec 1e6)
+  with
+  | Error (Smart_util.Err.Invalid_request _) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Smart_util.Err.to_string e)
+  | Ok _ -> Alcotest.fail "points = 0 must be rejected"
+
+(* The ranking must not depend on how the menu was ordered or how many
+   workers sized it — even when hierarchical sizing engages for a subset
+   of the candidates (the larger ones cross the lowered threshold, the
+   smaller ones stay monolithic). *)
+let test_ranking_invariance () =
+  let variants =
+    [
+      ("mux2", Mux.generate Mux.Strongly_mutexed ~n:2);
+      ("mux4", Mux.generate Mux.Strongly_mutexed ~n:4);
+      ("mux8", Mux.generate Mux.Strongly_mutexed ~n:8);
+      ("mux4u", Mux.generate Mux.Domino_unsplit ~n:4);
+    ]
   in
-  checkb "area decreases as delay relaxes" true (decreasing pts);
-  let rec increasing = function
-    | (d, _) :: ((d', _) :: _ as rest) -> d < d' && increasing rest
-    | _ -> true
+  let hier_options =
+    (* Engage hier only for the two larger muxes. *)
+    let threshold =
+      let count (_, (i : Macro.info)) =
+        Smart_circuit.Netlist.instance_count i.Macro.netlist
+      in
+      let sizes = List.sort compare (List.map count variants) in
+      List.nth sizes 2
+    in
+    { Smart_hier.Hier.default_options with auto_threshold = threshold }
   in
-  checkb "delay targets increase" true (increasing pts)
+  let engaged =
+    List.filter
+      (fun (_, (i : Macro.info)) ->
+        Smart_hier.Hier.engages ~options:hier_options `Auto i.Macro.netlist)
+      variants
+  in
+  checkb "hier engages for a strict subset" true
+    (List.length engaged >= 1 && List.length engaged < List.length variants);
+  let spec = C.spec 200. in
+  let names r = List.map (fun c -> c.Explore.entry_name) r.Explore.ranked in
+  let scores r = List.map (fun c -> c.Explore.score) r.Explore.ranked in
+  let run ~order ~workers =
+    let engine = Smart_engine.Engine.create ~workers () in
+    match
+      Explore.tune_typed ~engine ~hier:`Auto ~hier_options ~variants:order tech
+        spec
+    with
+    | Error e -> Alcotest.fail (Smart_util.Err.to_string e)
+    | Ok r -> r
+  in
+  let reference = run ~order:variants ~workers:1 in
+  let prop (perm_seed, workers) =
+    let order =
+      let arr = Array.of_list variants in
+      Smart_util.Rng.shuffle (Smart_util.Rng.create perm_seed) arr;
+      Array.to_list arr
+    in
+    let r = run ~order ~workers in
+    names r = names reference && scores r = scores reference
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (s, w) -> Printf.sprintf "seed=%d workers=%d" s w)
+      QCheck.Gen.(pair (int_bound 1000) (int_range 1 4))
+  in
+  let cell = QCheck.Test.make ~count:6 ~name:"ranking order/worker invariant" arb prop in
+  QCheck.Test.check_exn cell
 
 let () =
   Alcotest.run "smart_explore"
@@ -105,5 +201,8 @@ let () =
         [
           Alcotest.test_case "tune" `Quick test_tune_variants;
           Alcotest.test_case "area-delay sweep" `Quick test_sweep_monotone;
+          Alcotest.test_case "single-point sweep" `Quick test_sweep_single_point;
+          Alcotest.test_case "invalid points" `Quick test_sweep_invalid_points;
+          Alcotest.test_case "ranking invariance" `Slow test_ranking_invariance;
         ] );
     ]

@@ -1,0 +1,182 @@
+(* Smart_rewrite: e-graph saturation, extraction, netlist round-trip. *)
+
+module Rewrite = Smart_core.Smart.Rewrite
+module Term = Rewrite.Term
+module Mux = Smart_core.Smart.Mux
+module Zero_detect = Smart_core.Smart.Zero_detect
+module Macro = Smart_core.Smart.Macro
+module Netlist = Smart_core.Smart.Circuit
+module Sim = Smart_core.Smart.Sim
+module Lint = Smart_core.Smart.Lint
+module Tech = Smart_core.Smart.Tech
+
+let check = Alcotest.(check bool)
+
+(* a. Hash-consing: commutativity and idempotence are structural. *)
+let test_term_hashcons () =
+  let a = Term.input "a" and b = Term.input "b" in
+  let ab = Term.merge Term.And Term.Static [ a; b ] in
+  let ba = Term.merge Term.And Term.Static [ b; a ] in
+  check "commutative children intern to one term" true (ab == ba);
+  let aa = Term.merge Term.Or Term.Static [ a; a ] in
+  check "idempotent merge collapses to the child" true (aa == a);
+  check "double negation is not collapsed structurally" false
+    (Term.not_ (Term.not_ a) == a)
+
+(* b. equivalent: De Morgan over three inputs. *)
+let test_equivalent () =
+  let a = Term.input "a" and b = Term.input "b" and c = Term.input "c" in
+  let lhs = Term.not_ (Term.merge Term.And Term.Static [ a; b; c ]) in
+  let rhs =
+    Term.merge Term.Or Term.Static
+      [ Term.not_ a; Term.not_ b; Term.not_ c ]
+  in
+  check "demorgan holds" true (Rewrite.equivalent lhs rhs);
+  check "not equivalent to complement" false
+    (Rewrite.equivalent lhs (Term.not_ rhs))
+
+(* Exhaustive simulation agreement between two netlists sharing an input
+   interface (the reference may have more inputs than the candidate —
+   rewriting can drop redundant ones; extras are driven too). *)
+let sim_agrees reference candidate =
+  let input_names nl =
+    List.map
+      (fun nid -> (Netlist.net nl nid).Netlist.net_name)
+      nl.Netlist.inputs
+  in
+  let ins =
+    List.sort_uniq compare (input_names reference @ input_names candidate)
+  in
+  let n = List.length ins in
+  if n > 12 then Alcotest.fail "sim_agrees: too many inputs";
+  let ok = ref true in
+  for v = 0 to (1 lsl n) - 1 do
+    let env =
+      List.mapi (fun i x -> (x, v land (1 lsl i) <> 0)) ins
+    in
+    let restrict nl =
+      let names = input_names nl in
+      List.filter (fun (x, _) -> List.mem x names) env
+    in
+    let out nl assignment name =
+      match List.assoc_opt name (Sim.eval_bits nl assignment) with
+      | Some v -> v
+      | None -> Alcotest.fail ("missing output " ^ name)
+    in
+    List.iter
+      (fun nid ->
+        let name = (Netlist.net reference nid).Netlist.net_name in
+        let a = out reference (restrict reference) name in
+        let b = out candidate (restrict candidate) name in
+        if a <> b then ok := false)
+      reference.Netlist.outputs
+  done;
+  !ok
+
+(* c. of_netlist/to_netlist round trip on a domino mux: the rendering of
+   the abstraction simulates identically to the source. *)
+let test_roundtrip_mux () =
+  let info = Mux.generate Mux.Domino_unsplit ~n:3 in
+  let nl = info.Macro.netlist in
+  match Rewrite.of_netlist nl with
+  | Error e -> Alcotest.fail e
+  | Ok seed ->
+    let rendered =
+      Rewrite.to_netlist ~name:"mux3_rt" ~inputs:seed.Rewrite.seed_inputs
+        ~loads:seed.Rewrite.seed_loads seed.Rewrite.seed_outputs
+    in
+    check "rendered abstraction simulates like the source" true
+      (sim_agrees nl rendered)
+
+(* d. Unsupported families are structured skips, not crashes. *)
+let test_unsupported () =
+  let info = Mux.generate Mux.Strongly_mutexed ~n:4 in
+  match Rewrite.of_netlist info.Macro.netlist with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "pass-gate mux must not abstract"
+
+(* e. explore_netlist on the domino mux: candidates are structurally
+   distinct, functionally equivalent (term- and sim-level), and
+   lint-clean. *)
+let test_explore_netlist () =
+  let info = Mux.generate Mux.Domino_unsplit ~n:4 in
+  let nl = info.Macro.netlist in
+  match Rewrite.explore_netlist nl with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+    let stats = report.Rewrite.rw_stats in
+    check "saturation ran" true (stats.Rewrite.rounds >= 1);
+    check "rules fired" true (stats.Rewrite.rule_hits <> []);
+    check "extracted something" true (report.Rewrite.rw_extracted <> []);
+    let seed_terms = report.Rewrite.rw_seed.Rewrite.seed_outputs in
+    List.iter
+      (fun (ex : Rewrite.extraction) ->
+        List.iter
+          (fun (o, t) ->
+            check
+              (Printf.sprintf "%s/%s equivalent to seed" ex.Rewrite.ex_tag o)
+              true
+              (Rewrite.equivalent t (List.assoc o seed_terms)))
+          ex.Rewrite.ex_terms;
+        check (ex.Rewrite.ex_tag ^ " simulates like the source") true
+          (sim_agrees nl ex.Rewrite.ex_netlist);
+        let rep = Lint.run ~tech:Tech.default ex.Rewrite.ex_netlist in
+        check (ex.Rewrite.ex_tag ^ " lint-clean") true (Lint.ok rep))
+      report.Rewrite.rw_extracted;
+    (* distinctness *)
+    let keys =
+      List.map
+        (fun (ex : Rewrite.extraction) ->
+          List.map (fun (_, (t : Term.t)) -> t.Term.tid) ex.Rewrite.ex_terms)
+        report.Rewrite.rw_extracted
+    in
+    check "candidates structurally distinct" true
+      (List.length keys = List.length (List.sort_uniq compare keys))
+
+(* f. The zero-detect merge tree regroups: saturation must find at least
+   one alternative topology for a static reduction tree. *)
+let test_zero_detect_regroups () =
+  let info = Zero_detect.generate ~bits:8 () in
+  match Rewrite.explore_netlist info.Macro.netlist with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+    check "found alternative merge trees" true
+      (report.Rewrite.rw_extracted <> []);
+    List.iter
+      (fun (ex : Rewrite.extraction) ->
+        check (ex.Rewrite.ex_tag ^ " simulates like the source") true
+          (sim_agrees info.Macro.netlist ex.Rewrite.ex_netlist))
+      report.Rewrite.rw_extracted
+
+(* g. Random seed terms are deterministic and renderable. *)
+let test_random_seed_terms () =
+  let t1 = Rewrite.random_seed_term ~seed:7 () in
+  let t2 = Rewrite.random_seed_term ~seed:7 () in
+  check "same seed, same term" true (t1 == t2);
+  let t3 = Rewrite.random_seed_term ~seed:8 () in
+  check "different seed, different term" true (t1 != t3);
+  let nl = Rewrite.to_netlist ~name:"rand7" [ ("out", t1) ] in
+  check "random term renders to a valid netlist" true
+    (Netlist.validate nl = [])
+
+let () =
+  Alcotest.run "rewrite"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "hashcons" `Quick test_term_hashcons;
+          Alcotest.test_case "equivalent" `Quick test_equivalent;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "mux" `Quick test_roundtrip_mux;
+          Alcotest.test_case "unsupported" `Quick test_unsupported;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "mux" `Quick test_explore_netlist;
+          Alcotest.test_case "zero-detect" `Quick test_zero_detect_regroups;
+        ] );
+      ( "random",
+        [ Alcotest.test_case "seed-terms" `Quick test_random_seed_terms ] );
+    ]
